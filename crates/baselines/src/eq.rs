@@ -1,0 +1,187 @@
+//! The EQ baseline (§7.4) — equivalence-class FD repair after Bohannon et
+//! al. (SIGMOD 2005), as shipped in NADEEF.
+//!
+//! For each FD `X → A`, tuples that agree on `X` must agree on `A`, so
+//! their `A`-cells form an equivalence class; a class whose cells
+//! disagree is repaired by setting every cell to the class's *minimum
+//! cost* target value — the most frequent value (ties toward the
+//! lexicographically smaller one). This computes a consistent instance
+//! with few changes, but "not necessarily the correct changes" — exactly
+//! the failure mode Table 6 exposes.
+//!
+//! Classes are merged across FDs with a union-find over cell positions,
+//! so interacting FDs (e.g. `A → B` and `C → B`) repair coherently.
+
+use std::collections::HashMap;
+
+use katara_table::{Fd, Table};
+
+use crate::RepairOutcome;
+
+/// Repair `table` against `fds`, returning the proposed cell changes.
+pub fn eq_repair(table: &Table, fds: &[Fd]) -> RepairOutcome {
+    let nrows = table.num_rows();
+    let ncols = table.num_columns();
+    if nrows == 0 || fds.is_empty() {
+        return RepairOutcome::default();
+    }
+
+    // Union-find over cell positions (row * ncols + col).
+    let mut parent: Vec<usize> = (0..nrows * ncols).collect();
+    fn find(parent: &mut [usize], x: usize) -> usize {
+        let mut root = x;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        let mut cur = x;
+        while parent[cur] != root {
+            let next = parent[cur];
+            parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+    let union = |parent: &mut [usize], a: usize, b: usize| {
+        let (ra, rb) = (find(parent, a), find(parent, b));
+        if ra != rb {
+            parent[ra.max(rb)] = ra.min(rb);
+        }
+    };
+
+    // For each FD, group rows by LHS key and union their RHS cells.
+    for fd in fds {
+        let mut groups: HashMap<Vec<&str>, usize> = HashMap::new();
+        for r in 0..nrows {
+            let key = fd.key(table, r);
+            let cell = r * ncols + fd.rhs;
+            match groups.get(&key) {
+                Some(&first) => union(&mut parent, first, cell),
+                None => {
+                    groups.insert(key, cell);
+                }
+            }
+        }
+    }
+
+    // Collect classes and pick each class's target value.
+    let mut classes: HashMap<usize, Vec<usize>> = HashMap::new();
+    for cell in 0..nrows * ncols {
+        let root = find(&mut parent, cell);
+        if root != cell || classes.contains_key(&root) {
+            classes.entry(root).or_default().push(cell);
+        }
+    }
+    // Ensure roots are included exactly once.
+    for (&root, members) in classes.iter_mut() {
+        if !members.contains(&root) {
+            members.push(root);
+        }
+        members.sort_unstable();
+    }
+
+    let mut out = RepairOutcome::default();
+    let mut sorted: Vec<(&usize, &Vec<usize>)> = classes.iter().collect();
+    sorted.sort();
+    for (_, members) in sorted {
+        if members.len() < 2 {
+            continue;
+        }
+        // Majority value over the class (nulls excluded as targets).
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for &cell in members {
+            if let Some(v) = table.cell(cell / ncols, cell % ncols).as_str() {
+                *counts.entry(v).or_insert(0) += 1;
+            }
+        }
+        let Some((&target, _)) = counts
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+        else {
+            continue;
+        };
+        for &cell in members {
+            let (r, c) = (cell / ncols, cell % ncols);
+            if table.cell(r, c).as_str() != Some(target) {
+                out.changes.push((r, c, target.to_string()));
+            }
+        }
+    }
+    out.changes.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(rows: &[[&str; 3]]) -> Table {
+        let mut t = Table::with_opaque_columns("t", 3);
+        for r in rows {
+            t.push_text_row(r);
+        }
+        t
+    }
+
+    #[test]
+    fn majority_wins_within_class() {
+        // FD A → B; Italy maps to Rome twice and Madrid once.
+        let table = t(&[
+            ["Italy", "Rome", "x"],
+            ["Italy", "Rome", "y"],
+            ["Italy", "Madrid", "z"],
+            ["Spain", "Madrid", "w"],
+        ]);
+        let out = eq_repair(&table, &[Fd::new(vec![0], 1)]);
+        assert_eq!(out.changes, vec![(2, 1, "Rome".to_string())]);
+    }
+
+    #[test]
+    fn no_violations_no_changes() {
+        let table = t(&[["Italy", "Rome", "x"], ["Spain", "Madrid", "y"]]);
+        let out = eq_repair(&table, &[Fd::new(vec![0], 1)]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn minority_keys_can_be_repaired_wrongly() {
+        // The paper's point: EQ restores consistency, not correctness.
+        // With a 2-1 majority for the *wrong* value, EQ repairs the right
+        // one away.
+        let table = t(&[
+            ["Italy", "Madrid", "x"],
+            ["Italy", "Madrid", "y"],
+            ["Italy", "Rome", "z"],
+        ]);
+        let out = eq_repair(&table, &[Fd::new(vec![0], 1)]);
+        assert_eq!(out.changes, vec![(2, 1, "Madrid".to_string())]);
+    }
+
+    #[test]
+    fn interacting_fds_merge_classes() {
+        // A → B and C → B: rows 0 and 1 share A; rows 1 and 2 share C.
+        // All three B-cells join one class.
+        let table = t(&[
+            ["k1", "Rome", "c1"],
+            ["k1", "Rome", "c2"],
+            ["k2", "Milan", "c2"],
+        ]);
+        let out = eq_repair(&table, &[Fd::new(vec![0], 1), Fd::new(vec![2], 1)]);
+        assert_eq!(out.changes, vec![(2, 1, "Rome".to_string())]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let table = t(&[]);
+        assert!(eq_repair(&table, &[Fd::new(vec![0], 1)]).is_empty());
+        let table = t(&[["a", "b", "c"]]);
+        assert!(eq_repair(&table, &[]).is_empty());
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        // 1-1 tie: lexicographically smaller value wins.
+        let table = t(&[["Italy", "Rome", "x"], ["Italy", "Milan", "y"]]);
+        let out = eq_repair(&table, &[Fd::new(vec![0], 1)]);
+        assert_eq!(out.changes, vec![(0, 1, "Milan".to_string())]);
+    }
+}

@@ -1,0 +1,55 @@
+//! # katara-baselines — the comparator systems of the KATARA evaluation
+//!
+//! Re-implementations of every system the paper compares against:
+//!
+//! * [`support`] — the Support baseline of §7.1: rank candidate types and
+//!   relationships purely by how many tuples they cover (it famously
+//!   drifts to over-general types like `Thing`);
+//! * [`maxlike`] — MaxLike (Venetis et al., PVLDB 2011): per-column /
+//!   per-pair maximum-likelihood estimation, chosen independently;
+//! * [`pgm`] — PGM (Limaye et al., PVLDB 2010): a factor graph over
+//!   column types, cell entities and relationships solved with loopy
+//!   belief propagation — effective on some corpora, expensive always;
+//! * [`eq`] — the equivalence-class FD repair of Bohannon et al.
+//!   (SIGMOD 2005), as shipped in NADEEF;
+//! * [`scare`] — SCARE (Yakout et al., SIGMOD 2013): ML-based repair
+//!   predicting flexible attributes from reliable ones with a confidence
+//!   threshold.
+//!
+//! The pattern-discovery baselines consume the same
+//! [`katara_core::candidates::CandidateSet`] the rank-join does — mirroring
+//! the paper's observation that all discovery methods share the dominant
+//! KB-lookup cost and differ in ranking.
+
+#![warn(missing_docs)]
+
+pub mod eq;
+pub mod maxlike;
+pub mod pgm;
+pub mod scare;
+pub mod support;
+
+pub use eq::eq_repair;
+pub use maxlike::maxlike_topk;
+pub use pgm::{pgm_topk, PgmConfig};
+pub use scare::{scare_repair, ScareConfig};
+pub use support::support_topk;
+
+/// A set of proposed cell repairs: `(row, column, new value)`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RepairOutcome {
+    /// Proposed changes.
+    pub changes: Vec<(usize, usize, String)>,
+}
+
+impl RepairOutcome {
+    /// Number of proposed changes.
+    pub fn len(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// True if no change is proposed.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+}

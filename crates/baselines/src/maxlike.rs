@@ -1,0 +1,169 @@
+//! The MaxLike baseline (§7.1) — maximum-likelihood column typing after
+//! Venetis et al. (PVLDB 2011).
+//!
+//! For a column `A` and candidate type `T`, the likelihood of the column
+//! under `T` is `Π_cells P(cell | T)` with `P(cell | T) = 1/|ENT(T)|` when
+//! the cell's value is an instance of `T` and a small smoothing mass
+//! otherwise; each column (and each column pair, via `subENT(P)`) is
+//! scored **independently** — precisely the modeling choice the paper's
+//! Example (films that are also books) exploits: MaxLike picks the rarer
+//! covering type even when it is incoherent with the relationships.
+
+use katara_core::candidates::CandidateSet;
+use katara_core::pattern::TablePattern;
+use katara_core::rank_join::{discover_topk, DiscoveryConfig};
+use katara_core::scoring::ScoringConfig;
+use katara_kb::Kb;
+use katara_table::Table;
+
+/// Smoothing probability for a cell not covered by the candidate.
+/// Deliberately tolerant (as the published estimator is): a rare type
+/// covering *most* of a column can out-score a common type covering all
+/// of it — the paper's films/books failure mode, demonstrated in Table 2.
+const SMOOTHING: f64 = 1e-4;
+
+/// Top-k patterns under independent maximum-likelihood ranking.
+pub fn maxlike_topk(table: &Table, kb: &Kb, cands: &CandidateSet, k: usize) -> Vec<TablePattern> {
+    let rows = table.num_rows().min(cands.rows_scanned.max(1));
+    let mut rescored = cands.clone();
+
+    // Column types: log-likelihood of the observed cells given the type.
+    for (col, list) in rescored.col_types.iter_mut().enumerate() {
+        for cand in list.iter_mut() {
+            let ent = kb.class_size(cand.class).max(1) as f64;
+            let p_in = 1.0 / ent;
+            let mut ll = 0.0;
+            let mut non_null = 0usize;
+            for r in 0..rows {
+                let Some(cell) = table.cell(r, col).as_str() else {
+                    continue;
+                };
+                non_null += 1;
+                if kb.value_has_type(cell, cand.class) {
+                    ll += p_in.ln();
+                } else {
+                    ll += SMOOTHING.ln();
+                }
+            }
+            // Shift into a positive score (additive constants cancel in
+            // ranking within a list; across lists we only need order).
+            cand.tfidf = normalize_ll(ll, non_null);
+        }
+        list.sort_by(|a, b| {
+            b.tfidf
+                .partial_cmp(&a.tfidf)
+                .unwrap()
+                .then_with(|| a.class.cmp(&b.class))
+        });
+    }
+
+    // Relationships: likelihood of the cell pairs given the property.
+    let pairs: Vec<(usize, usize)> = rescored.pair_rels.keys().copied().collect();
+    for (i, j) in pairs {
+        let list = rescored.pair_rels.get_mut(&(i, j)).expect("just listed");
+        for cand in list.iter_mut() {
+            let ent = kb.subjects_of_property(cand.property).len().max(1) as f64;
+            let p_in = 1.0 / ent;
+            // Reuse the recorded support instead of re-probing the KB:
+            // `support` of `rows` pairs exhibited the relationship.
+            let covered = cand.support;
+            let uncovered = rows.saturating_sub(covered);
+            let ll = covered as f64 * p_in.ln() + uncovered as f64 * SMOOTHING.ln();
+            cand.tfidf = normalize_ll(ll, rows);
+        }
+        list.sort_by(|a, b| {
+            b.tfidf
+                .partial_cmp(&a.tfidf)
+                .unwrap()
+                .then_with(|| a.property.cmp(&b.property))
+        });
+    }
+
+    let config = DiscoveryConfig {
+        scoring: ScoringConfig {
+            coherence_weight: 0.0,
+        },
+        max_states: 0,
+    };
+    discover_topk(table, kb, &rescored, k, &config)
+}
+
+/// Map an average log-likelihood into a bounded positive score preserving
+/// order: `exp(ll / n)` is the geometric-mean likelihood per cell.
+fn normalize_ll(ll: f64, n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    (ll / n as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use katara_core::candidates::{discover_candidates, CandidateConfig};
+    use katara_kb::KbBuilder;
+
+    /// `place` ⊃ `country`: both cover all cells, but country is rarer →
+    /// higher likelihood. A third type `economy` covers only one cell.
+    fn setting() -> (Kb, Table) {
+        let mut b = KbBuilder::new();
+        let place = b.class("place");
+        let country = b.class("country");
+        let economy = b.class("economy");
+        b.subclass(country, place).unwrap();
+        for n in ["Italy", "Spain", "France"] {
+            b.entity(n, &[country]);
+        }
+        b.entity_labeled("Italy_(econ)", "Italy", &[economy]);
+        for i in 0..30 {
+            b.entity(&format!("Town{i}"), &[place]);
+        }
+        let kb = b.finalize();
+        let mut t = Table::with_opaque_columns("t", 1);
+        for n in ["Italy", "Spain", "France"] {
+            t.push_text_row(&[n]);
+        }
+        (kb, t)
+    }
+
+    #[test]
+    fn maxlike_prefers_rare_covering_type() {
+        let (kb, t) = setting();
+        let cands = discover_candidates(&t, &kb, &CandidateConfig::default());
+        let top = maxlike_topk(&t, &kb, &cands, 1);
+        assert_eq!(
+            top[0].node_for_column(0).unwrap().class,
+            kb.class_by_name("country"),
+            "country (3 entities) beats place (33)"
+        );
+    }
+
+    #[test]
+    fn partial_coverage_is_penalized() {
+        let (kb, t) = setting();
+        // `economy` covers only Italy; even though it is tiny (1 entity),
+        // the smoothing penalty on the other cells must sink it.
+        let cands = discover_candidates(
+            &t,
+            &kb,
+            &CandidateConfig {
+                min_support_fraction: 0.0,
+                ..CandidateConfig::default()
+            },
+        );
+        let top = maxlike_topk(&t, &kb, &cands, 3);
+        assert_ne!(
+            top[0].node_for_column(0).unwrap().class,
+            kb.class_by_name("economy")
+        );
+    }
+
+    #[test]
+    fn topk_orders_by_likelihood() {
+        let (kb, t) = setting();
+        let cands = discover_candidates(&t, &kb, &CandidateConfig::default());
+        let top = maxlike_topk(&t, &kb, &cands, 2);
+        assert_eq!(top.len(), 2);
+        assert!(top[0].score() >= top[1].score());
+    }
+}

@@ -1,0 +1,435 @@
+//! The PGM baseline (§7.1) — a probabilistic graphical model over column
+//! types, cell entities and relationships, after Limaye et al.
+//! (PVLDB 2010).
+//!
+//! The factor graph has one *type* variable per column (domain: the
+//! candidate types), one *relationship* variable per column pair (domain:
+//! the candidate relationships) and one *entity* variable per cell
+//! (domain: the cell's candidate KB resources). Factors reward entity/
+//! type agreement and entity-pair/relationship agreement; inference is
+//! loopy sum-product belief propagation. This reproduces both of the
+//! paper's findings: effectiveness is *mixed* (cell-level evidence can
+//! help or mislead — and there is no type↔relationship coherence prior),
+//! and cost is *dominated by message passing* (Table 3's blow-up: "PGM
+//! takes hours on tables with around 1K tuples").
+
+use std::collections::HashMap;
+
+use katara_core::candidates::CandidateSet;
+use katara_core::pattern::TablePattern;
+use katara_core::rank_join::{discover_topk, DiscoveryConfig};
+use katara_core::scoring::ScoringConfig;
+use katara_kb::{Kb, ResourceId};
+use katara_table::Table;
+
+/// PGM knobs.
+#[derive(Debug, Clone)]
+pub struct PgmConfig {
+    /// Rows included in the factor graph (cell variables per row make
+    /// the graph — and the inference — grow linearly).
+    pub max_rows: usize,
+    /// Loopy BP sweeps.
+    pub iterations: usize,
+    /// Candidate resources kept per cell variable.
+    pub max_entities_per_cell: usize,
+    /// Log-potential for an entity agreeing with a type.
+    pub type_agreement: f64,
+    /// Log-potential for an entity pair agreeing with a relationship.
+    pub rel_agreement: f64,
+    /// Weight of the type-rarity feature in the unary prior. The
+    /// published model is supervised; this weight stands in for weights
+    /// trained on another corpus, and its coarseness is what makes PGM's
+    /// effectiveness "mixed" here.
+    pub rarity_weight: f64,
+}
+
+impl Default for PgmConfig {
+    fn default() -> Self {
+        PgmConfig {
+            max_rows: 200,
+            iterations: 10,
+            max_entities_per_cell: 4,
+            type_agreement: 2.0,
+            rel_agreement: 2.0,
+            rarity_weight: 2.5,
+        }
+    }
+}
+
+/// A variable in the factor graph.
+#[derive(Debug)]
+struct Var {
+    domain: usize,
+    /// Unary prior (unnormalized).
+    prior: Vec<f64>,
+    /// Incident factor indexes (with the slot this var occupies).
+    factors: Vec<(usize, usize)>,
+}
+
+/// A factor over 2 or 3 variables with an explicit potential table
+/// (row-major over the variables' domains in order).
+#[derive(Debug)]
+struct Factor {
+    vars: Vec<usize>,
+    table: Vec<f64>,
+}
+
+/// Top-k patterns via loopy-BP marginals.
+pub fn pgm_topk(
+    table: &Table,
+    kb: &Kb,
+    cands: &CandidateSet,
+    k: usize,
+    config: &PgmConfig,
+) -> Vec<TablePattern> {
+    let rows = table.num_rows().min(config.max_rows);
+    let ncols = table.num_columns();
+
+    // --- Variables --------------------------------------------------------
+    let mut vars: Vec<Var> = Vec::new();
+    let mut type_var: Vec<Option<usize>> = vec![None; ncols];
+    // Unary priors use *support fractions* (label-match coverage), not
+    // KATARA's tf-idf — the tf-idf/coherence ranking is KATARA's own
+    // contribution, and the published PGM's features amount to coverage
+    // statistics. This is precisely what makes its effectiveness
+    // "mixed": with the hierarchy, a leaf and its supertypes tie on
+    // coverage, and only the entity-level factors break the tie.
+    let rows_f = rows.max(1) as f64;
+    for (c, list) in cands.col_types.iter().enumerate() {
+        if list.is_empty() {
+            continue;
+        }
+        type_var[c] = Some(vars.len());
+        vars.push(Var {
+            domain: list.len(),
+            prior: list
+                .iter()
+                .map(|t| {
+                    let coverage = t.support as f64 / rows_f;
+                    let rarity = 1.0 / (1.0 + (kb.class_size(t.class).max(1) as f64).ln());
+                    (coverage + config.rarity_weight * rarity).exp()
+                })
+                .collect(),
+            factors: Vec::new(),
+        });
+    }
+    let pairs = cands.pairs();
+    let mut rel_var: HashMap<(usize, usize), usize> = HashMap::new();
+    for &(i, j) in &pairs {
+        let list = cands.rels(i, j);
+        rel_var.insert((i, j), vars.len());
+        vars.push(Var {
+            domain: list.len(),
+            prior: list
+                .iter()
+                .map(|r| (r.support as f64 / rows_f).exp())
+                .collect(),
+            factors: Vec::new(),
+        });
+    }
+    // Cell entity variables (only for typed columns, non-null cells with
+    // at least one candidate resource).
+    let mut cell_var: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut cell_domain: HashMap<(usize, usize), Vec<ResourceId>> = HashMap::new();
+    for r in 0..rows {
+        for (c, tv) in type_var.iter().enumerate() {
+            if tv.is_none() {
+                continue;
+            }
+            let Some(cell) = table.cell(r, c).as_str() else {
+                continue;
+            };
+            let mut dom: Vec<ResourceId> = kb
+                .candidate_resources(cell)
+                .into_iter()
+                .map(|(res, _)| res)
+                .collect();
+            dom.truncate(config.max_entities_per_cell);
+            if dom.is_empty() {
+                continue;
+            }
+            cell_var.insert((r, c), vars.len());
+            vars.push(Var {
+                domain: dom.len(),
+                prior: vec![1.0; dom.len()],
+                factors: Vec::new(),
+            });
+            cell_domain.insert((r, c), dom);
+        }
+    }
+
+    // --- Factors ---------------------------------------------------------
+    let mut factors: Vec<Factor> = Vec::new();
+    let a_type = config.type_agreement.exp();
+    let a_rel = config.rel_agreement.exp();
+    // Entity/type agreement (iterated in deterministic row/column order —
+    // float summation order must not depend on hash iteration).
+    for r in 0..rows {
+        for c in 0..ncols {
+            let Some(&ev) = cell_var.get(&(r, c)) else {
+                continue;
+            };
+            let tv = type_var[c].expect("cell vars only on typed columns");
+            let types = &cands.col_types[c];
+            let dom = &cell_domain[&(r, c)];
+            let mut tab = Vec::with_capacity(types.len() * dom.len());
+            for t in types {
+                for &e in dom {
+                    tab.push(if kb.has_type(e, t.class) { a_type } else { 1.0 });
+                }
+            }
+            push_factor(&mut vars, &mut factors, vec![tv, ev], tab);
+        }
+    }
+    // Entity-pair/relationship agreement.
+    for &(i, j) in &pairs {
+        let rv = rel_var[&(i, j)];
+        let rels = cands.rels(i, j);
+        for r in 0..rows {
+            let (Some(&ei), Some(&ej)) = (cell_var.get(&(r, i)), cell_var.get(&(r, j))) else {
+                continue;
+            };
+            let di = &cell_domain[&(r, i)];
+            let dj = &cell_domain[&(r, j)];
+            let mut tab = Vec::with_capacity(rels.len() * di.len() * dj.len());
+            for rel in rels {
+                for &a in di {
+                    for &b in dj {
+                        tab.push(if kb.holds(a, rel.property, b) {
+                            a_rel
+                        } else {
+                            1.0
+                        });
+                    }
+                }
+            }
+            push_factor(&mut vars, &mut factors, vec![rv, ei, ej], tab);
+        }
+    }
+
+    // --- Loopy sum-product BP ---------------------------------------------
+    let beliefs = run_bp(&vars, &factors, config.iterations);
+
+    // --- Read off marginals and build top-k patterns -----------------------
+    let mut rescored = cands.clone();
+    for (c, list) in rescored.col_types.iter_mut().enumerate() {
+        if let Some(tv) = type_var[c] {
+            for (idx, cand) in list.iter_mut().enumerate() {
+                cand.tfidf = beliefs[tv][idx];
+            }
+            list.sort_by(|a, b| {
+                b.tfidf
+                    .partial_cmp(&a.tfidf)
+                    .unwrap()
+                    .then_with(|| a.class.cmp(&b.class))
+            });
+        }
+    }
+    for &(i, j) in &pairs {
+        let rv = rel_var[&(i, j)];
+        let list = rescored.pair_rels.get_mut(&(i, j)).expect("exists");
+        for (idx, cand) in list.iter_mut().enumerate() {
+            cand.tfidf = beliefs[rv][idx];
+        }
+        list.sort_by(|a, b| {
+            b.tfidf
+                .partial_cmp(&a.tfidf)
+                .unwrap()
+                .then_with(|| a.property.cmp(&b.property))
+        });
+    }
+    let dcfg = DiscoveryConfig {
+        scoring: ScoringConfig {
+            coherence_weight: 0.0,
+        },
+        max_states: 0,
+    };
+    discover_topk(table, kb, &rescored, k, &dcfg)
+}
+
+fn push_factor(vars: &mut [Var], factors: &mut Vec<Factor>, fvars: Vec<usize>, table: Vec<f64>) {
+    debug_assert_eq!(
+        table.len(),
+        fvars.iter().map(|&v| vars[v].domain).product::<usize>()
+    );
+    let fi = factors.len();
+    for (slot, &v) in fvars.iter().enumerate() {
+        vars[v].factors.push((fi, slot));
+    }
+    factors.push(Factor { vars: fvars, table });
+}
+
+/// Sum-product loopy BP; returns normalized beliefs per variable.
+fn run_bp(vars: &[Var], factors: &[Factor], iterations: usize) -> Vec<Vec<f64>> {
+    // Messages factor→var and var→factor, indexed by (factor, slot).
+    let mut f2v: Vec<Vec<Vec<f64>>> = factors
+        .iter()
+        .map(|f| f.vars.iter().map(|&v| vec![1.0; vars[v].domain]).collect())
+        .collect();
+    let mut v2f: Vec<Vec<Vec<f64>>> = f2v.clone();
+
+    for _ in 0..iterations {
+        // var → factor: prior × product of other incoming messages.
+        for (fi, f) in factors.iter().enumerate() {
+            for (slot, &v) in f.vars.iter().enumerate() {
+                let var = &vars[v];
+                let mut msg = var.prior.clone();
+                for &(ofi, oslot) in &var.factors {
+                    if ofi == fi && oslot == slot {
+                        continue;
+                    }
+                    for (m, x) in msg.iter_mut().zip(&f2v[ofi][oslot]) {
+                        *m *= x;
+                    }
+                }
+                normalize(&mut msg);
+                v2f[fi][slot] = msg;
+            }
+        }
+        // factor → var: marginalize the potential against the other
+        // variables' messages.
+        for (fi, f) in factors.iter().enumerate() {
+            let dims: Vec<usize> = f.vars.iter().map(|&v| vars[v].domain).collect();
+            for slot in 0..f.vars.len() {
+                let mut msg = vec![0.0; dims[slot]];
+                // Iterate the full joint table.
+                let mut idx = vec![0usize; dims.len()];
+                for (flat, &pot) in f.table.iter().enumerate() {
+                    // Decode flat index (row-major).
+                    let mut rem = flat;
+                    for d in (0..dims.len()).rev() {
+                        idx[d] = rem % dims[d];
+                        rem /= dims[d];
+                    }
+                    let mut w = pot;
+                    for (oslot, &oi) in idx.iter().enumerate() {
+                        if oslot != slot {
+                            w *= v2f[fi][oslot][oi];
+                        }
+                    }
+                    msg[idx[slot]] += w;
+                }
+                normalize(&mut msg);
+                f2v[fi][slot] = msg;
+            }
+        }
+    }
+
+    // Beliefs.
+    let mut beliefs: Vec<Vec<f64>> = vars.iter().map(|v| v.prior.clone()).collect();
+    for (fi, f) in factors.iter().enumerate() {
+        for (slot, &v) in f.vars.iter().enumerate() {
+            for (b, m) in beliefs[v].iter_mut().zip(&f2v[fi][slot]) {
+                *b *= m;
+            }
+        }
+    }
+    for b in &mut beliefs {
+        normalize(b);
+    }
+    beliefs
+}
+
+fn normalize(v: &mut [f64]) {
+    let s: f64 = v.iter().sum();
+    if s > 0.0 && s.is_finite() {
+        for x in v.iter_mut() {
+            *x /= s;
+        }
+    } else {
+        let u = 1.0 / v.len() as f64;
+        for x in v.iter_mut() {
+            *x = u;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use katara_core::candidates::{discover_candidates, CandidateConfig};
+    use katara_kb::KbBuilder;
+
+    fn setting() -> (Kb, Table) {
+        let mut b = KbBuilder::new();
+        let economy = b.class("economy");
+        let country = b.class("country");
+        let capital = b.class("capital");
+        let city = b.class("city");
+        b.subclass(country, economy).unwrap();
+        b.subclass(capital, city).unwrap();
+        let has_capital = b.property("hasCapital");
+        for (c, cap) in [("Italy", "Rome"), ("Spain", "Madrid"), ("France", "Paris")] {
+            let rc = b.entity(c, &[country]);
+            let rcap = b.entity(cap, &[capital]);
+            b.fact(rc, has_capital, rcap);
+        }
+        for i in 0..15 {
+            b.entity(&format!("Corp{i}"), &[economy]);
+            b.entity(&format!("Town{i}"), &[city]);
+        }
+        let kb = b.finalize();
+        let mut t = Table::with_opaque_columns("t", 2);
+        t.push_text_row(&["Italy", "Rome"]);
+        t.push_text_row(&["Spain", "Madrid"]);
+        t.push_text_row(&["France", "Paris"]);
+        (kb, t)
+    }
+
+    #[test]
+    fn pgm_finds_a_reasonable_pattern() {
+        let (kb, t) = setting();
+        let cands = discover_candidates(&t, &kb, &CandidateConfig::default());
+        let top = pgm_topk(&t, &kb, &cands, 1, &PgmConfig::default());
+        assert_eq!(top.len(), 1);
+        let p = &top[0];
+        // Coverage priors tie `country` with its supertype `economy`
+        // (every country cell is both) — the published model's "mixed"
+        // behaviour; either is acceptable here, but never the unrelated
+        // `capital`/`city`.
+        let picked = p.node_for_column(0).unwrap().class;
+        assert!(
+            picked == kb.class_by_name("country") || picked == kb.class_by_name("economy"),
+            "picked {picked:?}"
+        );
+        // The relationship, however, is pinned by the entity factors.
+        assert_eq!(
+            p.edges()[0].property,
+            kb.property_by_name("hasCapital").unwrap()
+        );
+    }
+
+    #[test]
+    fn pgm_marginals_are_probabilities() {
+        let (kb, t) = setting();
+        let cands = discover_candidates(&t, &kb, &CandidateConfig::default());
+        // Smoke the BP engine directly through the public API with k big
+        // enough to expose the ranking.
+        let top = pgm_topk(&t, &kb, &cands, 4, &PgmConfig::default());
+        for w in top.windows(2) {
+            assert!(w[0].score() >= w[1].score());
+        }
+    }
+
+    #[test]
+    fn pgm_handles_empty_candidates() {
+        let (kb, _) = setting();
+        let mut t = Table::with_opaque_columns("t", 1);
+        t.push_text_row(&["Unknown"]);
+        let cands = discover_candidates(&t, &kb, &CandidateConfig::default());
+        assert!(pgm_topk(&t, &kb, &cands, 3, &PgmConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn pgm_is_deterministic() {
+        let (kb, t) = setting();
+        let cands = discover_candidates(&t, &kb, &CandidateConfig::default());
+        let a = pgm_topk(&t, &kb, &cands, 2, &PgmConfig::default());
+        let b = pgm_topk(&t, &kb, &cands, 2, &PgmConfig::default());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.nodes(), y.nodes());
+            assert_eq!(x.edges(), y.edges());
+        }
+    }
+}

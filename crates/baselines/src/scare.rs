@@ -1,0 +1,145 @@
+//! The SCARE baseline (§7.4) — ML-based repair after Yakout et al.
+//! (SIGMOD 2013).
+//!
+//! SCARE partitions attributes into *reliable* (assumed correct — here
+//! the FD left-hand sides, matching the paper's setup "we only injected
+//! errors to the right hand side attributes of the FDs") and *flexible*
+//! ones. For each flexible attribute it learns `P(value | reliable
+//! values)` from the data itself and proposes the maximum-likelihood
+//! value whenever (a) it differs from the current one and (b) its
+//! confidence clears a threshold — the threshold the paper calls "hard
+//! to set precisely". Prediction quality is entirely redundancy-driven,
+//! which is why SCARE is inapplicable to the small Wiki/Web tables.
+
+use std::collections::HashMap;
+
+use katara_table::{Fd, Table};
+
+use crate::RepairOutcome;
+
+/// SCARE knobs.
+#[derive(Debug, Clone)]
+pub struct ScareConfig {
+    /// Minimum confidence `P(best | key)` required to propose a change.
+    pub confidence_threshold: f64,
+    /// Minimum observations of a reliable-key group before predicting.
+    pub min_group_support: usize,
+}
+
+impl Default for ScareConfig {
+    fn default() -> Self {
+        ScareConfig {
+            confidence_threshold: 0.6,
+            min_group_support: 2,
+        }
+    }
+}
+
+/// Repair the RHS attributes of `fds`, treating the LHS attributes as
+/// reliable.
+pub fn scare_repair(table: &Table, fds: &[Fd], config: &ScareConfig) -> RepairOutcome {
+    let mut out = RepairOutcome::default();
+    for fd in fds {
+        // Learn P(rhs value | lhs key) by frequency.
+        let mut groups: HashMap<Vec<&str>, HashMap<&str, usize>> = HashMap::new();
+        for r in 0..table.num_rows() {
+            if let Some(v) = table.cell(r, fd.rhs).as_str() {
+                *groups
+                    .entry(fd.key(table, r))
+                    .or_default()
+                    .entry(v)
+                    .or_insert(0) += 1;
+            }
+        }
+        // Predict.
+        for r in 0..table.num_rows() {
+            let key = fd.key(table, r);
+            let Some(dist) = groups.get(&key) else {
+                continue;
+            };
+            let total: usize = dist.values().sum();
+            if total < config.min_group_support {
+                continue;
+            }
+            let (&best, &count) = dist
+                .iter()
+                .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+                .expect("group non-empty");
+            let confidence = count as f64 / total as f64;
+            if confidence < config.confidence_threshold {
+                continue;
+            }
+            if table.cell(r, fd.rhs).as_str() != Some(best) {
+                out.changes.push((r, fd.rhs, best.to_string()));
+            }
+        }
+    }
+    out.changes.sort();
+    out.changes.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(rows: &[[&str; 2]]) -> Table {
+        let mut t = Table::with_opaque_columns("t", 2);
+        for r in rows {
+            t.push_text_row(r);
+        }
+        t
+    }
+
+    #[test]
+    fn predicts_majority_with_confidence() {
+        let table = t(&[
+            ["Italy", "Rome"],
+            ["Italy", "Rome"],
+            ["Italy", "Rome"],
+            ["Italy", "Madrid"],
+        ]);
+        let out = scare_repair(&table, &[Fd::new(vec![0], 1)], &ScareConfig::default());
+        assert_eq!(out.changes, vec![(3, 1, "Rome".to_string())]);
+    }
+
+    #[test]
+    fn low_confidence_blocks_prediction() {
+        // 50/50 split: confidence 0.5 < 0.6 threshold.
+        let table = t(&[["Italy", "Rome"], ["Italy", "Madrid"]]);
+        let out = scare_repair(&table, &[Fd::new(vec![0], 1)], &ScareConfig::default());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn threshold_is_a_knob() {
+        let table = t(&[["Italy", "Rome"], ["Italy", "Madrid"]]);
+        let eager = ScareConfig {
+            confidence_threshold: 0.5,
+            ..ScareConfig::default()
+        };
+        let out = scare_repair(&table, &[Fd::new(vec![0], 1)], &eager);
+        // At 0.5 the (deterministic) majority value is proposed for the
+        // other row.
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn sparse_groups_are_skipped() {
+        // Singleton groups carry no redundancy: nothing to learn from.
+        let table = t(&[["Italy", "Rome"], ["Spain", "Madrid"]]);
+        let out = scare_repair(&table, &[Fd::new(vec![0], 1)], &ScareConfig::default());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn null_rhs_cells_ignored_in_training() {
+        let mut table = Table::with_opaque_columns("t", 2);
+        table.push_text_row(&["Italy", "Rome"]);
+        table.push_text_row(&["Italy", ""]);
+        table.push_text_row(&["Italy", "Rome"]);
+        let out = scare_repair(&table, &[Fd::new(vec![0], 1)], &ScareConfig::default());
+        // The null cell gets the learned value.
+        assert_eq!(out.changes, vec![(1, 1, "Rome".to_string())]);
+    }
+}

@@ -1,0 +1,119 @@
+//! The Support baseline (§7.1).
+//!
+//! Ranks every candidate type and relationship *solely by support* — the
+//! number of tuples it covers. Because a supertype covers at least as
+//! many tuples as any of its subtypes, Support systematically drifts to
+//! the most general types ("such as `Thing` or `Object`", as the paper
+//! puts it); ties are broken toward the *larger* class, making the drift
+//! explicit and deterministic.
+
+use katara_core::candidates::CandidateSet;
+use katara_core::pattern::TablePattern;
+use katara_core::rank_join::{discover_topk, DiscoveryConfig};
+use katara_core::scoring::ScoringConfig;
+use katara_kb::Kb;
+use katara_table::Table;
+
+/// Top-k patterns under support-only ranking.
+pub fn support_topk(table: &Table, kb: &Kb, cands: &CandidateSet, k: usize) -> Vec<TablePattern> {
+    // Re-score every candidate with its support and re-sort with the
+    // "larger class wins ties" rule, then run the shared top-k machinery
+    // with coherence disabled.
+    let mut rescored = cands.clone();
+    for list in &mut rescored.col_types {
+        for c in list.iter_mut() {
+            c.tfidf = c.support as f64;
+        }
+        list.sort_by(|a, b| {
+            b.support
+                .cmp(&a.support)
+                .then_with(|| kb.class_size(b.class).cmp(&kb.class_size(a.class)))
+                .then_with(|| a.class.cmp(&b.class))
+        });
+    }
+    for list in rescored.pair_rels.values_mut() {
+        for c in list.iter_mut() {
+            c.tfidf = c.support as f64;
+        }
+        list.sort_by(|a, b| {
+            b.support.cmp(&a.support).then_with(|| {
+                kb.subjects_of_property(b.property)
+                    .len()
+                    .cmp(&kb.subjects_of_property(a.property).len())
+                    .then_with(|| a.property.cmp(&b.property))
+            })
+        });
+    }
+    let config = DiscoveryConfig {
+        scoring: ScoringConfig {
+            coherence_weight: 0.0,
+        },
+        max_states: 0,
+    };
+    discover_topk(table, kb, &rescored, k, &config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use katara_core::candidates::{discover_candidates, CandidateConfig};
+    use katara_kb::KbBuilder;
+
+    /// `entity` ⊃ `country`; both cover every cell, so Support must pick
+    /// the bigger `entity` while tf-idf ranking picks `country`.
+    fn setting() -> (Kb, Table) {
+        let mut b = KbBuilder::new();
+        let entity = b.class("entity");
+        let country = b.class("country");
+        let capital = b.class("capital");
+        b.subclass(country, entity).unwrap();
+        b.subclass(capital, entity).unwrap();
+        let has_capital = b.property("hasCapital");
+        for (c, cap) in [("Italy", "Rome"), ("Spain", "Madrid"), ("France", "Paris")] {
+            let rc = b.entity(c, &[country]);
+            let rcap = b.entity(cap, &[capital]);
+            b.fact(rc, has_capital, rcap);
+        }
+        for i in 0..20 {
+            b.entity(&format!("Filler{i}"), &[entity]);
+        }
+        let kb = b.finalize();
+        let mut t = Table::with_opaque_columns("t", 2);
+        t.push_text_row(&["Italy", "Rome"]);
+        t.push_text_row(&["Spain", "Madrid"]);
+        (kb, t)
+    }
+
+    #[test]
+    fn support_drifts_to_general_types() {
+        let (kb, t) = setting();
+        let cands = discover_candidates(&t, &kb, &CandidateConfig::default());
+        let top = support_topk(&t, &kb, &cands, 1);
+        assert_eq!(top.len(), 1);
+        assert_eq!(
+            top[0].node_for_column(0).unwrap().class,
+            kb.class_by_name("entity"),
+            "Support must pick the covering supertype"
+        );
+    }
+
+    #[test]
+    fn support_still_finds_relationships() {
+        let (kb, t) = setting();
+        let cands = discover_candidates(&t, &kb, &CandidateConfig::default());
+        let top = support_topk(&t, &kb, &cands, 1);
+        assert_eq!(
+            top[0].edges()[0].property,
+            kb.property_by_name("hasCapital").unwrap()
+        );
+    }
+
+    #[test]
+    fn empty_candidates_yield_nothing() {
+        let (kb, _) = setting();
+        let mut t = Table::with_opaque_columns("t", 1);
+        t.push_text_row(&["Unknown"]);
+        let cands = discover_candidates(&t, &kb, &CandidateConfig::default());
+        assert!(support_topk(&t, &kb, &cands, 3).is_empty());
+    }
+}

@@ -1,0 +1,56 @@
+//! Benches for **Table 5**: data annotation throughput by KB and crowd,
+//! with and without enrichment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use katara_bench::bench_corpus;
+use katara_core::annotation::{annotate, AnnotationConfig};
+use katara_core::candidates::{discover_candidates, CandidateConfig};
+use katara_core::rank_join::{discover_topk, DiscoveryConfig};
+use katara_crowd::{Crowd, CrowdConfig};
+use katara_datagen::{KbFlavor, TableOracle};
+
+/// Table 5: annotate the Person table (redundant) and a web table
+/// (small) under both KBs.
+fn bench_annotation(c: &mut Criterion) {
+    let corpus = bench_corpus();
+    let mut group = c.benchmark_group("table5_annotation");
+    group.sample_size(10);
+    for flavor in [KbFlavor::YagoLike, KbFlavor::DbpediaLike] {
+        for (name, g) in [("person", &corpus.person), ("web", &corpus.web[0])] {
+            let kb0 = corpus.kb(flavor);
+            let cands = discover_candidates(&g.table, &kb0, &CandidateConfig::default());
+            let patterns = discover_topk(&g.table, &kb0, &cands, 1, &DiscoveryConfig::default());
+            let Some(pattern) = patterns.into_iter().next() else {
+                continue;
+            };
+            group.bench_function(BenchmarkId::new(name, flavor.name()), |b| {
+                b.iter(|| {
+                    // Fresh KB per iteration: enrichment mutates it.
+                    let mut kb = corpus.kb(flavor);
+                    let oracle =
+                        TableOracle::new(corpus.facts.clone(), g.ground_truth.clone(), flavor);
+                    let mut crowd = Crowd::new(
+                        CrowdConfig {
+                            worker_accuracy: 0.97,
+                            ..CrowdConfig::default()
+                        },
+                        oracle,
+                    );
+                    annotate(
+                        black_box(&g.table),
+                        &pattern,
+                        &mut kb,
+                        &mut crowd,
+                        &AnnotationConfig::default(),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_annotation);
+criterion_main!(benches);

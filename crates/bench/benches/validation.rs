@@ -1,0 +1,105 @@
+//! Benches for **Table 4 / Figure 7**: crowd pattern validation with the
+//! MUVF scheduler vs the AVI baseline, and the questions-per-variable
+//! sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use katara_bench::{bench_corpus, discovery_fixture};
+use katara_core::rank_join::{discover_topk, DiscoveryConfig};
+use katara_core::validation::{validate_patterns, SchedulingStrategy, ValidationConfig};
+use katara_crowd::{Crowd, CrowdConfig};
+use katara_datagen::{KbFlavor, TableOracle};
+
+/// Table 4: scheduling strategies.
+fn bench_scheduling(c: &mut Criterion) {
+    let corpus = bench_corpus();
+    let f = discovery_fixture(&corpus, KbFlavor::YagoLike);
+    let patterns = discover_topk(
+        &f.table.table,
+        &f.kb,
+        &f.cands,
+        5,
+        &DiscoveryConfig::default(),
+    );
+    let mut group = c.benchmark_group("table4_scheduling");
+    group.sample_size(10);
+    for (name, strategy) in [
+        ("muvf", SchedulingStrategy::Muvf),
+        ("avi", SchedulingStrategy::Avi),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let oracle = TableOracle::new(
+                    corpus.facts.clone(),
+                    f.table.ground_truth.clone(),
+                    KbFlavor::YagoLike,
+                );
+                let mut crowd = Crowd::new(
+                    CrowdConfig {
+                        worker_accuracy: 0.97,
+                        ..CrowdConfig::default()
+                    },
+                    oracle,
+                );
+                validate_patterns(
+                    &f.table.table,
+                    &f.kb,
+                    black_box(patterns.clone()),
+                    &mut crowd,
+                    &ValidationConfig::default(),
+                    strategy,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Figure 7: cost scaling with questions per variable.
+fn bench_question_sweep(c: &mut Criterion) {
+    let corpus = bench_corpus();
+    let f = discovery_fixture(&corpus, KbFlavor::DbpediaLike);
+    let patterns = discover_topk(
+        &f.table.table,
+        &f.kb,
+        &f.cands,
+        5,
+        &DiscoveryConfig::default(),
+    );
+    let mut group = c.benchmark_group("fig7_questions_per_variable");
+    group.sample_size(10);
+    for q in [1usize, 3, 5, 7] {
+        group.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
+            b.iter(|| {
+                let oracle = TableOracle::new(
+                    corpus.facts.clone(),
+                    f.table.ground_truth.clone(),
+                    KbFlavor::DbpediaLike,
+                );
+                let mut crowd = Crowd::new(
+                    CrowdConfig {
+                        worker_accuracy: 0.75,
+                        ..CrowdConfig::default()
+                    },
+                    oracle,
+                );
+                validate_patterns(
+                    &f.table.table,
+                    &f.kb,
+                    black_box(patterns.clone()),
+                    &mut crowd,
+                    &ValidationConfig {
+                        questions_per_variable: q,
+                        ..ValidationConfig::default()
+                    },
+                    SchedulingStrategy::Muvf,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduling, bench_question_sweep);
+criterion_main!(benches);

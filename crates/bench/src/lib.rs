@@ -1,0 +1,55 @@
+//! # katara-bench — shared fixtures for the Criterion benchmarks
+//!
+//! One bench target per evaluation artifact:
+//!
+//! * `discovery` — Tables 2–3, Figure 6 (candidate generation + the four
+//!   discovery algorithms, top-k sweeps);
+//! * `validation` — Table 4, Figure 7 (MUVF vs AVI, question sweeps);
+//! * `annotation` — Table 5 (annotation throughput, enrichment);
+//! * `repair` — Figure 8, Tables 6–7 (instance-graph index build, top-k
+//!   repair generation, EQ/SCARE);
+//! * `ablations` — the DESIGN.md design-choice benches (rank-join vs
+//!   exhaustive, inverted lists vs full scan, coherence cache vs
+//!   recompute, enrichment on/off).
+
+use katara_core::candidates::{discover_candidates, CandidateConfig, CandidateSet};
+use katara_datagen::{GeneratedTable, KbFlavor};
+use katara_eval::corpus::{Corpus, CorpusConfig};
+use katara_kb::Kb;
+
+/// The benchmark corpus: small enough for Criterion's iteration counts,
+/// large enough to exercise every code path.
+pub fn bench_corpus() -> Corpus {
+    Corpus::build(&CorpusConfig::small())
+}
+
+/// A (kb, table, candidates) fixture for one web table.
+pub struct DiscoveryFixture {
+    /// The KB.
+    pub kb: Kb,
+    /// The generated table.
+    pub table: GeneratedTable,
+    /// Precomputed candidate lists.
+    pub cands: CandidateSet,
+}
+
+/// Build the standard discovery fixture (first web table, chosen flavor).
+pub fn discovery_fixture(corpus: &Corpus, flavor: KbFlavor) -> DiscoveryFixture {
+    let kb = corpus.kb(flavor);
+    let table = corpus.web[0].clone();
+    let cands = discover_candidates(&table.table, &kb, &CandidateConfig::default());
+    DiscoveryFixture { kb, table, cands }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let corpus = bench_corpus();
+        let f = discovery_fixture(&corpus, KbFlavor::DbpediaLike);
+        assert!(f.table.table.num_rows() > 0);
+        assert!(!f.cands.col_types.is_empty());
+    }
+}

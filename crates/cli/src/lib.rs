@@ -1,0 +1,506 @@
+//! # katara-cli — command-line KATARA
+//!
+//! ```text
+//! katara clean    --table data.csv --kb kb.nt [--crowd MODE] [--k N]
+//!                 [--out repaired.csv] [--enriched-kb out.nt]
+//! katara discover --table data.csv --kb kb.nt [--k N]
+//! katara kb-stats --kb kb.nt
+//! ```
+//!
+//! The KB is N-Triples (see `katara_kb::ntriples`); tables are CSV with a
+//! header row. Crowd modes:
+//!
+//! * `interactive` — questions are printed to the terminal and answered
+//!   on stdin (you are the expert crowd);
+//! * `trust` — missing KB facts are presumed true (the table is trusted;
+//!   maximal enrichment, no error flags);
+//! * `skeptic` — missing KB facts are presumed false (the KB is trusted;
+//!   everything unsupported is flagged and repaired);
+//! * `facts:FILE` — answer from a TSV of known true statements
+//!   (`subject<TAB>property<TAB>object`); anything else is false.
+//!
+//! The library part exists so the command logic is unit-testable; the
+//! binary is a thin `main`.
+
+#![warn(missing_docs)]
+
+use std::collections::HashSet;
+use std::io::BufRead;
+
+use katara_core::prelude::*;
+use katara_crowd::{Answer, Crowd, CrowdConfig, Oracle, Question};
+use katara_kb::{ntriples, sim, Kb};
+use katara_table::{csv, Table};
+
+/// CLI errors.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line.
+    Usage(String),
+    /// I/O problem.
+    Io(std::io::Error),
+    /// KB parse problem.
+    Kb(ntriples::NtError),
+    /// CSV parse problem.
+    Csv(csv::CsvError),
+    /// Pipeline problem.
+    Katara(KataraError),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Kb(e) => write!(f, "kb error: {e}"),
+            CliError::Csv(e) => write!(f, "csv error: {e}"),
+            CliError::Katara(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+impl From<ntriples::NtError> for CliError {
+    fn from(e: ntriples::NtError) -> Self {
+        CliError::Kb(e)
+    }
+}
+impl From<csv::CsvError> for CliError {
+    fn from(e: csv::CsvError) -> Self {
+        CliError::Csv(e)
+    }
+}
+impl From<KataraError> for CliError {
+    fn from(e: KataraError) -> Self {
+        CliError::Katara(e)
+    }
+}
+
+/// How the crowd answers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrowdMode {
+    /// Ask on stdin.
+    Interactive,
+    /// Missing facts presumed true.
+    Trust,
+    /// Missing facts presumed false.
+    Skeptic,
+    /// Answer from a set of known-true `(subject, property, object)`
+    /// statements (normalized).
+    Facts(HashSet<(String, String, String)>),
+}
+
+impl CrowdMode {
+    /// Parse a `--crowd` argument.
+    pub fn parse(arg: &str) -> Result<Self, CliError> {
+        match arg {
+            "interactive" => Ok(CrowdMode::Interactive),
+            "trust" => Ok(CrowdMode::Trust),
+            "skeptic" => Ok(CrowdMode::Skeptic),
+            other => match other.strip_prefix("facts:") {
+                Some(path) => {
+                    let text = std::fs::read_to_string(path)?;
+                    Ok(CrowdMode::Facts(parse_facts(&text)))
+                }
+                None => Err(CliError::Usage(format!(
+                    "unknown crowd mode {other:?} (interactive|trust|skeptic|facts:FILE)"
+                ))),
+            },
+        }
+    }
+}
+
+/// Parse a facts TSV into a normalized statement set.
+pub fn parse_facts(text: &str) -> HashSet<(String, String, String)> {
+    text.lines()
+        .filter_map(|l| {
+            let mut parts = l.split('\t');
+            let s = parts.next()?.trim();
+            let p = parts.next()?.trim();
+            let o = parts.next()?.trim();
+            if s.is_empty() || p.is_empty() || o.is_empty() {
+                return None;
+            }
+            Some((
+                sim::normalize(s),
+                ntriples::local_name(p).to_string(),
+                sim::normalize(ntriples::local_name(o)),
+            ))
+        })
+        .collect()
+}
+
+/// The CLI oracle implementing the four modes. Choice questions (pattern
+/// validation) default to the top-ranked candidate outside interactive
+/// mode — i.e. discovery's ranking is accepted as-is.
+pub struct CliOracle {
+    mode: CrowdMode,
+}
+
+impl CliOracle {
+    /// Build an oracle for a mode.
+    pub fn new(mode: CrowdMode) -> Self {
+        CliOracle { mode }
+    }
+
+    fn ask_stdin(&self, q: &Question) -> Answer {
+        println!("\n{q}");
+        let options = q.num_options();
+        let is_fact = matches!(q, Question::Fact { .. });
+        loop {
+            if is_fact {
+                print!("  [y/n] > ");
+            } else {
+                print!("  [1-{} or 0 for none of the above] > ", options - 1);
+            }
+            use std::io::Write;
+            let _ = std::io::stdout().flush();
+            let mut line = String::new();
+            if std::io::stdin().lock().read_line(&mut line).is_err() {
+                return Answer::NoneOfTheAbove;
+            }
+            let t = line.trim();
+            if is_fact {
+                match t {
+                    "y" | "Y" | "yes" => return Answer::Bool(true),
+                    "n" | "N" | "no" => return Answer::Bool(false),
+                    _ => continue,
+                }
+            }
+            match t.parse::<usize>() {
+                Ok(0) => return Answer::NoneOfTheAbove,
+                Ok(i) if i < options => return Answer::Choice(i - 1),
+                _ => continue,
+            }
+        }
+    }
+}
+
+impl Oracle for CliOracle {
+    fn answer(&self, q: &Question) -> Answer {
+        match (&self.mode, q) {
+            (CrowdMode::Interactive, q) => self.ask_stdin(q),
+            (_, Question::ColumnType { .. } | Question::Relationship { .. }) => Answer::Choice(0),
+            (CrowdMode::Trust, Question::Fact { .. }) => Answer::Bool(true),
+            (CrowdMode::Skeptic, Question::Fact { .. }) => Answer::Bool(false),
+            (
+                CrowdMode::Facts(facts),
+                Question::Fact {
+                    subject,
+                    property,
+                    object,
+                },
+            ) => {
+                // Properties in questions may carry IRI/CURIE prefixes
+                // (`y:hasCapital`); the facts file uses bare names.
+                let prop = ntriples::local_name(property).to_string();
+                let key = (
+                    sim::normalize(subject),
+                    prop,
+                    sim::normalize(ntriples::local_name(object)),
+                );
+                Answer::Bool(facts.contains(&key))
+            }
+        }
+    }
+}
+
+/// Parsed command line.
+#[derive(Debug)]
+pub enum Command {
+    /// Full pipeline.
+    Clean {
+        /// CSV path.
+        table: String,
+        /// N-Triples path.
+        kb: String,
+        /// Crowd mode.
+        crowd: CrowdMode,
+        /// Repairs per erroneous tuple.
+        k: usize,
+        /// Where to write the repaired CSV (top-1 repairs applied).
+        out: Option<String>,
+        /// Where to write the enriched KB.
+        enriched_kb: Option<String>,
+    },
+    /// Discovery only.
+    Discover {
+        /// CSV path.
+        table: String,
+        /// N-Triples path.
+        kb: String,
+        /// Patterns to show.
+        k: usize,
+    },
+    /// KB statistics.
+    KbStats {
+        /// N-Triples path.
+        kb: String,
+    },
+}
+
+/// Parse `argv[1..]`.
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let usage = || {
+        CliError::Usage(
+            "katara clean|discover|kb-stats --table T.csv --kb KB.nt \
+             [--crowd interactive|trust|skeptic|facts:FILE] [--k N] \
+             [--out OUT.csv] [--enriched-kb OUT.nt]"
+                .to_string(),
+        )
+    };
+    let mut it = args.iter();
+    let cmd = it.next().ok_or_else(usage)?.clone();
+    let mut table = None;
+    let mut kb = None;
+    let mut crowd = CrowdMode::Skeptic;
+    let mut k = 3usize;
+    let mut out = None;
+    let mut enriched_kb = None;
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--table" => table = Some(value()?),
+            "--kb" => kb = Some(value()?),
+            "--crowd" => crowd = CrowdMode::parse(&value()?)?,
+            "--k" => {
+                k = value()?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--k needs a number".into()))?
+            }
+            "--out" => out = Some(value()?),
+            "--enriched-kb" => enriched_kb = Some(value()?),
+            other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
+        }
+    }
+    let need = |o: Option<String>, what: &str| {
+        o.ok_or_else(|| CliError::Usage(format!("missing --{what}")))
+    };
+    match cmd.as_str() {
+        "clean" => Ok(Command::Clean {
+            table: need(table, "table")?,
+            kb: need(kb, "kb")?,
+            crowd,
+            k,
+            out,
+            enriched_kb,
+        }),
+        "discover" => Ok(Command::Discover {
+            table: need(table, "table")?,
+            kb: need(kb, "kb")?,
+            k,
+        }),
+        "kb-stats" => Ok(Command::KbStats {
+            kb: need(kb, "kb")?,
+        }),
+        _ => Err(usage()),
+    }
+}
+
+fn load_kb(path: &str) -> Result<Kb, CliError> {
+    let text = std::fs::read_to_string(path)?;
+    let name = path.rsplit('/').next().unwrap_or(path);
+    Ok(ntriples::parse(name, &text)?)
+}
+
+fn load_table(path: &str) -> Result<Table, CliError> {
+    let text = std::fs::read_to_string(path)?;
+    let name = path.rsplit('/').next().unwrap_or(path);
+    Ok(csv::parse(name, &text)?)
+}
+
+/// Execute a command, writing human-readable output to stdout.
+pub fn run(cmd: Command) -> Result<(), CliError> {
+    match cmd {
+        Command::KbStats { kb } => {
+            let kb = load_kb(&kb)?;
+            println!("KB `{}`:", kb.name());
+            println!("  entities:   {}", kb.num_entities());
+            println!("  classes:    {}", kb.num_classes());
+            println!("  properties: {}", kb.num_properties());
+            println!("  facts:      {}", kb.num_facts());
+            Ok(())
+        }
+        Command::Discover { table, kb, k } => {
+            let kb = load_kb(&kb)?;
+            let table = load_table(&table)?;
+            let cands = discover_candidates(&table, &kb, &CandidateConfig::default());
+            let patterns = discover_topk(&table, &kb, &cands, k, &DiscoveryConfig::default());
+            if patterns.is_empty() {
+                println!("no table pattern found — the KB does not cover this table");
+                return Ok(());
+            }
+            for (i, p) in patterns.iter().enumerate() {
+                println!(
+                    "#{} (score {:.3}): {}",
+                    i + 1,
+                    p.score(),
+                    p.describe(&kb, table.columns())
+                );
+            }
+            Ok(())
+        }
+        Command::Clean {
+            table,
+            kb,
+            crowd,
+            k,
+            out,
+            enriched_kb,
+        } => {
+            let mut kb = load_kb(&kb)?;
+            let mut table = load_table(&table)?;
+            let mut platform = Crowd::new(
+                CrowdConfig {
+                    // The CLI oracle is deterministic; replication is
+                    // pointless noise here.
+                    replication: 1,
+                    worker_accuracy: 1.0,
+                    ..CrowdConfig::default()
+                },
+                CliOracle::new(crowd),
+            );
+            let config = KataraConfig {
+                repairs_k: k,
+                // The CLI oracle is deterministic (or a human): one
+                // question per variable is exact; repetition would just
+                // re-ask the same thing.
+                validation: ValidationConfig {
+                    questions_per_variable: 1,
+                    ..ValidationConfig::default()
+                },
+                ..KataraConfig::default()
+            };
+            let report = Katara::new(config).clean(&table, &mut kb, &mut platform)?;
+
+            println!(
+                "validated pattern: {}",
+                report.pattern.describe(&kb, table.columns())
+            );
+            let a = &report.annotation;
+            use katara_core::annotation::TupleStatus;
+            println!(
+                "tuples: {} validated by KB, {} by KB+crowd, {} erroneous",
+                a.status_count(TupleStatus::ValidatedByKb),
+                a.status_count(TupleStatus::ValidatedWithCrowd),
+                a.status_count(TupleStatus::Erroneous),
+            );
+            if !a.feedback_stripped.is_empty() {
+                println!("pattern feedback stripped: {}", a.feedback_stripped.join("; "));
+            }
+            println!(
+                "KB enrichment: {} facts, {} entities | crowd questions: {}",
+                a.enriched_facts,
+                a.enriched_entities,
+                platform.stats().questions()
+            );
+            for (row, repairs) in &report.repairs {
+                println!("row {row}:");
+                for (i, r) in repairs.iter().enumerate() {
+                    println!("  repair #{} (cost {}): {:?}", i + 1, r.cost, r.changes);
+                }
+                if let Some(best) = repairs.first() {
+                    katara_core::repair::apply_repair(&mut table, *row, best);
+                }
+            }
+            if let Some(path) = out {
+                std::fs::write(&path, csv::to_string(&table))?;
+                println!("repaired table written to {path}");
+            }
+            if let Some(path) = enriched_kb {
+                std::fs::write(&path, ntriples::to_string(&kb))?;
+                println!("enriched KB written to {path}");
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_args_clean() {
+        let args: Vec<String> = [
+            "clean", "--table", "t.csv", "--kb", "k.nt", "--crowd", "trust", "--k", "5",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        match parse_args(&args).unwrap() {
+            Command::Clean { table, kb, crowd, k, .. } => {
+                assert_eq!(table, "t.csv");
+                assert_eq!(kb, "k.nt");
+                assert_eq!(crowd, CrowdMode::Trust);
+                assert_eq!(k, 5);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_args_rejects_unknown() {
+        let args: Vec<String> = ["clean", "--bogus"].iter().map(|s| s.to_string()).collect();
+        assert!(matches!(parse_args(&args), Err(CliError::Usage(_))));
+        let args: Vec<String> = ["clean"].iter().map(|s| s.to_string()).collect();
+        assert!(matches!(parse_args(&args), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn facts_file_oracle() {
+        let facts = parse_facts("S. Africa\thasCapital\tPretoria\n# junk\nshort\tline\n");
+        let oracle = CliOracle::new(CrowdMode::Facts(facts));
+        let yes = Question::Fact {
+            subject: "s. africa".into(),
+            property: "hasCapital".into(),
+            object: "PRETORIA".into(),
+        };
+        assert_eq!(oracle.answer(&yes), Answer::Bool(true));
+        let no = Question::Fact {
+            subject: "Italy".into(),
+            property: "hasCapital".into(),
+            object: "Madrid".into(),
+        };
+        assert_eq!(oracle.answer(&no), Answer::Bool(false));
+    }
+
+    #[test]
+    fn trust_and_skeptic_modes() {
+        let q = Question::Fact {
+            subject: "a".into(),
+            property: "p".into(),
+            object: "b".into(),
+        };
+        assert_eq!(
+            CliOracle::new(CrowdMode::Trust).answer(&q),
+            Answer::Bool(true)
+        );
+        assert_eq!(
+            CliOracle::new(CrowdMode::Skeptic).answer(&q),
+            Answer::Bool(false)
+        );
+        // Choice questions accept discovery's ranking.
+        let cq = Question::ColumnType {
+            table: "t".into(),
+            column: 0,
+            header: vec![],
+            sample_rows: vec![],
+            candidates: vec!["a".into(), "b".into()],
+        };
+        assert_eq!(
+            CliOracle::new(CrowdMode::Skeptic).answer(&cq),
+            Answer::Choice(0)
+        );
+    }
+}

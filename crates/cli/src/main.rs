@@ -1,0 +1,16 @@
+//! The `katara` binary — see [`katara_cli`] for the command reference.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match katara_cli::parse_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = katara_cli::run(cmd) {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
+}

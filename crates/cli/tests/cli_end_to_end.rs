@@ -1,0 +1,145 @@
+//! End-to-end tests for the CLI command logic over real temp files —
+//! the paper's Figure 1 scenario, driven exactly as a user would.
+
+use std::path::PathBuf;
+
+use katara_cli::{parse_args, run, Command, CrowdMode};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("katara-cli-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+const KB_NT: &str = r#"
+<y:capital> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <y:city> .
+<y:Rossi> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <y:person> .
+<y:Klate> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <y:person> .
+<y:Pirlo> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <y:person> .
+<y:Italy> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <y:country> .
+<y:SouthAfrica> <http://www.w3.org/2000/01/rdf-schema#label> "S. Africa" .
+<y:SouthAfrica> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <y:country> .
+<y:Spain> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <y:country> .
+<y:Rome> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <y:capital> .
+<y:Pretoria> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <y:capital> .
+<y:Madrid> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <y:capital> .
+<y:Rossi> <y:nationality> <y:Italy> .
+<y:Klate> <y:nationality> <y:SouthAfrica> .
+<y:Pirlo> <y:nationality> <y:Italy> .
+<y:Italy> <y:hasCapital> <y:Rome> .
+<y:Spain> <y:hasCapital> <y:Madrid> .
+"#;
+
+const TABLE_CSV: &str = "A,B,C\n\
+    Rossi,Italy,Rome\n\
+    Klate,S. Africa,Pretoria\n\
+    Pirlo,Italy,Madrid\n";
+
+const FACTS_TSV: &str = "S. Africa\thasCapital\tPretoria\nKlate\tnationality\tS. Africa\n";
+
+#[test]
+fn clean_repairs_figure1_from_files() {
+    let dir = tmpdir("clean");
+    let kb = dir.join("kb.nt");
+    let table = dir.join("t.csv");
+    let facts = dir.join("facts.tsv");
+    let out = dir.join("repaired.csv");
+    let enriched = dir.join("enriched.nt");
+    std::fs::write(&kb, KB_NT).unwrap();
+    std::fs::write(&table, TABLE_CSV).unwrap();
+    std::fs::write(&facts, FACTS_TSV).unwrap();
+
+    let args: Vec<String> = [
+        "clean",
+        "--table",
+        table.to_str().unwrap(),
+        "--kb",
+        kb.to_str().unwrap(),
+        "--crowd",
+        &format!("facts:{}", facts.display()),
+        "--out",
+        out.to_str().unwrap(),
+        "--enriched-kb",
+        enriched.to_str().unwrap(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    run(parse_args(&args).unwrap()).unwrap();
+
+    // Top-1 repair applied: Madrid -> Rome.
+    let repaired = std::fs::read_to_string(&out).unwrap();
+    assert!(repaired.contains("Pirlo,Italy,Rome"), "{repaired}");
+    assert!(repaired.contains("Klate,S. Africa,Pretoria"));
+
+    // Enrichment wrote the confirmed fact back as N-Triples.
+    let nt = std::fs::read_to_string(&enriched).unwrap();
+    assert!(
+        nt.contains("<y:SouthAfrica> <y:hasCapital> <y:Pretoria> ."),
+        "{nt}"
+    );
+    // And the enriched KB reloads.
+    let kb2 = katara_kb::ntriples::parse("enriched", &nt).unwrap();
+    let sa = kb2.resources_by_label("S. Africa")[0];
+    let pretoria = kb2.resources_by_label("Pretoria")[0];
+    let has_capital = kb2.property_by_name("y:hasCapital").unwrap();
+    assert!(kb2.holds(sa, has_capital, pretoria));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn discover_and_stats_run() {
+    let dir = tmpdir("discover");
+    let kb = dir.join("kb.nt");
+    let table = dir.join("t.csv");
+    std::fs::write(&kb, KB_NT).unwrap();
+    std::fs::write(&table, TABLE_CSV).unwrap();
+
+    run(Command::KbStats {
+        kb: kb.to_str().unwrap().into(),
+    })
+    .unwrap();
+    run(Command::Discover {
+        table: table.to_str().unwrap().into(),
+        kb: kb.to_str().unwrap().into(),
+        k: 3,
+    })
+    .unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trust_mode_enriches_everything() {
+    let dir = tmpdir("trust");
+    let kb = dir.join("kb.nt");
+    let table = dir.join("t.csv");
+    let enriched = dir.join("enriched.nt");
+    std::fs::write(&kb, KB_NT).unwrap();
+    std::fs::write(&table, TABLE_CSV).unwrap();
+    run(Command::Clean {
+        table: table.to_str().unwrap().into(),
+        kb: kb.to_str().unwrap().into(),
+        crowd: CrowdMode::Trust,
+        k: 3,
+        out: None,
+        enriched_kb: Some(enriched.to_str().unwrap().into()),
+    })
+    .unwrap();
+    // Trust mode confirms even the wrong capital: the KB gains both the
+    // S. Africa fact and the (wrong) Italy->Madrid fact — the user chose
+    // to trust the table.
+    let nt = std::fs::read_to_string(&enriched).unwrap();
+    assert!(nt.contains("<y:SouthAfrica> <y:hasCapital> <y:Pretoria>"));
+    assert!(nt.contains("<y:Italy> <y:hasCapital> <y:Madrid>"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_files_error_cleanly() {
+    let err = run(Command::KbStats {
+        kb: "/nonexistent/kb.nt".into(),
+    })
+    .unwrap_err();
+    assert!(matches!(err, katara_cli::CliError::Io(_)));
+}

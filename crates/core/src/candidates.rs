@@ -1,0 +1,443 @@
+//! Candidate type and relationship discovery (§4.1).
+//!
+//! For every column the candidate types of its cell values are retrieved
+//! through `Q_types`, and for every ordered column pair the candidate
+//! relationships through `Q_rels^1`/`Q_rels^2`; candidates are scored with
+//! the paper's normalized tf-idf and returned as ranked lists — the inputs
+//! to the rank-join (§4.3) and to the Support/MaxLike/PGM baselines.
+//!
+//! ### tf-idf
+//!
+//! Each cell is a query term; each candidate type `T` is a document whose
+//! terms are `ENT(T)`:
+//!
+//! ```text
+//! tf(T, cell)  = 1 / log(|ENT(T)|)      if cell has type T, else 0
+//! idf(T, cell) = log(#types in K / #types of cell)   if cell is typed
+//! tf-idf(T, A) = Σ_cells tf·idf, normalized to [0,1] by the column max
+//! ```
+//!
+//! We use `1 / (1 + ln |ENT(T)|)` for the term frequency so singleton
+//! types (|ENT| = 1, where `log` would divide by zero) stay finite while
+//! preserving the paper's ranking intent (rarer types score higher).
+//! Relationship scores are defined "similarly" (paper's wording) with
+//! `subENT(P)` as the document.
+
+use std::collections::HashMap;
+
+use katara_kb::{ClassId, Kb, PropertyId};
+use katara_table::Table;
+
+/// A candidate type for a column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TypeCandidate {
+    /// The type.
+    pub class: ClassId,
+    /// Normalized tf-idf score in `[0, 1]`.
+    pub tfidf: f64,
+    /// Number of tuples whose cell carries this type — the Support
+    /// baseline ranks by this.
+    pub support: usize,
+}
+
+/// A candidate relationship for an ordered column pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelCandidate {
+    /// The relationship.
+    pub property: PropertyId,
+    /// Normalized tf-idf score in `[0, 1]`.
+    pub tfidf: f64,
+    /// Number of tuples exhibiting this relationship.
+    pub support: usize,
+    /// True if the evidence came (at least once) from a literal object
+    /// (`Q_rels^2`), e.g. `hasHeight(Rossi, "1.78")`.
+    pub to_literal: bool,
+}
+
+/// Configuration for candidate discovery.
+#[derive(Debug, Clone)]
+pub struct CandidateConfig {
+    /// Scan at most this many rows (the paper distributes candidate
+    /// generation for the 316K-row Person table; we sample instead —
+    /// statistics converge long before that).
+    pub max_rows: usize,
+    /// Drop type candidates supported by fewer than this fraction of the
+    /// scanned non-null cells. Filters accidental homonym noise.
+    pub min_support_fraction: f64,
+    /// Drop relationship candidates below this support fraction. Higher
+    /// than the type threshold: a relationship holding for only a small
+    /// minority of rows (players *born in* the capital column's city) is
+    /// incidental co-occurrence, not the column pair's semantics.
+    /// Borderline spurious edges that survive (e.g. `hasCapital` on a
+    /// generic city column with many capitals) are caught later by
+    /// annotation-time pattern feedback
+    /// ([`crate::annotation::AnnotationConfig::feedback_threshold`]).
+    pub min_rel_support_fraction: f64,
+    /// Keep at most this many candidates per ranked list.
+    pub max_candidates: usize,
+}
+
+impl Default for CandidateConfig {
+    fn default() -> Self {
+        CandidateConfig {
+            max_rows: 1000,
+            min_support_fraction: 0.05,
+            min_rel_support_fraction: 0.3,
+            max_candidates: 12,
+        }
+    }
+}
+
+/// The ranked candidate lists for one table against one KB.
+#[derive(Debug, Clone, Default)]
+pub struct CandidateSet {
+    /// Per column: candidate types, descending tf-idf (ties: fewer
+    /// instances first, as in Algorithm 1's tie-break).
+    pub col_types: Vec<Vec<TypeCandidate>>,
+    /// Per ordered column pair `(i, j)`: candidate relationships,
+    /// descending tf-idf.
+    pub pair_rels: HashMap<(usize, usize), Vec<RelCandidate>>,
+    /// Rows actually scanned (after `max_rows` capping).
+    pub rows_scanned: usize,
+}
+
+impl CandidateSet {
+    /// Candidate relationships for pair `(i, j)` (empty slice if none).
+    pub fn rels(&self, i: usize, j: usize) -> &[RelCandidate] {
+        static EMPTY: Vec<RelCandidate> = Vec::new();
+        self.pair_rels.get(&(i, j)).unwrap_or(&EMPTY)
+    }
+
+    /// Column pairs that have at least one candidate relationship.
+    pub fn pairs(&self) -> Vec<(usize, usize)> {
+        let mut p: Vec<(usize, usize)> = self.pair_rels.keys().copied().collect();
+        p.sort_unstable();
+        p
+    }
+}
+
+/// Discover the ranked candidate lists for `table` against `kb`.
+pub fn discover_candidates(table: &Table, kb: &Kb, config: &CandidateConfig) -> CandidateSet {
+    let rows = table.num_rows().min(config.max_rows);
+    let ncols = table.num_columns();
+
+    // ---- Types per column ------------------------------------------------
+    // Cache Q_types per distinct cell string.
+    let mut type_cache: HashMap<&str, Vec<ClassId>> = HashMap::new();
+    let mut col_types: Vec<Vec<TypeCandidate>> = Vec::with_capacity(ncols);
+    let num_classes = kb.num_classes().max(1) as f64;
+
+    for c in 0..ncols {
+        // tf-idf accumulator and support count per candidate type.
+        let mut acc: HashMap<ClassId, (f64, usize)> = HashMap::new();
+        let mut non_null = 0usize;
+        for r in 0..rows {
+            let Some(cell) = table.cell(r, c).as_str() else {
+                continue;
+            };
+            non_null += 1;
+            let types = type_cache
+                .entry(cell)
+                .or_insert_with(|| kb.types_of_value(cell));
+            if types.is_empty() {
+                continue;
+            }
+            let idf = (num_classes / types.len() as f64).ln().max(0.0);
+            for &t in types.iter() {
+                let tf = 1.0 / (1.0 + (kb.class_size(t) as f64).ln());
+                let e = acc.entry(t).or_insert((0.0, 0));
+                e.0 += tf * idf;
+                e.1 += 1;
+            }
+        }
+        col_types.push(rank_types(kb, acc, non_null, config));
+    }
+
+    // ---- Relationships per ordered pair -----------------------------------
+    // Cache Q_rels per distinct (string, string) pair: (resource-object
+    // relations, literal-object relations).
+    type RelCacheEntry = (Vec<PropertyId>, Vec<PropertyId>);
+    let mut rel_cache: HashMap<(&str, &str), RelCacheEntry> = HashMap::new();
+    let mut pair_rels: HashMap<(usize, usize), Vec<RelCandidate>> = HashMap::new();
+    let num_props = kb.num_properties().max(1) as f64;
+
+    for i in 0..ncols {
+        for j in 0..ncols {
+            if i == j {
+                continue;
+            }
+            let mut acc: HashMap<PropertyId, (f64, usize, bool)> = HashMap::new();
+            let mut non_null = 0usize;
+            for r in 0..rows {
+                let (Some(a), Some(b)) = (table.cell(r, i).as_str(), table.cell(r, j).as_str())
+                else {
+                    continue;
+                };
+                non_null += 1;
+                let (res_rels, lit_rels) = rel_cache.entry((a, b)).or_insert_with(|| {
+                    (
+                        kb.relations_between_values(a, b),
+                        kb.relations_to_literal(a, b),
+                    )
+                });
+                let total = res_rels.len() + lit_rels.len();
+                if total == 0 {
+                    continue;
+                }
+                let idf = (num_props / total as f64).ln().max(0.0);
+                for (&p, is_lit) in res_rels
+                    .iter()
+                    .map(|p| (p, false))
+                    .chain(lit_rels.iter().map(|p| (p, true)))
+                {
+                    let doc = kb.subjects_of_property(p).len();
+                    let tf = 1.0 / (1.0 + (doc.max(1) as f64).ln());
+                    let e = acc.entry(p).or_insert((0.0, 0, false));
+                    e.0 += tf * idf;
+                    e.1 += 1;
+                    e.2 |= is_lit;
+                }
+            }
+            let ranked = rank_rels(kb, acc, non_null, config);
+            if !ranked.is_empty() {
+                pair_rels.insert((i, j), ranked);
+            }
+        }
+    }
+
+    CandidateSet {
+        col_types,
+        pair_rels,
+        rows_scanned: rows,
+    }
+}
+
+fn rank_types(
+    kb: &Kb,
+    acc: HashMap<ClassId, (f64, usize)>,
+    non_null: usize,
+    config: &CandidateConfig,
+) -> Vec<TypeCandidate> {
+    let min_support = min_support(non_null, config.min_support_fraction);
+    let mut list: Vec<TypeCandidate> = acc
+        .into_iter()
+        .filter(|&(_, (_, sup))| sup >= min_support)
+        .map(|(class, (raw, support))| TypeCandidate {
+            class,
+            tfidf: raw,
+            support,
+        })
+        .collect();
+    // Normalize by the column max.
+    let max = list.iter().map(|t| t.tfidf).fold(0.0f64, f64::max);
+    if max > 0.0 {
+        for t in &mut list {
+            t.tfidf /= max;
+        }
+    }
+    // Descending tf-idf; ties → more discriminative (fewer instances).
+    list.sort_by(|a, b| {
+        b.tfidf
+            .partial_cmp(&a.tfidf)
+            .unwrap()
+            .then_with(|| kb.class_size(a.class).cmp(&kb.class_size(b.class)))
+            .then_with(|| a.class.cmp(&b.class))
+    });
+    list.truncate(config.max_candidates);
+    list
+}
+
+fn rank_rels(
+    kb: &Kb,
+    acc: HashMap<PropertyId, (f64, usize, bool)>,
+    non_null: usize,
+    config: &CandidateConfig,
+) -> Vec<RelCandidate> {
+    let min_support = min_support(non_null, config.min_rel_support_fraction);
+    let mut list: Vec<RelCandidate> = acc
+        .into_iter()
+        .filter(|&(_, (_, sup, _))| sup >= min_support)
+        .map(|(property, (raw, support, to_literal))| RelCandidate {
+            property,
+            tfidf: raw,
+            support,
+            to_literal,
+        })
+        .collect();
+    let max = list.iter().map(|t| t.tfidf).fold(0.0f64, f64::max);
+    if max > 0.0 {
+        for t in &mut list {
+            t.tfidf /= max;
+        }
+    }
+    list.sort_by(|a, b| {
+        b.tfidf
+            .partial_cmp(&a.tfidf)
+            .unwrap()
+            .then_with(|| {
+                kb.subjects_of_property(a.property)
+                    .len()
+                    .cmp(&kb.subjects_of_property(b.property).len())
+            })
+            .then_with(|| a.property.cmp(&b.property))
+    });
+    list.truncate(config.max_candidates);
+    list
+}
+
+fn min_support(non_null: usize, fraction: f64) -> usize {
+    (((non_null as f64) * fraction).ceil() as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use katara_kb::KbBuilder;
+
+    /// A KB where `country` is rarer (hence more discriminative) than
+    /// `place`, and two relationship kinds exist.
+    fn kb_and_table() -> (Kb, Table) {
+        let mut b = KbBuilder::new();
+        let place = b.class("place");
+        let country = b.class("country");
+        let capital = b.class("capital");
+        b.subclass(country, place).unwrap();
+        b.subclass(capital, place).unwrap();
+        let has_capital = b.property("hasCapital");
+
+        let countries = ["Italy", "Spain", "France", "Germany"];
+        let capitals = ["Rome", "Madrid", "Paris", "Berlin"];
+        for (c, cap) in countries.iter().zip(capitals.iter()) {
+            let rc = b.entity(c, &[country]);
+            let rcap = b.entity(cap, &[capital]);
+            b.fact(rc, has_capital, rcap);
+        }
+        // Extra places dilute `place`.
+        for i in 0..20 {
+            b.entity(&format!("Hamlet{i}"), &[place]);
+        }
+        let kb = b.finalize();
+
+        let mut t = Table::with_opaque_columns("t", 2);
+        t.push_text_row(&["Italy", "Rome"]);
+        t.push_text_row(&["Spain", "Madrid"]);
+        t.push_text_row(&["France", "Paris"]);
+        (kb, t)
+    }
+
+    #[test]
+    fn country_ranks_above_place() {
+        let (kb, t) = kb_and_table();
+        let cands = discover_candidates(&t, &kb, &CandidateConfig::default());
+        let country = kb.class_by_name("country").unwrap();
+        let place = kb.class_by_name("place").unwrap();
+        let col0 = &cands.col_types[0];
+        let pos = |c| col0.iter().position(|x| x.class == c);
+        assert!(pos(country).unwrap() < pos(place).unwrap());
+        assert!((col0[0].tfidf - 1.0).abs() < 1e-12, "top is normalized to 1");
+        assert_eq!(col0[0].support, 3);
+    }
+
+    #[test]
+    fn relationship_discovered_with_direction() {
+        let (kb, t) = kb_and_table();
+        let cands = discover_candidates(&t, &kb, &CandidateConfig::default());
+        let has_capital = kb.property_by_name("hasCapital").unwrap();
+        let rels = cands.rels(0, 1);
+        assert_eq!(rels.len(), 1);
+        assert_eq!(rels[0].property, has_capital);
+        assert_eq!(rels[0].support, 3);
+        assert!(!rels[0].to_literal);
+        assert!(cands.rels(1, 0).is_empty(), "reverse direction is empty");
+        assert_eq!(cands.pairs(), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn literal_relationships_flagged() {
+        let mut b = KbBuilder::new();
+        let person = b.class("person");
+        let height = b.property("hasHeight");
+        for (n, h) in [("Rossi", "1.78"), ("Klate", "1.69")] {
+            let r = b.entity(n, &[person]);
+            b.literal_fact(r, height, h);
+        }
+        let kb = b.finalize();
+        let mut t = Table::with_opaque_columns("t", 2);
+        t.push_text_row(&["Rossi", "1.78"]);
+        t.push_text_row(&["Klate", "1.69"]);
+        let cands = discover_candidates(&t, &kb, &CandidateConfig::default());
+        let rels = cands.rels(0, 1);
+        assert_eq!(rels.len(), 1);
+        assert!(rels[0].to_literal);
+        // The literal column has no type candidates.
+        assert!(cands.col_types[1].is_empty());
+    }
+
+    #[test]
+    fn min_support_filters_homonym_noise() {
+        let mut b = KbBuilder::new();
+        let country = b.class("country");
+        let fruit = b.class("fruit");
+        for n in ["Italy", "Spain", "France", "Germany", "Austria"] {
+            b.entity(n, &[country]);
+        }
+        // One cell value is ALSO a fruit (homonym).
+        b.entity_labeled("Italy_(fruit)", "Italy", &[fruit]);
+        let kb = b.finalize();
+
+        let mut t = Table::with_opaque_columns("t", 1);
+        for n in ["Italy", "Spain", "France", "Germany", "Austria"] {
+            t.push_text_row(&[n]);
+        }
+        let config = CandidateConfig {
+            min_support_fraction: 0.3,
+            ..CandidateConfig::default()
+        };
+        let cands = discover_candidates(&t, &kb, &config);
+        let classes: Vec<ClassId> = cands.col_types[0].iter().map(|c| c.class).collect();
+        assert!(classes.contains(&kb.class_by_name("country").unwrap()));
+        assert!(
+            !classes.contains(&kb.class_by_name("fruit").unwrap()),
+            "fruit supported by 1/5 cells must be filtered at 0.3"
+        );
+    }
+
+    #[test]
+    fn max_rows_caps_scanning() {
+        let (kb, mut t) = kb_and_table();
+        for _ in 0..100 {
+            t.push_text_row(&["Italy", "Rome"]);
+        }
+        let config = CandidateConfig {
+            max_rows: 2,
+            ..CandidateConfig::default()
+        };
+        let cands = discover_candidates(&t, &kb, &config);
+        assert_eq!(cands.rows_scanned, 2);
+        assert_eq!(cands.col_types[0][0].support, 2);
+    }
+
+    #[test]
+    fn unknown_values_give_empty_lists() {
+        let (kb, _) = kb_and_table();
+        let mut t = Table::with_opaque_columns("t", 2);
+        t.push_text_row(&["NotInKb1", "NotInKb2"]);
+        let cands = discover_candidates(&t, &kb, &CandidateConfig::default());
+        assert!(cands.col_types[0].is_empty());
+        assert!(cands.col_types[1].is_empty());
+        assert!(cands.pair_rels.is_empty());
+    }
+
+    #[test]
+    fn null_cells_skipped() {
+        let (kb, _) = kb_and_table();
+        let mut t = Table::with_opaque_columns("t", 2);
+        t.push_text_row(&["Italy", ""]);
+        t.push_text_row(&["", "Rome"]);
+        t.push_text_row(&["Spain", "Madrid"]);
+        let cands = discover_candidates(&t, &kb, &CandidateConfig::default());
+        assert_eq!(cands.col_types[0][0].support, 2);
+        let rels = cands.rels(0, 1);
+        assert_eq!(rels[0].support, 1, "only the (Spain, Madrid) row pairs up");
+    }
+}

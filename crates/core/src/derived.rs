@@ -1,0 +1,203 @@
+//! Multi-hop pattern edges — the §9 future-work extension.
+//!
+//! The paper closes with: "Another line of work is to extend our current
+//! definition of table patterns, such as a person column A1 is related to
+//! a country column A2 via two relationships: A1 wasBornIn city, and city
+//! isLocatedIn A2." This module implements that extension as *derived
+//! edges*: a composed relationship `P1 ∘ P2` through a typed intermediate
+//! resource that appears in no column.
+//!
+//! Derived edges are discovered like ordinary relationship candidates
+//! (support-counted over the table) and checked per tuple; they are kept
+//! separate from [`crate::pattern::TablePattern`] so the §3.2 semantics —
+//! and everything downstream — remain exactly the paper's.
+
+use std::collections::HashMap;
+
+use katara_kb::{ClassId, Kb, PropertyId};
+use katara_table::Table;
+
+/// A derived (two-hop) edge between two columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TwoHopEdge {
+    /// Subject column.
+    pub subject: usize,
+    /// Object column.
+    pub object: usize,
+    /// First hop (subject resource → intermediate).
+    pub first: PropertyId,
+    /// Second hop (intermediate → object resource).
+    pub second: PropertyId,
+}
+
+/// A discovered candidate with its support.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TwoHopCandidate {
+    /// The edge.
+    pub edge: TwoHopEdge,
+    /// Number of tuples exhibiting the composition.
+    pub support: usize,
+}
+
+/// Discover two-hop relationship candidates between the columns of
+/// `table`, optionally constraining the intermediate's type, keeping
+/// candidates above `min_support_fraction`. Direct (one-hop) pairs are
+/// better served by ordinary discovery; this intentionally only reports
+/// compositions.
+pub fn discover_two_hop(
+    table: &Table,
+    kb: &Kb,
+    via: Option<ClassId>,
+    max_rows: usize,
+    min_support_fraction: f64,
+) -> Vec<TwoHopCandidate> {
+    let rows = table.num_rows().min(max_rows);
+    let ncols = table.num_columns();
+    let mut out: Vec<TwoHopCandidate> = Vec::new();
+    let mut cache: HashMap<(&str, &str), Vec<(PropertyId, PropertyId)>> = HashMap::new();
+    for i in 0..ncols {
+        for j in 0..ncols {
+            if i == j {
+                continue;
+            }
+            let mut acc: HashMap<(PropertyId, PropertyId), usize> = HashMap::new();
+            let mut non_null = 0usize;
+            for r in 0..rows {
+                let (Some(a), Some(b)) = (table.cell(r, i).as_str(), table.cell(r, j).as_str())
+                else {
+                    continue;
+                };
+                non_null += 1;
+                let hops = cache
+                    .entry((a, b))
+                    .or_insert_with(|| kb.two_hop_relations_between_values(a, b, via));
+                for &hop in hops.iter() {
+                    *acc.entry(hop).or_insert(0) += 1;
+                }
+            }
+            let min_support =
+                (((non_null as f64) * min_support_fraction).ceil() as usize).max(1);
+            for ((p1, p2), support) in acc {
+                if support >= min_support {
+                    out.push(TwoHopCandidate {
+                        edge: TwoHopEdge {
+                            subject: i,
+                            object: j,
+                            first: p1,
+                            second: p2,
+                        },
+                        support,
+                    });
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| {
+        b.support.cmp(&a.support).then_with(|| {
+            (a.edge.subject, a.edge.object, a.edge.first, a.edge.second).cmp(&(
+                b.edge.subject,
+                b.edge.object,
+                b.edge.first,
+                b.edge.second,
+            ))
+        })
+    });
+    out
+}
+
+/// Check one tuple against a derived edge: does `first ∘ second` hold
+/// between some candidate resources of the two cells?
+pub fn tuple_matches_two_hop(kb: &Kb, row: &[katara_table::Value], edge: &TwoHopEdge) -> bool {
+    let (Some(a), Some(b)) = (
+        row.get(edge.subject).and_then(|v| v.as_str()),
+        row.get(edge.object).and_then(|v| v.as_str()),
+    ) else {
+        return false;
+    };
+    kb.candidate_resources(a).iter().any(|&(ra, _)| {
+        kb.candidate_resources(b)
+            .iter()
+            .any(|&(rb, _)| kb.holds_two_hop(ra, edge.first, edge.second, rb))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use katara_kb::KbBuilder;
+    use katara_table::Value;
+
+    /// Players born in cities; cities located in countries; no direct
+    /// player→country fact at all.
+    fn setting() -> (Kb, Table) {
+        let mut b = KbBuilder::new();
+        let person = b.class("person");
+        let city = b.class("city");
+        let country = b.class("country");
+        let born_in = b.property("wasBornIn");
+        let located_in = b.property("isLocatedIn");
+        for (p, c, n) in [
+            ("Pirlo", "Flero", "Italy"),
+            ("Rossi", "Proto", "Italy"),
+            ("Ramos", "Camas", "Spain"),
+            ("Benzema", "Lyon", "France"),
+        ] {
+            let rp = b.entity(p, &[person]);
+            let rc = b.entity(c, &[city]);
+            let rn = b.entity(n, &[country]);
+            b.fact(rp, born_in, rc);
+            b.fact(rc, located_in, rn);
+        }
+        let kb = b.finalize();
+        let mut t = Table::with_opaque_columns("t", 2);
+        t.push_text_row(&["Pirlo", "Italy"]);
+        t.push_text_row(&["Ramos", "Spain"]);
+        t.push_text_row(&["Benzema", "France"]);
+        (kb, t)
+    }
+
+    #[test]
+    fn discovers_the_composed_relationship() {
+        let (kb, t) = setting();
+        let city = kb.class_by_name("city");
+        let cands = discover_two_hop(&t, &kb, city, 1000, 0.5);
+        assert_eq!(cands.len(), 1);
+        let c = cands[0];
+        assert_eq!(c.support, 3);
+        assert_eq!(c.edge.subject, 0);
+        assert_eq!(c.edge.object, 1);
+        assert_eq!(c.edge.first, kb.property_by_name("wasBornIn").unwrap());
+        assert_eq!(c.edge.second, kb.property_by_name("isLocatedIn").unwrap());
+    }
+
+    #[test]
+    fn tuple_check_follows_the_hop() {
+        let (kb, t) = setting();
+        let edge = TwoHopEdge {
+            subject: 0,
+            object: 1,
+            first: kb.property_by_name("wasBornIn").unwrap(),
+            second: kb.property_by_name("isLocatedIn").unwrap(),
+        };
+        assert!(tuple_matches_two_hop(&kb, t.row(0), &edge));
+        // Wrong country: Pirlo was not born in a Spanish city.
+        let bad = vec![Value::from_cell("Pirlo"), Value::from_cell("Spain")];
+        assert!(!tuple_matches_two_hop(&kb, &bad, &edge));
+        // Nulls never match.
+        let null = vec![Value::Null, Value::from_cell("Italy")];
+        assert!(!tuple_matches_two_hop(&kb, &null, &edge));
+    }
+
+    #[test]
+    fn no_composition_no_candidates() {
+        let (kb, _) = setting();
+        // Country/city pairs: no two-hop composition exists in either
+        // direction (city→country is a single hop; countries have no
+        // outgoing facts here). Discovery scans both ordered pairs.
+        let mut t = Table::with_opaque_columns("t", 2);
+        t.push_text_row(&["Italy", "Flero"]);
+        t.push_text_row(&["Spain", "Camas"]);
+        let cands = discover_two_hop(&t, &kb, None, 1000, 0.5);
+        assert!(cands.is_empty(), "{cands:?}");
+    }
+}

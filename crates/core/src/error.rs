@@ -1,0 +1,62 @@
+//! Error type for the KATARA pipeline.
+
+use std::fmt;
+
+/// Errors surfaced by the cleaning pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KataraError {
+    /// Pattern discovery produced no candidate pattern at all; the paper's
+    /// §2 behaviour is "KATARA will terminate" — callers surface this.
+    NoPatternFound {
+        /// Table the discovery ran on.
+        table: String,
+        /// KB it ran against.
+        kb: String,
+    },
+    /// A pattern references a column outside the table.
+    ColumnOutOfRange {
+        /// Offending column index.
+        column: usize,
+        /// The table's column count.
+        num_columns: usize,
+    },
+    /// A pattern is structurally invalid (e.g. an edge endpoint without a
+    /// node).
+    MalformedPattern(String),
+}
+
+impl fmt::Display for KataraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KataraError::NoPatternFound { table, kb } => {
+                write!(f, "no table pattern found for table {table:?} against KB {kb:?}")
+            }
+            KataraError::ColumnOutOfRange {
+                column,
+                num_columns,
+            } => write!(f, "column {column} out of range (table has {num_columns})"),
+            KataraError::MalformedPattern(msg) => write!(f, "malformed pattern: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for KataraError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = KataraError::NoPatternFound {
+            table: "soccer".into(),
+            kb: "yago".into(),
+        };
+        assert!(e.to_string().contains("soccer"));
+        let e = KataraError::ColumnOutOfRange {
+            column: 9,
+            num_columns: 3,
+        };
+        assert!(e.to_string().contains('9'));
+    }
+}

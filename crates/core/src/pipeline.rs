@@ -1,0 +1,347 @@
+//! The end-to-end KATARA pipeline (§2, Fig. 9): pattern discovery →
+//! pattern validation → data annotation → possible repairs, plus multi-KB
+//! selection (a §9 future-work item implemented here).
+
+use katara_crowd::{Crowd, Oracle};
+use katara_kb::Kb;
+use katara_table::Table;
+
+use crate::annotation::{annotate, AnnotationConfig, AnnotationResult};
+use crate::candidates::{discover_candidates, CandidateConfig};
+use crate::error::KataraError;
+use crate::pattern::TablePattern;
+use crate::rank_join::{discover_topk_with_stats, DiscoveryConfig, DiscoveryStats};
+use crate::repair::{topk_repairs, Repair, RepairConfig, RepairIndex};
+use crate::validation::{validate_patterns, SchedulingStrategy, ValidationConfig};
+
+/// End-to-end configuration.
+#[derive(Debug, Clone)]
+pub struct KataraConfig {
+    /// Candidate discovery knobs (§4.1).
+    pub candidates: CandidateConfig,
+    /// Rank-join knobs (§4.3).
+    pub discovery: DiscoveryConfig,
+    /// How many patterns to hand to validation (the paper's top-k).
+    pub patterns_k: usize,
+    /// Validation knobs (§5).
+    pub validation: ValidationConfig,
+    /// Scheduling strategy (MUVF by default).
+    pub strategy: SchedulingStrategy,
+    /// Annotation knobs (§6.1).
+    pub annotation: AnnotationConfig,
+    /// Repair knobs (§6.2).
+    pub repair: RepairConfig,
+    /// How many possible repairs per erroneous tuple (paper fixes 3).
+    pub repairs_k: usize,
+}
+
+impl Default for KataraConfig {
+    fn default() -> Self {
+        KataraConfig {
+            candidates: CandidateConfig::default(),
+            discovery: DiscoveryConfig::default(),
+            patterns_k: 5,
+            validation: ValidationConfig::default(),
+            strategy: SchedulingStrategy::Muvf,
+            annotation: AnnotationConfig::default(),
+            repair: RepairConfig::default(),
+            repairs_k: 3,
+        }
+    }
+}
+
+/// Everything a cleaning run produces.
+#[derive(Debug)]
+pub struct CleaningReport {
+    /// The crowd-validated table pattern.
+    pub pattern: TablePattern,
+    /// Variables the validation phase had to ask about.
+    pub variables_validated: usize,
+    /// Search effort of pattern discovery.
+    pub discovery_stats: DiscoveryStats,
+    /// Per-tuple annotations and enrichment counts.
+    pub annotation: AnnotationResult,
+    /// For each erroneous row: its top-k possible repairs.
+    pub repairs: Vec<(usize, Vec<Repair>)>,
+}
+
+/// The KATARA system: one KB, one crowd, one configuration.
+#[derive(Debug, Clone)]
+pub struct Katara {
+    config: KataraConfig,
+}
+
+impl Default for Katara {
+    fn default() -> Self {
+        Katara::new(KataraConfig::default())
+    }
+}
+
+impl Katara {
+    /// Create a pipeline with the given configuration.
+    pub fn new(config: KataraConfig) -> Self {
+        Katara { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &KataraConfig {
+        &self.config
+    }
+
+    /// Run the full pipeline on `table` against `kb` with `crowd`.
+    ///
+    /// The KB is mutated by enrichment (§6.1). Errors with
+    /// [`KataraError::NoPatternFound`] when discovery produces nothing —
+    /// the paper's "KATARA will terminate" case.
+    pub fn clean<O: Oracle>(
+        &self,
+        table: &Table,
+        kb: &mut Kb,
+        crowd: &mut Crowd<O>,
+    ) -> Result<CleaningReport, KataraError> {
+        // (1) Pattern discovery.
+        let cands = discover_candidates(table, kb, &self.config.candidates);
+        let (patterns, discovery_stats) = discover_topk_with_stats(
+            table,
+            kb,
+            &cands,
+            self.config.patterns_k,
+            &self.config.discovery,
+        );
+        if patterns.is_empty() {
+            return Err(KataraError::NoPatternFound {
+                table: table.name().to_string(),
+                kb: kb.name().to_string(),
+            });
+        }
+
+        // (2) Pattern validation via the crowd.
+        let outcome = validate_patterns(
+            table,
+            kb,
+            patterns,
+            crowd,
+            &self.config.validation,
+            self.config.strategy,
+        );
+        let pattern = outcome.pattern;
+
+        // (3) Data annotation (mutates the KB through enrichment).
+        let annotation = annotate(table, &pattern, kb, crowd, &self.config.annotation);
+
+        // (4) Top-k possible repairs for the erroneous tuples. The index
+        // is built after annotation so enriched facts contribute
+        // instance graphs; the *effective* pattern (after annotation-time
+        // feedback) drives repair.
+        let effective = annotation.pattern.clone();
+        let index = RepairIndex::build(kb, &effective, &self.config.repair);
+        let repairs = annotation
+            .erroneous_rows()
+            .into_iter()
+            .map(|row| {
+                let r = topk_repairs(
+                    &index,
+                    kb,
+                    &effective,
+                    table.row(row),
+                    self.config.repairs_k,
+                    &self.config.repair,
+                );
+                (row, r)
+            })
+            .collect();
+
+        Ok(CleaningReport {
+            pattern: effective,
+            variables_validated: outcome.variables_validated,
+            discovery_stats,
+            annotation,
+            repairs,
+        })
+    }
+}
+
+/// Multi-KB selection (§2: "the pattern discovery module can be used to
+/// select the more relevant KB for a given dataset"; §9 future work).
+/// Returns the index of the KB whose best pattern scores highest, with
+/// that score — or `None` if no KB yields any pattern.
+pub fn select_kb(
+    table: &Table,
+    kbs: &[&Kb],
+    candidates: &CandidateConfig,
+    discovery: &DiscoveryConfig,
+) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, kb) in kbs.iter().enumerate() {
+        let cands = discover_candidates(table, kb, candidates);
+        let (patterns, _) = discover_topk_with_stats(table, kb, &cands, 1, discovery);
+        if let Some(p) = patterns.first() {
+            if best.is_none_or(|(_, s)| p.score() > s) {
+                best = Some((i, p.score()));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use katara_crowd::{Answer, CrowdConfig, Question};
+
+    /// A compact world: countries, capitals, players; the KB misses one
+    /// capital fact and the table has one true error.
+    fn setting() -> (Kb, Table) {
+        let mut b = katara_kb::KbBuilder::new().with_name("mini-yago");
+        let person = b.class("person");
+        let country = b.class("country");
+        let capital = b.class("capital");
+        let nationality = b.property("nationality");
+        let has_capital = b.property("hasCapital");
+        let pairs = [
+            ("Rossi", "Italy", "Rome"),
+            ("Klate", "S. Africa", "Pretoria"),
+            ("Pirlo", "Italy", "Rome"),
+            ("Ramos", "Spain", "Madrid"),
+            ("Benzema", "France", "Paris"),
+        ];
+        for (p, c, cap) in pairs {
+            let rp = b.entity(p, &[person]);
+            let rc = b.entity(c, &[country]);
+            let rcap = b.entity(cap, &[capital]);
+            b.fact(rp, nationality, rc);
+            // KB incompleteness: S. Africa's capital fact is missing.
+            if c != "S. Africa" {
+                b.fact(rc, has_capital, rcap);
+            }
+        }
+        let kb = b.finalize();
+
+        let mut t = Table::with_opaque_columns("soccer", 3);
+        t.push_text_row(&["Rossi", "Italy", "Rome"]);
+        t.push_text_row(&["Klate", "S. Africa", "Pretoria"]);
+        t.push_text_row(&["Pirlo", "Italy", "Madrid"]); // the error
+        t.push_text_row(&["Ramos", "Spain", "Madrid"]);
+        (kb, t)
+    }
+
+    /// Ground truth oracle: knows the correct pattern and the real world.
+    fn oracle() -> impl Oracle {
+        |q: &Question| match q {
+            Question::ColumnType {
+                column, candidates, ..
+            } => {
+                let want = ["person", "country", "capital"][*column];
+                match candidates.iter().position(|c| c == want) {
+                    Some(i) => Answer::Choice(i),
+                    None => Answer::NoneOfTheAbove,
+                }
+            }
+            Question::Relationship {
+                columns,
+                candidates,
+                ..
+            } => {
+                let want = match columns {
+                    (0, 1) => "nationality",
+                    (1, 2) => "hasCapital",
+                    _ => "",
+                };
+                match candidates.iter().position(|c| c.contains(want) && !want.is_empty()) {
+                    Some(i) => Answer::Choice(i),
+                    None => Answer::NoneOfTheAbove,
+                }
+            }
+            Question::Fact {
+                subject,
+                property,
+                object,
+            } => Answer::Bool(matches!(
+                (subject.as_str(), property.as_str(), object.as_str()),
+                ("S. Africa", "hasCapital", "Pretoria")
+                    | ("Klate", "nationality", "S. Africa")
+            )),
+        }
+    }
+
+    fn crowd() -> Crowd<impl Oracle> {
+        Crowd::new(
+            CrowdConfig {
+                worker_accuracy: 1.0,
+                ..CrowdConfig::default()
+            },
+            oracle(),
+        )
+    }
+
+    #[test]
+    fn end_to_end_clean() {
+        let (mut kb, t) = setting();
+        let katara = Katara::default();
+        let mut crowd = crowd();
+        let report = katara.clean(&t, &mut kb, &mut crowd).unwrap();
+
+        // The validated pattern covers all three columns.
+        assert_eq!(report.pattern.typed_columns(), vec![0, 1, 2]);
+        // Row 2 (Pirlo/Italy/Madrid) is the only erroneous tuple.
+        assert_eq!(report.annotation.erroneous_rows(), vec![2]);
+        // Its top repair fixes Madrid to Rome.
+        let (row, repairs) = &report.repairs[0];
+        assert_eq!(*row, 2);
+        assert!(!repairs.is_empty());
+        assert!(repairs[0]
+            .changes
+            .iter()
+            .any(|(col, val)| *col == 2 && val == "Rome"));
+        // Enrichment inserted the missing S. Africa capital fact.
+        assert!(report.annotation.enriched_facts >= 1);
+    }
+
+    #[test]
+    fn no_pattern_errors_out() {
+        let (mut kb, _) = setting();
+        let mut t = Table::with_opaque_columns("gibberish", 2);
+        t.push_text_row(&["Xqz", "Wvu"]);
+        let katara = Katara::default();
+        let mut crowd = crowd();
+        let err = katara.clean(&t, &mut kb, &mut crowd).unwrap_err();
+        assert!(matches!(err, KataraError::NoPatternFound { .. }));
+    }
+
+    #[test]
+    fn select_kb_prefers_the_covering_kb() {
+        let (kb_good, t) = setting();
+        // A KB about something else entirely.
+        let mut b = katara_kb::KbBuilder::new().with_name("mini-imdb");
+        let film = b.class("film");
+        b.entity("Vertigo", &[film]);
+        let kb_bad = b.finalize();
+
+        let pick = select_kb(
+            &t,
+            &[&kb_bad, &kb_good],
+            &CandidateConfig::default(),
+            &DiscoveryConfig::default(),
+        );
+        let (idx, score) = pick.expect("the good KB yields a pattern");
+        assert_eq!(idx, 1);
+        assert!(score > 0.0);
+    }
+
+    #[test]
+    fn select_kb_none_when_nothing_matches() {
+        let mut b = katara_kb::KbBuilder::new();
+        let film = b.class("film");
+        b.entity("Vertigo", &[film]);
+        let kb = b.finalize();
+        let mut t = Table::with_opaque_columns("t", 1);
+        t.push_text_row(&["Nonsense"]);
+        assert!(select_kb(
+            &t,
+            &[&kb],
+            &CandidateConfig::default(),
+            &DiscoveryConfig::default()
+        )
+        .is_none());
+    }
+}

@@ -1,0 +1,511 @@
+//! Top-k table pattern generation (§4.3, Algorithms 1 and 2).
+//!
+//! The pattern space is the product of the ranked candidate lists: one
+//! type per covered column, one relationship per covered column pair. The
+//! paper enumerates it with a rank-join over the tf-idf-sorted lists,
+//! maintaining an upper bound `B` on every unseen join result and halting
+//! once the running top-k beats `B` (Algorithm 1), skipping types whose
+//! best possible coherence cannot reach the current top-k (Algorithm 2).
+//!
+//! [`discover_topk`] realizes the same contract with a best-first (A*)
+//! expansion over the sorted lists: a search state fixes a prefix of the
+//! variables and carries an admissible bound — exact score of the fixed
+//! prefix plus, per remaining list, its top tf-idf and per remaining pair
+//! its maximum achievable coherence (the same ingredients as the paper's
+//! `B`). States are popped best-bound-first, so the first `k` completed
+//! patterns are *exactly* the top-k, and a state whose bound falls below
+//! the current k-th score is never expanded — subsuming Algorithm 2's
+//! type pruning. [`DiscoveryStats`] reports how much of the space was
+//! touched; [`discover_exhaustive`] is the ablation baseline that scores
+//! the full Cartesian product.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use katara_kb::Kb;
+use katara_table::Table;
+
+use crate::candidates::CandidateSet;
+use crate::pattern::{PatternEdge, PatternNode, TablePattern};
+use crate::scoring::ScoringConfig;
+
+/// Discovery knobs.
+#[derive(Debug, Clone, Default)]
+pub struct DiscoveryConfig {
+    /// Scoring model parameters.
+    pub scoring: ScoringConfig,
+    /// Safety valve on search-state expansions (0 = unlimited). The search
+    /// is exact whenever the limit is not hit; hitting it is reported via
+    /// [`DiscoveryStats::truncated`].
+    pub max_states: usize,
+}
+
+/// Search-effort accounting, for the rank-join ablation bench.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiscoveryStats {
+    /// States popped from the frontier.
+    pub states_expanded: usize,
+    /// Complete patterns scored.
+    pub patterns_scored: usize,
+    /// True if `max_states` stopped the search early (top-k then
+    /// best-effort).
+    pub truncated: bool,
+}
+
+/// One discovery variable: a column choosing among types, or an ordered
+/// column pair choosing among relationships.
+#[derive(Debug, Clone)]
+enum Var {
+    /// `(column, options)` — options are `(class, tfidf)`.
+    Col(usize, Vec<(katara_kb::ClassId, f64)>),
+    /// `(subject col, object col, options)` — options are
+    /// `(property, tfidf)`.
+    Pair(usize, usize, Vec<(katara_kb::PropertyId, f64)>),
+}
+
+struct SearchSpace {
+    vars: Vec<Var>,
+    /// For column c: index of its Col var, if any.
+    col_var: Vec<Option<usize>>,
+    /// Optimistic max contribution of each var.
+    optimistic: Vec<f64>,
+}
+
+fn build_space(table: &Table, kb: &Kb, cands: &CandidateSet, w: f64) -> SearchSpace {
+    let ncols = table.num_columns();
+    let mut vars = Vec::new();
+    let mut col_var = vec![None; ncols];
+    for (c, list) in cands.col_types.iter().enumerate() {
+        if !list.is_empty() {
+            col_var[c] = Some(vars.len());
+            vars.push(Var::Col(c, list.iter().map(|t| (t.class, t.tfidf)).collect()));
+        }
+    }
+    let pair_start = vars.len();
+    for (i, j) in cands.pairs() {
+        let list = cands.rels(i, j);
+        vars.push(Var::Pair(
+            i,
+            j,
+            list.iter().map(|r| (r.property, r.tfidf)).collect(),
+        ));
+    }
+    // Optimistic bounds. Column vars: best tf-idf. Pair vars: best over
+    // options of tfidf + w·(max achievable coherence at each typed end).
+    let mut optimistic = Vec::with_capacity(vars.len());
+    for (vi, v) in vars.iter().enumerate() {
+        let o = match v {
+            // Candidate lists normally arrive tf-idf-sorted, but the
+            // bound must not depend on that (baselines re-sort, callers
+            // may not): take the max, not the head.
+            Var::Col(_, opts) => opts.iter().map(|&(_, s)| s).fold(0.0f64, f64::max),
+            Var::Pair(i, j, opts) => opts
+                .iter()
+                .map(|&(p, s)| {
+                    let mut b = s;
+                    if col_var[*i].is_some() {
+                        b += w * kb.coherence().max_sub(p);
+                    }
+                    if col_var[*j].is_some() {
+                        b += w * kb.coherence().max_obj(p);
+                    }
+                    b
+                })
+                .fold(0.0f64, f64::max),
+        };
+        debug_assert!(vi >= pair_start || matches!(v, Var::Col(..)));
+        optimistic.push(o);
+    }
+    SearchSpace {
+        vars,
+        col_var,
+        optimistic,
+    }
+}
+
+/// A frontier state: the first `depth` variables are assigned.
+struct State {
+    depth: usize,
+    choices: Vec<u16>,
+    /// Exact score of the assigned prefix.
+    g: f64,
+    /// g + optimistic rest — the admissible bound.
+    f: f64,
+    /// Tie-break for determinism.
+    seq: u64,
+}
+
+impl PartialEq for State {
+    fn eq(&self, other: &Self) -> bool {
+        self.f == other.f && self.seq == other.seq
+    }
+}
+impl Eq for State {}
+impl PartialOrd for State {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for State {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on f; ties → earlier seq first (deterministic).
+        self.f
+            .partial_cmp(&other.f)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Discover the top-k table patterns, highest score first.
+///
+/// Returns fewer than `k` patterns when the space is smaller; returns an
+/// empty vector when no column has candidates (the §2 "KATARA will
+/// terminate" case — see [`crate::error::KataraError::NoPatternFound`]).
+pub fn discover_topk(
+    table: &Table,
+    kb: &Kb,
+    cands: &CandidateSet,
+    k: usize,
+    config: &DiscoveryConfig,
+) -> Vec<TablePattern> {
+    discover_topk_with_stats(table, kb, cands, k, config).0
+}
+
+/// [`discover_topk`] plus search-effort statistics.
+pub fn discover_topk_with_stats(
+    table: &Table,
+    kb: &Kb,
+    cands: &CandidateSet,
+    k: usize,
+    config: &DiscoveryConfig,
+) -> (Vec<TablePattern>, DiscoveryStats) {
+    let w = config.scoring.coherence_weight;
+    let space = build_space(table, kb, cands, w);
+    let mut stats = DiscoveryStats::default();
+    if k == 0 || space.vars.is_empty() {
+        return (Vec::new(), stats);
+    }
+
+    let total_optimistic: f64 = space.optimistic.iter().sum();
+    let mut heap = BinaryHeap::new();
+    let mut seq = 0u64;
+    heap.push(State {
+        depth: 0,
+        choices: Vec::new(),
+        g: 0.0,
+        f: total_optimistic,
+        seq,
+    });
+
+    let mut out = Vec::with_capacity(k);
+    while let Some(state) = heap.pop() {
+        stats.states_expanded += 1;
+        if config.max_states > 0 && stats.states_expanded > config.max_states {
+            stats.truncated = true;
+            break;
+        }
+        if state.depth == space.vars.len() {
+            stats.patterns_scored += 1;
+            out.push(materialize(table, &space, &state.choices, state.g));
+            if out.len() == k {
+                break;
+            }
+            continue;
+        }
+        // Expand: assign every option of the next variable.
+        let rest_optimistic: f64 = space.optimistic[state.depth + 1..].iter().sum();
+        let options = option_count(&space.vars[state.depth]);
+        for opt in 0..options {
+            let delta = contribution(kb, &space, &state.choices, state.depth, opt, w);
+            let g = state.g + delta;
+            seq += 1;
+            let mut choices = state.choices.clone();
+            choices.push(opt as u16);
+            heap.push(State {
+                depth: state.depth + 1,
+                choices,
+                g,
+                f: g + rest_optimistic,
+                seq,
+            });
+        }
+    }
+    (out, stats)
+}
+
+/// Exhaustive enumeration of the whole pattern space — the ablation
+/// baseline for the rank-join. Returns the top-k, identical to
+/// [`discover_topk`] (asserted by tests), at full enumeration cost.
+pub fn discover_exhaustive(
+    table: &Table,
+    kb: &Kb,
+    cands: &CandidateSet,
+    k: usize,
+    config: &DiscoveryConfig,
+) -> (Vec<TablePattern>, DiscoveryStats) {
+    let w = config.scoring.coherence_weight;
+    let space = build_space(table, kb, cands, w);
+    let mut stats = DiscoveryStats::default();
+    if k == 0 || space.vars.is_empty() {
+        return (Vec::new(), stats);
+    }
+    let mut all: Vec<(Vec<u16>, f64)> = Vec::new();
+    let mut choices: Vec<u16> = Vec::new();
+    enumerate(kb, &space, &mut choices, 0, 0.0, w, &mut all, &mut stats);
+    all.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+    let out = all
+        .into_iter()
+        .take(k)
+        .map(|(c, g)| materialize(table, &space, &c, g))
+        .collect();
+    (out, stats)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate(
+    kb: &Kb,
+    space: &SearchSpace,
+    choices: &mut Vec<u16>,
+    depth: usize,
+    g: f64,
+    w: f64,
+    all: &mut Vec<(Vec<u16>, f64)>,
+    stats: &mut DiscoveryStats,
+) {
+    if depth == space.vars.len() {
+        stats.patterns_scored += 1;
+        all.push((choices.clone(), g));
+        return;
+    }
+    stats.states_expanded += 1;
+    for opt in 0..option_count(&space.vars[depth]) {
+        let delta = contribution(kb, space, choices, depth, opt, w);
+        choices.push(opt as u16);
+        enumerate(kb, space, choices, depth + 1, g + delta, w, all, stats);
+        choices.pop();
+    }
+}
+
+fn option_count(v: &Var) -> usize {
+    match v {
+        Var::Col(_, o) => o.len(),
+        Var::Pair(_, _, o) => o.len(),
+    }
+}
+
+/// Exact score contribution of assigning option `opt` to variable `depth`,
+/// given the already-assigned prefix. Column variables precede pair
+/// variables in the ordering, so a pair's endpoint types are always
+/// available here.
+fn contribution(
+    kb: &Kb,
+    space: &SearchSpace,
+    prefix: &[u16],
+    depth: usize,
+    opt: usize,
+    w: f64,
+) -> f64 {
+    match &space.vars[depth] {
+        Var::Col(_, opts) => opts[opt].1,
+        Var::Pair(i, j, opts) => {
+            let (p, tfidf) = opts[opt];
+            let mut s = tfidf;
+            if let Some(vi) = space.col_var[*i] {
+                debug_assert!(vi < depth, "column vars precede pair vars");
+                if let Var::Col(_, copts) = &space.vars[vi] {
+                    let t = copts[prefix[vi] as usize].0;
+                    s += w * kb.sub_coherence(t, p);
+                }
+            }
+            if let Some(vj) = space.col_var[*j] {
+                if let Var::Col(_, copts) = &space.vars[vj] {
+                    let t = copts[prefix[vj] as usize].0;
+                    s += w * kb.obj_coherence(t, p);
+                }
+            }
+            s
+        }
+    }
+}
+
+/// Turn a complete assignment into a [`TablePattern`].
+fn materialize(table: &Table, space: &SearchSpace, choices: &[u16], score: f64) -> TablePattern {
+    let mut nodes: Vec<PatternNode> = Vec::new();
+    let mut edges: Vec<PatternEdge> = Vec::new();
+    for (vi, v) in space.vars.iter().enumerate() {
+        match v {
+            Var::Col(c, opts) => nodes.push(PatternNode {
+                column: *c,
+                class: Some(opts[choices[vi] as usize].0),
+            }),
+            Var::Pair(i, j, opts) => {
+                edges.push(PatternEdge {
+                    subject: *i,
+                    object: *j,
+                    property: opts[choices[vi] as usize].0,
+                });
+            }
+        }
+    }
+    // Untyped nodes for edge endpoints without a type variable.
+    for e in &edges {
+        for col in [e.subject, e.object] {
+            if !nodes.iter().any(|n| n.column == col) {
+                nodes.push(PatternNode {
+                    column: col,
+                    class: None,
+                });
+            }
+        }
+    }
+    let _ = table;
+    TablePattern::new(nodes, edges, score).expect("materialized pattern is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::{discover_candidates, CandidateConfig};
+    use katara_kb::KbBuilder;
+
+    /// Example 5/7 shape: country-capital with a distractor supertype on
+    /// each side, so coherence decides the winner.
+    fn setting() -> (Kb, Table, CandidateSet) {
+        let mut b = KbBuilder::new();
+        let economy = b.class("economy");
+        let country = b.class("country");
+        let city = b.class("city");
+        let capital = b.class("capital");
+        b.subclass(country, economy).unwrap();
+        b.subclass(capital, city).unwrap();
+        let has_capital = b.property("hasCapital");
+        let located_in = b.property("locatedIn");
+
+        for (c, cap) in [
+            ("Italy", "Rome"),
+            ("Spain", "Madrid"),
+            ("France", "Paris"),
+            ("Germany", "Berlin"),
+        ] {
+            let rc = b.entity(c, &[country]);
+            let rcap = b.entity(cap, &[capital]);
+            b.fact(rc, has_capital, rcap);
+            b.fact(rcap, located_in, rc);
+        }
+        for i in 0..12 {
+            b.entity(&format!("Corp{i}"), &[economy]);
+            b.entity(&format!("Town{i}"), &[city]);
+        }
+        let kb = b.finalize();
+
+        let mut t = Table::with_opaque_columns("t", 2);
+        t.push_text_row(&["Italy", "Rome"]);
+        t.push_text_row(&["Spain", "Madrid"]);
+        t.push_text_row(&["France", "Paris"]);
+        let cands = discover_candidates(&t, &kb, &CandidateConfig::default());
+        (kb, t, cands)
+    }
+
+    #[test]
+    fn top1_is_country_capital_has_capital() {
+        let (kb, t, cands) = setting();
+        let top = discover_topk(&t, &kb, &cands, 3, &DiscoveryConfig::default());
+        assert!(!top.is_empty());
+        let best = &top[0];
+        assert_eq!(
+            best.node_for_column(0).unwrap().class,
+            kb.class_by_name("country")
+        );
+        assert_eq!(
+            best.node_for_column(1).unwrap().class,
+            kb.class_by_name("capital")
+        );
+        // Both directed edges exist (hasCapital forward, locatedIn back).
+        assert_eq!(best.edges().len(), 2);
+    }
+
+    #[test]
+    fn scores_are_descending() {
+        let (kb, t, cands) = setting();
+        let top = discover_topk(&t, &kb, &cands, 10, &DiscoveryConfig::default());
+        for w in top.windows(2) {
+            assert!(w[0].score() >= w[1].score());
+        }
+    }
+
+    #[test]
+    fn astar_matches_exhaustive() {
+        let (kb, t, cands) = setting();
+        let cfg = DiscoveryConfig::default();
+        for k in [1, 2, 3, 5, 8] {
+            let fast = discover_topk(&t, &kb, &cands, k, &cfg);
+            let (slow, _) = discover_exhaustive(&t, &kb, &cands, k, &cfg);
+            assert_eq!(fast.len(), slow.len(), "k={k}");
+            for (a, b) in fast.iter().zip(slow.iter()) {
+                assert!(
+                    (a.score() - b.score()).abs() < 1e-9,
+                    "k={k}: {} vs {}",
+                    a.score(),
+                    b.score()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rank_join_expands_less_than_exhaustive() {
+        let (kb, t, cands) = setting();
+        let cfg = DiscoveryConfig::default();
+        let (_, fast) = discover_topk_with_stats(&t, &kb, &cands, 2, &cfg);
+        let (_, slow) = discover_exhaustive(&t, &kb, &cands, 2, &cfg);
+        assert!(
+            fast.patterns_scored < slow.patterns_scored,
+            "early termination must avoid scoring the full product \
+             ({} vs {})",
+            fast.patterns_scored,
+            slow.patterns_scored
+        );
+    }
+
+    #[test]
+    fn empty_candidates_empty_result() {
+        let (kb, _, _) = setting();
+        let mut t = Table::with_opaque_columns("t", 2);
+        t.push_text_row(&["Zzz", "Qqq"]);
+        let cands = discover_candidates(&t, &kb, &CandidateConfig::default());
+        let top = discover_topk(&t, &kb, &cands, 3, &DiscoveryConfig::default());
+        assert!(top.is_empty());
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        let (kb, t, cands) = setting();
+        assert!(discover_topk(&t, &kb, &cands, 0, &DiscoveryConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn max_states_truncates_gracefully() {
+        let (kb, t, cands) = setting();
+        let cfg = DiscoveryConfig {
+            max_states: 1,
+            ..DiscoveryConfig::default()
+        };
+        let (out, stats) = discover_topk_with_stats(&t, &kb, &cands, 5, &cfg);
+        assert!(stats.truncated);
+        assert!(out.len() <= 5);
+    }
+
+    #[test]
+    fn distinct_patterns_returned() {
+        let (kb, t, cands) = setting();
+        let top = discover_topk(&t, &kb, &cands, 6, &DiscoveryConfig::default());
+        for (a_idx, a) in top.iter().enumerate() {
+            for b in &top[a_idx + 1..] {
+                assert!(
+                    a.nodes() != b.nodes() || a.edges() != b.edges(),
+                    "duplicate pattern in top-k"
+                );
+            }
+        }
+    }
+}

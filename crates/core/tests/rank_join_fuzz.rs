@@ -1,0 +1,145 @@
+//! Property-based fuzzing of the rank-join: on *arbitrary* candidate
+//! sets over *arbitrary* small KBs, the best-first search must return
+//! exactly the same top-k as exhaustive enumeration, with descending
+//! scores and a prefix-stable ranking.
+
+use katara_core::candidates::{CandidateSet, RelCandidate, TypeCandidate};
+use katara_core::rank_join::{discover_exhaustive, discover_topk, DiscoveryConfig};
+use katara_kb::{ClassId, KbBuilder, PropertyId};
+use katara_table::Table;
+use proptest::prelude::*;
+
+const NUM_CLASSES: usize = 6;
+const NUM_PROPS: usize = 4;
+
+/// A random KB: fixed class/property id spaces, random typed entities and
+/// random facts (which drive the coherence table).
+fn kb_strategy() -> impl Strategy<Value = katara_kb::Kb> {
+    let entity = (0usize..NUM_CLASSES, 0usize..NUM_CLASSES);
+    let fact = (0usize..24, 0usize..NUM_PROPS, 0usize..24);
+    (
+        prop::collection::vec(entity, 8..24),
+        prop::collection::vec(fact, 0..40),
+    )
+        .prop_map(|(entities, facts)| {
+            let mut b = KbBuilder::new();
+            let classes: Vec<ClassId> = (0..NUM_CLASSES)
+                .map(|i| b.class(&format!("c{i}")))
+                .collect();
+            let props: Vec<PropertyId> = (0..NUM_PROPS)
+                .map(|i| b.property(&format!("p{i}")))
+                .collect();
+            let resources: Vec<_> = entities
+                .iter()
+                .enumerate()
+                .map(|(i, &(t1, t2))| {
+                    b.entity(&format!("e{i}"), &[classes[t1], classes[t2 % NUM_CLASSES]])
+                })
+                .collect();
+            for &(s, p, o) in &facts {
+                let s = resources[s % resources.len()];
+                let o = resources[o % resources.len()];
+                b.fact(s, props[p], o);
+            }
+            b.finalize()
+        })
+}
+
+/// Random candidate lists over the fixed id spaces.
+fn candidates_strategy() -> impl Strategy<Value = (usize, CandidateSet)> {
+    let type_cand = (0usize..NUM_CLASSES, 0.0f64..=1.0);
+    let col = prop::collection::vec(type_cand, 0..5);
+    let rel_cand = (0usize..NUM_PROPS, 0.0f64..=1.0);
+    let pair = prop::collection::vec(rel_cand, 0..4);
+    (2usize..4, prop::collection::vec(col, 2..4), prop::collection::vec(pair, 0..4)).prop_map(
+        |(ncols, cols, pairs)| {
+            let mut set = CandidateSet {
+                rows_scanned: 1,
+                ..CandidateSet::default()
+            };
+            for c in 0..ncols {
+                let list = cols.get(c).cloned().unwrap_or_default();
+                let mut seen = std::collections::HashSet::new();
+                set.col_types.push(
+                    list.into_iter()
+                        .filter(|(cl, _)| seen.insert(*cl))
+                        .map(|(cl, tfidf)| TypeCandidate {
+                            class: ClassId(cl as u32),
+                            tfidf,
+                            support: 1,
+                        })
+                        .collect(),
+                );
+            }
+            // Assign pair lists to distinct ordered pairs.
+            let mut all_pairs: Vec<(usize, usize)> = Vec::new();
+            for i in 0..ncols {
+                for j in 0..ncols {
+                    if i != j {
+                        all_pairs.push((i, j));
+                    }
+                }
+            }
+            for (slot, list) in pairs.into_iter().enumerate() {
+                if slot >= all_pairs.len() || list.is_empty() {
+                    continue;
+                }
+                let mut seen = std::collections::HashSet::new();
+                let rels: Vec<RelCandidate> = list
+                    .into_iter()
+                    .filter(|(p, _)| seen.insert(*p))
+                    .map(|(p, tfidf)| RelCandidate {
+                        property: PropertyId(p as u32),
+                        tfidf,
+                        support: 1,
+                        to_literal: false,
+                    })
+                    .collect();
+                set.pair_rels.insert(all_pairs[slot], rels);
+            }
+            (ncols, set)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rank_join_is_exact_on_random_inputs(
+        kb in kb_strategy(),
+        (ncols, cands) in candidates_strategy(),
+        k in 1usize..6,
+    ) {
+        let table = Table::with_opaque_columns("fuzz", ncols);
+        let cfg = DiscoveryConfig::default();
+        let fast = discover_topk(&table, &kb, &cands, k, &cfg);
+        let (slow, _) = discover_exhaustive(&table, &kb, &cands, k, &cfg);
+        prop_assert_eq!(fast.len(), slow.len());
+        for (a, b) in fast.iter().zip(slow.iter()) {
+            prop_assert!(
+                (a.score() - b.score()).abs() < 1e-9,
+                "score mismatch: {} vs {}", a.score(), b.score()
+            );
+        }
+        // Scores descend.
+        for w in fast.windows(2) {
+            prop_assert!(w[0].score() >= w[1].score() - 1e-12);
+        }
+    }
+
+    #[test]
+    fn topk_is_prefix_stable(
+        kb in kb_strategy(),
+        (ncols, cands) in candidates_strategy(),
+    ) {
+        let table = Table::with_opaque_columns("fuzz", ncols);
+        let cfg = DiscoveryConfig::default();
+        let top5 = discover_topk(&table, &kb, &cands, 5, &cfg);
+        let top2 = discover_topk(&table, &kb, &cands, 2, &cfg);
+        prop_assert!(top2.len() <= top5.len());
+        for (a, b) in top2.iter().zip(top5.iter()) {
+            prop_assert!((a.score() - b.score()).abs() < 1e-9);
+        }
+    }
+}

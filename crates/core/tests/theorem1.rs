@@ -1,0 +1,135 @@
+//! A numeric property-check of the paper's **Theorem 1**: the expected
+//! reduction in pattern uncertainty from validating a variable `v`
+//! equals the entropy of `v` itself,
+//!
+//! ```text
+//! E(ΔH(φ))(v) = Σ_a Pr(v=a)·H_{P|v=a}(φ) − H_P(φ)  … = −H(v)   (reduction)
+//! ```
+//!
+//! (Appendix A proves it symbolically; here we verify it numerically on
+//! random pattern distributions, which also pins down the sign/direction
+//! conventions the scheduler relies on.)
+
+use proptest::prelude::*;
+
+/// H(X) = −Σ p log2 p over a normalized distribution.
+fn entropy(probs: &[f64]) -> f64 {
+    -probs
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| p * p.log2())
+        .sum::<f64>()
+}
+
+/// The scheduler's quantity: entropy of variable `v` whose value for
+/// pattern `i` is `values[i]`.
+fn variable_entropy(probs: &[f64], values: &[u8]) -> f64 {
+    let mut mass = std::collections::HashMap::new();
+    for (&p, &v) in probs.iter().zip(values) {
+        *mass.entry(v).or_insert(0.0) += p;
+    }
+    let m: Vec<f64> = mass.values().copied().collect();
+    entropy(&m)
+}
+
+/// Direct computation of the *expected posterior uncertainty*
+/// `Σ_a Pr(v=a) · H(φ | v=a)`.
+fn expected_posterior_entropy(probs: &[f64], values: &[u8]) -> f64 {
+    let mut by_value: std::collections::HashMap<u8, Vec<f64>> = std::collections::HashMap::new();
+    for (&p, &v) in probs.iter().zip(values) {
+        by_value.entry(v).or_default().push(p);
+    }
+    by_value
+        .values()
+        .map(|group| {
+            let pr_a: f64 = group.iter().sum();
+            if pr_a <= 0.0 {
+                return 0.0;
+            }
+            let conditional: Vec<f64> = group.iter().map(|p| p / pr_a).collect();
+            pr_a * entropy(&conditional)
+        })
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn theorem1_holds_numerically(
+        raw in prop::collection::vec(0.01f64..1.0, 2..10),
+        values in prop::collection::vec(0u8..4, 10),
+    ) {
+        let n = raw.len();
+        let total: f64 = raw.iter().sum();
+        let probs: Vec<f64> = raw.iter().map(|p| p / total).collect();
+        let values = &values[..n];
+
+        let h_phi = entropy(&probs);
+        let h_v = variable_entropy(&probs, values);
+        let expected_posterior = expected_posterior_entropy(&probs, values);
+
+        // Theorem 1: H(φ) − E[H(φ | v)] = H(v).
+        let reduction = h_phi - expected_posterior;
+        prop_assert!(
+            (reduction - h_v).abs() < 1e-9,
+            "reduction {reduction} != H(v) {h_v}"
+        );
+        // Corollaries the scheduler relies on: the reduction is
+        // non-negative and bounded by the total uncertainty.
+        prop_assert!(reduction >= -1e-12);
+        prop_assert!(reduction <= h_phi + 1e-12);
+    }
+
+    #[test]
+    fn constant_variables_reduce_nothing(
+        raw in prop::collection::vec(0.01f64..1.0, 2..10),
+    ) {
+        let total: f64 = raw.iter().sum();
+        let probs: Vec<f64> = raw.iter().map(|p| p / total).collect();
+        let values = vec![7u8; probs.len()];
+        prop_assert!(variable_entropy(&probs, &values).abs() < 1e-12);
+        let reduction = entropy(&probs) - expected_posterior_entropy(&probs, &values);
+        prop_assert!(reduction.abs() < 1e-9);
+    }
+
+    #[test]
+    fn fully_discriminating_variables_reduce_everything(
+        raw in prop::collection::vec(0.01f64..1.0, 2..4),
+    ) {
+        // Each pattern has a distinct value: validating v identifies the
+        // pattern, so the expected posterior entropy is zero.
+        let total: f64 = raw.iter().sum();
+        let probs: Vec<f64> = raw.iter().map(|p| p / total).collect();
+        let values: Vec<u8> = (0..probs.len() as u8).collect();
+        prop_assert!(expected_posterior_entropy(&probs, &values).abs() < 1e-12);
+        prop_assert!(
+            (variable_entropy(&probs, &values) - entropy(&probs)).abs() < 1e-9
+        );
+    }
+}
+
+/// The paper's Example 8/9 numbers, end to end.
+#[test]
+fn example8_numbers() {
+    let probs = [0.35, 0.25, 0.25, 0.10, 0.05];
+    // v_B: country for φ1, φ3, φ4; economy for φ2; state for φ5.
+    let v_b = [0u8, 1, 0, 0, 2];
+    let v_c = [0u8, 0, 1, 0, 0]; // capital except φ3 (city)
+    let v_bc = [0u8, 0, 1, 1, 0]; // hasCapital except φ3, φ4 (locatedIn)
+
+    let hb = variable_entropy(&probs, &v_b);
+    let hc = variable_entropy(&probs, &v_c);
+    let hbc = variable_entropy(&probs, &v_bc);
+    assert!((hb - 1.07).abs() < 0.01, "H(vB) = {hb}");
+    assert!((hc - 0.81).abs() < 0.01, "H(vC) = {hc}");
+    assert!((hbc - 0.93).abs() < 0.01, "H(vBC) = {hbc}");
+
+    // Theorem 1 on each variable.
+    let h = entropy(&probs);
+    for values in [&v_b, &v_c, &v_bc] {
+        let reduction = h - expected_posterior_entropy(&probs, values);
+        let hv = variable_entropy(&probs, values);
+        assert!((reduction - hv).abs() < 1e-9);
+    }
+}

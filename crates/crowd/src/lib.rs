@@ -1,0 +1,27 @@
+//! # katara-crowd — a simulated crowdsourcing platform
+//!
+//! KATARA's evaluation uses an *expert crowd* ("10 students" assumed to
+//! know the reference KB, §7.2). This crate simulates that setup so the
+//! experiments are reproducible: a pool of [`Worker`]s answers
+//! [`Question`]s; each worker gives the ground-truth answer (supplied by an
+//! [`Oracle`]) with its configured accuracy, and an adversarially-uniform
+//! wrong answer otherwise. The [`Crowd`] platform replicates each question
+//! (paper: "each question is asked three times, and the majority answer is
+//! taken"), aggregates by plurality vote, and accounts every question and
+//! worker answer for the cost experiments (Table 4, Figure 7).
+//!
+//! The crate is deliberately KB-agnostic: questions carry display strings,
+//! so the same platform serves pattern validation (§5) and data annotation
+//! (§6) and could front a real crowd.
+
+#![warn(missing_docs)]
+
+pub mod oracle;
+pub mod platform;
+pub mod question;
+pub mod worker;
+
+pub use oracle::{FixedOracle, Oracle};
+pub use platform::{Crowd, CrowdConfig, CrowdStats};
+pub use question::{Answer, Question, QuestionKind};
+pub use worker::Worker;

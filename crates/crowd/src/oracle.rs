@@ -1,0 +1,61 @@
+//! Ground-truth oracles.
+//!
+//! A simulated worker needs to know what the *correct* answer would be; an
+//! [`Oracle`] supplies it. Experiments implement this against the
+//! synthetic world's ground truth; unit tests use [`FixedOracle`].
+
+use crate::question::{Answer, Question};
+
+/// Supplies the ground-truth answer for a question.
+pub trait Oracle {
+    /// The correct answer to `q`. Returning [`Answer::NoneOfTheAbove`] is
+    /// legitimate when none of the offered candidates is right.
+    fn answer(&self, q: &Question) -> Answer;
+}
+
+impl<F> Oracle for F
+where
+    F: Fn(&Question) -> Answer,
+{
+    fn answer(&self, q: &Question) -> Answer {
+        self(q)
+    }
+}
+
+/// An oracle that always returns the same answer — test helper.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedOracle(pub Answer);
+
+impl Oracle for FixedOracle {
+    fn answer(&self, _q: &Question) -> Answer {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fact_q() -> Question {
+        Question::Fact {
+            subject: "Italy".into(),
+            property: "hasCapital".into(),
+            object: "Rome".into(),
+        }
+    }
+
+    #[test]
+    fn fixed_oracle() {
+        let o = FixedOracle(Answer::Bool(true));
+        assert_eq!(o.answer(&fact_q()), Answer::Bool(true));
+    }
+
+    #[test]
+    fn closure_oracle() {
+        let o = |q: &Question| match q {
+            Question::Fact { object, .. } if object == "Rome" => Answer::Bool(true),
+            _ => Answer::Bool(false),
+        };
+        assert_eq!(o.answer(&fact_q()), Answer::Bool(true));
+    }
+}

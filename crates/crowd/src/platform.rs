@@ -1,0 +1,242 @@
+//! The crowd platform: replication, plurality voting, cost accounting.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::oracle::Oracle;
+use crate::question::{Answer, Question, QuestionKind};
+use crate::worker::Worker;
+
+/// Platform configuration.
+#[derive(Debug, Clone)]
+pub struct CrowdConfig {
+    /// Size of the worker pool (paper: 10 students).
+    pub num_workers: usize,
+    /// Replicas per question (paper: "each question is asked three
+    /// times, and the majority answer is taken").
+    pub replication: usize,
+    /// Accuracy of every worker (the paper assumes experts; 0.95 default).
+    pub worker_accuracy: f64,
+    /// Seed for worker assignment and worker error streams.
+    pub seed: u64,
+}
+
+impl Default for CrowdConfig {
+    fn default() -> Self {
+        CrowdConfig {
+            num_workers: 10,
+            replication: 3,
+            worker_accuracy: 0.95,
+            seed: 0,
+        }
+    }
+}
+
+/// Cost accounting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CrowdStats {
+    /// Distinct questions issued, by kind.
+    pub questions_by_kind: HashMap<QuestionKind, usize>,
+    /// Total worker answers collected (questions × replication).
+    pub worker_answers: usize,
+}
+
+impl CrowdStats {
+    /// Total distinct questions issued.
+    pub fn questions(&self) -> usize {
+        self.questions_by_kind.values().sum()
+    }
+
+    /// Questions of one kind.
+    pub fn questions_of(&self, kind: QuestionKind) -> usize {
+        self.questions_by_kind.get(&kind).copied().unwrap_or(0)
+    }
+}
+
+/// A simulated crowdsourcing platform bound to a ground-truth oracle.
+#[derive(Debug)]
+pub struct Crowd<O> {
+    oracle: O,
+    workers: Vec<Worker>,
+    assign_rng: StdRng,
+    replication: usize,
+    stats: CrowdStats,
+}
+
+impl<O: Oracle> Crowd<O> {
+    /// Build a platform from a config and oracle.
+    pub fn new(config: CrowdConfig, oracle: O) -> Self {
+        assert!(config.num_workers > 0, "need at least one worker");
+        assert!(config.replication > 0, "need at least one replica");
+        let workers = (0..config.num_workers)
+            .map(|i| Worker::new(i, config.worker_accuracy, config.seed))
+            .collect();
+        Crowd {
+            oracle,
+            workers,
+            assign_rng: StdRng::seed_from_u64(config.seed.wrapping_add(0xC0FFEE)),
+            replication: config.replication,
+            stats: CrowdStats::default(),
+        }
+    }
+
+    /// Issue one question: `replication` randomly-assigned workers answer,
+    /// and the plurality answer is returned (ties break toward the lowest
+    /// option slot, deterministically).
+    pub fn ask(&mut self, q: &Question) -> Answer {
+        let correct = self.oracle.answer(q);
+        let num_candidates = q.num_options() - usize::from(!matches!(q, Question::Fact { .. }));
+        let is_bool = matches!(q, Question::Fact { .. });
+        let mut votes: HashMap<usize, usize> = HashMap::new();
+        for _ in 0..self.replication {
+            let wi = self.assign_rng.random_range(0..self.workers.len());
+            let a = self.workers[wi].respond(q, correct);
+            *votes.entry(a.slot(num_candidates)).or_insert(0) += 1;
+            self.stats.worker_answers += 1;
+        }
+        *self.stats.questions_by_kind.entry(q.kind()).or_insert(0) += 1;
+        let (&slot, _) = votes
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+            .expect("replication > 0");
+        Answer::from_slot(slot, num_candidates, is_bool)
+    }
+
+    /// Ask the same question `times` times (the paper asks `q` questions
+    /// per variable with different sample tuples; the *caller* varies the
+    /// samples) and return the per-ask aggregated answers.
+    pub fn ask_repeated(&mut self, questions: &[Question]) -> Vec<Answer> {
+        questions.iter().map(|q| self.ask(q)).collect()
+    }
+
+    /// Accumulated cost statistics.
+    pub fn stats(&self) -> &CrowdStats {
+        &self.stats
+    }
+
+    /// Reset the statistics (e.g. between experiment phases).
+    pub fn reset_stats(&mut self) {
+        self.stats = CrowdStats::default();
+    }
+
+    /// Access the oracle (used by annotation to form enrichment facts).
+    pub fn oracle(&self) -> &O {
+        &self.oracle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::FixedOracle;
+
+    fn fact_q(obj: &str) -> Question {
+        Question::Fact {
+            subject: "Italy".into(),
+            property: "hasCapital".into(),
+            object: obj.into(),
+        }
+    }
+
+    #[test]
+    fn majority_of_accurate_workers_is_correct() {
+        let mut crowd = Crowd::new(
+            CrowdConfig {
+                worker_accuracy: 0.9,
+                ..CrowdConfig::default()
+            },
+            FixedOracle(Answer::Bool(true)),
+        );
+        let mut right = 0;
+        for i in 0..200 {
+            if crowd.ask(&fact_q(&format!("q{i}"))) == Answer::Bool(true) {
+                right += 1;
+            }
+        }
+        // With 0.9 workers and 3-way voting, error prob ≈ 2.8%.
+        assert!(right >= 185, "only {right}/200 correct");
+        assert_eq!(crowd.stats().questions(), 200);
+        assert_eq!(crowd.stats().worker_answers, 600);
+    }
+
+    #[test]
+    fn perfect_workers_never_err() {
+        let mut crowd = Crowd::new(
+            CrowdConfig {
+                worker_accuracy: 1.0,
+                ..CrowdConfig::default()
+            },
+            FixedOracle(Answer::Bool(false)),
+        );
+        for _ in 0..50 {
+            assert_eq!(crowd.ask(&fact_q("x")), Answer::Bool(false));
+        }
+    }
+
+    #[test]
+    fn stats_track_kinds() {
+        let mut crowd = Crowd::new(CrowdConfig::default(), FixedOracle(Answer::Bool(true)));
+        crowd.ask(&fact_q("a"));
+        crowd.ask(&fact_q("b"));
+        assert_eq!(crowd.stats().questions_of(QuestionKind::Fact), 2);
+        assert_eq!(crowd.stats().questions_of(QuestionKind::ColumnType), 0);
+        crowd.reset_stats();
+        assert_eq!(crowd.stats().questions(), 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut crowd = Crowd::new(
+                CrowdConfig {
+                    worker_accuracy: 0.5,
+                    seed,
+                    ..CrowdConfig::default()
+                },
+                FixedOracle(Answer::Bool(true)),
+            );
+            (0..50).map(|_| crowd.ask(&fact_q("x"))).collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn choice_questions_aggregate() {
+        let q = Question::ColumnType {
+            table: "t".into(),
+            column: 0,
+            header: vec!["A".into()],
+            sample_rows: vec![],
+            candidates: vec!["country".into(), "economy".into(), "state".into()],
+        };
+        let mut crowd = Crowd::new(
+            CrowdConfig {
+                worker_accuracy: 0.95,
+                ..CrowdConfig::default()
+            },
+            FixedOracle(Answer::Choice(1)),
+        );
+        let mut hits = 0;
+        for _ in 0..100 {
+            if crowd.ask(&q) == Answer::Choice(1) {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 95, "{hits}");
+    }
+
+    #[test]
+    #[should_panic(expected = "worker")]
+    fn zero_workers_panics() {
+        let _ = Crowd::new(
+            CrowdConfig {
+                num_workers: 0,
+                ..CrowdConfig::default()
+            },
+            FixedOracle(Answer::Bool(true)),
+        );
+    }
+}

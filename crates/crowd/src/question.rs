@@ -1,0 +1,235 @@
+//! Crowd question and answer shapes.
+//!
+//! The paper decomposes pattern validation into two simple task kinds
+//! (§5.1) — column-type validation and binary-relationship validation —
+//! and data annotation adds boolean fact questions (§6.1). Every question
+//! carries the contextual sample tuples shown to workers.
+
+use std::fmt;
+
+/// The kind of a question, for cost accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QuestionKind {
+    /// "What is the most accurate type of the highlighted column?" (Q1)
+    ColumnType,
+    /// "What is the most accurate relationship for the highlighted
+    /// columns?" (Q2)
+    Relationship,
+    /// "Does `x` `P` `y`?" (Q_t2 / Q_t3)
+    Fact,
+}
+
+/// A question posed to the crowd.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Question {
+    /// Select the best type for a column. `candidates` are readable type
+    /// descriptions; workers may also answer "none of the above".
+    ColumnType {
+        /// Name of the table the question is about (context only).
+        table: String,
+        /// The highlighted column index.
+        column: usize,
+        /// Column names shown as header context.
+        header: Vec<String>,
+        /// `k_t` sample tuples exposing contextual values.
+        sample_rows: Vec<Vec<String>>,
+        /// Candidate type descriptions.
+        candidates: Vec<String>,
+    },
+    /// Select the best relationship for an ordered column pair.
+    Relationship {
+        /// Name of the table the question is about.
+        table: String,
+        /// The (subject, object) column pair.
+        columns: (usize, usize),
+        /// Column names shown as header context.
+        header: Vec<String>,
+        /// `k_t` sample tuples.
+        sample_rows: Vec<Vec<String>>,
+        /// Candidate relationship descriptions (already directional, e.g.
+        /// `"B hasCapital C"`).
+        candidates: Vec<String>,
+    },
+    /// A boolean fact check, e.g. "Does S. Africa hasCapital Pretoria?".
+    Fact {
+        /// Subject display value.
+        subject: String,
+        /// Property display name.
+        property: String,
+        /// Object display value.
+        object: String,
+    },
+}
+
+impl Question {
+    /// This question's kind.
+    pub fn kind(&self) -> QuestionKind {
+        match self {
+            Question::ColumnType { .. } => QuestionKind::ColumnType,
+            Question::Relationship { .. } => QuestionKind::Relationship,
+            Question::Fact { .. } => QuestionKind::Fact,
+        }
+    }
+
+    /// Number of selectable options a *wrong* worker can stray into:
+    /// candidates + "none of the above" for choice questions, 2 for
+    /// boolean facts.
+    pub fn num_options(&self) -> usize {
+        match self {
+            Question::ColumnType { candidates, .. }
+            | Question::Relationship { candidates, .. } => candidates.len() + 1,
+            Question::Fact { .. } => 2,
+        }
+    }
+}
+
+impl fmt::Display for Question {
+    /// Render in the paper's HIT style (Q1 / Q2 / Q_t of §5.1, §6.1).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Question::ColumnType {
+                column,
+                header,
+                sample_rows,
+                candidates,
+                ..
+            } => {
+                writeln!(
+                    f,
+                    "Q: What is the most accurate type of the highlighted column ({})?",
+                    header.get(*column).map(String::as_str).unwrap_or("?")
+                )?;
+                writeln!(f, "   ({})", header.join(", "))?;
+                for row in sample_rows {
+                    writeln!(f, "   ({})", row.join(", "))?;
+                }
+                for c in candidates {
+                    writeln!(f, "   ( ) {c}")?;
+                }
+                write!(f, "   ( ) none of the above")
+            }
+            Question::Relationship {
+                columns,
+                header,
+                sample_rows,
+                candidates,
+                ..
+            } => {
+                writeln!(
+                    f,
+                    "Q: What is the most accurate relationship for highlighted columns ({}, {})?",
+                    header.get(columns.0).map(String::as_str).unwrap_or("?"),
+                    header.get(columns.1).map(String::as_str).unwrap_or("?"),
+                )?;
+                writeln!(f, "   ({})", header.join(", "))?;
+                for row in sample_rows {
+                    writeln!(f, "   ({})", row.join(", "))?;
+                }
+                for c in candidates {
+                    writeln!(f, "   ( ) {c}")?;
+                }
+                write!(f, "   ( ) none of the above")
+            }
+            Question::Fact {
+                subject,
+                property,
+                object,
+            } => {
+                writeln!(f, "Q: Does {subject} {property} {object}?")?;
+                write!(f, "   ( ) Yes   ( ) No")
+            }
+        }
+    }
+}
+
+/// A worker's (or the aggregated crowd's) answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Answer {
+    /// Index into the question's `candidates`.
+    Choice(usize),
+    /// "None of the above".
+    NoneOfTheAbove,
+    /// Yes/No for [`Question::Fact`].
+    Bool(bool),
+}
+
+impl Answer {
+    /// Map an answer to a dense option slot for voting: choices first,
+    /// then none-of-the-above; booleans use slots 0 (false) / 1 (true).
+    pub fn slot(&self, num_candidates: usize) -> usize {
+        match *self {
+            Answer::Choice(i) => i,
+            Answer::NoneOfTheAbove => num_candidates,
+            Answer::Bool(b) => usize::from(b),
+        }
+    }
+
+    /// Inverse of [`Answer::slot`] for choice-style questions.
+    pub fn from_slot(slot: usize, num_candidates: usize, is_bool: bool) -> Answer {
+        if is_bool {
+            Answer::Bool(slot == 1)
+        } else if slot == num_candidates {
+            Answer::NoneOfTheAbove
+        } else {
+            Answer::Choice(slot)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn type_q() -> Question {
+        Question::ColumnType {
+            table: "soccer".into(),
+            column: 1,
+            header: vec!["A".into(), "B".into()],
+            sample_rows: vec![vec!["Rossi".into(), "Italy".into()]],
+            candidates: vec!["country".into(), "economy".into(), "state".into()],
+        }
+    }
+
+    #[test]
+    fn kinds_and_options() {
+        assert_eq!(type_q().kind(), QuestionKind::ColumnType);
+        assert_eq!(type_q().num_options(), 4);
+        let fq = Question::Fact {
+            subject: "Italy".into(),
+            property: "hasCapital".into(),
+            object: "Madrid".into(),
+        };
+        assert_eq!(fq.kind(), QuestionKind::Fact);
+        assert_eq!(fq.num_options(), 2);
+    }
+
+    #[test]
+    fn rendering_matches_paper_style() {
+        let s = type_q().to_string();
+        assert!(s.contains("most accurate type"));
+        assert!(s.contains("(Rossi, Italy)"));
+        assert!(s.contains("( ) country"));
+        assert!(s.contains("none of the above"));
+
+        let f = Question::Fact {
+            subject: "S. Africa".into(),
+            property: "hasCapital".into(),
+            object: "Pretoria".into(),
+        }
+        .to_string();
+        assert!(f.contains("Does S. Africa hasCapital Pretoria?"));
+    }
+
+    #[test]
+    fn slot_round_trip() {
+        for (a, n, b) in [
+            (Answer::Choice(0), 3, false),
+            (Answer::Choice(2), 3, false),
+            (Answer::NoneOfTheAbove, 3, false),
+            (Answer::Bool(true), 0, true),
+            (Answer::Bool(false), 0, true),
+        ] {
+            assert_eq!(Answer::from_slot(a.slot(n), n, b), a);
+        }
+    }
+}

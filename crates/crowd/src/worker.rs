@@ -1,0 +1,149 @@
+//! Simulated crowd workers.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::question::{Answer, Question};
+
+/// A simulated worker with a fixed per-question accuracy.
+///
+/// With probability `accuracy` the worker reports the oracle's answer;
+/// otherwise it picks uniformly among the *other* options (including
+/// "none of the above" for choice questions), which is the standard
+/// adversarially-neutral error model for plurality-vote analysis.
+#[derive(Debug)]
+pub struct Worker {
+    id: usize,
+    accuracy: f64,
+    rng: StdRng,
+}
+
+impl Worker {
+    /// Create worker `id` with the given accuracy in `[0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `accuracy` is outside `[0, 1]`.
+    pub fn new(id: usize, accuracy: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&accuracy),
+            "accuracy must be in [0,1]"
+        );
+        // Derive a per-worker stream so workers are independent.
+        let rng = StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        Worker { id, accuracy, rng }
+    }
+
+    /// This worker's id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// This worker's accuracy.
+    pub fn accuracy(&self) -> f64 {
+        self.accuracy
+    }
+
+    /// Answer `q`, given the ground truth `correct`.
+    pub fn respond(&mut self, q: &Question, correct: Answer) -> Answer {
+        if self.rng.random_bool(self.accuracy) {
+            return correct;
+        }
+        // Uniform wrong answer over the remaining option slots.
+        let num_candidates = q.num_options() - usize::from(!matches!(q, Question::Fact { .. }));
+        let is_bool = matches!(q, Question::Fact { .. });
+        let options = q.num_options();
+        debug_assert!(options >= 2, "cannot answer wrongly with one option");
+        let correct_slot = correct.slot(num_candidates);
+        let mut slot = self.rng.random_range(0..options - 1);
+        if slot >= correct_slot {
+            slot += 1;
+        }
+        Answer::from_slot(slot, num_candidates, is_bool)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fact_q() -> Question {
+        Question::Fact {
+            subject: "Italy".into(),
+            property: "hasCapital".into(),
+            object: "Rome".into(),
+        }
+    }
+
+    fn type_q() -> Question {
+        Question::ColumnType {
+            table: "t".into(),
+            column: 0,
+            header: vec!["A".into()],
+            sample_rows: vec![],
+            candidates: vec!["country".into(), "economy".into()],
+        }
+    }
+
+    #[test]
+    fn perfect_worker_is_always_right() {
+        let mut w = Worker::new(0, 1.0, 7);
+        for _ in 0..100 {
+            assert_eq!(w.respond(&fact_q(), Answer::Bool(true)), Answer::Bool(true));
+        }
+    }
+
+    #[test]
+    fn zero_accuracy_worker_is_always_wrong() {
+        let mut w = Worker::new(0, 0.0, 7);
+        for _ in 0..100 {
+            let a = w.respond(&fact_q(), Answer::Bool(true));
+            assert_eq!(a, Answer::Bool(false));
+            let a = w.respond(&type_q(), Answer::Choice(0));
+            assert_ne!(a, Answer::Choice(0));
+        }
+    }
+
+    #[test]
+    fn wrong_answers_cover_all_alternatives() {
+        let mut w = Worker::new(3, 0.0, 11);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(w.respond(&type_q(), Answer::Choice(0)));
+        }
+        assert!(seen.contains(&Answer::Choice(1)));
+        assert!(seen.contains(&Answer::NoneOfTheAbove));
+        assert!(!seen.contains(&Answer::Choice(0)));
+    }
+
+    #[test]
+    fn accuracy_is_roughly_respected() {
+        let mut w = Worker::new(0, 0.8, 123);
+        let mut right = 0;
+        let n = 2000;
+        for _ in 0..n {
+            if w.respond(&fact_q(), Answer::Bool(true)) == Answer::Bool(true) {
+                right += 1;
+            }
+        }
+        let rate = right as f64 / n as f64;
+        assert!((rate - 0.8).abs() < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn workers_are_deterministic_per_seed() {
+        let answers = |seed| {
+            let mut w = Worker::new(5, 0.5, seed);
+            (0..50)
+                .map(|_| w.respond(&fact_q(), Answer::Bool(true)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(answers(9), answers(9));
+        assert_ne!(answers(9), answers(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "accuracy")]
+    fn invalid_accuracy_panics() {
+        Worker::new(0, 1.5, 0);
+    }
+}

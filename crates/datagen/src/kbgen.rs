@@ -1,0 +1,535 @@
+//! KB generation: derive a Yago-like or DBpedia-like KB from the world.
+//!
+//! The two flavors differ exactly where the paper's evaluation depends on
+//! it:
+//!
+//! * **Yago-like** — deep subclass chains (`capital ⊂ city ⊂
+//!   populated_place ⊂ location ⊂ entity`), hundreds of noisy
+//!   `wikicat_*` types attached randomly (Yago has 374K types, which is
+//!   what stresses ranking), and *no soccer relationships at all* (the
+//!   paper found Yago unable to repair Soccer for this reason);
+//! * **DBpedia-like** — a flat, small ontology (865 types in the real
+//!   DBpedia) with higher relation coverage for persons but poor coverage
+//!   of US universities (driving Table 6's University recall contrast).
+//!
+//! Coverage knobs sample the world: every dropped fact is a KB
+//! incompleteness KATARA must route through the crowd.
+
+use std::collections::HashMap;
+
+use katara_kb::{ClassId, Kb, KbBuilder, PropertyId, ResourceId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+pub use crate::semantics::KbFlavor;
+use crate::semantics::{SemanticRel, SemanticType};
+use crate::world::World;
+
+/// KB generation knobs.
+#[derive(Debug, Clone)]
+pub struct KbGenConfig {
+    /// Which ontology style to emulate.
+    pub flavor: KbFlavor,
+    /// Sampling seed (independent of the world seed).
+    pub seed: u64,
+    /// Per-relation fact coverage; missing entries default to 0.
+    pub relation_coverage: HashMap<SemanticRel, f64>,
+    /// Probability a player entity exists in the KB at all.
+    pub player_coverage: f64,
+    /// Probability a university entity exists in the KB.
+    pub university_coverage: f64,
+    /// Probability a club entity exists in the KB (the real Yago barely
+    /// models soccer clubs — the source of the paper's Soccer `N.A.`).
+    pub club_coverage: f64,
+    /// Probability an entity carries a type assertion at all (untyped
+    /// entities still exist, with labels and facts — Yago-style weakly
+    /// typed long tail).
+    pub type_coverage: f64,
+    /// Probability a *star* player also carries the much rarer
+    /// `wordnet_award_winner` type (Yago-like only). Because tables
+    /// mostly list stars, this reproduces the paper's
+    /// films-that-are-also-books ambiguity: a rare type covering most of
+    /// a column, which fools maximum-likelihood typing while the
+    /// coherence between `soccer_player` and the relationships rescues
+    /// the rank-join.
+    pub star_type_rate: f64,
+    /// Number of noisy `wikicat_*` classes (Yago-like only).
+    pub noise_types: usize,
+    /// Probability an entity picks up one noise type.
+    pub noise_type_rate: f64,
+}
+
+impl KbGenConfig {
+    /// The calibrated defaults for a flavor (see module docs).
+    pub fn for_flavor(flavor: KbFlavor) -> Self {
+        use SemanticRel::*;
+        let mut relation_coverage = HashMap::new();
+        match flavor {
+            KbFlavor::YagoLike => {
+                for (rel, cov) in [
+                    (Nationality, 0.85),
+                    (HasCapital, 0.90),
+                    (BornIn, 0.80),
+                    (PlaysFor, 0.0),
+                    (InLeague, 0.0),
+                    (HasStadium, 0.0),
+                    (LocatedIn, 0.90),
+                    (OfficialLanguage, 0.85),
+                    (InState, 0.85),
+                    (HasHeight, 0.70),
+                    (HasStateCapital, 0.90),
+                ] {
+                    relation_coverage.insert(rel, cov);
+                }
+                KbGenConfig {
+                    flavor,
+                    seed: 0xA60,
+                    relation_coverage,
+                    player_coverage: 0.90,
+                    university_coverage: 0.90,
+                    club_coverage: 0.0,
+                    type_coverage: 0.85,
+                    star_type_rate: 0.95,
+                    noise_types: 300,
+                    noise_type_rate: 0.5,
+                }
+            }
+            KbFlavor::DbpediaLike => {
+                for (rel, cov) in [
+                    (Nationality, 0.97),
+                    (HasCapital, 0.97),
+                    (BornIn, 0.92),
+                    (PlaysFor, 0.80),
+                    (InLeague, 0.75),
+                    (HasStadium, 0.60),
+                    (LocatedIn, 0.95),
+                    (OfficialLanguage, 0.95),
+                    (InState, 0.25),
+                    (HasHeight, 0.85),
+                    (HasStateCapital, 0.95),
+                ] {
+                    relation_coverage.insert(rel, cov);
+                }
+                KbGenConfig {
+                    flavor,
+                    seed: 0xDB9,
+                    relation_coverage,
+                    player_coverage: 0.95,
+                    university_coverage: 0.40,
+                    club_coverage: 0.90,
+                    type_coverage: 0.92,
+                    star_type_rate: 0.0,
+                    noise_types: 0,
+                    noise_type_rate: 0.0,
+                }
+            }
+        }
+    }
+
+    fn cov(&self, rel: SemanticRel) -> f64 {
+        self.relation_coverage.get(&rel).copied().unwrap_or(0.0)
+    }
+}
+
+/// Entity-id bookkeeping produced alongside the KB (test/debug aid).
+#[derive(Debug, Default)]
+struct Ids {
+    continents: Vec<Option<ResourceId>>,
+    languages: Vec<Option<ResourceId>>,
+    countries: Vec<Option<ResourceId>>,
+    cities: Vec<Option<ResourceId>>,
+    leagues: Vec<Option<ResourceId>>,
+    clubs: Vec<Option<ResourceId>>,
+    states: Vec<Option<ResourceId>>,
+    us_cities: Vec<Option<ResourceId>>,
+}
+
+/// Build a KB of the given flavor from the world.
+pub fn build_kb(world: &World, config: &KbGenConfig) -> Kb {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = KbBuilder::new().with_name(config.flavor.name());
+    let flavor = config.flavor;
+
+    // --- Ontology -------------------------------------------------------
+    let mut classes: HashMap<&'static str, ClassId> = HashMap::new();
+    for &t in SemanticType::all() {
+        let leaf = t.name(flavor);
+        let mut prev = *classes.entry(leaf).or_insert_with(|| b.class(leaf));
+        for &anc in t.ancestors(flavor) {
+            let anc_id = *classes.entry(anc).or_insert_with(|| b.class(anc));
+            // Chains are globally consistent, so re-adding is a no-op and
+            // cycles cannot arise.
+            b.subclass(prev, anc_id).expect("consistent hierarchy");
+            prev = anc_id;
+        }
+    }
+    let noise_classes: Vec<ClassId> = (0..config.noise_types)
+        .map(|i| b.class(&format!("wikicat_{i:04}")))
+        .collect();
+    let star_class = if config.star_type_rate > 0.0 {
+        Some(b.class("wordnet_award_winner"))
+    } else {
+        None
+    };
+
+    let mut props: HashMap<&'static str, PropertyId> = HashMap::new();
+    for &r in SemanticRel::all() {
+        let name = r.name(flavor);
+        props.entry(name).or_insert_with(|| b.property(name));
+    }
+
+    let leaf = |t: SemanticType| t.name(flavor);
+
+    // Type an entity with its leaf type. *Head* entities — countries,
+    // languages, capitals, states, leagues — are always typed, as they
+    // are in real KBs; the weak-typing long tail (`type_coverage`) hits
+    // ordinary cities, clubs, universities and stadiums. A noise type may
+    // ride along either way.
+    let typed_entity = |b: &mut KbBuilder,
+                        rng: &mut StdRng,
+                        name: &str,
+                        label: &str,
+                        t: SemanticType,
+                        head: bool|
+     -> ResourceId {
+        let r = if head || rng.random_bool(config.type_coverage) {
+            let class = *classes.get(leaf(t)).expect("declared above");
+            b.entity_labeled(name, label, &[class])
+        } else {
+            b.entity_labeled(name, label, &[])
+        };
+        if !noise_classes.is_empty() && rng.random_bool(config.noise_type_rate) {
+            let n = noise_classes[rng.random_range(0..noise_classes.len())];
+            b.entity_labeled(name, label, &[n]);
+        }
+        r
+    };
+
+    // --- Entities ---------------------------------------------------------
+    let mut ids = Ids::default();
+    for c in &world.continents {
+        ids.continents
+            .push(Some(typed_entity(&mut b, &mut rng, c, c, SemanticType::Continent, true)));
+    }
+    for l in &world.languages {
+        ids.languages
+            .push(Some(typed_entity(&mut b, &mut rng, l, l, SemanticType::Language, true)));
+    }
+    for c in &world.countries {
+        ids.countries.push(Some(typed_entity(
+            &mut b,
+            &mut rng,
+            &c.name,
+            &c.name,
+            SemanticType::Country,
+            true,
+        )));
+    }
+    for city in &world.cities {
+        let t = if city.is_capital {
+            SemanticType::Capital
+        } else {
+            SemanticType::City
+        };
+        ids.cities
+            .push(Some(typed_entity(&mut b, &mut rng, &city.name, &city.name, t, city.is_capital)));
+    }
+    for l in &world.leagues {
+        ids.leagues
+            .push(Some(typed_entity(&mut b, &mut rng, l, l, SemanticType::League, true)));
+    }
+    for club in &world.clubs {
+        if !rng.random_bool(config.club_coverage) {
+            ids.clubs.push(None);
+            continue;
+        }
+        ids.clubs.push(Some(typed_entity(
+            &mut b,
+            &mut rng,
+            &club.id_name,
+            &club.name,
+            SemanticType::Club,
+            false,
+        )));
+    }
+    for s in &world.states {
+        ids.states.push(Some(typed_entity(
+            &mut b,
+            &mut rng,
+            &s.name,
+            &s.name,
+            SemanticType::State,
+            true,
+        )));
+    }
+    for c in &world.us_cities {
+        let t = if c.is_capital {
+            SemanticType::StateCapital
+        } else {
+            SemanticType::City
+        };
+        ids.us_cities
+            .push(Some(typed_entity(&mut b, &mut rng, &c.name, &c.name, t, c.is_capital)));
+    }
+
+    // Filler entities: they enlarge the broad classes (person, city,
+    // organization) the same way real KBs dwarf their leaf classes, which
+    // is what gives tf-idf its discriminative power (§4.1's Country vs
+    // Place example).
+    let person_class = *classes
+        .get(SemanticType::Person.name(flavor))
+        .expect("declared");
+    let place_class = *classes
+        .get(SemanticType::City.name(flavor))
+        .expect("declared");
+    let org_class = match flavor {
+        KbFlavor::YagoLike => b.class("organization"),
+        KbFlavor::DbpediaLike => b.class("Organisation"),
+    };
+    for p in &world.extra_persons {
+        b.entity_labeled(p, p, &[person_class]);
+    }
+    for p in &world.extra_places {
+        b.entity_labeled(p, p, &[place_class]);
+    }
+    for o in &world.extra_orgs {
+        b.entity_labeled(o, o, &[org_class]);
+    }
+
+    let p = |props: &HashMap<&str, PropertyId>, r: SemanticRel| props[r.name(flavor)];
+
+    // --- Facts ------------------------------------------------------------
+    use SemanticRel::*;
+    for (ci, c) in world.countries.iter().enumerate() {
+        let Some(rc) = ids.countries[ci] else { continue };
+        if rng.random_bool(config.cov(HasCapital)) {
+            if let Some(cap) = ids.cities[c.capital] {
+                b.fact(rc, p(&props, HasCapital), cap);
+            }
+        }
+        if rng.random_bool(config.cov(OfficialLanguage)) {
+            if let Some(l) = ids.languages[c.language] {
+                b.fact(rc, p(&props, OfficialLanguage), l);
+            }
+        }
+        if rng.random_bool(config.cov(LocatedIn)) {
+            if let Some(cont) = ids.continents[c.continent] {
+                b.fact(rc, p(&props, LocatedIn), cont);
+            }
+        }
+    }
+    for (ci, city) in world.cities.iter().enumerate() {
+        let Some(r) = ids.cities[ci] else { continue };
+        if rng.random_bool(config.cov(LocatedIn)) {
+            if let Some(rc) = ids.countries[city.country] {
+                b.fact(r, p(&props, LocatedIn), rc);
+            }
+        }
+    }
+    for (ki, club) in world.clubs.iter().enumerate() {
+        let Some(r) = ids.clubs[ki] else { continue };
+        if rng.random_bool(config.cov(LocatedIn)) {
+            if let Some(rc) = ids.cities[club.city] {
+                b.fact(r, p(&props, LocatedIn), rc);
+            }
+        }
+        if rng.random_bool(config.cov(InLeague)) {
+            if let Some(rl) = ids.leagues[club.league] {
+                b.fact(r, p(&props, InLeague), rl);
+            }
+        }
+        if rng.random_bool(config.cov(HasStadium)) {
+            let stadium = typed_entity(
+                &mut b,
+                &mut rng,
+                &club.stadium,
+                &club.stadium,
+                SemanticType::Stadium,
+                false,
+            );
+            b.fact(r, p(&props, HasStadium), stadium);
+        }
+    }
+    for (pi, player) in world.players.iter().enumerate() {
+        if !rng.random_bool(config.player_coverage) {
+            continue;
+        }
+        // Players are famous entities: reliably typed with their leaf
+        // type (the weak-typing long tail hits places/orgs, not them).
+        let sp_class = *classes
+            .get(SemanticType::SoccerPlayer.name(flavor))
+            .expect("declared");
+        let r = b.entity_labeled(&player.name, &player.name, &[sp_class]);
+        if !noise_classes.is_empty() && rng.random_bool(config.noise_type_rate) {
+            let n = noise_classes[rng.random_range(0..noise_classes.len())];
+            b.entity_labeled(&player.name, &player.name, &[n]);
+        }
+        if let Some(star) = star_class {
+            if world.is_star(pi) && rng.random_bool(config.star_type_rate) {
+                b.entity_labeled(&player.name, &player.name, &[star]);
+            }
+        }
+        if rng.random_bool(config.cov(Nationality)) {
+            if let Some(rc) = ids.countries[player.country] {
+                b.fact(r, p(&props, Nationality), rc);
+            }
+        }
+        if rng.random_bool(config.cov(BornIn)) {
+            if let Some(rc) = ids.cities[player.birth_city] {
+                b.fact(r, p(&props, BornIn), rc);
+            }
+        }
+        if rng.random_bool(config.cov(PlaysFor)) {
+            if let Some(rk) = ids.clubs[player.club] {
+                b.fact(r, p(&props, PlaysFor), rk);
+            }
+        }
+        if rng.random_bool(config.cov(HasHeight)) {
+            b.literal_fact(r, p(&props, HasHeight), &player.height);
+        }
+    }
+    for (si, s) in world.states.iter().enumerate() {
+        let Some(r) = ids.states[si] else { continue };
+        if rng.random_bool(config.cov(HasStateCapital)) {
+            if let Some(cap) = ids.us_cities[s.capital] {
+                b.fact(r, p(&props, HasStateCapital), cap);
+            }
+        }
+    }
+    for (ci, c) in world.us_cities.iter().enumerate() {
+        let Some(r) = ids.us_cities[ci] else { continue };
+        if rng.random_bool(config.cov(InState)) {
+            if let Some(rs) = ids.states[c.state] {
+                b.fact(r, p(&props, InState), rs);
+            }
+        }
+    }
+    for u in &world.universities {
+        if !rng.random_bool(config.university_coverage) {
+            continue;
+        }
+        let r = typed_entity(&mut b, &mut rng, &u.name, &u.name, SemanticType::University, false);
+        let city = &world.us_cities[u.city];
+        if rng.random_bool(config.cov(LocatedIn)) {
+            if let Some(rc) = ids.us_cities[u.city] {
+                b.fact(r, p(&props, LocatedIn), rc);
+            }
+        }
+        if rng.random_bool(config.cov(InState)) {
+            if let Some(rs) = ids.states[city.state] {
+                b.fact(r, p(&props, InState), rs);
+            }
+        }
+    }
+
+    b.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+
+    fn world() -> World {
+        World::generate(WorldConfig::tiny())
+    }
+
+    #[test]
+    fn yago_like_builds_and_is_deep() {
+        let w = world();
+        let kb = build_kb(&w, &KbGenConfig::for_flavor(KbFlavor::YagoLike));
+        assert_eq!(kb.name(), "yago-like");
+        // Deep hierarchy: capital ⊂ city ⊂ … ⊂ entity.
+        let capital = kb.class_by_name("capital").unwrap();
+        let city = kb.class_by_name("city").unwrap();
+        let entity = kb.class_by_name("entity").unwrap();
+        assert!(kb.class_hierarchy().is_a(capital.0, city.0));
+        assert!(kb.class_hierarchy().is_a(capital.0, entity.0));
+        // Noise types exist.
+        assert!(kb.class_by_name("wikicat_0000").is_some());
+        assert!(kb.num_classes() > 300);
+    }
+
+    #[test]
+    fn dbpedia_like_is_flat_and_small() {
+        let w = world();
+        let kb = build_kb(&w, &KbGenConfig::for_flavor(KbFlavor::DbpediaLike));
+        assert_eq!(kb.name(), "dbpedia-like");
+        assert!(kb.num_classes() < 30, "got {}", kb.num_classes());
+        let capital = kb.class_by_name("CapitalCity").unwrap();
+        let place = kb.class_by_name("Place").unwrap();
+        assert!(kb.class_hierarchy().is_a(capital.0, place.0));
+    }
+
+    #[test]
+    fn yago_has_no_soccer_relationships() {
+        let w = world();
+        let kb = build_kb(&w, &KbGenConfig::for_flavor(KbFlavor::YagoLike));
+        let plays_for = kb.property_by_name("playsFor").unwrap();
+        assert!(kb.subjects_of_property(plays_for).is_empty());
+    }
+
+    #[test]
+    fn dbpedia_has_soccer_relationships() {
+        let w = world();
+        let kb = build_kb(&w, &KbGenConfig::for_flavor(KbFlavor::DbpediaLike));
+        let team = kb.property_by_name("team").unwrap();
+        assert!(!kb.subjects_of_property(team).is_empty());
+    }
+
+    #[test]
+    fn capitals_are_queryable() {
+        let w = world();
+        let kb = build_kb(&w, &KbGenConfig::for_flavor(KbFlavor::DbpediaLike));
+        // At 0.95 coverage most capital facts exist; find one.
+        let capital_prop = kb.property_by_name("capital").unwrap();
+        let mut found = 0;
+        for (ci, c) in w.countries.iter().enumerate() {
+            let cap = w.capital_of(ci);
+            let (Some(rc), Some(rcap)) = (
+                kb.resource_by_name(&c.name),
+                kb.resource_by_name(&cap.name),
+            ) else {
+                continue;
+            };
+            if kb.holds(rc, capital_prop, rcap) {
+                found += 1;
+            }
+        }
+        assert!(found >= w.countries.len() / 2, "only {found} capital facts");
+    }
+
+    #[test]
+    fn coverage_zero_drops_everything() {
+        let w = world();
+        let mut cfg = KbGenConfig::for_flavor(KbFlavor::DbpediaLike);
+        cfg.player_coverage = 0.0;
+        let kb = build_kb(&w, &cfg);
+        for p in &w.players {
+            assert!(kb.resource_by_name(&p.name).is_none());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let w = world();
+        let cfg = KbGenConfig::for_flavor(KbFlavor::YagoLike);
+        let kb1 = build_kb(&w, &cfg);
+        let kb2 = build_kb(&w, &cfg);
+        assert_eq!(kb1.num_entities(), kb2.num_entities());
+        assert_eq!(kb1.num_facts(), kb2.num_facts());
+    }
+
+    #[test]
+    fn homonym_clubs_share_labels_with_cities() {
+        let w = World::generate(WorldConfig::default());
+        let kb = build_kb(&w, &KbGenConfig::for_flavor(KbFlavor::DbpediaLike));
+        // At 0.9 club coverage some homonym club must survive sampling.
+        let shared = w
+            .clubs
+            .iter()
+            .filter(|c| c.name != c.id_name)
+            .any(|c| kb.resources_by_label(&c.name).len() >= 2);
+        assert!(shared, "some city and club must share a label");
+    }
+}

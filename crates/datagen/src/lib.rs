@@ -1,0 +1,44 @@
+//! # katara-datagen — synthetic world, KBs and datasets
+//!
+//! The KATARA paper evaluates against Yago and DBpedia (closed multi-GB
+//! dumps) and Web-scraped datasets. Neither ships with this repository,
+//! so this crate builds the closest laptop-scale equivalent from a single
+//! seeded **synthetic world** (countries, capitals, languages, soccer
+//! players, clubs, US states, universities, …):
+//!
+//! * [`world`] — the ground truth: every entity and every true fact;
+//! * [`semantics`] — the semantic vocabulary shared by world, KBs and
+//!   ground-truth patterns, with per-KB-flavor naming;
+//! * [`kbgen`] — derive a **Yago-like** KB (deep type hierarchy, many
+//!   noise types, partial relation coverage) or a **DBpedia-like** KB
+//!   (shallow flat ontology, few types, higher coverage) from the world,
+//!   with *coverage knobs* controlling KB incompleteness;
+//! * [`tablegen`] — derive the paper's three dataset families:
+//!   `WikiTables` (28 small tables), `WebTables` (30 noisier tables) and
+//!   `RelationalTables` (Person / Soccer / University), each with its
+//!   ground-truth pattern;
+//! * [`oracle`] — crowd oracles answering from the *world* (not the
+//!   incomplete KB), as the paper's expert crowd does.
+//!
+//! Both KB flavors and all tables come from the *same* world, so the
+//! qualitative relationships the paper's evaluation rests on — KB
+//! incompleteness vs. data errors, type-hierarchy ambiguity, redundancy —
+//! hold by construction. Everything is deterministic given the seeds.
+
+#![warn(missing_docs)]
+
+pub mod kbgen;
+pub mod names;
+pub mod oracle;
+pub mod semantics;
+pub mod tablegen;
+pub mod world;
+
+pub use kbgen::{build_kb, KbFlavor, KbGenConfig};
+pub use oracle::{TableOracle, WorldFacts};
+pub use semantics::{SemanticRel, SemanticType};
+pub use tablegen::{
+    person_table, soccer_table, university_table, web_tables, wiki_tables, GeneratedTable,
+    TableGroundTruth,
+};
+pub use world::{World, WorldConfig};

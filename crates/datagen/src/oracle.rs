@@ -1,0 +1,342 @@
+//! Crowd oracles backed by the synthetic world.
+//!
+//! The paper's crowd workers are "experts in the KBs" — they know the real
+//! world, including facts the KB is missing. [`WorldFacts`] materializes
+//! every true typed-membership and relationship statement (under both
+//! flavors' naming, including supertypes and superproperty spellings);
+//! [`TableOracle`] answers validation questions from a table's ground
+//! truth pattern and annotation questions from the world facts.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use katara_crowd::{Answer, Oracle, Question};
+use katara_kb::sim::normalize;
+
+use crate::semantics::{KbFlavor, SemanticRel, SemanticType};
+use crate::tablegen::TableGroundTruth;
+use crate::world::World;
+
+/// Every true statement of the world, rendered under both KB flavors.
+#[derive(Debug, Default)]
+pub struct WorldFacts {
+    /// `(normalized entity label, class name)` — includes supertypes.
+    types: HashSet<(String, String)>,
+    /// `(normalized subject, property name, normalized object)`.
+    facts: HashSet<(String, String, String)>,
+}
+
+impl WorldFacts {
+    /// True if the entity labeled `label` has class `class_name` (any
+    /// flavor's spelling, supertypes included).
+    pub fn has_type(&self, label: &str, class_name: &str) -> bool {
+        self.types
+            .contains(&(normalize(label), class_name.to_string()))
+    }
+
+    /// True if `property(subject, object)` holds in the world.
+    pub fn holds(&self, subject: &str, property: &str, object: &str) -> bool {
+        self.facts
+            .contains(&(normalize(subject), property.to_string(), normalize(object)))
+    }
+
+    /// Number of type statements (both flavors).
+    pub fn num_type_statements(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Number of fact statements (both flavors).
+    pub fn num_fact_statements(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Materialize the full fact base from the world.
+    pub fn build(world: &World) -> Self {
+        let mut wf = WorldFacts::default();
+        let flavors = [KbFlavor::YagoLike, KbFlavor::DbpediaLike];
+
+        let mut add_type = |label: &str, t: SemanticType| {
+            for f in flavors {
+                let norm = normalize(label);
+                wf.types.insert((norm.clone(), t.name(f).to_string()));
+                for &anc in t.ancestors(f) {
+                    wf.types.insert((norm.clone(), anc.to_string()));
+                }
+            }
+        };
+        for c in &world.continents {
+            add_type(c, SemanticType::Continent);
+        }
+        for l in &world.languages {
+            add_type(l, SemanticType::Language);
+        }
+        for c in &world.countries {
+            add_type(&c.name, SemanticType::Country);
+        }
+        for c in &world.cities {
+            add_type(
+                &c.name,
+                if c.is_capital {
+                    SemanticType::Capital
+                } else {
+                    SemanticType::City
+                },
+            );
+        }
+        for l in &world.leagues {
+            add_type(l, SemanticType::League);
+        }
+        for k in &world.clubs {
+            add_type(&k.name, SemanticType::Club);
+            add_type(&k.stadium, SemanticType::Stadium);
+        }
+        for p in &world.players {
+            add_type(&p.name, SemanticType::SoccerPlayer);
+        }
+        for s in &world.states {
+            add_type(&s.name, SemanticType::State);
+        }
+        for c in &world.us_cities {
+            add_type(
+                &c.name,
+                if c.is_capital {
+                    SemanticType::StateCapital
+                } else {
+                    SemanticType::City
+                },
+            );
+        }
+        for u in &world.universities {
+            add_type(&u.name, SemanticType::University);
+        }
+        for p in &world.extra_persons {
+            add_type(p, SemanticType::Person);
+        }
+        for p in &world.extra_places {
+            add_type(p, SemanticType::City);
+        }
+        // Extra orgs carry no semantic leaf the tables use; they only
+        // bulk up the KB's organization class and need no oracle entry.
+
+        let mut add_fact = |s: &str, r: SemanticRel, o: &str| {
+            for f in flavors {
+                wf.facts
+                    .insert((normalize(s), r.name(f).to_string(), normalize(o)));
+            }
+        };
+        use SemanticRel::*;
+        for (ci, c) in world.countries.iter().enumerate() {
+            add_fact(&c.name, HasCapital, &world.capital_of(ci).name);
+            add_fact(&c.name, OfficialLanguage, world.language_of(ci));
+            add_fact(&c.name, LocatedIn, &world.continents[c.continent]);
+        }
+        for c in &world.cities {
+            add_fact(&c.name, LocatedIn, &world.countries[c.country].name);
+        }
+        for k in &world.clubs {
+            add_fact(&k.name, LocatedIn, &world.cities[k.city].name);
+            add_fact(&k.name, InLeague, &world.leagues[k.league]);
+            add_fact(&k.name, HasStadium, &k.stadium);
+        }
+        for p in &world.players {
+            add_fact(&p.name, Nationality, &world.countries[p.country].name);
+            add_fact(&p.name, BornIn, &world.cities[p.birth_city].name);
+            add_fact(&p.name, PlaysFor, &world.clubs[p.club].name);
+            add_fact(&p.name, HasHeight, &p.height);
+        }
+        for (si, s) in world.states.iter().enumerate() {
+            add_fact(&s.name, HasStateCapital, &world.state_capital_of(si).name);
+        }
+        for c in &world.us_cities {
+            add_fact(&c.name, InState, &world.states[c.state].name);
+        }
+        for u in &world.universities {
+            let city = &world.us_cities[u.city];
+            add_fact(&u.name, LocatedIn, &city.name);
+            add_fact(&u.name, InState, &world.states[city.state].name);
+        }
+        wf
+    }
+}
+
+/// An expert-crowd oracle for one table: pattern questions answered from
+/// the table's ground truth, fact questions from the world facts.
+#[derive(Debug, Clone)]
+pub struct TableOracle {
+    facts: Arc<WorldFacts>,
+    ground_truth: TableGroundTruth,
+    flavor: KbFlavor,
+}
+
+impl TableOracle {
+    /// Build the oracle for one (table, KB flavor) pair.
+    pub fn new(facts: Arc<WorldFacts>, ground_truth: TableGroundTruth, flavor: KbFlavor) -> Self {
+        TableOracle {
+            facts,
+            ground_truth,
+            flavor,
+        }
+    }
+}
+
+impl Oracle for TableOracle {
+    fn answer(&self, q: &Question) -> Answer {
+        match q {
+            Question::ColumnType {
+                column, candidates, ..
+            } => {
+                let want = self
+                    .ground_truth
+                    .column_types
+                    .get(*column)
+                    .copied()
+                    .flatten()
+                    .map(|t| t.name(self.flavor));
+                match want.and_then(|w| candidates.iter().position(|c| c == w)) {
+                    Some(i) => Answer::Choice(i),
+                    None => Answer::NoneOfTheAbove,
+                }
+            }
+            Question::Relationship {
+                columns,
+                candidates,
+                ..
+            } => {
+                let want = self
+                    .ground_truth
+                    .relationships
+                    .iter()
+                    .find(|&&(i, j, _)| (i, j) == *columns)
+                    .map(|&(_, _, r)| r.name(self.flavor));
+                // Candidates render as "<col> <property> <col>"; the
+                // middle token is the property name.
+                let hit = want.and_then(|w| {
+                    candidates
+                        .iter()
+                        .position(|c| c.split_whitespace().nth(1) == Some(w))
+                });
+                match hit {
+                    Some(i) => Answer::Choice(i),
+                    None => Answer::NoneOfTheAbove,
+                }
+            }
+            Question::Fact {
+                subject,
+                property,
+                object,
+            } => {
+                if property == "hasType" {
+                    Answer::Bool(self.facts.has_type(subject, object))
+                } else {
+                    Answer::Bool(self.facts.holds(subject, property, object))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tablegen::person_table;
+    use crate::world::WorldConfig;
+
+    fn fixture() -> (World, Arc<WorldFacts>) {
+        let w = World::generate(WorldConfig::tiny());
+        let f = Arc::new(WorldFacts::build(&w));
+        (w, f)
+    }
+
+    #[test]
+    fn world_facts_know_capitals() {
+        let (w, f) = fixture();
+        let c = &w.countries[0];
+        let cap = &w.cities[c.capital].name;
+        assert!(f.holds(&c.name, "hasCapital", cap), "yago spelling");
+        assert!(f.holds(&c.name, "capital", cap), "dbpedia spelling");
+        assert!(!f.holds(&c.name, "hasCapital", &w.cities[c.capital + 1].name));
+    }
+
+    #[test]
+    fn world_facts_know_types_with_supertypes() {
+        let (w, f) = fixture();
+        let cap = &w.cities[w.countries[0].capital].name;
+        assert!(f.has_type(cap, "capital"));
+        assert!(f.has_type(cap, "city"), "supertype must count");
+        assert!(f.has_type(cap, "CapitalCity"), "dbpedia spelling");
+        assert!(!f.has_type(cap, "country"));
+    }
+
+    #[test]
+    fn literal_heights_are_facts() {
+        let (w, f) = fixture();
+        let p = &w.players[0];
+        assert!(f.holds(&p.name, "hasHeight", &p.height));
+        assert!(!f.holds(&p.name, "hasHeight", "9.99"));
+    }
+
+    #[test]
+    fn oracle_answers_type_questions() {
+        let (w, f) = fixture();
+        let g = person_table(&w, 20, 1);
+        let oracle = TableOracle::new(f, g.ground_truth.clone(), KbFlavor::YagoLike);
+        let q = Question::ColumnType {
+            table: "Person".into(),
+            column: 1,
+            header: vec!["A".into(), "B".into(), "C".into(), "D".into()],
+            sample_rows: vec![],
+            candidates: vec!["economy".into(), "country".into(), "entity".into()],
+        };
+        assert_eq!(oracle.answer(&q), Answer::Choice(1));
+        let q_bad = Question::ColumnType {
+            table: "Person".into(),
+            column: 1,
+            header: vec![],
+            sample_rows: vec![],
+            candidates: vec!["economy".into()],
+        };
+        assert_eq!(oracle.answer(&q_bad), Answer::NoneOfTheAbove);
+    }
+
+    #[test]
+    fn oracle_answers_relationship_questions() {
+        let (w, f) = fixture();
+        let g = person_table(&w, 20, 1);
+        let oracle = TableOracle::new(f, g.ground_truth.clone(), KbFlavor::YagoLike);
+        let q = Question::Relationship {
+            table: "Person".into(),
+            columns: (1, 2),
+            header: vec![],
+            sample_rows: vec![],
+            candidates: vec!["B isLocatedIn C".into(), "B hasCapital C".into()],
+        };
+        assert_eq!(oracle.answer(&q), Answer::Choice(1));
+    }
+
+    #[test]
+    fn oracle_answers_fact_questions_from_world() {
+        let (w, f) = fixture();
+        let g = person_table(&w, 20, 1);
+        let oracle = TableOracle::new(f, g.ground_truth.clone(), KbFlavor::DbpediaLike);
+        let c = &w.countries[0];
+        let truth = Question::Fact {
+            subject: c.name.clone(),
+            property: "capital".into(),
+            object: w.cities[c.capital].name.clone(),
+        };
+        assert_eq!(oracle.answer(&truth), Answer::Bool(true));
+        let lie = Question::Fact {
+            subject: c.name.clone(),
+            property: "capital".into(),
+            object: "Atlantis".into(),
+        };
+        assert_eq!(oracle.answer(&lie), Answer::Bool(false));
+    }
+
+    #[test]
+    fn fact_counts_nonzero() {
+        let (_, f) = fixture();
+        assert!(f.num_type_statements() > 100);
+        assert!(f.num_fact_statements() > 100);
+    }
+}

@@ -1,0 +1,269 @@
+//! The semantic vocabulary shared by the world, the KB generators and the
+//! ground-truth patterns.
+//!
+//! A [`SemanticType`] / [`SemanticRel`] is flavor-independent; each KB
+//! flavor renders it under its own naming convention and hierarchy —
+//! Yago-like uses lowercase WordNet-ish leaf names under a deep hierarchy,
+//! DBpedia-like uses CamelCase ontology names under a flat one. Ground
+//! truth is stored semantically and rendered per flavor at evaluation
+//! time.
+
+/// Which KB style to emulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KbFlavor {
+    /// Deep hierarchy, many (noisy) fine-grained types, patchier relation
+    /// coverage — models Yago (374K types).
+    YagoLike,
+    /// Flat, small ontology with higher relation coverage — models
+    /// DBpedia (865 types).
+    DbpediaLike,
+}
+
+impl KbFlavor {
+    /// Display name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            KbFlavor::YagoLike => "yago-like",
+            KbFlavor::DbpediaLike => "dbpedia-like",
+        }
+    }
+}
+
+/// Semantic entity types of the synthetic world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variant names are the documentation
+pub enum SemanticType {
+    Person,
+    SoccerPlayer,
+    Country,
+    City,
+    Capital,
+    Club,
+    League,
+    State,
+    StateCapital,
+    University,
+    Language,
+    Continent,
+    Stadium,
+}
+
+impl SemanticType {
+    /// The most specific class name this type carries in a flavor.
+    pub fn name(self, flavor: KbFlavor) -> &'static str {
+        use SemanticType::*;
+        match flavor {
+            KbFlavor::YagoLike => match self {
+                Person => "person",
+                SoccerPlayer => "soccer_player",
+                Country => "country",
+                City => "city",
+                Capital => "capital",
+                Club => "soccer_club",
+                League => "soccer_league",
+                State => "us_state",
+                StateCapital => "state_capital",
+                University => "university",
+                Language => "language",
+                Continent => "continent",
+                Stadium => "stadium",
+            },
+            KbFlavor::DbpediaLike => match self {
+                Person => "Person",
+                SoccerPlayer => "SoccerPlayer",
+                Country => "Country",
+                City => "Settlement",
+                Capital => "CapitalCity",
+                Club => "SoccerClub",
+                League => "SoccerLeague",
+                State => "AdministrativeRegion",
+                StateCapital => "CapitalCity",
+                University => "University",
+                Language => "Language",
+                Continent => "Continent",
+                Stadium => "Stadium",
+            },
+        }
+    }
+
+    /// The flavor's superclass chain *above* the leaf name, most specific
+    /// first. Yago-like is deep; DBpedia-like is at most one level.
+    pub fn ancestors(self, flavor: KbFlavor) -> &'static [&'static str] {
+        use SemanticType::*;
+        match flavor {
+            KbFlavor::YagoLike => match self {
+                Person => &["living_thing", "entity"],
+                SoccerPlayer => &["athlete", "person", "living_thing", "entity"],
+                Country => &["administrative_district", "location", "entity"],
+                City => &["populated_place", "location", "entity"],
+                Capital => &["city", "populated_place", "location", "entity"],
+                Club => &["organization", "entity"],
+                League => &["organization", "entity"],
+                State => &["administrative_district", "location", "entity"],
+                StateCapital => &["capital", "city", "populated_place", "location", "entity"],
+                University => &["educational_institution", "organization", "entity"],
+                Language => &["abstraction", "entity"],
+                Continent => &["location", "entity"],
+                Stadium => &["facility", "location", "entity"],
+            },
+            KbFlavor::DbpediaLike => match self {
+                Person => &["Agent"],
+                SoccerPlayer => &["Person", "Agent"],
+                Country | City | State | Continent | Stadium => &["Place"],
+                Capital | StateCapital => &["Settlement", "Place"],
+                Club | League | University => &["Organisation", "Agent"],
+                Language => &["Work"],
+            },
+        }
+    }
+
+    /// All world types, for iteration.
+    pub fn all() -> &'static [SemanticType] {
+        use SemanticType::*;
+        &[
+            Person,
+            SoccerPlayer,
+            Country,
+            City,
+            Capital,
+            Club,
+            League,
+            State,
+            StateCapital,
+            University,
+            Language,
+            Continent,
+            Stadium,
+        ]
+    }
+}
+
+/// Semantic relationships of the synthetic world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SemanticRel {
+    /// person → country.
+    Nationality,
+    /// country → capital city.
+    HasCapital,
+    /// person → city.
+    BornIn,
+    /// player → club.
+    PlaysFor,
+    /// city/club/university → country or state (the generic containment).
+    LocatedIn,
+    /// country → language.
+    OfficialLanguage,
+    /// university/city → state.
+    InState,
+    /// player → height literal.
+    HasHeight,
+    /// club → league.
+    InLeague,
+    /// state → its capital city.
+    HasStateCapital,
+    /// club → stadium.
+    HasStadium,
+}
+
+impl SemanticRel {
+    /// Property name in a flavor.
+    pub fn name(self, flavor: KbFlavor) -> &'static str {
+        use SemanticRel::*;
+        match flavor {
+            KbFlavor::YagoLike => match self {
+                Nationality => "isCitizenOf",
+                HasCapital => "hasCapital",
+                BornIn => "wasBornIn",
+                PlaysFor => "playsFor",
+                LocatedIn => "isLocatedIn",
+                OfficialLanguage => "hasOfficialLanguage",
+                InState => "isInState",
+                HasHeight => "hasHeight",
+                InLeague => "playsInLeague",
+                HasStateCapital => "hasCapital",
+                HasStadium => "hasStadium",
+            },
+            KbFlavor::DbpediaLike => match self {
+                Nationality => "nationality",
+                HasCapital => "capital",
+                BornIn => "birthPlace",
+                PlaysFor => "team",
+                LocatedIn => "location",
+                OfficialLanguage => "officialLanguage",
+                InState => "state",
+                HasHeight => "height",
+                InLeague => "league",
+                HasStateCapital => "capital",
+                HasStadium => "ground",
+            },
+        }
+    }
+
+    /// True if the object position is a literal (no KB resource).
+    pub fn is_literal(self) -> bool {
+        matches!(self, SemanticRel::HasHeight)
+    }
+
+    /// All relationships, for iteration.
+    pub fn all() -> &'static [SemanticRel] {
+        use SemanticRel::*;
+        &[
+            Nationality,
+            HasCapital,
+            BornIn,
+            PlaysFor,
+            LocatedIn,
+            OfficialLanguage,
+            InState,
+            HasHeight,
+            InLeague,
+            HasStateCapital,
+            HasStadium,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_differ_across_flavors() {
+        assert_ne!(
+            SemanticType::Country.name(KbFlavor::YagoLike),
+            SemanticType::Country.name(KbFlavor::DbpediaLike)
+        );
+        assert_ne!(
+            SemanticRel::Nationality.name(KbFlavor::YagoLike),
+            SemanticRel::Nationality.name(KbFlavor::DbpediaLike)
+        );
+    }
+
+    #[test]
+    fn yago_hierarchy_is_deeper() {
+        for &t in SemanticType::all() {
+            assert!(
+                t.ancestors(KbFlavor::YagoLike).len() >= t.ancestors(KbFlavor::DbpediaLike).len(),
+                "{t:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn capital_is_below_city_in_yago() {
+        let anc = SemanticType::Capital.ancestors(KbFlavor::YagoLike);
+        assert_eq!(anc[0], "city");
+    }
+
+    #[test]
+    fn literal_flag() {
+        assert!(SemanticRel::HasHeight.is_literal());
+        assert!(!SemanticRel::HasCapital.is_literal());
+    }
+
+    #[test]
+    fn flavor_names() {
+        assert_eq!(KbFlavor::YagoLike.name(), "yago-like");
+        assert_eq!(KbFlavor::DbpediaLike.name(), "dbpedia-like");
+    }
+}

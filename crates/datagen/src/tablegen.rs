@@ -1,0 +1,537 @@
+//! Dataset generation: the paper's three dataset families, with ground
+//! truth.
+//!
+//! * `RelationalTables` — Person (large, redundant; paper: 316K rows,
+//!   scale configurable here), Soccer (1625 rows) and University (1357
+//!   rows), matching the FDs of Appendix D;
+//! * `WikiTables` — 28 small (~32-row) tables over assorted schema
+//!   templates;
+//! * `WebTables` — 30 larger (~67-row), noisier tables (nulls, more
+//!   templates).
+//!
+//! Every generated table is *clean*; experiments corrupt copies with
+//! [`katara_table::corrupt`] and keep the clean original as ground truth.
+//! Pattern-level ground truth is stored *semantically* and rendered per
+//! KB flavor at evaluation time ([`TableGroundTruth::types_for`] /
+//! [`TableGroundTruth::rels_for`]).
+
+use katara_table::{CellChange, CellRef, CorruptionKind, CorruptionLog, Table, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::kbgen::KbGenConfig;
+use crate::semantics::{KbFlavor, SemanticRel, SemanticType};
+use crate::world::World;
+
+/// The semantic ground-truth pattern of a generated table.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TableGroundTruth {
+    /// Per column: the most specific semantic type, or `None` for columns
+    /// not modeled by the KBs (codes, free text, literals).
+    pub column_types: Vec<Option<SemanticType>>,
+    /// Directed relationships `(subject col, object col, rel)`.
+    pub relationships: Vec<(usize, usize, SemanticRel)>,
+}
+
+impl TableGroundTruth {
+    /// Render the column types under a flavor (class-name strings).
+    pub fn types_for(&self, flavor: KbFlavor) -> Vec<Option<&'static str>> {
+        self.column_types
+            .iter()
+            .map(|t| t.map(|t| t.name(flavor)))
+            .collect()
+    }
+
+    /// Relationships a KB built with `config` can express (coverage > 0),
+    /// rendered as `(subject, object, property-name)`.
+    pub fn rels_for(&self, config: &KbGenConfig) -> Vec<(usize, usize, &'static str)> {
+        self.relationships
+            .iter()
+            .filter(|(_, _, r)| {
+                config.relation_coverage.get(r).copied().unwrap_or(0.0) > 0.0
+            })
+            .map(|&(i, j, r)| (i, j, r.name(config.flavor)))
+            .collect()
+    }
+
+    /// Number of typed columns.
+    pub fn num_typed_columns(&self) -> usize {
+        self.column_types.iter().filter(|t| t.is_some()).count()
+    }
+}
+
+/// A generated table together with its ground truth.
+#[derive(Debug, Clone)]
+pub struct GeneratedTable {
+    /// The table as published (may contain natural nulls — see `blanks`).
+    pub table: Table,
+    /// Its semantic ground truth.
+    pub ground_truth: TableGroundTruth,
+    /// Natural missing values: cells blanked at generation time, with
+    /// their ground-truth content. The paper's Wiki/Web corpora carry
+    /// such nulls ("most of remaining errors in these tables are null
+    /// values"); repair experiments score against these too.
+    pub blanks: CorruptionLog,
+}
+
+/// The Person relational table: player, country, capital, language —
+/// joined on country like the paper's Person, highly redundant. `n` rows
+/// are drawn by cycling the player list.
+pub fn person_table(world: &World, n: usize, seed: u64) -> GeneratedTable {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Table::with_opaque_columns("Person", 4);
+    for _ in 0..n {
+        let p = &world.players[draw_player(&mut rng, world)];
+        t.push_text_row(&[
+            &p.name,
+            &world.countries[p.country].name,
+            &world.capital_of(p.country).name,
+            world.language_of(p.country),
+        ]);
+    }
+    GeneratedTable {
+        table: t,
+        ground_truth: TableGroundTruth {
+            column_types: vec![
+                Some(SemanticType::SoccerPlayer),
+                Some(SemanticType::Country),
+                Some(SemanticType::Capital),
+                Some(SemanticType::Language),
+            ],
+            relationships: vec![
+                (0, 1, SemanticRel::Nationality),
+                (1, 2, SemanticRel::HasCapital),
+                (1, 3, SemanticRel::OfficialLanguage),
+                (2, 1, SemanticRel::LocatedIn),
+            ],
+        },
+        blanks: CorruptionLog::default(),
+    }
+}
+
+/// The Soccer relational table: club, league, player, club code, club
+/// city — the FDs of Appendix D (`C → A,B; A → E; D → A`) hold on it.
+pub fn soccer_table(world: &World, n: usize, seed: u64) -> GeneratedTable {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Table::with_opaque_columns("Soccer", 5);
+    // Distinct players (stars first), cycling only if n exceeds the
+    // population: the paper's Soccer has one row per player, so the
+    // player-keyed FDs carry no redundancy — which is what limits EQ and
+    // SCARE on it (Table 6).
+    let pool = sample_players(&mut rng, world, n.min(world.players.len()));
+    for i in 0..n {
+        let p = &world.players[pool[i % pool.len()]];
+        let club = &world.clubs[p.club];
+        t.push_text_row(&[
+            &club.name,
+            &world.leagues[club.league],
+            &p.name,
+            &club.code,
+            &world.cities[club.city].name,
+        ]);
+    }
+    GeneratedTable {
+        table: t,
+        ground_truth: TableGroundTruth {
+            column_types: vec![
+                Some(SemanticType::Club),
+                Some(SemanticType::League),
+                Some(SemanticType::SoccerPlayer),
+                None, // club codes have no KB counterpart
+                Some(SemanticType::City),
+            ],
+            relationships: vec![
+                (2, 0, SemanticRel::PlaysFor),
+                (0, 1, SemanticRel::InLeague),
+                (0, 4, SemanticRel::LocatedIn),
+            ],
+        },
+        blanks: CorruptionLog::default(),
+    }
+}
+
+/// The University relational table: university, state, city — the FDs
+/// `A → B,C; C → B` hold.
+pub fn university_table(world: &World, n: usize, seed: u64) -> GeneratedTable {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Table::with_opaque_columns("University", 3);
+    // Distinct universities (shuffled), cycling only if n exceeds the
+    // population.
+    let pool = sample_indexes(&mut rng, world.universities.len(), n);
+    for i in 0..n {
+        let u = &world.universities[pool[i % pool.len()]];
+        let city = &world.us_cities[u.city];
+        let _ = rng.random_range(0..100u32);
+        t.push_text_row(&[&u.name, &world.states[city.state].name, &city.name]);
+    }
+    GeneratedTable {
+        table: t,
+        ground_truth: TableGroundTruth {
+            column_types: vec![
+                Some(SemanticType::University),
+                Some(SemanticType::State),
+                Some(SemanticType::City),
+            ],
+            relationships: vec![
+                (0, 1, SemanticRel::InState),
+                (0, 2, SemanticRel::LocatedIn),
+                (2, 1, SemanticRel::InState),
+            ],
+        },
+        blanks: CorruptionLog::default(),
+    }
+}
+
+/// Schema templates shared by the Wiki/Web table generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Template {
+    CountryCapital,
+    CountryLanguage,
+    PlayerClub,
+    PlayerHeight,
+    CityCountry,
+    StateCapital,
+    ClubLeague,
+    PlayerCountryCapital,
+    CountryCapitalLanguage,
+    CountryCapitalWithCode,
+}
+
+const TEMPLATES: &[Template] = &[
+    Template::CountryCapital,
+    Template::CountryLanguage,
+    Template::PlayerClub,
+    Template::PlayerHeight,
+    Template::CityCountry,
+    Template::StateCapital,
+    Template::ClubLeague,
+    Template::PlayerCountryCapital,
+    Template::CountryCapitalLanguage,
+    Template::CountryCapitalWithCode,
+];
+
+/// Sample `rows` distinct *player* indexes, stars first (Web tables list
+/// the famous players), padding with non-stars when the table is larger
+/// than the star pool.
+fn sample_players(rng: &mut StdRng, world: &World, rows: usize) -> Vec<usize> {
+    let stars = world.num_stars();
+    let mut idx = sample_indexes(rng, stars, rows);
+    if idx.len() < rows {
+        let rest: Vec<usize> = sample_indexes(rng, world.players.len() - stars, rows - idx.len())
+            .into_iter()
+            .map(|i| i + stars)
+            .collect();
+        idx.extend(rest);
+    }
+    idx
+}
+
+/// One star-biased player draw (with replacement): a star with
+/// probability 0.9, any player otherwise.
+fn draw_player(rng: &mut StdRng, world: &World) -> usize {
+    if rng.random_bool(0.9) {
+        rng.random_range(0..world.num_stars())
+    } else {
+        rng.random_range(0..world.players.len())
+    }
+}
+
+/// Sample `rows` distinct indexes from `0..n` (all of them if `rows > n`).
+fn sample_indexes(rng: &mut StdRng, n: usize, rows: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    let take = rows.min(n);
+    for i in 0..take {
+        let j = rng.random_range(i..n);
+        idx.swap(i, j);
+    }
+    idx.truncate(take);
+    idx
+}
+
+fn instantiate(
+    world: &World,
+    template: Template,
+    rows: usize,
+    null_rate: f64,
+    name: &str,
+    rng: &mut StdRng,
+) -> GeneratedTable {
+    use SemanticRel::*;
+    use SemanticType::*;
+    let mut gt = TableGroundTruth::default();
+    let mut t;
+    match template {
+        Template::CountryCapital => {
+            t = Table::with_opaque_columns(name, 2);
+            for ci in sample_indexes(rng, world.countries.len(), rows) {
+                t.push_text_row(&[&world.countries[ci].name, &world.capital_of(ci).name]);
+            }
+            gt.column_types = vec![Some(Country), Some(Capital)];
+            gt.relationships = vec![(0, 1, HasCapital), (1, 0, LocatedIn)];
+        }
+        Template::CountryLanguage => {
+            t = Table::with_opaque_columns(name, 2);
+            for ci in sample_indexes(rng, world.countries.len(), rows) {
+                t.push_text_row(&[&world.countries[ci].name, world.language_of(ci)]);
+            }
+            gt.column_types = vec![Some(Country), Some(Language)];
+            gt.relationships = vec![(0, 1, OfficialLanguage)];
+        }
+        Template::PlayerClub => {
+            t = Table::with_opaque_columns(name, 2);
+            for pi in sample_players(rng, world, rows) {
+                let p = &world.players[pi];
+                t.push_text_row(&[&p.name, &world.clubs[p.club].name]);
+            }
+            gt.column_types = vec![Some(SoccerPlayer), Some(Club)];
+            gt.relationships = vec![(0, 1, PlaysFor)];
+        }
+        Template::PlayerHeight => {
+            t = Table::with_opaque_columns(name, 2);
+            for pi in sample_players(rng, world, rows) {
+                let p = &world.players[pi];
+                t.push_text_row(&[&p.name, &p.height]);
+            }
+            gt.column_types = vec![Some(SoccerPlayer), None];
+            gt.relationships = vec![(0, 1, HasHeight)];
+        }
+        Template::CityCountry => {
+            t = Table::with_opaque_columns(name, 2);
+            for ci in sample_indexes(rng, world.cities.len(), rows) {
+                let c = &world.cities[ci];
+                t.push_text_row(&[&c.name, &world.countries[c.country].name]);
+            }
+            gt.column_types = vec![Some(City), Some(Country)];
+            gt.relationships = vec![(0, 1, LocatedIn)];
+        }
+        Template::StateCapital => {
+            t = Table::with_opaque_columns(name, 2);
+            for si in sample_indexes(rng, world.states.len(), rows) {
+                t.push_text_row(&[&world.states[si].name, &world.state_capital_of(si).name]);
+            }
+            gt.column_types = vec![Some(State), Some(StateCapital)];
+            gt.relationships = vec![(0, 1, HasStateCapital), (1, 0, InState)];
+        }
+        Template::ClubLeague => {
+            t = Table::with_opaque_columns(name, 2);
+            for ki in sample_indexes(rng, world.clubs.len(), rows) {
+                let k = &world.clubs[ki];
+                t.push_text_row(&[&k.name, &world.leagues[k.league]]);
+            }
+            gt.column_types = vec![Some(Club), Some(League)];
+            gt.relationships = vec![(0, 1, InLeague)];
+        }
+        Template::PlayerCountryCapital => {
+            t = Table::with_opaque_columns(name, 3);
+            for pi in sample_players(rng, world, rows) {
+                let p = &world.players[pi];
+                t.push_text_row(&[
+                    &p.name,
+                    &world.countries[p.country].name,
+                    &world.capital_of(p.country).name,
+                ]);
+            }
+            gt.column_types = vec![Some(SoccerPlayer), Some(Country), Some(Capital)];
+            gt.relationships = vec![(0, 1, Nationality), (1, 2, HasCapital), (2, 1, LocatedIn)];
+        }
+        Template::CountryCapitalLanguage => {
+            t = Table::with_opaque_columns(name, 3);
+            for ci in sample_indexes(rng, world.countries.len(), rows) {
+                t.push_text_row(&[
+                    &world.countries[ci].name,
+                    &world.capital_of(ci).name,
+                    world.language_of(ci),
+                ]);
+            }
+            gt.column_types = vec![Some(Country), Some(Capital), Some(Language)];
+            gt.relationships = vec![
+                (0, 1, HasCapital),
+                (0, 2, OfficialLanguage),
+                (1, 0, LocatedIn),
+            ];
+        }
+        Template::CountryCapitalWithCode => {
+            t = Table::with_opaque_columns(name, 3);
+            for ci in sample_indexes(rng, world.countries.len(), rows) {
+                let code = format!("#{ci:03}-{}", rng.random_range(100..999u32));
+                t.push_text_row(&[&world.countries[ci].name, &world.capital_of(ci).name, &code]);
+            }
+            gt.column_types = vec![Some(Country), Some(Capital), None];
+            gt.relationships = vec![(0, 1, HasCapital), (1, 0, LocatedIn)];
+        }
+    }
+    // Blank some cells, recording the lost ground truth.
+    let mut blanks = CorruptionLog::default();
+    if null_rate > 0.0 {
+        for r in 0..t.num_rows() {
+            for c in 0..t.num_columns() {
+                if rng.random_bool(null_rate) {
+                    let original = t.set_cell(r, c, Value::Null);
+                    if !original.is_null() {
+                        blanks.changes.push(CellChange {
+                            cell: CellRef { row: r, col: c },
+                            original,
+                            corrupted: Value::Null,
+                            kind: CorruptionKind::Nulled,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    GeneratedTable {
+        table: t,
+        ground_truth: gt,
+        blanks,
+    }
+}
+
+/// The WikiTables corpus: `count` small tables (~32 rows, clean).
+pub fn wiki_tables(world: &World, count: usize, seed: u64) -> Vec<GeneratedTable> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            let template = TEMPLATES[i % TEMPLATES.len()];
+            let rows = 24 + rng.random_range(0..16usize); // ~32 avg
+            instantiate(
+                world,
+                template,
+                rows,
+                0.0,
+                &format!("wiki_{i:02}"),
+                &mut rng,
+            )
+        })
+        .collect()
+}
+
+/// The WebTables corpus: `count` larger, noisier tables (~67 rows, a few
+/// nulls).
+pub fn web_tables(world: &World, count: usize, seed: u64) -> Vec<GeneratedTable> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            let template = TEMPLATES[(i * 3 + 1) % TEMPLATES.len()];
+            let rows = 50 + rng.random_range(0..34usize); // ~67 avg
+            instantiate(
+                world,
+                template,
+                rows,
+                0.02,
+                &format!("web_{i:02}"),
+                &mut rng,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+    use katara_table::Fd;
+
+    fn world() -> World {
+        World::generate(WorldConfig::tiny())
+    }
+
+    #[test]
+    fn person_table_shape_and_fds() {
+        let w = world();
+        let g = person_table(&w, 200, 1);
+        assert_eq!(g.table.num_rows(), 200);
+        assert_eq!(g.table.num_columns(), 4);
+        // Paper FD: A → B, C, D.
+        for fd in Fd::expand(&[0], &[1, 2, 3]) {
+            assert!(fd.holds_on(&g.table), "{fd:?} must hold on clean Person");
+        }
+        assert_eq!(g.ground_truth.num_typed_columns(), 4);
+    }
+
+    #[test]
+    fn soccer_table_fds() {
+        let w = world();
+        let g = soccer_table(&w, 300, 2);
+        // Paper FDs: C → A, B; A → E; D → A.
+        for fd in Fd::expand(&[2], &[0, 1]) {
+            assert!(fd.holds_on(&g.table), "{fd:?}");
+        }
+        assert!(Fd::new(vec![0], 4).holds_on(&g.table), "A → E");
+        assert!(Fd::new(vec![3], 0).holds_on(&g.table), "D → A");
+        // The code column is semantically untyped.
+        assert_eq!(g.ground_truth.column_types[3], None);
+    }
+
+    #[test]
+    fn university_table_fds() {
+        let w = world();
+        let g = university_table(&w, 150, 3);
+        for fd in Fd::expand(&[0], &[1, 2]) {
+            assert!(fd.holds_on(&g.table), "{fd:?}");
+        }
+        assert!(Fd::new(vec![2], 1).holds_on(&g.table), "C → B");
+    }
+
+    #[test]
+    fn wiki_tables_have_paper_shape() {
+        let w = world();
+        let tables = wiki_tables(&w, 28, 4);
+        assert_eq!(tables.len(), 28);
+        let avg: f64 = tables.iter().map(|t| t.table.num_rows() as f64).sum::<f64>()
+            / tables.len() as f64;
+        assert!(
+            (10.0..=40.0).contains(&avg),
+            "average rows {avg} out of range"
+        );
+        for t in &tables {
+            assert!(t.ground_truth.num_typed_columns() >= 1);
+        }
+    }
+
+    #[test]
+    fn web_tables_are_larger_and_noisier() {
+        let w = World::generate(WorldConfig::default());
+        let wiki = wiki_tables(&w, 28, 4);
+        let web = web_tables(&w, 30, 5);
+        assert_eq!(web.len(), 30);
+        let avg_wiki: f64 =
+            wiki.iter().map(|t| t.table.num_rows() as f64).sum::<f64>() / wiki.len() as f64;
+        let avg_web: f64 =
+            web.iter().map(|t| t.table.num_rows() as f64).sum::<f64>() / web.len() as f64;
+        assert!(avg_web > avg_wiki);
+        let has_null = web
+            .iter()
+            .any(|t| (0..t.table.num_columns()).any(|c| t.table.null_fraction(c) > 0.0));
+        assert!(has_null, "web tables must contain some nulls");
+    }
+
+    #[test]
+    fn ground_truth_rendering_per_flavor() {
+        let w = world();
+        let g = person_table(&w, 10, 1);
+        let yago = g.ground_truth.types_for(KbFlavor::YagoLike);
+        let dbp = g.ground_truth.types_for(KbFlavor::DbpediaLike);
+        assert_eq!(yago[1], Some("country"));
+        assert_eq!(dbp[1], Some("Country"));
+
+        // Yago-like models no soccer relations → PlaysFor filtered out.
+        let gs = soccer_table(&w, 10, 1);
+        let yago_cfg = KbGenConfig::for_flavor(KbFlavor::YagoLike);
+        let dbp_cfg = KbGenConfig::for_flavor(KbFlavor::DbpediaLike);
+        let yago_rels = gs.ground_truth.rels_for(&yago_cfg);
+        let dbp_rels = gs.ground_truth.rels_for(&dbp_cfg);
+        assert!(yago_rels.iter().all(|(_, _, r)| *r != "playsFor"));
+        assert!(dbp_rels.iter().any(|(_, _, r)| *r == "team"));
+        assert!(dbp_rels.len() > yago_rels.len());
+    }
+
+    #[test]
+    fn determinism() {
+        let w = world();
+        let a = wiki_tables(&w, 5, 9);
+        let b = wiki_tables(&w, 5, 9);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.table, y.table);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! `katara-experiments` — regenerate every table and figure of the
+//! KATARA paper's evaluation and print a Markdown report.
+//!
+//! ```text
+//! katara-experiments [--small] [--person-rows N] [--repeats N] [--only LIST]
+//! ```
+//!
+//! * `--small`         use the fast test-size corpus;
+//! * `--person-rows N` scale the Person table (default 5000);
+//! * `--repeats N`     timing repetitions for Table 3 (default 2);
+//! * `--only LIST`     comma-separated subset, e.g. `table2,fig8`.
+//!
+//! Redirect stdout to `EXPERIMENTS.md` to refresh the checked-in report.
+
+use katara_eval::corpus::{Corpus, CorpusConfig};
+use katara_eval::experiments as ex;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = CorpusConfig::default();
+    let mut repeats = 2usize;
+    let mut only: Option<Vec<String>> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--small" => config = CorpusConfig::small(),
+            "--person-rows" => {
+                i += 1;
+                config.person_rows = args[i].parse().expect("--person-rows takes a number");
+            }
+            "--repeats" => {
+                i += 1;
+                repeats = args[i].parse().expect("--repeats takes a number");
+            }
+            "--only" => {
+                i += 1;
+                only = Some(args[i].split(',').map(str::to_string).collect());
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let wants = |name: &str| only.as_ref().is_none_or(|l| l.iter().any(|x| x == name));
+
+    eprintln!("building corpus…");
+    let t0 = std::time::Instant::now();
+    let corpus = Corpus::build(&config);
+    eprintln!("corpus ready in {:?}", t0.elapsed());
+
+    println!("# KATARA-rs — experiment report\n");
+    println!(
+        "Corpus: {} wiki tables, {} web tables, Person {} rows, Soccer {} rows, University {} rows.\n",
+        corpus.wiki.len(),
+        corpus.web.len(),
+        corpus.person.table.num_rows(),
+        corpus.soccer.table.num_rows(),
+        corpus.university.table.num_rows(),
+    );
+
+    macro_rules! section {
+        ($name:literal, $body:expr) => {
+            if wants($name) {
+                eprintln!("running {}…", $name);
+                let t = std::time::Instant::now();
+                let rendered = $body;
+                println!("{rendered}");
+                eprintln!("  {} done in {:?}", $name, t.elapsed());
+            }
+        };
+    }
+
+    section!("table1", ex::table1::run(&corpus).render());
+    section!("table2", ex::table2::run(&corpus).render());
+    section!("table3", ex::table3::run(&corpus, repeats).render());
+    section!("fig6", ex::fig6::run(&corpus).render());
+    section!("fig7", ex::fig7::run(&corpus).render());
+    section!("table4", ex::table4::run(&corpus).render());
+    section!("table5", ex::table5::run(&corpus).render());
+    section!("fig8", ex::fig8::run(&corpus).render());
+    section!("table6", ex::table6::run(&corpus).render());
+    section!("table7", ex::table7::run(&corpus).render());
+    section!("fig11", ex::fig11::run(&corpus).render());
+    section!("fig12", ex::fig12::run(&corpus).render());
+    section!("ablation", ex::ablation_coherence::run(&corpus).render());
+    section!("scaling", ex::scaling::run(&corpus, repeats).render());
+
+    eprintln!("all experiments finished in {:?}", t0.elapsed());
+}

@@ -1,0 +1,153 @@
+//! The shared experiment fixture: one world, the paper's three dataset
+//! families, and fresh KBs of both flavors on demand.
+
+use std::sync::Arc;
+
+use katara_datagen::{
+    build_kb, person_table, soccer_table, university_table, web_tables, wiki_tables,
+    GeneratedTable, KbFlavor, KbGenConfig, World, WorldConfig, WorldFacts,
+};
+use katara_kb::Kb;
+
+/// Corpus sizing.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// World sizing.
+    pub world: WorldConfig,
+    /// Person rows (paper: 316K; default laptop-scale, scale up at will).
+    pub person_rows: usize,
+    /// Soccer rows (paper: 1625).
+    pub soccer_rows: usize,
+    /// University rows (paper: 1357).
+    pub university_rows: usize,
+    /// Number of WikiTables (paper: 28).
+    pub wiki_count: usize,
+    /// Number of WebTables (paper: 30).
+    pub web_count: usize,
+    /// Seed for table sampling.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            world: WorldConfig::default(),
+            person_rows: 5000,
+            soccer_rows: 1625,
+            university_rows: 1357,
+            wiki_count: 28,
+            web_count: 30,
+            seed: 0xC0FF_EE00,
+        }
+    }
+}
+
+impl CorpusConfig {
+    /// A fast configuration for unit/integration tests.
+    pub fn small() -> Self {
+        CorpusConfig {
+            world: WorldConfig::tiny(),
+            person_rows: 300,
+            soccer_rows: 200,
+            university_rows: 150,
+            wiki_count: 6,
+            web_count: 6,
+            seed: 7,
+        }
+    }
+}
+
+/// The materialized corpus.
+#[derive(Debug)]
+pub struct Corpus {
+    /// The ground-truth world.
+    pub world: World,
+    /// Oracle fact base (shared, immutable).
+    pub facts: Arc<WorldFacts>,
+    /// WikiTables corpus.
+    pub wiki: Vec<GeneratedTable>,
+    /// WebTables corpus.
+    pub web: Vec<GeneratedTable>,
+    /// RelationalTables: Person.
+    pub person: GeneratedTable,
+    /// RelationalTables: Soccer.
+    pub soccer: GeneratedTable,
+    /// RelationalTables: University.
+    pub university: GeneratedTable,
+}
+
+impl Corpus {
+    /// Build the corpus from a config.
+    pub fn build(config: &CorpusConfig) -> Self {
+        let world = World::generate(config.world.clone());
+        let facts = Arc::new(WorldFacts::build(&world));
+        let wiki = wiki_tables(&world, config.wiki_count, config.seed ^ 1);
+        let web = web_tables(&world, config.web_count, config.seed ^ 2);
+        let person = person_table(&world, config.person_rows, config.seed ^ 3);
+        let soccer = soccer_table(&world, config.soccer_rows, config.seed ^ 4);
+        let university = university_table(&world, config.university_rows, config.seed ^ 5);
+        Corpus {
+            world,
+            facts,
+            wiki,
+            web,
+            person,
+            soccer,
+            university,
+        }
+    }
+
+    /// A fresh KB of the given flavor (fresh because annotation enriches
+    /// — experiments must not leak enrichment into each other).
+    pub fn kb(&self, flavor: KbFlavor) -> Kb {
+        build_kb(&self.world, &KbGenConfig::for_flavor(flavor))
+    }
+
+    /// The RelationalTables family, in paper order.
+    pub fn relational(&self) -> [(&'static str, &GeneratedTable); 3] {
+        [
+            ("Person", &self.person),
+            ("Soccer", &self.soccer),
+            ("University", &self.university),
+        ]
+    }
+
+    /// All dataset families as (name, tables) pairs.
+    pub fn families(&self) -> Vec<(&'static str, Vec<&GeneratedTable>)> {
+        vec![
+            ("WikiTables", self.wiki.iter().collect()),
+            ("WebTables", self.web.iter().collect()),
+            (
+                "RelationalTables",
+                vec![&self.person, &self.soccer, &self.university],
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_corpus_builds() {
+        let c = Corpus::build(&CorpusConfig::small());
+        assert_eq!(c.wiki.len(), 6);
+        assert_eq!(c.web.len(), 6);
+        assert_eq!(c.person.table.num_rows(), 300);
+        assert_eq!(c.families().len(), 3);
+    }
+
+    #[test]
+    fn fresh_kbs_are_independent() {
+        let c = Corpus::build(&CorpusConfig::small());
+        let mut kb1 = c.kb(KbFlavor::YagoLike);
+        let before = kb1.num_facts();
+        // Mutate one; a fresh one must not see it.
+        let class = kb1.class_by_name("country").unwrap();
+        kb1.add_entity("Wonderland", "Wonderland", &[class]);
+        let kb2 = c.kb(KbFlavor::YagoLike);
+        assert_eq!(kb2.num_facts(), before);
+        assert!(kb2.resource_by_name("Wonderland").is_none());
+    }
+}

@@ -1,0 +1,148 @@
+//! **Ablation** (not a paper artifact): how much of RankJoin's Table 2
+//! advantage comes from the coherence terms of §4.2? Re-runs the Table 2
+//! protocol with the coherence weight swept over {0, ½, 1}; weight 0 is
+//! exactly the paper's `naiveScore` strawman.
+
+use katara_core::rank_join::{discover_topk, DiscoveryConfig};
+use katara_core::scoring::ScoringConfig;
+use katara_datagen::KbFlavor;
+
+use crate::corpus::Corpus;
+use crate::experiments::{candidates_for, flavors, ground_truth_for};
+use crate::metrics::{pattern_precision_recall, PatternScore};
+use crate::report::{fmt2, MdTable};
+
+/// The coherence weights swept.
+pub const WEIGHTS: [f64; 3] = [0.0, 0.5, 1.0];
+
+/// One (dataset, flavor) row: top-1 score per weight.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Dataset family.
+    pub dataset: &'static str,
+    /// KB flavor.
+    pub flavor: KbFlavor,
+    /// One score per [`WEIGHTS`] entry.
+    pub scores: [PatternScore; 3],
+}
+
+/// The structured result.
+#[derive(Debug, Clone, Default)]
+pub struct AblationCoherence {
+    /// All rows.
+    pub rows: Vec<Row>,
+}
+
+/// Run the ablation.
+pub fn run(corpus: &Corpus) -> AblationCoherence {
+    let mut out = AblationCoherence::default();
+    for flavor in flavors() {
+        let kb = corpus.kb(flavor);
+        for (name, tables) in corpus.families() {
+            let mut sums = [PatternScore::default(); 3];
+            let mut n = 0usize;
+            for g in &tables {
+                let cands = candidates_for(&g.table, &kb);
+                let (gt_types, gt_rels) = ground_truth_for(g, flavor);
+                n += 1;
+                for (wi, &w) in WEIGHTS.iter().enumerate() {
+                    let cfg = DiscoveryConfig {
+                        scoring: ScoringConfig {
+                            coherence_weight: w,
+                        },
+                        max_states: 0,
+                    };
+                    let top = discover_topk(&g.table, &kb, &cands, 1, &cfg);
+                    let s = top
+                        .first()
+                        .map(|p| pattern_precision_recall(&kb, p, &gt_types, &gt_rels))
+                        .unwrap_or_default();
+                    sums[wi].p += s.p;
+                    sums[wi].r += s.r;
+                }
+            }
+            let mut scores = [PatternScore::default(); 3];
+            if n > 0 {
+                for (wi, s) in sums.into_iter().enumerate() {
+                    scores[wi] = PatternScore {
+                        p: s.p / n as f64,
+                        r: s.r / n as f64,
+                    };
+                }
+            }
+            out.rows.push(Row {
+                dataset: name,
+                flavor,
+                scores,
+            });
+        }
+    }
+    out
+}
+
+impl AblationCoherence {
+    /// Lookup a row.
+    pub fn row(&self, dataset: &str, flavor: KbFlavor) -> Option<&Row> {
+        self.rows
+            .iter()
+            .find(|r| r.dataset == dataset && r.flavor == flavor)
+    }
+
+    /// Render the Markdown section.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "## Ablation — coherence weight in the scoring model (top-1 F)\n\n",
+        );
+        for flavor in flavors() {
+            let mut t = MdTable::new(&["dataset", "naive (w=0)", "w=0.5", "full (w=1)"]);
+            for r in self.rows.iter().filter(|r| r.flavor == flavor) {
+                t.row(vec![
+                    r.dataset.to_string(),
+                    fmt2(r.scores[0].f_measure()),
+                    fmt2(r.scores[1].f_measure()),
+                    fmt2(r.scores[2].f_measure()),
+                ]);
+            }
+            out.push_str(&format!("### {}\n\n{}\n", flavor.name(), t.render()));
+        }
+        out.push_str(
+            "Weight 0 is §4.2's `naiveScore` strawman. On the ambiguous \
+             (Yago-like) KB the coherence terms pay for themselves; on a \
+             clean flat ontology they can cost a leaf-vs-supertype point \
+             (relational consistency sometimes prefers the broader type) \
+             — the trade Example 5 argues for.\n",
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusConfig;
+
+    #[test]
+    fn ablation_is_structurally_sane() {
+        // The tiny test corpus is too small for the coherence win to show
+        // (the dual-type ambiguity needs the full-size star pool; see the
+        // generated EXPERIMENTS.md for the real sweep) — here we only
+        // check the sweep runs, stays bounded, and renders.
+        let corpus = Corpus::build(&CorpusConfig::small());
+        let a = run(&corpus);
+        assert_eq!(a.rows.len(), 6);
+        for r in &a.rows {
+            let naive = r.scores[0].f_measure();
+            let full = r.scores[2].f_measure();
+            assert!(
+                full >= naive - 0.10,
+                "{}/{:?}: coherence hurt badly ({full:.2} vs {naive:.2})",
+                r.dataset,
+                r.flavor
+            );
+            for s in &r.scores {
+                assert!((0.0..=1.0).contains(&s.p) && (0.0..=1.0).contains(&s.r));
+            }
+        }
+        assert!(a.render().contains("naive"));
+    }
+}

@@ -1,0 +1,69 @@
+//! **Figure 11** (appendix B) — top-k F-measure sweeps on WikiTables and
+//! RelationalTables, complementing Figure 6's WebTables.
+
+use crate::corpus::Corpus;
+use crate::experiments::{fig6::render_series, flavors, topk_f_series};
+use crate::experiments::fig6::KS;
+
+/// The structured result: per dataset, per flavor, per k, per algorithm.
+#[derive(Debug, Clone, Default)]
+pub struct Fig11 {
+    /// `(dataset name, series[flavor][k][algo])`.
+    pub datasets: Vec<(&'static str, Vec<Vec<[f64; 4]>>)>,
+}
+
+/// Run the experiment.
+pub fn run(corpus: &Corpus) -> Fig11 {
+    let wiki: Vec<_> = corpus.wiki.iter().collect();
+    let relational: Vec<_> = vec![&corpus.person, &corpus.soccer, &corpus.university];
+    let mut out = Fig11::default();
+    for (name, tables) in [("WikiTables", wiki), ("RelationalTables", relational)] {
+        let series = flavors()
+            .into_iter()
+            .map(|flavor| topk_f_series(corpus, &tables, flavor, &KS))
+            .collect();
+        out.datasets.push((name, series));
+    }
+    out
+}
+
+impl Fig11 {
+    /// Render the Markdown section.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, series) in &self.datasets {
+            out.push_str(&render_series(
+                &format!("Figure 11 — top-k F-measure ({name})"),
+                series,
+            ));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusConfig;
+
+    #[test]
+    fn covers_both_datasets() {
+        let corpus = Corpus::build(&CorpusConfig::small());
+        let f11 = run(&corpus);
+        assert_eq!(f11.datasets.len(), 2);
+        let md = f11.render();
+        assert!(md.contains("WikiTables"));
+        assert!(md.contains("RelationalTables"));
+        // Monotonicity of top-k F for every dataset/flavor/algorithm.
+        for (_, series) in &f11.datasets {
+            for flavor_series in series {
+                for w in flavor_series.windows(2) {
+                    for (prev, next) in w[0].iter().zip(w[1].iter()) {
+                        assert!(next >= &(prev - 1e-12));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! **Figure 12** (appendix C) — pattern-validation P/R sweeps on
+//! WikiTables and RelationalTables. The paper notes RelationalTables
+//! needs only one question per variable (less ambiguity).
+
+use crate::corpus::Corpus;
+use crate::experiments::fig7::{render_validation, QS, WORKER_ACCURACY};
+use crate::experiments::{flavors, validation_series};
+use crate::metrics::PatternScore;
+
+/// The structured result.
+#[derive(Debug, Clone, Default)]
+pub struct Fig12 {
+    /// `(dataset name, series[flavor][q])`.
+    pub datasets: Vec<(&'static str, Vec<Vec<PatternScore>>)>,
+}
+
+/// Run the experiment.
+pub fn run(corpus: &Corpus) -> Fig12 {
+    let wiki: Vec<_> = corpus.wiki.iter().collect();
+    let relational: Vec<_> = vec![&corpus.person, &corpus.soccer, &corpus.university];
+    let mut out = Fig12::default();
+    for (name, tables) in [("WikiTables", wiki), ("RelationalTables", relational)] {
+        let series = flavors()
+            .into_iter()
+            .map(|flavor| validation_series(corpus, &tables, flavor, &QS, WORKER_ACCURACY))
+            .collect();
+        out.datasets.push((name, series));
+    }
+    out
+}
+
+impl Fig12 {
+    /// Render the Markdown section.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, series) in &self.datasets {
+            out.push_str(&render_validation(
+                &format!("Figure 12 — pattern validation P/R ({name})"),
+                series,
+            ));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusConfig;
+
+    #[test]
+    fn both_datasets_covered_and_scores_sane() {
+        let corpus = Corpus::build(&CorpusConfig::small());
+        let f12 = run(&corpus);
+        assert_eq!(f12.datasets.len(), 2);
+        for (name, series) in &f12.datasets {
+            for flavor_series in series {
+                let last = flavor_series.last().unwrap();
+                assert!(
+                    last.p > 0.2 && last.r > 0.2,
+                    "{name}: degenerate validation score {last:?}"
+                );
+            }
+        }
+        assert!(f12.render().contains("Figure 12"));
+    }
+}

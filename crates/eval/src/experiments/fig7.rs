@@ -1,0 +1,94 @@
+//! **Figure 7** — precision/recall of the crowd-validated pattern on
+//! WebTables while varying the number of questions per variable `q`.
+//! Workers are imperfect (accuracy 0.75 here), so quality climbs with `q`
+//! and converges — by q=5 on the Yago-like KB, earlier on the
+//! DBpedia-like one, mirroring the paper.
+
+use katara_datagen::KbFlavor;
+
+use crate::corpus::Corpus;
+use crate::experiments::{flavors, validation_series};
+use crate::metrics::PatternScore;
+use crate::report::{fmt2, MdTable};
+
+/// The q values swept (paper: 1..7).
+pub const QS: [usize; 4] = [1, 3, 5, 7];
+
+/// Worker accuracy used for the sweep.
+pub const WORKER_ACCURACY: f64 = 0.75;
+
+/// The structured result: per flavor, per q.
+#[derive(Debug, Clone, Default)]
+pub struct Fig7 {
+    /// `series[flavor_idx][q_idx]`.
+    pub series: Vec<Vec<PatternScore>>,
+}
+
+/// Run the experiment.
+pub fn run(corpus: &Corpus) -> Fig7 {
+    let tables: Vec<_> = corpus.web.iter().collect();
+    Fig7 {
+        series: flavors()
+            .into_iter()
+            .map(|flavor| validation_series(corpus, &tables, flavor, &QS, WORKER_ACCURACY))
+            .collect(),
+    }
+}
+
+impl Fig7 {
+    /// The score at one (flavor, q).
+    pub fn at(&self, flavor: KbFlavor, q: usize) -> Option<PatternScore> {
+        let fi = usize::from(flavor == KbFlavor::DbpediaLike);
+        let qi = QS.iter().position(|&x| x == q)?;
+        self.series.get(fi)?.get(qi).copied()
+    }
+
+    /// Render the Markdown section.
+    pub fn render(&self) -> String {
+        render_validation("Figure 7 — pattern validation P/R (WebTables)", &self.series)
+    }
+}
+
+/// Shared renderer (also used by Figure 12).
+pub(crate) fn render_validation(title: &str, series: &[Vec<PatternScore>]) -> String {
+    let mut out = format!("## {title}\n\n(worker accuracy {WORKER_ACCURACY})\n\n");
+    for (fi, flavor) in flavors().into_iter().enumerate() {
+        let mut t = MdTable::new(&["q", "P", "R"]);
+        if let Some(rows) = series.get(fi) {
+            for (qi, s) in rows.iter().enumerate() {
+                t.row(vec![QS[qi].to_string(), fmt2(s.p), fmt2(s.r)]);
+            }
+        }
+        out.push_str(&format!("### {}\n\n{}\n", flavor.name(), t.render()));
+    }
+    out.push_str(
+        "Paper shape: already high at q=1, converging with more \
+         questions; the small-ontology KB converges earlier.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusConfig;
+
+    #[test]
+    fn more_questions_do_not_hurt_much() {
+        let corpus = Corpus::build(&CorpusConfig::small());
+        let f7 = run(&corpus);
+        for flavor in flavors() {
+            let q1 = f7.at(flavor, 1).unwrap();
+            let q7 = f7.at(flavor, 7).unwrap();
+            // Noisy crowd: allow small fluctuation but no collapse.
+            assert!(
+                q7.f_measure() >= q1.f_measure() - 0.1,
+                "{flavor:?}: q7 {:.2} collapsed below q1 {:.2}",
+                q7.f_measure(),
+                q1.f_measure()
+            );
+            assert!(q7.p > 0.3, "{flavor:?}: precision too low: {:.2}", q7.p);
+        }
+        assert!(f7.render().contains("Figure 7"));
+    }
+}

@@ -1,0 +1,35 @@
+//! # katara-eval — metrics and the experiment harness
+//!
+//! Regenerates **every table and figure** of the KATARA paper's
+//! evaluation (§7 and appendices B–D) against the synthetic corpus:
+//!
+//! | Paper artifact | Runner |
+//! |---|---|
+//! | Table 1 (dataset/KB characteristics) | [`experiments::table1`] |
+//! | Table 2 (discovery P/R, 4 algorithms) | [`experiments::table2`] |
+//! | Table 3 (discovery efficiency) | [`experiments::table3`] |
+//! | Figure 6 (top-k F, WebTables) | [`experiments::fig6`] |
+//! | Figure 7 (validation P/R vs q, WebTables) | [`experiments::fig7`] |
+//! | Table 4 (#variables, MUVF vs AVI) | [`experiments::table4`] |
+//! | Table 5 (annotation breakdown) | [`experiments::table5`] |
+//! | Figure 8 (top-k repair F, RelationalTables) | [`experiments::fig8`] |
+//! | Table 6 (repair P/R vs EQ/SCARE) | [`experiments::table6`] |
+//! | Table 7 (repair P/R, Wiki/WebTables) | [`experiments::table7`] |
+//! | Figure 11 (top-k F, Wiki/RelationalTables) | [`experiments::fig11`] |
+//! | Figure 12 (validation P/R, Wiki/RelationalTables) | [`experiments::fig12`] |
+//! | Coherence-weight ablation (ours) | [`experiments::ablation_coherence`] |
+//! | Linearity scaling sweep (ours) | [`experiments::scaling`] |
+//!
+//! The `katara-experiments` binary runs them all and emits a Markdown
+//! report (the checked-in `EXPERIMENTS.md` is its output).
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod experiments;
+pub mod metrics;
+pub mod report;
+pub mod timing;
+
+pub use corpus::{Corpus, CorpusConfig};
+pub use metrics::{pattern_precision_recall, repair_precision_recall, PatternScore};

@@ -1,0 +1,463 @@
+//! Evaluation metrics.
+//!
+//! *Pattern* precision/recall follow §7.1: an exact type or relationship
+//! scores 1; a *supertype* (super-relationship) of the ground truth
+//! scores `1/(s+1)` where `s` is the hierarchy distance; anything else
+//! scores 0. Precision divides the summed scores by the number of
+//! elements in the discovered pattern, recall by the number in the
+//! ground truth.
+//!
+//! *Repair* precision/recall follow §7.4, including the paper's top-k
+//! convention: "when KATARA provides nonempty top-k possible repairs for
+//! a tuple, we count it as correct if the ground truth falls in the
+//! possible repairs".
+
+use std::collections::HashMap;
+
+use katara_core::pattern::TablePattern;
+use katara_core::repair::Repair;
+use katara_kb::{sim, Kb};
+use katara_table::CorruptionLog;
+
+/// A precision/recall pair with its F-measure.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PatternScore {
+    /// Precision.
+    pub p: f64,
+    /// Recall.
+    pub r: f64,
+}
+
+impl PatternScore {
+    /// Harmonic mean of precision and recall.
+    pub fn f_measure(&self) -> f64 {
+        if self.p + self.r == 0.0 {
+            0.0
+        } else {
+            2.0 * self.p * self.r / (self.p + self.r)
+        }
+    }
+}
+
+/// Score one discovered pattern against a ground truth rendered as class
+/// and property *names* (per KB flavor).
+///
+/// `gt_types[c]` is the expected most-specific class name of column `c`
+/// (or `None` when the column has no KB counterpart); `gt_rels` lists the
+/// expected `(subject, object, property-name)` edges.
+pub fn pattern_precision_recall(
+    kb: &Kb,
+    pattern: &TablePattern,
+    gt_types: &[Option<&str>],
+    gt_rels: &[(usize, usize, &str)],
+) -> PatternScore {
+    let mut score_sum = 0.0;
+    let mut discovered = 0usize;
+
+    for node in pattern.nodes() {
+        let Some(found) = node.class else {
+            continue; // untyped helper nodes are not claims
+        };
+        discovered += 1;
+        let Some(want_name) = gt_types.get(node.column).copied().flatten() else {
+            continue; // claimed a type on an untyped column: 0
+        };
+        let Some(want) = kb.class_by_name(want_name) else {
+            continue;
+        };
+        // Exact: 1. Supertype of the truth at distance s: 1/(s+1).
+        if let Some(s) = kb.class_hierarchy().distance(want.0, found.0) {
+            score_sum += 1.0 / (s as f64 + 1.0);
+        }
+    }
+    for edge in pattern.edges() {
+        discovered += 1;
+        let want = gt_rels
+            .iter()
+            .find(|&&(i, j, _)| i == edge.subject && j == edge.object)
+            .map(|&(_, _, name)| name);
+        let Some(want_name) = want else {
+            continue;
+        };
+        let Some(want) = kb.property_by_name(want_name) else {
+            continue;
+        };
+        if let Some(s) = kb
+            .property_hierarchy()
+            .distance(want.0, edge.property.0)
+        {
+            score_sum += 1.0 / (s as f64 + 1.0);
+        }
+    }
+
+    let gt_count = gt_types.iter().filter(|t| t.is_some()).count() + gt_rels.len();
+    PatternScore {
+        p: if discovered == 0 {
+            0.0
+        } else {
+            score_sum / discovered as f64
+        },
+        r: if gt_count == 0 {
+            0.0
+        } else {
+            score_sum / gt_count as f64
+        },
+    }
+}
+
+/// Best F-measure among the top-k patterns (the Figure 6/11 metric).
+pub fn best_f_of_topk(
+    kb: &Kb,
+    patterns: &[TablePattern],
+    k: usize,
+    gt_types: &[Option<&str>],
+    gt_rels: &[(usize, usize, &str)],
+) -> f64 {
+    patterns
+        .iter()
+        .take(k)
+        .map(|p| pattern_precision_recall(kb, p, gt_types, gt_rels).f_measure())
+        .fold(0.0, f64::max)
+}
+
+/// Score a set of proposed repairs against a corruption log.
+///
+/// `proposals` maps a row to the top-k repair alternatives for that row;
+/// single-valued repairers (EQ, SCARE) pass one-element lists.
+///
+/// Following §7.4's convention, counting is *tuple-level*: "when KATARA
+/// provides nonempty top-k possible repairs for a tuple, we count it as
+/// correct if the ground truth falls in the possible repairs, otherwise
+/// incorrect".
+///
+/// * An **attempt** is a row with nonempty proposals that either has
+///   injected errors or whose top-1 repair proposes changes (a
+///   falsely-flagged row whose best repair proposes nothing is a
+///   harmless no-op and does not count).
+/// * An attempt with injected errors is **correct** if a *single* repair
+///   among the top-k restores every corrupted cell of the row (up to
+///   normalization); a falsely-flagged attempt is always incorrect.
+/// * precision = correct / attempts; recall = errors inside correct rows
+///   / all injected errors.
+pub fn repair_precision_recall(
+    log: &CorruptionLog,
+    proposals: &[(usize, Vec<Repair>)],
+) -> PatternScore {
+    // Clean values by (row, col).
+    let truth: HashMap<(usize, usize), String> = log
+        .changes
+        .iter()
+        .map(|c| {
+            (
+                (c.cell.row, c.cell.col),
+                sim::normalize(c.original.text_or_empty()),
+            )
+        })
+        .collect();
+    // Corrupted cells per row.
+    let mut row_errors: HashMap<usize, Vec<usize>> = HashMap::new();
+    for c in &log.changes {
+        row_errors.entry(c.cell.row).or_default().push(c.cell.col);
+    }
+
+    let mut attempts = 0usize;
+    let mut correct_rows = 0usize;
+    let mut recovered_errors = 0usize;
+    for (row, repairs) in proposals {
+        if repairs.is_empty() {
+            continue;
+        }
+        let errors: &[usize] = row_errors.get(row).map(Vec::as_slice).unwrap_or(&[]);
+        if errors.is_empty() {
+            // Falsely flagged: only penalize an actual (non-empty)
+            // committed change.
+            if repairs[0].changes.is_empty() {
+                continue;
+            }
+            attempts += 1;
+            continue;
+        }
+        attempts += 1;
+        let restored = repairs.iter().any(|rep| {
+            errors.iter().all(|col| {
+                rep.changes
+                    .iter()
+                    .any(|(c, v)| c == col && truth[&(*row, *col)] == sim::normalize(v))
+            })
+        });
+        if restored {
+            correct_rows += 1;
+            recovered_errors += errors.len();
+        }
+    }
+    PatternScore {
+        p: if attempts == 0 {
+            0.0
+        } else {
+            correct_rows as f64 / attempts as f64
+        },
+        r: if log.is_empty() {
+            0.0
+        } else {
+            recovered_errors as f64 / log.len() as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use katara_core::pattern::{PatternEdge, PatternNode};
+    use katara_kb::KbBuilder;
+    use katara_table::{CellChange, CellRef, CorruptionKind, Value};
+
+    fn kb() -> Kb {
+        let mut b = KbBuilder::new();
+        let location = b.class("location");
+        let city = b.class("city");
+        let capital = b.class("capital");
+        let country = b.class("country");
+        b.subclass(city, location).unwrap();
+        b.subclass(capital, city).unwrap();
+        b.subclass(country, location).unwrap();
+        let located_in = b.property("locatedIn");
+        let has_capital = b.property("hasCapital");
+        b.subproperty(has_capital, located_in).unwrap();
+        b.finalize()
+    }
+
+    fn pattern(kb: &Kb, col0: &str, col1: &str, prop: &str) -> TablePattern {
+        TablePattern::new(
+            vec![
+                PatternNode {
+                    column: 0,
+                    class: kb.class_by_name(col0),
+                },
+                PatternNode {
+                    column: 1,
+                    class: kb.class_by_name(col1),
+                },
+            ],
+            vec![PatternEdge {
+                subject: 0,
+                object: 1,
+                property: kb.property_by_name(prop).unwrap(),
+            }],
+            0.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn exact_match_scores_one() {
+        let kb = kb();
+        let p = pattern(&kb, "country", "capital", "hasCapital");
+        let s = pattern_precision_recall(
+            &kb,
+            &p,
+            &[Some("country"), Some("capital")],
+            &[(0, 1, "hasCapital")],
+        );
+        assert_eq!(s.p, 1.0);
+        assert_eq!(s.r, 1.0);
+        assert_eq!(s.f_measure(), 1.0);
+    }
+
+    #[test]
+    fn supertype_scores_partial() {
+        let kb = kb();
+        // Discovered `city` for ground truth `capital` (capital ⊂ city,
+        // s = 1): the paper's IndianFilm/Film example → 1/2.
+        let p = pattern(&kb, "country", "city", "hasCapital");
+        let s = pattern_precision_recall(
+            &kb,
+            &p,
+            &[Some("country"), Some("capital")],
+            &[(0, 1, "hasCapital")],
+        );
+        let expect = (1.0 + 0.5 + 1.0) / 3.0;
+        assert!((s.p - expect).abs() < 1e-12, "{}", s.p);
+        // Distance 2 (location): 1/3.
+        let p = pattern(&kb, "country", "location", "hasCapital");
+        let s = pattern_precision_recall(
+            &kb,
+            &p,
+            &[Some("country"), Some("capital")],
+            &[(0, 1, "hasCapital")],
+        );
+        let expect = (1.0 + 1.0 / 3.0 + 1.0) / 3.0;
+        assert!((s.p - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subtype_scores_zero() {
+        let kb = kb();
+        // Discovered `capital` when truth is `city`: too specific, 0.
+        let p = pattern(&kb, "country", "capital", "hasCapital");
+        let s = pattern_precision_recall(
+            &kb,
+            &p,
+            &[Some("country"), Some("city")],
+            &[(0, 1, "hasCapital")],
+        );
+        let expect = (1.0 + 0.0 + 1.0) / 3.0;
+        assert!((s.p - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn superproperty_scores_partial() {
+        let kb = kb();
+        // Discovered locatedIn for ground truth hasCapital (s = 1).
+        let p = pattern(&kb, "country", "capital", "locatedIn");
+        let s = pattern_precision_recall(
+            &kb,
+            &p,
+            &[Some("country"), Some("capital")],
+            &[(0, 1, "hasCapital")],
+        );
+        let expect = (1.0 + 1.0 + 0.5) / 3.0;
+        assert!((s.p - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_gt_elements_hit_recall() {
+        let kb = kb();
+        // Pattern types only one of two GT columns and misses the edge.
+        let p = TablePattern::new(
+            vec![PatternNode {
+                column: 0,
+                class: kb.class_by_name("country"),
+            }],
+            vec![],
+            0.0,
+        )
+        .unwrap();
+        let s = pattern_precision_recall(
+            &kb,
+            &p,
+            &[Some("country"), Some("capital")],
+            &[(0, 1, "hasCapital")],
+        );
+        assert_eq!(s.p, 1.0);
+        assert!((s.r - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spurious_elements_hit_precision() {
+        let kb = kb();
+        let p = pattern(&kb, "country", "capital", "hasCapital");
+        // Ground truth has no type for column 1 and no edge.
+        let s = pattern_precision_recall(&kb, &p, &[Some("country"), None], &[]);
+        assert!((s.p - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.r, 1.0);
+    }
+
+    #[test]
+    fn best_f_improves_with_k() {
+        let kb = kb();
+        let bad = pattern(&kb, "city", "city", "locatedIn");
+        let good = pattern(&kb, "country", "capital", "hasCapital");
+        let gt_t = [Some("country"), Some("capital")];
+        let gt_r = [(0, 1, "hasCapital")];
+        let ranked = vec![bad, good];
+        let f1 = best_f_of_topk(&kb, &ranked, 1, &gt_t, &gt_r);
+        let f2 = best_f_of_topk(&kb, &ranked, 2, &gt_t, &gt_r);
+        assert!(f2 > f1);
+        assert_eq!(f2, 1.0);
+    }
+
+    fn log_one(row: usize, col: usize, clean: &str, dirty: &str) -> CorruptionLog {
+        CorruptionLog {
+            changes: vec![CellChange {
+                cell: CellRef { row, col },
+                original: Value::from_cell(clean),
+                corrupted: Value::from_cell(dirty),
+                kind: CorruptionKind::DomainSwap,
+            }],
+        }
+    }
+
+    #[test]
+    fn repair_metrics_topk_semantics() {
+        let log = log_one(2, 1, "Rome", "Madrid");
+        // Top-2 repairs: the second one restores the truth — counts.
+        let proposals = vec![(
+            2usize,
+            vec![
+                Repair {
+                    cost: 1.0,
+                    changes: vec![(1, "Paris".to_string())],
+                },
+                Repair {
+                    cost: 1.0,
+                    changes: vec![(1, "Rome".to_string())],
+                },
+            ],
+        )];
+        let s = repair_precision_recall(&log, &proposals);
+        assert_eq!(s.p, 1.0);
+        assert_eq!(s.r, 1.0);
+    }
+
+    #[test]
+    fn repair_metrics_tuple_level() {
+        let log = log_one(0, 1, "Rome", "Madrid");
+        // The single repair restores the corrupted cell (its extra change
+        // on col 0 does not matter at tuple level — aligning to an
+        // instance graph may rewrite several cells).
+        let proposals = vec![(
+            0usize,
+            vec![Repair {
+                cost: 2.0,
+                changes: vec![(0, "X".to_string()), (1, "Rome".to_string())],
+            }],
+        )];
+        let s = repair_precision_recall(&log, &proposals);
+        assert_eq!(s.p, 1.0);
+        assert_eq!(s.r, 1.0);
+    }
+
+    #[test]
+    fn repair_metrics_false_flags() {
+        let log = log_one(0, 1, "Rome", "Madrid");
+        let proposals = vec![
+            // The real error, missed entirely (wrong value).
+            (
+                0usize,
+                vec![Repair {
+                    cost: 1.0,
+                    changes: vec![(1, "Paris".to_string())],
+                }],
+            ),
+            // A falsely-flagged row whose top-1 commits a change: counts
+            // as an incorrect attempt.
+            (
+                5usize,
+                vec![Repair {
+                    cost: 1.0,
+                    changes: vec![(0, "Y".to_string())],
+                }],
+            ),
+            // A falsely-flagged row whose top-1 is a no-op: ignored.
+            (
+                6usize,
+                vec![Repair {
+                    cost: 0.0,
+                    changes: vec![],
+                }],
+            ),
+        ];
+        let s = repair_precision_recall(&log, &proposals);
+        assert_eq!(s.p, 0.0, "2 attempts, 0 correct");
+        assert_eq!(s.r, 0.0);
+    }
+
+    #[test]
+    fn repair_metrics_empty_proposals() {
+        let log = log_one(0, 1, "Rome", "Madrid");
+        let s = repair_precision_recall(&log, &[]);
+        assert_eq!(s.p, 0.0);
+        assert_eq!(s.r, 0.0);
+        assert_eq!(s.f_measure(), 0.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Markdown table rendering for experiment reports.
+
+/// A simple Markdown table builder.
+#[derive(Debug, Default, Clone)]
+pub struct MdTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl MdTable {
+    /// Start a table with a header row.
+    pub fn new(header: &[&str]) -> Self {
+        MdTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render as GitHub-flavored Markdown.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("| ");
+        out.push_str(&self.header.join(" | "));
+        out.push_str(" |\n|");
+        for _ in &self.header {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str("| ");
+            out.push_str(&r.join(" | "));
+            out.push_str(" |\n");
+        }
+        out
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data row was added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Format a ratio as a 2-decimal string (paper style, e.g. `.78` → `0.78`).
+pub fn fmt2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format seconds with 3 decimals.
+pub fn fmt_secs(s: f64) -> String {
+    format!("{s:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = MdTable::new(&["dataset", "P", "R"]);
+        t.row(vec!["WikiTables".into(), fmt2(0.78), fmt2(0.86)]);
+        let s = t.render();
+        assert!(s.contains("| dataset | P | R |"));
+        assert!(s.contains("| WikiTables | 0.78 | 0.86 |"));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = MdTable::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

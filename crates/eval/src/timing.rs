@@ -1,0 +1,46 @@
+//! Wall-clock timing helpers for the efficiency experiments.
+
+use std::time::{Duration, Instant};
+
+/// Run `f` `repeats` times and return the mean wall-clock duration (the
+/// paper: "we ran each test 5 times and report the average time").
+pub fn time_avg<F: FnMut()>(repeats: usize, mut f: F) -> Duration {
+    assert!(repeats > 0, "need at least one repetition");
+    let start = Instant::now();
+    for _ in 0..repeats {
+        f();
+    }
+    start.elapsed() / repeats as u32
+}
+
+/// Time a single run, returning its result and duration.
+pub fn timed<T, F: FnOnce() -> T>(f: F) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_avg_divides() {
+        let d = time_avg(4, || std::thread::sleep(Duration::from_millis(2)));
+        assert!(d >= Duration::from_millis(1));
+        assert!(d < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn timed_returns_value() {
+        let (v, d) = timed(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(d < Duration::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "repetition")]
+    fn zero_repeats_panics() {
+        time_avg(0, || {});
+    }
+}

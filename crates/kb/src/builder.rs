@@ -1,0 +1,333 @@
+//! Ergonomic KB construction.
+//!
+//! [`KbBuilder`] accumulates schema (classes, properties, hierarchies) and
+//! data (entities, facts); [`KbBuilder::finalize`] freezes everything,
+//! rebuilds the hierarchy closures, derives the type closure and ENT sets,
+//! and precomputes the coherence table.
+
+use std::collections::HashMap;
+
+use crate::coherence::CoherenceTable;
+use crate::error::KbError;
+use crate::ids::{ClassId, LiteralId, PropertyId, ResourceId};
+use crate::interner::Interner;
+use crate::label_index::LabelIndex;
+use crate::ontology::Hierarchy;
+use crate::query::Object;
+use crate::sim;
+use crate::store::Kb;
+use crate::DEFAULT_SIM_THRESHOLD;
+
+/// Builder for [`Kb`].
+#[derive(Debug, Default)]
+pub struct KbBuilder {
+    name: String,
+    resources: Interner,
+    classes: Interner,
+    props: Interner,
+    literals: Interner,
+    labels: Vec<String>,
+    direct_types: Vec<Vec<ClassId>>,
+    class_hier: Hierarchy,
+    prop_hier: Hierarchy,
+    facts: Vec<(ResourceId, PropertyId, Object)>,
+    sim_threshold: f64,
+}
+
+impl KbBuilder {
+    /// A fresh builder with the paper's 0.7 similarity threshold.
+    pub fn new() -> Self {
+        KbBuilder {
+            name: "kb".to_string(),
+            sim_threshold: DEFAULT_SIM_THRESHOLD,
+            ..Default::default()
+        }
+    }
+
+    /// Set the KB's display name.
+    pub fn with_name(mut self, name: &str) -> Self {
+        self.name = name.to_string();
+        self
+    }
+
+    /// Override the label-similarity threshold.
+    pub fn with_sim_threshold(mut self, t: f64) -> Self {
+        assert!((0.0..=1.0).contains(&t), "threshold must be in [0,1]");
+        self.sim_threshold = t;
+        self
+    }
+
+    /// Declare (or fetch) a class by name.
+    pub fn class(&mut self, name: &str) -> ClassId {
+        let c = ClassId::from_index(self.classes.intern(name));
+        self.class_hier.ensure_node(c.0);
+        c
+    }
+
+    /// Declare (or fetch) a property by name.
+    pub fn property(&mut self, name: &str) -> PropertyId {
+        let p = PropertyId::from_index(self.props.intern(name));
+        self.prop_hier.ensure_node(p.0);
+        p
+    }
+
+    /// Declare `subclassOf(child, parent)`.
+    pub fn subclass(&mut self, child: ClassId, parent: ClassId) -> Result<(), KbError> {
+        self.class_hier.add_edge(child.0, parent.0, "subClassOf")
+    }
+
+    /// Declare `subpropertyOf(child, parent)`.
+    pub fn subproperty(&mut self, child: PropertyId, parent: PropertyId) -> Result<(), KbError> {
+        self.prop_hier.add_edge(child.0, parent.0, "subPropertyOf")
+    }
+
+    /// Declare (or fetch) an entity whose label equals its unique name.
+    /// Re-declaring merges the type lists.
+    pub fn entity(&mut self, name: &str, types: &[ClassId]) -> ResourceId {
+        self.entity_labeled(name, name, types)
+    }
+
+    /// Declare an entity with an explicit label distinct from its unique
+    /// name (e.g. name `"Rossi_(racer)"`, label `"Rossi"`).
+    pub fn entity_labeled(&mut self, name: &str, label: &str, types: &[ClassId]) -> ResourceId {
+        let before = self.resources.len();
+        let r = ResourceId::from_index(self.resources.intern(name));
+        if r.index() == before {
+            self.labels.push(label.to_string());
+            self.direct_types.push(Vec::new());
+        }
+        for &t in types {
+            if !self.direct_types[r.index()].contains(&t) {
+                self.direct_types[r.index()].push(t);
+            }
+        }
+        r
+    }
+
+    /// Assert fact `p(s, o)` between two resources.
+    pub fn fact(&mut self, s: ResourceId, p: PropertyId, o: ResourceId) {
+        self.facts.push((s, p, Object::Resource(o)));
+    }
+
+    /// Assert fact `p(s, lit)` with a literal object.
+    pub fn literal_fact(&mut self, s: ResourceId, p: PropertyId, lit: &str) {
+        let l = LiteralId::from_index(self.literals.intern(lit));
+        self.facts.push((s, p, Object::Literal(l)));
+    }
+
+    /// Number of entities declared so far.
+    pub fn num_entities(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Freeze into a queryable [`Kb`].
+    pub fn finalize(mut self) -> Kb {
+        self.class_hier.rebuild_closure();
+        self.prop_hier.rebuild_closure();
+
+        let n = self.labels.len();
+        let num_classes = self.classes.len();
+        let num_props = self.props.len();
+
+        // Type closure and ENT sets.
+        let mut types_closure: Vec<Vec<ClassId>> = vec![Vec::new(); n];
+        let mut class_entities: Vec<Vec<ResourceId>> = vec![Vec::new(); num_classes];
+        for (ri, dts) in self.direct_types.iter().enumerate() {
+            let r = ResourceId::from_index(ri);
+            let closure = &mut types_closure[ri];
+            for &t in dts {
+                if !closure.contains(&t) {
+                    closure.push(t);
+                }
+                for (anc, _) in self.class_hier.ancestors(t.0) {
+                    let anc = ClassId(anc);
+                    if !closure.contains(&anc) {
+                        closure.push(anc);
+                    }
+                }
+            }
+            closure.sort_unstable();
+            for &c in closure.iter() {
+                class_entities[c.index()].push(r);
+            }
+        }
+
+        // Label index.
+        let mut label_index = LabelIndex::new();
+        for (ri, label) in self.labels.iter().enumerate() {
+            label_index.insert(label, ResourceId::from_index(ri));
+        }
+
+        // Fact indexes.
+        let mut out_edges: Vec<Vec<(PropertyId, Object)>> = vec![Vec::new(); n];
+        let mut in_edges: Vec<Vec<(PropertyId, ResourceId)>> = vec![Vec::new(); n];
+        let mut rr_index: HashMap<(ResourceId, ResourceId), Vec<PropertyId>> = HashMap::new();
+        let mut rl_index: HashMap<(ResourceId, LiteralId), Vec<PropertyId>> = HashMap::new();
+        let mut prop_subjects: Vec<Vec<ResourceId>> = vec![Vec::new(); num_props];
+        let mut prop_objects: Vec<Vec<ResourceId>> = vec![Vec::new(); num_props];
+        let mut fact_count = 0usize;
+        for &(s, p, o) in &self.facts {
+            let (key_props, is_new) = match o {
+                Object::Resource(or) => {
+                    let v = rr_index.entry((s, or)).or_default();
+                    let new = !v.contains(&p);
+                    (v, new)
+                }
+                Object::Literal(l) => {
+                    let v = rl_index.entry((s, l)).or_default();
+                    let new = !v.contains(&p);
+                    (v, new)
+                }
+            };
+            if !is_new {
+                continue; // duplicate assertion
+            }
+            key_props.push(p);
+            out_edges[s.index()].push((p, o));
+            if let Object::Resource(or) = o {
+                in_edges[or.index()].push((p, s));
+            }
+            fact_count += 1;
+            // Fold subject/object into P and all superproperties.
+            let mut ps = vec![p.0];
+            ps.extend(self.prop_hier.ancestors(p.0).map(|(a, _)| a));
+            for pa in ps {
+                let pa = pa as usize;
+                prop_subjects[pa].push(s);
+                if let Object::Resource(or) = o {
+                    prop_objects[pa].push(or);
+                }
+            }
+        }
+        for v in prop_subjects.iter_mut().chain(prop_objects.iter_mut()) {
+            v.sort_unstable();
+            v.dedup();
+        }
+
+        // Literal normalization map.
+        let mut literal_norm: HashMap<String, Vec<LiteralId>> = HashMap::new();
+        for (li, lit) in self.literals.iter() {
+            literal_norm
+                .entry(sim::normalize(lit))
+                .or_default()
+                .push(LiteralId::from_index(li));
+        }
+
+        // Coherence table (offline, as in the paper).
+        let class_sizes: Vec<usize> = class_entities.iter().map(Vec::len).collect();
+        let coherence = CoherenceTable::build(
+            n,
+            num_props,
+            &types_closure,
+            &prop_subjects,
+            &prop_objects,
+            &class_sizes,
+        );
+
+        Kb {
+            name: self.name,
+            resources: self.resources,
+            classes: self.classes,
+            props: self.props,
+            literals: self.literals,
+            labels: self.labels,
+            label_index,
+            class_hier: self.class_hier,
+            prop_hier: self.prop_hier,
+            direct_types: self.direct_types,
+            types_closure,
+            class_entities,
+            out_edges,
+            in_edges,
+            rr_index,
+            rl_index,
+            prop_subjects,
+            prop_objects,
+            literal_norm,
+            coherence,
+            sim_threshold: self.sim_threshold,
+            fact_count,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_facts_are_deduped() {
+        let mut b = KbBuilder::new();
+        let c = b.class("c");
+        let p = b.property("p");
+        let a = b.entity("A", &[c]);
+        let z = b.entity("Z", &[c]);
+        b.fact(a, p, z);
+        b.fact(a, p, z);
+        let kb = b.finalize();
+        assert_eq!(kb.num_facts(), 1);
+        assert_eq!(kb.facts_of(a).len(), 1);
+    }
+
+    #[test]
+    fn entity_redeclaration_merges_types() {
+        let mut b = KbBuilder::new();
+        let c1 = b.class("c1");
+        let c2 = b.class("c2");
+        let a = b.entity("A", &[c1]);
+        let a2 = b.entity("A", &[c2]);
+        assert_eq!(a, a2);
+        let kb = b.finalize();
+        assert!(kb.has_type(a, c1));
+        assert!(kb.has_type(a, c2));
+        assert_eq!(kb.num_entities(), 1);
+    }
+
+    #[test]
+    fn labeled_entities_disambiguate() {
+        let mut b = KbBuilder::new();
+        let player = b.class("player");
+        let racer = b.class("racer");
+        let r1 = b.entity_labeled("Rossi_(player)", "Rossi", &[player]);
+        let r2 = b.entity_labeled("Rossi_(racer)", "Rossi", &[racer]);
+        assert_ne!(r1, r2);
+        let kb = b.finalize();
+        let hits = kb.resources_by_label("Rossi");
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn finalize_builds_coherence_maxima() {
+        let mut b = KbBuilder::new();
+        let country = b.class("country");
+        let capital = b.class("capital");
+        let p = b.property("hasCapital");
+        let italy = b.entity("Italy", &[country]);
+        let rome = b.entity("Rome", &[capital]);
+        b.fact(italy, p, rome);
+        let kb = b.finalize();
+        assert!(kb.sub_coherence(country, p) > 0.5);
+        assert!(kb.obj_coherence(capital, p) > 0.5);
+        assert_eq!(kb.coherence().max_sub(p), kb.sub_coherence(country, p));
+    }
+
+    #[test]
+    fn threshold_validation() {
+        let b = KbBuilder::new().with_sim_threshold(0.5);
+        assert_eq!(b.finalize().sim_threshold(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn bad_threshold_panics() {
+        let _ = KbBuilder::new().with_sim_threshold(1.5);
+    }
+
+    #[test]
+    fn empty_kb_finalizes() {
+        let kb = KbBuilder::new().finalize();
+        assert_eq!(kb.num_entities(), 0);
+        assert_eq!(kb.num_facts(), 0);
+        assert!(kb.candidate_resources("anything").is_empty());
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for KB construction and querying.
+
+use std::fmt;
+
+/// Errors surfaced by the knowledge-base layer.
+///
+/// Lookup misses on *data* (a label with no resource, a pair with no
+/// relationship) are not errors — they are empty results, because KB
+/// incompleteness is a first-class situation in KATARA. Errors are reserved
+/// for *misuse*: unknown ids, inconsistent hierarchy declarations, etc.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KbError {
+    /// An id was used that this KB never allocated.
+    UnknownId {
+        /// Which id space the offending id belonged to.
+        kind: &'static str,
+        /// The raw index.
+        index: usize,
+    },
+    /// A `subClassOf`/`subPropertyOf` declaration would create a cycle.
+    HierarchyCycle {
+        /// Which hierarchy the cycle was found in.
+        kind: &'static str,
+        /// Human-readable name of the node closing the cycle.
+        node: String,
+    },
+    /// Two declarations conflict (e.g. redefining an entity's name).
+    Conflict(String),
+}
+
+impl fmt::Display for KbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KbError::UnknownId { kind, index } => {
+                write!(f, "unknown {kind} id {index}")
+            }
+            KbError::HierarchyCycle { kind, node } => {
+                write!(f, "cycle in {kind} hierarchy at {node:?}")
+            }
+            KbError::Conflict(msg) => write!(f, "conflicting declaration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for KbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = KbError::UnknownId {
+            kind: "class",
+            index: 7,
+        };
+        assert_eq!(e.to_string(), "unknown class id 7");
+        let e = KbError::HierarchyCycle {
+            kind: "subClassOf",
+            node: "capital".into(),
+        };
+        assert!(e.to_string().contains("subClassOf"));
+        assert!(e.to_string().contains("capital"));
+        let e = KbError::Conflict("x".into());
+        assert!(e.to_string().contains('x'));
+    }
+}

@@ -1,0 +1,81 @@
+//! Interned identifier newtypes.
+//!
+//! Everything hot in the KB works on dense `u32` ids rather than strings:
+//! entities ([`ResourceId`]), classes ([`ClassId`]), properties
+//! ([`PropertyId`]) and literal strings ([`LiteralId`]). In RDF terms
+//! classes and properties are themselves resources; we keep them in separate
+//! id spaces because KATARA never mixes them, and separate spaces turn a
+//! whole family of mix-up bugs into type errors.
+
+/// Identifier of an entity (an RDF *resource* such as `Italy`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResourceId(pub u32);
+
+/// Identifier of a class (an RDFS type such as `country`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(pub u32);
+
+/// Identifier of a property (a binary predicate such as `hasCapital`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PropertyId(pub u32);
+
+/// Identifier of an interned literal string (such as `"1.78"`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LiteralId(pub u32);
+
+macro_rules! impl_id {
+    ($t:ty) => {
+        impl $t {
+            /// The dense index backing this id, usable for direct `Vec`
+            /// indexing.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Construct from a dense index. Panics if the index does not
+            /// fit in `u32` (the store never allocates that many ids).
+            #[inline]
+            pub fn from_index(i: usize) -> Self {
+                Self(u32::try_from(i).expect("id space exhausted"))
+            }
+        }
+
+        impl std::fmt::Display for $t {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+impl_id!(ResourceId);
+impl_id!(ClassId);
+impl_id!(PropertyId);
+impl_id!(LiteralId);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        for i in [0usize, 1, 17, 65_535, 1 << 20] {
+            assert_eq!(ResourceId::from_index(i).index(), i);
+            assert_eq!(ClassId::from_index(i).index(), i);
+            assert_eq!(PropertyId::from_index(i).index(), i);
+            assert_eq!(LiteralId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(ResourceId(3) < ResourceId(4));
+        assert!(ClassId(0) < ClassId(1));
+    }
+
+    #[test]
+    fn display_prints_raw_index() {
+        assert_eq!(PropertyId(42).to_string(), "42");
+    }
+}

@@ -1,0 +1,115 @@
+//! A small string interner.
+//!
+//! Maps strings to dense `u32`-backed ids and back. Used for resource
+//! names, class names, property names and literal values. Lookup keys are
+//! the *raw* strings; label normalization (case folding etc.) is the
+//! responsibility of [`crate::label_index`].
+
+use std::collections::HashMap;
+
+/// A string interner handing out dense indexes.
+///
+/// Generic over the id type only through `usize` indexes; the typed wrappers
+/// in [`crate::ids`] convert at the call sites.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    strings: Vec<Box<str>>,
+    lookup: HashMap<Box<str>, usize>,
+}
+
+impl Interner {
+    /// Create an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `s`, returning its dense index. Re-interning an existing
+    /// string returns the original index.
+    pub fn intern(&mut self, s: &str) -> usize {
+        if let Some(&i) = self.lookup.get(s) {
+            return i;
+        }
+        let i = self.strings.len();
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.lookup.insert(boxed, i);
+        i
+    }
+
+    /// The index of `s` if it has been interned.
+    pub fn get(&self, s: &str) -> Option<usize> {
+        self.lookup.get(s).copied()
+    }
+
+    /// The string behind index `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` was not handed out by this interner.
+    pub fn resolve(&self, i: usize) -> &str {
+        &self.strings[i]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterate over `(index, string)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.strings.iter().enumerate().map(|(i, s)| (i, &**s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut it = Interner::new();
+        let a = it.intern("Italy");
+        let b = it.intern("Italy");
+        assert_eq!(a, b);
+        assert_eq!(it.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_ids() {
+        let mut it = Interner::new();
+        let a = it.intern("Italy");
+        let b = it.intern("italy"); // raw comparison: case matters here
+        assert_ne!(a, b);
+        assert_eq!(it.resolve(a), "Italy");
+        assert_eq!(it.resolve(b), "italy");
+    }
+
+    #[test]
+    fn get_without_intern() {
+        let mut it = Interner::new();
+        assert_eq!(it.get("Rome"), None);
+        let i = it.intern("Rome");
+        assert_eq!(it.get("Rome"), Some(i));
+    }
+
+    #[test]
+    fn iter_preserves_insertion_order() {
+        let mut it = Interner::new();
+        it.intern("a");
+        it.intern("b");
+        it.intern("c");
+        let collected: Vec<&str> = it.iter().map(|(_, s)| s).collect();
+        assert_eq!(collected, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn empty_interner() {
+        let it = Interner::new();
+        assert!(it.is_empty());
+        assert_eq!(it.len(), 0);
+    }
+}

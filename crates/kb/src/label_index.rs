@@ -1,0 +1,198 @@
+//! Label lookup: exact (normalized) and approximate (n-gram index).
+//!
+//! This is the Lucene/LARQ stand-in. All labels are stored normalized (see
+//! [`crate::sim::normalize`]). Exact lookup is a hash probe; approximate
+//! lookup collects candidate labels sharing character trigrams with the
+//! query and scores them with the hybrid similarity of [`crate::sim`],
+//! returning those at or above the threshold (the paper uses 0.7).
+
+use std::collections::HashMap;
+
+use crate::ids::ResourceId;
+use crate::sim;
+
+/// One approximate-lookup hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelMatch {
+    /// The matched resource.
+    pub resource: ResourceId,
+    /// Similarity of the query to this resource's label, in `[0, 1]`.
+    pub score: f64,
+}
+
+/// An inverted index from labels to resources.
+#[derive(Debug, Default, Clone)]
+pub struct LabelIndex {
+    /// Distinct normalized labels; a slot holds every resource carrying
+    /// that label (homonyms: `Rossi` the player and `Rossi` the racer).
+    slots: Vec<(String, Vec<ResourceId>)>,
+    slot_of: HashMap<String, u32>,
+    /// trigram -> slots containing it.
+    grams: HashMap<[char; 3], Vec<u32>>,
+}
+
+impl LabelIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct labels.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if no label has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Associate `label` (raw; normalized internally) with `resource`.
+    pub fn insert(&mut self, label: &str, resource: ResourceId) {
+        let norm = sim::normalize(label);
+        let slot = match self.slot_of.get(&norm) {
+            Some(&s) => s,
+            None => {
+                let s = u32::try_from(self.slots.len()).expect("label slots exhausted");
+                for g in dedup_grams(&norm) {
+                    self.grams.entry(g).or_default().push(s);
+                }
+                self.slots.push((norm.clone(), Vec::new()));
+                self.slot_of.insert(norm, s);
+                s
+            }
+        };
+        let resources = &mut self.slots[slot as usize].1;
+        if !resources.contains(&resource) {
+            resources.push(resource);
+        }
+    }
+
+    /// Resources whose normalized label equals `normalize(query)` exactly.
+    pub fn exact(&self, query: &str) -> &[ResourceId] {
+        let norm = sim::normalize(query);
+        match self.slot_of.get(&norm) {
+            Some(&s) => &self.slots[s as usize].1,
+            None => &[],
+        }
+    }
+
+    /// Resources whose label is similar to `query` at `threshold` or above,
+    /// best score first. Exact matches always score 1.0 and come first.
+    ///
+    /// Candidate generation requires at least a quarter of the query's
+    /// distinct trigrams to be shared (at least one); with the hybrid
+    /// similarity and thresholds ≥ 0.5 this prefilter does not lose matches
+    /// in practice while keeping lookup sub-linear in the label count.
+    pub fn lookup(&self, query: &str, threshold: f64) -> Vec<LabelMatch> {
+        let norm = sim::normalize(query);
+        let qgrams = dedup_grams(&norm);
+        let min_shared = (qgrams.len() / 4).max(1);
+        let mut shared: HashMap<u32, usize> = HashMap::new();
+        for g in &qgrams {
+            if let Some(slots) = self.grams.get(g) {
+                for &s in slots {
+                    *shared.entry(s).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut hits: Vec<(u32, f64)> = Vec::new();
+        for (slot, count) in shared {
+            if count < min_shared {
+                continue;
+            }
+            let label = &self.slots[slot as usize].0;
+            let score = sim::similarity(&norm, label);
+            if score >= threshold {
+                hits.push((slot, score));
+            }
+        }
+        // Best score first; ties broken by slot index for determinism.
+        hits.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        let mut out = Vec::new();
+        for (slot, score) in hits {
+            for &r in &self.slots[slot as usize].1 {
+                out.push(LabelMatch { resource: r, score });
+            }
+        }
+        out
+    }
+
+    /// Iterate all `(normalized label, resources)` slots.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[ResourceId])> {
+        self.slots.iter().map(|(l, rs)| (l.as_str(), rs.as_slice()))
+    }
+}
+
+fn dedup_grams(s: &str) -> Vec<[char; 3]> {
+    let mut g = sim::trigrams(s);
+    g.sort_unstable();
+    g.dedup();
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx(entries: &[(&str, u32)]) -> LabelIndex {
+        let mut i = LabelIndex::new();
+        for &(l, r) in entries {
+            i.insert(l, ResourceId(r));
+        }
+        i
+    }
+
+    #[test]
+    fn exact_lookup_is_normalized() {
+        let i = idx(&[("Rome", 1)]);
+        assert_eq!(i.exact("rome"), &[ResourceId(1)]);
+        assert_eq!(i.exact("  ROME "), &[ResourceId(1)]);
+        assert_eq!(i.exact("Milan"), &[]);
+    }
+
+    #[test]
+    fn homonyms_share_a_slot() {
+        let i = idx(&[("Rossi", 1), ("Rossi", 2)]);
+        assert_eq!(i.exact("rossi"), &[ResourceId(1), ResourceId(2)]);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let i = idx(&[("Rome", 1), ("Rome", 1)]);
+        assert_eq!(i.exact("rome"), &[ResourceId(1)]);
+    }
+
+    #[test]
+    fn fuzzy_lookup_finds_typos() {
+        let i = idx(&[("Pretoria", 1), ("Rome", 2), ("Madrid", 3)]);
+        let hits = i.lookup("Pretorai", 0.7);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].resource, ResourceId(1));
+        assert!(hits[0].score >= 0.7);
+    }
+
+    #[test]
+    fn fuzzy_lookup_orders_by_score() {
+        let i = idx(&[("Rome", 1), ("Roma", 2)]);
+        let hits = i.lookup("Rome", 0.5);
+        assert_eq!(hits[0].resource, ResourceId(1));
+        assert!((hits[0].score - 1.0).abs() < 1e-12);
+        assert!(hits.iter().any(|h| h.resource == ResourceId(2)));
+    }
+
+    #[test]
+    fn threshold_filters() {
+        let i = idx(&[("Rome", 1)]);
+        assert!(i.lookup("Tokyo", 0.7).is_empty());
+    }
+
+    #[test]
+    fn empty_index_lookup() {
+        let i = LabelIndex::new();
+        assert!(i.is_empty());
+        assert!(i.lookup("anything", 0.7).is_empty());
+        assert_eq!(i.exact("anything"), &[]);
+    }
+}

@@ -1,0 +1,530 @@
+//! N-Triples import/export.
+//!
+//! The paper's KBs are RDF: "we consider knowledge bases as RDF-based
+//! data consisting of resources, whose schema is defined using RDFS"
+//! (§3.1). This module reads and writes the RDFS fragment KATARA uses in
+//! the W3C N-Triples format, so real dumps (a filtered Yago/DBpedia
+//! export, an enterprise KB) can be loaded directly:
+//!
+//! * `<s> <rdf:type> <class>` — instance typing;
+//! * `<c> <rdfs:subClassOf> <d>` / `<p> <rdfs:subPropertyOf> <q>`;
+//! * `<s> <rdfs:label> "text"` — labels;
+//! * `<s> <p> <o>` — resource facts;
+//! * `<s> <p> "lit"` — literal facts.
+//!
+//! Heuristic (overridable by explicit `rdf:type rdfs:Class` /
+//! `rdf:Property` statements): an IRI in class position of `rdf:type` is
+//! a class; an IRI in predicate position (other than the vocabulary) is a
+//! property; everything else is an entity. Blank nodes, IRI escapes and
+//! literal datatypes/lang-tags are accepted and reduced to the fragment
+//! above; anything else fails loudly with a line number.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+
+use crate::builder::KbBuilder;
+use crate::error::KbError;
+use crate::query::Object;
+use crate::store::Kb;
+
+/// Well-known vocabulary IRIs.
+pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+/// `rdfs:subClassOf`.
+pub const RDFS_SUBCLASS: &str = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+/// `rdfs:subPropertyOf`.
+pub const RDFS_SUBPROP: &str = "http://www.w3.org/2000/01/rdf-schema#subPropertyOf";
+/// `rdfs:label`.
+pub const RDFS_LABEL: &str = "http://www.w3.org/2000/01/rdf-schema#label";
+/// `rdfs:Class`.
+pub const RDFS_CLASS: &str = "http://www.w3.org/2000/01/rdf-schema#Class";
+/// `rdf:Property`.
+pub const RDF_PROPERTY: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#Property";
+
+/// Errors from N-Triples parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NtError {
+    /// Syntax error with 1-based line number and message.
+    Syntax {
+        /// Line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A schema statement conflicted (delegated from the builder).
+    Schema(KbError),
+}
+
+impl std::fmt::Display for NtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NtError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            NtError::Schema(e) => write!(f, "schema error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NtError {}
+
+impl From<KbError> for NtError {
+    fn from(e: KbError) -> Self {
+        NtError::Schema(e)
+    }
+}
+
+/// One parsed term.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Term {
+    Iri(String),
+    Blank(String),
+    Literal(String),
+}
+
+/// Parse one N-Triples line into (subject, predicate, object); `None`
+/// for blank lines and comments.
+fn parse_line(line: &str, lineno: usize) -> Result<Option<(Term, Term, Term)>, NtError> {
+    let s = line.trim();
+    if s.is_empty() || s.starts_with('#') {
+        return Ok(None);
+    }
+    let mut chars = s.chars().peekable();
+    let subject = parse_term(&mut chars, lineno)?;
+    skip_ws(&mut chars);
+    let predicate = parse_term(&mut chars, lineno)?;
+    skip_ws(&mut chars);
+    let object = parse_term(&mut chars, lineno)?;
+    skip_ws(&mut chars);
+    match chars.next() {
+        Some('.') => Ok(Some((subject, predicate, object))),
+        other => Err(NtError::Syntax {
+            line: lineno,
+            message: format!("expected terminating '.', found {other:?}"),
+        }),
+    }
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while chars.peek().is_some_and(|c| c.is_whitespace()) {
+        chars.next();
+    }
+}
+
+fn parse_term(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    lineno: usize,
+) -> Result<Term, NtError> {
+    skip_ws(chars);
+    match chars.peek() {
+        Some('<') => {
+            chars.next();
+            let mut iri = String::new();
+            for c in chars.by_ref() {
+                if c == '>' {
+                    return Ok(Term::Iri(iri));
+                }
+                iri.push(c);
+            }
+            Err(NtError::Syntax {
+                line: lineno,
+                message: "unterminated IRI".into(),
+            })
+        }
+        Some('_') => {
+            chars.next();
+            if chars.next() != Some(':') {
+                return Err(NtError::Syntax {
+                    line: lineno,
+                    message: "blank node must start with _:".into(),
+                });
+            }
+            let mut label = String::new();
+            while chars.peek().is_some_and(|c| !c.is_whitespace()) {
+                label.push(chars.next().expect("peeked"));
+            }
+            Ok(Term::Blank(label))
+        }
+        Some('"') => {
+            chars.next();
+            let mut lit = String::new();
+            loop {
+                match chars.next() {
+                    Some('\\') => match chars.next() {
+                        Some('n') => lit.push('\n'),
+                        Some('t') => lit.push('\t'),
+                        Some('r') => lit.push('\r'),
+                        Some('"') => lit.push('"'),
+                        Some('\\') => lit.push('\\'),
+                        Some('u') => {
+                            let hex: String = chars.by_ref().take(4).collect();
+                            let cp = u32::from_str_radix(&hex, 16).map_err(|_| {
+                                NtError::Syntax {
+                                    line: lineno,
+                                    message: format!("bad \\u escape {hex:?}"),
+                                }
+                            })?;
+                            lit.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
+                        }
+                        other => {
+                            return Err(NtError::Syntax {
+                                line: lineno,
+                                message: format!("bad escape \\{other:?}"),
+                            })
+                        }
+                    },
+                    Some('"') => break,
+                    Some(c) => lit.push(c),
+                    None => {
+                        return Err(NtError::Syntax {
+                            line: lineno,
+                            message: "unterminated literal".into(),
+                        })
+                    }
+                }
+            }
+            // Optional language tag or datatype — accepted and dropped.
+            if chars.peek() == Some(&'@') {
+                while chars.peek().is_some_and(|c| !c.is_whitespace()) {
+                    chars.next();
+                }
+            } else if chars.peek() == Some(&'^') {
+                chars.next();
+                chars.next(); // second ^
+                if chars.peek() == Some(&'<') {
+                    for c in chars.by_ref() {
+                        if c == '>' {
+                            break;
+                        }
+                    }
+                }
+            }
+            Ok(Term::Literal(lit))
+        }
+        other => Err(NtError::Syntax {
+            line: lineno,
+            message: format!("unexpected term start {other:?}"),
+        }),
+    }
+}
+
+/// Human-readable local name of an IRI (text after the last `/`, `#` or
+/// `:`), mirroring §5.1's URI processing for crowd display. Handles both
+/// full IRIs (`http://…/resource/Rome`) and CURIE-style names
+/// (`y:Rome`).
+pub fn local_name(iri: &str) -> &str {
+    iri.rsplit(['/', '#', ':']).next().unwrap_or(iri)
+}
+
+/// Load a KB from N-Triples text.
+///
+/// Classes and properties keep their full IRIs as canonical names;
+/// entities get their `rdfs:label` (or local name) as label.
+pub fn parse(name: &str, input: &str) -> Result<Kb, NtError> {
+    // Pass 1: classify IRIs.
+    let mut triples: Vec<(Term, Term, Term)> = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        if let Some(t) = parse_line(line, i + 1)? {
+            triples.push(t);
+        }
+    }
+    let mut classes: HashSet<&str> = HashSet::new();
+    let mut properties: HashSet<&str> = HashSet::new();
+    for (s, p, o) in &triples {
+        let (Term::Iri(pi), s_iri) = (p, s) else {
+            continue;
+        };
+        match (pi.as_str(), o) {
+            (RDF_TYPE, Term::Iri(oi)) if oi == RDFS_CLASS => {
+                if let Term::Iri(si) = s_iri {
+                    classes.insert(si);
+                }
+            }
+            (RDF_TYPE, Term::Iri(oi)) if oi == RDF_PROPERTY => {
+                if let Term::Iri(si) = s_iri {
+                    properties.insert(si);
+                }
+            }
+            (RDF_TYPE, Term::Iri(oi)) => {
+                classes.insert(oi);
+            }
+            (RDFS_SUBCLASS, Term::Iri(oi)) => {
+                if let Term::Iri(si) = s_iri {
+                    classes.insert(si);
+                }
+                classes.insert(oi);
+            }
+            (RDFS_SUBPROP, Term::Iri(oi)) => {
+                if let Term::Iri(si) = s_iri {
+                    properties.insert(si);
+                }
+                properties.insert(oi);
+            }
+            (RDFS_LABEL | RDF_TYPE, _) => {}
+            _ => {
+                properties.insert(pi);
+            }
+        }
+    }
+
+    // Pass 2: labels.
+    let mut labels: HashMap<&str, &str> = HashMap::new();
+    for (s, p, o) in &triples {
+        if let (Term::Iri(si), Term::Iri(pi), Term::Literal(l)) = (s, p, o) {
+            if pi == RDFS_LABEL {
+                labels.entry(si).or_insert(l);
+            }
+        }
+    }
+
+    // Pass 3: build.
+    let mut b = KbBuilder::new().with_name(name);
+    let entity_of = |b: &mut KbBuilder, iri: &str| {
+        let label = labels
+            .get(iri)
+            .copied()
+            .unwrap_or_else(|| local_name(iri))
+            .to_string();
+        b.entity_labeled(iri, &label, &[])
+    };
+    for (s, p, o) in &triples {
+        let Term::Iri(pi) = p else { continue };
+        let s_key: &str = match s {
+            Term::Iri(si) => si,
+            Term::Blank(l) => l,
+            Term::Literal(_) => {
+                continue; // literal subjects are not RDF
+            }
+        };
+        match (pi.as_str(), o) {
+            (RDF_TYPE, Term::Iri(oi)) if oi == RDFS_CLASS || oi == RDF_PROPERTY => {}
+            (RDF_TYPE, Term::Iri(oi)) => {
+                if classes.contains(s_key) || properties.contains(s_key) {
+                    continue; // schema resources are not entities
+                }
+                let class = b.class(oi);
+                let label = b_label(&labels, s_key);
+                b.entity_labeled(s_key, &label, &[class]);
+            }
+            (RDFS_SUBCLASS, Term::Iri(oi)) => {
+                if let Term::Iri(si) = s {
+                    let c = b.class(si);
+                    let d = b.class(oi);
+                    b.subclass(c, d)?;
+                }
+            }
+            (RDFS_SUBPROP, Term::Iri(oi)) => {
+                if let Term::Iri(si) = s {
+                    let p1 = b.property(si);
+                    let p2 = b.property(oi);
+                    b.subproperty(p1, p2)?;
+                }
+            }
+            (RDFS_LABEL, Term::Literal(_)) => {} // handled in pass 2
+            (_, Term::Iri(oi)) => {
+                if classes.contains(s_key) || properties.contains(s_key) {
+                    continue;
+                }
+                let prop = b.property(pi);
+                let se = entity_of(&mut b, s_key);
+                let oe = entity_of(&mut b, oi);
+                b.fact(se, prop, oe);
+            }
+            (_, Term::Blank(ol)) => {
+                let prop = b.property(pi);
+                let se = entity_of(&mut b, s_key);
+                let oe = entity_of(&mut b, ol);
+                b.fact(se, prop, oe);
+            }
+            (_, Term::Literal(l)) => {
+                let prop = b.property(pi);
+                let se = entity_of(&mut b, s_key);
+                b.literal_fact(se, prop, l);
+            }
+        }
+    }
+    Ok(b.finalize())
+}
+
+fn b_label<'a>(labels: &HashMap<&'a str, &'a str>, iri: &'a str) -> String {
+    labels
+        .get(iri)
+        .copied()
+        .unwrap_or_else(|| local_name(iri))
+        .to_string()
+}
+
+/// Serialize a KB to N-Triples. Class/property/entity names are written
+/// as IRIs when they already look like IRIs, and under `kb:` otherwise.
+pub fn to_string(kb: &Kb) -> String {
+    let iri = |name: &str| -> String {
+        // Already IRI-like (has a scheme/prefix and no whitespace): keep
+        // verbatim so parse(to_string(kb)) is name-stable. Plain names
+        // go under the `kb:` prefix with spaces percent-encoded.
+        if name.contains(':') && !name.contains(char::is_whitespace) {
+            format!("<{name}>")
+        } else {
+            format!("<kb:{}>", name.replace(' ', "%20"))
+        }
+    };
+    let lit = |s: &str| -> String {
+        let mut out = String::from("\"");
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    };
+
+    let mut out = String::new();
+    // Schema.
+    for c in kb.class_ids() {
+        let name = kb.class_name(c);
+        let _ = writeln!(out, "{} <{RDF_TYPE}> <{RDFS_CLASS}> .", iri(name));
+        for &p in kb.class_hierarchy().direct_parents(c.0) {
+            let parent = kb.class_name(crate::ids::ClassId(p));
+            let _ = writeln!(out, "{} <{RDFS_SUBCLASS}> {} .", iri(name), iri(parent));
+        }
+    }
+    for p in kb.property_ids() {
+        let name = kb.property_name(p);
+        let _ = writeln!(out, "{} <{RDF_TYPE}> <{RDF_PROPERTY}> .", iri(name));
+        for &q in kb.property_hierarchy().direct_parents(p.0) {
+            let parent = kb.property_name(crate::ids::PropertyId(q));
+            let _ = writeln!(out, "{} <{RDFS_SUBPROP}> {} .", iri(name), iri(parent));
+        }
+    }
+    // Entities.
+    for r in kb.resource_ids() {
+        let name = kb.resource_name(r);
+        let _ = writeln!(
+            out,
+            "{} <{RDFS_LABEL}> {} .",
+            iri(name),
+            lit(kb.label_of(r))
+        );
+        for &t in kb.direct_types(r) {
+            let _ = writeln!(out, "{} <{RDF_TYPE}> {} .", iri(name), iri(kb.class_name(t)));
+        }
+        for &(p, obj) in kb.facts_of(r) {
+            let pred = iri(kb.property_name(p));
+            match obj {
+                Object::Resource(o) => {
+                    let _ = writeln!(out, "{} {} {} .", iri(name), pred, iri(kb.resource_name(o)));
+                }
+                Object::Literal(l) => {
+                    let _ = writeln!(out, "{} {} {} .", iri(name), pred, lit(kb.literal_value(l)));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# A slice of Yago.
+<y:wordnet_country> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://www.w3.org/2000/01/rdf-schema#Class> .
+<y:wordnet_capital> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <y:wordnet_city> .
+<y:hasCapital> <http://www.w3.org/2000/01/rdf-schema#subPropertyOf> <y:isLocatedIn> .
+<y:Italy> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <y:wordnet_country> .
+<y:Italy> <http://www.w3.org/2000/01/rdf-schema#label> "Italy" .
+<y:Rome> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <y:wordnet_capital> .
+<y:Rome> <http://www.w3.org/2000/01/rdf-schema#label> "Rome"@en .
+<y:Italy> <y:hasCapital> <y:Rome> .
+<y:Rossi> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <y:wordnet_person> .
+<y:Rossi> <http://www.w3.org/2000/01/rdf-schema#label> "Rossi" .
+<y:Rossi> <y:hasHeight> "1.78"^^<http://www.w3.org/2001/XMLSchema#decimal> .
+"#;
+
+    #[test]
+    fn parses_the_rdfs_fragment() {
+        let kb = parse("yago-slice", SAMPLE).unwrap();
+        assert_eq!(kb.name(), "yago-slice");
+        let country = kb.class_by_name("y:wordnet_country").unwrap();
+        let capital = kb.class_by_name("y:wordnet_capital").unwrap();
+        let city = kb.class_by_name("y:wordnet_city").unwrap();
+        assert!(kb.class_hierarchy().is_a(capital.0, city.0));
+
+        let italy = kb.resources_by_label("Italy");
+        assert_eq!(italy.len(), 1);
+        assert!(kb.has_type(italy[0], country));
+
+        let rome = kb.resources_by_label("Rome")[0];
+        let has_capital = kb.property_by_name("y:hasCapital").unwrap();
+        let located_in = kb.property_by_name("y:isLocatedIn").unwrap();
+        assert!(kb.holds(italy[0], has_capital, rome));
+        assert!(kb.holds(italy[0], located_in, rome), "subproperty closure");
+
+        let rossi = kb.resources_by_label("Rossi")[0];
+        let height = kb.property_by_name("y:hasHeight").unwrap();
+        assert!(kb.holds_literal(rossi, height, "1.78"));
+    }
+
+    #[test]
+    fn labels_default_to_local_names() {
+        let nt = "<http://kb.org/resource/Pretoria> \
+                  <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> \
+                  <http://kb.org/class/capital> .\n";
+        let kb = parse("t", nt).unwrap();
+        assert_eq!(kb.resources_by_label("Pretoria").len(), 1);
+    }
+
+    #[test]
+    fn round_trip_preserves_queries() {
+        let kb = parse("rt", SAMPLE).unwrap();
+        let nt = to_string(&kb);
+        let kb2 = parse("rt", &nt).unwrap();
+        assert_eq!(kb.num_entities(), kb2.num_entities());
+        assert_eq!(kb.num_facts(), kb2.num_facts());
+        let italy = kb2.resources_by_label("Italy")[0];
+        let rome = kb2.resources_by_label("Rome")[0];
+        let has_capital = kb2.property_by_name("y:hasCapital").unwrap();
+        assert!(kb2.holds(italy, has_capital, rome));
+        let located_in = kb2.property_by_name("y:isLocatedIn").unwrap();
+        assert!(kb2.holds(italy, located_in, rome));
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let err = parse("t", "<a> <b> <c>\n").unwrap_err();
+        match err {
+            NtError::Syntax { line, .. } => assert_eq!(line, 1),
+            other => panic!("{other}"),
+        }
+        let err = parse("t", "\n\n<a> <b> \"unterminated .\n").unwrap_err();
+        match err {
+            NtError::Syntax { line, .. } => assert_eq!(line, 3),
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let kb = parse("t", "# nothing here\n\n").unwrap();
+        assert_eq!(kb.num_entities(), 0);
+    }
+
+    #[test]
+    fn blank_nodes_are_entities() {
+        let nt = "<kb:a> <kb:knows> _:b1 .\n_:b1 <kb:knows> <kb:a> .\n";
+        let kb = parse("t", nt).unwrap();
+        assert_eq!(kb.num_entities(), 2);
+        assert_eq!(kb.num_facts(), 2);
+    }
+
+    #[test]
+    fn local_name_extraction() {
+        assert_eq!(local_name("http://x.org/resource/Rome"), "Rome");
+        assert_eq!(local_name("http://x.org/ont#capital"), "capital");
+        assert_eq!(local_name("y:Rome"), "Rome");
+        assert_eq!(local_name("plain"), "plain");
+    }
+}

@@ -1,0 +1,186 @@
+//! String similarity (the paper's "domain-specific similarity function ≈").
+//!
+//! KATARA matches table cells to KB labels through Lucene (LARQ) with a 0.7
+//! threshold. We emulate that with a hybrid of normalized Levenshtein
+//! similarity and character-trigram Jaccard over *normalized* strings
+//! (lower-cased, trimmed, inner whitespace collapsed). Either metric alone
+//! is a poor Lucene stand-in: Levenshtein under-scores token reordering,
+//! Jaccard under-scores very short strings. Taking the max of the two keeps
+//! both the "typo" and the "token soup" match families above the threshold.
+
+/// Normalize a string for label comparison: trim, lowercase, collapse runs
+/// of whitespace into a single space.
+pub fn normalize(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut last_was_space = true; // leading spaces are dropped
+    for ch in s.trim().chars() {
+        if ch.is_whitespace() {
+            if !last_was_space {
+                out.push(' ');
+                last_was_space = true;
+            }
+        } else {
+            for lc in ch.to_lowercase() {
+                out.push(lc);
+            }
+            last_was_space = false;
+        }
+    }
+    if out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Damerau-Levenshtein (optimal string alignment) edit distance between two
+/// strings, over `char`s. Adjacent transpositions count as one edit, which
+/// matches Lucene's fuzzy matching behaviour.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    // Three-row DP (previous-previous row needed for transpositions).
+    let w = b.len() + 1;
+    let mut prev2 = vec![0usize; w];
+    let mut prev: Vec<usize> = (0..w).collect();
+    let mut cur = vec![0usize; w];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            let mut best = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+            if i > 0 && j > 0 && ca == b[j - 1] && a[i - 1] == cb {
+                best = best.min(prev2[j - 1] + 1);
+            }
+            cur[j + 1] = best;
+        }
+        std::mem::swap(&mut prev2, &mut prev);
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Normalized Levenshtein similarity in `[0, 1]`:
+/// `1 - dist / max(len_a, len_b)`. Two empty strings are fully similar.
+pub fn levenshtein_sim(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// The character trigrams of `s`, padded with two sentinel chars on each
+/// side so short strings still produce several grams (standard n-gram
+/// indexing practice; mirrors Lucene's `NGramTokenizer` behaviour closely
+/// enough for threshold matching).
+pub fn trigrams(s: &str) -> Vec<[char; 3]> {
+    let padded: Vec<char> = std::iter::repeat_n('\u{2}', 2)
+        .chain(s.chars())
+        .chain(std::iter::repeat_n('\u{3}', 2))
+        .collect();
+    padded.windows(3).map(|w| [w[0], w[1], w[2]]).collect()
+}
+
+/// Jaccard similarity of the trigram *sets* of two strings.
+pub fn trigram_jaccard(a: &str, b: &str) -> f64 {
+    use std::collections::HashSet;
+    let ta: HashSet<[char; 3]> = trigrams(a).into_iter().collect();
+    let tb: HashSet<[char; 3]> = trigrams(b).into_iter().collect();
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    let inter = ta.intersection(&tb).count();
+    let union = ta.len() + tb.len() - inter;
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Hybrid similarity in `[0, 1]` over *already normalized* strings: the max
+/// of normalized Levenshtein and trigram Jaccard.
+pub fn similarity(a: &str, b: &str) -> f64 {
+    if a == b {
+        return 1.0;
+    }
+    levenshtein_sim(a, b).max(trigram_jaccard(a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_basics() {
+        assert_eq!(normalize("  Rome "), "rome");
+        assert_eq!(normalize("S.   Africa"), "s. africa");
+        assert_eq!(normalize("ITALY"), "italy");
+        assert_eq!(normalize(""), "");
+        assert_eq!(normalize("   "), "");
+        assert_eq!(normalize("a\tb\nc"), "a b c");
+    }
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("rome", "dome"), 1);
+        // Adjacent transposition is one edit (Damerau/OSA).
+        assert_eq!(levenshtein("madrid", "madird"), 1);
+        assert_eq!(levenshtein("ab", "ba"), 1);
+    }
+
+    #[test]
+    fn levenshtein_sim_bounds() {
+        assert_eq!(levenshtein_sim("", ""), 1.0);
+        assert_eq!(levenshtein_sim("abc", "abc"), 1.0);
+        assert_eq!(levenshtein_sim("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn similarity_symmetric() {
+        let pairs = [("rome", "roma"), ("italy", "itlay"), ("pretoria", "p. eliz.")];
+        for (a, b) in pairs {
+            let s1 = similarity(a, b);
+            let s2 = similarity(b, a);
+            assert!((s1 - s2).abs() < 1e-12, "asymmetric for {a}/{b}");
+        }
+    }
+
+    #[test]
+    fn typo_passes_paper_threshold() {
+        // One-character typo in a medium-length string should count as a
+        // match at the paper's 0.7 threshold.
+        assert!(similarity("pretoria", "pretorai") >= 0.7);
+        assert!(similarity("italy", "itly") >= 0.7);
+        // Completely different strings should not.
+        assert!(similarity("italy", "uruguay") < 0.7);
+    }
+
+    #[test]
+    fn identical_is_one() {
+        assert_eq!(similarity("madrid", "madrid"), 1.0);
+    }
+
+    #[test]
+    fn trigrams_of_short_strings_nonempty() {
+        assert!(!trigrams("a").is_empty());
+        assert!(!trigrams("").is_empty() || trigrams("").is_empty()); // never panics
+    }
+
+    #[test]
+    fn jaccard_bounds() {
+        assert!(trigram_jaccard("abc", "abc") > 0.99);
+        let j = trigram_jaccard("abcdef", "uvwxyz");
+        assert!((0.0..=1.0).contains(&j));
+    }
+}

@@ -1,0 +1,453 @@
+//! The knowledge base proper: entity/class/property arenas plus every index
+//! the KATARA algorithms probe.
+//!
+//! Construction goes through [`crate::builder::KbBuilder`]; a finalized
+//! [`Kb`] answers all §4.1 query shapes in (amortized) constant or
+//! output-linear time, and supports the §6.1 *enrichment* writes
+//! ([`Kb::add_fact`], [`Kb::add_entity`]).
+
+use std::collections::HashMap;
+
+use crate::coherence::CoherenceTable;
+use crate::ids::{ClassId, LiteralId, PropertyId, ResourceId};
+use crate::interner::Interner;
+use crate::label_index::LabelIndex;
+use crate::ontology::Hierarchy;
+use crate::query::Object;
+use crate::sim;
+
+/// An immutable-schema, enrichable-facts knowledge base.
+///
+/// See the crate docs for the supported RDFS fragment. All `Vec`-indexed
+/// fields are dense over the respective id space.
+#[derive(Debug, Clone)]
+pub struct Kb {
+    pub(crate) name: String,
+    pub(crate) resources: Interner,
+    pub(crate) classes: Interner,
+    pub(crate) props: Interner,
+    pub(crate) literals: Interner,
+    /// Human-readable label per resource (defaults to the resource name).
+    pub(crate) labels: Vec<String>,
+    pub(crate) label_index: LabelIndex,
+    pub(crate) class_hier: Hierarchy,
+    pub(crate) prop_hier: Hierarchy,
+    /// Direct (asserted) types per resource.
+    pub(crate) direct_types: Vec<Vec<ClassId>>,
+    /// Asserted types *plus* superclass closure, per resource.
+    pub(crate) types_closure: Vec<Vec<ClassId>>,
+    /// ENT(T): entities per class, including instances of subclasses.
+    pub(crate) class_entities: Vec<Vec<ResourceId>>,
+    /// Outgoing facts per subject (property stored as asserted).
+    pub(crate) out_edges: Vec<Vec<(PropertyId, Object)>>,
+    /// Incoming resource facts per object (property stored as asserted).
+    pub(crate) in_edges: Vec<Vec<(PropertyId, ResourceId)>>,
+    /// (subject, object-resource) -> asserted properties.
+    pub(crate) rr_index: HashMap<(ResourceId, ResourceId), Vec<PropertyId>>,
+    /// (subject, object-literal) -> asserted properties.
+    pub(crate) rl_index: HashMap<(ResourceId, LiteralId), Vec<PropertyId>>,
+    /// subENT(P): distinct subject entities per property (subproperty
+    /// closure folded upward), deduplicated.
+    pub(crate) prop_subjects: Vec<Vec<ResourceId>>,
+    /// objENT(P): distinct object entities per property.
+    pub(crate) prop_objects: Vec<Vec<ResourceId>>,
+    /// Normalized-literal interning: normalize(lit) -> LiteralId of the
+    /// canonical spelling, used for Q_rels^2 lookups.
+    pub(crate) literal_norm: HashMap<String, Vec<LiteralId>>,
+    pub(crate) coherence: CoherenceTable,
+    pub(crate) sim_threshold: f64,
+    /// Count of facts (triples with a property), for reporting.
+    pub(crate) fact_count: usize,
+}
+
+impl Kb {
+    /// The KB's display name (e.g. `"yago-like"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total number of entities, the paper's `N`.
+    pub fn num_entities(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of classes (the paper contrasts Yago's 374K vs DBpedia's 865).
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Number of distinct properties.
+    pub fn num_properties(&self) -> usize {
+        self.props.len()
+    }
+
+    /// Number of asserted facts (triples whose predicate is a property).
+    pub fn num_facts(&self) -> usize {
+        self.fact_count
+    }
+
+    /// The similarity threshold used for approximate label matching.
+    pub fn sim_threshold(&self) -> f64 {
+        self.sim_threshold
+    }
+
+    /// The canonical (unique) name of a resource.
+    pub fn resource_name(&self, r: ResourceId) -> &str {
+        self.resources.resolve(r.index())
+    }
+
+    /// The human-readable label of a resource (`rdfs:label`).
+    pub fn label_of(&self, r: ResourceId) -> &str {
+        &self.labels[r.index()]
+    }
+
+    /// The name of a class (already the crowd-readable description; the
+    /// paper strips URI prefixes, we never add them).
+    pub fn class_name(&self, c: ClassId) -> &str {
+        self.classes.resolve(c.index())
+    }
+
+    /// The name of a property.
+    pub fn property_name(&self, p: PropertyId) -> &str {
+        self.props.resolve(p.index())
+    }
+
+    /// The string behind a literal id.
+    pub fn literal_value(&self, l: LiteralId) -> &str {
+        self.literals.resolve(l.index())
+    }
+
+    /// Look up a class by name.
+    pub fn class_by_name(&self, name: &str) -> Option<ClassId> {
+        self.classes.get(name).map(ClassId::from_index)
+    }
+
+    /// Look up a property by name.
+    pub fn property_by_name(&self, name: &str) -> Option<PropertyId> {
+        self.props.get(name).map(PropertyId::from_index)
+    }
+
+    /// Look up a resource by its canonical name (not its label).
+    pub fn resource_by_name(&self, name: &str) -> Option<ResourceId> {
+        self.resources.get(name).map(ResourceId::from_index)
+    }
+
+    /// Resources whose normalized label equals the normalized query.
+    pub fn resources_by_label(&self, label: &str) -> &[ResourceId] {
+        self.label_index.exact(label)
+    }
+
+    /// The class hierarchy.
+    pub fn class_hierarchy(&self) -> &Hierarchy {
+        &self.class_hier
+    }
+
+    /// The property hierarchy.
+    pub fn property_hierarchy(&self) -> &Hierarchy {
+        &self.prop_hier
+    }
+
+    /// Direct (asserted) types of a resource.
+    pub fn direct_types(&self, r: ResourceId) -> &[ClassId] {
+        &self.direct_types[r.index()]
+    }
+
+    /// Types of a resource including all superclasses (`rdfs:type/subClassOf*`).
+    pub fn types_closure(&self, r: ResourceId) -> &[ClassId] {
+        &self.types_closure[r.index()]
+    }
+
+    /// `type(r) = c` or `subclassOf(type(r), c)` — condition 2 of §3.2.
+    pub fn has_type(&self, r: ResourceId, c: ClassId) -> bool {
+        self.types_closure[r.index()].contains(&c)
+    }
+
+    /// ENT(T): entities of class `c`, including subclass instances.
+    pub fn entities_of_class(&self, c: ClassId) -> &[ResourceId] {
+        static EMPTY: Vec<ResourceId> = Vec::new();
+        self.class_entities.get(c.index()).unwrap_or(&EMPTY)
+    }
+
+    /// |ENT(T)|.
+    pub fn class_size(&self, c: ClassId) -> usize {
+        self.entities_of_class(c).len()
+    }
+
+    /// subENT(P): distinct entities appearing as subject of `p` (including
+    /// via subproperties).
+    pub fn subjects_of_property(&self, p: PropertyId) -> &[ResourceId] {
+        static EMPTY: Vec<ResourceId> = Vec::new();
+        self.prop_subjects.get(p.index()).unwrap_or(&EMPTY)
+    }
+
+    /// objENT(P): distinct entities appearing as object of `p`.
+    pub fn objects_of_property(&self, p: PropertyId) -> &[ResourceId] {
+        static EMPTY: Vec<ResourceId> = Vec::new();
+        self.prop_objects.get(p.index()).unwrap_or(&EMPTY)
+    }
+
+    /// Outgoing facts of a subject, as asserted.
+    pub fn facts_of(&self, s: ResourceId) -> &[(PropertyId, Object)] {
+        &self.out_edges[s.index()]
+    }
+
+    /// Incoming resource-object facts of `o`, as asserted.
+    pub fn facts_into(&self, o: ResourceId) -> &[(PropertyId, ResourceId)] {
+        &self.in_edges[o.index()]
+    }
+
+    /// All subjects `s` with `holds(s, p, o)` — the reverse of
+    /// [`Kb::objects_linked`], used by instance-graph expansion.
+    pub fn subjects_linking(&self, o: ResourceId, p: PropertyId) -> Vec<ResourceId> {
+        let mut out = Vec::new();
+        for &(p2, s) in self.facts_into(o) {
+            if self.prop_hier.is_a(p2.0, p.0) && !out.contains(&s) {
+                out.push(s);
+            }
+        }
+        out
+    }
+
+    /// The coherence table (subSC/objSC of §4.2), precomputed at build time.
+    pub fn coherence(&self) -> &CoherenceTable {
+        &self.coherence
+    }
+
+    /// subSC(T, P): how likely an entity of `t` appears as subject of `p`.
+    pub fn sub_coherence(&self, t: ClassId, p: PropertyId) -> f64 {
+        self.coherence.sub(t, p)
+    }
+
+    /// objSC(T, P): how likely an entity of `t` appears as object of `p`.
+    pub fn obj_coherence(&self, t: ClassId, p: PropertyId) -> f64 {
+        self.coherence.obj(t, p)
+    }
+
+    /// Iterate over all class ids.
+    pub fn class_ids(&self) -> impl Iterator<Item = ClassId> {
+        (0..self.classes.len()).map(ClassId::from_index)
+    }
+
+    /// Iterate over all property ids.
+    pub fn property_ids(&self) -> impl Iterator<Item = PropertyId> {
+        (0..self.props.len()).map(PropertyId::from_index)
+    }
+
+    /// Iterate over all resource ids.
+    pub fn resource_ids(&self) -> impl Iterator<Item = ResourceId> {
+        (0..self.labels.len()).map(ResourceId::from_index)
+    }
+
+    // ---------------------------------------------------------------
+    // Enrichment (§6.1): crowd-confirmed facts and values are inserted
+    // at runtime and visible to every subsequent query. Coherence
+    // statistics stay frozen, mirroring the paper's offline computation.
+    // ---------------------------------------------------------------
+
+    /// Insert a new fact `p(s, o)`. Idempotent. Updates the fact indexes
+    /// and subENT/objENT (with subproperty fold-up) but not the coherence
+    /// table.
+    pub fn add_fact(&mut self, s: ResourceId, p: PropertyId, o: ResourceId) -> bool {
+        let props = self.rr_index.entry((s, o)).or_default();
+        if props.contains(&p) {
+            return false;
+        }
+        props.push(p);
+        self.out_edges[s.index()].push((p, Object::Resource(o)));
+        self.in_edges[o.index()].push((p, s));
+        self.fact_count += 1;
+        let mut ps = vec![p.0];
+        ps.extend(self.prop_hier.ancestors(p.0).map(|(a, _)| a));
+        for pa in ps {
+            let pa = PropertyId(pa);
+            push_unique(&mut self.prop_subjects[pa.index()], s);
+            push_unique(&mut self.prop_objects[pa.index()], o);
+        }
+        true
+    }
+
+    /// Insert a new literal fact `p(s, lit)`. Idempotent.
+    pub fn add_literal_fact(&mut self, s: ResourceId, p: PropertyId, lit: &str) -> bool {
+        let lid = LiteralId::from_index(self.literals.intern(lit));
+        let norm = sim::normalize(lit);
+        let ids = self.literal_norm.entry(norm).or_default();
+        if !ids.contains(&lid) {
+            ids.push(lid);
+        }
+        let props = self.rl_index.entry((s, lid)).or_default();
+        if props.contains(&p) {
+            return false;
+        }
+        props.push(p);
+        self.out_edges[s.index()].push((p, Object::Literal(lid)));
+        self.fact_count += 1;
+        let mut ps = vec![p.0];
+        ps.extend(self.prop_hier.ancestors(p.0).map(|(a, _)| a));
+        for pa in ps {
+            push_unique(&mut self.prop_subjects[PropertyId(pa).index()], s);
+        }
+        true
+    }
+
+    /// Create a brand-new entity with the given unique name, label and
+    /// direct types (used when the crowd confirms a value missing from the
+    /// KB). Returns the existing id if the name is already taken.
+    pub fn add_entity(&mut self, name: &str, label: &str, types: &[ClassId]) -> ResourceId {
+        if let Some(r) = self.resource_by_name(name) {
+            for &t in types {
+                self.add_type(r, t);
+            }
+            return r;
+        }
+        let r = ResourceId::from_index(self.resources.intern(name));
+        debug_assert_eq!(r.index(), self.labels.len());
+        self.labels.push(label.to_string());
+        self.label_index.insert(label, r);
+        self.direct_types.push(Vec::new());
+        self.types_closure.push(Vec::new());
+        self.out_edges.push(Vec::new());
+        self.in_edges.push(Vec::new());
+        for &t in types {
+            self.add_type(r, t);
+        }
+        r
+    }
+
+    /// Assert that `r` has (possibly additional) direct type `t`,
+    /// maintaining the type closure and ENT sets.
+    pub fn add_type(&mut self, r: ResourceId, t: ClassId) {
+        if self.direct_types[r.index()].contains(&t) {
+            return;
+        }
+        self.direct_types[r.index()].push(t);
+        let mut cs = vec![t.0];
+        cs.extend(self.class_hier.ancestors(t.0).map(|(a, _)| a));
+        for c in cs {
+            let c = ClassId(c);
+            if !self.types_closure[r.index()].contains(&c) {
+                self.types_closure[r.index()].push(c);
+                if self.class_entities.len() <= c.index() {
+                    self.class_entities.resize_with(c.index() + 1, Vec::new);
+                }
+                push_unique(&mut self.class_entities[c.index()], r);
+            }
+        }
+    }
+}
+
+fn push_unique<T: PartialEq + Copy>(v: &mut Vec<T>, x: T) {
+    if !v.contains(&x) {
+        v.push(x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::KbBuilder;
+    use crate::query::Object;
+
+    #[test]
+    fn counts_and_names() {
+        let mut b = KbBuilder::new().with_name("mini");
+        let country = b.class("country");
+        let capital = b.class("capital");
+        let has_capital = b.property("hasCapital");
+        let italy = b.entity("Italy", &[country]);
+        let rome = b.entity("Rome", &[capital]);
+        b.fact(italy, has_capital, rome);
+        let kb = b.finalize();
+
+        assert_eq!(kb.name(), "mini");
+        assert_eq!(kb.num_entities(), 2);
+        assert_eq!(kb.num_classes(), 2);
+        assert_eq!(kb.num_properties(), 1);
+        assert_eq!(kb.num_facts(), 1);
+        assert_eq!(kb.class_name(country), "country");
+        assert_eq!(kb.property_name(has_capital), "hasCapital");
+        assert_eq!(kb.label_of(italy), "Italy");
+        assert_eq!(kb.resource_name(rome), "Rome");
+    }
+
+    #[test]
+    fn type_closure_through_hierarchy() {
+        let mut b = KbBuilder::new();
+        let location = b.class("location");
+        let capital = b.class("capital");
+        b.subclass(capital, location).unwrap();
+        let rome = b.entity("Rome", &[capital]);
+        let kb = b.finalize();
+
+        assert!(kb.has_type(rome, capital));
+        assert!(kb.has_type(rome, location));
+        assert_eq!(kb.entities_of_class(location), &[rome]);
+        assert_eq!(kb.class_size(capital), 1);
+    }
+
+    #[test]
+    fn property_ent_sets_fold_up() {
+        let mut b = KbBuilder::new();
+        let c = b.class("thing");
+        let located_in = b.property("locatedIn");
+        let capital_of = b.property("capitalOf");
+        b.subproperty(capital_of, located_in).unwrap();
+        let rome = b.entity("Rome", &[c]);
+        let italy = b.entity("Italy", &[c]);
+        b.fact(rome, capital_of, italy);
+        let kb = b.finalize();
+
+        // capitalOf(rome, italy) implies rome ∈ subENT(locatedIn).
+        assert_eq!(kb.subjects_of_property(located_in), &[rome]);
+        assert_eq!(kb.objects_of_property(located_in), &[italy]);
+        assert_eq!(kb.subjects_of_property(capital_of), &[rome]);
+    }
+
+    #[test]
+    fn enrichment_fact_is_visible() {
+        let mut b = KbBuilder::new();
+        let country = b.class("country");
+        let capital = b.class("capital");
+        let has_capital = b.property("hasCapital");
+        let sa = b.entity("S. Africa", &[country]);
+        let pretoria = b.entity("Pretoria", &[capital]);
+        let mut kb = b.finalize();
+
+        assert!(!kb.holds(sa, has_capital, pretoria));
+        assert!(kb.add_fact(sa, has_capital, pretoria));
+        assert!(kb.holds(sa, has_capital, pretoria));
+        // Idempotent.
+        assert!(!kb.add_fact(sa, has_capital, pretoria));
+        assert_eq!(kb.num_facts(), 1);
+    }
+
+    #[test]
+    fn enrichment_entity_is_queryable() {
+        let mut b = KbBuilder::new();
+        let capital = b.class("capital");
+        b.entity("Rome", &[capital]);
+        let mut kb = b.finalize();
+
+        let juneau = kb.add_entity("Juneau", "Juneau", &[capital]);
+        assert!(kb.has_type(juneau, capital));
+        assert_eq!(kb.resources_by_label("juneau"), &[juneau]);
+        assert_eq!(kb.class_size(capital), 2);
+        // Re-adding returns the same id.
+        assert_eq!(kb.add_entity("Juneau", "Juneau", &[capital]), juneau);
+    }
+
+    #[test]
+    fn literal_facts_round_trip() {
+        let mut b = KbBuilder::new();
+        let person = b.class("person");
+        let height = b.property("hasHeight");
+        let rossi = b.entity("Rossi", &[person]);
+        b.literal_fact(rossi, height, "1.78");
+        let kb = b.finalize();
+
+        let facts = kb.facts_of(rossi);
+        assert_eq!(facts.len(), 1);
+        match facts[0].1 {
+            Object::Literal(l) => assert_eq!(kb.literal_value(l), "1.78"),
+            Object::Resource(_) => panic!("expected literal"),
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based invariants of the KB store: coherence bounds, index
+//! consistency, and enrichment visibility under random construction.
+
+use katara_kb::{KbBuilder, Object};
+use proptest::prelude::*;
+
+const NC: usize = 5;
+const NP: usize = 3;
+
+fn kb_strategy() -> impl Strategy<Value = katara_kb::Kb> {
+    let entity = prop::collection::vec(0usize..NC, 0..3);
+    let fact = (0usize..16, 0usize..NP, 0usize..16);
+    let edge = (0usize..NC, 0usize..NC);
+    (
+        prop::collection::vec(entity, 4..16),
+        prop::collection::vec(fact, 0..30),
+        prop::collection::vec(edge, 0..4),
+    )
+        .prop_map(|(entities, facts, class_edges)| {
+            let mut b = KbBuilder::new();
+            let classes: Vec<_> = (0..NC).map(|i| b.class(&format!("c{i}"))).collect();
+            let props: Vec<_> = (0..NP).map(|i| b.property(&format!("p{i}"))).collect();
+            for (c, p) in class_edges {
+                // Cycles are rejected; keep whatever is accepted.
+                let _ = b.subclass(classes[c], classes[p]);
+            }
+            let resources: Vec<_> = entities
+                .iter()
+                .enumerate()
+                .map(|(i, ts)| {
+                    let types: Vec<_> = ts.iter().map(|&t| classes[t]).collect();
+                    b.entity(&format!("e{i}"), &types)
+                })
+                .collect();
+            for &(s, p, o) in &facts {
+                b.fact(
+                    resources[s % resources.len()],
+                    props[p],
+                    resources[o % resources.len()],
+                );
+            }
+            b.finalize()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn coherence_scores_in_unit_interval(kb in kb_strategy()) {
+        for t in kb.class_ids() {
+            for p in kb.property_ids() {
+                let s = kb.sub_coherence(t, p);
+                let o = kb.obj_coherence(t, p);
+                prop_assert!((0.0..=1.0).contains(&s), "subSC {s}");
+                prop_assert!((0.0..=1.0).contains(&o), "objSC {o}");
+                prop_assert!(s <= kb.coherence().max_sub(p) + 1e-12);
+                prop_assert!(o <= kb.coherence().max_obj(p) + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn fact_indexes_are_consistent(kb in kb_strategy()) {
+        // Every outgoing resource fact is visible through holds(),
+        // relations_between(), subjects/objects_of_property, and the
+        // reverse index.
+        for s in kb.resource_ids() {
+            for &(p, obj) in kb.facts_of(s) {
+                let Object::Resource(o) = obj else { continue };
+                prop_assert!(kb.holds(s, p, o));
+                prop_assert!(kb.relations_between(s, o).contains(&p));
+                prop_assert!(kb.subjects_of_property(p).contains(&s));
+                prop_assert!(kb.objects_of_property(p).contains(&o));
+                prop_assert!(kb.subjects_linking(o, p).contains(&s));
+                prop_assert!(kb.objects_linked(s, p).contains(&o));
+            }
+        }
+    }
+
+    #[test]
+    fn type_closure_respects_hierarchy(kb in kb_strategy()) {
+        for r in kb.resource_ids() {
+            for &t in kb.types_closure(r) {
+                prop_assert!(kb.has_type(r, t));
+                prop_assert!(kb.entities_of_class(t).contains(&r));
+                // Every ancestor of a held type is held too.
+                for (anc, _) in kb.class_hierarchy().ancestors(t.0) {
+                    prop_assert!(kb.has_type(r, katara_kb::ClassId(anc)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn enrichment_is_immediately_visible(kb in kb_strategy(), s in 0usize..8, o in 0usize..8) {
+        let mut kb = kb;
+        let n = kb.num_entities();
+        if n == 0 { return Ok(()); }
+        let rs: Vec<_> = kb.resource_ids().collect();
+        let s = rs[s % n];
+        let o = rs[o % n];
+        let p = kb.property_by_name("p0").unwrap();
+        let facts_before = kb.num_facts();
+        let added = kb.add_fact(s, p, o);
+        prop_assert!(kb.holds(s, p, o));
+        prop_assert!(kb.subjects_of_property(p).contains(&s));
+        prop_assert!(kb.subjects_linking(o, p).contains(&s));
+        prop_assert_eq!(kb.num_facts(), facts_before + usize::from(added));
+        // Idempotent.
+        prop_assert!(!kb.add_fact(s, p, o));
+    }
+
+    #[test]
+    fn label_lookup_total(kb in kb_strategy()) {
+        for r in kb.resource_ids() {
+            let label = kb.label_of(r).to_string();
+            prop_assert!(kb.resources_by_label(&label).contains(&r));
+            let cands = kb.candidate_resources(&label);
+            prop_assert!(cands.iter().any(|&(c, score)| c == r && score == 1.0));
+        }
+    }
+}

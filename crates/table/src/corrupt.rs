@@ -1,0 +1,341 @@
+//! Seeded error injection with provenance.
+//!
+//! Reproduces the paper's dirty-instance construction (§7.4): "we injected
+//! 10% random errors into columns that are covered by the patterns …, that
+//! is, each tuple has a 10% chance of being modified to contain errors."
+//! Every change is logged so experiments can score repairs against the
+//! clean ground truth.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::table::{CellRef, Table};
+use crate::value::Value;
+
+/// How a cell was corrupted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionKind {
+    /// Replaced with a value drawn from another row of the same column
+    /// (an in-domain wrong value, like `Madrid` for Italy's capital).
+    DomainSwap,
+    /// A character-level typo (delete / substitute / transpose).
+    Typo,
+    /// Set to null.
+    Nulled,
+}
+
+/// One injected error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellChange {
+    /// Where.
+    pub cell: CellRef,
+    /// The ground-truth value before corruption.
+    pub original: Value,
+    /// The dirty value written.
+    pub corrupted: Value,
+    /// How.
+    pub kind: CorruptionKind,
+}
+
+/// The full provenance of one corruption pass.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CorruptionLog {
+    /// Injected changes, in row order.
+    pub changes: Vec<CellChange>,
+}
+
+impl CorruptionLog {
+    /// Number of injected errors.
+    pub fn len(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// True if nothing was corrupted.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+
+    /// The change at a given cell, if any.
+    pub fn change_at(&self, cell: CellRef) -> Option<&CellChange> {
+        self.changes.iter().find(|c| c.cell == cell)
+    }
+
+    /// True if `cell` was corrupted.
+    pub fn is_dirty(&self, cell: CellRef) -> bool {
+        self.change_at(cell).is_some()
+    }
+}
+
+/// Configuration for [`corrupt_table`].
+#[derive(Debug, Clone)]
+pub struct CorruptionConfig {
+    /// Probability that a tuple receives an error (paper: 0.10).
+    pub tuple_error_rate: f64,
+    /// Columns eligible for corruption (paper: the pattern-covered ones).
+    pub columns: Vec<usize>,
+    /// Relative weight of [`CorruptionKind::DomainSwap`].
+    pub w_domain_swap: f64,
+    /// Relative weight of [`CorruptionKind::Typo`].
+    pub w_typo: f64,
+    /// Relative weight of [`CorruptionKind::Nulled`].
+    pub w_null: f64,
+}
+
+impl CorruptionConfig {
+    /// The paper's setup: 10% tuple error rate over the given columns,
+    /// errors dominated by in-domain wrong values (the kind FDs and KBs
+    /// can catch), with some typos and no nulls.
+    pub fn paper_default(columns: Vec<usize>) -> Self {
+        CorruptionConfig {
+            tuple_error_rate: 0.10,
+            columns,
+            w_domain_swap: 0.8,
+            w_typo: 0.2,
+            w_null: 0.0,
+        }
+    }
+}
+
+/// Corrupt `table` in place, returning the provenance log.
+///
+/// For each row, with probability `tuple_error_rate`, one eligible
+/// non-null cell is corrupted. Deterministic for a fixed seed.
+pub fn corrupt_table(table: &mut Table, config: &CorruptionConfig, seed: u64) -> CorruptionLog {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut log = CorruptionLog::default();
+    let total_w = config.w_domain_swap + config.w_typo + config.w_null;
+    assert!(total_w > 0.0, "at least one corruption kind must be enabled");
+    if config.columns.is_empty() {
+        return log;
+    }
+
+    for r in 0..table.num_rows() {
+        if !rng.random_bool(config.tuple_error_rate) {
+            continue;
+        }
+        // Pick an eligible column with a non-null cell.
+        let candidates: Vec<usize> = config
+            .columns
+            .iter()
+            .copied()
+            .filter(|&c| !table.cell(r, c).is_null())
+            .collect();
+        if candidates.is_empty() {
+            continue;
+        }
+        let col = candidates[rng.random_range(0..candidates.len())];
+        let original = table.cell(r, col).clone();
+        let Some(orig_text) = original.as_str() else {
+            continue;
+        };
+
+        let kind = pick_kind(&mut rng, config, total_w);
+        let corrupted = match kind {
+            CorruptionKind::DomainSwap => {
+                match domain_swap(table, r, col, orig_text, &mut rng) {
+                    Some(v) => Value::Text(v),
+                    // Column has a single distinct value; fall back to typo.
+                    None => Value::Text(typo(orig_text, &mut rng)),
+                }
+            }
+            CorruptionKind::Typo => Value::Text(typo(orig_text, &mut rng)),
+            CorruptionKind::Nulled => Value::Null,
+        };
+        if corrupted == original {
+            continue; // a no-op "corruption" is not an error
+        }
+        let kind = match (&corrupted, kind) {
+            // Record the fallback accurately.
+            (Value::Text(_), CorruptionKind::DomainSwap)
+                if !column_contains(table, col, &corrupted) =>
+            {
+                CorruptionKind::Typo
+            }
+            (_, k) => k,
+        };
+        table.set_cell(r, col, corrupted.clone());
+        log.changes.push(CellChange {
+            cell: CellRef { row: r, col },
+            original,
+            corrupted,
+            kind,
+        });
+    }
+    log
+}
+
+fn pick_kind(rng: &mut StdRng, config: &CorruptionConfig, total_w: f64) -> CorruptionKind {
+    let x = rng.random_range(0.0..total_w);
+    if x < config.w_domain_swap {
+        CorruptionKind::DomainSwap
+    } else if x < config.w_domain_swap + config.w_typo {
+        CorruptionKind::Typo
+    } else {
+        CorruptionKind::Nulled
+    }
+}
+
+fn column_contains(table: &Table, col: usize, v: &Value) -> bool {
+    (0..table.num_rows()).any(|r| table.cell(r, col) == v)
+}
+
+/// A different value drawn from the same column, or `None` if the column
+/// holds a single distinct value.
+fn domain_swap(
+    table: &Table,
+    row: usize,
+    col: usize,
+    original: &str,
+    rng: &mut StdRng,
+) -> Option<String> {
+    let distinct: Vec<&str> = table
+        .distinct_column_values(col)
+        .into_iter()
+        .filter(|&v| v != original)
+        .collect();
+    let _ = row;
+    if distinct.is_empty() {
+        None
+    } else {
+        Some(distinct[rng.random_range(0..distinct.len())].to_string())
+    }
+}
+
+/// Introduce a character-level typo: substitute, delete, or transpose.
+fn typo(s: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.is_empty() {
+        return "x".to_string();
+    }
+    let mut out = chars.clone();
+    match rng.random_range(0..3u8) {
+        0 => {
+            // Substitute one char with a letter that differs from it.
+            let i = rng.random_range(0..out.len());
+            let mut repl = (b'a' + rng.random_range(0..26u8)) as char;
+            if repl == out[i] {
+                repl = if repl == 'z' { 'a' } else { (repl as u8 + 1) as char };
+            }
+            out[i] = repl;
+        }
+        1 if out.len() > 1 => {
+            let i = rng.random_range(0..out.len());
+            out.remove(i);
+        }
+        _ if out.len() > 1 => {
+            let i = rng.random_range(0..out.len() - 1);
+            out.swap(i, i + 1);
+            if out == chars {
+                // Swapped identical chars; substitute instead.
+                out[0] = if out[0] == 'z' { 'a' } else { 'z' };
+            }
+        }
+        _ => {
+            out.push('x');
+        }
+    }
+    out.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big_table() -> Table {
+        let mut t = Table::with_opaque_columns("t", 3);
+        for i in 0..200 {
+            let country = if i % 2 == 0 { "Italy" } else { "Spain" };
+            let capital = if i % 2 == 0 { "Rome" } else { "Madrid" };
+            t.push_row(vec![
+                Value::Text(format!("p{i}")),
+                Value::Text(country.into()),
+                Value::Text(capital.into()),
+            ]);
+        }
+        t
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let cfg = CorruptionConfig::paper_default(vec![1, 2]);
+        let mut t1 = big_table();
+        let mut t2 = big_table();
+        let l1 = corrupt_table(&mut t1, &cfg, 42);
+        let l2 = corrupt_table(&mut t2, &cfg, 42);
+        assert_eq!(l1, l2);
+        assert_eq!(t1, t2);
+        assert!(!l1.is_empty());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = CorruptionConfig::paper_default(vec![1, 2]);
+        let mut t1 = big_table();
+        let mut t2 = big_table();
+        let l1 = corrupt_table(&mut t1, &cfg, 1);
+        let l2 = corrupt_table(&mut t2, &cfg, 2);
+        assert_ne!(l1, l2);
+    }
+
+    #[test]
+    fn error_rate_is_roughly_ten_percent() {
+        let cfg = CorruptionConfig::paper_default(vec![1, 2]);
+        let mut t = big_table();
+        let log = corrupt_table(&mut t, &cfg, 7);
+        // 200 rows at 10%: expect ~20, allow generous slack.
+        assert!(log.len() >= 8 && log.len() <= 40, "got {}", log.len());
+    }
+
+    #[test]
+    fn only_configured_columns_touched() {
+        let cfg = CorruptionConfig::paper_default(vec![2]);
+        let mut t = big_table();
+        let log = corrupt_table(&mut t, &cfg, 9);
+        assert!(log.changes.iter().all(|c| c.cell.col == 2));
+    }
+
+    #[test]
+    fn changes_are_real_changes() {
+        let cfg = CorruptionConfig::paper_default(vec![1, 2]);
+        let mut t = big_table();
+        let log = corrupt_table(&mut t, &cfg, 11);
+        for ch in &log.changes {
+            assert_ne!(ch.original, ch.corrupted);
+            assert_eq!(t.cell_at(ch.cell), &ch.corrupted);
+        }
+    }
+
+    #[test]
+    fn log_lookup() {
+        let cfg = CorruptionConfig::paper_default(vec![1]);
+        let mut t = big_table();
+        let log = corrupt_table(&mut t, &cfg, 13);
+        let first = log.changes.first().expect("some corruption");
+        assert!(log.is_dirty(first.cell));
+        assert_eq!(log.change_at(first.cell), Some(first));
+        assert!(!log.is_dirty(CellRef {
+            row: usize::MAX,
+            col: 0
+        }));
+    }
+
+    #[test]
+    fn empty_columns_is_noop() {
+        let cfg = CorruptionConfig::paper_default(vec![]);
+        let mut t = big_table();
+        let before = t.clone();
+        let log = corrupt_table(&mut t, &cfg, 1);
+        assert!(log.is_empty());
+        assert_eq!(t, before);
+    }
+
+    #[test]
+    fn typo_always_changes_string() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for s in ["a", "ab", "Rome", "aa", "zz", "Pretoria"] {
+            for _ in 0..50 {
+                assert_ne!(typo(s, &mut rng), s, "typo must alter {s:?}");
+            }
+        }
+    }
+}

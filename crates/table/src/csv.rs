@@ -1,0 +1,237 @@
+//! Minimal CSV support (RFC 4180 quoting), dependency-free.
+//!
+//! Only what examples and tests need: parse a string into a [`Table`]
+//! (first record = header) and serialize a [`Table`] back.
+
+use crate::table::Table;
+use crate::value::Value;
+
+/// Errors from CSV parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// A data record has a different number of fields than the header.
+    RaggedRow {
+        /// 1-based line of the offending record.
+        line: usize,
+        /// Fields found.
+        found: usize,
+        /// Fields expected (header arity).
+        expected: usize,
+    },
+    /// A quoted field was never closed.
+    UnterminatedQuote {
+        /// 1-based line where the quote opened.
+        line: usize,
+    },
+    /// The input contained no header record.
+    Empty,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::RaggedRow {
+                line,
+                found,
+                expected,
+            } => write!(
+                f,
+                "line {line}: record has {found} fields, header has {expected}"
+            ),
+            CsvError::UnterminatedQuote { line } => {
+                write!(f, "line {line}: unterminated quoted field")
+            }
+            CsvError::Empty => write!(f, "empty csv input"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parse CSV text into a table. The first record names the columns; empty
+/// fields become nulls.
+pub fn parse(name: &str, input: &str) -> Result<Table, CsvError> {
+    let records = split_records(input)?;
+    let mut it = records.into_iter();
+    let header = it.next().ok_or(CsvError::Empty)?;
+    if header.1.is_empty() {
+        return Err(CsvError::Empty);
+    }
+    let mut table = Table::new(name, header.1);
+    for (line, fields) in it {
+        if fields.len() != table.num_columns() {
+            return Err(CsvError::RaggedRow {
+                line,
+                found: fields.len(),
+                expected: table.num_columns(),
+            });
+        }
+        table.push_row(fields.into_iter().map(Value::from).collect());
+    }
+    Ok(table)
+}
+
+/// Serialize a table to CSV text (header + rows, `\n` line endings,
+/// quoting only when needed). Nulls serialize as empty fields.
+pub fn to_string(table: &Table) -> String {
+    let mut out = String::new();
+    write_record(&mut out, table.columns().iter().map(String::as_str));
+    for row in table.rows() {
+        write_record(&mut out, row.iter().map(Value::text_or_empty));
+    }
+    out
+}
+
+fn write_record<'a>(out: &mut String, fields: impl Iterator<Item = &'a str>) {
+    let mut first = true;
+    for f in fields {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        if f.contains([',', '"', '\n', '\r']) {
+            out.push('"');
+            for ch in f.chars() {
+                if ch == '"' {
+                    out.push('"');
+                }
+                out.push(ch);
+            }
+            out.push('"');
+        } else {
+            out.push_str(f);
+        }
+    }
+    out.push('\n');
+}
+
+/// Split raw CSV into records of fields, tracking 1-based line numbers.
+fn split_records(input: &str) -> Result<Vec<(usize, Vec<String>)>, CsvError> {
+    let mut records = Vec::new();
+    let mut field = String::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut line = 1usize;
+    let mut record_line = 1usize;
+    let mut in_quotes = false;
+    let mut chars = input.chars().peekable();
+
+    while let Some(ch) = chars.next() {
+        if in_quotes {
+            match ch {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push(ch);
+                }
+                _ => field.push(ch),
+            }
+            continue;
+        }
+        match ch {
+            '"' => in_quotes = true,
+            ',' => {
+                record.push(std::mem::take(&mut field));
+            }
+            '\r' => {
+                if chars.peek() == Some(&'\n') {
+                    chars.next();
+                }
+                line += 1;
+                record.push(std::mem::take(&mut field));
+                records.push((record_line, std::mem::take(&mut record)));
+                record_line = line;
+            }
+            '\n' => {
+                line += 1;
+                record.push(std::mem::take(&mut field));
+                records.push((record_line, std::mem::take(&mut record)));
+                record_line = line;
+            }
+            _ => field.push(ch),
+        }
+    }
+    if in_quotes {
+        return Err(CsvError::UnterminatedQuote { line: record_line });
+    }
+    if !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push((record_line, record));
+    }
+    // Drop fully empty trailing records (e.g. file ends in "\n").
+    records.retain(|(_, r)| !(r.len() == 1 && r[0].is_empty()));
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_round_trip() {
+        let t = parse("t", "A,B\nRossi,Italy\nKlate,S. Africa\n").unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.cell(1, 1).as_str(), Some("S. Africa"));
+        let s = to_string(&t);
+        let t2 = parse("t", &s).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let t = parse("t", "A,B\n\"a,b\",\"say \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(t.cell(0, 0).as_str(), Some("a,b"));
+        assert_eq!(t.cell(0, 1).as_str(), Some("say \"hi\""));
+        // Round trip keeps the content.
+        let t2 = parse("t", &to_string(&t)).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn newline_in_quoted_field() {
+        let t = parse("t", "A\n\"line1\nline2\"\n").unwrap();
+        assert_eq!(t.cell(0, 0).as_str(), Some("line1\nline2"));
+    }
+
+    #[test]
+    fn crlf_records() {
+        let t = parse("t", "A,B\r\nx,y\r\n").unwrap();
+        assert_eq!(t.num_rows(), 1);
+        assert_eq!(t.cell(0, 1).as_str(), Some("y"));
+    }
+
+    #[test]
+    fn empty_fields_are_null() {
+        let t = parse("t", "A,B\n,x\n").unwrap();
+        assert!(t.cell(0, 0).is_null());
+    }
+
+    #[test]
+    fn ragged_row_is_error() {
+        let err = parse("t", "A,B\nonly-one\n").unwrap_err();
+        assert!(matches!(err, CsvError::RaggedRow { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        let err = parse("t", "A\n\"oops\n").unwrap_err();
+        assert!(matches!(err, CsvError::UnterminatedQuote { .. }));
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        assert_eq!(parse("t", "").unwrap_err(), CsvError::Empty);
+    }
+
+    #[test]
+    fn no_trailing_newline() {
+        let t = parse("t", "A,B\nx,y").unwrap();
+        assert_eq!(t.num_rows(), 1);
+    }
+}

@@ -1,0 +1,164 @@
+//! Functional dependencies.
+//!
+//! The paper's repair comparison (§7.4, Appendix D) configures the EQ
+//! baseline with FDs such as `Person: A → B, C, D` and `Soccer: C → A, B`.
+//! An [`Fd`] here has a composite LHS and a single RHS column; multi-RHS
+//! declarations like `A → B, C, D` expand into one [`Fd`] per RHS.
+
+use std::collections::HashMap;
+
+use crate::table::Table;
+use crate::value::Value;
+
+/// A functional dependency `lhs → rhs` over column indexes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Fd {
+    /// Determinant columns.
+    pub lhs: Vec<usize>,
+    /// Dependent column.
+    pub rhs: usize,
+}
+
+impl Fd {
+    /// `lhs → rhs`.
+    ///
+    /// # Panics
+    /// Panics if `lhs` is empty or contains `rhs`.
+    pub fn new(lhs: Vec<usize>, rhs: usize) -> Self {
+        assert!(!lhs.is_empty(), "FD needs a non-empty LHS");
+        assert!(!lhs.contains(&rhs), "FD RHS cannot appear in its LHS");
+        Fd { lhs, rhs }
+    }
+
+    /// Expand a multi-RHS declaration `lhs → rhs_1, …, rhs_n`.
+    pub fn expand(lhs: &[usize], rhs: &[usize]) -> Vec<Fd> {
+        rhs.iter()
+            .map(|&r| Fd::new(lhs.to_vec(), r))
+            .collect()
+    }
+
+    /// The LHS key of row `r` (null cells render as empty strings, which
+    /// keeps key grouping total).
+    pub fn key<'a>(&self, table: &'a Table, r: usize) -> Vec<&'a str> {
+        self.lhs
+            .iter()
+            .map(|&c| table.cell(r, c).text_or_empty())
+            .collect()
+    }
+
+    /// Groups of row indexes sharing an LHS key but disagreeing on the RHS
+    /// — the FD's violations.
+    pub fn violations(&self, table: &Table) -> Vec<Vec<usize>> {
+        let mut groups: HashMap<Vec<&str>, Vec<usize>> = HashMap::new();
+        for r in 0..table.num_rows() {
+            groups.entry(self.key(table, r)).or_default().push(r);
+        }
+        let mut out: Vec<Vec<usize>> = groups
+            .into_values()
+            .filter(|rows| {
+                rows.len() > 1 && {
+                    let first = table.cell(rows[0], self.rhs);
+                    rows[1..].iter().any(|&r| table.cell(r, self.rhs) != first)
+                }
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// True if the table satisfies this FD.
+    pub fn holds_on(&self, table: &Table) -> bool {
+        self.violations(table).is_empty()
+    }
+
+    /// Majority RHS value per LHS key, for repair heuristics:
+    /// `key -> (value, support)`. Ties break toward the lexicographically
+    /// smaller value for determinism.
+    pub fn majority_rhs<'a>(&self, table: &'a Table) -> HashMap<Vec<&'a str>, (&'a Value, usize)> {
+        let mut counts: HashMap<Vec<&str>, HashMap<&Value, usize>> = HashMap::new();
+        for r in 0..table.num_rows() {
+            *counts
+                .entry(self.key(table, r))
+                .or_default()
+                .entry(table.cell(r, self.rhs))
+                .or_insert(0) += 1;
+        }
+        counts
+            .into_iter()
+            .map(|(k, vs)| {
+                let best = vs
+                    .into_iter()
+                    .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(a.0)))
+                    .expect("non-empty group");
+                (k, best)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Table {
+        let mut t = Table::with_opaque_columns("t", 3);
+        t.push_text_row(&["Italy", "Rome", "Italian"]);
+        t.push_text_row(&["Italy", "Rome", "Italian"]);
+        t.push_text_row(&["Italy", "Madrid", "Italian"]); // violates A→B
+        t.push_text_row(&["Spain", "Madrid", "Spanish"]);
+        t
+    }
+
+    #[test]
+    fn violations_found() {
+        let fd = Fd::new(vec![0], 1);
+        let v = fd.violations(&t());
+        assert_eq!(v, vec![vec![0, 1, 2]]);
+        assert!(!fd.holds_on(&t()));
+    }
+
+    #[test]
+    fn satisfied_fd() {
+        let fd = Fd::new(vec![0], 2); // country → language holds
+        assert!(fd.holds_on(&t()));
+    }
+
+    #[test]
+    fn majority_picks_most_frequent() {
+        let fd = Fd::new(vec![0], 1);
+        let table = t();
+        let maj = fd.majority_rhs(&table);
+        let (v, support) = maj[&vec!["Italy"]];
+        assert_eq!(v.as_str(), Some("Rome"));
+        assert_eq!(support, 2);
+    }
+
+    #[test]
+    fn expand_multi_rhs() {
+        let fds = Fd::expand(&[0], &[1, 2, 3]);
+        assert_eq!(fds.len(), 3);
+        assert_eq!(fds[2], Fd::new(vec![0], 3));
+    }
+
+    #[test]
+    fn composite_lhs() {
+        let mut t = Table::with_opaque_columns("t", 3);
+        t.push_text_row(&["a", "x", "1"]);
+        t.push_text_row(&["a", "y", "2"]);
+        t.push_text_row(&["a", "x", "3"]); // violates (A,B)→C with row 0
+        let fd = Fd::new(vec![0, 1], 2);
+        assert_eq!(fd.violations(&t), vec![vec![0, 2]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "LHS")]
+    fn empty_lhs_panics() {
+        Fd::new(vec![], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "RHS")]
+    fn rhs_in_lhs_panics() {
+        Fd::new(vec![0, 1], 1);
+    }
+}

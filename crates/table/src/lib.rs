@@ -1,0 +1,27 @@
+//! # katara-table — relational tables for KATARA
+//!
+//! The table substrate: a small, owned, string-typed relational table model
+//! with exactly what the KATARA pipeline and its comparators need:
+//!
+//! * [`Table`]/[`Value`] — column-named rows of text cells with explicit
+//!   nulls (KATARA operates on Web tables whose "schema is either
+//!   unavailable or unusable", so column names are opaque tags like `A`);
+//! * [`csv`] — dependency-free CSV reading/writing for examples and tests;
+//! * [`fd`] — functional dependencies and violation detection, used by the
+//!   EQ and SCARE repair baselines (§7.4, Appendix D);
+//! * [`corrupt`] — seeded error injection ("we injected 10% random errors
+//!   into columns that are covered by the patterns", §7.4) with a full
+//!   provenance log so experiments can score repairs against ground truth.
+
+#![warn(missing_docs)]
+
+pub mod corrupt;
+pub mod csv;
+pub mod fd;
+pub mod table;
+pub mod value;
+
+pub use corrupt::{CellChange, CorruptionConfig, CorruptionKind, CorruptionLog};
+pub use fd::Fd;
+pub use table::{CellRef, Table};
+pub use value::Value;

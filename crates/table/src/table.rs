@@ -1,0 +1,255 @@
+//! The [`Table`] type: named columns of string cells.
+
+use crate::value::Value;
+
+/// A (row, column) coordinate into a [`Table`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellRef {
+    /// Zero-based row index.
+    pub row: usize,
+    /// Zero-based column index.
+    pub col: usize,
+}
+
+/// An owned relational table.
+///
+/// Column names exist but KATARA never interprets them ("opaque values for
+/// the attributes' labels"); they default to spreadsheet-style tags.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    name: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// Create an empty table with the given column names.
+    ///
+    /// # Panics
+    /// Panics if `columns` is empty.
+    pub fn new(name: &str, columns: Vec<String>) -> Self {
+        assert!(!columns.is_empty(), "a table needs at least one column");
+        Table {
+            name: name.to_string(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Create a table with `n` opaque column names `A`, `B`, …, `Z`,
+    /// `A1`, …
+    pub fn with_opaque_columns(name: &str, n: usize) -> Self {
+        Self::new(name, (0..n).map(opaque_column_name).collect())
+    }
+
+    /// The table's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the row's arity differs from the column count.
+    pub fn push_row(&mut self, row: Vec<Value>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row arity {} != column count {}",
+            row.len(),
+            self.columns.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Append a row of text cells (empty strings become nulls).
+    pub fn push_text_row(&mut self, cells: &[&str]) {
+        self.push_row(cells.iter().map(|&c| Value::from_cell(c)).collect());
+    }
+
+    /// A row by index.
+    pub fn row(&self, r: usize) -> &[Value] {
+        &self.rows[r]
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// The cell at `(r, c)`.
+    pub fn cell(&self, r: usize, c: usize) -> &Value {
+        &self.rows[r][c]
+    }
+
+    /// The cell at a [`CellRef`].
+    pub fn cell_at(&self, at: CellRef) -> &Value {
+        &self.rows[at.row][at.col]
+    }
+
+    /// Overwrite the cell at `(r, c)`, returning the previous value.
+    pub fn set_cell(&mut self, r: usize, c: usize, v: Value) -> Value {
+        std::mem::replace(&mut self.rows[r][c], v)
+    }
+
+    /// Iterate the non-null text values of column `c`.
+    pub fn column_values(&self, c: usize) -> impl Iterator<Item = &str> {
+        self.rows.iter().filter_map(move |row| row[c].as_str())
+    }
+
+    /// Distinct non-null text values of column `c`, in first-seen order.
+    pub fn distinct_column_values(&self, c: usize) -> Vec<&str> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for v in self.column_values(c) {
+            if seen.insert(v) {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    /// Fraction of null cells in column `c` (0.0 for an empty table).
+    pub fn null_fraction(&self, c: usize) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        let nulls = self.rows.iter().filter(|row| row[c].is_null()).count();
+        nulls as f64 / self.rows.len() as f64
+    }
+
+    /// Project the table onto a subset of columns (by index), cloning.
+    pub fn project(&self, cols: &[usize]) -> Table {
+        let columns = cols.iter().map(|&c| self.columns[c].clone()).collect();
+        let mut t = Table::new(&self.name, columns);
+        for row in &self.rows {
+            t.push_row(cols.iter().map(|&c| row[c].clone()).collect());
+        }
+        t
+    }
+}
+
+/// Spreadsheet-style opaque names: `A`..`Z`, then `A1`, `B1`, …
+fn opaque_column_name(i: usize) -> String {
+    let letter = (b'A' + (i % 26) as u8) as char;
+    let round = i / 26;
+    if round == 0 {
+        letter.to_string()
+    } else {
+        format!("{letter}{round}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1() -> Table {
+        let mut t = Table::with_opaque_columns("soccer", 7);
+        t.push_text_row(&[
+            "Rossi", "Italy", "Rome", "Verona", "Italian", "Proto", "1.78",
+        ]);
+        t.push_text_row(&[
+            "Klate",
+            "S. Africa",
+            "Pretoria",
+            "Pirates",
+            "Afrikaans",
+            "P. Eliz.",
+            "1.69",
+        ]);
+        t.push_text_row(&[
+            "Pirlo", "Italy", "Madrid", "Juve", "Italian", "Flero", "1.77",
+        ]);
+        t
+    }
+
+    #[test]
+    fn opaque_names() {
+        let t = Table::with_opaque_columns("t", 28);
+        assert_eq!(t.columns()[0], "A");
+        assert_eq!(t.columns()[25], "Z");
+        assert_eq!(t.columns()[26], "A1");
+        assert_eq!(t.columns()[27], "B1");
+    }
+
+    #[test]
+    fn basic_shape() {
+        let t = fig1();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.num_columns(), 7);
+        assert_eq!(t.cell(0, 0).as_str(), Some("Rossi"));
+        assert_eq!(t.cell(2, 2).as_str(), Some("Madrid"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::with_opaque_columns("t", 3);
+        t.push_text_row(&["a", "b"]);
+    }
+
+    #[test]
+    fn distinct_and_column_values() {
+        let t = fig1();
+        let countries: Vec<&str> = t.column_values(1).collect();
+        assert_eq!(countries, vec!["Italy", "S. Africa", "Italy"]);
+        assert_eq!(t.distinct_column_values(1), vec!["Italy", "S. Africa"]);
+    }
+
+    #[test]
+    fn set_cell_returns_old() {
+        let mut t = fig1();
+        let old = t.set_cell(2, 2, Value::from_cell("Rome"));
+        assert_eq!(old.as_str(), Some("Madrid"));
+        assert_eq!(t.cell(2, 2).as_str(), Some("Rome"));
+    }
+
+    #[test]
+    fn null_fraction() {
+        let mut t = Table::with_opaque_columns("t", 2);
+        t.push_text_row(&["a", ""]);
+        t.push_text_row(&["b", "x"]);
+        assert_eq!(t.null_fraction(0), 0.0);
+        assert_eq!(t.null_fraction(1), 0.5);
+        let empty = Table::with_opaque_columns("e", 1);
+        assert_eq!(empty.null_fraction(0), 0.0);
+    }
+
+    #[test]
+    fn project_keeps_selected_columns() {
+        let t = fig1();
+        let p = t.project(&[1, 2]);
+        assert_eq!(p.num_columns(), 2);
+        assert_eq!(p.columns(), &["B".to_string(), "C".to_string()]);
+        assert_eq!(p.cell(0, 0).as_str(), Some("Italy"));
+        assert_eq!(p.cell(0, 1).as_str(), Some("Rome"));
+    }
+
+    #[test]
+    fn cell_ref_access() {
+        let t = fig1();
+        let at = CellRef { row: 1, col: 2 };
+        assert_eq!(t.cell_at(at).as_str(), Some("Pretoria"));
+    }
+}

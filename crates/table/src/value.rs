@@ -1,0 +1,96 @@
+//! Cell values.
+
+use std::fmt;
+
+/// A single table cell: either text or an explicit null.
+///
+/// KATARA treats all data as strings (KB labels and literals are matched
+/// textually); numbers like `1.78` stay text and match KB *literals*.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// A non-null textual cell.
+    Text(String),
+    /// A missing value.
+    Null,
+}
+
+impl Value {
+    /// Build a text value, mapping empty strings to [`Value::Null`]
+    /// (matching how Web-table extractors emit missing cells).
+    pub fn from_cell(s: &str) -> Self {
+        if s.is_empty() {
+            Value::Null
+        } else {
+            Value::Text(s.to_string())
+        }
+    }
+
+    /// The text content, or `None` for null.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            Value::Null => None,
+        }
+    }
+
+    /// True if the cell is null.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The text content or `""` for null — convenient for display paths.
+    pub fn text_or_empty(&self) -> &str {
+        self.as_str().unwrap_or("")
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Text(s) => f.write_str(s),
+            Value::Null => f.write_str("␀"),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::from_cell(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        if s.is_empty() {
+            Value::Null
+        } else {
+            Value::Text(s)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_string_is_null() {
+        assert_eq!(Value::from_cell(""), Value::Null);
+        assert_eq!(Value::from("".to_string()), Value::Null);
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let v = Value::from_cell("Rome");
+        assert_eq!(v.as_str(), Some("Rome"));
+        assert!(!v.is_null());
+        assert_eq!(v.to_string(), "Rome");
+    }
+
+    #[test]
+    fn text_or_empty() {
+        assert_eq!(Value::Null.text_or_empty(), "");
+        assert_eq!(Value::from_cell("x").text_or_empty(), "x");
+    }
+}

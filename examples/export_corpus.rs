@@ -1,0 +1,201 @@
+//! Export the synthetic evaluation corpus to plain files — CSV tables and
+//! N-Triples KBs — so the `katara` CLI (and any other RDF/CSV tooling)
+//! can be driven against it:
+//!
+//! ```sh
+//! cargo run --release --example export_corpus -- /tmp/katara-corpus
+//! katara kb-stats --kb /tmp/katara-corpus/dbpedia-like.nt
+//! katara clean    --table /tmp/katara-corpus/soccer.csv \
+//!                 --kb /tmp/katara-corpus/dbpedia-like.nt \
+//!                 --crowd facts:/tmp/katara-corpus/facts.tsv
+//! ```
+//!
+//! Also writes `facts.tsv` (the world's ground truth in the CLI's
+//! facts-file format) so the cleaned run has a perfect oracle.
+
+use std::path::PathBuf;
+
+use katara::datagen::{KbFlavor, SemanticRel};
+use katara::eval::corpus::{Corpus, CorpusConfig};
+use katara::kb::ntriples;
+use katara::table::csv;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "/tmp/katara-corpus".to_string())
+        .into();
+    std::fs::create_dir_all(&dir)?;
+
+    println!("building corpus…");
+    let corpus = Corpus::build(&CorpusConfig::default());
+
+    // KBs.
+    for flavor in [KbFlavor::YagoLike, KbFlavor::DbpediaLike] {
+        let kb = corpus.kb(flavor);
+        let path = dir.join(format!("{}.nt", flavor.name()));
+        std::fs::write(&path, ntriples::to_string(&kb))?;
+        println!(
+            "wrote {} ({} entities, {} facts)",
+            path.display(),
+            kb.num_entities(),
+            kb.num_facts()
+        );
+    }
+
+    // Relational tables.
+    for (name, g) in corpus.relational() {
+        let path = dir.join(format!("{}.csv", name.to_lowercase()));
+        std::fs::write(&path, csv::to_string(&g.table))?;
+        println!("wrote {} ({} rows)", path.display(), g.table.num_rows());
+    }
+    // A few web tables.
+    for g in corpus.web.iter().take(5) {
+        let path = dir.join(format!("{}.csv", g.table.name()));
+        std::fs::write(&path, csv::to_string(&g.table))?;
+    }
+    println!("wrote 5 web tables");
+
+    // Ground-truth facts for the CLI's facts: crowd mode. The world's
+    // statements double as "hasType" rows for annotation type questions.
+    let mut tsv = String::new();
+    let w = &corpus.world;
+    for (ci, c) in w.countries.iter().enumerate() {
+        let cap = w.capital_of(ci);
+        for rel in [SemanticRel::HasCapital] {
+            for flavor in [KbFlavor::YagoLike, KbFlavor::DbpediaLike] {
+                tsv.push_str(&format!("{}\t{}\t{}\n", c.name, rel.name(flavor), cap.name));
+            }
+        }
+        for flavor in [KbFlavor::YagoLike, KbFlavor::DbpediaLike] {
+            tsv.push_str(&format!(
+                "{}\t{}\t{}\n",
+                c.name,
+                SemanticRel::OfficialLanguage.name(flavor),
+                w.language_of(ci)
+            ));
+        }
+    }
+    for p in &w.players {
+        for flavor in [KbFlavor::YagoLike, KbFlavor::DbpediaLike] {
+            tsv.push_str(&format!(
+                "{}\t{}\t{}\n",
+                p.name,
+                SemanticRel::Nationality.name(flavor),
+                w.countries[p.country].name
+            ));
+            tsv.push_str(&format!(
+                "{}\t{}\t{}\n",
+                p.name,
+                SemanticRel::PlaysFor.name(flavor),
+                w.clubs[p.club].name
+            ));
+            tsv.push_str(&format!(
+                "{}\t{}\t{}\n",
+                p.name,
+                SemanticRel::HasHeight.name(flavor),
+                p.height
+            ));
+        }
+    }
+    for k in &w.clubs {
+        for flavor in [KbFlavor::YagoLike, KbFlavor::DbpediaLike] {
+            tsv.push_str(&format!(
+                "{}\t{}\t{}\n",
+                k.name,
+                SemanticRel::InLeague.name(flavor),
+                w.leagues[k.league]
+            ));
+            tsv.push_str(&format!(
+                "{}\t{}\t{}\n",
+                k.name,
+                SemanticRel::LocatedIn.name(flavor),
+                w.cities[k.city].name
+            ));
+        }
+    }
+    for u in &w.universities {
+        let city = &w.us_cities[u.city];
+        for flavor in [KbFlavor::YagoLike, KbFlavor::DbpediaLike] {
+            tsv.push_str(&format!(
+                "{}\t{}\t{}\n",
+                u.name,
+                SemanticRel::InState.name(flavor),
+                w.states[city.state].name
+            ));
+            tsv.push_str(&format!(
+                "{}\t{}\t{}\n",
+                u.name,
+                SemanticRel::LocatedIn.name(flavor),
+                city.name
+            ));
+        }
+    }
+    // Type statements for annotation's "hasType" questions: leaf plus
+    // every ancestor, under both flavors' spellings.
+    {
+        use katara::datagen::SemanticType;
+        let mut add_types = |label: &str, t: SemanticType| {
+            for flavor in [KbFlavor::YagoLike, KbFlavor::DbpediaLike] {
+                tsv.push_str(&format!("{label}\thasType\t{}\n", t.name(flavor)));
+                for &anc in t.ancestors(flavor) {
+                    tsv.push_str(&format!("{label}\thasType\t{anc}\n"));
+                }
+            }
+        };
+        for p in &w.players {
+            add_types(&p.name, SemanticType::SoccerPlayer);
+        }
+        for k in &w.clubs {
+            add_types(&k.name, SemanticType::Club);
+        }
+        for (ci, c) in w.countries.iter().enumerate() {
+            add_types(&c.name, SemanticType::Country);
+            add_types(&w.capital_of(ci).name, SemanticType::Capital);
+        }
+        for c in &w.cities {
+            add_types(
+                &c.name,
+                if c.is_capital {
+                    SemanticType::Capital
+                } else {
+                    SemanticType::City
+                },
+            );
+        }
+        for l in &w.languages {
+            add_types(l, SemanticType::Language);
+        }
+        for l in &w.leagues {
+            add_types(l, SemanticType::League);
+        }
+        for (si, st) in w.states.iter().enumerate() {
+            add_types(&st.name, SemanticType::State);
+            add_types(&w.state_capital_of(si).name, SemanticType::StateCapital);
+        }
+        for c in &w.us_cities {
+            add_types(
+                &c.name,
+                if c.is_capital {
+                    SemanticType::StateCapital
+                } else {
+                    SemanticType::City
+                },
+            );
+        }
+        for u in &w.universities {
+            add_types(&u.name, SemanticType::University);
+        }
+    }
+
+    let facts_path = dir.join("facts.tsv");
+    std::fs::write(&facts_path, &tsv)?;
+    println!(
+        "wrote {} ({} statements)",
+        facts_path.display(),
+        tsv.lines().count()
+    );
+    println!("\ntry:\n  katara discover --table {}/soccer.csv --kb {}/dbpedia-like.nt",
+        dir.display(), dir.display());
+    Ok(())
+}

@@ -1,0 +1,175 @@
+//! Quickstart: clean the paper's Figure 1 soccer-players table end to end.
+//!
+//! Builds a miniature Yago-style KB containing the facts of the paper's
+//! running example, runs the full KATARA pipeline — pattern discovery,
+//! crowd validation, annotation, top-k repairs — and prints every step.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use katara::core::prelude::*;
+use katara::crowd::{Answer, Crowd, CrowdConfig, Question};
+use katara::kb::KbBuilder;
+use katara::table::Table;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // The KB: the slice of Yago the paper's example needs. Note what is
+    // *missing*: S. Africa's capital fact (KB incompleteness) — and that
+    // Madrid is Spain's capital, not Italy's.
+    // ------------------------------------------------------------------
+    let mut b = KbBuilder::new().with_name("mini-yago");
+    let person = b.class("person");
+    let country = b.class("country");
+    let capital = b.class("capital");
+    let language = b.class("language");
+    let nationality = b.property("nationality");
+    let has_capital = b.property("hasCapital");
+    let speaks = b.property("hasOfficialLanguage");
+
+    let data = [
+        ("Rossi", "Italy", "Rome", "Italian"),
+        ("Klate", "S. Africa", "Pretoria", "Afrikaans"),
+        ("Pirlo", "Italy", "Rome", "Italian"),
+        ("Ramos", "Spain", "Madrid", "Spanish"),
+        ("Benzema", "France", "Paris", "French"),
+    ];
+    for (p, c, cap, lang) in data {
+        let rp = b.entity(p, &[person]);
+        let rc = b.entity(c, &[country]);
+        let rcap = b.entity(cap, &[capital]);
+        let rlang = b.entity(lang, &[language]);
+        b.fact(rp, nationality, rc);
+        b.fact(rc, speaks, rlang);
+        if c != "S. Africa" {
+            // The KB does not know South Africa's capital.
+            b.fact(rc, has_capital, rcap);
+        }
+    }
+    let mut kb = b.finalize();
+    println!(
+        "KB `{}`: {} entities, {} classes, {} facts\n",
+        kb.name(),
+        kb.num_entities(),
+        kb.num_classes(),
+        kb.num_facts()
+    );
+
+    // ------------------------------------------------------------------
+    // The dirty table (Fig. 1): t3 says Italy's capital is Madrid.
+    // ------------------------------------------------------------------
+    let mut table = Table::with_opaque_columns("soccer_players", 4);
+    table.push_text_row(&["Rossi", "Italy", "Rome", "Italian"]);
+    table.push_text_row(&["Klate", "S. Africa", "Pretoria", "Afrikaans"]);
+    table.push_text_row(&["Pirlo", "Italy", "Madrid", "Italian"]);
+    println!("input table:");
+    for r in 0..table.num_rows() {
+        println!("  t{}: {:?}", r + 1, table.row(r));
+    }
+
+    // ------------------------------------------------------------------
+    // The crowd: simulated experts who know the real world — including
+    // the fact the KB is missing.
+    // ------------------------------------------------------------------
+    let oracle = |q: &Question| match q {
+        Question::ColumnType {
+            column, candidates, ..
+        } => {
+            let want = ["person", "country", "capital", "language"][*column];
+            candidates
+                .iter()
+                .position(|c| c == want)
+                .map(Answer::Choice)
+                .unwrap_or(Answer::NoneOfTheAbove)
+        }
+        Question::Relationship {
+            columns,
+            candidates,
+            ..
+        } => {
+            let want = match columns {
+                (0, 1) => "nationality",
+                (1, 2) => "hasCapital",
+                (1, 3) => "hasOfficialLanguage",
+                _ => "",
+            };
+            candidates
+                .iter()
+                .position(|c| !want.is_empty() && c.contains(want))
+                .map(Answer::Choice)
+                .unwrap_or(Answer::NoneOfTheAbove)
+        }
+        Question::Fact {
+            subject,
+            property,
+            object,
+        } => {
+            println!("  [crowd] Does {subject} {property} {object}?");
+            let yes = matches!(
+                (subject.as_str(), property.as_str(), object.as_str()),
+                ("S. Africa", "hasCapital", "Pretoria")
+            ) || property == "hasType"
+                || (subject == "Klate" && object == "S. Africa");
+            println!("  [crowd]   -> {}", if yes { "Yes" } else { "No" });
+            Answer::Bool(yes)
+        }
+    };
+    let mut crowd = Crowd::new(
+        CrowdConfig {
+            worker_accuracy: 1.0,
+            ..CrowdConfig::default()
+        },
+        oracle,
+    );
+
+    // ------------------------------------------------------------------
+    // Run KATARA.
+    // ------------------------------------------------------------------
+    let katara = Katara::default();
+    let report = katara
+        .clean(&table, &mut kb, &mut crowd)
+        .expect("a pattern must be discoverable");
+
+    println!(
+        "\nvalidated table pattern: {}",
+        report.pattern.describe(&kb, table.columns())
+    );
+    println!(
+        "pattern discovery explored {} search states, scored {} patterns",
+        report.discovery_stats.states_expanded, report.discovery_stats.patterns_scored
+    );
+
+    println!("\nannotation:");
+    for t in &report.annotation.tuples {
+        println!("  t{}: {:?}", t.row + 1, t.status);
+    }
+    println!(
+        "KB enrichment: {} new facts (S. Africa hasCapital Pretoria)",
+        report.annotation.enriched_facts
+    );
+
+    println!("\npossible repairs:");
+    for (row, repairs) in &report.repairs {
+        println!("  t{} (erroneous):", row + 1);
+        for (i, r) in repairs.iter().enumerate() {
+            println!("    #{} cost {}: {:?}", i + 1, r.cost, r.changes);
+        }
+    }
+
+    // Apply the top repair.
+    if let Some((row, repairs)) = report.repairs.first() {
+        if let Some(best) = repairs.first() {
+            katara::core::repair::apply_repair(&mut table, *row, best);
+        }
+    }
+    println!("\nrepaired table:");
+    for r in 0..table.num_rows() {
+        println!("  t{}: {:?}", r + 1, table.row(r));
+    }
+    println!(
+        "\ncrowd cost: {} questions, {} worker answers",
+        crowd.stats().questions(),
+        crowd.stats().worker_answers
+    );
+}

@@ -1,0 +1,128 @@
+//! Clean the Soccer relational table (the paper's §7.4 workload): inject
+//! 10% errors into the FD right-hand-side columns, run the full KATARA
+//! pipeline against the DBpedia-like KB, and compare against the EQ and
+//! SCARE baselines — a one-table live version of Table 6.
+//!
+//! ```sh
+//! cargo run --release --example soccer_cleaning
+//! ```
+
+use katara::baselines::{eq_repair, scare_repair, ScareConfig};
+use katara::core::repair::Repair;
+use katara::datagen::{soccer_table, KbFlavor, World, WorldConfig};
+use katara::eval::corpus::{Corpus, CorpusConfig};
+use katara::eval::experiments::{appendix_d_fds, katara_repair_run};
+use katara::eval::metrics::repair_precision_recall;
+use katara::table::corrupt::{corrupt_table, CorruptionConfig};
+
+fn main() {
+    let config = CorpusConfig {
+        world: WorldConfig::default(),
+        ..CorpusConfig::default()
+    };
+    println!("generating world and corpus…");
+    let corpus = Corpus::build(&config);
+    let world: &World = &corpus.world;
+    println!(
+        "world: {} countries, {} clubs, {} players",
+        world.countries.len(),
+        world.clubs.len(),
+        world.players.len()
+    );
+
+    let soccer = soccer_table(world, 1625, 42);
+    println!(
+        "Soccer table: {} rows × {} columns",
+        soccer.table.num_rows(),
+        soccer.table.num_columns()
+    );
+
+    let (fds, rhs_cols) = appendix_d_fds("Soccer");
+    println!(
+        "Appendix D FDs: {} dependencies; errors go into columns {:?}",
+        fds.len(),
+        rhs_cols
+    );
+
+    // --- KATARA with the DBpedia-like KB --------------------------------
+    let run = katara_repair_run(&corpus, &soccer, KbFlavor::DbpediaLike, &rhs_cols, 3, 42)
+        .expect("pattern discoverable");
+    println!(
+        "\ninjected {} errors; KATARA flagged {} tuples as erroneous",
+        run.log.len(),
+        run.proposals.len()
+    );
+    let katara_score = repair_precision_recall(&run.log, &run.proposals);
+    println!(
+        "KATARA(dbpedia-like, k=3):  P = {:.2}  R = {:.2}  F = {:.2}",
+        katara_score.p,
+        katara_score.r,
+        katara_score.f_measure()
+    );
+
+    // --- Baselines on the identical dirty instance -----------------------
+    let mut dirty = soccer.table.clone();
+    let log = corrupt_table(
+        &mut dirty,
+        &CorruptionConfig::paper_default(rhs_cols.clone()),
+        42,
+    );
+    let single = |changes: Vec<(usize, usize, String)>| -> Vec<(usize, Vec<Repair>)> {
+        let mut by_row: std::collections::BTreeMap<usize, Vec<(usize, String)>> =
+            std::collections::BTreeMap::new();
+        for (r, c, v) in changes {
+            by_row.entry(r).or_default().push((c, v));
+        }
+        by_row
+            .into_iter()
+            .map(|(row, ch)| {
+                (
+                    row,
+                    vec![Repair {
+                        cost: ch.len() as f64,
+                        changes: ch,
+                    }],
+                )
+            })
+            .collect()
+    };
+
+    let eq = eq_repair(&dirty, &fds);
+    let eq_score = repair_precision_recall(&log, &single(eq.changes));
+    println!(
+        "EQ (equivalence classes):   P = {:.2}  R = {:.2}  F = {:.2}",
+        eq_score.p,
+        eq_score.r,
+        eq_score.f_measure()
+    );
+
+    let scare = scare_repair(&dirty, &fds, &ScareConfig::default());
+    let scare_score = repair_precision_recall(&log, &single(scare.changes));
+    println!(
+        "SCARE (ML, θ=0.6):          P = {:.2}  R = {:.2}  F = {:.2}",
+        scare_score.p,
+        scare_score.r,
+        scare_score.f_measure()
+    );
+
+    println!(
+        "\nthe paper's shape: KATARA precision is the highest; the \
+         automatic methods trade precision for redundancy-driven recall."
+    );
+
+    // Show a few concrete proposals.
+    println!("\nsample KATARA proposals:");
+    for (row, repairs) in run.proposals.iter().take(5) {
+        let originals: Vec<String> = run
+            .log
+            .changes
+            .iter()
+            .filter(|c| c.cell.row == *row)
+            .map(|c| format!("col{} was {:?}", c.cell.col, c.original.text_or_empty()))
+            .collect();
+        println!("  row {row} ({}):", originals.join(", "));
+        for (i, r) in repairs.iter().take(3).enumerate() {
+            println!("    #{} cost {:>3}: {:?}", i + 1, r.cost, r.changes);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # katara — knowledge-base and crowd powered data cleaning
+//!
+//! A from-scratch Rust reproduction of *KATARA: A Data Cleaning System
+//! Powered by Knowledge Bases and Crowdsourcing* (SIGMOD 2015).
+//!
+//! This facade crate re-exports the workspace crates under one roof:
+//!
+//! * [`kb`] — in-memory RDF-style knowledge base substrate;
+//! * [`table`] — relational table model, FDs, error provenance;
+//! * [`crowd`] — simulated crowdsourcing platform;
+//! * [`datagen`] — synthetic world, KB and dataset generators;
+//! * [`core`] — pattern discovery / validation / annotation / repair;
+//! * [`baselines`] — Support, MaxLike, PGM, EQ and SCARE comparators;
+//! * [`eval`] — metrics and the experiment harness regenerating every
+//!   table and figure of the paper.
+//!
+//! See `examples/quickstart.rs` for an end-to-end walkthrough of the
+//! paper's Figure 1 soccer-players table.
+
+#![warn(missing_docs)]
+
+pub use katara_baselines as baselines;
+pub use katara_core as core;
+pub use katara_crowd as crowd;
+pub use katara_datagen as datagen;
+pub use katara_eval as eval;
+pub use katara_kb as kb;
+pub use katara_table as table;

@@ -1,0 +1,184 @@
+//! Integration tests for crowd-powered pattern validation across
+//! generated tables and both scheduling strategies.
+
+use katara::core::prelude::*;
+use katara::crowd::{Crowd, CrowdConfig};
+use katara::datagen::{KbFlavor, TableOracle};
+use katara::eval::corpus::{Corpus, CorpusConfig};
+
+fn corpus() -> Corpus {
+    Corpus::build(&CorpusConfig::small())
+}
+
+fn crowd(
+    corpus: &Corpus,
+    g: &katara::datagen::GeneratedTable,
+    flavor: KbFlavor,
+    accuracy: f64,
+    seed: u64,
+) -> Crowd<TableOracle> {
+    Crowd::new(
+        CrowdConfig {
+            worker_accuracy: accuracy,
+            seed,
+            ..CrowdConfig::default()
+        },
+        TableOracle::new(corpus.facts.clone(), g.ground_truth.clone(), flavor),
+    )
+}
+
+#[test]
+fn muvf_validates_at_most_as_many_variables_as_avi_everywhere() {
+    let corpus = corpus();
+    for flavor in [KbFlavor::YagoLike, KbFlavor::DbpediaLike] {
+        let kb = corpus.kb(flavor);
+        for g in corpus.wiki.iter().chain(corpus.web.iter()) {
+            let cands = discover_candidates(&g.table, &kb, &CandidateConfig::default());
+            let patterns = discover_topk(&g.table, &kb, &cands, 5, &DiscoveryConfig::default());
+            if patterns.is_empty() {
+                continue;
+            }
+            let muvf = validate_patterns(
+                &g.table,
+                &kb,
+                patterns.clone(),
+                &mut crowd(&corpus, g, flavor, 1.0, 1),
+                &ValidationConfig::default(),
+                SchedulingStrategy::Muvf,
+            );
+            let avi = validate_patterns(
+                &g.table,
+                &kb,
+                patterns,
+                &mut crowd(&corpus, g, flavor, 1.0, 1),
+                &ValidationConfig::default(),
+                SchedulingStrategy::Avi,
+            );
+            assert!(
+                muvf.variables_validated <= avi.variables_validated,
+                "{}/{flavor:?}: MUVF {} > AVI {}",
+                g.table.name(),
+                muvf.variables_validated,
+                avi.variables_validated
+            );
+        }
+    }
+}
+
+#[test]
+fn perfect_crowd_strategies_agree_on_the_survivor() {
+    let corpus = corpus();
+    let flavor = KbFlavor::DbpediaLike;
+    let kb = corpus.kb(flavor);
+    for g in corpus.wiki.iter().take(5) {
+        let cands = discover_candidates(&g.table, &kb, &CandidateConfig::default());
+        let patterns = discover_topk(&g.table, &kb, &cands, 5, &DiscoveryConfig::default());
+        if patterns.is_empty() {
+            continue;
+        }
+        let muvf = validate_patterns(
+            &g.table,
+            &kb,
+            patterns.clone(),
+            &mut crowd(&corpus, g, flavor, 1.0, 2),
+            &ValidationConfig::default(),
+            SchedulingStrategy::Muvf,
+        );
+        let avi = validate_patterns(
+            &g.table,
+            &kb,
+            patterns,
+            &mut crowd(&corpus, g, flavor, 1.0, 2),
+            &ValidationConfig::default(),
+            SchedulingStrategy::Avi,
+        );
+        // Typed nodes must agree; AVI may additionally strip unanimous
+        // edges the ground-truth oracle rejects (it challenges every
+        // variable, MUVF only ambiguous ones), so AVI's edge set is a
+        // subset of MUVF's.
+        assert_eq!(
+            muvf.pattern.nodes().iter().filter(|n| n.class.is_some()).collect::<Vec<_>>(),
+            avi.pattern.nodes().iter().filter(|n| n.class.is_some()).collect::<Vec<_>>(),
+            "{}",
+            g.table.name()
+        );
+        for e in avi.pattern.edges() {
+            assert!(
+                muvf.pattern.edges().contains(e),
+                "{}: AVI kept an edge MUVF dropped: {e:?}",
+                g.table.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn more_questions_help_a_noisy_crowd() {
+    let corpus = corpus();
+    let flavor = KbFlavor::YagoLike;
+    let kb = corpus.kb(flavor);
+    let kb_cfg = katara::datagen::KbGenConfig::for_flavor(flavor);
+
+    let mut f_q1 = 0.0;
+    let mut f_q7 = 0.0;
+    let mut n = 0;
+    for (ti, g) in corpus.web.iter().enumerate() {
+        let cands = discover_candidates(&g.table, &kb, &CandidateConfig::default());
+        let patterns = discover_topk(&g.table, &kb, &cands, 5, &DiscoveryConfig::default());
+        if patterns.is_empty() {
+            continue;
+        }
+        n += 1;
+        for (q, sink) in [(1usize, &mut f_q1), (7, &mut f_q7)] {
+            let outcome = validate_patterns(
+                &g.table,
+                &kb,
+                patterns.clone(),
+                &mut crowd(&corpus, g, flavor, 0.6, ti as u64), // very noisy
+                &ValidationConfig {
+                    questions_per_variable: q,
+                    ..ValidationConfig::default()
+                },
+                SchedulingStrategy::Muvf,
+            );
+            let s = katara::eval::metrics::pattern_precision_recall(
+                &kb,
+                &outcome.pattern,
+                &g.ground_truth.types_for(flavor),
+                &g.ground_truth.rels_for(&kb_cfg),
+            );
+            *sink += s.f_measure();
+        }
+    }
+    assert!(n > 0);
+    assert!(
+        f_q7 >= f_q1 - 0.15 * n as f64,
+        "very noisy crowd with more questions should not collapse: q1 {f_q1:.2} q7 {f_q7:.2}"
+    );
+}
+
+#[test]
+fn validation_is_deterministic_per_seed() {
+    let corpus = corpus();
+    let flavor = KbFlavor::DbpediaLike;
+    let kb = corpus.kb(flavor);
+    let g = &corpus.web[0];
+    let cands = discover_candidates(&g.table, &kb, &CandidateConfig::default());
+    let patterns = discover_topk(&g.table, &kb, &cands, 5, &DiscoveryConfig::default());
+    let run = |seed| {
+        let outcome = validate_patterns(
+            &g.table,
+            &kb,
+            patterns.clone(),
+            &mut crowd(&corpus, g, flavor, 0.8, seed),
+            &ValidationConfig::default(),
+            SchedulingStrategy::Muvf,
+        );
+        (
+            outcome.pattern.nodes().to_vec(),
+            outcome.questions_asked,
+            outcome.variables_validated,
+        )
+    };
+    assert_eq!(run(9), run(9));
+}

@@ -1,0 +1,164 @@
+//! End-to-end integration tests spanning every crate: world → KB →
+//! table → discovery → validation → annotation → repair.
+
+use katara::core::prelude::*;
+use katara::datagen::{KbFlavor, TableOracle};
+use katara::crowd::{Crowd, CrowdConfig};
+use katara::eval::corpus::{Corpus, CorpusConfig};
+use katara::eval::metrics::{pattern_precision_recall, repair_precision_recall};
+use katara::table::corrupt::{corrupt_table, CorruptionConfig};
+
+fn corpus() -> Corpus {
+    Corpus::build(&CorpusConfig::small())
+}
+
+fn crowd_for(
+    corpus: &Corpus,
+    g: &katara::datagen::GeneratedTable,
+    flavor: KbFlavor,
+) -> Crowd<TableOracle> {
+    Crowd::new(
+        CrowdConfig {
+            worker_accuracy: 1.0,
+            ..CrowdConfig::default()
+        },
+        TableOracle::new(corpus.facts.clone(), g.ground_truth.clone(), flavor),
+    )
+}
+
+#[test]
+fn discovery_recovers_person_ground_truth() {
+    let corpus = corpus();
+    for flavor in [KbFlavor::YagoLike, KbFlavor::DbpediaLike] {
+        let kb = corpus.kb(flavor);
+        let g = &corpus.person;
+        let cands = discover_candidates(&g.table, &kb, &CandidateConfig::default());
+        let top = discover_topk(&g.table, &kb, &cands, 1, &DiscoveryConfig::default());
+        let cfg = katara::datagen::KbGenConfig::for_flavor(flavor);
+        let score = pattern_precision_recall(
+            &kb,
+            &top[0],
+            &g.ground_truth.types_for(flavor),
+            &g.ground_truth.rels_for(&cfg),
+        );
+        assert!(
+            score.f_measure() > 0.7,
+            "{flavor:?}: top pattern F {:.2} too low",
+            score.f_measure()
+        );
+    }
+}
+
+#[test]
+fn full_pipeline_repairs_injected_errors() {
+    let corpus = corpus();
+    let flavor = KbFlavor::DbpediaLike;
+    let g = &corpus.person;
+
+    let mut dirty = g.table.clone();
+    let log = corrupt_table(
+        &mut dirty,
+        &CorruptionConfig::paper_default(vec![1, 2, 3]),
+        99,
+    );
+    assert!(!log.is_empty());
+
+    let mut kb = corpus.kb(flavor);
+    let mut crowd = crowd_for(&corpus, g, flavor);
+    let katara = Katara::default();
+    let report = katara.clean(&dirty, &mut kb, &mut crowd).unwrap();
+
+    let score = repair_precision_recall(&log, &report.repairs);
+    assert!(
+        score.p > 0.7,
+        "precision {:.2} too low ({} errors, {} flagged)",
+        score.p,
+        log.len(),
+        report.repairs.len()
+    );
+    assert!(score.r > 0.4, "recall {:.2} too low", score.r);
+}
+
+#[test]
+fn enrichment_reduces_crowd_cost_on_second_pass() {
+    let corpus = corpus();
+    let flavor = KbFlavor::YagoLike;
+    let g = &corpus.university;
+    let mut kb = corpus.kb(flavor);
+    let katara = Katara::default();
+
+    let mut crowd1 = crowd_for(&corpus, g, flavor);
+    let r1 = katara.clean(&g.table, &mut kb, &mut crowd1).unwrap();
+    let q1 = crowd1.stats().questions();
+
+    // Same table, same (now enriched) KB.
+    let mut crowd2 = crowd_for(&corpus, g, flavor);
+    let r2 = katara.clean(&g.table, &mut kb, &mut crowd2).unwrap();
+    let q2 = crowd2.stats().questions();
+
+    assert!(r1.annotation.enriched_facts > 0, "first pass must enrich");
+    assert!(
+        q2 < q1,
+        "enrichment must cut crowd cost: pass1 {q1} vs pass2 {q2}"
+    );
+    // Second pass: everything previously crowd-validated is now
+    // KB-validated.
+    use katara::core::annotation::TupleStatus;
+    assert!(
+        r2.annotation.status_count(TupleStatus::ValidatedByKb)
+            >= r1.annotation.status_count(TupleStatus::ValidatedByKb)
+    );
+}
+
+#[test]
+fn clean_tables_have_no_erroneous_tuples() {
+    let corpus = corpus();
+    let flavor = KbFlavor::DbpediaLike;
+    let g = &corpus.person; // clean, no nulls
+    let mut kb = corpus.kb(flavor);
+    let mut crowd = crowd_for(&corpus, g, flavor);
+    let report = Katara::default().clean(&g.table, &mut kb, &mut crowd).unwrap();
+    assert_eq!(
+        report.annotation.erroneous_rows(),
+        Vec::<usize>::new(),
+        "a clean table with a perfect crowd must have zero errors"
+    );
+}
+
+#[test]
+fn multi_kb_selection_is_consistent_with_scores() {
+    let corpus = corpus();
+    let kb_yago = corpus.kb(KbFlavor::YagoLike);
+    let kb_dbp = corpus.kb(KbFlavor::DbpediaLike);
+    let g = &corpus.soccer;
+    let pick = katara::core::pipeline::select_kb(
+        &g.table,
+        &[&kb_yago, &kb_dbp],
+        &CandidateConfig::default(),
+        &DiscoveryConfig::default(),
+    );
+    // Soccer is meaningless to the Yago-like KB (no clubs): DBpedia-like
+    // must win the selection.
+    let (idx, score) = pick.expect("dbpedia-like covers soccer");
+    assert_eq!(idx, 1, "dbpedia-like must be selected for Soccer");
+    assert!(score > 0.0);
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let corpus = corpus();
+    let flavor = KbFlavor::DbpediaLike;
+    let g = &corpus.university;
+    let run = || {
+        let mut kb = corpus.kb(flavor);
+        let mut crowd = crowd_for(&corpus, g, flavor);
+        let r = Katara::default().clean(&g.table, &mut kb, &mut crowd).unwrap();
+        (
+            r.pattern.nodes().to_vec(),
+            r.pattern.edges().to_vec(),
+            r.annotation.erroneous_rows(),
+            r.annotation.enriched_facts,
+        )
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,144 @@
+//! Integration tests for pattern discovery across the generated corpus:
+//! algorithm orderings the paper's Table 2 relies on, and exactness of
+//! the rank-join against exhaustive enumeration on real candidate sets.
+
+use katara::baselines::{maxlike_topk, support_topk};
+use katara::core::prelude::*;
+use katara::core::rank_join::discover_topk_with_stats;
+use katara::datagen::{KbFlavor, KbGenConfig};
+use katara::eval::corpus::{Corpus, CorpusConfig};
+use katara::eval::metrics::pattern_precision_recall;
+
+fn corpus() -> Corpus {
+    Corpus::build(&CorpusConfig::small())
+}
+
+#[test]
+fn rank_join_equals_exhaustive_on_generated_tables() {
+    let corpus = corpus();
+    for flavor in [KbFlavor::YagoLike, KbFlavor::DbpediaLike] {
+        let kb = corpus.kb(flavor);
+        for g in corpus.wiki.iter().take(4) {
+            let cands = discover_candidates(&g.table, &kb, &CandidateConfig::default());
+            let cfg = DiscoveryConfig::default();
+            for k in [1, 3, 5] {
+                let fast = discover_topk(&g.table, &kb, &cands, k, &cfg);
+                let (slow, _) = discover_exhaustive(&g.table, &kb, &cands, k, &cfg);
+                assert_eq!(fast.len(), slow.len(), "{}/{flavor:?}", g.table.name());
+                for (a, b) in fast.iter().zip(slow.iter()) {
+                    assert!(
+                        (a.score() - b.score()).abs() < 1e-9,
+                        "{}: {} != {}",
+                        g.table.name(),
+                        a.score(),
+                        b.score()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn rank_join_prunes_against_exhaustive() {
+    let corpus = corpus();
+    let kb = corpus.kb(KbFlavor::YagoLike);
+    let mut total_fast = 0usize;
+    let mut total_slow = 0usize;
+    for g in &corpus.wiki {
+        let cands = discover_candidates(&g.table, &kb, &CandidateConfig::default());
+        let cfg = DiscoveryConfig::default();
+        let (_, fast) = discover_topk_with_stats(&g.table, &kb, &cands, 3, &cfg);
+        let (_, slow) = discover_exhaustive(&g.table, &kb, &cands, 3, &cfg);
+        total_fast += fast.patterns_scored;
+        total_slow += slow.patterns_scored;
+    }
+    assert!(
+        total_fast < total_slow,
+        "rank-join must score fewer patterns overall: {total_fast} vs {total_slow}"
+    );
+}
+
+#[test]
+fn rankjoin_never_loses_to_support_on_f() {
+    let corpus = corpus();
+    for flavor in [KbFlavor::YagoLike, KbFlavor::DbpediaLike] {
+        let kb = corpus.kb(flavor);
+        let kb_cfg = KbGenConfig::for_flavor(flavor);
+        let mut rj_sum = 0.0;
+        let mut sup_sum = 0.0;
+        for g in corpus.wiki.iter().chain(corpus.web.iter()) {
+            let cands = discover_candidates(&g.table, &kb, &CandidateConfig::default());
+            let gt_t = g.ground_truth.types_for(flavor);
+            let gt_r = g.ground_truth.rels_for(&kb_cfg);
+            let f = |ps: Vec<katara::core::pattern::TablePattern>| {
+                ps.first()
+                    .map(|p| pattern_precision_recall(&kb, p, &gt_t, &gt_r).f_measure())
+                    .unwrap_or(0.0)
+            };
+            rj_sum += f(discover_topk(
+                &g.table,
+                &kb,
+                &cands,
+                1,
+                &DiscoveryConfig::default(),
+            ));
+            sup_sum += f(support_topk(&g.table, &kb, &cands, 1));
+        }
+        assert!(
+            rj_sum >= sup_sum,
+            "{flavor:?}: RankJoin sum {rj_sum:.2} < Support {sup_sum:.2}"
+        );
+    }
+}
+
+#[test]
+fn maxlike_beats_support_on_type_specificity() {
+    // On the Person table, Support's covering-supertype drift must cost
+    // it against MaxLike's rarity preference.
+    let corpus = corpus();
+    let kb = corpus.kb(KbFlavor::YagoLike);
+    let kb_cfg = KbGenConfig::for_flavor(KbFlavor::YagoLike);
+    let g = &corpus.person;
+    let cands = discover_candidates(&g.table, &kb, &CandidateConfig::default());
+    let gt_t = g.ground_truth.types_for(KbFlavor::YagoLike);
+    let gt_r = g.ground_truth.rels_for(&kb_cfg);
+    let ml = maxlike_topk(&g.table, &kb, &cands, 1);
+    let sup = support_topk(&g.table, &kb, &cands, 1);
+    let ml_f = pattern_precision_recall(&kb, &ml[0], &gt_t, &gt_r).f_measure();
+    let sup_f = pattern_precision_recall(&kb, &sup[0], &gt_t, &gt_r).f_measure();
+    assert!(
+        ml_f >= sup_f,
+        "MaxLike {ml_f:.2} must not lose to Support {sup_f:.2}"
+    );
+}
+
+#[test]
+fn candidate_generation_is_stable_under_sampling() {
+    // A 1000-row cap and a 300-row cap over the redundant Person table
+    // must agree on the top type per column.
+    let corpus = corpus();
+    let kb = corpus.kb(KbFlavor::DbpediaLike);
+    let g = &corpus.person;
+    let full = discover_candidates(
+        &g.table,
+        &kb,
+        &CandidateConfig {
+            max_rows: 1000,
+            ..CandidateConfig::default()
+        },
+    );
+    let sampled = discover_candidates(
+        &g.table,
+        &kb,
+        &CandidateConfig {
+            max_rows: 150,
+            ..CandidateConfig::default()
+        },
+    );
+    for c in 0..g.table.num_columns() {
+        let a = full.col_types[c].first().map(|t| t.class);
+        let b = sampled.col_types[c].first().map(|t| t.class);
+        assert_eq!(a, b, "column {c} top type unstable under sampling");
+    }
+}

@@ -1,0 +1,242 @@
+//! Property-based tests (proptest) on the core data structures and
+//! algorithm invariants.
+
+use katara::kb::sim;
+use katara::kb::{KbBuilder, LabelIndex, ResourceId};
+use katara::table::{csv, Table, Value};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// String similarity
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn normalize_is_idempotent(s in ".{0,40}") {
+        let once = sim::normalize(&s);
+        prop_assert_eq!(sim::normalize(&once), once);
+    }
+
+    #[test]
+    fn levenshtein_identity_and_symmetry(a in "[a-z ]{0,16}", b in "[a-z ]{0,16}") {
+        prop_assert_eq!(sim::levenshtein(&a, &a), 0);
+        prop_assert_eq!(sim::levenshtein(&a, &b), sim::levenshtein(&b, &a));
+    }
+
+    #[test]
+    fn levenshtein_bounded_by_longer_length(a in "[a-z]{0,16}", b in "[a-z]{0,16}") {
+        let d = sim::levenshtein(&a, &b);
+        prop_assert!(d <= a.chars().count().max(b.chars().count()));
+        // Lower bound: length difference.
+        prop_assert!(d >= a.chars().count().abs_diff(b.chars().count()));
+    }
+
+    #[test]
+    fn similarity_in_unit_interval(a in ".{0,24}", b in ".{0,24}") {
+        let s = sim::similarity(&sim::normalize(&a), &sim::normalize(&b));
+        prop_assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn single_edit_keeps_high_similarity(s in "[a-z]{6,16}", idx in 0usize..6) {
+        // Deleting one character from a 6+ char string keeps similarity
+        // at or above the paper's 0.7 threshold.
+        let mut chars: Vec<char> = s.chars().collect();
+        let idx = idx % chars.len();
+        chars.remove(idx);
+        let t: String = chars.into_iter().collect();
+        prop_assert!(sim::similarity(&s, &t) >= 0.7, "{} vs {}", s, t);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Label index
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn inserted_labels_are_always_found(labels in prop::collection::vec("[a-zA-Z ]{1,20}", 1..30)) {
+        let mut idx = LabelIndex::new();
+        for (i, l) in labels.iter().enumerate() {
+            idx.insert(l, ResourceId(i as u32));
+        }
+        for (i, l) in labels.iter().enumerate() {
+            if sim::normalize(l).is_empty() {
+                continue; // all-space labels normalize away
+            }
+            prop_assert!(
+                idx.exact(l).contains(&ResourceId(i as u32)),
+                "label {:?} lost", l
+            );
+            // Fuzzy lookup at threshold 1.0-epsilon must include it too.
+            let hits = idx.lookup(l, 0.99);
+            prop_assert!(hits.iter().any(|h| h.resource == ResourceId(i as u32)));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Class hierarchy through the builder
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn subclass_chains_are_transitive(n in 2usize..12) {
+        let mut b = KbBuilder::new();
+        let classes: Vec<_> = (0..n).map(|i| b.class(&format!("c{i}"))).collect();
+        for w in classes.windows(2) {
+            b.subclass(w[0], w[1]).unwrap();
+        }
+        let e = b.entity("x", &[classes[0]]);
+        let kb = b.finalize();
+        for (d, &c) in classes.iter().enumerate() {
+            prop_assert!(kb.has_type(e, c));
+            prop_assert_eq!(
+                kb.class_hierarchy().distance(classes[0].0, c.0),
+                Some(d as u32)
+            );
+        }
+    }
+
+    #[test]
+    fn random_edges_never_create_cycles(edges in prop::collection::vec((0u32..15, 0u32..15), 0..40)) {
+        let mut b = KbBuilder::new();
+        for i in 0..15 {
+            b.class(&format!("c{i}"));
+        }
+        let mut accepted: Vec<(u32, u32)> = Vec::new();
+        for (c, p) in edges {
+            if b.subclass(katara::kb::ClassId(c), katara::kb::ClassId(p)).is_ok() {
+                accepted.push((c, p));
+            }
+        }
+        // The accepted edge set must be acyclic: topological order exists.
+        let mut indeg = [0usize; 15];
+        for &(c, _) in &accepted {
+            indeg[c as usize] += 1; // edges point child -> parent
+        }
+        // Kahn over reversed edges.
+        let mut frontier: Vec<u32> = (0..15).filter(|&i| indeg[i as usize] == 0).collect();
+        let mut seen = 0;
+        let mut remaining = accepted.clone();
+        while let Some(p) = frontier.pop() {
+            seen += 1;
+            let mut rest = Vec::new();
+            for &(c, pp) in &remaining {
+                if pp == p {
+                    indeg[c as usize] -= 1;
+                    if indeg[c as usize] == 0 {
+                        frontier.push(c);
+                    }
+                } else {
+                    rest.push((c, pp));
+                }
+            }
+            remaining = rest;
+        }
+        prop_assert_eq!(seen, 15, "cycle slipped through");
+    }
+}
+
+// ---------------------------------------------------------------------
+// CSV round trip
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn csv_round_trips_arbitrary_cells(
+        rows in prop::collection::vec(
+            prop::collection::vec("[ -~]{0,12}", 3..4), // printable ASCII incl , and "
+            0..8
+        )
+    ) {
+        let mut t = Table::with_opaque_columns("t", 3);
+        for r in &rows {
+            t.push_row(r.iter().map(|c| Value::from_cell(c)).collect());
+        }
+        let text = csv::to_string(&t);
+        let back = csv::parse("t", &text).unwrap();
+        prop_assert_eq!(back, t);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Corruption provenance
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn corruption_log_matches_table_diff(seed in 0u64..500) {
+        use katara::table::corrupt::{corrupt_table, CorruptionConfig};
+        let mut t = Table::with_opaque_columns("t", 2);
+        for i in 0..50 {
+            t.push_text_row(&[&format!("key{i}"), &format!("val{}", i % 7)]);
+        }
+        let clean = t.clone();
+        let log = corrupt_table(&mut t, &CorruptionConfig::paper_default(vec![0, 1]), seed);
+        // Every logged change is observable; every unlogged cell intact.
+        for r in 0..t.num_rows() {
+            for c in 0..t.num_columns() {
+                let cell = katara::table::CellRef { row: r, col: c };
+                match log.change_at(cell) {
+                    Some(ch) => {
+                        prop_assert_eq!(clean.cell(r, c), &ch.original);
+                        prop_assert_eq!(t.cell(r, c), &ch.corrupted);
+                        prop_assert_ne!(&ch.original, &ch.corrupted);
+                    }
+                    None => prop_assert_eq!(clean.cell(r, c), t.cell(r, c)),
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Repair ordering invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn topk_repairs_are_cost_sorted_by_first(k in 1usize..6, seed in 0u64..50) {
+        use katara::core::prelude::*;
+        use katara::core::repair::RepairIndex;
+        // A small random-ish capital world.
+        let mut b = KbBuilder::new();
+        let country = b.class("country");
+        let capital = b.class("capital");
+        let has_capital = b.property("hasCapital");
+        for i in 0..10u64 {
+            let c = b.entity(&format!("Country{}", (i + seed) % 10), &[country]);
+            let cap = b.entity(&format!("Capital{}", (i + seed) % 10), &[capital]);
+            b.fact(c, has_capital, cap);
+        }
+        let kb = b.finalize();
+        let pattern = katara::core::pattern::TablePattern::new(
+            vec![
+                katara::core::pattern::PatternNode { column: 0, class: Some(country) },
+                katara::core::pattern::PatternNode { column: 1, class: Some(capital) },
+            ],
+            vec![katara::core::pattern::PatternEdge {
+                subject: 0,
+                object: 1,
+                property: has_capital,
+            }],
+            1.0,
+        )
+        .unwrap();
+        let index = RepairIndex::build(&kb, &pattern, &RepairConfig::default());
+        let row = vec![
+            Value::from_cell(&format!("Country{}", seed % 10)),
+            Value::from_cell("CapitalX"),
+        ];
+        let repairs = topk_repairs(&index, &kb, &pattern, &row, k, &RepairConfig::default());
+        prop_assert!(repairs.len() <= k);
+        // The first repair carries the global minimum cost.
+        if let Some(first) = repairs.first() {
+            for r in &repairs {
+                prop_assert!(first.cost <= r.cost + 1e-12);
+                prop_assert!(r.cost >= 0.0);
+            }
+        }
+    }
+}
