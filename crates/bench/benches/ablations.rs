@@ -148,15 +148,15 @@ fn bench_enrichment(c: &mut Criterion) {
         group.bench_function(name, |b| {
             b.iter(|| {
                 let mut kb = corpus.kb(flavor);
-                let oracle =
-                    TableOracle::new(corpus.facts.clone(), g.ground_truth.clone(), flavor);
+                let oracle = TableOracle::new(corpus.facts.clone(), g.ground_truth.clone(), flavor);
                 let mut crowd = Crowd::new(
                     CrowdConfig {
                         worker_accuracy: 1.0,
                         ..CrowdConfig::default()
                     },
                     oracle,
-                );
+                )
+                .expect("bench crowd config is valid");
                 annotate(
                     black_box(&g.table),
                     &pattern,

@@ -37,7 +37,8 @@ fn bench_annotation(c: &mut Criterion) {
                             ..CrowdConfig::default()
                         },
                         oracle,
-                    );
+                    )
+                    .expect("bench crowd config is valid");
                     annotate(
                         black_box(&g.table),
                         &pattern,

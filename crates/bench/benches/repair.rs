@@ -75,14 +75,17 @@ fn bench_comparators(c: &mut Criterion) {
     let (_, _, dirty) = person_fixture();
     let fds = Fd::expand(&[0], &[1, 2, 3]);
     let mut group = c.benchmark_group("table6_comparators");
-    group.bench_function("eq", |b| {
-        b.iter(|| eq_repair(black_box(&dirty), &fds))
-    });
+    group.bench_function("eq", |b| b.iter(|| eq_repair(black_box(&dirty), &fds)));
     group.bench_function("scare", |b| {
         b.iter(|| scare_repair(black_box(&dirty), &fds, &ScareConfig::default()))
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_index_build, bench_topk_repairs, bench_comparators);
+criterion_group!(
+    benches,
+    bench_index_build,
+    bench_topk_repairs,
+    bench_comparators
+);
 criterion_main!(benches);

@@ -41,7 +41,8 @@ fn bench_scheduling(c: &mut Criterion) {
                         ..CrowdConfig::default()
                     },
                     oracle,
-                );
+                )
+                .expect("bench crowd config is valid");
                 validate_patterns(
                     &f.table.table,
                     &f.kb,
@@ -83,7 +84,8 @@ fn bench_question_sweep(c: &mut Criterion) {
                         ..CrowdConfig::default()
                     },
                     oracle,
-                );
+                )
+                .expect("bench crowd config is valid");
                 validate_patterns(
                     &f.table.table,
                     &f.kb,

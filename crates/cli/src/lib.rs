@@ -3,6 +3,7 @@
 //! ```text
 //! katara clean    --table data.csv --kb kb.nt [--crowd MODE] [--k N]
 //!                 [--out repaired.csv] [--enriched-kb out.nt]
+//!                 [--max-questions N]
 //! katara discover --table data.csv --kb kb.nt [--k N]
 //! katara kb-stats --kb kb.nt
 //! ```
@@ -19,6 +20,10 @@
 //! * `facts:FILE` — answer from a TSV of known true statements
 //!   (`subject<TAB>property<TAB>object`); anything else is false.
 //!
+//! `--max-questions N` caps the crowd budget; when it runs dry the
+//! pipeline degrades gracefully and the binary exits 3 (0 = clean,
+//! 1 = error, 2 = usage).
+//!
 //! The library part exists so the command logic is unit-testable; the
 //! binary is a thin `main`.
 
@@ -28,12 +33,14 @@ use std::collections::HashSet;
 use std::io::BufRead;
 
 use katara_core::prelude::*;
-use katara_crowd::{Answer, Crowd, CrowdConfig, Oracle, Question};
+use katara_crowd::{Answer, Budget, Crowd, CrowdConfig, Oracle, Question};
 use katara_kb::{ntriples, sim, Kb};
 use katara_table::{csv, Table};
 
-/// CLI errors.
+/// CLI errors. Every variant maps to a clean non-zero exit in `main`;
+/// nothing in the command path panics on user input.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum CliError {
     /// Bad command line.
     Usage(String),
@@ -59,11 +66,26 @@ impl std::fmt::Display for CliError {
     }
 }
 
-impl std::error::Error for CliError {}
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Usage(_) => None,
+            CliError::Io(e) => Some(e),
+            CliError::Kb(e) => Some(e),
+            CliError::Csv(e) => Some(e),
+            CliError::Katara(e) => Some(e),
+        }
+    }
+}
 
 impl From<std::io::Error> for CliError {
     fn from(e: std::io::Error) -> Self {
         CliError::Io(e)
+    }
+}
+impl From<katara_crowd::CrowdError> for CliError {
+    fn from(e: katara_crowd::CrowdError) -> Self {
+        CliError::Katara(KataraError::from(e))
     }
 }
 impl From<ntriples::NtError> for CliError {
@@ -228,6 +250,10 @@ pub enum Command {
         out: Option<String>,
         /// Where to write the enriched KB.
         enriched_kb: Option<String>,
+        /// Cap on crowd questions; `None` is unlimited. When the cap is
+        /// hit mid-run the pipeline degrades gracefully instead of
+        /// failing (exit code 3).
+        max_questions: Option<usize>,
     },
     /// Discovery only.
     Discover {
@@ -251,7 +277,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         CliError::Usage(
             "katara clean|discover|kb-stats --table T.csv --kb KB.nt \
              [--crowd interactive|trust|skeptic|facts:FILE] [--k N] \
-             [--out OUT.csv] [--enriched-kb OUT.nt]"
+             [--out OUT.csv] [--enriched-kb OUT.nt] [--max-questions N]"
                 .to_string(),
         )
     };
@@ -263,6 +289,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut k = 3usize;
     let mut out = None;
     let mut enriched_kb = None;
+    let mut max_questions = None;
     while let Some(flag) = it.next() {
         let mut value = || {
             it.next()
@@ -280,6 +307,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
             "--out" => out = Some(value()?),
             "--enriched-kb" => enriched_kb = Some(value()?),
+            "--max-questions" => {
+                max_questions = Some(
+                    value()?
+                        .parse()
+                        .map_err(|_| CliError::Usage("--max-questions needs a number".into()))?,
+                )
+            }
             other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
         }
     }
@@ -294,6 +328,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             k,
             out,
             enriched_kb,
+            max_questions,
         }),
         "discover" => Ok(Command::Discover {
             table: need(table, "table")?,
@@ -319,8 +354,18 @@ fn load_table(path: &str) -> Result<Table, CliError> {
     Ok(csv::parse(name, &text)?)
 }
 
+/// How a successful run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// Everything completed at full fidelity.
+    Clean,
+    /// The pipeline completed but degraded (budget exhausted, crowd
+    /// faults, unresolved tuples). `main` exits 3 so scripts can tell.
+    Degraded,
+}
+
 /// Execute a command, writing human-readable output to stdout.
-pub fn run(cmd: Command) -> Result<(), CliError> {
+pub fn run(cmd: Command) -> Result<RunStatus, CliError> {
     match cmd {
         Command::KbStats { kb } => {
             let kb = load_kb(&kb)?;
@@ -329,7 +374,7 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             println!("  classes:    {}", kb.num_classes());
             println!("  properties: {}", kb.num_properties());
             println!("  facts:      {}", kb.num_facts());
-            Ok(())
+            Ok(RunStatus::Clean)
         }
         Command::Discover { table, kb, k } => {
             let kb = load_kb(&kb)?;
@@ -338,7 +383,7 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             let patterns = discover_topk(&table, &kb, &cands, k, &DiscoveryConfig::default());
             if patterns.is_empty() {
                 println!("no table pattern found — the KB does not cover this table");
-                return Ok(());
+                return Ok(RunStatus::Clean);
             }
             for (i, p) in patterns.iter().enumerate() {
                 println!(
@@ -348,7 +393,7 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
                     p.describe(&kb, table.columns())
                 );
             }
-            Ok(())
+            Ok(RunStatus::Clean)
         }
         Command::Clean {
             table,
@@ -357,19 +402,25 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             k,
             out,
             enriched_kb,
+            max_questions,
         } => {
             let mut kb = load_kb(&kb)?;
             let mut table = load_table(&table)?;
+            let budget = match max_questions {
+                Some(n) => Budget::questions(n),
+                None => Budget::unlimited(),
+            };
             let mut platform = Crowd::new(
                 CrowdConfig {
                     // The CLI oracle is deterministic; replication is
                     // pointless noise here.
                     replication: 1,
                     worker_accuracy: 1.0,
+                    budget,
                     ..CrowdConfig::default()
                 },
                 CliOracle::new(crowd),
-            );
+            )?;
             let config = KataraConfig {
                 repairs_k: k,
                 // The CLI oracle is deterministic (or a human): one
@@ -390,13 +441,17 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             let a = &report.annotation;
             use katara_core::annotation::TupleStatus;
             println!(
-                "tuples: {} validated by KB, {} by KB+crowd, {} erroneous",
+                "tuples: {} validated by KB, {} by KB+crowd, {} erroneous, {} unresolved",
                 a.status_count(TupleStatus::ValidatedByKb),
                 a.status_count(TupleStatus::ValidatedWithCrowd),
                 a.status_count(TupleStatus::Erroneous),
+                a.status_count(TupleStatus::Unresolved),
             );
             if !a.feedback_stripped.is_empty() {
-                println!("pattern feedback stripped: {}", a.feedback_stripped.join("; "));
+                println!(
+                    "pattern feedback stripped: {}",
+                    a.feedback_stripped.join("; ")
+                );
             }
             println!(
                 "KB enrichment: {} facts, {} entities | crowd questions: {}",
@@ -421,7 +476,34 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
                 std::fs::write(&path, ntriples::to_string(&kb))?;
                 println!("enriched KB written to {path}");
             }
-            Ok(())
+            let d = &report.degradation;
+            if d.is_degraded() {
+                println!("degraded run:");
+                if d.budget_exhausted {
+                    println!("  crowd budget exhausted");
+                }
+                if d.pattern_partially_validated {
+                    println!("  pattern only partially validated");
+                }
+                if d.no_quorum_variables > 0 {
+                    println!("  {} variable(s) without quorum", d.no_quorum_variables);
+                }
+                if d.unresolved_tuples > 0 {
+                    println!(
+                        "  {} tuple(s) unresolved (no repairs proposed for them)",
+                        d.unresolved_tuples
+                    );
+                }
+                if d.questions_retried > 0 {
+                    println!(
+                        "  {} question(s) retried at escalated replication",
+                        d.questions_retried
+                    );
+                }
+                Ok(RunStatus::Degraded)
+            } else {
+                Ok(RunStatus::Clean)
+            }
         }
     }
 }
@@ -433,17 +515,35 @@ mod tests {
     #[test]
     fn parse_args_clean() {
         let args: Vec<String> = [
-            "clean", "--table", "t.csv", "--kb", "k.nt", "--crowd", "trust", "--k", "5",
+            "clean",
+            "--table",
+            "t.csv",
+            "--kb",
+            "k.nt",
+            "--crowd",
+            "trust",
+            "--k",
+            "5",
+            "--max-questions",
+            "40",
         ]
         .iter()
         .map(|s| s.to_string())
         .collect();
         match parse_args(&args).unwrap() {
-            Command::Clean { table, kb, crowd, k, .. } => {
+            Command::Clean {
+                table,
+                kb,
+                crowd,
+                k,
+                max_questions,
+                ..
+            } => {
                 assert_eq!(table, "t.csv");
                 assert_eq!(kb, "k.nt");
                 assert_eq!(crowd, CrowdMode::Trust);
                 assert_eq!(k, 5);
+                assert_eq!(max_questions, Some(40));
             }
             other => panic!("{other:?}"),
         }

@@ -9,8 +9,16 @@ fn main() {
             std::process::exit(2);
         }
     };
-    if let Err(e) = katara_cli::run(cmd) {
-        eprintln!("{e}");
-        std::process::exit(1);
+    match katara_cli::run(cmd) {
+        Ok(katara_cli::RunStatus::Clean) => {}
+        Ok(katara_cli::RunStatus::Degraded) => {
+            // The report above is still usable; the exit code lets
+            // scripts distinguish "clean" from "completed degraded".
+            std::process::exit(3);
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
     }
 }

@@ -3,7 +3,7 @@
 
 use std::path::PathBuf;
 
-use katara_cli::{parse_args, run, Command, CrowdMode};
+use katara_cli::{parse_args, run, Command, CrowdMode, RunStatus};
 
 fn tmpdir(tag: &str) -> PathBuf {
     let d = std::env::temp_dir().join(format!("katara-cli-test-{tag}-{}", std::process::id()));
@@ -124,6 +124,7 @@ fn trust_mode_enriches_everything() {
         k: 3,
         out: None,
         enriched_kb: Some(enriched.to_str().unwrap().into()),
+        max_questions: None,
     })
     .unwrap();
     // Trust mode confirms even the wrong capital: the KB gains both the
@@ -132,6 +133,27 @@ fn trust_mode_enriches_everything() {
     let nt = std::fs::read_to_string(&enriched).unwrap();
     assert!(nt.contains("<y:SouthAfrica> <y:hasCapital> <y:Pretoria>"));
     assert!(nt.contains("<y:Italy> <y:hasCapital> <y:Madrid>"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn exhausted_budget_degrades_instead_of_failing() {
+    let dir = tmpdir("budget");
+    let kb = dir.join("kb.nt");
+    let table = dir.join("t.csv");
+    std::fs::write(&kb, KB_NT).unwrap();
+    std::fs::write(&table, TABLE_CSV).unwrap();
+    let status = run(Command::Clean {
+        table: table.to_str().unwrap().into(),
+        kb: kb.to_str().unwrap().into(),
+        crowd: CrowdMode::Skeptic,
+        k: 3,
+        out: None,
+        enriched_kb: None,
+        max_questions: Some(0),
+    })
+    .unwrap();
+    assert_eq!(status, RunStatus::Degraded);
     std::fs::remove_dir_all(&dir).ok();
 }
 

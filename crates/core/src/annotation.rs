@@ -8,6 +8,11 @@
 //! **inserted into the KB** (enrichment), so later tuples carrying the same
 //! values validate automatically (the redundancy effect the paper observes
 //! on RelationalTables) — while any "no" marks the tuple *erroneous*.
+//!
+//! Under an unreliable crowd a fact question may come back unanswered
+//! (no quorum, or the budget ran out). Such gaps are *unresolved*: the
+//! tuple is neither trusted nor condemned — it is excluded from
+//! enrichment and from repair generation instead of being mislabeled.
 
 use std::collections::HashMap;
 
@@ -26,6 +31,9 @@ pub enum Category {
     Crowd,
     /// Rejected by the crowd: an error.
     Error,
+    /// Missing from the KB and the crowd never settled (no quorum or
+    /// budget exhausted): neither confirmed nor rejected.
+    Unresolved,
 }
 
 /// A tuple's overall annotation.
@@ -37,6 +45,10 @@ pub enum TupleStatus {
     ValidatedWithCrowd,
     /// Case (iii): the crowd rejected at least one gap.
     Erroneous,
+    /// Degraded case: at least one gap went unanswered and none was
+    /// rejected. The tuple is not marked erroneous, triggers no KB
+    /// enrichment, and receives no repairs.
+    Unresolved,
 }
 
 /// Per-tuple detail.
@@ -101,7 +113,9 @@ pub struct AnnotationResult {
 
 impl AnnotationResult {
     /// Fractions of type (node) instances per category:
-    /// `[KB, crowd, error]`, as in Table 5's left half.
+    /// `[KB, crowd, error]`, as in Table 5's left half. Unresolved
+    /// instances are excluded from the denominator — Table 5 reports
+    /// the breakdown of *settled* instances.
     pub fn type_fractions(&self) -> [f64; 3] {
         fractions(self.tuples.iter().flat_map(|t| &t.node_categories))
     }
@@ -120,6 +134,15 @@ impl AnnotationResult {
             .collect()
     }
 
+    /// Rows whose annotation went unresolved under a degraded crowd.
+    pub fn unresolved_rows(&self) -> Vec<usize> {
+        self.tuples
+            .iter()
+            .filter(|t| t.status == TupleStatus::Unresolved)
+            .map(|t| t.row)
+            .collect()
+    }
+
     /// Count per status.
     pub fn status_count(&self, s: TupleStatus) -> usize {
         self.tuples.iter().filter(|t| t.status == s).count()
@@ -134,6 +157,7 @@ fn fractions<'a>(cats: impl Iterator<Item = &'a Category>) -> [f64; 3] {
             Category::Kb => 0,
             Category::Crowd => 1,
             Category::Error => 2,
+            Category::Unresolved => continue,
         };
         counts[i] += 1;
         total += 1;
@@ -279,6 +303,7 @@ fn annotate_once<O: Oracle>(
         let mut node_categories = Vec::with_capacity(pattern.nodes().len());
         let mut edge_categories = Vec::with_capacity(pattern.edges().len());
         let mut any_error = false;
+        let mut any_unresolved = false;
         let mut confirmed_nodes: Vec<usize> = Vec::new();
         let mut confirmed_edges: Vec<usize> = Vec::new();
 
@@ -298,12 +323,19 @@ fn annotate_once<O: Oracle>(
                 any_error = true;
                 continue;
             };
-            if ask_memoized(crowd, memo, cell, "hasType", kb.class_name(class)) {
-                node_categories.push(Category::Crowd);
-                confirmed_nodes.push(ni);
-            } else {
-                node_categories.push(Category::Error);
-                any_error = true;
+            match ask_memoized(crowd, memo, cell, "hasType", kb.class_name(class)) {
+                Some(true) => {
+                    node_categories.push(Category::Crowd);
+                    confirmed_nodes.push(ni);
+                }
+                Some(false) => {
+                    node_categories.push(Category::Error);
+                    any_error = true;
+                }
+                None => {
+                    node_categories.push(Category::Unresolved);
+                    any_unresolved = true;
+                }
             }
         }
 
@@ -319,17 +351,30 @@ fn annotate_once<O: Oracle>(
                 any_error = true;
                 continue;
             };
-            if ask_memoized(crowd, memo, subj, kb.property_name(edge.property), obj) {
-                edge_categories.push(Category::Crowd);
-                confirmed_edges.push(ei);
-            } else {
-                edge_categories.push(Category::Error);
-                any_error = true;
+            match ask_memoized(crowd, memo, subj, kb.property_name(edge.property), obj) {
+                Some(true) => {
+                    edge_categories.push(Category::Crowd);
+                    confirmed_edges.push(ei);
+                }
+                Some(false) => {
+                    edge_categories.push(Category::Error);
+                    any_error = true;
+                }
+                None => {
+                    edge_categories.push(Category::Unresolved);
+                    any_unresolved = true;
+                }
             }
         }
 
         let status = if any_error {
+            // A definite rejection condemns the tuple even if other gaps
+            // went unanswered.
             TupleStatus::Erroneous
+        } else if any_unresolved {
+            // Degraded: neither trusted nor condemned, and never used
+            // for enrichment.
+            TupleStatus::Unresolved
         } else {
             // Enrich the KB with the crowd-confirmed facts so later
             // occurrences validate automatically.
@@ -356,30 +401,32 @@ fn annotate_once<O: Oracle>(
 }
 
 /// Ask a boolean fact question, reusing a prior answer when the same
-/// statement was already posed.
+/// statement was already posed. `None` means the crowd never settled
+/// (no quorum, or the budget ran out); unsettled questions are *not*
+/// memoized — a later duplicate may legitimately try again.
 fn ask_memoized<O: Oracle>(
     crowd: &mut Crowd<O>,
     memo: &mut HashMap<(String, String, String), bool>,
     subject: &str,
     property: &str,
     object: &str,
-) -> bool {
+) -> Option<bool> {
     let key = (
         subject.to_string(),
         property.to_string(),
         object.to_string(),
     );
     if let Some(&answer) = memo.get(&key) {
-        return answer;
+        return Some(answer);
     }
     let q = Question::Fact {
         subject: key.0.clone(),
         property: key.1.clone(),
         object: key.2.clone(),
     };
-    let answer = crowd.ask(&q) == Answer::Bool(true);
+    let answer = crowd.ask(&q).answer()? == Answer::Bool(true);
     memo.insert(key, answer);
-    answer
+    Some(answer)
 }
 
 /// Insert crowd-confirmed types and relationships into the KB.
@@ -530,6 +577,7 @@ mod tests {
             },
             world_oracle(),
         )
+        .unwrap()
     }
 
     #[test]
@@ -700,7 +748,8 @@ mod tests {
                 ..CrowdConfig::default()
             },
             oracle,
-        );
+        )
+        .unwrap();
         let result = annotate(
             &t,
             &bad_pattern,
@@ -729,7 +778,8 @@ mod tests {
                 ..CrowdConfig::default()
             },
             oracle,
-        );
+        )
+        .unwrap();
         let result = annotate(
             &t, // 3 rows < feedback_min_tuples (8)
             &pattern,
@@ -739,6 +789,113 @@ mod tests {
         );
         assert!(result.feedback_stripped.is_empty());
         assert_eq!(result.pattern, pattern);
+    }
+
+    #[test]
+    fn no_quorum_gaps_leave_tuples_unresolved() {
+        let (mut kb, t, pattern) = setting();
+        // Every fact question fails (total dropout): t2 and t3 have KB
+        // gaps that now go unanswered. Neither may be marked erroneous,
+        // and nothing may be enriched.
+        let mut crowd = Crowd::new(
+            CrowdConfig {
+                worker_accuracy: 1.0,
+                faults: katara_crowd::FaultPlan {
+                    dropout_rate: 1.0,
+                    ..katara_crowd::FaultPlan::default()
+                },
+                ..CrowdConfig::default()
+            },
+            world_oracle(),
+        )
+        .unwrap();
+        let result = annotate(
+            &t,
+            &pattern,
+            &mut kb,
+            &mut crowd,
+            &AnnotationConfig::default(),
+        );
+        assert_eq!(result.tuples[0].status, TupleStatus::ValidatedByKb);
+        assert_eq!(result.tuples[1].status, TupleStatus::Unresolved);
+        assert_eq!(result.tuples[2].status, TupleStatus::Unresolved);
+        assert_eq!(result.unresolved_rows(), vec![1, 2]);
+        assert!(result.erroneous_rows().is_empty());
+        assert_eq!(result.enriched_facts, 0);
+        assert_eq!(result.enriched_entities, 0);
+        // The unanswered gap instances are excluded from the Table 5
+        // breakdown rather than polluting the error column.
+        let rf = result.relationship_fractions();
+        assert!((rf[0] - 1.0).abs() < 1e-12, "{rf:?}");
+        assert!(rf[2].abs() < 1e-12, "{rf:?}");
+    }
+
+    #[test]
+    fn definite_rejection_beats_unresolved_gaps() {
+        // A tuple with one rejected gap and later unanswered gaps is
+        // erroneous — the rejection is real evidence; the unanswered
+        // questions don't soften it to Unresolved.
+        let (mut kb, _, pattern) = setting();
+        let mut t = Table::with_opaque_columns("soccer", 3);
+        t.push_text_row(&["Nobody", "Italy", "Madrid"]);
+        // The crowd rejects the type question (asked first), then the
+        // budget runs out before the two edge gaps can be asked.
+        let oracle = |q: &Question| match q {
+            Question::Fact { property, .. } => Answer::Bool(property != "hasType"),
+            _ => Answer::NoneOfTheAbove,
+        };
+        let mut crowd = Crowd::new(
+            CrowdConfig {
+                worker_accuracy: 1.0,
+                budget: katara_crowd::Budget::questions(1),
+                ..CrowdConfig::default()
+            },
+            oracle,
+        )
+        .unwrap();
+        let result = annotate(
+            &t,
+            &pattern,
+            &mut kb,
+            &mut crowd,
+            &AnnotationConfig::default(),
+        );
+        assert!(crowd.is_budget_exhausted());
+        assert_eq!(result.tuples[0].status, TupleStatus::Erroneous);
+        assert_eq!(result.tuples[0].node_categories[0], Category::Error);
+        assert_eq!(result.tuples[0].edge_categories[0], Category::Unresolved);
+    }
+
+    #[test]
+    fn budget_exhaustion_mid_annotation_degrades_gracefully() {
+        let (mut kb, mut t, pattern) = setting();
+        // Add more gap-bearing rows so the budget dies mid-table.
+        t.push_text_row(&["Nobody1", "Italy", "Rome"]);
+        t.push_text_row(&["Nobody2", "Italy", "Rome"]);
+        let mut crowd = Crowd::new(
+            CrowdConfig {
+                worker_accuracy: 1.0,
+                budget: katara_crowd::Budget::questions(2),
+                ..CrowdConfig::default()
+            },
+            world_oracle(),
+        )
+        .unwrap();
+        let result = annotate(
+            &t,
+            &pattern,
+            &mut kb,
+            &mut crowd,
+            &AnnotationConfig::default(),
+        );
+        assert!(crowd.is_budget_exhausted());
+        // The first two gaps got answered (t2 confirmed, t3 rejected);
+        // everything after ran dry and is unresolved, not erroneous.
+        assert_eq!(result.tuples[1].status, TupleStatus::ValidatedWithCrowd);
+        assert_eq!(result.tuples[2].status, TupleStatus::Erroneous);
+        assert_eq!(result.tuples[3].status, TupleStatus::Unresolved);
+        assert_eq!(result.tuples[4].status, TupleStatus::Unresolved);
+        assert_eq!(result.unresolved_rows(), vec![3, 4]);
     }
 
     #[test]

@@ -334,7 +334,10 @@ mod tests {
         let col0 = &cands.col_types[0];
         let pos = |c| col0.iter().position(|x| x.class == c);
         assert!(pos(country).unwrap() < pos(place).unwrap());
-        assert!((col0[0].tfidf - 1.0).abs() < 1e-12, "top is normalized to 1");
+        assert!(
+            (col0[0].tfidf - 1.0).abs() < 1e-12,
+            "top is normalized to 1"
+        );
         assert_eq!(col0[0].support, 3);
     }
 

@@ -75,8 +75,7 @@ pub fn discover_two_hop(
                     *acc.entry(hop).or_insert(0) += 1;
                 }
             }
-            let min_support =
-                (((non_null as f64) * min_support_fraction).ceil() as usize).max(1);
+            let min_support = (((non_null as f64) * min_support_fraction).ceil() as usize).max(1);
             for ((p1, p2), support) in acc {
                 if support >= min_support {
                     out.push(TwoHopCandidate {

@@ -2,8 +2,14 @@
 
 use std::fmt;
 
+use katara_crowd::CrowdError;
+
 /// Errors surfaced by the cleaning pipeline.
+///
+/// Marked `#[non_exhaustive]`: future pipeline stages may add variants
+/// without a breaking change, so downstream matches need a wildcard arm.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum KataraError {
     /// Pattern discovery produced no candidate pattern at all; the paper's
     /// §2 behaviour is "KATARA will terminate" — callers surface this.
@@ -23,28 +29,48 @@ pub enum KataraError {
     /// A pattern is structurally invalid (e.g. an edge endpoint without a
     /// node).
     MalformedPattern(String),
+    /// The crowd platform could not be set up or used.
+    Crowd(CrowdError),
 }
 
 impl fmt::Display for KataraError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             KataraError::NoPatternFound { table, kb } => {
-                write!(f, "no table pattern found for table {table:?} against KB {kb:?}")
+                write!(
+                    f,
+                    "no table pattern found for table {table:?} against KB {kb:?}"
+                )
             }
             KataraError::ColumnOutOfRange {
                 column,
                 num_columns,
             } => write!(f, "column {column} out of range (table has {num_columns})"),
             KataraError::MalformedPattern(msg) => write!(f, "malformed pattern: {msg}"),
+            KataraError::Crowd(_) => write!(f, "crowd platform error"),
         }
     }
 }
 
-impl std::error::Error for KataraError {}
+impl std::error::Error for KataraError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KataraError::Crowd(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CrowdError> for KataraError {
+    fn from(e: CrowdError) -> Self {
+        KataraError::Crowd(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::error::Error as _;
 
     #[test]
     fn display() {
@@ -58,5 +84,14 @@ mod tests {
             num_columns: 3,
         };
         assert!(e.to_string().contains('9'));
+    }
+
+    #[test]
+    fn crowd_errors_chain_through_source() {
+        let e = KataraError::from(CrowdError::NoWorkers);
+        let src = e.source().expect("wrapped error is the source");
+        assert!(src.to_string().contains("worker"));
+        // Non-wrapping variants have no source.
+        assert!(KataraError::MalformedPattern("x".into()).source().is_none());
     }
 }

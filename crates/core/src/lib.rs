@@ -66,13 +66,15 @@ pub mod validation;
 
 /// One-stop imports for typical use.
 pub mod prelude {
-    pub use crate::annotation::{annotate, AnnotationConfig, AnnotationResult, Category};
+    pub use crate::annotation::{
+        annotate, AnnotationConfig, AnnotationResult, Category, TupleStatus,
+    };
     pub use crate::candidates::{
         discover_candidates, CandidateConfig, CandidateSet, RelCandidate, TypeCandidate,
     };
     pub use crate::error::KataraError;
     pub use crate::pattern::{MatchReport, PatternEdge, PatternNode, TablePattern, TupleMatch};
-    pub use crate::pipeline::{CleaningReport, Katara, KataraConfig};
+    pub use crate::pipeline::{CleaningReport, DegradationReport, Katara, KataraConfig};
     pub use crate::rank_join::{discover_exhaustive, discover_topk, DiscoveryConfig};
     pub use crate::repair::{topk_repairs, Repair, RepairConfig, RepairIndex};
     pub use crate::scoring::{score_pattern, ScoringConfig};

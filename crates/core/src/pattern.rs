@@ -283,9 +283,9 @@ impl TablePattern {
             let oi = node_index[&e.object];
             let obj_typed = self.nodes[oi].class.is_some();
             let ok = if obj_typed {
-                cand[si].iter().any(|&s| {
-                    cand[oi].iter().any(|&o| kb.holds(s, e.property, o))
-                })
+                cand[si]
+                    .iter()
+                    .any(|&s| cand[oi].iter().any(|&o| kb.holds(s, e.property, o)))
             } else {
                 match row.get(e.object).and_then(Value::as_str) {
                     Some(lit) => {
@@ -304,7 +304,9 @@ impl TablePattern {
                                 })
                                 .unwrap_or_default()
                         };
-                        subjects.iter().any(|&s| kb.holds_literal(s, e.property, lit))
+                        subjects
+                            .iter()
+                            .any(|&s| kb.holds_literal(s, e.property, lit))
                     }
                     None => false,
                 }
@@ -385,10 +387,9 @@ impl TablePattern {
             let si = node_index[&e.subject];
             let oi = node_index[&e.object];
             match (self.nodes[oi].class, assignment[si], assignment[oi]) {
-                (Some(_), Some(s), Some(o))
-                    if !kb.holds(s, e.property, o) => {
-                        return false;
-                    }
+                (Some(_), Some(s), Some(o)) if !kb.holds(s, e.property, o) => {
+                    return false;
+                }
                 (None, Some(s), _) => {
                     let Some(lit) = row.get(e.object).and_then(Value::as_str) else {
                         return false;

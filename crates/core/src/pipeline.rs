@@ -61,8 +61,57 @@ pub struct CleaningReport {
     pub discovery_stats: DiscoveryStats,
     /// Per-tuple annotations and enrichment counts.
     pub annotation: AnnotationResult,
-    /// For each erroneous row: its top-k possible repairs.
+    /// For each erroneous row: its top-k possible repairs. Unresolved
+    /// rows never appear here.
     pub repairs: Vec<(usize, Vec<Repair>)>,
+    /// How much the unreliable-crowd machinery had to intervene.
+    pub degradation: DegradationReport,
+}
+
+/// Degradation accounting for one cleaning run: what the retry, fault,
+/// and budget machinery did. All counters cover only this run, even when
+/// the crowd was used before.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DegradationReport {
+    /// Question attempts re-issued after a no-quorum attempt.
+    pub questions_retried: usize,
+    /// Extra replicas requested by retry escalation.
+    pub escalations: usize,
+    /// Replica slots lost to worker dropout.
+    pub dropouts: usize,
+    /// Replica slots lost to worker abstention.
+    pub abstentions: usize,
+    /// Questions that never reached a quorum even after retries.
+    pub no_quorum_questions: usize,
+    /// Ask attempts denied outright by the budget.
+    pub budget_denied: usize,
+    /// True once the crowd budget ran dry during the run.
+    pub budget_exhausted: bool,
+    /// True when validation stopped early and the pattern is only the
+    /// best seen so far.
+    pub pattern_partially_validated: bool,
+    /// Validation variables skipped for lack of quorum (score-order
+    /// fallback applied).
+    pub no_quorum_variables: usize,
+    /// Tuples annotated [`Unresolved`](crate::annotation::TupleStatus::Unresolved).
+    pub unresolved_tuples: usize,
+    /// Total simulated worker latency for the run, in milliseconds.
+    pub simulated_latency_ms: u64,
+}
+
+impl DegradationReport {
+    /// True when anything at all deviated from the reliable-crowd path.
+    pub fn is_degraded(&self) -> bool {
+        self.questions_retried > 0
+            || self.dropouts > 0
+            || self.abstentions > 0
+            || self.no_quorum_questions > 0
+            || self.budget_denied > 0
+            || self.budget_exhausted
+            || self.pattern_partially_validated
+            || self.no_quorum_variables > 0
+            || self.unresolved_tuples > 0
+    }
 }
 
 /// The KATARA system: one KB, one crowd, one configuration.
@@ -99,6 +148,9 @@ impl Katara {
         kb: &mut Kb,
         crowd: &mut Crowd<O>,
     ) -> Result<CleaningReport, KataraError> {
+        // Snapshot crowd stats so the degradation report covers only
+        // this run.
+        let stats_before = crowd.stats().clone();
         // (1) Pattern discovery.
         let cands = discover_candidates(table, kb, &self.config.candidates);
         let (patterns, discovery_stats) = discover_topk_with_stats(
@@ -151,12 +203,28 @@ impl Katara {
             })
             .collect();
 
+        let run_stats = crowd.stats().since(&stats_before);
+        let degradation = DegradationReport {
+            questions_retried: run_stats.questions_retried,
+            escalations: run_stats.escalations,
+            dropouts: run_stats.dropouts,
+            abstentions: run_stats.abstentions,
+            no_quorum_questions: run_stats.no_quorum_questions,
+            budget_denied: run_stats.budget_denied,
+            budget_exhausted: crowd.is_budget_exhausted(),
+            pattern_partially_validated: !outcome.fully_validated,
+            no_quorum_variables: outcome.no_quorum_variables,
+            unresolved_tuples: annotation.unresolved_rows().len(),
+            simulated_latency_ms: run_stats.simulated_latency_ms,
+        };
+
         Ok(CleaningReport {
             pattern: effective,
             variables_validated: outcome.variables_validated,
             discovery_stats,
             annotation,
             repairs,
+            degradation,
         })
     }
 }
@@ -247,7 +315,10 @@ mod tests {
                     (1, 2) => "hasCapital",
                     _ => "",
                 };
-                match candidates.iter().position(|c| c.contains(want) && !want.is_empty()) {
+                match candidates
+                    .iter()
+                    .position(|c| c.contains(want) && !want.is_empty())
+                {
                     Some(i) => Answer::Choice(i),
                     None => Answer::NoneOfTheAbove,
                 }
@@ -258,8 +329,7 @@ mod tests {
                 object,
             } => Answer::Bool(matches!(
                 (subject.as_str(), property.as_str(), object.as_str()),
-                ("S. Africa", "hasCapital", "Pretoria")
-                    | ("Klate", "nationality", "S. Africa")
+                ("S. Africa", "hasCapital", "Pretoria") | ("Klate", "nationality", "S. Africa")
             )),
         }
     }
@@ -272,6 +342,7 @@ mod tests {
             },
             oracle(),
         )
+        .unwrap()
     }
 
     #[test]
@@ -295,6 +366,59 @@ mod tests {
             .any(|(col, val)| *col == 2 && val == "Rome"));
         // Enrichment inserted the missing S. Africa capital fact.
         assert!(report.annotation.enriched_facts >= 1);
+    }
+
+    #[test]
+    fn reliable_run_reports_no_degradation() {
+        let (mut kb, t) = setting();
+        let katara = Katara::default();
+        let mut crowd = crowd();
+        let report = katara.clean(&t, &mut kb, &mut crowd).unwrap();
+        assert!(
+            !report.degradation.is_degraded(),
+            "{:?}",
+            report.degradation
+        );
+        assert_eq!(report.degradation, DegradationReport::default());
+    }
+
+    #[test]
+    fn faulty_run_completes_and_reports_degradation() {
+        let (mut kb, t) = setting();
+        let katara = Katara::default();
+        let mut crowd = Crowd::new(
+            CrowdConfig {
+                worker_accuracy: 1.0,
+                faults: katara_crowd::FaultPlan {
+                    dropout_rate: 0.4,
+                    abstain_rate: 0.2,
+                    latency_ms: (5, 50),
+                    ..katara_crowd::FaultPlan::default()
+                },
+                ..CrowdConfig::default()
+            },
+            oracle(),
+        )
+        .unwrap();
+        let report = katara
+            .clean(&t, &mut kb, &mut crowd)
+            .expect("pipeline must survive a faulty crowd");
+        let d = &report.degradation;
+        assert!(d.is_degraded());
+        assert!(d.dropouts > 0);
+        assert!(d.abstentions > 0);
+        assert!(d.simulated_latency_ms > 0);
+        // Counters in the report match the crowd's own accounting (the
+        // crowd was fresh, so no snapshot offset).
+        let s = crowd.stats();
+        assert_eq!(d.dropouts, s.dropouts);
+        assert_eq!(d.abstentions, s.abstentions);
+        assert_eq!(d.questions_retried, s.questions_retried);
+        assert_eq!(d.no_quorum_questions, s.no_quorum_questions);
+        // No repairs are generated for unresolved rows.
+        for (row, _) in &report.repairs {
+            assert!(!report.annotation.unresolved_rows().contains(row));
+        }
     }
 
     #[test]

@@ -78,7 +78,10 @@ fn build_space(table: &Table, kb: &Kb, cands: &CandidateSet, w: f64) -> SearchSp
     for (c, list) in cands.col_types.iter().enumerate() {
         if !list.is_empty() {
             col_var[c] = Some(vars.len());
-            vars.push(Var::Col(c, list.iter().map(|t| (t.class, t.tfidf)).collect()));
+            vars.push(Var::Col(
+                c,
+                list.iter().map(|t| (t.class, t.tfidf)).collect(),
+            ));
         }
     }
     let pair_start = vars.len();

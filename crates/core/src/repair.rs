@@ -147,11 +147,7 @@ fn build_component(
     let seed = node_indexes
         .iter()
         .enumerate()
-        .filter_map(|(slot, &ni)| {
-            pattern.nodes()[ni]
-                .class
-                .map(|c| (slot, kb.class_size(c)))
-        })
+        .filter_map(|(slot, &ni)| pattern.nodes()[ni].class.map(|c| (slot, kb.class_size(c))))
         .min_by_key(|&(_, size)| size)
         .map(|(slot, _)| slot);
 
@@ -191,10 +187,7 @@ fn build_component(
                 NodeVal::Res(r) => sim::normalize(kb.label_of(*r)),
                 NodeVal::Lit(l) => sim::normalize(l),
             };
-            inverted
-                .entry((slot, key))
-                .or_default()
-                .push(gi as u32);
+            inverted.entry((slot, key)).or_default().push(gi as u32);
         }
     }
     ComponentIndex {
@@ -224,18 +217,14 @@ fn expand(
     let mut frontier: Option<(usize, usize, katara_kb::PropertyId, bool, bool)> = None;
     for &(s, o, p, lit) in edges {
         match (&values[s], &values[o]) {
-            (Some(NodeVal::Res(rs)), Some(NodeVal::Res(ro)))
-                if !kb.holds(*rs, p, *ro) => {
-                    return;
-                }
-            (Some(NodeVal::Res(rs)), Some(NodeVal::Lit(l)))
-                if !kb.holds_literal(*rs, p, l) => {
-                    return;
-                }
-            (Some(_), None) if frontier.is_none() => frontier = Some((s, o, p, lit, true)),
-            (None, Some(_)) if frontier.is_none() && !lit => {
-                frontier = Some((s, o, p, lit, false))
+            (Some(NodeVal::Res(rs)), Some(NodeVal::Res(ro))) if !kb.holds(*rs, p, *ro) => {
+                return;
             }
+            (Some(NodeVal::Res(rs)), Some(NodeVal::Lit(l))) if !kb.holds_literal(*rs, p, l) => {
+                return;
+            }
+            (Some(_), None) if frontier.is_none() => frontier = Some((s, o, p, lit, true)),
+            (None, Some(_)) if frontier.is_none() && !lit => frontier = Some((s, o, p, lit, false)),
             _ => {}
         }
     }
@@ -263,7 +252,16 @@ fn expand(
                 if obj_literal {
                     for l in kb.literals_linked(rs, p) {
                         values[o] = Some(NodeVal::Lit(kb.literal_value(l).to_string()));
-                        expand(kb, pattern, node_indexes, edges, values, graphs, cap, truncated);
+                        expand(
+                            kb,
+                            pattern,
+                            node_indexes,
+                            edges,
+                            values,
+                            graphs,
+                            cap,
+                            truncated,
+                        );
                         values[o] = None;
                     }
                 } else {
@@ -275,7 +273,16 @@ fn expand(
                             }
                         }
                         values[o] = Some(NodeVal::Res(r));
-                        expand(kb, pattern, node_indexes, edges, values, graphs, cap, truncated);
+                        expand(
+                            kb,
+                            pattern,
+                            node_indexes,
+                            edges,
+                            values,
+                            graphs,
+                            cap,
+                            truncated,
+                        );
                         values[o] = None;
                     }
                 }
@@ -291,7 +298,16 @@ fn expand(
                         }
                     }
                     values[s] = Some(NodeVal::Res(r));
-                    expand(kb, pattern, node_indexes, edges, values, graphs, cap, truncated);
+                    expand(
+                        kb,
+                        pattern,
+                        node_indexes,
+                        edges,
+                        values,
+                        graphs,
+                        cap,
+                        truncated,
+                    );
                     values[s] = None;
                 }
             }
@@ -427,8 +443,7 @@ fn drop_unsupported_groups(cands: &mut Vec<Repair>, max_alternatives: usize) {
     if max_alternatives == 0 {
         return;
     }
-    let mut counts: std::collections::HashMap<Vec<usize>, usize> =
-        std::collections::HashMap::new();
+    let mut counts: std::collections::HashMap<Vec<usize>, usize> = std::collections::HashMap::new();
     for c in cands.iter() {
         let cols: Vec<usize> = c.changes.iter().map(|(col, _)| *col).collect();
         *counts.entry(cols).or_insert(0) += 1;
@@ -804,7 +819,9 @@ mod tests {
         // Naive also works (by definition) on a zero-overlap tuple, where
         // the indexed version abstains.
         let alien = row(&["Zzz", "Qqq", "Www", "Eee"]);
-        assert!(topk_repairs(&index, &kb, &pattern, &alien, 2, &RepairConfig::default()).is_empty());
+        assert!(
+            topk_repairs(&index, &kb, &pattern, &alien, 2, &RepairConfig::default()).is_empty()
+        );
         let all = topk_repairs_naive(&index, &kb, &pattern, &alien, 2, &RepairConfig::default());
         assert!(!all.is_empty());
         assert_eq!(all[0].changes.len(), 4, "full rewrite");
@@ -816,14 +833,7 @@ mod tests {
         let index = RepairIndex::build(&kb, &pattern, &RepairConfig::default());
         let mut t = Table::with_opaque_columns("t", 4);
         t.push_text_row(&["Pirlo", "Italy", "Madrid", "Juve"]);
-        let repairs = topk_repairs(
-            &index,
-            &kb,
-            &pattern,
-            t.row(0),
-            1,
-            &RepairConfig::default(),
-        );
+        let repairs = topk_repairs(&index, &kb, &pattern, t.row(0), 1, &RepairConfig::default());
         apply_repair(&mut t, 0, &repairs[0]);
         assert_eq!(t.cell(0, 2).as_str(), Some("Rome"));
     }

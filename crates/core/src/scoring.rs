@@ -141,11 +141,7 @@ mod tests {
 
     use katara_kb::Kb;
 
-    fn pattern_with(
-        kb: &Kb,
-        sub_type: &str,
-        obj_type: &str,
-    ) -> TablePattern {
+    fn pattern_with(kb: &Kb, sub_type: &str, obj_type: &str) -> TablePattern {
         TablePattern::new(
             vec![
                 PatternNode {
@@ -219,8 +215,7 @@ mod tests {
         let nodes_only = TablePattern::new(full.nodes().to_vec(), vec![], 0.0).unwrap();
         let cfg = ScoringConfig::default();
         assert!(
-            score_pattern(&kb, &cands, &full, &cfg)
-                > score_pattern(&kb, &cands, &nodes_only, &cfg)
+            score_pattern(&kb, &cands, &full, &cfg) > score_pattern(&kb, &cands, &nodes_only, &cfg)
         );
     }
 }

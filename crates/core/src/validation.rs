@@ -17,7 +17,7 @@
 
 use std::collections::HashMap;
 
-use katara_crowd::{Answer, Crowd, Oracle, Question};
+use katara_crowd::{Answer, AskOutcome, Crowd, Oracle, Question};
 use katara_kb::Kb;
 use katara_table::Table;
 use rand::rngs::StdRng;
@@ -61,9 +61,18 @@ pub struct ValidationOutcome {
     /// The single surviving pattern.
     pub pattern: TablePattern,
     /// Number of variables actually validated (Table 4's metric).
+    /// Variables attempted but lost to no-quorum are not counted.
     pub variables_validated: usize,
     /// Total crowd questions issued by this run.
     pub questions_asked: usize,
+    /// False when the crowd budget ran out mid-schedule and the returned
+    /// pattern is merely the best seen so far (highest score among the
+    /// survivors at the point validation stopped).
+    pub fully_validated: bool,
+    /// Variables the crowd was asked about but never reached a quorum
+    /// on. These are skipped — the pattern set is left unchanged and the
+    /// final choice falls back to discovery-score order for them.
+    pub no_quorum_variables: usize,
 }
 
 /// A validation variable.
@@ -153,11 +162,16 @@ pub fn validate_patterns<O: Oracle>(
     config: &ValidationConfig,
     strategy: SchedulingStrategy,
 ) -> ValidationOutcome {
-    assert!(!patterns.is_empty(), "validation needs at least one pattern");
+    assert!(
+        !patterns.is_empty(),
+        "validation needs at least one pattern"
+    );
     let vars = collect_vars(&patterns);
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut validated: Vec<VarKey> = Vec::new();
     let mut questions_asked = 0usize;
+    let mut fully_validated = true;
+    let mut no_quorum_variables = 0usize;
 
     let var_order: Vec<VarKey> = vars.clone();
     loop {
@@ -169,6 +183,12 @@ pub fn validate_patterns<O: Oracle>(
             SchedulingStrategy::Avi => validated.len() == var_order.len(),
         };
         if done {
+            break;
+        }
+        if crowd.is_budget_exhausted() {
+            // Degrade gracefully: stop scheduling and return the best
+            // pattern seen so far, flagged as partially validated.
+            fully_validated = false;
             break;
         }
         let probs = probabilities(&patterns);
@@ -195,9 +215,14 @@ pub fn validate_patterns<O: Oracle>(
             SchedulingStrategy::Avi => var_order[validated.len()],
         };
 
-        let (verdict, q_count) =
-            ask_variable(table, kb, &patterns, next, crowd, config, &mut rng);
+        let (verdict, q_count) = ask_variable(table, kb, &patterns, next, crowd, config, &mut rng);
         questions_asked += q_count;
+        if verdict == VarVerdict::BudgetExhausted {
+            // Not even one aggregated answer came back before the money
+            // ran out; the variable stays unvalidated.
+            fully_validated = false;
+            break;
+        }
         validated.push(next);
 
         match verdict {
@@ -223,7 +248,15 @@ pub fn validate_patterns<O: Oracle>(
                     strip_variable(p, next);
                 }
             }
+            VarVerdict::NoQuorum => {
+                // The crowd never settled on this variable. Skip it (it
+                // stays in `validated` so the scheduler moves on) and
+                // leave the pattern set unchanged: the final selection
+                // falls back to discovery-score order for it.
+                no_quorum_variables += 1;
+            }
             VarVerdict::Unasked => {}
+            VarVerdict::BudgetExhausted => unreachable!("handled above"),
         }
     }
 
@@ -231,8 +264,10 @@ pub fn validate_patterns<O: Oracle>(
     patterns.sort_by(|a, b| b.score().partial_cmp(&a.score()).unwrap());
     ValidationOutcome {
         pattern: patterns.into_iter().next().expect("non-empty"),
-        variables_validated: validated.len(),
+        variables_validated: validated.len() - no_quorum_variables,
         questions_asked,
+        fully_validated,
+        no_quorum_variables,
     }
 }
 
@@ -252,6 +287,10 @@ enum VarVerdict {
     NoneOfTheAbove,
     /// Nothing to ask (at most one candidate value).
     Unasked,
+    /// Every question for this variable failed to reach a quorum.
+    NoQuorum,
+    /// The budget ran out before a single aggregated answer came back.
+    BudgetExhausted,
 }
 
 /// Remove a variable from a pattern after a "none of the above" verdict:
@@ -331,6 +370,8 @@ fn ask_variable<O: Oracle>(
 
     let mut votes: HashMap<Answer, usize> = HashMap::new();
     let q = config.questions_per_variable.max(1);
+    let mut issued = 0usize;
+    let mut budget_hit = false;
     for _ in 0..q {
         let sample_rows = sample_rows(table, config.tuples_per_question, rng);
         let question = match var {
@@ -349,16 +390,33 @@ fn ask_variable<O: Oracle>(
                 candidates: candidates.clone(),
             },
         };
-        let a = crowd.ask(&question);
-        *votes.entry(a).or_insert(0) += 1;
+        match crowd.ask(&question) {
+            AskOutcome::Answered(a) => {
+                issued += 1;
+                *votes.entry(a).or_insert(0) += 1;
+            }
+            // A no-quorum question already exhausted the crowd's retry
+            // ladder; the remaining sample questions may still settle
+            // the variable.
+            AskOutcome::NoQuorum => issued += 1,
+            AskOutcome::BudgetExhausted => {
+                budget_hit = true;
+                break;
+            }
+        }
     }
-    let (&winner, _) = votes
-        .iter()
-        .max_by(|a, b| {
-            a.1.cmp(b.1)
-                .then_with(|| b.0.slot(values.len()).cmp(&a.0.slot(values.len())))
-        })
-        .expect("q >= 1");
+    let Some((&winner, _)) = votes.iter().max_by(|a, b| {
+        a.1.cmp(b.1)
+            .then_with(|| b.0.slot(values.len()).cmp(&a.0.slot(values.len())))
+    }) else {
+        // Not one aggregated answer for this variable.
+        let verdict = if budget_hit {
+            VarVerdict::BudgetExhausted
+        } else {
+            VarVerdict::NoQuorum
+        };
+        return (verdict, issued);
+    };
     let verdict = match winner {
         Answer::Choice(i) => match values.get(i) {
             Some(&v) => VarVerdict::Value(v),
@@ -366,7 +424,7 @@ fn ask_variable<O: Oracle>(
         },
         _ => VarVerdict::NoneOfTheAbove,
     };
-    (verdict, q)
+    (verdict, issued)
 }
 
 fn column_name(table: &Table, c: usize) -> &str {
@@ -416,7 +474,15 @@ mod tests {
         let city = b.class("city");
         let has_capital = b.property("hasCapital");
         let located_in = b.property("locatedIn");
-        let _ = (country, economy, state, capital, city, has_capital, located_in);
+        let _ = (
+            country,
+            economy,
+            state,
+            capital,
+            city,
+            has_capital,
+            located_in,
+        );
         let kb = b.finalize();
 
         let mut t = Table::with_opaque_columns("t", 2);
@@ -488,6 +554,7 @@ mod tests {
             },
             example_oracle(),
         )
+        .unwrap()
     }
 
     #[test]
@@ -519,8 +586,14 @@ mod tests {
         // Example 9: validate vB, then vBC — vC is never asked.
         assert_eq!(out.variables_validated, 2);
         let p = &out.pattern;
-        assert_eq!(p.node_for_column(0).unwrap().class, kb.class_by_name("country"));
-        assert_eq!(p.node_for_column(1).unwrap().class, kb.class_by_name("capital"));
+        assert_eq!(
+            p.node_for_column(0).unwrap().class,
+            kb.class_by_name("country")
+        );
+        assert_eq!(
+            p.node_for_column(1).unwrap().class,
+            kb.class_by_name("capital")
+        );
         assert_eq!(
             p.edges()[0].property,
             kb.property_by_name("hasCapital").unwrap()
@@ -614,7 +687,8 @@ mod tests {
                 ..CrowdConfig::default()
             },
             example_oracle(),
-        );
+        )
+        .unwrap();
         let out = validate_patterns(
             &t,
             &kb,
@@ -656,7 +730,8 @@ mod tests {
                 ..CrowdConfig::default()
             },
             oracle,
-        );
+        )
+        .unwrap();
         let out = validate_patterns(
             &t,
             &kb,
@@ -696,6 +771,115 @@ mod tests {
     }
 
     #[test]
+    fn reliable_crowd_marks_full_validation() {
+        let (kb, t, patterns) = example8();
+        let mut crowd = perfect_crowd();
+        let out = validate_patterns(
+            &t,
+            &kb,
+            patterns,
+            &mut crowd,
+            &ValidationConfig::default(),
+            SchedulingStrategy::Muvf,
+        );
+        assert!(out.fully_validated);
+        assert_eq!(out.no_quorum_variables, 0);
+    }
+
+    #[test]
+    fn exhausted_budget_returns_best_pattern_so_far() {
+        let (kb, t, patterns) = example8();
+        let mut crowd = Crowd::new(
+            CrowdConfig {
+                worker_accuracy: 1.0,
+                budget: katara_crowd::Budget::questions(0),
+                ..CrowdConfig::default()
+            },
+            example_oracle(),
+        )
+        .unwrap();
+        let out = validate_patterns(
+            &t,
+            &kb,
+            patterns,
+            &mut crowd,
+            &ValidationConfig::default(),
+            SchedulingStrategy::Muvf,
+        );
+        assert!(!out.fully_validated);
+        assert_eq!(out.variables_validated, 0);
+        // Fallback is pure score order: φ1 has the highest score.
+        assert_eq!(out.pattern.score(), 2.8);
+        assert!(crowd.is_budget_exhausted());
+    }
+
+    #[test]
+    fn budget_exhaustion_mid_schedule_keeps_partial_progress() {
+        let (kb, t, patterns) = example8();
+        // Enough budget for the first variable (5 questions) but not the
+        // second: the vB verdict is applied, then validation stops.
+        let mut crowd = Crowd::new(
+            CrowdConfig {
+                worker_accuracy: 1.0,
+                budget: katara_crowd::Budget::questions(5),
+                ..CrowdConfig::default()
+            },
+            example_oracle(),
+        )
+        .unwrap();
+        let out = validate_patterns(
+            &t,
+            &kb,
+            patterns,
+            &mut crowd,
+            &ValidationConfig::default(),
+            SchedulingStrategy::Muvf,
+        );
+        assert!(!out.fully_validated);
+        assert_eq!(out.variables_validated, 1);
+        // vB = country was applied, pruning φ2 (economy) and φ5 (state);
+        // the best remaining is still φ1.
+        assert_eq!(
+            out.pattern.node_for_column(0).unwrap().class,
+            kb.class_by_name("country")
+        );
+        assert_eq!(out.pattern.score(), 2.8);
+    }
+
+    #[test]
+    fn total_no_quorum_falls_back_to_score_order() {
+        let (kb, t, patterns) = example8();
+        // Every worker drops out every time: no question ever resolves.
+        let mut crowd = Crowd::new(
+            CrowdConfig {
+                worker_accuracy: 1.0,
+                faults: katara_crowd::FaultPlan {
+                    dropout_rate: 1.0,
+                    ..katara_crowd::FaultPlan::default()
+                },
+                ..CrowdConfig::default()
+            },
+            example_oracle(),
+        )
+        .unwrap();
+        let out = validate_patterns(
+            &t,
+            &kb,
+            patterns,
+            &mut crowd,
+            &ValidationConfig::default(),
+            SchedulingStrategy::Muvf,
+        );
+        // All three variables were attempted, none settled; the run is
+        // complete (no budget issue) but validated nothing.
+        assert!(out.fully_validated);
+        assert_eq!(out.variables_validated, 0);
+        assert_eq!(out.no_quorum_variables, 3);
+        assert_eq!(out.pattern.score(), 2.8, "score-order fallback");
+        assert!(crowd.stats().no_quorum_questions > 0);
+    }
+
+    #[test]
     fn questions_accounting() {
         let (kb, t, patterns) = example8();
         let mut crowd = perfect_crowd();
@@ -703,7 +887,14 @@ mod tests {
             questions_per_variable: 3,
             ..ValidationConfig::default()
         };
-        let out = validate_patterns(&t, &kb, patterns, &mut crowd, &cfg, SchedulingStrategy::Muvf);
+        let out = validate_patterns(
+            &t,
+            &kb,
+            patterns,
+            &mut crowd,
+            &cfg,
+            SchedulingStrategy::Muvf,
+        );
         assert_eq!(out.questions_asked, out.variables_validated * 3);
         assert_eq!(crowd.stats().questions(), out.questions_asked);
     }

@@ -51,8 +51,12 @@ fn candidates_strategy() -> impl Strategy<Value = (usize, CandidateSet)> {
     let col = prop::collection::vec(type_cand, 0..5);
     let rel_cand = (0usize..NUM_PROPS, 0.0f64..=1.0);
     let pair = prop::collection::vec(rel_cand, 0..4);
-    (2usize..4, prop::collection::vec(col, 2..4), prop::collection::vec(pair, 0..4)).prop_map(
-        |(ncols, cols, pairs)| {
+    (
+        2usize..4,
+        prop::collection::vec(col, 2..4),
+        prop::collection::vec(pair, 0..4),
+    )
+        .prop_map(|(ncols, cols, pairs)| {
             let mut set = CandidateSet {
                 rows_scanned: 1,
                 ..CandidateSet::default()
@@ -98,8 +102,7 @@ fn candidates_strategy() -> impl Strategy<Value = (usize, CandidateSet)> {
                 set.pair_rels.insert(all_pairs[slot], rels);
             }
             (ncols, set)
-        },
-    )
+        })
 }
 
 proptest! {

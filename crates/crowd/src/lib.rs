@@ -13,14 +13,25 @@
 //! The crate is deliberately KB-agnostic: questions carry display strings,
 //! so the same platform serves pattern validation (§5) and data annotation
 //! (§6) and could front a real crowd.
+//!
+//! Real crowds are unreliable, so the platform also carries a failure
+//! model (the [`fault`] module): a deterministic [`FaultPlan`] injects
+//! worker dropout, abstention, spam, and latency; a [`Budget`] caps
+//! spending; and [`Crowd::ask`] is fallible, returning an [`AskOutcome`]
+//! — no-quorum questions are retried at escalated replication per the
+//! [`RetryPolicy`] before the crowd gives up. With the default (inert)
+//! plan and an unlimited budget the platform behaves exactly like a
+//! reliable crowd.
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod oracle;
 pub mod platform;
 pub mod question;
 pub mod worker;
 
+pub use fault::{AskOutcome, Budget, BudgetState, CrowdError, FaultPlan, RetryPolicy};
 pub use oracle::{FixedOracle, Oracle};
 pub use platform::{Crowd, CrowdConfig, CrowdStats};
 pub use question::{Answer, Question, QuestionKind};

@@ -1,10 +1,12 @@
-//! The crowd platform: replication, plurality voting, cost accounting.
+//! The crowd platform: replication, plurality voting, cost accounting,
+//! fault injection, budgets, and retries.
 
 use std::collections::HashMap;
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+use crate::fault::{AskOutcome, Budget, BudgetState, CrowdError, FaultPlan, RetryPolicy};
 use crate::oracle::Oracle;
 use crate::question::{Answer, Question, QuestionKind};
 use crate::worker::Worker;
@@ -21,6 +23,13 @@ pub struct CrowdConfig {
     pub worker_accuracy: f64,
     /// Seed for worker assignment and worker error streams.
     pub seed: u64,
+    /// Fault-injection plan; the default injects nothing.
+    pub faults: FaultPlan,
+    /// Usage limits; the default is unlimited.
+    pub budget: Budget,
+    /// Retry policy for no-quorum questions (default: 3 attempts,
+    /// replication escalating 3 → 5 → 7).
+    pub retry: RetryPolicy,
 }
 
 impl Default for CrowdConfig {
@@ -30,17 +39,38 @@ impl Default for CrowdConfig {
             replication: 3,
             worker_accuracy: 0.95,
             seed: 0,
+            faults: FaultPlan::default(),
+            budget: Budget::default(),
+            retry: RetryPolicy::default(),
         }
     }
 }
 
-/// Cost accounting.
+/// Cost and degradation accounting.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CrowdStats {
-    /// Distinct questions issued, by kind.
+    /// Distinct questions issued, by kind (retried attempts of the same
+    /// question count once per attempt — each re-issue is a new HIT).
     pub questions_by_kind: HashMap<QuestionKind, usize>,
-    /// Total worker answers collected (questions × replication).
+    /// Total worker answers actually collected (dropouts and abstentions
+    /// deliver nothing and are not counted here).
     pub worker_answers: usize,
+    /// Attempts beyond the first, across all questions.
+    pub questions_retried: usize,
+    /// Total extra replicas requested by retry escalation.
+    pub escalations: usize,
+    /// Replica slots lost to worker dropout.
+    pub dropouts: usize,
+    /// Replica slots lost to worker abstention.
+    pub abstentions: usize,
+    /// Answers produced by spammer workers.
+    pub spammer_answers: usize,
+    /// Questions that exhausted the retry policy without a quorum.
+    pub no_quorum_questions: usize,
+    /// Ask attempts denied by the budget.
+    pub budget_denied: usize,
+    /// Total simulated answer latency, in milliseconds.
+    pub simulated_latency_ms: u64,
 }
 
 impl CrowdStats {
@@ -53,61 +83,231 @@ impl CrowdStats {
     pub fn questions_of(&self, kind: QuestionKind) -> usize {
         self.questions_by_kind.get(&kind).copied().unwrap_or(0)
     }
+
+    /// Counter-wise difference `self - earlier`, for callers that
+    /// snapshot stats before a phase and want that phase's cost alone.
+    /// Saturates at zero if `earlier` is not actually earlier.
+    pub fn since(&self, earlier: &CrowdStats) -> CrowdStats {
+        let mut questions_by_kind = self.questions_by_kind.clone();
+        for (kind, n) in &earlier.questions_by_kind {
+            let e = questions_by_kind.entry(*kind).or_insert(0);
+            *e = e.saturating_sub(*n);
+        }
+        questions_by_kind.retain(|_, n| *n > 0);
+        CrowdStats {
+            questions_by_kind,
+            worker_answers: self.worker_answers.saturating_sub(earlier.worker_answers),
+            questions_retried: self
+                .questions_retried
+                .saturating_sub(earlier.questions_retried),
+            escalations: self.escalations.saturating_sub(earlier.escalations),
+            dropouts: self.dropouts.saturating_sub(earlier.dropouts),
+            abstentions: self.abstentions.saturating_sub(earlier.abstentions),
+            spammer_answers: self.spammer_answers.saturating_sub(earlier.spammer_answers),
+            no_quorum_questions: self
+                .no_quorum_questions
+                .saturating_sub(earlier.no_quorum_questions),
+            budget_denied: self.budget_denied.saturating_sub(earlier.budget_denied),
+            simulated_latency_ms: self
+                .simulated_latency_ms
+                .saturating_sub(earlier.simulated_latency_ms),
+        }
+    }
 }
 
 /// A simulated crowdsourcing platform bound to a ground-truth oracle.
+///
+/// Questions are replicated over randomly-assigned workers and aggregated
+/// by plurality vote. Under a non-default [`FaultPlan`] workers may drop
+/// out, abstain, or spam; an attempt only counts if a majority of its
+/// requested replicas actually respond (quorum), and failed attempts are
+/// re-issued at escalated replication per the [`RetryPolicy`]. A
+/// [`Budget`] caps total questions and collected answers.
 #[derive(Debug)]
 pub struct Crowd<O> {
     oracle: O,
     workers: Vec<Worker>,
     assign_rng: StdRng,
     replication: usize,
+    faults: FaultPlan,
+    fault_rng: StdRng,
+    /// `spammers[i]` marks worker `i` as a spammer.
+    spammers: Vec<bool>,
+    budget: Budget,
+    budget_state: BudgetState,
+    retry: RetryPolicy,
     stats: CrowdStats,
 }
 
 impl<O: Oracle> Crowd<O> {
     /// Build a platform from a config and oracle.
-    pub fn new(config: CrowdConfig, oracle: O) -> Self {
-        assert!(config.num_workers > 0, "need at least one worker");
-        assert!(config.replication > 0, "need at least one replica");
-        let workers = (0..config.num_workers)
+    ///
+    /// Fails with a [`CrowdError`] if the pool is empty, replication is
+    /// zero, or the fault plan has out-of-range rates.
+    pub fn new(config: CrowdConfig, oracle: O) -> Result<Self, CrowdError> {
+        if config.num_workers == 0 {
+            return Err(CrowdError::NoWorkers);
+        }
+        if config.replication == 0 {
+            return Err(CrowdError::NoReplication);
+        }
+        if !(0.0..=1.0).contains(&config.worker_accuracy) {
+            return Err(CrowdError::InvalidRate {
+                what: "worker_accuracy",
+                value: config.worker_accuracy,
+            });
+        }
+        config.faults.validate()?;
+        let workers: Vec<Worker> = (0..config.num_workers)
             .map(|i| Worker::new(i, config.worker_accuracy, config.seed))
             .collect();
-        Crowd {
+        let spammers = Self::pick_spammers(&config.faults, config.num_workers);
+        Ok(Crowd {
             oracle,
             workers,
             assign_rng: StdRng::seed_from_u64(config.seed.wrapping_add(0xC0FFEE)),
             replication: config.replication,
+            fault_rng: StdRng::seed_from_u64(config.faults.seed.wrapping_add(0xFA_117)),
+            faults: config.faults,
+            spammers,
+            budget: config.budget,
+            budget_state: BudgetState::default(),
+            retry: config.retry,
             stats: CrowdStats::default(),
-        }
+        })
     }
 
-    /// Issue one question: `replication` randomly-assigned workers answer,
-    /// and the plurality answer is returned (ties break toward the lowest
-    /// option slot, deterministically).
-    pub fn ask(&mut self, q: &Question) -> Answer {
+    /// Deterministically select `round(fraction × n)` spammer workers
+    /// from the fault seed (a dedicated stream, so spammer identity does
+    /// not perturb the per-ask fault draws).
+    fn pick_spammers(faults: &FaultPlan, n: usize) -> Vec<bool> {
+        let mut spammers = vec![false; n];
+        let k = ((faults.spammer_fraction * n as f64).round() as usize).min(n);
+        if k == 0 {
+            return spammers;
+        }
+        let mut rng = StdRng::seed_from_u64(faults.seed.wrapping_add(0x5EED_5EED));
+        let mut idx: Vec<usize> = (0..n).collect();
+        // Partial Fisher–Yates: the first k entries are a uniform sample.
+        for i in 0..k {
+            let j = rng.random_range(i..n);
+            idx.swap(i, j);
+            spammers[idx[i]] = true;
+        }
+        spammers
+    }
+
+    /// Issue one question.
+    ///
+    /// Each attempt assigns `replication` (escalated on retries) random
+    /// workers; answers surviving dropout/abstention are aggregated by
+    /// plurality (ties break toward the lowest option slot,
+    /// deterministically). An attempt whose responses fall below a
+    /// majority of its requested replicas has no quorum and is retried
+    /// per the [`RetryPolicy`]. Budget is checked before every attempt.
+    pub fn ask(&mut self, q: &Question) -> AskOutcome {
+        let base = self.replication;
+        for attempt in 0..self.retry.max_attempts.max(1) {
+            let replicas = self.retry.replication_for(base, attempt);
+            if !self.budget_allows(replicas) {
+                self.budget_state.exhausted = true;
+                self.stats.budget_denied += 1;
+                if attempt == 0 {
+                    return AskOutcome::BudgetExhausted;
+                }
+                self.stats.no_quorum_questions += 1;
+                return AskOutcome::NoQuorum;
+            }
+            if attempt > 0 {
+                self.stats.questions_retried += 1;
+                self.stats.escalations += replicas - base;
+            }
+            if let Some(a) = self.attempt(q, replicas) {
+                return AskOutcome::Answered(a);
+            }
+        }
+        self.stats.no_quorum_questions += 1;
+        AskOutcome::NoQuorum
+    }
+
+    /// True when the budget can fund one more question with `replicas`
+    /// collected answers in the worst case.
+    fn budget_allows(&self, replicas: usize) -> bool {
+        let q_ok = self
+            .budget
+            .max_questions
+            .is_none_or(|m| self.budget_state.questions_used < m);
+        let a_ok = self
+            .budget
+            .max_worker_answers
+            .is_none_or(|m| self.budget_state.answers_used + replicas <= m);
+        q_ok && a_ok
+    }
+
+    /// One attempt at `replicas` replication. Returns the plurality
+    /// answer, or `None` if fewer than a majority of replicas responded.
+    fn attempt(&mut self, q: &Question, replicas: usize) -> Option<Answer> {
         let correct = self.oracle.answer(q);
         let num_candidates = q.num_options() - usize::from(!matches!(q, Question::Fact { .. }));
         let is_bool = matches!(q, Question::Fact { .. });
+        // When the plan is inert the fault stream is never consumed and
+        // every replica responds, so this is exactly the reliable-crowd
+        // code path.
+        let faults_active = !self.faults.is_inert();
         let mut votes: HashMap<usize, usize> = HashMap::new();
-        for _ in 0..self.replication {
+        let mut responses = 0usize;
+        for _ in 0..replicas {
             let wi = self.assign_rng.random_range(0..self.workers.len());
-            let a = self.workers[wi].respond(q, correct);
+            if faults_active {
+                if self.faults.dropout_rate > 0.0
+                    && self.fault_rng.random_bool(self.faults.dropout_rate)
+                {
+                    self.stats.dropouts += 1;
+                    continue;
+                }
+                if self.faults.abstain_rate > 0.0
+                    && self.fault_rng.random_bool(self.faults.abstain_rate)
+                {
+                    self.stats.abstentions += 1;
+                    continue;
+                }
+                let (lo, hi) = self.faults.latency_ms;
+                if hi > 0 {
+                    self.stats.simulated_latency_ms += if hi > lo {
+                        self.fault_rng.random_range(lo..=hi)
+                    } else {
+                        hi
+                    };
+                }
+            }
+            let a = if faults_active && self.spammers[wi] {
+                self.stats.spammer_answers += 1;
+                let slot = self.fault_rng.random_range(0..q.num_options());
+                Answer::from_slot(slot, num_candidates, is_bool)
+            } else {
+                self.workers[wi].respond(q, correct)
+            };
             *votes.entry(a.slot(num_candidates)).or_insert(0) += 1;
+            responses += 1;
             self.stats.worker_answers += 1;
+            self.budget_state.answers_used += 1;
         }
         *self.stats.questions_by_kind.entry(q.kind()).or_insert(0) += 1;
+        self.budget_state.questions_used += 1;
+        if responses < replicas / 2 + 1 {
+            return None;
+        }
         let (&slot, _) = votes
             .iter()
             .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
-            .expect("replication > 0");
-        Answer::from_slot(slot, num_candidates, is_bool)
+            .expect("quorum implies at least one vote");
+        Some(Answer::from_slot(slot, num_candidates, is_bool))
     }
 
     /// Ask the same question `times` times (the paper asks `q` questions
     /// per variable with different sample tuples; the *caller* varies the
-    /// samples) and return the per-ask aggregated answers.
-    pub fn ask_repeated(&mut self, questions: &[Question]) -> Vec<Answer> {
+    /// samples) and return the per-ask outcomes.
+    pub fn ask_repeated(&mut self, questions: &[Question]) -> Vec<AskOutcome> {
         questions.iter().map(|q| self.ask(q)).collect()
     }
 
@@ -116,9 +316,25 @@ impl<O: Oracle> Crowd<O> {
         &self.stats
     }
 
-    /// Reset the statistics (e.g. between experiment phases).
+    /// Reset the statistics (e.g. between experiment phases). Budget
+    /// accounting is *not* reset: spent money stays spent.
     pub fn reset_stats(&mut self) {
         self.stats = CrowdStats::default();
+    }
+
+    /// Live budget accounting.
+    pub fn budget_state(&self) -> &BudgetState {
+        &self.budget_state
+    }
+
+    /// True once any request has been denied for lack of budget.
+    pub fn is_budget_exhausted(&self) -> bool {
+        self.budget_state.exhausted
+    }
+
+    /// The fault plan this crowd was built with.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// Access the oracle (used by annotation to form enrichment facts).
@@ -140,6 +356,10 @@ mod tests {
         }
     }
 
+    fn answer(crowd: &mut Crowd<FixedOracle>, q: &Question) -> Answer {
+        crowd.ask(q).answer().expect("reliable crowd answers")
+    }
+
     #[test]
     fn majority_of_accurate_workers_is_correct() {
         let mut crowd = Crowd::new(
@@ -148,10 +368,11 @@ mod tests {
                 ..CrowdConfig::default()
             },
             FixedOracle(Answer::Bool(true)),
-        );
+        )
+        .unwrap();
         let mut right = 0;
         for i in 0..200 {
-            if crowd.ask(&fact_q(&format!("q{i}"))) == Answer::Bool(true) {
+            if answer(&mut crowd, &fact_q(&format!("q{i}"))) == Answer::Bool(true) {
                 right += 1;
             }
         }
@@ -169,21 +390,36 @@ mod tests {
                 ..CrowdConfig::default()
             },
             FixedOracle(Answer::Bool(false)),
-        );
+        )
+        .unwrap();
         for _ in 0..50 {
-            assert_eq!(crowd.ask(&fact_q("x")), Answer::Bool(false));
+            assert_eq!(answer(&mut crowd, &fact_q("x")), Answer::Bool(false));
         }
     }
 
     #[test]
     fn stats_track_kinds() {
-        let mut crowd = Crowd::new(CrowdConfig::default(), FixedOracle(Answer::Bool(true)));
+        let mut crowd =
+            Crowd::new(CrowdConfig::default(), FixedOracle(Answer::Bool(true))).unwrap();
         crowd.ask(&fact_q("a"));
         crowd.ask(&fact_q("b"));
         assert_eq!(crowd.stats().questions_of(QuestionKind::Fact), 2);
         assert_eq!(crowd.stats().questions_of(QuestionKind::ColumnType), 0);
         crowd.reset_stats();
         assert_eq!(crowd.stats().questions(), 0);
+    }
+
+    #[test]
+    fn stats_since_diffs_counters() {
+        let mut crowd =
+            Crowd::new(CrowdConfig::default(), FixedOracle(Answer::Bool(true))).unwrap();
+        crowd.ask(&fact_q("a"));
+        let snap = crowd.stats().clone();
+        crowd.ask(&fact_q("b"));
+        crowd.ask(&fact_q("c"));
+        let delta = crowd.stats().since(&snap);
+        assert_eq!(delta.questions(), 2);
+        assert_eq!(delta.worker_answers, 6);
     }
 
     #[test]
@@ -196,7 +432,8 @@ mod tests {
                     ..CrowdConfig::default()
                 },
                 FixedOracle(Answer::Bool(true)),
-            );
+            )
+            .unwrap();
             (0..50).map(|_| crowd.ask(&fact_q("x"))).collect::<Vec<_>>()
         };
         assert_eq!(run(3), run(3));
@@ -218,10 +455,11 @@ mod tests {
                 ..CrowdConfig::default()
             },
             FixedOracle(Answer::Choice(1)),
-        );
+        )
+        .unwrap();
         let mut hits = 0;
         for _ in 0..100 {
-            if crowd.ask(&q) == Answer::Choice(1) {
+            if crowd.ask(&q) == AskOutcome::Answered(Answer::Choice(1)) {
                 hits += 1;
             }
         }
@@ -229,14 +467,296 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "worker")]
-    fn zero_workers_panics() {
-        let _ = Crowd::new(
+    fn zero_workers_is_an_error() {
+        let err = Crowd::new(
             CrowdConfig {
                 num_workers: 0,
                 ..CrowdConfig::default()
             },
             FixedOracle(Answer::Bool(true)),
-        );
+        )
+        .unwrap_err();
+        assert_eq!(err, CrowdError::NoWorkers);
+    }
+
+    #[test]
+    fn zero_replication_is_an_error() {
+        let err = Crowd::new(
+            CrowdConfig {
+                replication: 0,
+                ..CrowdConfig::default()
+            },
+            FixedOracle(Answer::Bool(true)),
+        )
+        .unwrap_err();
+        assert_eq!(err, CrowdError::NoReplication);
+    }
+
+    #[test]
+    fn invalid_accuracy_is_an_error() {
+        let err = Crowd::new(
+            CrowdConfig {
+                worker_accuracy: 1.5,
+                ..CrowdConfig::default()
+            },
+            FixedOracle(Answer::Bool(true)),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            CrowdError::InvalidRate {
+                what: "worker_accuracy",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn invalid_fault_plan_is_an_error() {
+        let err = Crowd::new(
+            CrowdConfig {
+                faults: FaultPlan {
+                    dropout_rate: 2.0,
+                    ..FaultPlan::default()
+                },
+                ..CrowdConfig::default()
+            },
+            FixedOracle(Answer::Bool(true)),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CrowdError::InvalidRate { .. }));
+    }
+
+    /// The acceptance bar for the fault layer: with every fault knob at
+    /// zero and the budget unlimited, the crowd's answer stream is
+    /// byte-identical to the default (fault-free) configuration — the
+    /// fault RNG is provably never consumed.
+    #[test]
+    fn inert_fault_plan_is_byte_identical_to_default() {
+        let run = |config: CrowdConfig| {
+            let mut crowd = Crowd::new(config, FixedOracle(Answer::Bool(true))).unwrap();
+            let outcomes = (0..100)
+                .map(|i| crowd.ask(&fact_q(&format!("o{i}"))))
+                .collect::<Vec<_>>();
+            (outcomes, crowd.stats().clone())
+        };
+        let base = CrowdConfig {
+            worker_accuracy: 0.6,
+            seed: 11,
+            ..CrowdConfig::default()
+        };
+        // Explicit inert plan with a wild seed, explicit unlimited
+        // budget, explicit retry policy.
+        let explicit = CrowdConfig {
+            faults: FaultPlan {
+                seed: 0xDEAD_BEEF,
+                ..FaultPlan::default()
+            },
+            budget: Budget::unlimited(),
+            retry: RetryPolicy {
+                max_attempts: 5,
+                escalation_step: 4,
+            },
+            ..base.clone()
+        };
+        assert_eq!(run(base), run(explicit));
+    }
+
+    #[test]
+    fn total_dropout_exhausts_retries_to_no_quorum() {
+        let mut crowd = Crowd::new(
+            CrowdConfig {
+                faults: FaultPlan {
+                    dropout_rate: 1.0,
+                    ..FaultPlan::default()
+                },
+                ..CrowdConfig::default()
+            },
+            FixedOracle(Answer::Bool(true)),
+        )
+        .unwrap();
+        assert_eq!(crowd.ask(&fact_q("x")), AskOutcome::NoQuorum);
+        let s = crowd.stats();
+        // 3 attempts at replication 3, 5, 7: all 15 slots dropped.
+        assert_eq!(s.dropouts, 15);
+        assert_eq!(s.worker_answers, 0);
+        assert_eq!(s.questions_retried, 2);
+        assert_eq!(s.escalations, 2 + 4);
+        assert_eq!(s.no_quorum_questions, 1);
+        assert_eq!(s.questions(), 3);
+    }
+
+    #[test]
+    fn partial_dropout_still_reaches_quorum() {
+        // Majority of *requested* replicas must respond: with
+        // replication 3 one dropout leaves 2 ≥ 2 = quorum.
+        let mut crowd = Crowd::new(
+            CrowdConfig {
+                worker_accuracy: 1.0,
+                faults: FaultPlan {
+                    dropout_rate: 0.2,
+                    ..FaultPlan::default()
+                },
+                ..CrowdConfig::default()
+            },
+            FixedOracle(Answer::Bool(true)),
+        )
+        .unwrap();
+        let mut answered = 0;
+        for i in 0..100 {
+            if let AskOutcome::Answered(a) = crowd.ask(&fact_q(&format!("{i}"))) {
+                assert_eq!(a, Answer::Bool(true));
+                answered += 1;
+            }
+        }
+        assert!(answered >= 95, "{answered}");
+        assert!(crowd.stats().dropouts > 0);
+    }
+
+    #[test]
+    fn question_budget_exhausts_cleanly() {
+        let mut crowd = Crowd::new(
+            CrowdConfig {
+                budget: Budget::questions(2),
+                ..CrowdConfig::default()
+            },
+            FixedOracle(Answer::Bool(true)),
+        )
+        .unwrap();
+        assert!(matches!(crowd.ask(&fact_q("a")), AskOutcome::Answered(_)));
+        assert!(matches!(crowd.ask(&fact_q("b")), AskOutcome::Answered(_)));
+        assert_eq!(crowd.ask(&fact_q("c")), AskOutcome::BudgetExhausted);
+        assert!(crowd.is_budget_exhausted());
+        assert_eq!(crowd.budget_state().questions_used, 2);
+        assert_eq!(crowd.stats().budget_denied, 1);
+        // Denied asks consume nothing.
+        assert_eq!(crowd.stats().questions(), 2);
+        assert_eq!(crowd.stats().worker_answers, 6);
+    }
+
+    #[test]
+    fn answer_budget_reserves_worst_case() {
+        let mut crowd = Crowd::new(
+            CrowdConfig {
+                budget: Budget {
+                    max_worker_answers: Some(7),
+                    ..Budget::default()
+                },
+                ..CrowdConfig::default()
+            },
+            FixedOracle(Answer::Bool(true)),
+        )
+        .unwrap();
+        // Two asks fit (6 answers); a third would need up to 3 more.
+        assert!(matches!(crowd.ask(&fact_q("a")), AskOutcome::Answered(_)));
+        assert!(matches!(crowd.ask(&fact_q("b")), AskOutcome::Answered(_)));
+        assert_eq!(crowd.ask(&fact_q("c")), AskOutcome::BudgetExhausted);
+        assert_eq!(crowd.budget_state().answers_used, 6);
+    }
+
+    #[test]
+    fn spammers_answer_uniformly() {
+        let mut crowd = Crowd::new(
+            CrowdConfig {
+                worker_accuracy: 1.0,
+                faults: FaultPlan {
+                    spammer_fraction: 1.0,
+                    ..FaultPlan::default()
+                },
+                ..CrowdConfig::default()
+            },
+            FixedOracle(Answer::Bool(true)),
+        )
+        .unwrap();
+        let mut wrong = 0;
+        for i in 0..100 {
+            if crowd.ask(&fact_q(&format!("{i}"))) != AskOutcome::Answered(Answer::Bool(true)) {
+                wrong += 1;
+            }
+        }
+        // An all-spammer pool is a coin-flipping crowd: despite perfect
+        // nominal accuracy, a large share of plurality votes comes out
+        // wrong (3 coin flips are wrong-majority half the time).
+        assert!(wrong >= 25, "only {wrong}/100 wrong under pure spam");
+        assert_eq!(crowd.stats().spammer_answers, crowd.stats().worker_answers);
+    }
+
+    #[test]
+    fn spammer_fraction_rounds_to_pool_share() {
+        let crowd = Crowd::new(
+            CrowdConfig {
+                faults: FaultPlan {
+                    spammer_fraction: 0.3,
+                    ..FaultPlan::default()
+                },
+                ..CrowdConfig::default()
+            },
+            FixedOracle(Answer::Bool(true)),
+        )
+        .unwrap();
+        assert_eq!(crowd.spammers.iter().filter(|s| **s).count(), 3);
+    }
+
+    #[test]
+    fn abstention_and_latency_are_accounted() {
+        let mut crowd = Crowd::new(
+            CrowdConfig {
+                faults: FaultPlan {
+                    abstain_rate: 0.3,
+                    latency_ms: (1, 5),
+                    ..FaultPlan::default()
+                },
+                ..CrowdConfig::default()
+            },
+            FixedOracle(Answer::Bool(true)),
+        )
+        .unwrap();
+        for i in 0..50 {
+            crowd.ask(&fact_q(&format!("{i}")));
+        }
+        let s = crowd.stats();
+        assert!(s.abstentions > 0, "{s:?}");
+        assert!(s.simulated_latency_ms > 0, "{s:?}");
+        // Latency bounds: every collected answer cost 1..=5 ms.
+        assert!(s.simulated_latency_ms >= s.worker_answers as u64);
+        assert!(s.simulated_latency_ms <= 5 * s.worker_answers as u64);
+    }
+
+    /// Same config + fault plan ⇒ identical outcome sequences, retry
+    /// counts, and budget trajectories. Different fault seed ⇒ different
+    /// fault realisation.
+    #[test]
+    fn faulty_runs_are_deterministic_per_fault_seed() {
+        let run = |fault_seed| {
+            let mut crowd = Crowd::new(
+                CrowdConfig {
+                    worker_accuracy: 0.8,
+                    budget: Budget::questions(120),
+                    faults: FaultPlan {
+                        dropout_rate: 0.35,
+                        abstain_rate: 0.15,
+                        spammer_fraction: 0.2,
+                        latency_ms: (2, 20),
+                        seed: fault_seed,
+                    },
+                    ..CrowdConfig::default()
+                },
+                FixedOracle(Answer::Bool(true)),
+            )
+            .unwrap();
+            let mut outcomes = Vec::new();
+            let mut budgets = Vec::new();
+            for i in 0..60 {
+                outcomes.push(crowd.ask(&fact_q(&format!("{i}"))));
+                budgets.push(crowd.budget_state().clone());
+            }
+            (outcomes, budgets, crowd.stats().clone())
+        };
+        assert_eq!(run(7), run(7));
+        let (a, _, sa) = run(7);
+        let (b, _, sb) = run(8);
+        assert!(a != b || sa != sb, "fault seed had no effect");
+        // The fault plan actually fired.
+        assert!(sa.dropouts > 0 && sa.abstentions > 0 && sa.spammer_answers > 0);
     }
 }

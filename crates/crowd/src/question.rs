@@ -76,8 +76,9 @@ impl Question {
     /// boolean facts.
     pub fn num_options(&self) -> usize {
         match self {
-            Question::ColumnType { candidates, .. }
-            | Question::Relationship { candidates, .. } => candidates.len() + 1,
+            Question::ColumnType { candidates, .. } | Question::Relationship { candidates, .. } => {
+                candidates.len() + 1
+            }
             Question::Fact { .. } => 2,
         }
     }

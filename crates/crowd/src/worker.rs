@@ -24,10 +24,7 @@ impl Worker {
     /// # Panics
     /// Panics if `accuracy` is outside `[0, 1]`.
     pub fn new(id: usize, accuracy: f64, seed: u64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&accuracy),
-            "accuracy must be in [0,1]"
-        );
+        assert!((0.0..=1.0).contains(&accuracy), "accuracy must be in [0,1]");
         // Derive a per-worker stream so workers are independent.
         let rng = StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         Worker { id, accuracy, rng }

@@ -208,12 +208,24 @@ pub fn build_kb(world: &World, config: &KbGenConfig) -> Kb {
     // --- Entities ---------------------------------------------------------
     let mut ids = Ids::default();
     for c in &world.continents {
-        ids.continents
-            .push(Some(typed_entity(&mut b, &mut rng, c, c, SemanticType::Continent, true)));
+        ids.continents.push(Some(typed_entity(
+            &mut b,
+            &mut rng,
+            c,
+            c,
+            SemanticType::Continent,
+            true,
+        )));
     }
     for l in &world.languages {
-        ids.languages
-            .push(Some(typed_entity(&mut b, &mut rng, l, l, SemanticType::Language, true)));
+        ids.languages.push(Some(typed_entity(
+            &mut b,
+            &mut rng,
+            l,
+            l,
+            SemanticType::Language,
+            true,
+        )));
     }
     for c in &world.countries {
         ids.countries.push(Some(typed_entity(
@@ -231,12 +243,24 @@ pub fn build_kb(world: &World, config: &KbGenConfig) -> Kb {
         } else {
             SemanticType::City
         };
-        ids.cities
-            .push(Some(typed_entity(&mut b, &mut rng, &city.name, &city.name, t, city.is_capital)));
+        ids.cities.push(Some(typed_entity(
+            &mut b,
+            &mut rng,
+            &city.name,
+            &city.name,
+            t,
+            city.is_capital,
+        )));
     }
     for l in &world.leagues {
-        ids.leagues
-            .push(Some(typed_entity(&mut b, &mut rng, l, l, SemanticType::League, true)));
+        ids.leagues.push(Some(typed_entity(
+            &mut b,
+            &mut rng,
+            l,
+            l,
+            SemanticType::League,
+            true,
+        )));
     }
     for club in &world.clubs {
         if !rng.random_bool(config.club_coverage) {
@@ -268,8 +292,14 @@ pub fn build_kb(world: &World, config: &KbGenConfig) -> Kb {
         } else {
             SemanticType::City
         };
-        ids.us_cities
-            .push(Some(typed_entity(&mut b, &mut rng, &c.name, &c.name, t, c.is_capital)));
+        ids.us_cities.push(Some(typed_entity(
+            &mut b,
+            &mut rng,
+            &c.name,
+            &c.name,
+            t,
+            c.is_capital,
+        )));
     }
 
     // Filler entities: they enlarge the broad classes (person, city,
@@ -301,7 +331,9 @@ pub fn build_kb(world: &World, config: &KbGenConfig) -> Kb {
     // --- Facts ------------------------------------------------------------
     use SemanticRel::*;
     for (ci, c) in world.countries.iter().enumerate() {
-        let Some(rc) = ids.countries[ci] else { continue };
+        let Some(rc) = ids.countries[ci] else {
+            continue;
+        };
         if rng.random_bool(config.cov(HasCapital)) {
             if let Some(cap) = ids.cities[c.capital] {
                 b.fact(rc, p(&props, HasCapital), cap);
@@ -408,7 +440,14 @@ pub fn build_kb(world: &World, config: &KbGenConfig) -> Kb {
         if !rng.random_bool(config.university_coverage) {
             continue;
         }
-        let r = typed_entity(&mut b, &mut rng, &u.name, &u.name, SemanticType::University, false);
+        let r = typed_entity(
+            &mut b,
+            &mut rng,
+            &u.name,
+            &u.name,
+            SemanticType::University,
+            false,
+        );
         let city = &world.us_cities[u.city];
         if rng.random_bool(config.cov(LocatedIn)) {
             if let Some(rc) = ids.us_cities[u.city] {
@@ -486,10 +525,9 @@ mod tests {
         let mut found = 0;
         for (ci, c) in w.countries.iter().enumerate() {
             let cap = w.capital_of(ci);
-            let (Some(rc), Some(rcap)) = (
-                kb.resource_by_name(&c.name),
-                kb.resource_by_name(&cap.name),
-            ) else {
+            let (Some(rc), Some(rcap)) =
+                (kb.resource_by_name(&c.name), kb.resource_by_name(&cap.name))
+            else {
                 continue;
             };
             if kb.holds(rc, capital_prop, rcap) {

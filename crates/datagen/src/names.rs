@@ -11,8 +11,8 @@ use rand::rngs::StdRng;
 use rand::RngExt;
 
 const SYLLABLES: &[&str] = &[
-    "ba", "re", "mo", "ka", "li", "to", "sa", "du", "vi", "ne", "ra", "go", "te", "pu", "mi",
-    "za", "lo", "fe", "ni", "ta", "ve", "ro", "si", "da", "ku", "pa", "je", "wa", "xi", "bo",
+    "ba", "re", "mo", "ka", "li", "to", "sa", "du", "vi", "ne", "ra", "go", "te", "pu", "mi", "za",
+    "lo", "fe", "ni", "ta", "ve", "ro", "si", "da", "ku", "pa", "je", "wa", "xi", "bo",
 ];
 
 /// A seeded unique-name factory.

@@ -47,9 +47,7 @@ impl TableGroundTruth {
     pub fn rels_for(&self, config: &KbGenConfig) -> Vec<(usize, usize, &'static str)> {
         self.relationships
             .iter()
-            .filter(|(_, _, r)| {
-                config.relation_coverage.get(r).copied().unwrap_or(0.0) > 0.0
-            })
+            .filter(|(_, _, r)| config.relation_coverage.get(r).copied().unwrap_or(0.0) > 0.0)
             .map(|&(i, j, r)| (i, j, r.name(config.flavor)))
             .collect()
     }
@@ -477,7 +475,10 @@ mod tests {
         let w = world();
         let tables = wiki_tables(&w, 28, 4);
         assert_eq!(tables.len(), 28);
-        let avg: f64 = tables.iter().map(|t| t.table.num_rows() as f64).sum::<f64>()
+        let avg: f64 = tables
+            .iter()
+            .map(|t| t.table.num_rows() as f64)
+            .sum::<f64>()
             / tables.len() as f64;
         assert!(
             (10.0..=40.0).contains(&avg),

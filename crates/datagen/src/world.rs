@@ -429,11 +429,7 @@ mod tests {
     #[test]
     fn homonym_clubs_exist() {
         let w = World::generate(WorldConfig::default());
-        let homonyms = w
-            .clubs
-            .iter()
-            .filter(|c| c.name != c.id_name)
-            .count();
+        let homonyms = w.clubs.iter().filter(|c| c.name != c.id_name).count();
         assert!(homonyms > 0, "some clubs must share their city's name");
         for c in &w.clubs {
             if c.name != c.id_name {

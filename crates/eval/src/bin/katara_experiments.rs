@@ -86,6 +86,7 @@ fn main() {
     section!("fig12", ex::fig12::run(&corpus).render());
     section!("ablation", ex::ablation_coherence::run(&corpus).render());
     section!("scaling", ex::scaling::run(&corpus, repeats).render());
+    section!("robustness", ex::robustness::run(&corpus).render());
 
     eprintln!("all experiments finished in {:?}", t0.elapsed());
 }

@@ -90,9 +90,8 @@ impl AblationCoherence {
 
     /// Render the Markdown section.
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "## Ablation — coherence weight in the scoring model (top-1 F)\n\n",
-        );
+        let mut out =
+            String::from("## Ablation — coherence weight in the scoring model (top-1 F)\n\n");
         for flavor in flavors() {
             let mut t = MdTable::new(&["dataset", "naive (w=0)", "w=0.5", "full (w=1)"]);
             for r in self.rows.iter().filter(|r| r.flavor == flavor) {

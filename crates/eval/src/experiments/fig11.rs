@@ -2,8 +2,8 @@
 //! RelationalTables, complementing Figure 6's WebTables.
 
 use crate::corpus::Corpus;
-use crate::experiments::{fig6::render_series, flavors, topk_f_series};
 use crate::experiments::fig6::KS;
+use crate::experiments::{fig6::render_series, flavors, topk_f_series};
 
 /// The structured result: per dataset, per flavor, per k, per algorithm.
 #[derive(Debug, Clone, Default)]

@@ -45,7 +45,10 @@ impl Fig7 {
 
     /// Render the Markdown section.
     pub fn render(&self) -> String {
-        render_validation("Figure 7 — pattern validation P/R (WebTables)", &self.series)
+        render_validation(
+            "Figure 7 — pattern validation P/R (WebTables)",
+            &self.series,
+        )
     }
 }
 

@@ -2,11 +2,12 @@
 
 pub mod ablation_coherence;
 pub mod fig11;
-pub mod scaling;
 pub mod fig12;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod robustness;
+pub mod scaling;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -57,13 +58,7 @@ impl Algo {
 
     /// Run the algorithm for the top-k patterns over precomputed
     /// candidates.
-    pub fn topk(
-        self,
-        table: &Table,
-        kb: &Kb,
-        cands: &CandidateSet,
-        k: usize,
-    ) -> Vec<TablePattern> {
+    pub fn topk(self, table: &Table, kb: &Kb, cands: &CandidateSet, k: usize) -> Vec<TablePattern> {
         match self {
             Algo::Support => support_topk(table, kb, cands, k),
             Algo::MaxLike => maxlike_topk(table, kb, cands, k),
@@ -115,6 +110,7 @@ pub fn crowd_for(
         },
         oracle,
     )
+    .expect("experiment crowd config is valid")
 }
 
 /// Mean best-F of the top-k patterns over a set of tables, per algorithm
@@ -145,8 +141,7 @@ pub fn topk_f_series(
             let mut means = [0.0f64; 4];
             for (tops, gt_types, gt_rels) in &per_table {
                 for (ai, top) in tops.iter().enumerate() {
-                    means[ai] +=
-                        crate::metrics::best_f_of_topk(&kb, top, k, gt_types, gt_rels);
+                    means[ai] += crate::metrics::best_f_of_topk(&kb, top, k, gt_types, gt_rels);
                 }
             }
             if !per_table.is_empty() {
@@ -278,7 +273,13 @@ pub fn katara_repair_run(
         });
     }
 
-    let annotation = annotate(&dirty, &pattern, &mut kb, &mut crowd, &AnnotationConfig::default());
+    let annotation = annotate(
+        &dirty,
+        &pattern,
+        &mut kb,
+        &mut crowd,
+        &AnnotationConfig::default(),
+    );
     // Use the effective pattern (annotation-time feedback may have
     // stripped spurious elements).
     let pattern = annotation.pattern.clone();

@@ -92,7 +92,9 @@ mod tests {
     fn relational_rels_differ_by_flavor() {
         let corpus = Corpus::build(&CorpusConfig::small());
         let t1 = run(&corpus);
-        let yago = t1.counts_for("RelationalTables", KbFlavor::YagoLike).unwrap();
+        let yago = t1
+            .counts_for("RelationalTables", KbFlavor::YagoLike)
+            .unwrap();
         let dbp = t1
             .counts_for("RelationalTables", KbFlavor::DbpediaLike)
             .unwrap();

@@ -138,8 +138,13 @@ mod tests {
         assert!(t3.time_of("Person", "yago-like", Algo::Pgm).is_none());
         assert!(t3.time_of("Person", "yago-like", Algo::RankJoin).is_some());
         let pgm = t3.time_of("WebTables", "yago-like", Algo::Pgm).unwrap();
-        let rj = t3.time_of("WebTables", "yago-like", Algo::RankJoin).unwrap();
-        assert!(pgm >= rj, "PGM {pgm:?} must not be faster than RankJoin {rj:?}");
+        let rj = t3
+            .time_of("WebTables", "yago-like", Algo::RankJoin)
+            .unwrap();
+        assert!(
+            pgm >= rj,
+            "PGM {pgm:?} must not be faster than RankJoin {rj:?}"
+        );
         let md = t3.render();
         assert!(md.contains("N.A."));
     }

@@ -91,7 +91,11 @@ impl Table4 {
             "dbpedia MUVF",
             "dbpedia AVI",
         ]);
-        for (name, _) in [("WikiTables", ()), ("WebTables", ()), ("RelationalTables", ())] {
+        for (name, _) in [
+            ("WikiTables", ()),
+            ("WebTables", ()),
+            ("RelationalTables", ()),
+        ] {
             let y = self.cell(name, KbFlavor::YagoLike);
             let d = self.cell(name, KbFlavor::DbpediaLike);
             t.row(vec![

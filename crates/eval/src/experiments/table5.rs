@@ -67,10 +67,14 @@ pub fn run(corpus: &Corpus) -> Table5 {
                 );
                 for t in &result.tuples {
                     for c in &t.node_categories {
-                        type_counts[slot(*c)] += 1;
+                        if let Some(s) = slot(*c) {
+                            type_counts[s] += 1;
+                        }
                     }
                     for c in &t.edge_categories {
-                        rel_counts[slot(*c)] += 1;
+                        if let Some(s) = slot(*c) {
+                            rel_counts[s] += 1;
+                        }
                     }
                 }
             }
@@ -85,11 +89,14 @@ pub fn run(corpus: &Corpus) -> Table5 {
     out
 }
 
-fn slot(c: Category) -> usize {
+/// Table 5 reports the breakdown of *settled* instances; unresolved
+/// ones (possible only under a faulty crowd) are excluded.
+fn slot(c: Category) -> Option<usize> {
     match c {
-        Category::Kb => 0,
-        Category::Crowd => 1,
-        Category::Error => 2,
+        Category::Kb => Some(0),
+        Category::Crowd => Some(1),
+        Category::Error => Some(2),
+        _ => None,
     }
 }
 

@@ -54,8 +54,7 @@ pub fn run(corpus: &Corpus) -> Table7 {
                 if cols.is_empty() {
                     continue;
                 }
-                let Some(run) =
-                    katara_repair_run(corpus, g, flavor, &cols, K, 0x7AB7 ^ ti as u64)
+                let Some(run) = katara_repair_run(corpus, g, flavor, &cols, K, 0x7AB7 ^ ti as u64)
                 else {
                     continue;
                 };

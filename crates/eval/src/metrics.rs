@@ -82,10 +82,7 @@ pub fn pattern_precision_recall(
         let Some(want) = kb.property_by_name(want_name) else {
             continue;
         };
-        if let Some(s) = kb
-            .property_hierarchy()
-            .distance(want.0, edge.property.0)
-        {
+        if let Some(s) = kb.property_hierarchy().distance(want.0, edge.property.0) {
             score_sum += 1.0 / (s as f64 + 1.0);
         }
     }

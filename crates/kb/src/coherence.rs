@@ -90,7 +90,11 @@ impl CoherenceTable {
             return table;
         }
         for side in 0..2 {
-            let per_prop = if side == 0 { prop_subjects } else { prop_objects };
+            let per_prop = if side == 0 {
+                prop_subjects
+            } else {
+                prop_objects
+            };
             for (pi, members) in per_prop.iter().enumerate() {
                 if members.is_empty() {
                     continue;

@@ -155,12 +155,11 @@ fn parse_term(
                         Some('\\') => lit.push('\\'),
                         Some('u') => {
                             let hex: String = chars.by_ref().take(4).collect();
-                            let cp = u32::from_str_radix(&hex, 16).map_err(|_| {
-                                NtError::Syntax {
+                            let cp =
+                                u32::from_str_radix(&hex, 16).map_err(|_| NtError::Syntax {
                                     line: lineno,
                                     message: format!("bad \\u escape {hex:?}"),
-                                }
-                            })?;
+                                })?;
                             lit.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
                         }
                         other => {
@@ -408,7 +407,12 @@ pub fn to_string(kb: &Kb) -> String {
             lit(kb.label_of(r))
         );
         for &t in kb.direct_types(r) {
-            let _ = writeln!(out, "{} <{RDF_TYPE}> {} .", iri(name), iri(kb.class_name(t)));
+            let _ = writeln!(
+                out,
+                "{} <{RDF_TYPE}> {} .",
+                iri(name),
+                iri(kb.class_name(t))
+            );
         }
         for &(p, obj) in kb.facts_of(r) {
             let pred = iri(kb.property_name(p));

@@ -148,7 +148,11 @@ mod tests {
 
     #[test]
     fn similarity_symmetric() {
-        let pairs = [("rome", "roma"), ("italy", "itlay"), ("pretoria", "p. eliz.")];
+        let pairs = [
+            ("rome", "roma"),
+            ("italy", "itlay"),
+            ("pretoria", "p. eliz."),
+        ];
         for (a, b) in pairs {
             let s1 = similarity(a, b);
             let s2 = similarity(b, a);

@@ -104,7 +104,10 @@ pub fn corrupt_table(table: &mut Table, config: &CorruptionConfig, seed: u64) ->
     let mut rng = StdRng::seed_from_u64(seed);
     let mut log = CorruptionLog::default();
     let total_w = config.w_domain_swap + config.w_typo + config.w_null;
-    assert!(total_w > 0.0, "at least one corruption kind must be enabled");
+    assert!(
+        total_w > 0.0,
+        "at least one corruption kind must be enabled"
+    );
     if config.columns.is_empty() {
         return log;
     }
@@ -214,7 +217,11 @@ fn typo(s: &str, rng: &mut StdRng) -> String {
             let i = rng.random_range(0..out.len());
             let mut repl = (b'a' + rng.random_range(0..26u8)) as char;
             if repl == out[i] {
-                repl = if repl == 'z' { 'a' } else { (repl as u8 + 1) as char };
+                repl = if repl == 'z' {
+                    'a'
+                } else {
+                    (repl as u8 + 1) as char
+                };
             }
             out[i] = repl;
         }

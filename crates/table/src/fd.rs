@@ -32,9 +32,7 @@ impl Fd {
 
     /// Expand a multi-RHS declaration `lhs → rhs_1, …, rhs_n`.
     pub fn expand(lhs: &[usize], rhs: &[usize]) -> Vec<Fd> {
-        rhs.iter()
-            .map(|&r| Fd::new(lhs.to_vec(), r))
-            .collect()
+        rhs.iter().map(|&r| Fd::new(lhs.to_vec(), r)).collect()
     }
 
     /// The LHS key of row `r` (null cells render as empty strings, which

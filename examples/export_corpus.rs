@@ -195,7 +195,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         facts_path.display(),
         tsv.lines().count()
     );
-    println!("\ntry:\n  katara discover --table {}/soccer.csv --kb {}/dbpedia-like.nt",
-        dir.display(), dir.display());
+    println!(
+        "\ntry:\n  katara discover --table {}/soccer.csv --kb {}/dbpedia-like.nt",
+        dir.display(),
+        dir.display()
+    );
     Ok(())
 }

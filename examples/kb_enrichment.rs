@@ -10,7 +10,9 @@
 use katara::core::annotation::{annotate, AnnotationConfig};
 use katara::core::prelude::*;
 use katara::crowd::{Crowd, CrowdConfig};
-use katara::datagen::{build_kb, KbFlavor, KbGenConfig, SemanticRel, TableOracle, World, WorldConfig};
+use katara::datagen::{
+    build_kb, KbFlavor, KbGenConfig, SemanticRel, TableOracle, World, WorldConfig,
+};
 use katara::table::Table;
 
 fn main() {
@@ -69,7 +71,8 @@ fn main() {
                 ..CrowdConfig::default()
             },
             oracle,
-        );
+        )
+        .expect("example crowd config is valid");
         let outcome = validate_patterns(
             &table,
             &kb,

@@ -121,7 +121,8 @@ fn main() {
             ..CrowdConfig::default()
         },
         oracle,
-    );
+    )
+    .expect("example crowd config is valid");
 
     // ------------------------------------------------------------------
     // Run KATARA.

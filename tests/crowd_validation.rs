@@ -25,6 +25,7 @@ fn crowd(
         },
         TableOracle::new(corpus.facts.clone(), g.ground_truth.clone(), flavor),
     )
+    .expect("test crowd config is valid")
 }
 
 #[test]
@@ -97,8 +98,16 @@ fn perfect_crowd_strategies_agree_on_the_survivor() {
         // variable, MUVF only ambiguous ones), so AVI's edge set is a
         // subset of MUVF's.
         assert_eq!(
-            muvf.pattern.nodes().iter().filter(|n| n.class.is_some()).collect::<Vec<_>>(),
-            avi.pattern.nodes().iter().filter(|n| n.class.is_some()).collect::<Vec<_>>(),
+            muvf.pattern
+                .nodes()
+                .iter()
+                .filter(|n| n.class.is_some())
+                .collect::<Vec<_>>(),
+            avi.pattern
+                .nodes()
+                .iter()
+                .filter(|n| n.class.is_some())
+                .collect::<Vec<_>>(),
             "{}",
             g.table.name()
         );

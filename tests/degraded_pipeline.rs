@@ -1,0 +1,160 @@
+//! Degraded end-to-end runs: the crowd budget dies mid-pipeline, or
+//! workers fail en masse, and KATARA must still hand back a usable
+//! [`CleaningReport`] — unresolved tuples reported, no repairs invented
+//! for them, and a [`DegradationReport`] whose counters match the crowd's
+//! own accounting.
+//!
+//! [`CleaningReport`]: katara::core::pipeline::CleaningReport
+//! [`DegradationReport`]: katara::core::pipeline::DegradationReport
+
+use katara::core::annotation::TupleStatus;
+use katara::core::pipeline::Katara;
+use katara::crowd::{Budget, Crowd, CrowdConfig, FaultPlan};
+use katara::datagen::{KbFlavor, TableOracle};
+use katara::eval::corpus::{Corpus, CorpusConfig};
+
+fn corpus() -> Corpus {
+    Corpus::build(&CorpusConfig::small())
+}
+
+fn crowd_with(
+    corpus: &Corpus,
+    g: &katara::datagen::GeneratedTable,
+    flavor: KbFlavor,
+    faults: FaultPlan,
+    budget: Budget,
+    seed: u64,
+) -> Crowd<TableOracle> {
+    Crowd::new(
+        CrowdConfig {
+            worker_accuracy: 1.0,
+            seed,
+            faults,
+            budget,
+            ..CrowdConfig::default()
+        },
+        TableOracle::new(corpus.facts.clone(), g.ground_truth.clone(), flavor),
+    )
+    .expect("test crowd config is valid")
+}
+
+#[test]
+fn budget_exhaustion_mid_validation_still_yields_a_usable_report() {
+    let corpus = corpus();
+    let flavor = KbFlavor::YagoLike;
+    let mut kb = corpus.kb(flavor);
+    let g = &corpus.person;
+
+    // A budget big enough to start validating but far too small to
+    // finish validation plus annotation.
+    let mut crowd = crowd_with(
+        &corpus,
+        g,
+        flavor,
+        FaultPlan::default(),
+        Budget::questions(2),
+        7,
+    );
+    let report = Katara::default()
+        .clean(&g.table, &mut kb, &mut crowd)
+        .expect("degraded run must still complete");
+
+    let d = &report.degradation;
+    assert!(d.budget_exhausted, "{d:?}");
+    assert!(d.is_degraded());
+    assert!(crowd.is_budget_exhausted());
+    assert!(crowd.stats().questions() <= 2);
+
+    // The pattern is still the best seen so far and usable downstream.
+    assert!(!report.pattern.nodes().is_empty());
+
+    // Unresolved tuples are reported and consistent.
+    let unresolved = report.annotation.unresolved_rows();
+    assert_eq!(d.unresolved_tuples, unresolved.len());
+    for &row in &unresolved {
+        assert_eq!(
+            report.annotation.tuples[row].status,
+            TupleStatus::Unresolved
+        );
+        // No repairs are invented for tuples we could not judge.
+        assert!(
+            report.repairs.iter().all(|(r, _)| *r != row),
+            "row {row} is unresolved but got repairs"
+        );
+    }
+}
+
+#[test]
+fn degradation_counters_match_the_crowd_stats() {
+    let corpus = corpus();
+    let flavor = KbFlavor::YagoLike;
+    let mut kb = corpus.kb(flavor);
+    let g = &corpus.person;
+
+    let mut crowd = crowd_with(
+        &corpus,
+        g,
+        flavor,
+        FaultPlan {
+            dropout_rate: 0.4,
+            abstain_rate: 0.1,
+            seed: 21,
+            ..FaultPlan::default()
+        },
+        Budget::unlimited(),
+        21,
+    );
+    let report = Katara::default()
+        .clean(&g.table, &mut kb, &mut crowd)
+        .expect("faulty run must still complete");
+
+    // The crowd was fresh, so the per-run report must equal the crowd's
+    // lifetime stats.
+    let s = crowd.stats();
+    let d = &report.degradation;
+    assert_eq!(d.questions_retried, s.questions_retried);
+    assert_eq!(d.escalations, s.escalations);
+    assert_eq!(d.dropouts, s.dropouts);
+    assert_eq!(d.abstentions, s.abstentions);
+    assert_eq!(d.no_quorum_questions, s.no_quorum_questions);
+    assert_eq!(d.budget_denied, s.budget_denied);
+    assert!(d.dropouts > 0, "dropout 0.4 must lose some replica slots");
+}
+
+#[test]
+fn degraded_runs_are_deterministic_per_seed() {
+    let corpus = corpus();
+    let flavor = KbFlavor::DbpediaLike;
+    let g = &corpus.person;
+
+    let run = |seed: u64| {
+        let mut kb = corpus.kb(flavor);
+        let mut crowd = crowd_with(
+            &corpus,
+            g,
+            flavor,
+            FaultPlan {
+                dropout_rate: 0.3,
+                spammer_fraction: 0.2,
+                seed,
+                ..FaultPlan::default()
+            },
+            Budget::questions(60),
+            seed,
+        );
+        let report = Katara::default()
+            .clean(&g.table, &mut kb, &mut crowd)
+            .expect("degraded run must still complete");
+        (
+            report.degradation.clone(),
+            report.annotation.unresolved_rows(),
+            report.pattern.nodes().to_vec(),
+            crowd.stats().clone(),
+        )
+    };
+    assert_eq!(run(5), run(5));
+
+    // And the degradation is real, not a fluke of an early exit.
+    let (d, _, _, _) = run(5);
+    assert!(d.is_degraded());
+}

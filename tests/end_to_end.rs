@@ -2,8 +2,8 @@
 //! table → discovery → validation → annotation → repair.
 
 use katara::core::prelude::*;
-use katara::datagen::{KbFlavor, TableOracle};
 use katara::crowd::{Crowd, CrowdConfig};
+use katara::datagen::{KbFlavor, TableOracle};
 use katara::eval::corpus::{Corpus, CorpusConfig};
 use katara::eval::metrics::{pattern_precision_recall, repair_precision_recall};
 use katara::table::corrupt::{corrupt_table, CorruptionConfig};
@@ -24,6 +24,7 @@ fn crowd_for(
         },
         TableOracle::new(corpus.facts.clone(), g.ground_truth.clone(), flavor),
     )
+    .expect("test crowd config is valid")
 }
 
 #[test]
@@ -117,7 +118,9 @@ fn clean_tables_have_no_erroneous_tuples() {
     let g = &corpus.person; // clean, no nulls
     let mut kb = corpus.kb(flavor);
     let mut crowd = crowd_for(&corpus, g, flavor);
-    let report = Katara::default().clean(&g.table, &mut kb, &mut crowd).unwrap();
+    let report = Katara::default()
+        .clean(&g.table, &mut kb, &mut crowd)
+        .unwrap();
     assert_eq!(
         report.annotation.erroneous_rows(),
         Vec::<usize>::new(),
@@ -152,7 +155,9 @@ fn pipeline_is_deterministic() {
     let run = || {
         let mut kb = corpus.kb(flavor);
         let mut crowd = crowd_for(&corpus, g, flavor);
-        let r = Katara::default().clean(&g.table, &mut kb, &mut crowd).unwrap();
+        let r = Katara::default()
+            .clean(&g.table, &mut kb, &mut crowd)
+            .unwrap();
         (
             r.pattern.nodes().to_vec(),
             r.pattern.edges().to_vec(),

@@ -248,7 +248,9 @@ fn enriched_kb_extends_repair_reach() {
 
     // Enrich (as crowd confirmation would) and rebuild.
     let rc = kb.resource_by_name(&c.name).unwrap();
-    let rcap = kb.resource_by_name(&corpus.world.cities[c.capital].name).unwrap();
+    let rcap = kb
+        .resource_by_name(&corpus.world.cities[c.capital].name)
+        .unwrap();
     kb.add_fact(rc, has_capital, rcap);
     let index = RepairIndex::build(&kb, &pattern, &RepairConfig::default());
     let after = topk_repairs(&index, &kb, &pattern, &row, 3, &RepairConfig::default());

@@ -1,0 +1,444 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! The build environment cannot reach crates.io, so this crate provides
+//! the subset of the proptest API this workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * range strategies (`0usize..6`, `0.01f64..1.0`, `0.0f64..=1.0`),
+//! * string-regex strategies of the form `"[a-z ]{0,16}"` / `".{0,40}"`,
+//! * `prop::collection::vec`, tuple strategies, and `prop_map`.
+//!
+//! Inputs are generated from a deterministic per-test RNG. There is no
+//! shrinking: a failing case panics with the generated inputs printed by
+//! the assertion itself, which is enough to reproduce (the stream is
+//! seeded from the test name, so reruns are identical).
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Test-runner configuration.
+pub mod test_runner {
+    /// Mirrors `proptest::test_runner::Config` for the parts we use.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+}
+
+/// Deterministic RNG used by generated tests (public for the macro).
+#[derive(Debug)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seed a stream from the test's name so runs are reproducible.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    fn rng(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}
+
+/// Strategies: composable random-value generators.
+pub mod strategy {
+    use super::TestRng;
+
+    /// A generator of test values.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub use strategy::{Just, Strategy};
+
+use std::ops::{Range, RangeInclusive};
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::RngExt::random_range(rng.rng(), self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::RngExt::random_range(rng.rng(), self.clone())
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.rng().random_range(self.clone())
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.rng().random_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+}
+
+/// A `&str` is a strategy generating strings matching a simple regex of
+/// the form `CLASS{min,max}` where `CLASS` is `.` or a `[...]` character
+/// class of literals and ranges (e.g. `"[a-zA-Z ]{1,20}"`, `".{0,40}"`).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, min, max) = parse_simple_regex(self);
+        let len = rng.rng().random_range(min..=max);
+        (0..len)
+            .map(|_| {
+                let i = rng.rng().random_range(0..alphabet.len());
+                alphabet[i]
+            })
+            .collect()
+    }
+}
+
+/// Parse `CLASS{min,max}` (or `CLASS{n}` / bare `CLASS`, meaning one
+/// repetition) into (alphabet, min, max). Panics on unsupported syntax —
+/// this is a test-only shim and failing loudly beats generating the
+/// wrong distribution silently.
+fn parse_simple_regex(pattern: &str) -> (Vec<char>, usize, usize) {
+    let (class, counts) = match pattern.find('{') {
+        Some(i) => {
+            let counts = pattern[i + 1..]
+                .strip_suffix('}')
+                .unwrap_or_else(|| panic!("unterminated counts in regex {pattern:?}"));
+            (&pattern[..i], Some(counts))
+        }
+        None => (pattern, None),
+    };
+    let alphabet: Vec<char> = if class == "." {
+        // Printable ASCII minus newline, like proptest's `.` restricted
+        // to one byte (upstream samples all of char; ASCII is enough for
+        // the string-similarity properties tested here).
+        (' '..='~').collect()
+    } else {
+        let inner = class
+            .strip_prefix('[')
+            .and_then(|c| c.strip_suffix(']'))
+            .unwrap_or_else(|| panic!("unsupported regex class in {pattern:?}"));
+        let chars: Vec<char> = inner.chars().collect();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            if i + 2 < chars.len() && chars[i + 1] == '-' {
+                let (lo, hi) = (chars[i], chars[i + 2]);
+                assert!(lo <= hi, "bad range {lo}-{hi} in regex {pattern:?}");
+                out.extend(lo..=hi);
+                i += 3;
+            } else {
+                out.push(chars[i]);
+                i += 1;
+            }
+        }
+        assert!(!out.is_empty(), "empty class in regex {pattern:?}");
+        out
+    };
+    let (min, max) = match counts {
+        None => (1, 1),
+        Some(c) => match c.split_once(',') {
+            Some((lo, hi)) => (
+                lo.trim().parse().expect("bad repeat lower bound"),
+                hi.trim().parse().expect("bad repeat upper bound"),
+            ),
+            None => {
+                let n = c.trim().parse().expect("bad repeat count");
+                (n, n)
+            }
+        },
+    };
+    assert!(min <= max, "empty repeat range in regex {pattern:?}");
+    (alphabet, min, max)
+}
+
+/// Namespaced strategy constructors (`prop::collection::vec` etc.).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use crate::TestRng;
+        use std::ops::Range;
+
+        /// Size specification for [`vec`]: an exact length or a range.
+        #[derive(Debug, Clone)]
+        pub struct SizeRange {
+            min: usize,
+            max_exclusive: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange {
+                    min: n,
+                    max_exclusive: n + 1,
+                }
+            }
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty vec size range");
+                SizeRange {
+                    min: r.start,
+                    max_exclusive: r.end,
+                }
+            }
+        }
+
+        /// Strategy for `Vec`s of values from `element`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        /// Strategy returned by [`vec`].
+        #[derive(Debug)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = rng.generate_len(self.size.min, self.size.max_exclusive);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+impl TestRng {
+    /// Length draw helper for collection strategies.
+    pub fn generate_len(&mut self, min: usize, max_exclusive: usize) -> usize {
+        self.rng().random_range(min..max_exclusive)
+    }
+}
+
+/// Everything a test needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+/// Define property tests. Supports the subset of upstream syntax used in
+/// this workspace: an optional leading `#![proptest_config(EXPR)]` and
+/// any number of `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            (<$crate::test_runner::Config as ::std::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`] — do not use directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $($(#[$meta:meta])+ fn $name:ident ($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut __proptest_rng = $crate::TestRng::deterministic(stringify!($name));
+                for __proptest_case in 0..config.cases {
+                    let _ = __proptest_case;
+                    $(let $arg = $crate::strategy::Strategy::generate(
+                        &($strat),
+                        &mut __proptest_rng,
+                    );)+
+                    // The closure lets bodies `return Ok(())` early, as
+                    // upstream proptest allows.
+                    #[allow(clippy::redundant_closure_call)]
+                    let __proptest_result: ::std::result::Result<(), ::std::string::String> =
+                        (|| {
+                            $body
+                            Ok(())
+                        })();
+                    if let Err(e) = __proptest_result {
+                        panic!("property failed: {e}");
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_parsing() {
+        let (alpha, min, max) = super::parse_simple_regex("[a-z ]{0,16}");
+        assert_eq!(alpha.len(), 27);
+        assert_eq!((min, max), (0, 16));
+        let (alpha, min, max) = super::parse_simple_regex(".{0,40}");
+        assert_eq!(alpha.len(), 95);
+        assert_eq!((min, max), (0, 40));
+        let (alpha, _, _) = super::parse_simple_regex("[ -~]{0,12}");
+        assert_eq!(alpha.len(), 95);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn strings_match_class(s in "[a-c]{2,5}") {
+            prop_assert!((2..=5).contains(&s.chars().count()), "{s:?}");
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn vecs_respect_sizes(
+            v in prop::collection::vec(0usize..10, 3..6),
+            exact in prop::collection::vec(0u8..4, 7),
+        ) {
+            prop_assert!((3..6).contains(&v.len()));
+            prop_assert_eq!(exact.len(), 7);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn tuples_and_map(x in (0usize..5, 0.0f64..=1.0).prop_map(|(a, b)| (a * 2, b))) {
+            prop_assert!(x.0 % 2 == 0 && x.0 < 10);
+            prop_assert!((0.0..=1.0).contains(&x.1));
+        }
+    }
+}
