@@ -3,9 +3,9 @@
 //! ```text
 //! katara clean    --table data.csv --kb kb.nt [--crowd MODE] [--k N]
 //!                 [--out repaired.csv] [--enriched-kb out.nt]
-//!                 [--max-questions N]
-//! katara discover --table data.csv --kb kb.nt [--k N]
-//! katara kb-stats --kb kb.nt
+//!                 [--max-questions N] [--strict|--lenient]
+//! katara discover --table data.csv --kb kb.nt [--k N] [--strict|--lenient]
+//! katara kb-stats --kb kb.nt [--strict|--lenient]
 //! ```
 //!
 //! The KB is N-Triples (see `katara_kb::ntriples`); tables are CSV with a
@@ -24,6 +24,12 @@
 //! pipeline degrades gracefully and the binary exits 3 (0 = clean,
 //! 1 = error, 2 = usage).
 //!
+//! `--strict` (the default) aborts on the first malformed KB statement or
+//! CSV record with a line-numbered error. `--lenient` quarantines
+//! malformed lines, repairs KB hierarchy cycles by dropping the closing
+//! edge, reports what was lost, and exits 3 when anything was — the run
+//! completes on whatever loaded cleanly.
+//!
 //! The library part exists so the command logic is unit-testable; the
 //! binary is a thin `main`.
 
@@ -36,6 +42,32 @@ use katara_core::prelude::*;
 use katara_crowd::{Answer, Budget, Crowd, CrowdConfig, Oracle, Question};
 use katara_kb::{ntriples, sim, Kb};
 use katara_table::{csv, Table};
+
+/// Ingestion mode selected on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IngestChoice {
+    /// Abort on the first defect (`--strict`, the default).
+    #[default]
+    Strict,
+    /// Quarantine defects and keep going (`--lenient`).
+    Lenient,
+}
+
+impl IngestChoice {
+    fn kb_policy(self) -> katara_kb::IngestPolicy {
+        match self {
+            IngestChoice::Strict => katara_kb::IngestPolicy::strict(),
+            IngestChoice::Lenient => katara_kb::IngestPolicy::lenient(),
+        }
+    }
+
+    fn table_policy(self) -> katara_table::IngestPolicy {
+        match self {
+            IngestChoice::Strict => katara_table::IngestPolicy::strict(),
+            IngestChoice::Lenient => katara_table::IngestPolicy::lenient(),
+        }
+    }
+}
 
 /// CLI errors. Every variant maps to a clean non-zero exit in `main`;
 /// nothing in the command path panics on user input.
@@ -254,6 +286,8 @@ pub enum Command {
         /// hit mid-run the pipeline degrades gracefully instead of
         /// failing (exit code 3).
         max_questions: Option<usize>,
+        /// Strict or lenient ingestion of the KB and table files.
+        ingest: IngestChoice,
     },
     /// Discovery only.
     Discover {
@@ -263,11 +297,15 @@ pub enum Command {
         kb: String,
         /// Patterns to show.
         k: usize,
+        /// Strict or lenient ingestion of the KB and table files.
+        ingest: IngestChoice,
     },
     /// KB statistics.
     KbStats {
         /// N-Triples path.
         kb: String,
+        /// Strict or lenient ingestion of the KB file.
+        ingest: IngestChoice,
     },
 }
 
@@ -277,7 +315,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         CliError::Usage(
             "katara clean|discover|kb-stats --table T.csv --kb KB.nt \
              [--crowd interactive|trust|skeptic|facts:FILE] [--k N] \
-             [--out OUT.csv] [--enriched-kb OUT.nt] [--max-questions N]"
+             [--out OUT.csv] [--enriched-kb OUT.nt] [--max-questions N] \
+             [--strict|--lenient]"
                 .to_string(),
         )
     };
@@ -290,6 +329,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut out = None;
     let mut enriched_kb = None;
     let mut max_questions = None;
+    let mut ingest = IngestChoice::default();
     while let Some(flag) = it.next() {
         let mut value = || {
             it.next()
@@ -314,6 +354,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         .map_err(|_| CliError::Usage("--max-questions needs a number".into()))?,
                 )
             }
+            "--strict" => ingest = IngestChoice::Strict,
+            "--lenient" => ingest = IngestChoice::Lenient,
             other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
         }
     }
@@ -329,29 +371,94 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             out,
             enriched_kb,
             max_questions,
+            ingest,
         }),
         "discover" => Ok(Command::Discover {
             table: need(table, "table")?,
             kb: need(kb, "kb")?,
             k,
+            ingest,
         }),
         "kb-stats" => Ok(Command::KbStats {
             kb: need(kb, "kb")?,
+            ingest,
         }),
         _ => Err(usage()),
     }
 }
 
-fn load_kb(path: &str) -> Result<Kb, CliError> {
+fn load_kb(path: &str, ingest: IngestChoice) -> Result<(Kb, katara_kb::IngestReport), CliError> {
     let text = std::fs::read_to_string(path)?;
     let name = path.rsplit('/').next().unwrap_or(path);
-    Ok(ntriples::parse(name, &text)?)
+    Ok(ntriples::parse_with_policy(
+        name,
+        &text,
+        &ingest.kb_policy(),
+    )?)
 }
 
-fn load_table(path: &str) -> Result<Table, CliError> {
+fn load_table(
+    path: &str,
+    ingest: IngestChoice,
+) -> Result<(Table, katara_table::IngestReport), CliError> {
     let text = std::fs::read_to_string(path)?;
     let name = path.rsplit('/').next().unwrap_or(path);
-    Ok(csv::parse(name, &text)?)
+    Ok(csv::parse_with_policy(name, &text, &ingest.table_policy())?)
+}
+
+/// Cap on per-line diagnostics echoed to stdout; the counts are exact.
+const MAX_PRINTED: usize = 5;
+
+fn print_kb_ingest(report: &katara_kb::IngestReport) {
+    if report.quarantined_count > 0 {
+        println!(
+            "kb ingest: {} of {} statements quarantined",
+            report.quarantined_count, report.total_statements
+        );
+        for q in report.quarantined.iter().take(MAX_PRINTED) {
+            println!("  {q}");
+        }
+        if report.quarantined_count > MAX_PRINTED {
+            println!("  ... and {} more", report.quarantined_count - MAX_PRINTED);
+        }
+    }
+    for e in report.audit.broken_edges.iter().take(MAX_PRINTED) {
+        println!("kb audit: {e}");
+    }
+    if report.audit.broken_edges.len() > MAX_PRINTED {
+        println!(
+            "kb audit: ... and {} more repaired edges",
+            report.audit.broken_edges.len() - MAX_PRINTED
+        );
+    }
+    if !report.dangling_refs.is_empty() {
+        println!(
+            "kb audit: {} dangling reference(s), e.g. {:?}",
+            report.dangling_refs.len(),
+            report.dangling_refs[0]
+        );
+    }
+    if !report.audit.label_collisions.is_empty() {
+        println!(
+            "kb audit: {} label(s) shared by multiple resources",
+            report.audit.label_collisions.len()
+        );
+    }
+}
+
+fn print_table_ingest(report: &katara_table::IngestReport) {
+    if report.quarantined_count > 0 {
+        println!(
+            "table ingest: {} of {} records quarantined",
+            report.quarantined_count, report.total_records
+        );
+        for q in report.quarantined.iter().take(MAX_PRINTED) {
+            println!("  {q}");
+        }
+        if report.quarantined_count > MAX_PRINTED {
+            println!("  ... and {} more", report.quarantined_count - MAX_PRINTED);
+        }
+    }
 }
 
 /// How a successful run ended.
@@ -367,23 +474,44 @@ pub enum RunStatus {
 /// Execute a command, writing human-readable output to stdout.
 pub fn run(cmd: Command) -> Result<RunStatus, CliError> {
     match cmd {
-        Command::KbStats { kb } => {
-            let kb = load_kb(&kb)?;
+        Command::KbStats { kb, ingest } => {
+            let (kb, report) = load_kb(&kb, ingest)?;
+            print_kb_ingest(&report);
             println!("KB `{}`:", kb.name());
             println!("  entities:   {}", kb.num_entities());
             println!("  classes:    {}", kb.num_classes());
             println!("  properties: {}", kb.num_properties());
             println!("  facts:      {}", kb.num_facts());
-            Ok(RunStatus::Clean)
+            if report.is_degraded() {
+                Ok(RunStatus::Degraded)
+            } else {
+                Ok(RunStatus::Clean)
+            }
         }
-        Command::Discover { table, kb, k } => {
-            let kb = load_kb(&kb)?;
-            let table = load_table(&table)?;
+        Command::Discover {
+            table,
+            kb,
+            k,
+            ingest,
+        } => {
+            let (kb, kb_report) = load_kb(&kb, ingest)?;
+            let (table, table_report) = load_table(&table, ingest)?;
+            print_kb_ingest(&kb_report);
+            print_table_ingest(&table_report);
+            let ingest_summary = IngestSummary {
+                kb: Some(kb_report),
+                table: Some(table_report),
+            };
+            let status = if ingest_summary.is_degraded() {
+                RunStatus::Degraded
+            } else {
+                RunStatus::Clean
+            };
             let cands = discover_candidates(&table, &kb, &CandidateConfig::default());
             let patterns = discover_topk(&table, &kb, &cands, k, &DiscoveryConfig::default());
             if patterns.is_empty() {
                 println!("no table pattern found — the KB does not cover this table");
-                return Ok(RunStatus::Clean);
+                return Ok(status);
             }
             for (i, p) in patterns.iter().enumerate() {
                 println!(
@@ -393,7 +521,7 @@ pub fn run(cmd: Command) -> Result<RunStatus, CliError> {
                     p.describe(&kb, table.columns())
                 );
             }
-            Ok(RunStatus::Clean)
+            Ok(status)
         }
         Command::Clean {
             table,
@@ -403,9 +531,16 @@ pub fn run(cmd: Command) -> Result<RunStatus, CliError> {
             out,
             enriched_kb,
             max_questions,
+            ingest,
         } => {
-            let mut kb = load_kb(&kb)?;
-            let mut table = load_table(&table)?;
+            let (mut kb, kb_report) = load_kb(&kb, ingest)?;
+            let (mut table, table_report) = load_table(&table, ingest)?;
+            print_kb_ingest(&kb_report);
+            print_table_ingest(&table_report);
+            let ingest_summary = IngestSummary {
+                kb: Some(kb_report),
+                table: Some(table_report),
+            };
             let budget = match max_questions {
                 Some(n) => Budget::questions(n),
                 None => Budget::unlimited(),
@@ -432,7 +567,8 @@ pub fn run(cmd: Command) -> Result<RunStatus, CliError> {
                 },
                 ..KataraConfig::default()
             };
-            let report = Katara::new(config).clean(&table, &mut kb, &mut platform)?;
+            let mut report = Katara::new(config).clean(&table, &mut kb, &mut platform)?;
+            ingest_summary.apply_to(&mut report.degradation);
 
             println!(
                 "validated pattern: {}",
@@ -479,6 +615,18 @@ pub fn run(cmd: Command) -> Result<RunStatus, CliError> {
             let d = &report.degradation;
             if d.is_degraded() {
                 println!("degraded run:");
+                if d.ingest_quarantined > 0 {
+                    println!(
+                        "  {} input line(s)/record(s) quarantined during ingestion",
+                        d.ingest_quarantined
+                    );
+                }
+                if d.ingest_repaired_edges > 0 {
+                    println!(
+                        "  {} KB hierarchy edge(s) dropped to break cycles",
+                        d.ingest_repaired_edges
+                    );
+                }
                 if d.budget_exhausted {
                     println!("  crowd budget exhausted");
                 }

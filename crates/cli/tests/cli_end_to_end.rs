@@ -3,7 +3,7 @@
 
 use std::path::PathBuf;
 
-use katara_cli::{parse_args, run, Command, CrowdMode, RunStatus};
+use katara_cli::{parse_args, run, Command, CrowdMode, IngestChoice, RunStatus};
 
 fn tmpdir(tag: &str) -> PathBuf {
     let d = std::env::temp_dir().join(format!("katara-cli-test-{tag}-{}", std::process::id()));
@@ -98,12 +98,14 @@ fn discover_and_stats_run() {
 
     run(Command::KbStats {
         kb: kb.to_str().unwrap().into(),
+        ingest: IngestChoice::Strict,
     })
     .unwrap();
     run(Command::Discover {
         table: table.to_str().unwrap().into(),
         kb: kb.to_str().unwrap().into(),
         k: 3,
+        ingest: IngestChoice::Strict,
     })
     .unwrap();
     std::fs::remove_dir_all(&dir).ok();
@@ -125,6 +127,7 @@ fn trust_mode_enriches_everything() {
         out: None,
         enriched_kb: Some(enriched.to_str().unwrap().into()),
         max_questions: None,
+        ingest: IngestChoice::Strict,
     })
     .unwrap();
     // Trust mode confirms even the wrong capital: the KB gains both the
@@ -151,16 +154,152 @@ fn exhausted_budget_degrades_instead_of_failing() {
         out: None,
         enriched_kb: None,
         max_questions: Some(0),
+        ingest: IngestChoice::Strict,
     })
     .unwrap();
     assert_eq!(status, RunStatus::Degraded);
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The Figure 1 KB, adversarially mangled: two malformed statements, a
+/// subClassOf cycle, a dangling object reference, and an oversized
+/// literal. Everything the clean KB has is still present.
+fn corrupted_kb() -> String {
+    let big = "x".repeat(2 << 20); // 2 MiB, over the lenient 1 MiB cap
+    format!(
+        "{KB_NT}\
+         this line is not a triple\n\
+         <y:broken> <y:p> \"unterminated\n\
+         <y:city> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <y:capital> .\n\
+         <y:Rossi> <y:playsFor> <y:Juventus> .\n\
+         <y:junk> <y:blob> \"{big}\" .\n"
+    )
+    // y:capital subClassOf y:city already exists, so the injected reverse
+    // edge closes a cycle; y:Juventus is referenced but never described.
+}
+
+/// The Figure 1 table with a ragged row and an oversized cell appended.
+fn corrupted_table() -> String {
+    let big = "y".repeat(2 << 20);
+    format!("{TABLE_CSV}extra,field,count,is-wrong\nBlob,{big},Rome\n")
+}
+
+#[test]
+fn lenient_ingestion_survives_corrupted_inputs_and_degrades() {
+    let dir = tmpdir("lenient");
+    let kb = dir.join("kb.nt");
+    let table = dir.join("t.csv");
+    let facts = dir.join("facts.tsv");
+    let out = dir.join("repaired.csv");
+    std::fs::write(&kb, corrupted_kb()).unwrap();
+    std::fs::write(&table, corrupted_table()).unwrap();
+    std::fs::write(&facts, FACTS_TSV).unwrap();
+
+    let args: Vec<String> = [
+        "clean",
+        "--table",
+        table.to_str().unwrap(),
+        "--kb",
+        kb.to_str().unwrap(),
+        "--crowd",
+        &format!("facts:{}", facts.display()),
+        "--out",
+        out.to_str().unwrap(),
+        "--lenient",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let status = run(parse_args(&args).unwrap()).unwrap();
+    // Quarantined lines and the repaired cycle make the run degraded
+    // (exit code 3 in main), but the pipeline still completed end to end
+    // on the surviving rows:
+    assert_eq!(status, RunStatus::Degraded);
+    let repaired = std::fs::read_to_string(&out).unwrap();
+    assert!(repaired.contains("Pirlo,Italy,Rome"), "{repaired}");
+    // The quarantined rows are gone from the output, not silently kept.
+    assert!(!repaired.contains("is-wrong"));
+    assert!(!repaired.contains("Blob"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn strict_ingestion_rejects_the_same_corrupted_inputs() {
+    let dir = tmpdir("strict");
+    let kb = dir.join("kb.nt");
+    let table = dir.join("t.csv");
+    std::fs::write(&kb, corrupted_kb()).unwrap();
+    std::fs::write(&table, corrupted_table()).unwrap();
+
+    // Strict is the default; the corrupted KB fails with the first bad
+    // line's number in the error.
+    let err = run(Command::KbStats {
+        kb: kb.to_str().unwrap().into(),
+        ingest: IngestChoice::Strict,
+    })
+    .unwrap_err();
+    match err {
+        katara_cli::CliError::Kb(katara_kb::ntriples::NtError::Syntax { line, .. }) => {
+            // KB_NT has 17 lines (leading blank + 16 statements); the
+            // first injected defect is right after it.
+            assert_eq!(line, 18, "{err:?}");
+        }
+        other => panic!("expected a line-numbered syntax error, got {other:?}"),
+    }
+
+    // A clean KB with the corrupted table: strict CSV load fails on the
+    // ragged row, also line-numbered.
+    std::fs::write(&kb, KB_NT).unwrap();
+    let err = run(Command::Clean {
+        table: table.to_str().unwrap().into(),
+        kb: kb.to_str().unwrap().into(),
+        crowd: CrowdMode::Skeptic,
+        k: 3,
+        out: None,
+        enriched_kb: None,
+        max_questions: None,
+        ingest: IngestChoice::Strict,
+    })
+    .unwrap_err();
+    match err {
+        katara_cli::CliError::Csv(katara_table::csv::CsvError::RaggedRow {
+            line,
+            found,
+            expected,
+        }) => {
+            assert_eq!((line, found, expected), (5, 4, 3), "{err:?}");
+        }
+        other => panic!("expected a line-numbered ragged-row error, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn lenient_flag_parses() {
+    let args: Vec<String> = ["kb-stats", "--kb", "k.nt", "--lenient"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    match parse_args(&args).unwrap() {
+        Command::KbStats { ingest, .. } => assert_eq!(ingest, IngestChoice::Lenient),
+        other => panic!("{other:?}"),
+    }
+    // Default is strict.
+    let args: Vec<String> = ["kb-stats", "--kb", "k.nt"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    match parse_args(&args).unwrap() {
+        Command::KbStats { ingest, .. } => assert_eq!(ingest, IngestChoice::Strict),
+        other => panic!("{other:?}"),
+    }
+}
+
 #[test]
 fn missing_files_error_cleanly() {
     let err = run(Command::KbStats {
         kb: "/nonexistent/kb.nt".into(),
+        ingest: IngestChoice::Strict,
     })
     .unwrap_err();
     assert!(matches!(err, katara_cli::CliError::Io(_)));

@@ -238,8 +238,7 @@ fn rank_types(
     // Descending tf-idf; ties → more discriminative (fewer instances).
     list.sort_by(|a, b| {
         b.tfidf
-            .partial_cmp(&a.tfidf)
-            .unwrap()
+            .total_cmp(&a.tfidf)
             .then_with(|| kb.class_size(a.class).cmp(&kb.class_size(b.class)))
             .then_with(|| a.class.cmp(&b.class))
     });
@@ -272,8 +271,7 @@ fn rank_rels(
     }
     list.sort_by(|a, b| {
         b.tfidf
-            .partial_cmp(&a.tfidf)
-            .unwrap()
+            .total_cmp(&a.tfidf)
             .then_with(|| {
                 kb.subjects_of_property(a.property)
                     .len()

@@ -3,6 +3,9 @@
 use std::fmt;
 
 use katara_crowd::CrowdError;
+use katara_kb::ntriples::NtError;
+use katara_kb::KbError;
+use katara_table::csv::CsvError;
 
 /// Errors surfaced by the cleaning pipeline.
 ///
@@ -31,6 +34,12 @@ pub enum KataraError {
     MalformedPattern(String),
     /// The crowd platform could not be set up or used.
     Crowd(CrowdError),
+    /// The knowledge-base layer rejected a construction or query.
+    Kb(KbError),
+    /// A KB could not be ingested from N-Triples text.
+    KbIngest(NtError),
+    /// A table could not be ingested from CSV text.
+    TableIngest(CsvError),
 }
 
 impl fmt::Display for KataraError {
@@ -48,6 +57,9 @@ impl fmt::Display for KataraError {
             } => write!(f, "column {column} out of range (table has {num_columns})"),
             KataraError::MalformedPattern(msg) => write!(f, "malformed pattern: {msg}"),
             KataraError::Crowd(_) => write!(f, "crowd platform error"),
+            KataraError::Kb(_) => write!(f, "knowledge base error"),
+            KataraError::KbIngest(_) => write!(f, "knowledge base ingestion failed"),
+            KataraError::TableIngest(_) => write!(f, "table ingestion failed"),
         }
     }
 }
@@ -56,6 +68,9 @@ impl std::error::Error for KataraError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             KataraError::Crowd(e) => Some(e),
+            KataraError::Kb(e) => Some(e),
+            KataraError::KbIngest(e) => Some(e),
+            KataraError::TableIngest(e) => Some(e),
             _ => None,
         }
     }
@@ -64,6 +79,24 @@ impl std::error::Error for KataraError {
 impl From<CrowdError> for KataraError {
     fn from(e: CrowdError) -> Self {
         KataraError::Crowd(e)
+    }
+}
+
+impl From<KbError> for KataraError {
+    fn from(e: KbError) -> Self {
+        KataraError::Kb(e)
+    }
+}
+
+impl From<NtError> for KataraError {
+    fn from(e: NtError) -> Self {
+        KataraError::KbIngest(e)
+    }
+}
+
+impl From<CsvError> for KataraError {
+    fn from(e: CsvError) -> Self {
+        KataraError::TableIngest(e)
     }
 }
 
@@ -84,6 +117,28 @@ mod tests {
             num_columns: 3,
         };
         assert!(e.to_string().contains('9'));
+    }
+
+    #[test]
+    fn ingest_errors_chain_through_source() {
+        let e = KataraError::from(KbError::Conflict("dup".into()));
+        assert!(e.source().expect("kb source").to_string().contains("dup"));
+        let e = KataraError::from(NtError::Syntax {
+            line: 7,
+            byte_offset: 120,
+            message: "unterminated IRI".into(),
+        });
+        assert!(e
+            .source()
+            .expect("nt source")
+            .to_string()
+            .contains("line 7"));
+        let e = KataraError::from(CsvError::Empty);
+        assert!(e
+            .source()
+            .expect("csv source")
+            .to_string()
+            .contains("empty"));
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Unified ingestion accounting across the KB and table loaders.
+//!
+//! `katara-kb` and `katara-table` each report on their own trust boundary
+//! ([`katara_kb::ingest::IngestReport`], [`katara_table::ingest::IngestReport`]);
+//! neither crate knows about the other. This module joins the two sides
+//! for one cleaning run, so the pipeline's degradation machinery and the
+//! CLI can answer "did everything the user pointed us at actually load?"
+//! with a single value.
+
+use crate::pipeline::DegradationReport;
+
+/// What ingestion did across every input of one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IngestSummary {
+    /// Report from the KB load, if a KB was loaded from N-Triples.
+    pub kb: Option<katara_kb::IngestReport>,
+    /// Report from the table load, if the table was loaded from CSV.
+    pub table: Option<katara_table::IngestReport>,
+}
+
+impl IngestSummary {
+    /// Total quarantined lines/records across both loads.
+    pub fn quarantined(&self) -> usize {
+        self.kb.as_ref().map_or(0, |r| r.quarantined_count)
+            + self.table.as_ref().map_or(0, |r| r.quarantined_count)
+    }
+
+    /// Hierarchy edges the KB audit dropped to break cycles.
+    pub fn repaired_edges(&self) -> usize {
+        self.kb.as_ref().map_or(0, |r| r.audit.broken_edges.len())
+    }
+
+    /// True when any load deviated from a clean strict parse in a way
+    /// that changed the data (quarantined input or repaired hierarchy).
+    pub fn is_degraded(&self) -> bool {
+        self.kb.as_ref().is_some_and(|r| r.is_degraded())
+            || self.table.as_ref().is_some_and(|r| r.is_degraded())
+    }
+
+    /// Fold this summary into a run's [`DegradationReport`], so ingestion
+    /// losses show up next to crowd faults in one place.
+    pub fn apply_to(&self, degradation: &mut DegradationReport) {
+        degradation.ingest_quarantined += self.quarantined();
+        degradation.ingest_repaired_edges += self.repaired_edges();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use katara_kb::BrokenEdge;
+
+    fn kb_report() -> katara_kb::IngestReport {
+        let mut r = katara_kb::IngestReport {
+            quarantined_count: 3,
+            ..Default::default()
+        };
+        r.audit.broken_edges.push(BrokenEdge {
+            hierarchy: "subClassOf",
+            child: "a".into(),
+            parent: "b".into(),
+            self_loop: false,
+        });
+        r
+    }
+
+    #[test]
+    fn empty_summary_is_clean() {
+        let s = IngestSummary::default();
+        assert!(!s.is_degraded());
+        assert_eq!(s.quarantined(), 0);
+        assert_eq!(s.repaired_edges(), 0);
+    }
+
+    #[test]
+    fn sums_both_sides() {
+        let t = katara_table::IngestReport {
+            quarantined_count: 2,
+            ..Default::default()
+        };
+        let s = IngestSummary {
+            kb: Some(kb_report()),
+            table: Some(t),
+        };
+        assert!(s.is_degraded());
+        assert_eq!(s.quarantined(), 5);
+        assert_eq!(s.repaired_edges(), 1);
+    }
+
+    #[test]
+    fn folds_into_degradation_report() {
+        let s = IngestSummary {
+            kb: Some(kb_report()),
+            table: None,
+        };
+        let mut d = DegradationReport::default();
+        assert!(!d.is_degraded());
+        s.apply_to(&mut d);
+        assert_eq!(d.ingest_quarantined, 3);
+        assert_eq!(d.ingest_repaired_edges, 1);
+        assert!(d.is_degraded(), "ingestion losses count as degradation");
+    }
+}

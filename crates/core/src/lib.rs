@@ -22,6 +22,8 @@
 //!   inverted lists (Algorithm 4, §6.2);
 //! * [`derived`] — multi-hop (composed) pattern edges, the §9 future-work
 //!   extension;
+//! * [`ingest`] — unified accounting for what lenient KB/table ingestion
+//!   quarantined or repaired, folded into the degradation report;
 //! * [`pipeline`] — the end-to-end facade gluing the modules together
 //!   (§2), including multi-KB selection.
 //!
@@ -57,6 +59,7 @@ pub mod annotation;
 pub mod candidates;
 pub mod derived;
 pub mod error;
+pub mod ingest;
 pub mod pattern;
 pub mod pipeline;
 pub mod rank_join;
@@ -73,6 +76,7 @@ pub mod prelude {
         discover_candidates, CandidateConfig, CandidateSet, RelCandidate, TypeCandidate,
     };
     pub use crate::error::KataraError;
+    pub use crate::ingest::IngestSummary;
     pub use crate::pattern::{MatchReport, PatternEdge, PatternNode, TablePattern, TupleMatch};
     pub use crate::pipeline::{CleaningReport, DegradationReport, Katara, KataraConfig};
     pub use crate::rank_join::{discover_exhaustive, discover_topk, DiscoveryConfig};

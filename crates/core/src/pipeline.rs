@@ -97,10 +97,17 @@ pub struct DegradationReport {
     pub unresolved_tuples: usize,
     /// Total simulated worker latency for the run, in milliseconds.
     pub simulated_latency_ms: u64,
+    /// Input lines/records quarantined during lenient ingestion of the
+    /// run's KB and table (folded in via
+    /// [`IngestSummary::apply_to`](crate::ingest::IngestSummary::apply_to)).
+    pub ingest_quarantined: usize,
+    /// Hierarchy edges the KB ingest audit dropped to break cycles.
+    pub ingest_repaired_edges: usize,
 }
 
 impl DegradationReport {
-    /// True when anything at all deviated from the reliable-crowd path.
+    /// True when anything at all deviated from the reliable-crowd,
+    /// clean-input path.
     pub fn is_degraded(&self) -> bool {
         self.questions_retried > 0
             || self.dropouts > 0
@@ -111,6 +118,8 @@ impl DegradationReport {
             || self.pattern_partially_validated
             || self.no_quorum_variables > 0
             || self.unresolved_tuples > 0
+            || self.ingest_quarantined > 0
+            || self.ingest_repaired_edges > 0
     }
 }
 
@@ -216,6 +225,10 @@ impl Katara {
             no_quorum_variables: outcome.no_quorum_variables,
             unresolved_tuples: annotation.unresolved_rows().len(),
             simulated_latency_ms: run_stats.simulated_latency_ms,
+            // `clean` receives an already-loaded KB/table; callers that
+            // ingested leniently fold their IngestSummary in afterwards.
+            ingest_quarantined: 0,
+            ingest_repaired_edges: 0,
         };
 
         Ok(CleaningReport {

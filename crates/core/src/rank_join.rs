@@ -255,7 +255,7 @@ pub fn discover_exhaustive(
     let mut all: Vec<(Vec<u16>, f64)> = Vec::new();
     let mut choices: Vec<u16> = Vec::new();
     enumerate(kb, &space, &mut choices, 0, 0.0, w, &mut all, &mut stats);
-    all.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+    all.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     let out = all
         .into_iter()
         .take(k)
@@ -362,6 +362,9 @@ fn materialize(table: &Table, space: &SearchSpace, choices: &[u16], score: f64) 
         }
     }
     let _ = table;
+    // invariant: nodes/edges come from the enumeration space, which only
+    // produces in-range columns, and the loop above inserts a node for
+    // every edge endpoint — exactly what `TablePattern::new` validates.
     TablePattern::new(nodes, edges, score).expect("materialized pattern is well-formed")
 }
 

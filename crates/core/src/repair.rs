@@ -155,6 +155,8 @@ fn build_component(
     let mut truncated = false;
 
     if let Some(seed) = seed {
+        // invariant: `seed` came from the filter_map above, which only
+        // yields slots whose node has `class = Some(_)`.
         let seed_class = pattern.nodes()[node_indexes[seed]]
             .class
             .expect("seed is typed");
@@ -390,8 +392,7 @@ pub fn topk_repairs(
             .collect();
         cands.sort_by(|a, b| {
             a.cost
-                .partial_cmp(&b.cost)
-                .unwrap()
+                .total_cmp(&b.cost)
                 .then_with(|| a.changes.cmp(&b.changes))
         });
         cands.dedup_by(|a, b| a.changes == b.changes);
@@ -423,8 +424,7 @@ pub fn topk_repairs(
         }
         next.sort_by(|a, b| {
             a.cost
-                .partial_cmp(&b.cost)
-                .unwrap()
+                .total_cmp(&b.cost)
                 .then_with(|| a.changes.cmp(&b.changes))
         });
         // Keep extra headroom so the final diversification has material.
@@ -538,8 +538,7 @@ pub fn topk_repairs_naive(
             .collect();
         cands.sort_by(|a, b| {
             a.cost
-                .partial_cmp(&b.cost)
-                .unwrap()
+                .total_cmp(&b.cost)
                 .then_with(|| a.changes.cmp(&b.changes))
         });
         cands.dedup_by(|a, b| a.changes == b.changes);
@@ -566,8 +565,7 @@ pub fn topk_repairs_naive(
         }
         next.sort_by(|a, b| {
             a.cost
-                .partial_cmp(&b.cost)
-                .unwrap()
+                .total_cmp(&b.cost)
                 .then_with(|| a.changes.cmp(&b.changes))
         });
         next.truncate(k.saturating_mul(3));

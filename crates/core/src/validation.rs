@@ -201,8 +201,7 @@ pub fn validate_patterns<O: Oracle>(
                     .filter(|v| !validated.contains(v))
                     .map(|&v| (v, variable_entropy(&patterns, &probs, v)))
                     .max_by(|a, b| {
-                        a.1.partial_cmp(&b.1)
-                            .unwrap()
+                        a.1.total_cmp(&b.1)
                             .then_with(|| var_rank(b.0).cmp(&var_rank(a.0)))
                     });
                 match best {
@@ -261,8 +260,11 @@ pub fn validate_patterns<O: Oracle>(
     }
 
     // Keep the highest-scoring survivor.
-    patterns.sort_by(|a, b| b.score().partial_cmp(&a.score()).unwrap());
+    patterns.sort_by(|a, b| b.score().total_cmp(&a.score()));
     ValidationOutcome {
+        // invariant: `patterns` starts non-empty (caller contract) and
+        // every filter above falls back to the unfiltered set when it
+        // would empty it.
         pattern: patterns.into_iter().next().expect("non-empty"),
         variables_validated: validated.len() - no_quorum_variables,
         questions_asked,

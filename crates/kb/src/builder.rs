@@ -10,6 +10,7 @@ use std::collections::HashMap;
 use crate::coherence::CoherenceTable;
 use crate::error::KbError;
 use crate::ids::{ClassId, LiteralId, PropertyId, ResourceId};
+use crate::ingest::{BrokenEdge, KbAudit, LabelCollision};
 use crate::interner::Interner;
 use crate::label_index::LabelIndex;
 use crate::ontology::Hierarchy;
@@ -32,6 +33,8 @@ pub struct KbBuilder {
     prop_hier: Hierarchy,
     facts: Vec<(ResourceId, PropertyId, Object)>,
     sim_threshold: f64,
+    /// What the audited declaration methods repaired so far.
+    audit: KbAudit,
 }
 
 impl KbBuilder {
@@ -81,6 +84,61 @@ impl KbBuilder {
         self.prop_hier.add_edge(child.0, parent.0, "subPropertyOf")
     }
 
+    /// Declare `subclassOf(child, parent)`, repairing instead of failing:
+    /// an edge that would create a cycle (or self-loop) is dropped
+    /// deterministically — the hierarchy keeps every edge declared *before*
+    /// it — and recorded in the audit. Returns `true` iff the edge was kept.
+    pub fn subclass_audited(&mut self, child: ClassId, parent: ClassId) -> bool {
+        match self.subclass(child, parent) {
+            Ok(()) => true,
+            Err(e) => {
+                self.record_broken_edge(&e, |b, id| b.classes.resolve(id as usize).to_string());
+                false
+            }
+        }
+    }
+
+    /// Declare `subpropertyOf(child, parent)` with the same repair
+    /// semantics as [`KbBuilder::subclass_audited`].
+    pub fn subproperty_audited(&mut self, child: PropertyId, parent: PropertyId) -> bool {
+        match self.subproperty(child, parent) {
+            Ok(()) => true,
+            Err(e) => {
+                self.record_broken_edge(&e, |b, id| b.props.resolve(id as usize).to_string());
+                false
+            }
+        }
+    }
+
+    fn record_broken_edge(&mut self, e: &KbError, name: impl Fn(&Self, u32) -> String) {
+        let broken = match *e {
+            KbError::SelfLoop { kind, node } => BrokenEdge {
+                hierarchy: kind,
+                child: name(self, node),
+                parent: name(self, node),
+                self_loop: true,
+            },
+            KbError::HierarchyCycle {
+                kind,
+                child,
+                parent,
+            } => BrokenEdge {
+                hierarchy: kind,
+                child: name(self, child),
+                parent: name(self, parent),
+                self_loop: false,
+            },
+            // invariant: add_edge only fails with the two cycle variants.
+            ref other => BrokenEdge {
+                hierarchy: "unknown",
+                child: other.to_string(),
+                parent: String::new(),
+                self_loop: false,
+            },
+        };
+        self.audit.broken_edges.push(broken);
+    }
+
     /// Declare (or fetch) an entity whose label equals its unique name.
     /// Re-declaring merges the type lists.
     pub fn entity(&mut self, name: &str, types: &[ClassId]) -> ResourceId {
@@ -118,6 +176,33 @@ impl KbBuilder {
     /// Number of entities declared so far.
     pub fn num_entities(&self) -> usize {
         self.labels.len()
+    }
+
+    /// Freeze into a queryable [`Kb`] and report what the audit pass saw:
+    /// every hierarchy edge the `*_audited` methods dropped, plus labels
+    /// shared by more than one resource (collisions are legal — KATARA
+    /// disambiguates by type — but a sudden spike flags a mangled dump).
+    pub fn finalize_audited(mut self) -> (Kb, KbAudit) {
+        // Label collisions: group resource indexes by label text.
+        let mut by_label: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (ri, label) in self.labels.iter().enumerate() {
+            by_label.entry(label).or_default().push(ri);
+        }
+        let mut collisions: Vec<LabelCollision> = by_label
+            .into_iter()
+            .filter(|(_, rs)| rs.len() > 1)
+            .map(|(label, rs)| LabelCollision {
+                label: label.to_string(),
+                resources: rs
+                    .into_iter()
+                    .map(|ri| self.resources.resolve(ri).to_string())
+                    .collect(),
+            })
+            .collect();
+        collisions.sort_by(|a, b| a.label.cmp(&b.label));
+        self.audit.label_collisions = collisions;
+        let audit = std::mem::take(&mut self.audit);
+        (self.finalize(), audit)
     }
 
     /// Freeze into a queryable [`Kb`].
@@ -321,6 +406,69 @@ mod tests {
     #[should_panic(expected = "threshold")]
     fn bad_threshold_panics() {
         let _ = KbBuilder::new().with_sim_threshold(1.5);
+    }
+
+    #[test]
+    fn audited_subclass_drops_cycle_edge_and_records_it() {
+        let mut b = KbBuilder::new();
+        let a = b.class("a");
+        let c = b.class("c");
+        let d = b.class("d");
+        assert!(b.subclass_audited(a, c));
+        assert!(b.subclass_audited(c, d));
+        // d -> a closes the cycle: dropped, not fatal.
+        assert!(!b.subclass_audited(d, a));
+        // Self-loop: dropped, flagged as trivial.
+        assert!(!b.subclass_audited(a, a));
+        let (kb, audit) = b.finalize_audited();
+        assert!(kb.class_hierarchy().is_a(a.0, d.0));
+        assert!(!kb.class_hierarchy().is_a(d.0, a.0));
+        assert_eq!(audit.broken_edges.len(), 2);
+        assert_eq!(audit.broken_edges[0].child, "d");
+        assert_eq!(audit.broken_edges[0].parent, "a");
+        assert!(!audit.broken_edges[0].self_loop);
+        assert!(audit.broken_edges[1].self_loop);
+        assert_eq!(audit.broken_edges[1].child, "a");
+    }
+
+    #[test]
+    fn audited_subproperty_names_properties() {
+        let mut b = KbBuilder::new();
+        let p = b.property("p");
+        let q = b.property("q");
+        assert!(b.subproperty_audited(p, q));
+        assert!(!b.subproperty_audited(q, p));
+        let (_, audit) = b.finalize_audited();
+        assert_eq!(audit.broken_edges.len(), 1);
+        assert_eq!(audit.broken_edges[0].hierarchy, "subPropertyOf");
+        assert_eq!(audit.broken_edges[0].child, "q");
+    }
+
+    #[test]
+    fn finalize_audited_reports_label_collisions() {
+        let mut b = KbBuilder::new();
+        let c = b.class("c");
+        b.entity_labeled("Rossi_(player)", "Rossi", &[c]);
+        b.entity_labeled("Rossi_(racer)", "Rossi", &[c]);
+        b.entity("Pirlo", &[c]);
+        let (_, audit) = b.finalize_audited();
+        assert_eq!(audit.label_collisions.len(), 1);
+        let col = &audit.label_collisions[0];
+        assert_eq!(col.label, "Rossi");
+        assert_eq!(
+            col.resources,
+            vec!["Rossi_(player)".to_string(), "Rossi_(racer)".to_string()]
+        );
+        assert!(!audit.is_clean());
+    }
+
+    #[test]
+    fn clean_build_audits_clean() {
+        let mut b = KbBuilder::new();
+        let c = b.class("c");
+        b.entity("A", &[c]);
+        let (_, audit) = b.finalize_audited();
+        assert!(audit.is_clean());
     }
 
     #[test]

@@ -8,7 +8,12 @@ use std::fmt;
 /// relationship) are not errors — they are empty results, because KB
 /// incompleteness is a first-class situation in KATARA. Errors are reserved
 /// for *misuse*: unknown ids, inconsistent hierarchy declarations, etc.
+///
+/// Marked `#[non_exhaustive]` (the workspace error convention): future
+/// ingestion stages may add variants without a breaking change, so
+/// downstream matches need a wildcard arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum KbError {
     /// An id was used that this KB never allocated.
     UnknownId {
@@ -17,12 +22,26 @@ pub enum KbError {
         /// The raw index.
         index: usize,
     },
-    /// A `subClassOf`/`subPropertyOf` declaration would create a cycle.
+    /// A `subClassOf`/`subPropertyOf` declaration named a node as its own
+    /// parent — a trivial self-loop, distinct from [`KbError::HierarchyCycle`]
+    /// so audits can report it precisely.
+    SelfLoop {
+        /// Which hierarchy the self-loop was declared in.
+        kind: &'static str,
+        /// The node index that referenced itself.
+        node: u32,
+    },
+    /// A `subClassOf`/`subPropertyOf` declaration would close a (non-trivial)
+    /// cycle. The rejected declaration — the edge that would have closed the
+    /// cycle — is carried so a lenient audit pass can record exactly which
+    /// edge it dropped.
     HierarchyCycle {
         /// Which hierarchy the cycle was found in.
         kind: &'static str,
-        /// Human-readable name of the node closing the cycle.
-        node: String,
+        /// Child node index of the rejected `child subXOf parent` edge.
+        child: u32,
+        /// Parent node index of the rejected edge.
+        parent: u32,
     },
     /// Two declarations conflict (e.g. redefining an entity's name).
     Conflict(String),
@@ -34,15 +53,31 @@ impl fmt::Display for KbError {
             KbError::UnknownId { kind, index } => {
                 write!(f, "unknown {kind} id {index}")
             }
-            KbError::HierarchyCycle { kind, node } => {
-                write!(f, "cycle in {kind} hierarchy at {node:?}")
+            KbError::SelfLoop { kind, node } => {
+                write!(f, "self-loop in {kind} hierarchy at node {node}")
+            }
+            KbError::HierarchyCycle {
+                kind,
+                child,
+                parent,
+            } => {
+                write!(
+                    f,
+                    "cycle in {kind} hierarchy: edge {child} -> {parent} closes a cycle"
+                )
             }
             KbError::Conflict(msg) => write!(f, "conflicting declaration: {msg}"),
         }
     }
 }
 
-impl std::error::Error for KbError {}
+impl std::error::Error for KbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        // No variant currently wraps another error; `source` exists so the
+        // chain stays inspectable if one ever does.
+        None
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -57,11 +92,23 @@ mod tests {
         assert_eq!(e.to_string(), "unknown class id 7");
         let e = KbError::HierarchyCycle {
             kind: "subClassOf",
-            node: "capital".into(),
+            child: 2,
+            parent: 0,
         };
         assert!(e.to_string().contains("subClassOf"));
-        assert!(e.to_string().contains("capital"));
+        assert!(e.to_string().contains("2 -> 0"));
+        let e = KbError::SelfLoop {
+            kind: "subClassOf",
+            node: 5,
+        };
+        assert!(e.to_string().contains("self-loop"));
         let e = KbError::Conflict("x".into());
         assert!(e.to_string().contains('x'));
+    }
+
+    #[test]
+    fn no_source() {
+        use std::error::Error as _;
+        assert!(KbError::Conflict("x".into()).source().is_none());
     }
 }

@@ -47,6 +47,7 @@ pub mod builder;
 pub mod coherence;
 pub mod error;
 pub mod ids;
+pub mod ingest;
 pub mod interner;
 pub mod label_index;
 pub mod ntriples;
@@ -59,6 +60,10 @@ pub use builder::KbBuilder;
 pub use coherence::CoherenceTable;
 pub use error::KbError;
 pub use ids::{ClassId, LiteralId, PropertyId, ResourceId};
+pub use ingest::{
+    BrokenEdge, IngestMode, IngestPolicy, IngestReport, KbAudit, LabelCollision, QuarantineKind,
+    Quarantined,
+};
 pub use interner::Interner;
 pub use label_index::{LabelIndex, LabelMatch};
 pub use ontology::Hierarchy;

@@ -17,13 +17,25 @@
 //! a class; an IRI in predicate position (other than the vocabulary) is a
 //! property; everything else is an entity. Blank nodes, IRI escapes and
 //! literal datatypes/lang-tags are accepted and reduced to the fragment
-//! above; anything else fails loudly with a line number.
+//! above.
+//!
+//! Real dumps are dirty, so loading is policy-driven ([`parse_with_policy`]):
+//! strict mode fails loudly with a line number on the first defect
+//! (identical to the historical [`parse`]), while lenient mode quarantines
+//! malformed lines with line/byte/kind diagnostics, repairs hierarchy
+//! cycles by dropping the closing edge, and reports dangling references —
+//! all without panicking on any input. This module denies
+//! `clippy::unwrap_used`/`expect_used`: every input-reachable failure must
+//! be a typed error.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 
 use crate::builder::KbBuilder;
 use crate::error::KbError;
+use crate::ingest::{IngestPolicy, IngestReport, QuarantineKind, Quarantined};
 use crate::query::Object;
 use crate::store::Kb;
 
@@ -41,14 +53,43 @@ pub const RDFS_CLASS: &str = "http://www.w3.org/2000/01/rdf-schema#Class";
 pub const RDF_PROPERTY: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#Property";
 
 /// Errors from N-Triples parsing.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `#[non_exhaustive]` per the workspace error convention; wrapped causes
+/// are reachable through [`std::error::Error::source`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum NtError {
     /// Syntax error with 1-based line number and message.
     Syntax {
         /// Line number.
         line: usize,
+        /// Byte offset of the line start within the input.
+        byte_offset: usize,
         /// What went wrong.
         message: String,
+    },
+    /// A term or literal exceeded a policy size cap.
+    Oversized {
+        /// Line number.
+        line: usize,
+        /// Byte offset of the line start within the input.
+        byte_offset: usize,
+        /// `"literal"` or `"term"`.
+        what: &'static str,
+        /// Observed size in bytes.
+        len: usize,
+        /// The policy cap it exceeded.
+        max: usize,
+    },
+    /// Lenient mode quarantined more than the policy's allowed fraction
+    /// of statements — the input is garbage, not a dirty dump.
+    TooManyQuarantined {
+        /// Lines quarantined so far.
+        quarantined: usize,
+        /// Statements seen so far.
+        statements: usize,
+        /// The fraction cap that was exceeded.
+        max_fraction: f64,
     },
     /// A schema statement conflicted (delegated from the builder).
     Schema(KbError),
@@ -57,13 +98,36 @@ pub enum NtError {
 impl std::fmt::Display for NtError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            NtError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            NtError::Syntax { line, message, .. } => write!(f, "line {line}: {message}"),
+            NtError::Oversized {
+                line,
+                what,
+                len,
+                max,
+                ..
+            } => write!(f, "line {line}: {what} of {len} bytes exceeds cap {max}"),
+            NtError::TooManyQuarantined {
+                quarantined,
+                statements,
+                max_fraction,
+            } => write!(
+                f,
+                "{quarantined} of {statements} statements quarantined \
+                 (more than the allowed fraction {max_fraction})"
+            ),
             NtError::Schema(e) => write!(f, "schema error: {e}"),
         }
     }
 }
 
-impl std::error::Error for NtError {}
+impl std::error::Error for NtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NtError::Schema(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<KbError> for NtError {
     fn from(e: KbError) -> Self {
@@ -81,22 +145,27 @@ enum Term {
 
 /// Parse one N-Triples line into (subject, predicate, object); `None`
 /// for blank lines and comments.
-fn parse_line(line: &str, lineno: usize) -> Result<Option<(Term, Term, Term)>, NtError> {
+fn parse_line(
+    line: &str,
+    lineno: usize,
+    byte_offset: usize,
+) -> Result<Option<(Term, Term, Term)>, NtError> {
     let s = line.trim();
     if s.is_empty() || s.starts_with('#') {
         return Ok(None);
     }
     let mut chars = s.chars().peekable();
-    let subject = parse_term(&mut chars, lineno)?;
+    let subject = parse_term(&mut chars, lineno, byte_offset)?;
     skip_ws(&mut chars);
-    let predicate = parse_term(&mut chars, lineno)?;
+    let predicate = parse_term(&mut chars, lineno, byte_offset)?;
     skip_ws(&mut chars);
-    let object = parse_term(&mut chars, lineno)?;
+    let object = parse_term(&mut chars, lineno, byte_offset)?;
     skip_ws(&mut chars);
     match chars.next() {
         Some('.') => Ok(Some((subject, predicate, object))),
         other => Err(NtError::Syntax {
             line: lineno,
+            byte_offset,
             message: format!("expected terminating '.', found {other:?}"),
         }),
     }
@@ -111,6 +180,7 @@ fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
 fn parse_term(
     chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
     lineno: usize,
+    byte_offset: usize,
 ) -> Result<Term, NtError> {
     skip_ws(chars);
     match chars.peek() {
@@ -125,6 +195,7 @@ fn parse_term(
             }
             Err(NtError::Syntax {
                 line: lineno,
+                byte_offset,
                 message: "unterminated IRI".into(),
             })
         }
@@ -133,12 +204,17 @@ fn parse_term(
             if chars.next() != Some(':') {
                 return Err(NtError::Syntax {
                     line: lineno,
+                    byte_offset,
                     message: "blank node must start with _:".into(),
                 });
             }
             let mut label = String::new();
-            while chars.peek().is_some_and(|c| !c.is_whitespace()) {
-                label.push(chars.next().expect("peeked"));
+            while let Some(&c) = chars.peek() {
+                if c.is_whitespace() {
+                    break;
+                }
+                label.push(c);
+                chars.next();
             }
             Ok(Term::Blank(label))
         }
@@ -158,6 +234,7 @@ fn parse_term(
                             let cp =
                                 u32::from_str_radix(&hex, 16).map_err(|_| NtError::Syntax {
                                     line: lineno,
+                                    byte_offset,
                                     message: format!("bad \\u escape {hex:?}"),
                                 })?;
                             lit.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
@@ -165,6 +242,7 @@ fn parse_term(
                         other => {
                             return Err(NtError::Syntax {
                                 line: lineno,
+                                byte_offset,
                                 message: format!("bad escape \\{other:?}"),
                             })
                         }
@@ -174,6 +252,7 @@ fn parse_term(
                     None => {
                         return Err(NtError::Syntax {
                             line: lineno,
+                            byte_offset,
                             message: "unterminated literal".into(),
                         })
                     }
@@ -199,6 +278,7 @@ fn parse_term(
         }
         other => Err(NtError::Syntax {
             line: lineno,
+            byte_offset,
             message: format!("unexpected term start {other:?}"),
         }),
     }
@@ -212,18 +292,139 @@ pub fn local_name(iri: &str) -> &str {
     iri.rsplit(['/', '#', ':']).next().unwrap_or(iri)
 }
 
-/// Load a KB from N-Triples text.
+/// Load a KB from N-Triples text with the historical strict semantics:
+/// the first defect aborts with a line-numbered error.
 ///
 /// Classes and properties keep their full IRIs as canonical names;
 /// entities get their `rdfs:label` (or local name) as label.
 pub fn parse(name: &str, input: &str) -> Result<Kb, NtError> {
-    // Pass 1: classify IRIs.
-    let mut triples: Vec<(Term, Term, Term)> = Vec::new();
-    for (i, line) in input.lines().enumerate() {
-        if let Some(t) = parse_line(line, i + 1)? {
-            triples.push(t);
+    parse_with_policy(name, input, &IngestPolicy::strict()).map(|(kb, _)| kb)
+}
+
+/// The first policy-cap violation in a parsed triple, if any.
+fn cap_violation(t: &(Term, Term, Term), policy: &IngestPolicy) -> Option<(&'static str, usize)> {
+    for term in [&t.0, &t.1, &t.2] {
+        match term {
+            Term::Iri(s) | Term::Blank(s) if s.len() > policy.max_term_len => {
+                return Some(("term", s.len()));
+            }
+            Term::Literal(s) if s.len() > policy.max_literal_len => {
+                return Some(("literal", s.len()));
+            }
+            _ => {}
         }
     }
+    None
+}
+
+/// Load a KB from N-Triples text under an [`IngestPolicy`], producing an
+/// [`IngestReport`] alongside the KB.
+///
+/// * **Strict**: identical to [`parse`] — the first syntax error or
+///   hierarchy cycle aborts; size caps (if configured below `usize::MAX`)
+///   abort with [`NtError::Oversized`].
+/// * **Lenient**: malformed or oversized lines are quarantined with
+///   line/byte/kind diagnostics; `subClassOf`/`subPropertyOf` cycles are
+///   repaired by dropping the closing edge (recorded in the audit); the
+///   load only fails when quarantine exceeds the policy's fraction cap.
+///
+/// In both modes the report carries advisory findings: dangling
+/// references (fact objects never described by any statement of their
+/// own) and label collisions.
+pub fn parse_with_policy(
+    name: &str,
+    input: &str,
+    policy: &IngestPolicy,
+) -> Result<(Kb, IngestReport), NtError> {
+    let mut report = IngestReport::default();
+
+    // Pass 1: split + parse lines, tracking byte offsets. `split('\n')`
+    // with manual `\r` trimming replicates `str::lines()` exactly while
+    // keeping offsets available for diagnostics.
+    let mut triples: Vec<(Term, Term, Term)> = Vec::new();
+    let mut pos = 0usize;
+    let quarantine = |report: &mut IngestReport, entry: Quarantined| -> Result<(), NtError> {
+        report.quarantined_count += 1;
+        if report.quarantined.len() < policy.max_quarantine_entries {
+            report.quarantined.push(entry);
+        }
+        // Abort when the input is mostly garbage: a binary blob fed
+        // through the lenient path should be a typed error, not a
+        // million-entry quarantine.
+        let q = report.quarantined_count;
+        if q >= 8 && q as f64 > policy.max_quarantined_fraction * report.total_statements as f64 {
+            return Err(NtError::TooManyQuarantined {
+                quarantined: q,
+                statements: report.total_statements,
+                max_fraction: policy.max_quarantined_fraction,
+            });
+        }
+        Ok(())
+    };
+    for (i, raw) in input.split('\n').enumerate() {
+        let line_start = pos;
+        pos += raw.len() + 1;
+        if line_start >= input.len() {
+            break; // the empty segment after a trailing newline
+        }
+        let lineno = i + 1;
+        let line = raw.strip_suffix('\r').unwrap_or(raw);
+        match parse_line(line, lineno, line_start) {
+            Ok(None) => {} // blank line or comment
+            Ok(Some(t)) => {
+                report.total_statements += 1;
+                if let Some((what, len)) = cap_violation(&t, policy) {
+                    let (max, kind) = if what == "literal" {
+                        (policy.max_literal_len, QuarantineKind::OversizedLiteral)
+                    } else {
+                        (policy.max_term_len, QuarantineKind::OversizedTerm)
+                    };
+                    if !policy.is_lenient() {
+                        return Err(NtError::Oversized {
+                            line: lineno,
+                            byte_offset: line_start,
+                            what,
+                            len,
+                            max,
+                        });
+                    }
+                    quarantine(
+                        &mut report,
+                        Quarantined {
+                            line: lineno,
+                            byte_offset: line_start,
+                            kind,
+                            message: format!("{what} of {len} bytes exceeds cap {max}"),
+                        },
+                    )?;
+                } else {
+                    triples.push(t);
+                }
+            }
+            Err(e) => {
+                report.total_statements += 1;
+                if !policy.is_lenient() {
+                    return Err(e);
+                }
+                let message = match &e {
+                    NtError::Syntax { message, .. } => message.clone(),
+                    other => other.to_string(),
+                };
+                quarantine(
+                    &mut report,
+                    Quarantined {
+                        line: lineno,
+                        byte_offset: line_start,
+                        kind: QuarantineKind::Syntax,
+                        message,
+                    },
+                )?;
+            }
+        }
+    }
+    report.accepted = triples.len();
+
+    // Pass 2: classify IRIs.
     let mut classes: HashSet<&str> = HashSet::new();
     let mut properties: HashSet<&str> = HashSet::new();
     for (s, p, o) in &triples {
@@ -263,7 +464,7 @@ pub fn parse(name: &str, input: &str) -> Result<Kb, NtError> {
         }
     }
 
-    // Pass 2: labels.
+    // Pass 3: labels.
     let mut labels: HashMap<&str, &str> = HashMap::new();
     for (s, p, o) in &triples {
         if let (Term::Iri(si), Term::Iri(pi), Term::Literal(l)) = (s, p, o) {
@@ -273,8 +474,12 @@ pub fn parse(name: &str, input: &str) -> Result<Kb, NtError> {
         }
     }
 
-    // Pass 3: build.
+    // Pass 4: build, auditing schema statements per policy. Track which
+    // keys ever appear as a statement subject so dangling object
+    // references (fact targets never described) can be reported.
     let mut b = KbBuilder::new().with_name(name);
+    let mut subjects: HashSet<&str> = HashSet::new();
+    let mut object_refs: HashSet<&str> = HashSet::new();
     let entity_of = |b: &mut KbBuilder, iri: &str| {
         let label = labels
             .get(iri)
@@ -292,6 +497,7 @@ pub fn parse(name: &str, input: &str) -> Result<Kb, NtError> {
                 continue; // literal subjects are not RDF
             }
         };
+        subjects.insert(s_key);
         match (pi.as_str(), o) {
             (RDF_TYPE, Term::Iri(oi)) if oi == RDFS_CLASS || oi == RDF_PROPERTY => {}
             (RDF_TYPE, Term::Iri(oi)) => {
@@ -306,17 +512,25 @@ pub fn parse(name: &str, input: &str) -> Result<Kb, NtError> {
                 if let Term::Iri(si) = s {
                     let c = b.class(si);
                     let d = b.class(oi);
-                    b.subclass(c, d)?;
+                    if policy.is_lenient() {
+                        b.subclass_audited(c, d);
+                    } else {
+                        b.subclass(c, d)?;
+                    }
                 }
             }
             (RDFS_SUBPROP, Term::Iri(oi)) => {
                 if let Term::Iri(si) = s {
                     let p1 = b.property(si);
                     let p2 = b.property(oi);
-                    b.subproperty(p1, p2)?;
+                    if policy.is_lenient() {
+                        b.subproperty_audited(p1, p2);
+                    } else {
+                        b.subproperty(p1, p2)?;
+                    }
                 }
             }
-            (RDFS_LABEL, Term::Literal(_)) => {} // handled in pass 2
+            (RDFS_LABEL, Term::Literal(_)) => {} // handled in pass 3
             (_, Term::Iri(oi)) => {
                 if classes.contains(s_key) || properties.contains(s_key) {
                     continue;
@@ -325,12 +539,14 @@ pub fn parse(name: &str, input: &str) -> Result<Kb, NtError> {
                 let se = entity_of(&mut b, s_key);
                 let oe = entity_of(&mut b, oi);
                 b.fact(se, prop, oe);
+                object_refs.insert(oi);
             }
             (_, Term::Blank(ol)) => {
                 let prop = b.property(pi);
                 let se = entity_of(&mut b, s_key);
                 let oe = entity_of(&mut b, ol);
                 b.fact(se, prop, oe);
+                object_refs.insert(ol);
             }
             (_, Term::Literal(l)) => {
                 let prop = b.property(pi);
@@ -339,7 +555,20 @@ pub fn parse(name: &str, input: &str) -> Result<Kb, NtError> {
             }
         }
     }
-    Ok(b.finalize())
+
+    // Dangling references: fact objects with no statement of their own —
+    // no type, no label, no outgoing facts. Typical of truncated dumps.
+    let mut dangling: Vec<String> = object_refs
+        .iter()
+        .filter(|k| !subjects.contains(*k) && !labels.contains_key(*k))
+        .map(|k| (*k).to_string())
+        .collect();
+    dangling.sort_unstable();
+    report.dangling_refs = dangling;
+
+    let (kb, audit) = b.finalize_audited();
+    report.audit = audit;
+    Ok((kb, report))
 }
 
 fn b_label<'a>(labels: &HashMap<&'a str, &'a str>, iri: &'a str) -> String {
@@ -430,8 +659,10 @@ pub fn to_string(kb: &Kb) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
+    use crate::ingest::IngestMode;
 
     const SAMPLE: &str = r#"
 # A slice of Yago.
@@ -505,7 +736,12 @@ mod tests {
         }
         let err = parse("t", "\n\n<a> <b> \"unterminated .\n").unwrap_err();
         match err {
-            NtError::Syntax { line, .. } => assert_eq!(line, 3),
+            NtError::Syntax {
+                line, byte_offset, ..
+            } => {
+                assert_eq!(line, 3);
+                assert_eq!(byte_offset, 2);
+            }
             other => panic!("{other}"),
         }
     }
@@ -530,5 +766,118 @@ mod tests {
         assert_eq!(local_name("http://x.org/ont#capital"), "capital");
         assert_eq!(local_name("y:Rome"), "Rome");
         assert_eq!(local_name("plain"), "plain");
+    }
+
+    #[test]
+    fn lenient_quarantines_malformed_lines() {
+        let dirty = "<kb:a> <kb:p> <kb:b> .\n\
+                     this is not a triple\n\
+                     <kb:c> <kb:p> \"unterminated\n\
+                     <kb:d> <kb:p> <kb:e> .\n";
+        let (kb, report) = parse_with_policy("t", dirty, &IngestPolicy::lenient()).unwrap();
+        assert_eq!(report.total_statements, 4);
+        assert_eq!(report.accepted, 2);
+        assert_eq!(report.quarantined_count, 2);
+        assert_eq!(report.quarantined[0].line, 2);
+        assert_eq!(report.quarantined[0].kind, QuarantineKind::Syntax);
+        assert_eq!(report.quarantined[1].line, 3);
+        // Byte offsets point at the start of the offending lines.
+        assert_eq!(report.quarantined[0].byte_offset, 23);
+        assert!(report.is_degraded());
+        assert_eq!(kb.num_facts(), 2);
+        // Strict mode on the same input fails at the first bad line.
+        let err = parse_with_policy("t", dirty, &IngestPolicy::strict()).unwrap_err();
+        assert!(matches!(err, NtError::Syntax { line: 2, .. }));
+    }
+
+    #[test]
+    fn lenient_repairs_hierarchy_cycles() {
+        let nt = "<kb:a> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <kb:b> .\n\
+                  <kb:b> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <kb:c> .\n\
+                  <kb:c> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <kb:a> .\n\
+                  <kb:s> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <kb:s> .\n";
+        // Strict: hard error, as always.
+        assert!(matches!(parse("t", nt), Err(NtError::Schema(_))));
+        // Lenient: the closing edge c -> a and the self-loop are dropped
+        // deterministically and recorded.
+        let (kb, report) = parse_with_policy("t", nt, &IngestPolicy::lenient()).unwrap();
+        let a = kb.class_by_name("kb:a").unwrap();
+        let c = kb.class_by_name("kb:c").unwrap();
+        assert!(kb.class_hierarchy().is_a(a.0, c.0));
+        assert!(!kb.class_hierarchy().is_a(c.0, a.0));
+        assert_eq!(report.audit.broken_edges.len(), 2);
+        assert_eq!(report.audit.broken_edges[0].child, "kb:c");
+        assert_eq!(report.audit.broken_edges[0].parent, "kb:a");
+        assert!(!report.audit.broken_edges[0].self_loop);
+        assert!(report.audit.broken_edges[1].self_loop);
+        assert!(report.is_degraded());
+    }
+
+    #[test]
+    fn oversized_literals_are_capped() {
+        let nt = format!("<kb:a> <kb:p> \"{}\" .\n", "x".repeat(100));
+        let mut policy = IngestPolicy::lenient();
+        policy.max_literal_len = 64;
+        let (kb, report) = parse_with_policy("t", &nt, &policy).unwrap();
+        assert_eq!(kb.num_facts(), 0);
+        assert_eq!(report.quarantined_count, 1);
+        assert_eq!(report.quarantined[0].kind, QuarantineKind::OversizedLiteral);
+        // Strict with the same cap: typed error instead.
+        policy.mode = IngestMode::Strict;
+        let err = parse_with_policy("t", &nt, &policy).unwrap_err();
+        assert!(matches!(
+            err,
+            NtError::Oversized {
+                line: 1,
+                what: "literal",
+                len: 100,
+                max: 64,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn mostly_garbage_input_is_a_typed_error() {
+        let garbage = "not a triple\n".repeat(50);
+        let err = parse_with_policy("t", &garbage, &IngestPolicy::lenient()).unwrap_err();
+        assert!(matches!(err, NtError::TooManyQuarantined { .. }));
+    }
+
+    #[test]
+    fn quarantine_entry_store_is_capped_but_count_is_not() {
+        let mut dirty = String::new();
+        for i in 0..20 {
+            dirty.push_str(&format!("<kb:a{i}> <kb:p> <kb:b{i}> .\n"));
+            dirty.push_str("junk line\n");
+        }
+        let mut policy = IngestPolicy::lenient();
+        policy.max_quarantine_entries = 5;
+        let (_, report) = parse_with_policy("t", &dirty, &policy).unwrap();
+        assert_eq!(report.quarantined_count, 20);
+        assert_eq!(report.quarantined.len(), 5);
+    }
+
+    #[test]
+    fn dangling_references_are_reported() {
+        let nt = "<kb:Italy> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <kb:country> .\n\
+                  <kb:Italy> <kb:hasCapital> <kb:Rome> .\n";
+        let (_, report) = parse_with_policy("t", nt, &IngestPolicy::lenient()).unwrap();
+        // Rome is referenced but never described: dangling (advisory).
+        assert_eq!(report.dangling_refs, vec!["kb:Rome".to_string()]);
+        assert!(!report.is_degraded());
+    }
+
+    #[test]
+    fn strict_policy_matches_legacy_parse_on_clean_input() {
+        let kb1 = parse("t", SAMPLE).unwrap();
+        let (kb2, report) = parse_with_policy("t", SAMPLE, &IngestPolicy::strict()).unwrap();
+        assert_eq!(kb1.num_entities(), kb2.num_entities());
+        assert_eq!(kb1.num_facts(), kb2.num_facts());
+        assert_eq!(kb1.num_classes(), kb2.num_classes());
+        assert_eq!(kb1.num_properties(), kb2.num_properties());
+        assert_eq!(report.quarantined_count, 0);
+        assert_eq!(report.accepted, report.total_statements);
+        assert!(!report.is_degraded());
     }
 }

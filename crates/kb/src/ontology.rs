@@ -55,20 +55,24 @@ impl Hierarchy {
     }
 
     /// Declare `child subXOf parent`. Returns an error if this would create
-    /// a cycle. Self-edges are rejected as trivial cycles.
+    /// a cycle: [`KbError::SelfLoop`] for a trivial `n subXOf n`,
+    /// [`KbError::HierarchyCycle`] (carrying the rejected edge) when the
+    /// edge would close a longer cycle. Either way the hierarchy is left
+    /// unchanged, so a lenient caller can record the dropped edge and
+    /// continue — the audit pass in [`crate::builder::KbBuilder`] does
+    /// exactly that.
     pub fn add_edge(&mut self, child: u32, parent: u32, kind: &'static str) -> Result<(), KbError> {
         if child == parent {
-            return Err(KbError::HierarchyCycle {
-                kind,
-                node: format!("node {child}"),
-            });
+            return Err(KbError::SelfLoop { kind, node: child });
         }
         self.ensure_node(child.max(parent));
-        // Reject if `child` is already an ancestor of `parent`.
+        // Reject if `child` is already an ancestor of `parent`: adding the
+        // edge would close the cycle, so the edge itself is what we report.
         if self.reaches(parent, child) {
             return Err(KbError::HierarchyCycle {
                 kind,
-                node: format!("node {child}"),
+                child,
+                parent,
             });
         }
         if !self.parents[child as usize].contains(&parent) {
@@ -217,9 +221,20 @@ mod tests {
         h.add_edge(0, 1, "subClassOf").unwrap();
         h.add_edge(1, 2, "subClassOf").unwrap();
         let err = h.add_edge(2, 0, "subClassOf").unwrap_err();
-        assert!(matches!(err, KbError::HierarchyCycle { .. }));
+        // The error names the exact edge that would have closed the cycle.
+        assert!(matches!(
+            err,
+            KbError::HierarchyCycle {
+                child: 2,
+                parent: 0,
+                ..
+            }
+        ));
+        // A self-edge is a distinct, trivial kind of cycle.
         let err = h.add_edge(5, 5, "subClassOf").unwrap_err();
-        assert!(matches!(err, KbError::HierarchyCycle { .. }));
+        assert!(matches!(err, KbError::SelfLoop { node: 5, .. }));
+        // Rejection leaves the hierarchy untouched.
+        assert!(h.direct_parents(2).is_empty());
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! Fuzz-style properties of the N-Triples ingestion boundary.
+//!
+//! Three guarantees from the hardening work, checked on generated input:
+//!
+//! 1. **No panics.** Lenient parsing of arbitrary text — random printable
+//!    lines, NT-shaped token soup, truncated prefixes of a valid dump —
+//!    returns `Ok` or a typed error, never panics.
+//! 2. **Strict == legacy.** On clean input, `parse_with_policy` with the
+//!    strict policy accepts exactly what `parse` accepts and produces a
+//!    byte-identical KB serialization.
+//! 3. **Accounting adds up.** Every non-blank, non-comment statement is
+//!    either accepted or quarantined; never both, never dropped silently.
+//!
+//! The case count is elevated in CI via `KATARA_FUZZ_CASES`.
+
+use katara_kb::ntriples;
+use katara_kb::{IngestPolicy, KbBuilder};
+use proptest::prelude::*;
+
+/// Per-test case count: `KATARA_FUZZ_CASES` (CI runs an elevated count)
+/// or the given local default.
+fn fuzz_cases(default: u32) -> u32 {
+    std::env::var("KATARA_FUZZ_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A valid dump to slice prefixes from: schema, labels, facts, hierarchy.
+const SAMPLE: &str = r#"
+<kb:country> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://www.w3.org/2000/01/rdf-schema#Class> .
+<kb:capital> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://www.w3.org/2000/01/rdf-schema#Class> .
+<kb:city> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://www.w3.org/2000/01/rdf-schema#Class> .
+<kb:capital> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <kb:city> .
+<kb:hasCapital> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://www.w3.org/1999/02/22-rdf-syntax-ns#Property> .
+<kb:Italy> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <kb:country> .
+<kb:Italy> <http://www.w3.org/2000/01/rdf-schema#label> "Italy" .
+<kb:Rome> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <kb:capital> .
+<kb:Rome> <http://www.w3.org/2000/01/rdf-schema#label> "Rome" .
+<kb:Italy> <kb:hasCapital> <kb:Rome> .
+"#;
+
+/// A random KB built through the public builder, as in `kb_invariants`.
+fn kb_strategy() -> impl Strategy<Value = katara_kb::Kb> {
+    const NC: usize = 4;
+    const NP: usize = 3;
+    let entity = prop::collection::vec(0usize..NC, 0..3);
+    let fact = (0usize..12, 0usize..NP, 0usize..12);
+    let edge = (0usize..NC, 0usize..NC);
+    (
+        prop::collection::vec(entity, 3..12),
+        prop::collection::vec(fact, 0..24),
+        prop::collection::vec(edge, 0..4),
+    )
+        .prop_map(|(entities, facts, class_edges)| {
+            let mut b = KbBuilder::new();
+            let classes: Vec<_> = (0..NC).map(|i| b.class(&format!("c{i}"))).collect();
+            let props: Vec<_> = (0..NP).map(|i| b.property(&format!("p{i}"))).collect();
+            for (c, p) in class_edges {
+                // Cycles and self-loops are rejected; keep what sticks.
+                let _ = b.subclass(classes[c], classes[p]);
+            }
+            let resources: Vec<_> = entities
+                .iter()
+                .enumerate()
+                .map(|(i, ts)| {
+                    let types: Vec<_> = ts.iter().map(|&t| classes[t]).collect();
+                    b.entity(&format!("e{i}"), &types)
+                })
+                .collect();
+            for &(s, p, o) in &facts {
+                b.fact(
+                    resources[s % resources.len()],
+                    props[p],
+                    resources[o % resources.len()],
+                );
+            }
+            b.finalize()
+        })
+}
+
+/// Whatever lenient parsing returns, its books must balance.
+fn assert_report_consistent(input: &str) {
+    // A typed error (fraction cap, etc.) is an acceptable outcome for
+    // garbage input; panicking is not.
+    if let Ok((_, report)) = ntriples::parse_with_policy("fuzz", input, &IngestPolicy::lenient()) {
+        assert_eq!(
+            report.accepted + report.quarantined_count,
+            report.total_statements,
+            "every statement is accepted or quarantined: {report:?}"
+        );
+        assert!(report.quarantined.len() <= report.quarantined_count);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(fuzz_cases(64)))]
+
+    /// Lenient ingestion of arbitrary printable lines never panics.
+    #[test]
+    fn lenient_parse_of_arbitrary_lines_never_panics(
+        lines in prop::collection::vec(".{0,60}", 0..16),
+    ) {
+        assert_report_consistent(&lines.join("\n"));
+    }
+
+    /// NT-shaped token soup — angle brackets, quotes, escapes, blank
+    /// nodes, comments — exercises the tokenizer's error paths harder
+    /// than uniform printable noise does.
+    #[test]
+    fn lenient_parse_of_nt_token_soup_never_panics(
+        lines in prop::collection::vec("[<>\"\\\\@_:#a-z0-9 .^-]{0,40}", 0..16),
+    ) {
+        assert_report_consistent(&lines.join("\n"));
+    }
+
+    /// Truncating a valid dump at any byte yields Ok or a typed error.
+    #[test]
+    fn truncated_valid_input_never_panics(cut in 0usize..=SAMPLE.len()) {
+        // Snap to a char boundary (SAMPLE is ASCII, but stay honest).
+        let mut cut = cut;
+        while !SAMPLE.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        assert_report_consistent(&SAMPLE[..cut]);
+        // Strict mode on a truncated dump must also be panic-free.
+        let _ = ntriples::parse("fuzz", &SAMPLE[..cut]);
+    }
+
+    /// On clean input (a serialized random KB), the strict policy is
+    /// byte-for-byte the legacy `parse`, and both lenient and strict
+    /// report a clean load.
+    #[test]
+    fn strict_policy_is_legacy_parse_on_clean_input(kb in kb_strategy()) {
+        let text = ntriples::to_string(&kb);
+
+        let legacy = ntriples::parse("rt", &text).expect("serialized KB reparses");
+        let (strict, strict_report) =
+            ntriples::parse_with_policy("rt", &text, &IngestPolicy::strict())
+                .expect("strict policy accepts clean input");
+        let (lenient, lenient_report) =
+            ntriples::parse_with_policy("rt", &text, &IngestPolicy::lenient())
+                .expect("lenient policy accepts clean input");
+
+        prop_assert_eq!(ntriples::to_string(&legacy), ntriples::to_string(&strict));
+        prop_assert_eq!(ntriples::to_string(&legacy), ntriples::to_string(&lenient));
+        for report in [&strict_report, &lenient_report] {
+            prop_assert!(!report.is_degraded(), "clean input degraded: {:?}", report);
+            prop_assert_eq!(report.quarantined_count, 0);
+            prop_assert_eq!(report.accepted, report.total_statements);
+            prop_assert!(report.audit.broken_edges.is_empty());
+        }
+    }
+}
+
+/// Deterministic spot-check: lenient parse of every byte-level mutation
+/// of a small dump (one byte flipped to a delimiter) stays panic-free.
+#[test]
+fn single_byte_mutations_never_panic() {
+    for (i, _) in SAMPLE.char_indices() {
+        for &b in b"<>\"\\\n\0. " {
+            let mut bytes = SAMPLE.as_bytes().to_vec();
+            bytes[i] = b;
+            if let Ok(mutated) = String::from_utf8(bytes) {
+                assert_report_consistent(&mutated);
+                let _ = ntriples::parse("fuzz", &mutated);
+            }
+        }
+    }
+}
+
+/// The degenerate inputs that historically trip hand-rolled parsers.
+#[test]
+fn degenerate_inputs_never_panic() {
+    for input in [
+        "",
+        "\n",
+        "\r\n",
+        ".",
+        "<",
+        "<a",
+        "<a> <b>",
+        "<a> <b> <c>",
+        "<a> <b> \"unterminated",
+        "<a> <b> \"esc\\",
+        "_",
+        "_x",
+        "\"\" \"\" \"\" .",
+        "<a> <b> <c> . extra",
+        "# just a comment",
+        "\u{feff}<a> <b> <c> .",
+    ] {
+        assert_report_consistent(input);
+        let _ = ntriples::parse("fuzz", input);
+    }
+}

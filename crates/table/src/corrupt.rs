@@ -204,6 +204,130 @@ fn domain_swap(
     }
 }
 
+/// How a CSV text line was structurally corrupted (as opposed to the
+/// value-level corruption of [`corrupt_table`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StructuralKind {
+    /// One extra field appended to the record (ragged: too wide).
+    ExtraField,
+    /// The last field removed from the record (ragged: too narrow).
+    MissingField,
+    /// The last field replaced by an oversized blob of
+    /// [`StructuralCorruptionConfig::oversize_len`] bytes.
+    OversizedCell,
+}
+
+/// One structural change to the CSV text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructuralChange {
+    /// 1-based line that was mangled.
+    pub line: usize,
+    /// How it was mangled.
+    pub kind: StructuralKind,
+}
+
+/// Provenance of one [`corrupt_csv_text`] pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StructuralLog {
+    /// Mangled lines, in line order.
+    pub changes: Vec<StructuralChange>,
+}
+
+impl StructuralLog {
+    /// Number of mangled lines.
+    pub fn len(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// True if nothing was mangled.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+}
+
+/// Configuration for [`corrupt_csv_text`].
+#[derive(Debug, Clone)]
+pub struct StructuralCorruptionConfig {
+    /// Probability that a data line is structurally mangled.
+    pub record_error_rate: f64,
+    /// Byte length of the blob written by [`StructuralKind::OversizedCell`].
+    /// Pick it larger than the ingest policy's `max_cell_len` so every
+    /// injection is detectable.
+    pub oversize_len: usize,
+}
+
+impl Default for StructuralCorruptionConfig {
+    fn default() -> Self {
+        StructuralCorruptionConfig {
+            record_error_rate: 0.10,
+            oversize_len: 1 << 16,
+        }
+    }
+}
+
+/// Structurally corrupt CSV *text*, returning the mangled text and a log
+/// of exactly which lines were broken and how.
+///
+/// This is the adversarial counterpart to [`corrupt_table`]: instead of
+/// plausible wrong values (which still parse), it produces files that a
+/// strict parser rejects — ragged rows and oversized cells — so ingestion
+/// quarantine can be tested against known injection counts: each logged
+/// change corresponds to exactly one quarantined record under a lenient
+/// policy whose `max_cell_len` is below `oversize_len`.
+///
+/// The header (line 1) is never touched. The input must be simple
+/// one-line-per-record CSV without quoted commas or embedded newlines
+/// (what [`crate::csv::to_string`] emits for plain tables); quoted
+/// structure would make line-wise mangling ambiguous. Deterministic for
+/// a fixed seed.
+pub fn corrupt_csv_text(
+    csv: &str,
+    config: &StructuralCorruptionConfig,
+    seed: u64,
+) -> (String, StructuralLog) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut log = StructuralLog::default();
+    let mut out = String::new();
+    for (i, line) in csv.lines().enumerate() {
+        let lineno = i + 1;
+        let is_data = i > 0 && !line.is_empty();
+        if !is_data || !rng.random_bool(config.record_error_rate) {
+            out.push_str(line);
+            out.push('\n');
+            continue;
+        }
+        let kind = match rng.random_range(0..3u8) {
+            0 => StructuralKind::ExtraField,
+            1 if line.contains(',') => StructuralKind::MissingField,
+            _ => StructuralKind::OversizedCell,
+        };
+        match kind {
+            StructuralKind::ExtraField => {
+                out.push_str(line);
+                out.push_str(",zzz-extra");
+            }
+            StructuralKind::MissingField => {
+                // Guarded by the `contains(',')` arm above.
+                if let Some(p) = line.rfind(',') {
+                    out.push_str(&line[..p]);
+                }
+            }
+            StructuralKind::OversizedCell => {
+                if let Some(p) = line.rfind(',') {
+                    out.push_str(&line[..=p]);
+                }
+                for _ in 0..config.oversize_len {
+                    out.push('x');
+                }
+            }
+        }
+        out.push('\n');
+        log.changes.push(StructuralChange { line: lineno, kind });
+    }
+    (out, log)
+}
+
 /// Introduce a character-level typo: substitute, delete, or transpose.
 fn typo(s: &str, rng: &mut StdRng) -> String {
     let chars: Vec<char> = s.chars().collect();
@@ -334,6 +458,46 @@ mod tests {
         let log = corrupt_table(&mut t, &cfg, 1);
         assert!(log.is_empty());
         assert_eq!(t, before);
+    }
+
+    #[test]
+    fn structural_corruption_is_deterministic_and_logged() {
+        let csv = crate::csv::to_string(&big_table());
+        let cfg = StructuralCorruptionConfig {
+            record_error_rate: 0.2,
+            oversize_len: 128,
+        };
+        let (d1, l1) = corrupt_csv_text(&csv, &cfg, 42);
+        let (d2, l2) = corrupt_csv_text(&csv, &cfg, 42);
+        assert_eq!(d1, d2);
+        assert_eq!(l1, l2);
+        assert!(!l1.is_empty());
+        // Header untouched, every logged line actually differs.
+        let orig: Vec<&str> = csv.lines().collect();
+        let dirty: Vec<&str> = d1.lines().collect();
+        assert_eq!(orig[0], dirty[0]);
+        for ch in &l1.changes {
+            assert_ne!(orig[ch.line - 1], dirty[ch.line - 1], "line {}", ch.line);
+        }
+    }
+
+    #[test]
+    fn each_structural_change_quarantines_exactly_one_record() {
+        use crate::ingest::IngestPolicy;
+        let csv = crate::csv::to_string(&big_table());
+        let cfg = StructuralCorruptionConfig {
+            record_error_rate: 0.15,
+            oversize_len: 256,
+        };
+        let (dirty, log) = corrupt_csv_text(&csv, &cfg, 7);
+        let mut policy = IngestPolicy::lenient();
+        policy.max_cell_len = 128;
+        let (t, report) = crate::csv::parse_with_policy("t", &dirty, &policy).unwrap();
+        assert_eq!(report.quarantined_count, log.len());
+        assert_eq!(t.num_rows() + log.len(), 200);
+        let quarantined_lines: Vec<usize> = report.quarantined.iter().map(|q| q.line).collect();
+        let injected_lines: Vec<usize> = log.changes.iter().map(|c| c.line).collect();
+        assert_eq!(quarantined_lines, injected_lines);
     }
 
     #[test]

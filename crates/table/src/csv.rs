@@ -1,13 +1,26 @@
 //! Minimal CSV support (RFC 4180 quoting), dependency-free.
 //!
-//! Only what examples and tests need: parse a string into a [`Table`]
-//! (first record = header) and serialize a [`Table`] back.
+//! Parses a string into a [`Table`] (first record = header) and
+//! serializes a [`Table`] back. Loading is policy-driven
+//! ([`parse_with_policy`]): strict mode fails loudly with a line number
+//! on the first defect (identical to the historical [`parse`]), while
+//! lenient mode quarantines ragged rows, oversized cells, and
+//! unterminated quotes with line/byte/kind diagnostics and keeps going.
+//! This module denies `clippy::unwrap_used`/`expect_used`: every
+//! input-reachable failure must be a typed error.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use crate::ingest::{IngestPolicy, IngestReport, QuarantineKind, Quarantined};
 use crate::table::Table;
 use crate::value::Value;
 
 /// Errors from CSV parsing.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `#[non_exhaustive]` per the workspace error convention: the ingestion
+/// policy may grow new defect classes without a breaking change.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum CsvError {
     /// A data record has a different number of fields than the header.
     RaggedRow {
@@ -20,11 +33,42 @@ pub enum CsvError {
     },
     /// A quoted field was never closed.
     UnterminatedQuote {
-        /// 1-based line where the quote opened.
+        /// 1-based line where the offending record starts.
         line: usize,
     },
     /// The input contained no header record.
     Empty,
+    /// A cell exceeded the policy's byte cap.
+    OversizedCell {
+        /// 1-based line of the offending record.
+        line: usize,
+        /// 0-based column of the oversized cell.
+        column: usize,
+        /// Observed size in bytes.
+        len: usize,
+        /// The policy cap it exceeded.
+        max: usize,
+    },
+    /// The header declared more columns than the policy allows. Always
+    /// fatal: there is no table shape to salvage rows into.
+    TooManyColumns {
+        /// 1-based line of the header.
+        line: usize,
+        /// Columns found.
+        found: usize,
+        /// The policy cap.
+        max: usize,
+    },
+    /// Lenient mode quarantined more than the policy's allowed fraction
+    /// of records — the input is garbage, not a dirty file.
+    TooManyQuarantined {
+        /// Records quarantined so far.
+        quarantined: usize,
+        /// Data records seen so far.
+        records: usize,
+        /// The fraction cap that was exceeded.
+        max_fraction: f64,
+    },
 }
 
 impl std::fmt::Display for CsvError {
@@ -42,33 +86,188 @@ impl std::fmt::Display for CsvError {
                 write!(f, "line {line}: unterminated quoted field")
             }
             CsvError::Empty => write!(f, "empty csv input"),
+            CsvError::OversizedCell {
+                line,
+                column,
+                len,
+                max,
+            } => write!(
+                f,
+                "line {line}: cell in column {column} is {len} bytes, exceeds cap {max}"
+            ),
+            CsvError::TooManyColumns { line, found, max } => write!(
+                f,
+                "line {line}: header declares {found} columns, exceeds cap {max}"
+            ),
+            CsvError::TooManyQuarantined {
+                quarantined,
+                records,
+                max_fraction,
+            } => write!(
+                f,
+                "{quarantined} of {records} records quarantined \
+                 (more than the allowed fraction {max_fraction})"
+            ),
         }
     }
 }
 
-impl std::error::Error for CsvError {}
+impl std::error::Error for CsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        // No variant currently wraps another error; `source` exists so the
+        // chain stays inspectable if one ever does.
+        None
+    }
+}
 
-/// Parse CSV text into a table. The first record names the columns; empty
-/// fields become nulls.
+/// Parse CSV text into a table with the historical strict semantics: the
+/// first defect aborts with a line-numbered error. The first record names
+/// the columns; empty fields become nulls.
 pub fn parse(name: &str, input: &str) -> Result<Table, CsvError> {
-    let records = split_records(input)?;
+    parse_with_policy(name, input, &IngestPolicy::strict()).map(|(t, _)| t)
+}
+
+/// Parse CSV text under an [`IngestPolicy`], producing an
+/// [`IngestReport`] alongside the table.
+///
+/// * **Strict**: identical to [`parse`] — the first ragged row,
+///   unterminated quote, or cap violation aborts with a typed,
+///   line-numbered error.
+/// * **Lenient**: defective records are quarantined with line/byte/kind
+///   diagnostics and the rest of the file still loads; the load only
+///   fails when quarantine exceeds the policy's fraction cap.
+///
+/// Header defects ([`CsvError::Empty`], [`CsvError::TooManyColumns`], an
+/// oversized header cell) are fatal in both modes: without a trustworthy
+/// header there is no table to salvage rows into.
+pub fn parse_with_policy(
+    name: &str,
+    input: &str,
+    policy: &IngestPolicy,
+) -> Result<(Table, IngestReport), CsvError> {
+    let (records, tail) = split_records(input);
+    if tail.is_some() && !policy.is_lenient() {
+        // Historical behaviour: an unterminated quote poisons the whole
+        // strict parse, before any other check.
+        if let Some((line, _)) = tail {
+            return Err(CsvError::UnterminatedQuote { line });
+        }
+    }
+    let mut report = IngestReport::default();
     let mut it = records.into_iter();
-    let header = it.next().ok_or(CsvError::Empty)?;
-    if header.1.is_empty() {
+    let Some((header_line, _, header)) = it.next() else {
+        return Err(CsvError::Empty);
+    };
+    if header.is_empty() {
         return Err(CsvError::Empty);
     }
-    let mut table = Table::new(name, header.1);
-    for (line, fields) in it {
-        if fields.len() != table.num_columns() {
-            return Err(CsvError::RaggedRow {
-                line,
-                found: fields.len(),
-                expected: table.num_columns(),
+    if header.len() > policy.max_columns {
+        return Err(CsvError::TooManyColumns {
+            line: header_line,
+            found: header.len(),
+            max: policy.max_columns,
+        });
+    }
+    if let Some((column, len)) = oversized_cell(&header, policy.max_cell_len) {
+        return Err(CsvError::OversizedCell {
+            line: header_line,
+            column,
+            len,
+            max: policy.max_cell_len,
+        });
+    }
+
+    let quarantine = |report: &mut IngestReport, entry: Quarantined| -> Result<(), CsvError> {
+        report.quarantined_count += 1;
+        if report.quarantined.len() < policy.max_quarantine_entries {
+            report.quarantined.push(entry);
+        }
+        // Abort when the input is mostly garbage: a binary blob fed
+        // through the lenient path should be a typed error, not a
+        // million-entry quarantine.
+        let q = report.quarantined_count;
+        if q >= 8 && q as f64 > policy.max_quarantined_fraction * report.total_records as f64 {
+            return Err(CsvError::TooManyQuarantined {
+                quarantined: q,
+                records: report.total_records,
+                max_fraction: policy.max_quarantined_fraction,
             });
         }
+        Ok(())
+    };
+
+    let mut table = Table::new(name, header);
+    let ncols = table.num_columns();
+    for (line, byte_offset, fields) in it {
+        report.total_records += 1;
+        if fields.len() != ncols {
+            if !policy.is_lenient() {
+                return Err(CsvError::RaggedRow {
+                    line,
+                    found: fields.len(),
+                    expected: ncols,
+                });
+            }
+            quarantine(
+                &mut report,
+                Quarantined {
+                    line,
+                    byte_offset,
+                    kind: QuarantineKind::RaggedRow,
+                    message: format!("record has {} fields, header has {ncols}", fields.len()),
+                },
+            )?;
+            continue;
+        }
+        if let Some((column, len)) = oversized_cell(&fields, policy.max_cell_len) {
+            if !policy.is_lenient() {
+                return Err(CsvError::OversizedCell {
+                    line,
+                    column,
+                    len,
+                    max: policy.max_cell_len,
+                });
+            }
+            quarantine(
+                &mut report,
+                Quarantined {
+                    line,
+                    byte_offset,
+                    kind: QuarantineKind::OversizedCell,
+                    message: format!(
+                        "cell in column {column} is {len} bytes, cap {}",
+                        policy.max_cell_len
+                    ),
+                },
+            )?;
+            continue;
+        }
         table.push_row(fields.into_iter().map(Value::from).collect());
+        report.accepted += 1;
     }
-    Ok(table)
+    if let Some((line, byte_offset)) = tail {
+        // Only reachable in lenient mode (strict bailed above): the
+        // record the unclosed quote swallowed is one quarantined record.
+        report.total_records += 1;
+        quarantine(
+            &mut report,
+            Quarantined {
+                line,
+                byte_offset,
+                kind: QuarantineKind::UnterminatedQuote,
+                message: "quoted field never closed before end of input".into(),
+            },
+        )?;
+    }
+    Ok((table, report))
+}
+
+/// First cell larger than `max`, as `(column, len)`.
+fn oversized_cell(fields: &[String], max: usize) -> Option<(usize, usize)> {
+    fields
+        .iter()
+        .enumerate()
+        .find_map(|(c, f)| (f.len() > max).then_some((c, f.len())))
 }
 
 /// Serialize a table to CSV text (header + rows, `\n` line endings,
@@ -105,21 +304,27 @@ fn write_record<'a>(out: &mut String, fields: impl Iterator<Item = &'a str>) {
     out.push('\n');
 }
 
-/// Split raw CSV into records of fields, tracking 1-based line numbers.
-fn split_records(input: &str) -> Result<Vec<(usize, Vec<String>)>, CsvError> {
+/// Split raw CSV into records of fields, tracking 1-based line numbers
+/// and the byte offset of each record's start. If the input ends inside
+/// a quoted field, the swallowed partial record is returned separately
+/// as `(line, byte_offset)` so the caller can fail (strict) or
+/// quarantine it (lenient).
+#[allow(clippy::type_complexity)]
+fn split_records(input: &str) -> (Vec<(usize, usize, Vec<String>)>, Option<(usize, usize)>) {
     let mut records = Vec::new();
     let mut field = String::new();
     let mut record: Vec<String> = Vec::new();
     let mut line = 1usize;
     let mut record_line = 1usize;
+    let mut record_offset = 0usize;
     let mut in_quotes = false;
-    let mut chars = input.chars().peekable();
+    let mut chars = input.char_indices().peekable();
 
-    while let Some(ch) = chars.next() {
+    while let Some((i, ch)) = chars.next() {
         if in_quotes {
             match ch {
                 '"' => {
-                    if chars.peek() == Some(&'"') {
+                    if chars.peek().map(|&(_, c)| c) == Some('"') {
                         chars.next();
                         field.push('"');
                     } else {
@@ -140,36 +345,41 @@ fn split_records(input: &str) -> Result<Vec<(usize, Vec<String>)>, CsvError> {
                 record.push(std::mem::take(&mut field));
             }
             '\r' => {
-                if chars.peek() == Some(&'\n') {
+                let mut next_offset = i + 1;
+                if chars.peek().map(|&(_, c)| c) == Some('\n') {
                     chars.next();
+                    next_offset += 1;
                 }
                 line += 1;
                 record.push(std::mem::take(&mut field));
-                records.push((record_line, std::mem::take(&mut record)));
+                records.push((record_line, record_offset, std::mem::take(&mut record)));
                 record_line = line;
+                record_offset = next_offset;
             }
             '\n' => {
                 line += 1;
                 record.push(std::mem::take(&mut field));
-                records.push((record_line, std::mem::take(&mut record)));
+                records.push((record_line, record_offset, std::mem::take(&mut record)));
                 record_line = line;
+                record_offset = i + 1;
             }
             _ => field.push(ch),
         }
     }
     if in_quotes {
-        return Err(CsvError::UnterminatedQuote { line: record_line });
+        return (records, Some((record_line, record_offset)));
     }
     if !field.is_empty() || !record.is_empty() {
         record.push(field);
-        records.push((record_line, record));
+        records.push((record_line, record_offset, record));
     }
     // Drop fully empty trailing records (e.g. file ends in "\n").
-    records.retain(|(_, r)| !(r.len() == 1 && r[0].is_empty()));
-    Ok(records)
+    records.retain(|(_, _, r)| !(r.len() == 1 && r[0].is_empty()));
+    (records, None)
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -233,5 +443,111 @@ mod tests {
     fn no_trailing_newline() {
         let t = parse("t", "A,B\nx,y").unwrap();
         assert_eq!(t.num_rows(), 1);
+    }
+
+    #[test]
+    fn lenient_quarantines_ragged_rows() {
+        let dirty = "A,B\nx,y\nonly-one\np,q,r\nz,w\n";
+        let (t, report) = parse_with_policy("t", dirty, &IngestPolicy::lenient()).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(report.total_records, 4);
+        assert_eq!(report.accepted, 2);
+        assert_eq!(report.quarantined_count, 2);
+        assert_eq!(report.quarantined[0].line, 3);
+        assert_eq!(report.quarantined[0].kind, QuarantineKind::RaggedRow);
+        assert_eq!(report.quarantined[0].byte_offset, 8);
+        assert_eq!(report.quarantined[1].line, 4);
+        assert!(report.is_degraded());
+        // Strict mode on the same input fails at the first bad record.
+        let err = parse_with_policy("t", dirty, &IngestPolicy::strict()).unwrap_err();
+        assert!(matches!(err, CsvError::RaggedRow { line: 3, .. }));
+    }
+
+    #[test]
+    fn lenient_quarantines_unterminated_quote_tail() {
+        let dirty = "A,B\nx,y\n\"oops,never closed\n";
+        let (t, report) = parse_with_policy("t", dirty, &IngestPolicy::lenient()).unwrap();
+        assert_eq!(t.num_rows(), 1);
+        assert_eq!(report.quarantined_count, 1);
+        assert_eq!(
+            report.quarantined[0].kind,
+            QuarantineKind::UnterminatedQuote
+        );
+        assert_eq!(report.quarantined[0].line, 3);
+    }
+
+    #[test]
+    fn oversized_cells_are_capped() {
+        let big = "x".repeat(100);
+        let input = format!("A,B\nok,{big}\n");
+        let mut policy = IngestPolicy::lenient();
+        policy.max_cell_len = 64;
+        let (t, report) = parse_with_policy("t", &input, &policy).unwrap();
+        assert_eq!(t.num_rows(), 0);
+        assert_eq!(report.quarantined_count, 1);
+        assert_eq!(report.quarantined[0].kind, QuarantineKind::OversizedCell);
+        // Strict with the same cap: typed error instead.
+        policy.mode = crate::ingest::IngestMode::Strict;
+        let err = parse_with_policy("t", &input, &policy).unwrap_err();
+        assert!(matches!(
+            err,
+            CsvError::OversizedCell {
+                line: 2,
+                column: 1,
+                len: 100,
+                max: 64,
+            }
+        ));
+    }
+
+    #[test]
+    fn header_cap_violations_are_always_fatal() {
+        let mut policy = IngestPolicy::lenient();
+        policy.max_columns = 2;
+        let err = parse_with_policy("t", "A,B,C\nx,y,z\n", &policy).unwrap_err();
+        assert!(matches!(
+            err,
+            CsvError::TooManyColumns {
+                line: 1,
+                found: 3,
+                max: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn mostly_garbage_input_is_a_typed_error() {
+        let mut dirty = String::from("A,B\n");
+        for _ in 0..20 {
+            dirty.push_str("a,b,c,d\n");
+        }
+        let err = parse_with_policy("t", &dirty, &IngestPolicy::lenient()).unwrap_err();
+        assert!(matches!(err, CsvError::TooManyQuarantined { .. }));
+    }
+
+    #[test]
+    fn quarantine_entry_store_is_capped_but_count_is_not() {
+        let mut dirty = String::from("A,B\n");
+        for i in 0..20 {
+            dirty.push_str(&format!("x{i},y{i}\n"));
+            dirty.push_str("ragged\n");
+        }
+        let mut policy = IngestPolicy::lenient();
+        policy.max_quarantine_entries = 5;
+        let (t, report) = parse_with_policy("t", &dirty, &policy).unwrap();
+        assert_eq!(t.num_rows(), 20);
+        assert_eq!(report.quarantined_count, 20);
+        assert_eq!(report.quarantined.len(), 5);
+    }
+
+    #[test]
+    fn strict_policy_matches_legacy_parse_on_clean_input() {
+        let input = "A,B\nRossi,Italy\nKlate,S. Africa\n";
+        let t1 = parse("t", input).unwrap();
+        let (t2, report) = parse_with_policy("t", input, &IngestPolicy::strict()).unwrap();
+        assert_eq!(t1, t2);
+        assert_eq!(report.accepted, 2);
+        assert_eq!(report.quarantined_count, 0);
+        assert!(!report.is_degraded());
     }
 }

@@ -1,0 +1,189 @@
+//! Ingestion policy and quarantine types for table loading.
+//!
+//! KATARA's tables come from the Web — "the schema is either unavailable
+//! or unusable" — and the files carrying them are no cleaner than their
+//! contents: ragged rows, unterminated quotes, megabyte cells. This
+//! module defines the policy knobs and per-load report that make the CSV
+//! boundary panic-free and observable, mirroring `katara_kb::ingest` on
+//! the KB side:
+//!
+//! * [`IngestPolicy`] — strict (fail on the first defect, byte-identical
+//!   to the historical parser) or lenient (quarantine defective records
+//!   and keep going), plus resource caps that turn exhaustion inputs into
+//!   typed errors instead of OOM;
+//! * [`Quarantined`] — one rejected record with line number, byte offset,
+//!   and defect kind;
+//! * [`IngestReport`] — the full per-load account, consumed by
+//!   `katara-core`'s degradation machinery and the CLI.
+
+use std::fmt;
+
+/// How defects encountered during table loading are handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum IngestMode {
+    /// Fail on the first defect with a typed, line-numbered error. On
+    /// clean input this is byte-identical to the historical parser.
+    #[default]
+    Strict,
+    /// Quarantine defective records (subject to caps) and keep loading.
+    Lenient,
+}
+
+/// Knobs for one table load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestPolicy {
+    /// Strict or lenient defect handling.
+    pub mode: IngestMode,
+    /// Maximum fraction of data records that may be quarantined before the
+    /// load aborts with [`crate::csv::CsvError::TooManyQuarantined`] even
+    /// in lenient mode.
+    pub max_quarantined_fraction: f64,
+    /// Maximum accepted cell size in bytes; larger cells are a defect
+    /// (quarantined or fatal by mode).
+    pub max_cell_len: usize,
+    /// Maximum number of columns the header may declare. A header beyond
+    /// this cap is always fatal (there is no table to salvage into).
+    pub max_columns: usize,
+    /// Maximum number of [`Quarantined`] diagnostics *stored* (the count
+    /// keeps incrementing past it). Bounds report memory on huge dirty
+    /// files.
+    pub max_quarantine_entries: usize,
+}
+
+impl Default for IngestPolicy {
+    fn default() -> Self {
+        IngestPolicy::strict()
+    }
+}
+
+impl IngestPolicy {
+    /// The historical behaviour: first defect aborts, no caps.
+    pub fn strict() -> Self {
+        IngestPolicy {
+            mode: IngestMode::Strict,
+            max_quarantined_fraction: 1.0,
+            max_cell_len: usize::MAX,
+            max_columns: usize::MAX,
+            max_quarantine_entries: 1024,
+        }
+    }
+
+    /// Recovering mode with production-shaped caps: defects are
+    /// quarantined, at most half of the records may be defective, cells
+    /// are capped at 1 MiB and headers at 4096 columns.
+    pub fn lenient() -> Self {
+        IngestPolicy {
+            mode: IngestMode::Lenient,
+            max_quarantined_fraction: 0.5,
+            max_cell_len: 1 << 20,
+            max_columns: 4096,
+            max_quarantine_entries: 1024,
+        }
+    }
+
+    /// True in lenient mode.
+    pub fn is_lenient(&self) -> bool {
+        self.mode == IngestMode::Lenient
+    }
+}
+
+/// Why a record was quarantined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum QuarantineKind {
+    /// The record's field count differs from the header arity.
+    RaggedRow,
+    /// A quoted field opened in this record was never closed.
+    UnterminatedQuote,
+    /// A cell exceeded [`IngestPolicy::max_cell_len`].
+    OversizedCell,
+}
+
+impl fmt::Display for QuarantineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuarantineKind::RaggedRow => write!(f, "ragged row"),
+            QuarantineKind::UnterminatedQuote => write!(f, "unterminated quote"),
+            QuarantineKind::OversizedCell => write!(f, "oversized cell"),
+        }
+    }
+}
+
+/// One quarantined record, with enough provenance to find it again.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quarantined {
+    /// 1-based line number where the record starts.
+    pub line: usize,
+    /// Byte offset of the record start within the input.
+    pub byte_offset: usize,
+    /// What class of defect this was.
+    pub kind: QuarantineKind,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl fmt::Display for Quarantined {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "line {} (byte {}): {}: {}",
+            self.line, self.byte_offset, self.kind, self.message
+        )
+    }
+}
+
+/// The full account of one table load.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IngestReport {
+    /// Data records seen (header excluded).
+    pub total_records: usize,
+    /// Records accepted into the table.
+    pub accepted: usize,
+    /// Number of quarantined records (may exceed `quarantined.len()` when
+    /// the diagnostic store cap was hit).
+    pub quarantined_count: usize,
+    /// Stored per-record diagnostics, capped at
+    /// [`IngestPolicy::max_quarantine_entries`].
+    pub quarantined: Vec<Quarantined>,
+}
+
+impl IngestReport {
+    /// True when any record was dropped — the loaded table is not the
+    /// whole input.
+    pub fn is_degraded(&self) -> bool {
+        self.quarantined_count > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_strict() {
+        assert_eq!(IngestPolicy::default().mode, IngestMode::Strict);
+        assert!(IngestPolicy::lenient().is_lenient());
+        assert!(!IngestPolicy::strict().is_lenient());
+    }
+
+    #[test]
+    fn report_degradation() {
+        let mut r = IngestReport::default();
+        assert!(!r.is_degraded());
+        r.quarantined_count = 1;
+        assert!(r.is_degraded());
+    }
+
+    #[test]
+    fn quarantined_display() {
+        let q = Quarantined {
+            line: 9,
+            byte_offset: 120,
+            kind: QuarantineKind::RaggedRow,
+            message: "3 fields, header has 2".into(),
+        };
+        let s = q.to_string();
+        assert!(s.contains("line 9") && s.contains("byte 120") && s.contains("ragged"));
+    }
+}

@@ -7,6 +7,8 @@
 //!   nulls (KATARA operates on Web tables whose "schema is either
 //!   unavailable or unusable", so column names are opaque tags like `A`);
 //! * [`csv`] — dependency-free CSV reading/writing for examples and tests;
+//! * [`ingest`] — strict/lenient loading policy, quarantine diagnostics,
+//!   and per-load reports for the CSV trust boundary;
 //! * [`fd`] — functional dependencies and violation detection, used by the
 //!   EQ and SCARE repair baselines (§7.4, Appendix D);
 //! * [`corrupt`] — seeded error injection ("we injected 10% random errors
@@ -18,10 +20,15 @@
 pub mod corrupt;
 pub mod csv;
 pub mod fd;
+pub mod ingest;
 pub mod table;
 pub mod value;
 
-pub use corrupt::{CellChange, CorruptionConfig, CorruptionKind, CorruptionLog};
+pub use corrupt::{
+    CellChange, CorruptionConfig, CorruptionKind, CorruptionLog, StructuralChange,
+    StructuralCorruptionConfig, StructuralKind, StructuralLog,
+};
 pub use fd::Fd;
+pub use ingest::{IngestMode, IngestPolicy, IngestReport, QuarantineKind, Quarantined};
 pub use table::{CellRef, Table};
 pub use value::Value;

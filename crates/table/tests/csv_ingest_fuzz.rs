@@ -1,0 +1,162 @@
+//! Fuzz-style properties of the CSV ingestion boundary.
+//!
+//! 1. **No panics.** Lenient parsing of arbitrary text — including
+//!    unbalanced quotes, stray CRs and ragged rows — returns `Ok` or a
+//!    typed error, never panics.
+//! 2. **Strict == legacy.** `parse_with_policy` with the strict policy
+//!    returns exactly what `parse` returns on *any* input: same table or
+//!    same error.
+//! 3. **Quarantine counts injected corruption.** Running
+//!    [`katara_table::corrupt::corrupt_csv_text`] over a clean dump and
+//!    re-ingesting leniently quarantines exactly the records the
+//!    corruptor logged — no more, no fewer, same line numbers.
+//!
+//! The case count is elevated in CI via `KATARA_FUZZ_CASES`.
+
+use katara_table::corrupt::{corrupt_csv_text, StructuralCorruptionConfig};
+use katara_table::csv;
+use katara_table::{IngestMode, IngestPolicy, Table};
+use proptest::prelude::*;
+
+/// Per-test case count: `KATARA_FUZZ_CASES` (CI runs an elevated count)
+/// or the given local default.
+fn fuzz_cases(default: u32) -> u32 {
+    std::env::var("KATARA_FUZZ_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Whatever lenient parsing returns, its books must balance.
+fn assert_report_consistent(input: &str) {
+    // A typed failure (header defect, fraction cap) is fine; a panic is not.
+    if let Ok((_, report)) = csv::parse_with_policy("fuzz", input, &IngestPolicy::lenient()) {
+        assert_eq!(
+            report.accepted + report.quarantined_count,
+            report.total_records,
+            "every record is accepted or quarantined"
+        );
+        assert!(report.quarantined.len() <= report.quarantined_count);
+    }
+}
+
+/// A random *simple* table: no commas, quotes or newlines in cells, so
+/// it satisfies the structural corruptor's input contract.
+fn simple_table_strategy() -> impl Strategy<Value = Table> {
+    (2usize..5, 1usize..20).prop_map(|(cols, rows)| {
+        let mut t = Table::with_opaque_columns("fuzz", cols);
+        for r in 0..rows {
+            let cells: Vec<String> = (0..cols).map(|c| format!("v{r}x{c}")).collect();
+            let refs: Vec<&str> = cells.iter().map(String::as_str).collect();
+            t.push_text_row(&refs);
+        }
+        t
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(fuzz_cases(64)))]
+
+    /// Lenient ingestion of arbitrary printable text never panics.
+    #[test]
+    fn lenient_parse_of_arbitrary_text_never_panics(
+        lines in prop::collection::vec(".{0,50}", 0..12),
+    ) {
+        assert_report_consistent(&lines.join("\n"));
+    }
+
+    /// CSV-shaped token soup — heavy on commas, quotes and CRs — hits the
+    /// quoting state machine's edge cases.
+    #[test]
+    fn lenient_parse_of_csv_token_soup_never_panics(
+        lines in prop::collection::vec("[a-c,\" \r]{0,24}", 0..12),
+    ) {
+        assert_report_consistent(&lines.join("\n"));
+    }
+
+    /// Strict `parse_with_policy` returns exactly what `parse` returns on
+    /// arbitrary input: same table (modulo re-serialization) or the same
+    /// typed error.
+    #[test]
+    fn strict_policy_matches_legacy_parse_on_any_input(
+        lines in prop::collection::vec("[a-c,\" ]{0,24}", 0..12),
+    ) {
+        let input = lines.join("\n");
+        let legacy = csv::parse("fuzz", &input);
+        let strict = csv::parse_with_policy("fuzz", &input, &IngestPolicy::strict());
+        match (legacy, strict) {
+            (Ok(a), Ok((b, report))) => {
+                prop_assert_eq!(csv::to_string(&a), csv::to_string(&b));
+                prop_assert!(!report.is_degraded());
+                prop_assert_eq!(report.accepted, report.total_records);
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => panic!("strict diverged from legacy: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// Every structural corruption the corruptor logs becomes exactly one
+    /// quarantined record on lenient re-ingest, at the logged line.
+    #[test]
+    fn quarantine_matches_injected_corruption(
+        table in simple_table_strategy(),
+        rate in 0.0f64..0.6,
+        seed in 0u64..1 << 32,
+    ) {
+        let clean = csv::to_string(&table);
+        let config = StructuralCorruptionConfig {
+            record_error_rate: rate,
+            oversize_len: 4096,
+        };
+        let (dirty, log) = corrupt_csv_text(&clean, &config, seed);
+
+        // Uncapped fraction so heavy corruption still loads; cell cap
+        // below oversize_len so oversized cells are actually caught.
+        let policy = IngestPolicy {
+            mode: IngestMode::Lenient,
+            max_quarantined_fraction: 1.0,
+            max_cell_len: 256,
+            ..IngestPolicy::lenient()
+        };
+        let (_, report) = csv::parse_with_policy("fuzz", &dirty, &policy)
+            .expect("uncapped lenient ingest always loads");
+
+        prop_assert_eq!(
+            report.quarantined_count,
+            log.len(),
+            "one quarantined record per injected corruption"
+        );
+        let mut got: Vec<usize> = report.quarantined.iter().map(|q| q.line).collect();
+        let mut want: Vec<usize> = log.changes.iter().map(|c| c.line).collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want, "quarantine hits exactly the corrupted lines");
+
+        // And the untouched records all survive.
+        prop_assert_eq!(report.accepted, table.num_rows() - log.len());
+    }
+}
+
+/// The degenerate inputs that historically trip hand-rolled CSV readers.
+#[test]
+fn degenerate_inputs_never_panic() {
+    for input in [
+        "",
+        "\n",
+        "\r",
+        "\r\n",
+        ",",
+        ",,,",
+        "\"",
+        "\"\"",
+        "a,\"b",
+        "a,b\n\"",
+        "a,b\nc",
+        "a,b\nc,d,e",
+        "a,b\r\nc,d\r",
+        "\"a\"b\",c",
+    ] {
+        assert_report_consistent(input);
+        let _ = csv::parse("fuzz", input);
+    }
+}
