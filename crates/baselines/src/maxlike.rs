@@ -51,8 +51,7 @@ pub fn maxlike_topk(table: &Table, kb: &Kb, cands: &CandidateSet, k: usize) -> V
         }
         list.sort_by(|a, b| {
             b.tfidf
-                .partial_cmp(&a.tfidf)
-                .unwrap()
+                .total_cmp(&a.tfidf)
                 .then_with(|| a.class.cmp(&b.class))
         });
     }
@@ -73,8 +72,7 @@ pub fn maxlike_topk(table: &Table, kb: &Kb, cands: &CandidateSet, k: usize) -> V
         }
         list.sort_by(|a, b| {
             b.tfidf
-                .partial_cmp(&a.tfidf)
-                .unwrap()
+                .total_cmp(&a.tfidf)
                 .then_with(|| a.property.cmp(&b.property))
         });
     }

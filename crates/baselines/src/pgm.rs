@@ -219,8 +219,7 @@ pub fn pgm_topk(
             }
             list.sort_by(|a, b| {
                 b.tfidf
-                    .partial_cmp(&a.tfidf)
-                    .unwrap()
+                    .total_cmp(&a.tfidf)
                     .then_with(|| a.class.cmp(&b.class))
             });
         }
@@ -233,8 +232,7 @@ pub fn pgm_topk(
         }
         list.sort_by(|a, b| {
             b.tfidf
-                .partial_cmp(&a.tfidf)
-                .unwrap()
+                .total_cmp(&a.tfidf)
                 .then_with(|| a.property.cmp(&b.property))
         });
     }

@@ -82,10 +82,53 @@ fn bench_comparators(c: &mut Criterion) {
     group.finish();
 }
 
+/// Worker-pool scaling of per-row repair generation. Emits
+/// `BENCH_repair.json` at the workspace root (same schema as the
+/// discovery report; quick mode via `KATARA_BENCH_QUICK=1`).
+fn bench_thread_scaling(c: &mut Criterion) {
+    use katara_bench::perf;
+    use katara_core::repair::generate_repairs;
+    use katara_core::Threads;
+
+    let (kb, pattern, dirty) = person_fixture();
+    let config = RepairConfig::default();
+    let index = RepairIndex::build(&kb, &pattern, &config);
+    let rows: Vec<usize> = (0..dirty.num_rows().min(50)).collect();
+    let mut group = c.benchmark_group("repair_thread_scaling");
+    group.sample_size(10);
+    let mut report = perf::ScalingReport::new("repair", "person/dbpedia-like/k3");
+    for threads in perf::thread_counts() {
+        let pool = Threads::fixed(threads);
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| {
+                generate_repairs(
+                    &index,
+                    &kb,
+                    &pattern,
+                    black_box(&dirty),
+                    &rows,
+                    3,
+                    &config,
+                    pool,
+                )
+            })
+        });
+        report.measure(threads, perf::sweep_iters(), || {
+            black_box(generate_repairs(
+                &index, &kb, &pattern, &dirty, &rows, 3, &config, pool,
+            ));
+        });
+    }
+    group.finish();
+    let path = report.write().expect("write BENCH_repair.json");
+    eprintln!("thread-scaling report: {}", path.display());
+}
+
 criterion_group!(
     benches,
     bench_index_build,
     bench_topk_repairs,
-    bench_comparators
+    bench_comparators,
+    bench_thread_scaling
 );
 criterion_main!(benches);

@@ -17,6 +17,8 @@ use katara_datagen::{GeneratedTable, KbFlavor};
 use katara_eval::corpus::{Corpus, CorpusConfig};
 use katara_kb::Kb;
 
+pub mod perf;
+
 /// The benchmark corpus: small enough for Criterion's iteration counts,
 /// large enough to exercise every code path.
 pub fn bench_corpus() -> Corpus {

@@ -1,0 +1,191 @@
+//! Machine-readable thread-scaling reports.
+//!
+//! The `discovery` and `repair` bench targets sweep the worker-pool size
+//! and, besides the usual Criterion output, drop a `BENCH_<name>.json`
+//! at the workspace root:
+//!
+//! ```json
+//! {
+//!   "bench": "discovery",
+//!   "fixture": "web_table/yago-like",
+//!   "mode": "full",
+//!   "parallelism": 8,
+//!   "samples": [
+//!     { "threads": 1, "wall_ms": 12.3, "speedup": 1.0 },
+//!     { "threads": 2, "wall_ms": 6.5, "speedup": 1.89 }
+//!   ]
+//! }
+//! ```
+//!
+//! `speedup` is relative to the `threads: 1` sample. `parallelism`
+//! records the machine's available parallelism so a flat curve on a
+//! one-core box reads as a hardware limit, not a regression. Set
+//! `KATARA_BENCH_QUICK=1` for a cut-down sweep (threads 1–2, fewer
+//! iterations) suitable for CI smoke jobs.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Environment variable selecting the cut-down CI sweep.
+pub const QUICK_ENV: &str = "KATARA_BENCH_QUICK";
+
+/// True when [`QUICK_ENV`] is set (to anything non-empty).
+pub fn quick_mode() -> bool {
+    std::env::var(QUICK_ENV).is_ok_and(|v| !v.is_empty())
+}
+
+/// The worker-pool sizes to sweep: `[1, 2]` in quick mode, `[1, 2, 4, 8]`
+/// otherwise.
+pub fn thread_counts() -> Vec<usize> {
+    if quick_mode() {
+        vec![1, 2]
+    } else {
+        vec![1, 2, 4, 8]
+    }
+}
+
+/// Timed iterations per thread count: trimmed in quick mode.
+pub fn sweep_iters() -> usize {
+    if quick_mode() {
+        3
+    } else {
+        10
+    }
+}
+
+/// One measured point of the sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadSample {
+    /// Worker-pool size.
+    pub threads: usize,
+    /// Mean wall time per iteration, in milliseconds.
+    pub wall_ms: f64,
+    /// Wall-time ratio vs the 1-thread sample (1.0 for the baseline).
+    pub speedup: f64,
+}
+
+/// A thread-scaling report for one bench target.
+#[derive(Debug, Clone)]
+pub struct ScalingReport {
+    /// Bench name — becomes the `BENCH_<bench>.json` file name.
+    pub bench: String,
+    /// Human-readable fixture description.
+    pub fixture: String,
+    /// Measured points, in sweep order.
+    pub samples: Vec<ThreadSample>,
+}
+
+impl ScalingReport {
+    /// Start an empty report.
+    pub fn new(bench: &str, fixture: &str) -> Self {
+        ScalingReport {
+            bench: bench.to_string(),
+            fixture: fixture.to_string(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// Time `iters` runs of `f` and record the mean as the sample for
+    /// `threads`. Speedups are (re)derived from the 1-thread sample.
+    pub fn measure<F: FnMut()>(&mut self, threads: usize, iters: usize, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..iters.max(1) {
+            f();
+        }
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3 / iters.max(1) as f64;
+        self.samples.push(ThreadSample {
+            threads,
+            wall_ms,
+            speedup: 1.0,
+        });
+        let base = self
+            .samples
+            .iter()
+            .find(|s| s.threads == 1)
+            .map(|s| s.wall_ms)
+            .unwrap_or(wall_ms);
+        for s in &mut self.samples {
+            s.speedup = if s.wall_ms > 0.0 {
+                base / s.wall_ms
+            } else {
+                1.0
+            };
+        }
+    }
+
+    /// Render the JSON document.
+    pub fn to_json(&self) -> String {
+        let parallelism = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let mode = if quick_mode() { "quick" } else { "full" };
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"bench\": \"{}\",\n", escape(&self.bench)));
+        out.push_str(&format!("  \"fixture\": \"{}\",\n", escape(&self.fixture)));
+        out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+        out.push_str(&format!("  \"parallelism\": {parallelism},\n"));
+        out.push_str("  \"samples\": [\n");
+        for (i, s) in self.samples.iter().enumerate() {
+            let comma = if i + 1 < self.samples.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{ \"threads\": {}, \"wall_ms\": {:.3}, \"speedup\": {:.3} }}{comma}\n",
+                s.threads, s.wall_ms, s.speedup
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Write `BENCH_<bench>.json` at the workspace root; returns the path.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..");
+        let path = root.join(format!("BENCH_{}.json", self.bench));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// Minimal JSON string escaping — fixture names are plain ASCII, but a
+/// stray quote must not corrupt the document.
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_shape_and_speedups() {
+        let mut r = ScalingReport::new("unit", "toy");
+        r.measure(1, 2, || {
+            std::thread::sleep(std::time::Duration::from_millis(2))
+        });
+        r.measure(2, 2, || {
+            std::thread::sleep(std::time::Duration::from_millis(1))
+        });
+        assert_eq!(r.samples.len(), 2);
+        assert!((r.samples[0].speedup - 1.0).abs() < 1e-9);
+        assert!(r.samples[1].speedup > 1.0, "{:?}", r.samples);
+        let json = r.to_json();
+        for key in [
+            "\"bench\"",
+            "\"fixture\"",
+            "\"mode\"",
+            "\"parallelism\"",
+            "\"samples\"",
+            "\"threads\"",
+            "\"wall_ms\"",
+            "\"speedup\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn escape_keeps_json_valid() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+}

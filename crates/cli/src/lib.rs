@@ -3,8 +3,9 @@
 //! ```text
 //! katara clean    --table data.csv --kb kb.nt [--crowd MODE] [--k N]
 //!                 [--out repaired.csv] [--enriched-kb out.nt]
-//!                 [--max-questions N] [--strict|--lenient]
+//!                 [--max-questions N] [--strict|--lenient] [--threads N]
 //! katara discover --table data.csv --kb kb.nt [--k N] [--strict|--lenient]
+//!                 [--threads N]
 //! katara kb-stats --kb kb.nt [--strict|--lenient]
 //! ```
 //!
@@ -29,6 +30,11 @@
 //! malformed lines, repairs KB hierarchy cycles by dropping the closing
 //! edge, reports what was lost, and exits 3 when anything was — the run
 //! completes on whatever loaded cleanly.
+//!
+//! `--threads N` sizes the worker pool for the discovery and repair hot
+//! paths (default: the `KATARA_THREADS` environment variable, else the
+//! machine's available parallelism). Results are byte-identical for every
+//! thread count — `--threads` is purely a performance knob.
 //!
 //! The library part exists so the command logic is unit-testable; the
 //! binary is a thin `main`.
@@ -288,6 +294,9 @@ pub enum Command {
         max_questions: Option<usize>,
         /// Strict or lenient ingestion of the KB and table files.
         ingest: IngestChoice,
+        /// Worker threads for the discovery/repair hot paths; `None`
+        /// resolves `KATARA_THREADS` / available parallelism.
+        threads: Option<usize>,
     },
     /// Discovery only.
     Discover {
@@ -299,6 +308,9 @@ pub enum Command {
         k: usize,
         /// Strict or lenient ingestion of the KB and table files.
         ingest: IngestChoice,
+        /// Worker threads for candidate discovery; `None` resolves
+        /// `KATARA_THREADS` / available parallelism.
+        threads: Option<usize>,
     },
     /// KB statistics.
     KbStats {
@@ -316,7 +328,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "katara clean|discover|kb-stats --table T.csv --kb KB.nt \
              [--crowd interactive|trust|skeptic|facts:FILE] [--k N] \
              [--out OUT.csv] [--enriched-kb OUT.nt] [--max-questions N] \
-             [--strict|--lenient]"
+             [--strict|--lenient] [--threads N]"
                 .to_string(),
         )
     };
@@ -330,6 +342,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut enriched_kb = None;
     let mut max_questions = None;
     let mut ingest = IngestChoice::default();
+    let mut threads = None;
     while let Some(flag) = it.next() {
         let mut value = || {
             it.next()
@@ -356,6 +369,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
             "--strict" => ingest = IngestChoice::Strict,
             "--lenient" => ingest = IngestChoice::Lenient,
+            "--threads" => {
+                let n: usize = value()?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--threads needs a number".into()))?;
+                if n == 0 {
+                    return Err(CliError::Usage("--threads must be at least 1".into()));
+                }
+                threads = Some(n);
+            }
             other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
         }
     }
@@ -372,12 +394,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             enriched_kb,
             max_questions,
             ingest,
+            threads,
         }),
         "discover" => Ok(Command::Discover {
             table: need(table, "table")?,
             kb: need(kb, "kb")?,
             k,
             ingest,
+            threads,
         }),
         "kb-stats" => Ok(Command::KbStats {
             kb: need(kb, "kb")?,
@@ -471,6 +495,13 @@ pub enum RunStatus {
     Degraded,
 }
 
+/// Resolve an optional `--threads N` into a pool size: an explicit
+/// value wins, otherwise fall back to `KATARA_THREADS` / available
+/// parallelism via [`Threads::auto`].
+fn resolve_threads(threads: Option<usize>) -> Threads {
+    threads.map(Threads::fixed).unwrap_or_default()
+}
+
 /// Execute a command, writing human-readable output to stdout.
 pub fn run(cmd: Command) -> Result<RunStatus, CliError> {
     match cmd {
@@ -493,6 +524,7 @@ pub fn run(cmd: Command) -> Result<RunStatus, CliError> {
             kb,
             k,
             ingest,
+            threads,
         } => {
             let (kb, kb_report) = load_kb(&kb, ingest)?;
             let (table, table_report) = load_table(&table, ingest)?;
@@ -507,7 +539,11 @@ pub fn run(cmd: Command) -> Result<RunStatus, CliError> {
             } else {
                 RunStatus::Clean
             };
-            let cands = discover_candidates(&table, &kb, &CandidateConfig::default());
+            let candidate_config = CandidateConfig {
+                threads: resolve_threads(threads),
+                ..CandidateConfig::default()
+            };
+            let cands = discover_candidates(&table, &kb, &candidate_config);
             let patterns = discover_topk(&table, &kb, &cands, k, &DiscoveryConfig::default());
             if patterns.is_empty() {
                 println!("no table pattern found — the KB does not cover this table");
@@ -532,6 +568,7 @@ pub fn run(cmd: Command) -> Result<RunStatus, CliError> {
             enriched_kb,
             max_questions,
             ingest,
+            threads,
         } => {
             let (mut kb, kb_report) = load_kb(&kb, ingest)?;
             let (mut table, table_report) = load_table(&table, ingest)?;
@@ -556,6 +593,7 @@ pub fn run(cmd: Command) -> Result<RunStatus, CliError> {
                 },
                 CliOracle::new(crowd),
             )?;
+            let pool = resolve_threads(threads);
             let config = KataraConfig {
                 repairs_k: k,
                 // The CLI oracle is deterministic (or a human): one
@@ -565,6 +603,11 @@ pub fn run(cmd: Command) -> Result<RunStatus, CliError> {
                     questions_per_variable: 1,
                     ..ValidationConfig::default()
                 },
+                candidates: CandidateConfig {
+                    threads: pool,
+                    ..CandidateConfig::default()
+                },
+                threads: pool,
                 ..KataraConfig::default()
             };
             let mut report = Katara::new(config).clean(&table, &mut kb, &mut platform)?;
@@ -695,6 +738,51 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_args_threads() {
+        let args: Vec<String> = [
+            "discover",
+            "--table",
+            "t.csv",
+            "--kb",
+            "k.nt",
+            "--threads",
+            "4",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        match parse_args(&args).unwrap() {
+            Command::Discover { threads, .. } => assert_eq!(threads, Some(4)),
+            other => panic!("{other:?}"),
+        }
+        // Omitted: falls through to the auto default.
+        let args: Vec<String> = ["discover", "--table", "t.csv", "--kb", "k.nt"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        match parse_args(&args).unwrap() {
+            Command::Discover { threads, .. } => assert_eq!(threads, None),
+            other => panic!("{other:?}"),
+        }
+        // Zero workers is a usage error, not a silent clamp.
+        let args: Vec<String> = [
+            "clean",
+            "--table",
+            "t.csv",
+            "--kb",
+            "k.nt",
+            "--crowd",
+            "trust",
+            "--threads",
+            "0",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        assert!(matches!(parse_args(&args), Err(CliError::Usage(_))));
     }
 
     #[test]

@@ -106,6 +106,7 @@ fn discover_and_stats_run() {
         kb: kb.to_str().unwrap().into(),
         k: 3,
         ingest: IngestChoice::Strict,
+        threads: None,
     })
     .unwrap();
     std::fs::remove_dir_all(&dir).ok();
@@ -128,6 +129,7 @@ fn trust_mode_enriches_everything() {
         enriched_kb: Some(enriched.to_str().unwrap().into()),
         max_questions: None,
         ingest: IngestChoice::Strict,
+        threads: None,
     })
     .unwrap();
     // Trust mode confirms even the wrong capital: the KB gains both the
@@ -155,6 +157,7 @@ fn exhausted_budget_degrades_instead_of_failing() {
         enriched_kb: None,
         max_questions: Some(0),
         ingest: IngestChoice::Strict,
+        threads: None,
     })
     .unwrap();
     assert_eq!(status, RunStatus::Degraded);
@@ -259,6 +262,7 @@ fn strict_ingestion_rejects_the_same_corrupted_inputs() {
         enriched_kb: None,
         max_questions: None,
         ingest: IngestChoice::Strict,
+        threads: None,
     })
     .unwrap_err();
     match err {

@@ -25,6 +25,7 @@
 
 use std::collections::HashMap;
 
+use katara_exec::{par_map_indexed_with, Threads};
 use katara_kb::{ClassId, Kb, PropertyId};
 use katara_table::Table;
 
@@ -75,6 +76,12 @@ pub struct CandidateConfig {
     pub min_rel_support_fraction: f64,
     /// Keep at most this many candidates per ranked list.
     pub max_candidates: usize,
+    /// Worker threads for the per-column / per-pair KB-query loops (the
+    /// paper distributes candidate generation for the 316K-row Person
+    /// table, §7.1). The output is byte-identical for every thread count;
+    /// with one thread the historical sequential loop runs, sharing one
+    /// `Q_types`/`Q_rels` memo cache across all columns and pairs.
+    pub threads: Threads,
 }
 
 impl Default for CandidateConfig {
@@ -84,12 +91,13 @@ impl Default for CandidateConfig {
             min_support_fraction: 0.05,
             min_rel_support_fraction: 0.3,
             max_candidates: 12,
+            threads: Threads::auto(),
         }
     }
 }
 
 /// The ranked candidate lists for one table against one KB.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CandidateSet {
     /// Per column: candidate types, descending tf-idf (ties: fewer
     /// instances first, as in Algorithm 1's tie-break).
@@ -117,55 +125,69 @@ impl CandidateSet {
 }
 
 /// Discover the ranked candidate lists for `table` against `kb`.
+///
+/// The per-column and per-pair KB-query loops are embarrassingly parallel
+/// and run on [`CandidateConfig::threads`] workers. Each worker memoizes
+/// `Q_types` (per distinct cell string) and `Q_rels` (per distinct string
+/// pair) locally; because those caches only memoize pure KB lookups and
+/// results are merged back in column/pair order, the returned
+/// [`CandidateSet`] is byte-identical for every thread count — one thread
+/// reproduces the historical sequential scan exactly, single shared cache
+/// included.
 pub fn discover_candidates(table: &Table, kb: &Kb, config: &CandidateConfig) -> CandidateSet {
     let rows = table.num_rows().min(config.max_rows);
     let ncols = table.num_columns();
 
     // ---- Types per column ------------------------------------------------
-    // Cache Q_types per distinct cell string.
-    let mut type_cache: HashMap<&str, Vec<ClassId>> = HashMap::new();
-    let mut col_types: Vec<Vec<TypeCandidate>> = Vec::with_capacity(ncols);
+    // Parallel across columns; per-worker cache of Q_types per distinct
+    // cell string.
     let num_classes = kb.num_classes().max(1) as f64;
-
-    for c in 0..ncols {
-        // tf-idf accumulator and support count per candidate type.
-        let mut acc: HashMap<ClassId, (f64, usize)> = HashMap::new();
-        let mut non_null = 0usize;
-        for r in 0..rows {
-            let Some(cell) = table.cell(r, c).as_str() else {
-                continue;
-            };
-            non_null += 1;
-            let types = type_cache
-                .entry(cell)
-                .or_insert_with(|| kb.types_of_value(cell));
-            if types.is_empty() {
-                continue;
+    let col_types: Vec<Vec<TypeCandidate>> = par_map_indexed_with(
+        config.threads,
+        ncols,
+        HashMap::<&str, Vec<ClassId>>::new,
+        |type_cache, c| {
+            // tf-idf accumulator and support count per candidate type.
+            let mut acc: HashMap<ClassId, (f64, usize)> = HashMap::new();
+            let mut non_null = 0usize;
+            for r in 0..rows {
+                let Some(cell) = table.cell(r, c).as_str() else {
+                    continue;
+                };
+                non_null += 1;
+                let types = type_cache
+                    .entry(cell)
+                    .or_insert_with(|| kb.types_of_value(cell));
+                if types.is_empty() {
+                    continue;
+                }
+                let idf = (num_classes / types.len() as f64).ln().max(0.0);
+                for &t in types.iter() {
+                    let tf = 1.0 / (1.0 + (kb.class_size(t) as f64).ln());
+                    let e = acc.entry(t).or_insert((0.0, 0));
+                    e.0 += tf * idf;
+                    e.1 += 1;
+                }
             }
-            let idf = (num_classes / types.len() as f64).ln().max(0.0);
-            for &t in types.iter() {
-                let tf = 1.0 / (1.0 + (kb.class_size(t) as f64).ln());
-                let e = acc.entry(t).or_insert((0.0, 0));
-                e.0 += tf * idf;
-                e.1 += 1;
-            }
-        }
-        col_types.push(rank_types(kb, acc, non_null, config));
-    }
+            rank_types(kb, acc, non_null, config)
+        },
+    );
 
     // ---- Relationships per ordered pair -----------------------------------
-    // Cache Q_rels per distinct (string, string) pair: (resource-object
-    // relations, literal-object relations).
+    // Parallel across ordered pairs (same i-outer/j-inner order as the
+    // historical double loop); per-worker cache of Q_rels per distinct
+    // (string, string) pair: (resource-object, literal-object) relations.
     type RelCacheEntry = (Vec<PropertyId>, Vec<PropertyId>);
-    let mut rel_cache: HashMap<(&str, &str), RelCacheEntry> = HashMap::new();
-    let mut pair_rels: HashMap<(usize, usize), Vec<RelCandidate>> = HashMap::new();
     let num_props = kb.num_properties().max(1) as f64;
-
-    for i in 0..ncols {
-        for j in 0..ncols {
-            if i == j {
-                continue;
-            }
+    let pairs: Vec<(usize, usize)> = (0..ncols)
+        .flat_map(|i| (0..ncols).filter(move |&j| j != i).map(move |j| (i, j)))
+        .collect();
+    let ranked_pairs: Vec<Vec<RelCandidate>> = par_map_indexed_with(
+        config.threads,
+        pairs.len(),
+        HashMap::<(&str, &str), RelCacheEntry>::new,
+        |rel_cache, pi| {
+            let (i, j) = pairs[pi];
             let mut acc: HashMap<PropertyId, (f64, usize, bool)> = HashMap::new();
             let mut non_null = 0usize;
             for r in 0..rows {
@@ -198,10 +220,15 @@ pub fn discover_candidates(table: &Table, kb: &Kb, config: &CandidateConfig) -> 
                     e.2 |= is_lit;
                 }
             }
-            let ranked = rank_rels(kb, acc, non_null, config);
-            if !ranked.is_empty() {
-                pair_rels.insert((i, j), ranked);
-            }
+            rank_rels(kb, acc, non_null, config)
+        },
+    );
+    // Deterministic merge in pair order (insertion order is irrelevant to
+    // `HashMap` equality, but keeping it makes the walk reproducible).
+    let mut pair_rels: HashMap<(usize, usize), Vec<RelCandidate>> = HashMap::new();
+    for (pi, ranked) in ranked_pairs.into_iter().enumerate() {
+        if !ranked.is_empty() {
+            pair_rels.insert(pairs[pi], ranked);
         }
     }
 
@@ -427,6 +454,29 @@ mod tests {
         assert!(cands.col_types[0].is_empty());
         assert!(cands.col_types[1].is_empty());
         assert!(cands.pair_rels.is_empty());
+    }
+
+    /// The tentpole guarantee: candidate discovery is a pure function of
+    /// (table, kb, config) — the worker count never shows in the output.
+    #[test]
+    fn thread_count_invariant() {
+        let (kb, mut t) = kb_and_table();
+        t.push_text_row(&["", "Rome"]); // degenerate cells included
+        t.push_text_row(&["Italy", ""]);
+        let at = |n: usize| {
+            discover_candidates(
+                &t,
+                &kb,
+                &CandidateConfig {
+                    threads: Threads::fixed(n),
+                    ..CandidateConfig::default()
+                },
+            )
+        };
+        let sequential = at(1);
+        for n in [2, 3, 8] {
+            assert_eq!(at(n), sequential, "threads={n}");
+        }
     }
 
     #[test]

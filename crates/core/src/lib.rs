@@ -80,11 +80,12 @@ pub mod prelude {
     pub use crate::pattern::{MatchReport, PatternEdge, PatternNode, TablePattern, TupleMatch};
     pub use crate::pipeline::{CleaningReport, DegradationReport, Katara, KataraConfig};
     pub use crate::rank_join::{discover_exhaustive, discover_topk, DiscoveryConfig};
-    pub use crate::repair::{topk_repairs, Repair, RepairConfig, RepairIndex};
+    pub use crate::repair::{generate_repairs, topk_repairs, Repair, RepairConfig, RepairIndex};
     pub use crate::scoring::{score_pattern, ScoringConfig};
     pub use crate::validation::{
         validate_patterns, SchedulingStrategy, ValidationConfig, ValidationOutcome,
     };
+    pub use katara_exec::Threads;
 }
 
 pub use prelude::*;

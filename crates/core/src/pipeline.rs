@@ -3,6 +3,7 @@
 //! selection (a §9 future-work item implemented here).
 
 use katara_crowd::{Crowd, Oracle};
+use katara_exec::Threads;
 use katara_kb::Kb;
 use katara_table::Table;
 
@@ -11,7 +12,7 @@ use crate::candidates::{discover_candidates, CandidateConfig};
 use crate::error::KataraError;
 use crate::pattern::TablePattern;
 use crate::rank_join::{discover_topk_with_stats, DiscoveryConfig, DiscoveryStats};
-use crate::repair::{topk_repairs, Repair, RepairConfig, RepairIndex};
+use crate::repair::{generate_repairs, Repair, RepairConfig, RepairIndex};
 use crate::validation::{validate_patterns, SchedulingStrategy, ValidationConfig};
 
 /// End-to-end configuration.
@@ -33,6 +34,11 @@ pub struct KataraConfig {
     pub repair: RepairConfig,
     /// How many possible repairs per erroneous tuple (paper fixes 3).
     pub repairs_k: usize,
+    /// Worker threads for repair generation over erroneous tuples.
+    /// (Candidate discovery reads its own [`CandidateConfig::threads`];
+    /// the CLI sets both from one `--threads` flag.) Results are
+    /// byte-identical for every thread count.
+    pub threads: Threads,
 }
 
 impl Default for KataraConfig {
@@ -46,6 +52,7 @@ impl Default for KataraConfig {
             annotation: AnnotationConfig::default(),
             repair: RepairConfig::default(),
             repairs_k: 3,
+            threads: Threads::auto(),
         }
     }
 }
@@ -196,21 +203,16 @@ impl Katara {
         // feedback) drives repair.
         let effective = annotation.pattern.clone();
         let index = RepairIndex::build(kb, &effective, &self.config.repair);
-        let repairs = annotation
-            .erroneous_rows()
-            .into_iter()
-            .map(|row| {
-                let r = topk_repairs(
-                    &index,
-                    kb,
-                    &effective,
-                    table.row(row),
-                    self.config.repairs_k,
-                    &self.config.repair,
-                );
-                (row, r)
-            })
-            .collect();
+        let repairs = generate_repairs(
+            &index,
+            kb,
+            &effective,
+            table,
+            &annotation.erroneous_rows(),
+            self.config.repairs_k,
+            &self.config.repair,
+            self.config.threads,
+        );
 
         let run_stats = crowd.stats().since(&stats_before);
         let degradation = DegradationReport {

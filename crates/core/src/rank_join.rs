@@ -140,7 +140,10 @@ struct State {
 
 impl PartialEq for State {
     fn eq(&self, other: &Self) -> bool {
-        self.f == other.f && self.seq == other.seq
+        // Consistent with `Ord::cmp` below (total_cmp), as `Eq` requires
+        // — `f == other.f` would make two NaN bounds unequal yet
+        // compare `Ordering::Equal`.
+        self.f.total_cmp(&other.f) == Ordering::Equal && self.seq == other.seq
     }
 }
 impl Eq for State {}
@@ -151,10 +154,12 @@ impl PartialOrd for State {
 }
 impl Ord for State {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Max-heap on f; ties → earlier seq first (deterministic).
+        // Max-heap on f; ties → earlier seq first (deterministic). The
+        // ordering must be total (`total_cmp`): `partial_cmp` mapping a
+        // NaN bound to `Equal` would violate transitivity and silently
+        // corrupt the heap's best-first order for *other* states too.
         self.f
-            .partial_cmp(&other.f)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&other.f)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -499,6 +504,30 @@ mod tests {
         let (out, stats) = discover_topk_with_stats(&t, &kb, &cands, 5, &cfg);
         assert!(stats.truncated);
         assert!(out.len() <= 5);
+    }
+
+    /// A NaN upper bound must not corrupt the frontier: the heap ordering
+    /// is total, so every non-NaN state still pops in strict best-first
+    /// order and equal bounds still tie-break by insertion sequence.
+    #[test]
+    fn nan_bound_keeps_heap_order_total() {
+        let mk = |f: f64, seq: u64| State {
+            depth: 0,
+            choices: Vec::new(),
+            g: 0.0,
+            f,
+            seq,
+        };
+        let mut heap = BinaryHeap::new();
+        heap.push(mk(1.0, 0));
+        heap.push(mk(f64::NAN, 1));
+        heap.push(mk(0.5, 2));
+        heap.push(mk(1.0, 3));
+        heap.push(mk(-f64::NAN, 4));
+        let order: Vec<u64> = std::iter::from_fn(|| heap.pop()).map(|s| s.seq).collect();
+        // total_cmp: +NaN above every real, -NaN below every real; the
+        // 1.0 tie resolves to the earlier sequence number.
+        assert_eq!(order, vec![1, 0, 3, 2, 4]);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use std::collections::HashMap;
 
+use katara_exec::Threads;
 use katara_kb::{sim, Kb, ResourceId};
 use katara_table::{Table, Value};
 
@@ -432,6 +433,33 @@ pub fn topk_repairs(
         combined = next;
     }
     diversify(combined, k)
+}
+
+/// Batch [`topk_repairs`] over many erroneous tuples, distributed across
+/// `threads` workers (KGClean-style per-tuple batching — each tuple's
+/// top-k is independent given the shared [`RepairIndex`]).
+///
+/// Returns one `(row, repairs)` entry per input row, in input order;
+/// rows with no overlapping instance graph yield an empty repair list.
+/// Deterministic: the result is byte-identical for every thread count,
+/// and with one thread this is exactly the historical sequential walk.
+#[allow(clippy::too_many_arguments)] // mirrors topk_repairs' signature + rows/threads
+pub fn generate_repairs(
+    index: &RepairIndex,
+    kb: &Kb,
+    pattern: &TablePattern,
+    table: &Table,
+    rows: &[usize],
+    k: usize,
+    config: &RepairConfig,
+    threads: Threads,
+) -> Vec<(usize, Vec<Repair>)> {
+    katara_exec::par_map(threads, rows, |&row| {
+        (
+            row,
+            topk_repairs(index, kb, pattern, table.row(row), k, config),
+        )
+    })
 }
 
 /// Drop candidate groups with no evidential support: when more than

@@ -93,6 +93,20 @@ pub fn candidates_for(table: &Table, kb: &Kb) -> CandidateSet {
     discover_candidates(table, kb, &CandidateConfig::default())
 }
 
+/// Candidate discovery pinned to one worker — used inside table-level
+/// `par_map` sweeps so the corpus fans out across tables without nesting
+/// a second pool per table.
+fn candidates_for_seq(table: &Table, kb: &Kb) -> CandidateSet {
+    discover_candidates(
+        table,
+        kb,
+        &CandidateConfig {
+            threads: katara_exec::Threads::single(),
+            ..CandidateConfig::default()
+        },
+    )
+}
+
 /// An expert crowd for one (table, flavor) pair.
 pub fn crowd_for(
     corpus: &Corpus,
@@ -123,19 +137,22 @@ pub fn topk_f_series(
 ) -> Vec<[f64; 4]> {
     let kb = corpus.kb(flavor);
     let max_k = ks.iter().copied().max().unwrap_or(1);
-    // Collect top-max_k once per table and algorithm; slice per k.
-    let mut per_table: Vec<([Vec<TablePattern>; 4], GtTypes, GtRels)> = Vec::new();
-    for g in tables {
-        let cands = candidates_for(&g.table, &kb);
-        let (gt_types, gt_rels) = ground_truth_for(g, flavor);
-        let tops = [
-            Algo::Support.topk(&g.table, &kb, &cands, max_k),
-            Algo::MaxLike.topk(&g.table, &kb, &cands, max_k),
-            Algo::Pgm.topk(&g.table, &kb, &cands, max_k),
-            Algo::RankJoin.topk(&g.table, &kb, &cands, max_k),
-        ];
-        per_table.push((tops, gt_types, gt_rels));
-    }
+    // Collect top-max_k once per table and algorithm; slice per k. Tables
+    // are independent, so fan out across them (one worker pool level:
+    // per-table discovery runs sequentially) and fold the per-table
+    // results back in table order so the float sums are unchanged.
+    let per_table: Vec<([Vec<TablePattern>; 4], GtTypes, GtRels)> =
+        katara_exec::par_map(katara_exec::Threads::auto(), tables, |g| {
+            let cands = candidates_for_seq(&g.table, &kb);
+            let (gt_types, gt_rels) = ground_truth_for(g, flavor);
+            let tops = [
+                Algo::Support.topk(&g.table, &kb, &cands, max_k),
+                Algo::MaxLike.topk(&g.table, &kb, &cands, max_k),
+                Algo::Pgm.topk(&g.table, &kb, &cands, max_k),
+                Algo::RankJoin.topk(&g.table, &kb, &cands, max_k),
+            ];
+            (tops, gt_types, gt_rels)
+        });
     ks.iter()
         .map(|&k| {
             let mut means = [0.0f64; 4];

@@ -5,7 +5,7 @@
 use katara_datagen::KbFlavor;
 
 use crate::corpus::Corpus;
-use crate::experiments::{candidates_for, flavors, ground_truth_for, Algo};
+use crate::experiments::{candidates_for_seq, flavors, ground_truth_for, Algo};
 use crate::metrics::{pattern_precision_recall, PatternScore};
 use crate::report::{fmt2, MdTable};
 
@@ -33,18 +33,27 @@ pub fn run(corpus: &Corpus) -> Table2 {
     for flavor in flavors() {
         let kb = corpus.kb(flavor);
         for (name, tables) in corpus.families() {
+            // Score each table independently in parallel, then fold the
+            // per-table scores back in table order — the summation order
+            // (and thus every float) is identical to the sequential loop.
+            let per_table: Vec<[PatternScore; 4]> =
+                katara_exec::par_map(katara_exec::Threads::auto(), &tables, |g| {
+                    let cands = candidates_for_seq(&g.table, &kb);
+                    let (gt_types, gt_rels) = ground_truth_for(g, flavor);
+                    let mut scores = [PatternScore::default(); 4];
+                    for (ai, algo) in Algo::all().into_iter().enumerate() {
+                        let top = algo.topk(&g.table, &kb, &cands, 1);
+                        scores[ai] = top
+                            .first()
+                            .map(|p| pattern_precision_recall(&kb, p, &gt_types, &gt_rels))
+                            .unwrap_or_default();
+                    }
+                    scores
+                });
+            let n = per_table.len();
             let mut sums = [PatternScore::default(); 4];
-            let mut n = 0usize;
-            for g in &tables {
-                let cands = candidates_for(&g.table, &kb);
-                let (gt_types, gt_rels) = ground_truth_for(g, flavor);
-                n += 1;
-                for (ai, algo) in Algo::all().into_iter().enumerate() {
-                    let top = algo.topk(&g.table, &kb, &cands, 1);
-                    let s = top
-                        .first()
-                        .map(|p| pattern_precision_recall(&kb, p, &gt_types, &gt_rels))
-                        .unwrap_or_default();
+            for table_scores in &per_table {
+                for (ai, s) in table_scores.iter().enumerate() {
                     sums[ai].p += s.p;
                     sums[ai].r += s.r;
                 }

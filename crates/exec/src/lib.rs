@@ -1,0 +1,279 @@
+//! # katara-exec — deterministic scoped parallelism
+//!
+//! A small from-scratch worker pool (no external dependencies, per the
+//! workspace's vendored-shim policy) built on [`std::thread::scope`],
+//! powering the discovery/repair/eval hot paths.
+//!
+//! The contract every primitive here upholds is **thread-count
+//! invariance**: results are a pure function of the inputs, never of how
+//! many workers executed them or how work was interleaved. This is what
+//! lets `--threads N` be a pure performance knob — `--threads 1` runs the
+//! exact sequential code path, and any `N` produces byte-identical
+//! output. It is achieved by construction:
+//!
+//! * work items are *index ranges*, claimed atomically but **written back
+//!   by index**, so the output `Vec` order equals the input order;
+//! * per-worker scratch state (e.g. the candidate-discovery `Q_types` /
+//!   `Q_rels` memo caches) is created by a caller-supplied `init` closure
+//!   and only ever used as a *cache of pure functions* — state affects
+//!   speed, never values;
+//! * a panicking worker aborts the whole map and re-raises the panic at
+//!   the call site, so errors cannot be silently dropped.
+
+#![warn(missing_docs)]
+#![deny(clippy::unwrap_used)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable overriding [`Threads::auto`]'s worker count.
+pub const THREADS_ENV: &str = "KATARA_THREADS";
+
+/// A validated worker-thread count (always ≥ 1).
+///
+/// `Threads::default()` resolves [`Threads::auto`]: the `KATARA_THREADS`
+/// environment variable if set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Threads(usize);
+
+impl Threads {
+    /// Exactly `n` workers; `0` is clamped to `1`.
+    pub fn fixed(n: usize) -> Self {
+        Threads(n.max(1))
+    }
+
+    /// The sequential executor (one worker, no thread spawning).
+    pub fn single() -> Self {
+        Threads(1)
+    }
+
+    /// `KATARA_THREADS` if set to a positive integer, otherwise the
+    /// machine's available parallelism (1 if that cannot be determined).
+    pub fn auto() -> Self {
+        if let Ok(v) = std::env::var(THREADS_ENV) {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return Threads(n);
+                }
+            }
+        }
+        Threads(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// The worker count.
+    pub fn get(self) -> usize {
+        self.0
+    }
+}
+
+impl Default for Threads {
+    fn default() -> Self {
+        Threads::auto()
+    }
+}
+
+impl std::fmt::Display for Threads {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Order-preserving parallel map over `0..n` with per-worker scratch
+/// state.
+///
+/// `init` builds one state value per worker; `f(&mut state, i)` computes
+/// the result for index `i`. Indexes are claimed dynamically (an atomic
+/// counter), so uneven item costs balance across workers, but the output
+/// `Vec` is always `[f(_, 0), f(_, 1), …, f(_, n-1)]` in index order.
+///
+/// Determinism contract (callers rely on it, tests assert it): `f` must
+/// compute a value independent of the scratch state's *history* — the
+/// state may memoize pure lookups, never accumulate results. Under that
+/// contract the output is byte-identical for every thread count.
+///
+/// With one worker (or `n <= 1`) no thread is spawned and items run in
+/// index order against a single state — the exact sequential loop, with
+/// the state shared across all items as a sequential memo cache would be.
+///
+/// Panics in `f` or `init` are re-raised at the call site once all
+/// workers have stopped.
+pub fn par_map_indexed_with<S, R, I, F>(threads: Threads, n: usize, init: I, f: F) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
+    let workers = threads.get().min(n);
+    if workers <= 1 {
+        let mut state = init();
+        return (0..n).map(|i| f(&mut state, i)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut buckets: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = init();
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&mut state, i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(local) => buckets.push(local),
+                // Re-raise the worker's panic with its original payload.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+
+    // Deterministic merge: every index was claimed by exactly one worker;
+    // placing results by index restores input order regardless of which
+    // worker computed what.
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+    for (i, r) in buckets.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "index {i} claimed twice");
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| {
+            // invariant: fetch_add hands out each index in 0..n exactly
+            // once, and each claimed index pushes exactly one result.
+            s.expect("every index in 0..n was claimed exactly once")
+        })
+        .collect()
+}
+
+/// [`par_map_indexed_with`] without per-worker state.
+pub fn par_map_indexed<R, F>(threads: Threads, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    par_map_indexed_with(threads, n, || (), |(), i| f(i))
+}
+
+/// Order-preserving parallel map over a slice.
+pub fn par_map<T, R, F>(threads: Threads, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_indexed(threads, items.len(), |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn output_order_matches_input_order() {
+        for t in [1, 2, 3, 8, 33] {
+            let out = par_map_indexed(Threads::fixed(t), 100, |i| i * i);
+            let expected: Vec<usize> = (0..100).map(|i| i * i).collect();
+            assert_eq!(out, expected, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn slice_map_preserves_order() {
+        let items: Vec<String> = (0..50).map(|i| format!("item{i}")).collect();
+        let seq = par_map(Threads::single(), &items, |s| s.len());
+        let par = par_map(Threads::fixed(4), &items, |s| s.len());
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let out: Vec<usize> = par_map_indexed(Threads::fixed(8), 0, |i| i);
+        assert!(out.is_empty());
+        let out = par_map_indexed(Threads::fixed(8), 1, |i| i + 41);
+        assert_eq!(out, vec![41]);
+    }
+
+    #[test]
+    fn worker_state_is_per_worker_and_results_state_independent() {
+        // The state memoizes a pure function; results must not depend on
+        // which worker (hence which cache) served an index.
+        let inits = AtomicUsize::new(0);
+        let out = par_map_indexed_with(
+            Threads::fixed(4),
+            64,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                std::collections::HashMap::<usize, usize>::new()
+            },
+            |cache, i| *cache.entry(i % 7).or_insert_with(|| (i % 7) * 10),
+        );
+        let expected: Vec<usize> = (0..64).map(|i| (i % 7) * 10).collect();
+        assert_eq!(out, expected);
+        // One state per spawned worker, no more.
+        assert!(inits.load(Ordering::Relaxed) <= 4);
+    }
+
+    #[test]
+    fn single_thread_shares_one_state_across_all_items() {
+        let inits = AtomicUsize::new(0);
+        let _ = par_map_indexed_with(
+            Threads::single(),
+            10,
+            || inits.fetch_add(1, Ordering::Relaxed),
+            |_, i| i,
+        );
+        assert_eq!(inits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            par_map_indexed(Threads::fixed(2), 8, |i| {
+                if i == 5 {
+                    panic!("boom at {i}");
+                }
+                i
+            })
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn fixed_clamps_zero_to_one() {
+        assert_eq!(Threads::fixed(0).get(), 1);
+        assert_eq!(Threads::fixed(7).get(), 7);
+        assert_eq!(Threads::single().get(), 1);
+    }
+
+    #[test]
+    fn auto_is_at_least_one() {
+        assert!(Threads::auto().get() >= 1);
+        assert!(Threads::default().get() >= 1);
+    }
+
+    #[test]
+    fn borrows_non_static_data() {
+        // Scoped threads may borrow stack data — the property the hot
+        // paths rely on (tables/KBs are borrowed, not Arc'd).
+        let data: Vec<usize> = (0..32).collect();
+        let sum: usize = par_map(Threads::fixed(3), &data, |&x| x * 2)
+            .into_iter()
+            .sum();
+        assert_eq!(sum, data.iter().sum::<usize>() * 2);
+    }
+}

@@ -5,6 +5,13 @@
 //! lookup collects candidate labels sharing character trigrams with the
 //! query and scores them with the hybrid similarity of [`crate::sim`],
 //! returning those at or above the threshold (the paper uses 0.7).
+//!
+//! Like the parser modules, this module denies `clippy::unwrap_used`:
+//! lookups run on arbitrary user strings and must never panic — in
+//! particular, float sorts use `total_cmp` so a NaN similarity score can
+//! neither panic nor scramble the ranking.
+
+#![deny(clippy::unwrap_used)]
 
 use std::collections::HashMap;
 
@@ -108,7 +115,7 @@ impl LabelIndex {
             }
         }
         // Best score first; ties broken by slot index for determinism.
-        hits.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        hits.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         let mut out = Vec::new();
         for (slot, score) in hits {
             for &r in &self.slots[slot as usize].1 {

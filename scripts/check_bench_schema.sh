@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Validate the schema of a BENCH_*.json thread-scaling report
+# (crates/bench/src/perf.rs). Usage: check_bench_schema.sh FILE...
+set -euo pipefail
+
+if [ "$#" -eq 0 ]; then
+  echo "usage: $0 BENCH_<name>.json..." >&2
+  exit 2
+fi
+
+status=0
+for file in "$@"; do
+  if [ ! -f "$file" ]; then
+    echo "$file: missing" >&2
+    status=1
+    continue
+  fi
+  ok=1
+  for key in '"bench"' '"fixture"' '"mode"' '"parallelism"' '"samples"'; do
+    if ! grep -q "$key" "$file"; then
+      echo "$file: missing key $key" >&2
+      ok=0
+    fi
+  done
+  # mode must be quick or full.
+  if ! grep -Eq '"mode": "(quick|full)"' "$file"; then
+    echo "$file: \"mode\" must be \"quick\" or \"full\"" >&2
+    ok=0
+  fi
+  # parallelism is a bare integer.
+  if ! grep -Eq '"parallelism": [0-9]+,' "$file"; then
+    echo "$file: \"parallelism\" must be an integer" >&2
+    ok=0
+  fi
+  # At least one sample with all three numeric fields on one line.
+  if ! grep -Eq '\{ "threads": [0-9]+, "wall_ms": [0-9]+\.[0-9]+, "speedup": [0-9]+\.[0-9]+ \}' "$file"; then
+    echo "$file: no well-formed sample (threads/wall_ms/speedup)" >&2
+    ok=0
+  fi
+  # The sweep must include the 1-thread baseline.
+  if ! grep -Eq '\{ "threads": 1, ' "$file"; then
+    echo "$file: missing the threads=1 baseline sample" >&2
+    ok=0
+  fi
+  if [ "$ok" -eq 1 ]; then
+    echo "$file: schema OK"
+  else
+    status=1
+  fi
+done
+exit "$status"

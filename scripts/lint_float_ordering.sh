@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Workspace convention (DESIGN.md §5d): float orderings go through
+# f64::total_cmp. `partial_cmp` on floats panics on NaN when unwrapped
+# and, worse, can silently corrupt BinaryHeap/sort order when a NaN maps
+# to `None`/`Equal`. This lint fails on any `partial_cmp` call in
+# non-test source under crates/*/src and src/.
+#
+# Legitimate non-float uses are rare in this codebase; if one appears,
+# add it to the allowlist below with a justification.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# Allowlisted files (exact repo-relative paths), one per line.
+ALLOW=""
+
+fail=0
+while IFS= read -r hit; do
+  file=${hit%%:*}
+  case "$ALLOW" in
+    *"$file"*) continue ;;
+  esac
+  if [ "$fail" -eq 0 ]; then
+    echo "error: \`partial_cmp\` in non-test code — use f64::total_cmp (DESIGN.md §5d):" >&2
+  fi
+  echo "  $hit" >&2
+  fail=1
+done < <(grep -rn --include='*.rs' '\.partial_cmp(' crates/*/src src 2>/dev/null || true)
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "float-ordering lint: OK (no partial_cmp in non-test code)"

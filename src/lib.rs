@@ -5,6 +5,7 @@
 //!
 //! This facade crate re-exports the workspace crates under one roof:
 //!
+//! * [`exec`] — deterministic scoped worker pool behind `--threads`;
 //! * [`kb`] — in-memory RDF-style knowledge base substrate;
 //! * [`table`] — relational table model, FDs, error provenance;
 //! * [`crowd`] — simulated crowdsourcing platform;
@@ -24,5 +25,6 @@ pub use katara_core as core;
 pub use katara_crowd as crowd;
 pub use katara_datagen as datagen;
 pub use katara_eval as eval;
+pub use katara_exec as exec;
 pub use katara_kb as kb;
 pub use katara_table as table;
