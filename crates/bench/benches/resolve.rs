@@ -1,0 +1,91 @@
+//! Bench for the **shared KB query snapshot** (DESIGN.md §5e): a full
+//! end-to-end cleaning run with the [`TableResolution`] built inside the
+//! run ("cold") vs injected pre-built ("snapshot"). Emits
+//! `BENCH_resolve.json` at the workspace root with the cold/snapshot
+//! wall times, the speedup, and the fixture's distinct-value ratio
+//! (quick mode via `KATARA_BENCH_QUICK=1`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use katara_bench::{perf, resolve_crowd, resolve_fixture, ResolveFixture};
+use katara_core::annotation::AnnotationConfig;
+use katara_core::resolve::TableResolution;
+use katara_core::validation::ValidationConfig;
+use katara_core::{Katara, KataraConfig};
+
+/// The bench pipeline config: enrichment off so the KB is immutable
+/// across iterations (the pre-built snapshot stays current), one
+/// question per variable so crowd chatter stays small relative to
+/// resolution work.
+fn bench_config() -> KataraConfig {
+    KataraConfig {
+        annotation: AnnotationConfig {
+            enrich_kb: false,
+            ..AnnotationConfig::default()
+        },
+        validation: ValidationConfig {
+            questions_per_variable: 1,
+            ..ValidationConfig::default()
+        },
+        ..KataraConfig::default()
+    }
+}
+
+fn clean_cold(f: &ResolveFixture) {
+    let katara = Katara::new(bench_config());
+    let mut kb = f.kb.clone();
+    let mut crowd = resolve_crowd(f);
+    black_box(
+        katara
+            .clean(&f.table.table, &mut kb, &mut crowd)
+            .expect("cold clean"),
+    );
+}
+
+fn clean_snapshot(f: &ResolveFixture, res: &TableResolution) {
+    let katara = Katara::new(bench_config());
+    let mut kb = f.kb.clone();
+    let mut crowd = resolve_crowd(f);
+    black_box(
+        katara
+            .clean_with_resolution(&f.table.table, &mut kb, &mut crowd, Some(res))
+            .expect("snapshot clean"),
+    );
+}
+
+/// Cold vs snapshot-cached end-to-end clean. The Criterion group gives
+/// the interactive view; the [`perf::ResolveReport`] gives the
+/// machine-readable artifact.
+fn bench_resolve(c: &mut Criterion) {
+    let fixture = resolve_fixture();
+    let config = bench_config();
+    let res = TableResolution::build(
+        &fixture.table.table,
+        &fixture.kb,
+        config.candidates.max_rows,
+    );
+    eprintln!(
+        "resolve fixture: {} ({} injected errors, distinct ratio {:.4})",
+        fixture.name,
+        fixture.errors,
+        res.distinct_ratio()
+    );
+
+    let mut group = c.benchmark_group("resolve_snapshot");
+    group.sample_size(10);
+    group.bench_function("cold", |b| b.iter(|| clean_cold(&fixture)));
+    group.bench_function("snapshot", |b| b.iter(|| clean_snapshot(&fixture, &res)));
+    group.finish();
+
+    let mut report = perf::ResolveReport::new("resolve", &fixture.name, res.distinct_ratio());
+    report.measure("cold", perf::sweep_iters(), || clean_cold(&fixture));
+    report.measure("snapshot", perf::sweep_iters(), || {
+        clean_snapshot(&fixture, &res)
+    });
+    let path = report.write().expect("write BENCH_resolve.json");
+    eprintln!("resolve report: {}", path.display());
+}
+
+criterion_group!(benches, bench_resolve);
+criterion_main!(benches);

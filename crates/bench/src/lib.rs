@@ -10,12 +10,23 @@
 //!   repair generation, EQ/SCARE);
 //! * `ablations` — the DESIGN.md design-choice benches (rank-join vs
 //!   exhaustive, inverted lists vs full scan, coherence cache vs
-//!   recompute, enrichment on/off).
+//!   recompute, enrichment on/off);
+//! * `resolve` — the shared KB query snapshot (DESIGN.md §5e): cold
+//!   (snapshot built inside every cleaning run) vs snapshot-cached
+//!   (pre-built [`katara_core::resolve::TableResolution`] injected),
+//!   end to end on a large fixture.
+
+use std::sync::Arc;
 
 use katara_core::candidates::{discover_candidates, CandidateConfig, CandidateSet};
-use katara_datagen::{GeneratedTable, KbFlavor};
+use katara_crowd::{Crowd, CrowdConfig};
+use katara_datagen::{
+    build_kb, person_table, GeneratedTable, KbFlavor, KbGenConfig, TableOracle, World, WorldConfig,
+    WorldFacts,
+};
 use katara_eval::corpus::{Corpus, CorpusConfig};
 use katara_kb::Kb;
+use katara_table::corrupt::{corrupt_table, CorruptionConfig};
 
 pub mod perf;
 
@@ -43,6 +54,90 @@ pub fn discovery_fixture(corpus: &Corpus, flavor: KbFlavor) -> DiscoveryFixture 
     DiscoveryFixture { kb, table, cands }
 }
 
+/// The large end-to-end fixture for the `resolve` bench: a
+/// [`WorldConfig::bench_large`] world (~50–60× the tiny test world) and
+/// a Person table of [`resolve_rows`] rows with typo-heavy paper-style
+/// corruption, so fuzzy cell→KB resolution genuinely dominates a cold
+/// cleaning run. Quick mode shrinks both for CI smoke.
+pub struct ResolveFixture {
+    /// The (immutable during the bench — enrichment is off) KB.
+    pub kb: Kb,
+    /// The corrupted Person table plus its ground truth.
+    pub table: GeneratedTable,
+    /// Oracle fact base for expert crowds.
+    pub facts: Arc<WorldFacts>,
+    /// KB flavor the fixture was built with.
+    pub flavor: KbFlavor,
+    /// Injected cell errors.
+    pub errors: usize,
+    /// Human-readable fixture description for the report.
+    pub name: String,
+}
+
+/// Person rows in the resolve fixture: 15 000 full (≥50× the 300-row
+/// corpus Person table), 400 in quick mode.
+pub fn resolve_rows() -> usize {
+    if perf::quick_mode() {
+        400
+    } else {
+        15_000
+    }
+}
+
+/// Build the resolve fixture.
+pub fn resolve_fixture() -> ResolveFixture {
+    let world_config = if perf::quick_mode() {
+        WorldConfig::tiny()
+    } else {
+        WorldConfig::bench_large()
+    };
+    let rows = resolve_rows();
+    let world = World::generate(world_config);
+    let flavor = KbFlavor::YagoLike;
+    let kb = build_kb(&world, &KbGenConfig::for_flavor(flavor));
+    let mut table = person_table(&world, rows, 0xBE7C);
+    // Typo-dominated corruption: typos miss the exact label index and
+    // force the expensive fuzzy lookup, which is exactly the per-distinct
+    // -value cost the snapshot amortizes. A low tuple error rate keeps
+    // the (shared) crowd/repair tail small relative to resolution.
+    let log = corrupt_table(
+        &mut table.table,
+        &CorruptionConfig {
+            tuple_error_rate: 0.05,
+            columns: vec![0, 1, 2, 3],
+            w_domain_swap: 0.3,
+            w_typo: 0.7,
+            w_null: 0.0,
+        },
+        0xBAD_5EED,
+    );
+    let facts = Arc::new(WorldFacts::build(&world));
+    ResolveFixture {
+        kb,
+        table,
+        facts,
+        flavor,
+        errors: log.len(),
+        name: format!("person/{rows}rows/{}", flavor.name()),
+    }
+}
+
+/// A fresh, deterministic expert crowd for the resolve fixture. Rebuilt
+/// per iteration so cold and snapshot-cached runs answer identical
+/// question sequences.
+pub fn resolve_crowd(f: &ResolveFixture) -> Crowd<TableOracle> {
+    let oracle = TableOracle::new(f.facts.clone(), f.table.ground_truth.clone(), f.flavor);
+    Crowd::new(
+        CrowdConfig {
+            worker_accuracy: 1.0,
+            seed: 0x5EED,
+            ..CrowdConfig::default()
+        },
+        oracle,
+    )
+    .expect("resolve bench crowd config is valid")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -53,5 +148,22 @@ mod tests {
         let f = discovery_fixture(&corpus, KbFlavor::DbpediaLike);
         assert!(f.table.table.num_rows() > 0);
         assert!(!f.cands.col_types.is_empty());
+    }
+
+    #[test]
+    fn resolve_fixture_builds_in_quick_mode() {
+        // The full fixture is bench-only; the unit test pins the quick
+        // path (no env juggling — tiny worlds build in milliseconds, so
+        // just check the full builder plumbing on whatever mode is set).
+        let f = resolve_fixture();
+        assert_eq!(f.table.table.num_rows(), resolve_rows());
+        assert!(f.errors > 0, "corruption must inject errors");
+        let mut crowd = resolve_crowd(&f);
+        let q = katara_crowd::Question::Fact {
+            subject: "nobody".into(),
+            property: "nationality".into(),
+            object: "nowhere".into(),
+        };
+        assert!(crowd.ask(&q).answer().is_some());
     }
 }

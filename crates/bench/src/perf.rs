@@ -11,8 +11,8 @@
 //!   "mode": "full",
 //!   "parallelism": 8,
 //!   "samples": [
-//!     { "threads": 1, "wall_ms": 12.3, "speedup": 1.0 },
-//!     { "threads": 2, "wall_ms": 6.5, "speedup": 1.89 }
+//!     { "threads": 1, "iters": 10, "wall_ms": 12.3, "speedup": 1.0 },
+//!     { "threads": 2, "iters": 18, "wall_ms": 6.5, "speedup": 1.89 }
 //!   ]
 //! }
 //! ```
@@ -22,6 +22,19 @@
 //! one-core box reads as a hardware limit, not a regression. Set
 //! `KATARA_BENCH_QUICK=1` for a cut-down sweep (threads 1–2, fewer
 //! iterations) suitable for CI smoke jobs.
+//!
+//! Every config is sampled with *min-total-time* control: iterations
+//! repeat until at least [`min_sample_ms`] of wall time has accumulated
+//! (and at least the requested minimum iteration count has run), so a
+//! fast config is not judged from two noisy microsecond runs. The actual
+//! iteration count lands in the sample's `iters` field.
+//!
+//! The `resolve` bench target emits the same envelope via
+//! [`ResolveReport`], with per-sample `config` labels (`"cold"` builds
+//! the KB query snapshot inside every cleaning run, `"snapshot"` reuses
+//! a pre-built one) plus the fixture's distinct-value ratio — the
+//! fraction of non-null cells that are distinct after normalization,
+//! which bounds how much work snapshot reuse can save.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -44,7 +57,8 @@ pub fn thread_counts() -> Vec<usize> {
     }
 }
 
-/// Timed iterations per thread count: trimmed in quick mode.
+/// Timed iterations per thread count: trimmed in quick mode. This is a
+/// *minimum* — sampling continues until [`min_sample_ms`] has elapsed.
 pub fn sweep_iters() -> usize {
     if quick_mode() {
         3
@@ -53,11 +67,41 @@ pub fn sweep_iters() -> usize {
     }
 }
 
+/// Minimum accumulated wall time per measured config, in milliseconds:
+/// 100 ms in full mode (so per-config means are statistically
+/// meaningful), 5 ms in quick mode (CI smoke only checks the plumbing).
+pub fn min_sample_ms() -> f64 {
+    if quick_mode() {
+        5.0
+    } else {
+        100.0
+    }
+}
+
+/// Run `f` repeatedly until both `min_iters` iterations and
+/// [`min_sample_ms`] of wall time have accumulated; returns the
+/// iteration count and the mean wall time per iteration in milliseconds.
+fn run_timed<F: FnMut()>(min_iters: usize, mut f: F) -> (usize, f64) {
+    let min_total = std::time::Duration::from_secs_f64(min_sample_ms() / 1e3);
+    let start = Instant::now();
+    let mut iters = 0usize;
+    loop {
+        f();
+        iters += 1;
+        if iters >= min_iters.max(1) && start.elapsed() >= min_total {
+            break;
+        }
+    }
+    (iters, start.elapsed().as_secs_f64() * 1e3 / iters as f64)
+}
+
 /// One measured point of the sweep.
 #[derive(Debug, Clone, Copy)]
 pub struct ThreadSample {
     /// Worker-pool size.
     pub threads: usize,
+    /// Iterations actually timed (min-total-time control).
+    pub iters: usize,
     /// Mean wall time per iteration, in milliseconds.
     pub wall_ms: f64,
     /// Wall-time ratio vs the 1-thread sample (1.0 for the baseline).
@@ -85,16 +129,14 @@ impl ScalingReport {
         }
     }
 
-    /// Time `iters` runs of `f` and record the mean as the sample for
-    /// `threads`. Speedups are (re)derived from the 1-thread sample.
-    pub fn measure<F: FnMut()>(&mut self, threads: usize, iters: usize, mut f: F) {
-        let start = Instant::now();
-        for _ in 0..iters.max(1) {
-            f();
-        }
-        let wall_ms = start.elapsed().as_secs_f64() * 1e3 / iters.max(1) as f64;
+    /// Time at least `min_iters` runs of `f` (and at least
+    /// [`min_sample_ms`] of wall time) and record the mean as the sample
+    /// for `threads`. Speedups are (re)derived from the 1-thread sample.
+    pub fn measure<F: FnMut()>(&mut self, threads: usize, min_iters: usize, f: F) {
+        let (iters, wall_ms) = run_timed(min_iters, f);
         self.samples.push(ThreadSample {
             threads,
+            iters,
             wall_ms,
             speedup: 1.0,
         });
@@ -128,8 +170,118 @@ impl ScalingReport {
         for (i, s) in self.samples.iter().enumerate() {
             let comma = if i + 1 < self.samples.len() { "," } else { "" };
             out.push_str(&format!(
-                "    {{ \"threads\": {}, \"wall_ms\": {:.3}, \"speedup\": {:.3} }}{comma}\n",
-                s.threads, s.wall_ms, s.speedup
+                "    {{ \"threads\": {}, \"iters\": {}, \"wall_ms\": {:.3}, \
+                 \"speedup\": {:.3} }}{comma}\n",
+                s.threads, s.iters, s.wall_ms, s.speedup
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Write `BENCH_<bench>.json` at the workspace root; returns the path.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..");
+        let path = root.join(format!("BENCH_{}.json", self.bench));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// One measured configuration of the resolve bench.
+#[derive(Debug, Clone)]
+pub struct ResolveSample {
+    /// Configuration label: `"cold"` or `"snapshot"`.
+    pub config: String,
+    /// Iterations actually timed (min-total-time control).
+    pub iters: usize,
+    /// Mean wall time per iteration, in milliseconds.
+    pub wall_ms: f64,
+    /// Wall-time ratio vs the `"cold"` sample (1.0 for the baseline).
+    pub speedup: f64,
+}
+
+/// The cold-vs-snapshot report for the `resolve` bench target — same
+/// envelope as [`ScalingReport`] but keyed by configuration label
+/// instead of thread count, plus the fixture's distinct-value ratio.
+#[derive(Debug, Clone)]
+pub struct ResolveReport {
+    /// Bench name — becomes the `BENCH_<bench>.json` file name.
+    pub bench: String,
+    /// Human-readable fixture description.
+    pub fixture: String,
+    /// Distinct normalized values / non-null cells of the fixture table
+    /// (1.0 for an empty table). The lower it is, the more the columnar
+    /// snapshot saves.
+    pub distinct_ratio: f64,
+    /// Measured configurations, in measurement order.
+    pub samples: Vec<ResolveSample>,
+}
+
+impl ResolveReport {
+    /// Start an empty report.
+    pub fn new(bench: &str, fixture: &str, distinct_ratio: f64) -> Self {
+        ResolveReport {
+            bench: bench.to_string(),
+            fixture: fixture.to_string(),
+            distinct_ratio,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Time at least `min_iters` runs of `f` (and at least
+    /// [`min_sample_ms`] of wall time) and record the mean as the sample
+    /// for `config`. Speedups are (re)derived from the `"cold"` sample.
+    pub fn measure<F: FnMut()>(&mut self, config: &str, min_iters: usize, f: F) {
+        let (iters, wall_ms) = run_timed(min_iters, f);
+        self.samples.push(ResolveSample {
+            config: config.to_string(),
+            iters,
+            wall_ms,
+            speedup: 1.0,
+        });
+        let base = self
+            .samples
+            .iter()
+            .find(|s| s.config == "cold")
+            .map(|s| s.wall_ms)
+            .unwrap_or(wall_ms);
+        for s in &mut self.samples {
+            s.speedup = if s.wall_ms > 0.0 {
+                base / s.wall_ms
+            } else {
+                1.0
+            };
+        }
+    }
+
+    /// Render the JSON document.
+    pub fn to_json(&self) -> String {
+        let parallelism = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let mode = if quick_mode() { "quick" } else { "full" };
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"bench\": \"{}\",\n", escape(&self.bench)));
+        out.push_str(&format!("  \"fixture\": \"{}\",\n", escape(&self.fixture)));
+        out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+        out.push_str(&format!("  \"parallelism\": {parallelism},\n"));
+        out.push_str(&format!(
+            "  \"distinct_ratio\": {:.4},\n",
+            self.distinct_ratio
+        ));
+        out.push_str("  \"samples\": [\n");
+        for (i, s) in self.samples.iter().enumerate() {
+            let comma = if i + 1 < self.samples.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{ \"config\": \"{}\", \"iters\": {}, \"wall_ms\": {:.3}, \
+                 \"speedup\": {:.3} }}{comma}\n",
+                escape(&s.config),
+                s.iters,
+                s.wall_ms,
+                s.speedup
             ));
         }
         out.push_str("  ]\n}\n");
@@ -177,6 +329,50 @@ mod tests {
             "\"parallelism\"",
             "\"samples\"",
             "\"threads\"",
+            "\"iters\"",
+            "\"wall_ms\"",
+            "\"speedup\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn min_total_time_tops_up_iterations() {
+        // A microsecond-scale body must be iterated far beyond the
+        // 2-iteration floor to accumulate min_sample_ms of wall time.
+        let mut r = ScalingReport::new("unit", "toy");
+        let mut count = 0usize;
+        r.measure(1, 2, || count += 1);
+        assert_eq!(r.samples[0].iters, count);
+        assert!(count > 2, "min-total-time should demand more than {count}");
+        assert!(r.samples[0].iters as f64 * r.samples[0].wall_ms >= min_sample_ms() * 0.9);
+    }
+
+    #[test]
+    fn resolve_report_shape_and_speedups() {
+        let mut r = ResolveReport::new("resolve", "toy", 0.25);
+        r.measure("cold", 2, || {
+            std::thread::sleep(std::time::Duration::from_millis(2))
+        });
+        r.measure("snapshot", 2, || {
+            std::thread::sleep(std::time::Duration::from_millis(1))
+        });
+        assert_eq!(r.samples.len(), 2);
+        assert!((r.samples[0].speedup - 1.0).abs() < 1e-9);
+        assert!(r.samples[1].speedup > 1.0, "{:?}", r.samples);
+        let json = r.to_json();
+        for key in [
+            "\"bench\"",
+            "\"fixture\"",
+            "\"mode\"",
+            "\"parallelism\"",
+            "\"distinct_ratio\"",
+            "\"samples\"",
+            "\"config\"",
+            "\"cold\"",
+            "\"snapshot\"",
+            "\"iters\"",
             "\"wall_ms\"",
             "\"speedup\"",
         ] {

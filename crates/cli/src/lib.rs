@@ -4,8 +4,9 @@
 //! katara clean    --table data.csv --kb kb.nt [--crowd MODE] [--k N]
 //!                 [--out repaired.csv] [--enriched-kb out.nt]
 //!                 [--max-questions N] [--strict|--lenient] [--threads N]
+//!                 [--direct-resolve]
 //! katara discover --table data.csv --kb kb.nt [--k N] [--strict|--lenient]
-//!                 [--threads N]
+//!                 [--threads N] [--direct-resolve]
 //! katara kb-stats --kb kb.nt [--strict|--lenient]
 //! ```
 //!
@@ -35,6 +36,12 @@
 //! paths (default: the `KATARA_THREADS` environment variable, else the
 //! machine's available parallelism). Results are byte-identical for every
 //! thread count — `--threads` is purely a performance knob.
+//!
+//! `--direct-resolve` disables the shared KB query snapshot (see
+//! `katara_core::resolve`) and issues live KB lookups per stage as the
+//! pre-snapshot code did. Output is byte-identical either way — like
+//! `--threads`, this is purely a performance knob (kept for A/B
+//! measurement and as an escape hatch).
 //!
 //! The library part exists so the command logic is unit-testable; the
 //! binary is a thin `main`.
@@ -297,6 +304,8 @@ pub enum Command {
         /// Worker threads for the discovery/repair hot paths; `None`
         /// resolves `KATARA_THREADS` / available parallelism.
         threads: Option<usize>,
+        /// `true` disables the shared query snapshot (`--direct-resolve`).
+        direct_resolve: bool,
     },
     /// Discovery only.
     Discover {
@@ -311,6 +320,8 @@ pub enum Command {
         /// Worker threads for candidate discovery; `None` resolves
         /// `KATARA_THREADS` / available parallelism.
         threads: Option<usize>,
+        /// `true` disables the shared query snapshot (`--direct-resolve`).
+        direct_resolve: bool,
     },
     /// KB statistics.
     KbStats {
@@ -328,7 +339,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "katara clean|discover|kb-stats --table T.csv --kb KB.nt \
              [--crowd interactive|trust|skeptic|facts:FILE] [--k N] \
              [--out OUT.csv] [--enriched-kb OUT.nt] [--max-questions N] \
-             [--strict|--lenient] [--threads N]"
+             [--strict|--lenient] [--threads N] [--direct-resolve]"
                 .to_string(),
         )
     };
@@ -343,6 +354,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut max_questions = None;
     let mut ingest = IngestChoice::default();
     let mut threads = None;
+    let mut direct_resolve = false;
     while let Some(flag) = it.next() {
         let mut value = || {
             it.next()
@@ -378,6 +390,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 }
                 threads = Some(n);
             }
+            "--direct-resolve" => direct_resolve = true,
             other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
         }
     }
@@ -395,6 +408,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             max_questions,
             ingest,
             threads,
+            direct_resolve,
         }),
         "discover" => Ok(Command::Discover {
             table: need(table, "table")?,
@@ -402,6 +416,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             k,
             ingest,
             threads,
+            direct_resolve,
         }),
         "kb-stats" => Ok(Command::KbStats {
             kb: need(kb, "kb")?,
@@ -525,6 +540,7 @@ pub fn run(cmd: Command) -> Result<RunStatus, CliError> {
             k,
             ingest,
             threads,
+            direct_resolve,
         } => {
             let (kb, kb_report) = load_kb(&kb, ingest)?;
             let (table, table_report) = load_table(&table, ingest)?;
@@ -543,7 +559,11 @@ pub fn run(cmd: Command) -> Result<RunStatus, CliError> {
                 threads: resolve_threads(threads),
                 ..CandidateConfig::default()
             };
-            let cands = discover_candidates(&table, &kb, &candidate_config);
+            let cands = if direct_resolve {
+                discover_candidates_direct(&table, &kb, &candidate_config)
+            } else {
+                discover_candidates(&table, &kb, &candidate_config)
+            };
             let patterns = discover_topk(&table, &kb, &cands, k, &DiscoveryConfig::default());
             if patterns.is_empty() {
                 println!("no table pattern found — the KB does not cover this table");
@@ -569,6 +589,7 @@ pub fn run(cmd: Command) -> Result<RunStatus, CliError> {
             max_questions,
             ingest,
             threads,
+            direct_resolve,
         } => {
             let (mut kb, kb_report) = load_kb(&kb, ingest)?;
             let (mut table, table_report) = load_table(&table, ingest)?;
@@ -608,6 +629,11 @@ pub fn run(cmd: Command) -> Result<RunStatus, CliError> {
                     ..CandidateConfig::default()
                 },
                 threads: pool,
+                resolve: if direct_resolve {
+                    ResolveMode::Direct
+                } else {
+                    ResolveMode::Snapshot
+                },
                 ..KataraConfig::default()
             };
             let mut report = Katara::new(config).clean(&table, &mut kb, &mut platform)?;
@@ -783,6 +809,34 @@ mod tests {
         .map(|s| s.to_string())
         .collect();
         assert!(matches!(parse_args(&args), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn parse_args_direct_resolve() {
+        let args: Vec<String> = [
+            "clean",
+            "--table",
+            "t.csv",
+            "--kb",
+            "k.nt",
+            "--direct-resolve",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        match parse_args(&args).unwrap() {
+            Command::Clean { direct_resolve, .. } => assert!(direct_resolve),
+            other => panic!("{other:?}"),
+        }
+        // Defaults to the shared snapshot.
+        let args: Vec<String> = ["discover", "--table", "t.csv", "--kb", "k.nt"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        match parse_args(&args).unwrap() {
+            Command::Discover { direct_resolve, .. } => assert!(!direct_resolve),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

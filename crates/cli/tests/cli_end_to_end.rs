@@ -107,6 +107,7 @@ fn discover_and_stats_run() {
         k: 3,
         ingest: IngestChoice::Strict,
         threads: None,
+        direct_resolve: false,
     })
     .unwrap();
     std::fs::remove_dir_all(&dir).ok();
@@ -130,6 +131,7 @@ fn trust_mode_enriches_everything() {
         max_questions: None,
         ingest: IngestChoice::Strict,
         threads: None,
+        direct_resolve: false,
     })
     .unwrap();
     // Trust mode confirms even the wrong capital: the KB gains both the
@@ -158,6 +160,7 @@ fn exhausted_budget_degrades_instead_of_failing() {
         max_questions: Some(0),
         ingest: IngestChoice::Strict,
         threads: None,
+        direct_resolve: false,
     })
     .unwrap();
     assert_eq!(status, RunStatus::Degraded);
@@ -263,6 +266,7 @@ fn strict_ingestion_rejects_the_same_corrupted_inputs() {
         max_questions: None,
         ingest: IngestChoice::Strict,
         threads: None,
+        direct_resolve: false,
     })
     .unwrap_err();
     match err {

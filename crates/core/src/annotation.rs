@@ -21,6 +21,7 @@ use katara_kb::{Kb, ResourceId};
 use katara_table::Table;
 
 use crate::pattern::{TablePattern, TupleMatch};
+use crate::resolve::TableResolution;
 
 /// Who vouched for a value / relationship instance (Table 5's categories).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -184,11 +185,27 @@ pub fn annotate<O: Oracle>(
     crowd: &mut Crowd<O>,
     config: &AnnotationConfig,
 ) -> AnnotationResult {
+    annotate_resolved(table, pattern, kb, crowd, config, None)
+}
+
+/// Snapshot-aware variant of [`annotate`]: cell lookups during tuple
+/// matching and entity resolution go through `resolution` when given.
+/// KB enrichment mutates `kb` mid-run; the snapshot detects the version
+/// change and transparently falls back to live queries from that point
+/// on, so results are identical to the direct path.
+pub fn annotate_resolved<O: Oracle>(
+    table: &Table,
+    pattern: &TablePattern,
+    kb: &mut Kb,
+    crowd: &mut Crowd<O>,
+    config: &AnnotationConfig,
+    resolution: Option<&TableResolution>,
+) -> AnnotationResult {
     // Boolean fact answers are memoized: duplicate tuples (and the
     // feedback re-pass) must not re-ask the crowd the same question —
     // a no-answer is as reusable as a yes-answer.
     let mut memo: HashMap<(String, String, String), bool> = HashMap::new();
-    let result = annotate_once(table, pattern, kb, crowd, config, &mut memo);
+    let result = annotate_once(table, pattern, kb, crowd, config, &mut memo, resolution);
     if table.num_rows() < config.feedback_min_tuples {
         return result;
     }
@@ -261,7 +278,7 @@ pub fn annotate<O: Oracle>(
     let Ok(reduced) = TablePattern::new(nodes, edges, pattern.score()) else {
         return result; // cannot strip into a valid pattern; keep pass 1
     };
-    let mut second = annotate_once(table, &reduced, kb, crowd, config, &mut memo);
+    let mut second = annotate_once(table, &reduced, kb, crowd, config, &mut memo, resolution);
     second.enriched_facts += result.enriched_facts;
     second.enriched_entities += result.enriched_entities;
     second.feedback_stripped = stripped;
@@ -277,6 +294,7 @@ fn annotate_once<O: Oracle>(
     crowd: &mut Crowd<O>,
     config: &AnnotationConfig,
     memo: &mut HashMap<(String, String, String), bool>,
+    resolution: Option<&TableResolution>,
 ) -> AnnotationResult {
     let mut result = AnnotationResult {
         tuples: Vec::new(),
@@ -287,7 +305,7 @@ fn annotate_once<O: Oracle>(
     };
     for row_idx in 0..table.num_rows() {
         let row = table.row(row_idx);
-        let report = pattern.match_tuple(kb, row);
+        let report = pattern.match_tuple_resolved(kb, row, resolution.map(|r| (r, row_idx)));
 
         if report.outcome == TupleMatch::Full {
             result.tuples.push(TupleAnnotation {
@@ -386,6 +404,7 @@ fn annotate_once<O: Oracle>(
                     &confirmed_nodes,
                     &confirmed_edges,
                     &mut result,
+                    resolution.map(|r| (r, row_idx)),
                 );
             }
             TupleStatus::ValidatedWithCrowd
@@ -430,6 +449,7 @@ fn ask_memoized<O: Oracle>(
 }
 
 /// Insert crowd-confirmed types and relationships into the KB.
+#[allow(clippy::too_many_arguments)]
 fn enrich(
     kb: &mut Kb,
     pattern: &TablePattern,
@@ -437,13 +457,20 @@ fn enrich(
     confirmed_nodes: &[usize],
     confirmed_edges: &[usize],
     result: &mut AnnotationResult,
+    resolution: Option<(&TableResolution, usize)>,
 ) {
+    let resolved = |col: usize| resolution.map(|(res, row_idx)| (res, col, row_idx));
     for &ni in confirmed_nodes {
         let node = pattern.nodes()[ni];
         let (Some(class), Some(cell)) = (node.class, row[node.column].as_str()) else {
             continue;
         };
-        let r = resolve_or_create(kb, cell, &mut result.enriched_entities);
+        let r = resolve_or_create(
+            kb,
+            cell,
+            resolved(node.column),
+            &mut result.enriched_entities,
+        );
         kb.add_type(r, class);
     }
     for &ei in confirmed_edges {
@@ -454,13 +481,23 @@ fn enrich(
         ) else {
             continue;
         };
-        let s = resolve_or_create(kb, &subj, &mut result.enriched_entities);
+        let s = resolve_or_create(
+            kb,
+            &subj,
+            resolved(edge.subject),
+            &mut result.enriched_entities,
+        );
         let obj_node = pattern.node_for_column(edge.object);
         let is_literal = obj_node.is_none_or(|n| n.class.is_none());
         let added = if is_literal {
             kb.add_literal_fact(s, edge.property, &obj)
         } else {
-            let o = resolve_or_create(kb, &obj, &mut result.enriched_entities);
+            let o = resolve_or_create(
+                kb,
+                &obj,
+                resolved(edge.object),
+                &mut result.enriched_entities,
+            );
             kb.add_fact(s, edge.property, o)
         };
         if added {
@@ -470,9 +507,21 @@ fn enrich(
 }
 
 /// Resolve a cell to its best-matching KB resource, creating a fresh
-/// entity when the KB has never heard of the value.
-fn resolve_or_create(kb: &mut Kb, cell: &str, created: &mut usize) -> ResourceId {
-    if let Some(&(r, _)) = kb.candidate_resources(cell).first() {
+/// entity when the KB has never heard of the value. `resolved` is the
+/// snapshot coordinate `(snapshot, column, row)` of the cell when a
+/// [`TableResolution`] is in play; a stale or absent snapshot entry
+/// falls back to the live query.
+fn resolve_or_create(
+    kb: &mut Kb,
+    cell: &str,
+    resolved: Option<(&TableResolution, usize, usize)>,
+    created: &mut usize,
+) -> ResourceId {
+    let hit = resolved
+        .and_then(|(res, col, row)| res.candidates(kb, col, row))
+        .map(|c| c.first().map(|&(r, _)| r))
+        .unwrap_or_else(|| kb.candidate_resources(cell).first().map(|&(r, _)| r));
+    if let Some(r) = hit {
         return r;
     }
     *created += 1;

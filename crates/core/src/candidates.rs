@@ -25,9 +25,11 @@
 
 use std::collections::HashMap;
 
-use katara_exec::{par_map_indexed_with, Threads};
+use katara_exec::{par_map_indexed, par_map_indexed_with, Threads};
 use katara_kb::{ClassId, Kb, PropertyId};
 use katara_table::Table;
+
+use crate::resolve::TableResolution;
 
 /// A candidate type for a column.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -126,15 +128,117 @@ impl CandidateSet {
 
 /// Discover the ranked candidate lists for `table` against `kb`.
 ///
-/// The per-column and per-pair KB-query loops are embarrassingly parallel
-/// and run on [`CandidateConfig::threads`] workers. Each worker memoizes
-/// `Q_types` (per distinct cell string) and `Q_rels` (per distinct string
-/// pair) locally; because those caches only memoize pure KB lookups and
-/// results are merged back in column/pair order, the returned
-/// [`CandidateSet`] is byte-identical for every thread count — one thread
-/// reproduces the historical sequential scan exactly, single shared cache
-/// included.
+/// Builds a [`TableResolution`] snapshot (each distinct normalized cell
+/// value resolved once, pair relations prememoized) and runs the
+/// snapshot-path scan — byte-identical to the historical direct-query
+/// path ([`discover_candidates_direct`]) at every thread count, because
+/// both accumulate the same per-row query results in the same order.
 pub fn discover_candidates(table: &Table, kb: &Kb, config: &CandidateConfig) -> CandidateSet {
+    let resolution = TableResolution::build(table, kb, config.max_rows);
+    discover_candidates_resolved(table, kb, &resolution, config)
+}
+
+/// Snapshot-path discovery over a prebuilt [`TableResolution`] for the
+/// same `(table, kb)` pair. Workers share the read-only snapshot instead
+/// of rebuilding per-worker `Q_types`/`Q_rels` memo maps, so the plain
+/// order-preserving `par_map_indexed` suffices. A stale or row-capped
+/// snapshot degrades to equivalent live queries per cell (slower,
+/// identical output).
+pub fn discover_candidates_resolved(
+    table: &Table,
+    kb: &Kb,
+    resolution: &TableResolution,
+    config: &CandidateConfig,
+) -> CandidateSet {
+    let rows = table.num_rows().min(config.max_rows);
+    let ncols = table.num_columns();
+
+    // ---- Types per column ------------------------------------------------
+    let num_classes = kb.num_classes().max(1) as f64;
+    let col_types: Vec<Vec<TypeCandidate>> = par_map_indexed(config.threads, ncols, |c| {
+        let mut acc: HashMap<ClassId, (f64, usize)> = HashMap::new();
+        let mut non_null = 0usize;
+        for r in 0..rows {
+            let Some(id) = resolution.value_id(c, r) else {
+                continue;
+            };
+            non_null += 1;
+            let types = resolution.types_of(kb, id);
+            if types.is_empty() {
+                continue;
+            }
+            let idf = (num_classes / types.len() as f64).ln().max(0.0);
+            for &t in types.iter() {
+                let tf = 1.0 / (1.0 + (kb.class_size(t) as f64).ln());
+                let e = acc.entry(t).or_insert((0.0, 0));
+                e.0 += tf * idf;
+                e.1 += 1;
+            }
+        }
+        rank_types(kb, acc, non_null, config)
+    });
+
+    // ---- Relationships per ordered pair -----------------------------------
+    let num_props = kb.num_properties().max(1) as f64;
+    let pairs: Vec<(usize, usize)> = (0..ncols)
+        .flat_map(|i| (0..ncols).filter(move |&j| j != i).map(move |j| (i, j)))
+        .collect();
+    let ranked_pairs: Vec<Vec<RelCandidate>> = par_map_indexed(config.threads, pairs.len(), |pi| {
+        let (i, j) = pairs[pi];
+        let mut acc: HashMap<PropertyId, (f64, usize, bool)> = HashMap::new();
+        let mut non_null = 0usize;
+        for r in 0..rows {
+            let (Some(a), Some(b)) = (resolution.value_id(i, r), resolution.value_id(j, r)) else {
+                continue;
+            };
+            non_null += 1;
+            let rels = resolution.pair_relations(kb, a, b);
+            let total = rels.res.len() + rels.lit.len();
+            if total == 0 {
+                continue;
+            }
+            let idf = (num_props / total as f64).ln().max(0.0);
+            for (&p, is_lit) in rels
+                .res
+                .iter()
+                .map(|p| (p, false))
+                .chain(rels.lit.iter().map(|p| (p, true)))
+            {
+                let doc = kb.subjects_of_property(p).len();
+                let tf = 1.0 / (1.0 + (doc.max(1) as f64).ln());
+                let e = acc.entry(p).or_insert((0.0, 0, false));
+                e.0 += tf * idf;
+                e.1 += 1;
+                e.2 |= is_lit;
+            }
+        }
+        rank_rels(kb, acc, non_null, config)
+    });
+    let mut pair_rels: HashMap<(usize, usize), Vec<RelCandidate>> = HashMap::new();
+    for (pi, ranked) in ranked_pairs.into_iter().enumerate() {
+        if !ranked.is_empty() {
+            pair_rels.insert(pairs[pi], ranked);
+        }
+    }
+
+    CandidateSet {
+        col_types,
+        pair_rels,
+        rows_scanned: rows,
+    }
+}
+
+/// The historical direct-query discovery path: no shared snapshot, each
+/// worker memoizes `Q_types` (per distinct cell string) and `Q_rels` (per
+/// distinct string pair) locally and results are merged back in
+/// column/pair order. Kept as the reference implementation for the
+/// snapshot equivalence suite and for cold-path benchmarking; the output
+/// is byte-identical to [`discover_candidates`] for every thread count.
+pub fn discover_candidates_direct(
+    table: &Table,
+    kb: &Kb,
+    config: &CandidateConfig,
+) -> CandidateSet {
     let rows = table.num_rows().min(config.max_rows);
     let ncols = table.num_columns();
 
@@ -477,6 +581,28 @@ mod tests {
         for n in [2, 3, 8] {
             assert_eq!(at(n), sequential, "threads={n}");
         }
+    }
+
+    /// The snapshot path (default) and the historical direct path must be
+    /// byte-identical, including on typos, literals, and null cells.
+    #[test]
+    fn snapshot_path_matches_direct_path() {
+        let (kb, mut t) = kb_and_table();
+        t.push_text_row(&["", "Rome"]);
+        t.push_text_row(&["Madird", "Itlay"]);
+        t.push_text_row(&["Italy", "Rome"]);
+        let config = CandidateConfig::default();
+        assert_eq!(
+            discover_candidates(&t, &kb, &config),
+            discover_candidates_direct(&t, &kb, &config)
+        );
+        // A row-capped snapshot (pair memo narrower than the scan) still
+        // matches because uncovered pairs are computed on demand.
+        let res = crate::resolve::TableResolution::build(&t, &kb, 1);
+        assert_eq!(
+            discover_candidates_resolved(&t, &kb, &res, &config),
+            discover_candidates_direct(&t, &kb, &config)
+        );
     }
 
     #[test]

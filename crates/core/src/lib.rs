@@ -64,23 +64,29 @@ pub mod pattern;
 pub mod pipeline;
 pub mod rank_join;
 pub mod repair;
+pub mod resolve;
 pub mod scoring;
 pub mod validation;
 
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use crate::annotation::{
-        annotate, AnnotationConfig, AnnotationResult, Category, TupleStatus,
+        annotate, annotate_resolved, AnnotationConfig, AnnotationResult, Category, TupleStatus,
     };
     pub use crate::candidates::{
-        discover_candidates, CandidateConfig, CandidateSet, RelCandidate, TypeCandidate,
+        discover_candidates, discover_candidates_direct, discover_candidates_resolved,
+        CandidateConfig, CandidateSet, RelCandidate, TypeCandidate,
     };
     pub use crate::error::KataraError;
     pub use crate::ingest::IngestSummary;
     pub use crate::pattern::{MatchReport, PatternEdge, PatternNode, TablePattern, TupleMatch};
     pub use crate::pipeline::{CleaningReport, DegradationReport, Katara, KataraConfig};
     pub use crate::rank_join::{discover_exhaustive, discover_topk, DiscoveryConfig};
-    pub use crate::repair::{generate_repairs, topk_repairs, Repair, RepairConfig, RepairIndex};
+    pub use crate::repair::{
+        generate_repairs, generate_repairs_resolved, topk_repairs, topk_repairs_resolved, Repair,
+        RepairConfig, RepairIndex,
+    };
+    pub use crate::resolve::{ResolveMode, TableResolution};
     pub use crate::scoring::{score_pattern, ScoringConfig};
     pub use crate::validation::{
         validate_patterns, SchedulingStrategy, ValidationConfig, ValidationOutcome,

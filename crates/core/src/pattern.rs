@@ -16,6 +16,7 @@ use katara_kb::{ClassId, Kb, PropertyId, ResourceId};
 use katara_table::Value;
 
 use crate::error::KataraError;
+use crate::resolve::TableResolution;
 
 /// A pattern node: a column, optionally annotated with a KB type.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -242,15 +243,42 @@ impl TablePattern {
     /// resource per typed node, found by backtracking over the (small)
     /// per-cell candidate sets.
     pub fn match_tuple(&self, kb: &Kb, row: &[Value]) -> MatchReport {
+        self.match_tuple_resolved(kb, row, None)
+    }
+
+    /// Snapshot-aware variant of [`match_tuple`](Self::match_tuple).
+    ///
+    /// When `resolution` is `Some((snapshot, row_idx))`, cell candidate
+    /// lookups come from the shared [`TableResolution`] instead of fresh
+    /// label-index probes; `row` must then be row `row_idx` of the table
+    /// the snapshot was built from. `None` reproduces the direct path.
+    pub fn match_tuple_resolved(
+        &self,
+        kb: &Kb,
+        row: &[Value],
+        resolution: Option<(&TableResolution, usize)>,
+    ) -> MatchReport {
+        // Candidate resources for one cell, snapshot-backed when available.
+        let cell_candidates = |col: usize, cell: &str| -> Vec<(ResourceId, f64)> {
+            match resolution {
+                Some((res, r)) => res
+                    .candidates(kb, col, r)
+                    .map(|c| c.into_owned())
+                    .unwrap_or_default(),
+                None => kb.candidate_resources(cell),
+            }
+        };
         // Candidate resources per node (typed nodes only).
         let mut cand: Vec<Vec<ResourceId>> = Vec::with_capacity(self.nodes.len());
         let mut node_ok = Vec::with_capacity(self.nodes.len());
         for node in &self.nodes {
             match (node.class, row.get(node.column).and_then(Value::as_str)) {
                 (Some(class), Some(cell)) => {
-                    let typed: Vec<ResourceId> = kb
-                        .typed_candidates(cell, class)
+                    // Same filter as `Kb::typed_candidates`: candidate
+                    // resources restricted to instances of `class`.
+                    let typed: Vec<ResourceId> = cell_candidates(node.column, cell)
                         .into_iter()
+                        .filter(|&(r, _)| kb.has_type(r, class))
                         .map(|(r, _)| r)
                         .collect();
                     node_ok.push(!typed.is_empty());
@@ -297,7 +325,7 @@ impl TablePattern {
                             row.get(e.subject)
                                 .and_then(Value::as_str)
                                 .map(|cell| {
-                                    kb.candidate_resources(cell)
+                                    cell_candidates(e.subject, cell)
                                         .into_iter()
                                         .map(|(r, _)| r)
                                         .collect()

@@ -7,12 +7,15 @@ use katara_exec::Threads;
 use katara_kb::Kb;
 use katara_table::Table;
 
-use crate::annotation::{annotate, AnnotationConfig, AnnotationResult};
-use crate::candidates::{discover_candidates, CandidateConfig};
+use crate::annotation::{annotate_resolved, AnnotationConfig, AnnotationResult};
+use crate::candidates::{
+    discover_candidates, discover_candidates_direct, discover_candidates_resolved, CandidateConfig,
+};
 use crate::error::KataraError;
 use crate::pattern::TablePattern;
 use crate::rank_join::{discover_topk_with_stats, DiscoveryConfig, DiscoveryStats};
-use crate::repair::{generate_repairs, Repair, RepairConfig, RepairIndex};
+use crate::repair::{generate_repairs_resolved, Repair, RepairConfig, RepairIndex};
+use crate::resolve::{ResolveMode, TableResolution};
 use crate::validation::{validate_patterns, SchedulingStrategy, ValidationConfig};
 
 /// End-to-end configuration.
@@ -39,6 +42,12 @@ pub struct KataraConfig {
     /// the CLI sets both from one `--threads` flag.) Results are
     /// byte-identical for every thread count.
     pub threads: Threads,
+    /// How cell→KB lookups are served: [`ResolveMode::Snapshot`] (the
+    /// default) builds one read-only [`TableResolution`] per run and
+    /// shares it across all stages and workers; [`ResolveMode::Direct`]
+    /// reproduces the historical per-stage live queries. Output is
+    /// byte-identical either way.
+    pub resolve: ResolveMode,
 }
 
 impl Default for KataraConfig {
@@ -53,6 +62,7 @@ impl Default for KataraConfig {
             repair: RepairConfig::default(),
             repairs_k: 3,
             threads: Threads::auto(),
+            resolve: ResolveMode::default(),
         }
     }
 }
@@ -164,11 +174,41 @@ impl Katara {
         kb: &mut Kb,
         crowd: &mut Crowd<O>,
     ) -> Result<CleaningReport, KataraError> {
+        self.clean_with_resolution(table, kb, crowd, None)
+    }
+
+    /// Like [`clean`](Self::clean), with an optional pre-built
+    /// [`TableResolution`] for `(table, kb)`. Injecting one skips the
+    /// snapshot build (the cold half of the resolve bench measures
+    /// exactly that build); pass `None` for normal operation, where the
+    /// snapshot is built here once per run when
+    /// [`KataraConfig::resolve`] is [`ResolveMode::Snapshot`].
+    pub fn clean_with_resolution<O: Oracle>(
+        &self,
+        table: &Table,
+        kb: &mut Kb,
+        crowd: &mut Crowd<O>,
+        shared: Option<&TableResolution>,
+    ) -> Result<CleaningReport, KataraError> {
         // Snapshot crowd stats so the degradation report covers only
         // this run.
         let stats_before = crowd.stats().clone();
+        // (0) The shared query snapshot: adopt the injected one, or
+        // build it once for the whole run.
+        let built;
+        let resolution: Option<&TableResolution> = match (self.config.resolve, shared) {
+            (_, Some(r)) => Some(r),
+            (ResolveMode::Snapshot, None) => {
+                built = TableResolution::build(table, kb, self.config.candidates.max_rows);
+                Some(&built)
+            }
+            (ResolveMode::Direct, None) => None,
+        };
         // (1) Pattern discovery.
-        let cands = discover_candidates(table, kb, &self.config.candidates);
+        let cands = match resolution {
+            Some(res) => discover_candidates_resolved(table, kb, res, &self.config.candidates),
+            None => discover_candidates_direct(table, kb, &self.config.candidates),
+        };
         let (patterns, discovery_stats) = discover_topk_with_stats(
             table,
             kb,
@@ -194,8 +234,17 @@ impl Katara {
         );
         let pattern = outcome.pattern;
 
-        // (3) Data annotation (mutates the KB through enrichment).
-        let annotation = annotate(table, &pattern, kb, crowd, &self.config.annotation);
+        // (3) Data annotation (mutates the KB through enrichment — the
+        // snapshot notices the version bump and serves live results
+        // from then on).
+        let annotation = annotate_resolved(
+            table,
+            &pattern,
+            kb,
+            crowd,
+            &self.config.annotation,
+            resolution,
+        );
 
         // (4) Top-k possible repairs for the erroneous tuples. The index
         // is built after annotation so enriched facts contribute
@@ -203,7 +252,9 @@ impl Katara {
         // feedback) drives repair.
         let effective = annotation.pattern.clone();
         let index = RepairIndex::build(kb, &effective, &self.config.repair);
-        let repairs = generate_repairs(
+        // Repair only consumes the snapshot's string tier (normalized
+        // cells), which never goes stale — safe even after enrichment.
+        let repairs = generate_repairs_resolved(
             &index,
             kb,
             &effective,
@@ -212,6 +263,7 @@ impl Katara {
             self.config.repairs_k,
             &self.config.repair,
             self.config.threads,
+            resolution,
         );
 
         let run_stats = crowd.stats().since(&stats_before);

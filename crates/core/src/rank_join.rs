@@ -18,6 +18,12 @@
 //! type pruning. [`DiscoveryStats`] reports how much of the space was
 //! touched; [`discover_exhaustive`] is the ablation baseline that scores
 //! the full Cartesian product.
+//!
+//! Rank-join does not consume the shared
+//! [`TableResolution`](crate::resolve::TableResolution) snapshot: it
+//! joins the already-resolved [`CandidateSet`] lists and PMI coherence
+//! statistics — all cell→KB resolution happened upstream in candidate
+//! discovery, where the snapshot applies.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;

@@ -13,6 +13,7 @@
 //! connected component (the paper treats disconnected sub-patterns
 //! independently) and per-component repairs combine additively.
 
+use std::borrow::Cow;
 use std::collections::HashMap;
 
 use katara_exec::Threads;
@@ -20,6 +21,7 @@ use katara_kb::{sim, Kb, ResourceId};
 use katara_table::{Table, Value};
 
 use crate::pattern::TablePattern;
+use crate::resolve::TableResolution;
 
 /// Repair knobs.
 #[derive(Debug, Clone)]
@@ -62,6 +64,10 @@ enum NodeVal {
 #[derive(Debug, Clone)]
 struct InstanceGraph {
     values: Vec<NodeVal>,
+    /// Normalized form of each value, computed once at index build time
+    /// and shared by the inverted lists and every per-tuple cost check
+    /// (the old code re-normalized per overlapping graph per tuple).
+    norms: Vec<String>,
 }
 
 /// Per-component enumeration + inverted lists.
@@ -184,13 +190,20 @@ fn build_component(
     // there is nothing to anchor enumeration on.
 
     let mut inverted: HashMap<(usize, String), Vec<u32>> = HashMap::new();
-    for (gi, g) in graphs.iter().enumerate() {
-        for (slot, v) in g.values.iter().enumerate() {
-            let key = match v {
+    for (gi, g) in graphs.iter_mut().enumerate() {
+        g.norms = g
+            .values
+            .iter()
+            .map(|v| match v {
                 NodeVal::Res(r) => sim::normalize(kb.label_of(*r)),
                 NodeVal::Lit(l) => sim::normalize(l),
-            };
-            inverted.entry((slot, key)).or_default().push(gi as u32);
+            })
+            .collect();
+        for (slot, key) in g.norms.iter().enumerate() {
+            inverted
+                .entry((slot, key.clone()))
+                .or_default()
+                .push(gi as u32);
         }
     }
     ComponentIndex {
@@ -242,6 +255,7 @@ fn expand(
                 }
                 graphs.push(InstanceGraph {
                     values: values.iter().cloned().map(Option::unwrap).collect(),
+                    norms: Vec::new(), // filled by the inverted-list pass
                 });
             }
             // Unassigned nodes unreachable via edges (can happen only for
@@ -331,6 +345,24 @@ pub fn topk_repairs(
     k: usize,
     config: &RepairConfig,
 ) -> Vec<Repair> {
+    topk_repairs_resolved(index, kb, pattern, row, k, config, None)
+}
+
+/// Snapshot-aware variant of [`topk_repairs`]: when `resolution` is
+/// `Some((snapshot, row_idx))`, normalized tuple cells come from the
+/// snapshot's string tier instead of being re-normalized here. The
+/// string tier never goes stale (it depends only on the table), so this
+/// is safe even after KB enrichment has bumped the KB version.
+#[allow(clippy::too_many_arguments)] // topk_repairs' signature + the snapshot coordinate
+pub fn topk_repairs_resolved(
+    index: &RepairIndex,
+    kb: &Kb,
+    pattern: &TablePattern,
+    row: &[Value],
+    k: usize,
+    config: &RepairConfig,
+    resolution: Option<(&TableResolution, usize)>,
+) -> Vec<Repair> {
     if k == 0 {
         return Vec::new();
     }
@@ -347,18 +379,35 @@ pub fn topk_repairs(
             .copied()
             .unwrap_or(1.0)
     };
+    let norm_of_cell = |col: usize| -> Option<Cow<'_, str>> {
+        let cell = row.get(col).and_then(Value::as_str)?;
+        match resolution {
+            Some((res, r)) => Some(
+                res.cell_norm(col, r)
+                    .map(Cow::Borrowed)
+                    .unwrap_or_else(|| Cow::Owned(sim::normalize(cell))),
+            ),
+            None => Some(Cow::Owned(sim::normalize(cell))),
+        }
+    };
 
     // Top-k candidate repairs per component.
     let mut per_component: Vec<Vec<Repair>> = Vec::new();
     for comp in &index.components {
+        // Normalized tuple cell per slot, computed once per component
+        // (not once per overlapping graph as historically).
+        let slot_norms: Vec<Option<Cow<'_, str>>> = comp
+            .node_indexes
+            .iter()
+            .map(|&ni| norm_of_cell(index.node_columns[ni]))
+            .collect();
         // Gather overlapping graphs via the inverted lists.
         let mut overlap: Vec<u32> = Vec::new();
-        for (slot, &ni) in comp.node_indexes.iter().enumerate() {
-            let col = index.node_columns[ni];
-            let Some(cell) = row.get(col).and_then(Value::as_str) else {
+        for (slot, norm) in slot_norms.iter().enumerate() {
+            let Some(norm) = norm else {
                 continue;
             };
-            if let Some(gs) = comp.inverted.get(&(slot, sim::normalize(cell))) {
+            if let Some(gs) = comp.inverted.get(&(slot, norm.to_string())) {
                 overlap.extend_from_slice(gs);
             }
         }
@@ -375,15 +424,12 @@ pub fn topk_repairs(
                 let mut changes = Vec::new();
                 for (slot, &ni) in comp.node_indexes.iter().enumerate() {
                     let col = index.node_columns[ni];
-                    let new_val = match &g.values[slot] {
-                        NodeVal::Res(r) => kb.label_of(*r).to_string(),
-                        NodeVal::Lit(l) => l.clone(),
-                    };
-                    let matches = row
-                        .get(col)
-                        .and_then(Value::as_str)
-                        .is_some_and(|cell| sim::normalize(cell) == sim::normalize(&new_val));
+                    let matches = slot_norms[slot].as_deref() == Some(g.norms[slot].as_str());
                     if !matches {
+                        let new_val = match &g.values[slot] {
+                            NodeVal::Res(r) => kb.label_of(*r).to_string(),
+                            NodeVal::Lit(l) => l.clone(),
+                        };
                         cost += cost_of(col);
                         changes.push((col, new_val));
                     }
@@ -454,10 +500,36 @@ pub fn generate_repairs(
     config: &RepairConfig,
     threads: Threads,
 ) -> Vec<(usize, Vec<Repair>)> {
+    generate_repairs_resolved(index, kb, pattern, table, rows, k, config, threads, None)
+}
+
+/// Snapshot-aware variant of [`generate_repairs`]: the shared
+/// [`TableResolution`] (built from the same `table`) supplies normalized
+/// cells for every worker. See [`topk_repairs_resolved`].
+#[allow(clippy::too_many_arguments)] // mirrors generate_repairs' signature + the snapshot
+pub fn generate_repairs_resolved(
+    index: &RepairIndex,
+    kb: &Kb,
+    pattern: &TablePattern,
+    table: &Table,
+    rows: &[usize],
+    k: usize,
+    config: &RepairConfig,
+    threads: Threads,
+    resolution: Option<&TableResolution>,
+) -> Vec<(usize, Vec<Repair>)> {
     katara_exec::par_map(threads, rows, |&row| {
         (
             row,
-            topk_repairs(index, kb, pattern, table.row(row), k, config),
+            topk_repairs_resolved(
+                index,
+                kb,
+                pattern,
+                table.row(row),
+                k,
+                config,
+                resolution.map(|res| (res, row)),
+            ),
         )
     })
 }
@@ -540,6 +612,15 @@ pub fn topk_repairs_naive(
         if comp.graphs.is_empty() {
             continue;
         }
+        let slot_norms: Vec<Option<String>> = comp
+            .node_indexes
+            .iter()
+            .map(|&ni| {
+                row.get(index.node_columns[ni])
+                    .and_then(Value::as_str)
+                    .map(sim::normalize)
+            })
+            .collect();
         let mut cands: Vec<Repair> = comp
             .graphs
             .iter()
@@ -548,15 +629,12 @@ pub fn topk_repairs_naive(
                 let mut changes = Vec::new();
                 for (slot, &ni) in comp.node_indexes.iter().enumerate() {
                     let col = index.node_columns[ni];
-                    let new_val = match &g.values[slot] {
-                        NodeVal::Res(r) => kb.label_of(*r).to_string(),
-                        NodeVal::Lit(l) => l.clone(),
-                    };
-                    let matches = row
-                        .get(col)
-                        .and_then(Value::as_str)
-                        .is_some_and(|cell| sim::normalize(cell) == sim::normalize(&new_val));
+                    let matches = slot_norms[slot].as_deref() == Some(g.norms[slot].as_str());
                     if !matches {
+                        let new_val = match &g.values[slot] {
+                            NodeVal::Res(r) => kb.label_of(*r).to_string(),
+                            NodeVal::Lit(l) => l.clone(),
+                        };
                         cost += cost_of(col);
                         changes.push((col, new_val));
                     }

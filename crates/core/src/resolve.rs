@@ -1,0 +1,411 @@
+//! The shared KB query snapshot: one read-only resolution of a table's
+//! cell values against a KB, built once per `(table, KB)` pair and shared
+//! immutably by every pipeline stage and every `katara-exec` worker.
+//!
+//! Every stage of KATARA — candidate discovery (§4.1), pattern matching
+//! (§3.2), annotation (§6.1), repair (§6.2) — reduces to the same KB
+//! primitives over cell *strings*: `candidate_resources`, `Q_types`,
+//! `Q_rels`. A table with `n` cells typically has far fewer *distinct
+//! normalized* values, so [`TableResolution`] deduplicates each column's
+//! values, resolves each exactly once, and stores three read-only tiers:
+//!
+//! 1. **string tier** — per-cell value ids and normalized spellings.
+//!    Pure string work, valid forever;
+//! 2. **KB tier** — per-value candidate resources and `Q_types` closures;
+//! 3. **pair-relation memo** — `(value, value) → Q_rels^1/Q_rels^2`
+//!    results for the column-pair combinations that actually co-occur in
+//!    the scanned rows, the hot path feeding the rank-join.
+//!
+//! ### Staleness (invalidation = never)
+//!
+//! The snapshot itself is immutable and is never invalidated in place.
+//! Annotation *enriches* the KB mid-run (§6.1) and later tuples must see
+//! the enriched facts, so the KB tiers are guarded by the KB's mutation
+//! counter ([`Kb::version`]): the snapshot records the version it was
+//! built against, and every KB-tier accessor takes `&Kb` and transparently
+//! falls back to an equivalent live query once the version has moved.
+//! Over-invalidation is safe (slower, identical answers); the string tier
+//! needs no guard at all. Memory is bounded by the distinct-value count,
+//! not the cell count — see `DESIGN.md` §5e.
+
+use std::borrow::Cow;
+use std::collections::HashMap;
+
+use katara_kb::sim;
+use katara_kb::{ClassId, Kb, PropertyId, ResourceId};
+use katara_table::Table;
+
+/// How the pipeline resolves cells against the KB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResolveMode {
+    /// Build one [`TableResolution`] per `(table, KB)` pair up front and
+    /// share it across discovery, annotation, and repair.
+    #[default]
+    Snapshot,
+    /// Query the KB directly from every stage — the historical path, kept
+    /// for equivalence testing and cold-vs-warm benchmarking.
+    Direct,
+}
+
+/// One distinct normalized cell value, resolved once.
+#[derive(Debug, Clone)]
+struct ResolvedValue {
+    /// `sim::normalize` of every raw spelling mapping to this value.
+    norm: String,
+    /// `Kb::candidate_resources` of the value (KB tier).
+    candidates: Vec<(ResourceId, f64)>,
+    /// `Q_types`: types (with superclass closure) of the candidates.
+    types: Vec<ClassId>,
+}
+
+/// `Q_rels` results for one ordered pair of distinct values.
+#[derive(Debug, Clone, Default)]
+pub struct PairRels {
+    /// `Q_rels^1`: relationships with a resource object.
+    pub res: Vec<PropertyId>,
+    /// `Q_rels^2`: relationships with a literal object.
+    pub lit: Vec<PropertyId>,
+}
+
+/// A read-only resolution of one table against one KB. See the module
+/// docs for the tier structure and staleness contract.
+#[derive(Debug, Clone)]
+pub struct TableResolution {
+    /// `Kb::version` at build time; KB tiers are valid while it holds.
+    kb_version: u64,
+    /// `cells[col][row]` → distinct-value id (None for null cells).
+    cells: Vec<Vec<Option<u32>>>,
+    values: Vec<ResolvedValue>,
+    /// `(value_a, value_b)` → prebuilt `Q_rels` results, covering every
+    /// ordered column pair over the first `pair_rows` rows.
+    pair_rels: HashMap<(u32, u32), PairRels>,
+    /// How many leading rows the pair memo covers.
+    pair_rows: usize,
+    non_null_cells: usize,
+}
+
+impl TableResolution {
+    /// Resolve `table` against `kb`. All rows are resolved for the value
+    /// tiers (annotation and repair walk the whole table); the pair memo
+    /// covers the first `pair_rows` rows — pass the discovery scan cap
+    /// ([`crate::candidates::CandidateConfig::max_rows`]), which is the
+    /// only consumer of pair relations.
+    pub fn build(table: &Table, kb: &Kb, pair_rows: usize) -> Self {
+        let nrows = table.num_rows();
+        let ncols = table.num_columns();
+        let mut by_raw: HashMap<&str, u32> = HashMap::new();
+        let mut by_norm: HashMap<String, u32> = HashMap::new();
+        let mut values: Vec<ResolvedValue> = Vec::new();
+        let mut cells = vec![vec![None; nrows]; ncols];
+        let mut non_null_cells = 0usize;
+        for (c, col) in cells.iter_mut().enumerate() {
+            for (r, slot) in col.iter_mut().enumerate() {
+                let Some(cell) = table.cell(r, c).as_str() else {
+                    continue;
+                };
+                non_null_cells += 1;
+                let id = match by_raw.get(cell) {
+                    Some(&id) => id,
+                    None => {
+                        let norm = sim::normalize(cell);
+                        let id = match by_norm.get(&norm) {
+                            Some(&id) => id,
+                            None => {
+                                let candidates = kb.candidate_resources_normalized(&norm);
+                                let types = kb.types_for_candidates(&candidates);
+                                let id = u32::try_from(values.len())
+                                    .expect("distinct-value space exhausted");
+                                values.push(ResolvedValue {
+                                    norm: norm.clone(),
+                                    candidates,
+                                    types,
+                                });
+                                by_norm.insert(norm, id);
+                                id
+                            }
+                        };
+                        by_raw.insert(cell, id);
+                        id
+                    }
+                };
+                *slot = Some(id);
+            }
+        }
+
+        let pair_rows = nrows.min(pair_rows);
+        let mut pair_rels: HashMap<(u32, u32), PairRels> = HashMap::new();
+        for i in 0..ncols {
+            for j in 0..ncols {
+                if i == j {
+                    continue;
+                }
+                for (a, b) in cells[i].iter().zip(&cells[j]).take(pair_rows) {
+                    let (Some(a), Some(b)) = (*a, *b) else {
+                        continue;
+                    };
+                    pair_rels.entry((a, b)).or_insert_with(|| {
+                        let va = &values[a as usize];
+                        let vb = &values[b as usize];
+                        PairRels {
+                            res: kb.relations_for_candidates(&va.candidates, &vb.candidates),
+                            lit: kb.literal_relations_for_candidates(&va.candidates, &vb.norm),
+                        }
+                    });
+                }
+            }
+        }
+
+        TableResolution {
+            kb_version: kb.version(),
+            cells,
+            values,
+            pair_rels,
+            pair_rows,
+            non_null_cells,
+        }
+    }
+
+    /// True while the KB tiers still reflect `kb` (no enrichment write has
+    /// landed since the snapshot was built).
+    pub fn is_current(&self, kb: &Kb) -> bool {
+        kb.version() == self.kb_version
+    }
+
+    /// Number of distinct normalized values across the table.
+    pub fn num_values(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of non-null cells resolved.
+    pub fn non_null_cells(&self) -> usize {
+        self.non_null_cells
+    }
+
+    /// Distinct-value ratio: `num_values / non_null_cells` (1.0 for an
+    /// empty table). Low ratios are where the snapshot pays off most.
+    pub fn distinct_ratio(&self) -> f64 {
+        if self.non_null_cells == 0 {
+            1.0
+        } else {
+            self.values.len() as f64 / self.non_null_cells as f64
+        }
+    }
+
+    /// How many leading rows the pair memo covers.
+    pub fn pair_rows(&self) -> usize {
+        self.pair_rows
+    }
+
+    /// The distinct-value id of cell `(col, row)`, `None` when null.
+    pub fn value_id(&self, col: usize, row: usize) -> Option<u32> {
+        self.cells.get(col)?.get(row).copied().flatten()
+    }
+
+    /// String tier: the normalized spelling of cell `(col, row)`. Never
+    /// stale — normalization does not involve the KB.
+    pub fn cell_norm(&self, col: usize, row: usize) -> Option<&str> {
+        self.value_id(col, row)
+            .map(|id| self.values[id as usize].norm.as_str())
+    }
+
+    /// The normalized spelling of a distinct-value id.
+    pub fn norm_of(&self, id: u32) -> &str {
+        &self.values[id as usize].norm
+    }
+
+    /// KB tier: `Kb::candidate_resources` of cell `(col, row)` — the
+    /// cached list while current, an equivalent live query once `kb` has
+    /// been enriched. `None` for null cells.
+    pub fn candidates(&self, kb: &Kb, col: usize, row: usize) -> Option<CandList<'_>> {
+        let id = self.value_id(col, row)?;
+        Some(self.candidates_of(kb, id))
+    }
+
+    /// [`Self::candidates`] by distinct-value id.
+    pub fn candidates_of(&self, kb: &Kb, id: u32) -> CandList<'_> {
+        let v = &self.values[id as usize];
+        if self.is_current(kb) {
+            Cow::Borrowed(v.candidates.as_slice())
+        } else {
+            Cow::Owned(kb.candidate_resources_normalized(&v.norm))
+        }
+    }
+
+    /// KB tier: `Q_types` of cell `(col, row)`; `None` for null cells.
+    pub fn types(&self, kb: &Kb, col: usize, row: usize) -> Option<Cow<'_, [ClassId]>> {
+        let id = self.value_id(col, row)?;
+        Some(self.types_of(kb, id))
+    }
+
+    /// [`Self::types`] by distinct-value id.
+    pub fn types_of(&self, kb: &Kb, id: u32) -> Cow<'_, [ClassId]> {
+        let v = &self.values[id as usize];
+        if self.is_current(kb) {
+            Cow::Borrowed(v.types.as_slice())
+        } else {
+            Cow::Owned(kb.types_of_value(&v.norm))
+        }
+    }
+
+    /// Pair memo: `Q_rels^1`/`Q_rels^2` between two distinct-value ids.
+    /// Served from the prebuilt memo while current and covered; computed
+    /// live (identically) for stale snapshots or uncovered combinations.
+    pub fn pair_relations(&self, kb: &Kb, a: u32, b: u32) -> Cow<'_, PairRels> {
+        if self.is_current(kb) {
+            if let Some(cached) = self.pair_rels.get(&(a, b)) {
+                return Cow::Borrowed(cached);
+            }
+            // Current but uncovered (row beyond `pair_rows`): the cached
+            // candidate lists are valid, so derive from them.
+            let va = &self.values[a as usize];
+            let vb = &self.values[b as usize];
+            return Cow::Owned(PairRels {
+                res: kb.relations_for_candidates(&va.candidates, &vb.candidates),
+                lit: kb.literal_relations_for_candidates(&va.candidates, &vb.norm),
+            });
+        }
+        let ca = kb.candidate_resources_normalized(self.norm_of(a));
+        let cb = kb.candidate_resources_normalized(self.norm_of(b));
+        Cow::Owned(PairRels {
+            res: kb.relations_for_candidates(&ca, &cb),
+            lit: kb.literal_relations_for_candidates(&ca, self.norm_of(b)),
+        })
+    }
+}
+
+/// A candidate list that is either borrowed from the snapshot or computed
+/// live on staleness.
+pub type CandList<'a> = Cow<'a, [(ResourceId, f64)]>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use katara_kb::KbBuilder;
+
+    fn kb_and_table() -> (Kb, Table) {
+        let mut b = KbBuilder::new();
+        let country = b.class("country");
+        let capital = b.class("capital");
+        let person = b.class("person");
+        let has_capital = b.property("hasCapital");
+        let height = b.property("hasHeight");
+        let italy = b.entity("Italy", &[country]);
+        let rome = b.entity("Rome", &[capital]);
+        let rossi = b.entity("Rossi", &[person]);
+        b.fact(italy, has_capital, rome);
+        b.literal_fact(rossi, height, "1.78");
+        let kb = b.finalize();
+
+        let mut t = Table::with_opaque_columns("t", 3);
+        t.push_text_row(&["Italy", "Rome", ""]);
+        t.push_text_row(&["  ITALY ", "Rome", "1.78"]);
+        t.push_text_row(&["Rossi", "", "1.78"]);
+        (kb, t)
+    }
+
+    #[test]
+    fn dedup_by_normalized_value() {
+        let (kb, t) = kb_and_table();
+        let res = TableResolution::build(&t, &kb, usize::MAX);
+        // "Italy" and "  ITALY " collapse; "" is null; distinct values:
+        // italy, rome, 1.78, rossi.
+        assert_eq!(res.num_values(), 4);
+        assert_eq!(res.non_null_cells(), 7);
+        assert_eq!(res.value_id(0, 0), res.value_id(0, 1));
+        assert_eq!(res.value_id(2, 0), None);
+        assert_eq!(res.cell_norm(0, 1), Some("italy"));
+        assert!((res.distinct_ratio() - 4.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cached_tiers_match_live_queries() {
+        let (kb, t) = kb_and_table();
+        let res = TableResolution::build(&t, &kb, usize::MAX);
+        for c in 0..t.num_columns() {
+            for r in 0..t.num_rows() {
+                let cell = t.cell(r, c).as_str();
+                let cands = res.candidates(&kb, c, r);
+                let types = res.types(&kb, c, r);
+                match cell {
+                    None => {
+                        assert!(cands.is_none());
+                        assert!(types.is_none());
+                    }
+                    Some(cell) => {
+                        assert_eq!(cands.unwrap().as_ref(), kb.candidate_resources(cell));
+                        assert_eq!(types.unwrap().as_ref(), kb.types_of_value(cell));
+                    }
+                }
+            }
+        }
+        // Pair memo matches Q_rels on every co-occurring pair.
+        for r in 0..t.num_rows() {
+            for i in 0..t.num_columns() {
+                for j in 0..t.num_columns() {
+                    if i == j {
+                        continue;
+                    }
+                    let (Some(a), Some(b)) = (res.value_id(i, r), res.value_id(j, r)) else {
+                        continue;
+                    };
+                    let (sa, sb) = (
+                        t.cell(r, i).as_str().unwrap(),
+                        t.cell(r, j).as_str().unwrap(),
+                    );
+                    let pr = res.pair_relations(&kb, a, b);
+                    assert_eq!(pr.res, kb.relations_between_values(sa, sb));
+                    assert_eq!(pr.lit, kb.relations_to_literal(sa, sb));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stale_snapshot_falls_back_to_live() {
+        let (mut kb, t) = kb_and_table();
+        let res = TableResolution::build(&t, &kb, usize::MAX);
+        assert!(res.is_current(&kb));
+        // Enrich: "Pretoria" becomes a capital, and Italy gains a second
+        // capital fact — the cached tiers are now stale.
+        let capital = kb.class_by_name("capital").unwrap();
+        let has_capital = kb.property_by_name("hasCapital").unwrap();
+        let pretoria = kb.add_entity("Pretoria", "Pretoria", &[capital]);
+        let italy = kb.resource_by_name("Italy").unwrap();
+        kb.add_fact(italy, has_capital, pretoria);
+        assert!(!res.is_current(&kb));
+        // Accessors now agree with the *enriched* KB, not the snapshot.
+        let (a, b) = (res.value_id(0, 0).unwrap(), res.value_id(1, 0).unwrap());
+        assert_eq!(
+            res.candidates(&kb, 0, 0).unwrap().as_ref(),
+            kb.candidate_resources("Italy")
+        );
+        assert_eq!(
+            res.pair_relations(&kb, a, b).res,
+            kb.relations_between_values("Italy", "Rome")
+        );
+        // The string tier is mutation-independent.
+        assert_eq!(res.cell_norm(0, 0), Some("italy"));
+    }
+
+    #[test]
+    fn pair_memo_respects_row_cap() {
+        let (kb, t) = kb_and_table();
+        let res = TableResolution::build(&t, &kb, 1);
+        assert_eq!(res.pair_rows(), 1);
+        // Row 2's (Rossi, 1.78) pair is uncovered but still computed
+        // correctly on demand.
+        let (a, b) = (res.value_id(0, 2).unwrap(), res.value_id(2, 2).unwrap());
+        let pr = res.pair_relations(&kb, a, b);
+        assert_eq!(pr.lit, kb.relations_to_literal("Rossi", "1.78"));
+    }
+
+    #[test]
+    fn empty_table() {
+        let (kb, _) = kb_and_table();
+        let t = Table::with_opaque_columns("empty", 2);
+        let res = TableResolution::build(&t, &kb, 100);
+        assert_eq!(res.num_values(), 0);
+        assert_eq!(res.distinct_ratio(), 1.0);
+        assert_eq!(res.value_id(0, 0), None);
+    }
+}

@@ -14,6 +14,12 @@
 //! exposing `k_t` randomly sampled tuples (Q1/Q2 of §5.1); the plurality
 //! answer across the `q` questions wins (and each individual question is
 //! already replicated inside the crowd platform).
+//!
+//! Validation does not consume the shared
+//! [`TableResolution`](crate::resolve::TableResolution) snapshot: its
+//! questions are phrased from KB class/property *names* and raw table
+//! cells — it never resolves cells against the KB, so there is nothing
+//! for the snapshot to cache here.
 
 use std::collections::HashMap;
 

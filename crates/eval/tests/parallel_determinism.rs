@@ -59,6 +59,32 @@ fn discovery_is_thread_count_invariant_on_corpus() {
     }
 }
 
+/// The snapshot path must be thread-count invariant too — one shared
+/// read-only [`TableResolution`] feeding every pool size — and agree
+/// with the direct path byte for byte.
+#[test]
+fn snapshot_discovery_is_thread_count_invariant_and_matches_direct() {
+    let corpus = corpus();
+    for flavor in [KbFlavor::YagoLike, KbFlavor::DbpediaLike] {
+        let kb = corpus.kb(flavor);
+        for (name, table) in [
+            ("web[0]", &corpus.web[0].table),
+            ("person", &corpus.person.table),
+        ] {
+            let res = TableResolution::build(table, &kb, CandidateConfig::default().max_rows);
+            let direct = discover_candidates_direct(table, &kb, &config_with(1));
+            for &threads in &POOLS {
+                let got = discover_candidates_resolved(table, &kb, &res, &config_with(threads));
+                assert_eq!(
+                    direct, got,
+                    "{name}/{flavor:?}: shared-snapshot discovery differs from direct at \
+                     {threads} threads"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn repair_is_thread_count_invariant_on_corpus() {
     let corpus = corpus();

@@ -332,6 +332,7 @@ impl KbBuilder {
             coherence,
             sim_threshold: self.sim_threshold,
             fact_count,
+            version: 0,
         }
     }
 }

@@ -1,0 +1,155 @@
+//! First-occurrence deduplication without quadratic membership scans.
+//!
+//! The query surface (`Q_types`, `Q_rels`, instance-graph expansion)
+//! historically deduplicated with `if !out.contains(&x) { out.push(x) }`
+//! — an O(n²) scan over the output that dominates on hub entities with
+//! hundreds of relations. [`OrderedDedup`] keeps a *sorted* membership
+//! vector on the side so a single membership test is a binary search,
+//! and an already-sorted run (an ancestor-closure slice) folds in with
+//! one linear merge — while the *output* still receives values in
+//! exactly their first-occurrence order, bit-identical to the old scan.
+
+/// A first-occurrence dedup filter over `Ord + Copy` values.
+pub(crate) struct OrderedDedup<T> {
+    sorted: Vec<T>,
+}
+
+impl<T: Ord + Copy> OrderedDedup<T> {
+    /// An empty filter.
+    pub(crate) fn new() -> Self {
+        OrderedDedup { sorted: Vec::new() }
+    }
+
+    /// Append `x` to `out` iff it has not been seen yet.
+    pub(crate) fn push(&mut self, x: T, out: &mut Vec<T>) {
+        if let Err(i) = self.sorted.binary_search(&x) {
+            self.sorted.insert(i, x);
+            out.push(x);
+        }
+    }
+
+    /// Fold a run of values in: novel values are appended to `out` in run
+    /// order (their first-occurrence order). When the run is non-decreasing
+    /// — the common case, since ancestor closures and finalized type
+    /// closures are stored sorted — the whole run costs one linear merge
+    /// against the membership vector. A run that turns out unsorted (e.g.
+    /// a type closure extended by KB enrichment after finalize) falls back
+    /// to per-item [`Self::push`] for the remainder.
+    pub(crate) fn extend(&mut self, run: impl IntoIterator<Item = T>, out: &mut Vec<T>) {
+        let start = out.len();
+        let mut cursor = 0usize;
+        let mut last: Option<T> = None;
+        let mut iter = run.into_iter();
+        while let Some(x) = iter.next() {
+            if last.is_some_and(|l| l > x) {
+                // Unsorted run: commit the ascending prefix, then fall
+                // back to binary-search pushes for the rest.
+                self.commit_run(&out[start..]);
+                self.push(x, out);
+                for y in iter {
+                    self.push(y, out);
+                }
+                return;
+            }
+            if last == Some(x) {
+                continue;
+            }
+            last = Some(x);
+            while cursor < self.sorted.len() && self.sorted[cursor] < x {
+                cursor += 1;
+            }
+            if cursor < self.sorted.len() && self.sorted[cursor] == x {
+                continue;
+            }
+            out.push(x);
+        }
+        self.commit_run(&out[start..]);
+    }
+
+    /// Merge a strictly ascending run of novel values into the sorted
+    /// membership vector in one pass.
+    fn commit_run(&mut self, novel: &[T]) {
+        if novel.is_empty() {
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.sorted.len() + novel.len());
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < self.sorted.len() && b < novel.len() {
+            if self.sorted[a] <= novel[b] {
+                merged.push(self.sorted[a]);
+                a += 1;
+            } else {
+                merged.push(novel[b]);
+                b += 1;
+            }
+        }
+        merged.extend_from_slice(&self.sorted[a..]);
+        merged.extend_from_slice(&novel[b..]);
+        self.sorted = merged;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The reference implementation every path must match: the historical
+    /// `Vec::contains` scan.
+    fn naive(runs: &[&[u32]]) -> Vec<u32> {
+        let mut out = Vec::new();
+        for run in runs {
+            for &x in *run {
+                if !out.contains(&x) {
+                    out.push(x);
+                }
+            }
+        }
+        out
+    }
+
+    fn merged(runs: &[&[u32]]) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut seen = OrderedDedup::new();
+        for run in runs {
+            seen.extend(run.iter().copied(), &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn sorted_runs_match_naive() {
+        let runs: &[&[u32]] = &[&[1, 3, 5], &[2, 3, 4], &[0, 5, 9], &[]];
+        assert_eq!(merged(runs), naive(runs));
+    }
+
+    #[test]
+    fn unsorted_runs_fall_back_and_still_match() {
+        let runs: &[&[u32]] = &[&[5, 1, 3], &[3, 2, 2, 8], &[9, 0]];
+        assert_eq!(merged(runs), naive(runs));
+    }
+
+    #[test]
+    fn partially_sorted_run_with_midway_descent() {
+        // Ascending prefix, then a descent mid-run: the fallback must not
+        // lose the prefix or double-emit values straddling the switch.
+        let runs: &[&[u32]] = &[&[1, 4, 7, 3, 7, 2], &[4, 5, 1]];
+        assert_eq!(merged(runs), naive(runs));
+    }
+
+    #[test]
+    fn duplicate_heavy_runs() {
+        let runs: &[&[u32]] = &[&[2, 2, 2], &[2, 2], &[1, 2, 3, 3]];
+        assert_eq!(merged(runs), naive(runs));
+    }
+
+    #[test]
+    fn push_interleaves_with_extend() {
+        let mut out = Vec::new();
+        let mut seen = OrderedDedup::new();
+        seen.push(7, &mut out);
+        seen.extend([1u32, 7, 9], &mut out);
+        seen.push(1, &mut out);
+        seen.extend([0, 9, 10], &mut out);
+        assert_eq!(out, vec![7, 1, 9, 0, 10]);
+    }
+}

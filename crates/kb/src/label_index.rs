@@ -36,6 +36,9 @@ pub struct LabelIndex {
     slot_of: HashMap<String, u32>,
     /// trigram -> slots containing it.
     grams: HashMap<[char; 3], Vec<u32>>,
+    /// Per-slot sorted distinct trigrams, computed once at insert so
+    /// approximate lookup never re-derives a label's gram set.
+    slot_grams: Vec<Vec<[char; 3]>>,
 }
 
 impl LabelIndex {
@@ -61,9 +64,11 @@ impl LabelIndex {
             Some(&s) => s,
             None => {
                 let s = u32::try_from(self.slots.len()).expect("label slots exhausted");
-                for g in dedup_grams(&norm) {
+                let grams = dedup_grams(&norm);
+                for &g in &grams {
                     self.grams.entry(g).or_default().push(s);
                 }
+                self.slot_grams.push(grams);
                 self.slots.push((norm.clone(), Vec::new()));
                 self.slot_of.insert(norm, s);
                 s
@@ -77,8 +82,15 @@ impl LabelIndex {
 
     /// Resources whose normalized label equals `normalize(query)` exactly.
     pub fn exact(&self, query: &str) -> &[ResourceId] {
-        let norm = sim::normalize(query);
-        match self.slot_of.get(&norm) {
+        self.exact_normalized(&sim::normalize(query))
+    }
+
+    /// [`Self::exact`] for an *already normalized* query (the caller
+    /// guarantees `norm == sim::normalize(norm)`), skipping the per-call
+    /// normalization. The snapshot layer normalizes each distinct cell
+    /// value once and probes through this entry point.
+    pub fn exact_normalized(&self, norm: &str) -> &[ResourceId] {
+        match self.slot_of.get(norm) {
             Some(&s) => &self.slots[s as usize].1,
             None => &[],
         }
@@ -92,8 +104,16 @@ impl LabelIndex {
     /// similarity and thresholds ≥ 0.5 this prefilter does not lose matches
     /// in practice while keeping lookup sub-linear in the label count.
     pub fn lookup(&self, query: &str, threshold: f64) -> Vec<LabelMatch> {
-        let norm = sim::normalize(query);
-        let qgrams = dedup_grams(&norm);
+        self.lookup_normalized(&sim::normalize(query), threshold)
+    }
+
+    /// [`Self::lookup`] for an *already normalized* query. Scores are
+    /// bit-identical to [`sim::similarity`] on the normalized strings: the
+    /// equality short-circuit and the `max(levenshtein, jaccard)` hybrid
+    /// are reproduced here, with the Jaccard side computed from the
+    /// cached per-slot gram sets instead of re-deriving the label's grams.
+    pub fn lookup_normalized(&self, norm: &str, threshold: f64) -> Vec<LabelMatch> {
+        let qgrams = dedup_grams(norm);
         let min_shared = (qgrams.len() / 4).max(1);
         let mut shared: HashMap<u32, usize> = HashMap::new();
         for g in &qgrams {
@@ -109,7 +129,14 @@ impl LabelIndex {
                 continue;
             }
             let label = &self.slots[slot as usize].0;
-            let score = sim::similarity(&norm, label);
+            let score = if norm == label {
+                1.0
+            } else {
+                sim::levenshtein_sim(norm, label).max(sim::jaccard_sorted(
+                    &qgrams,
+                    &self.slot_grams[slot as usize],
+                ))
+            };
             if score >= threshold {
                 hits.push((slot, score));
             }
@@ -132,10 +159,7 @@ impl LabelIndex {
 }
 
 fn dedup_grams(s: &str) -> Vec<[char; 3]> {
-    let mut g = sim::trigrams(s);
-    g.sort_unstable();
-    g.dedup();
-    g
+    sim::sorted_trigrams(s)
 }
 
 #[cfg(test)]
@@ -193,6 +217,29 @@ mod tests {
     fn threshold_filters() {
         let i = idx(&[("Rome", 1)]);
         assert!(i.lookup("Tokyo", 0.7).is_empty());
+    }
+
+    #[test]
+    fn normalized_entry_points_match_raw() {
+        let i = idx(&[("Pretoria", 1), ("Rome", 2), ("Madrid", 3), ("Roma", 4)]);
+        for q in ["Pretorai", "  ROME ", "madird", "nowhere"] {
+            let norm = sim::normalize(q);
+            assert_eq!(i.exact(q), i.exact_normalized(&norm), "exact {q}");
+            assert_eq!(
+                i.lookup(q, 0.5),
+                i.lookup_normalized(&norm, 0.5),
+                "lookup {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_scores_match_sim_similarity() {
+        let i = idx(&[("Madrid", 1)]);
+        let hits = i.lookup("Madird", 0.5);
+        assert_eq!(hits.len(), 1);
+        let expect = sim::similarity(&sim::normalize("Madird"), &sim::normalize("Madrid"));
+        assert!((hits[0].score - expect).abs() < 1e-15);
     }
 
     #[test]

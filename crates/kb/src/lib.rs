@@ -45,6 +45,7 @@
 
 pub mod builder;
 pub mod coherence;
+mod dedup;
 pub mod error;
 pub mod ids;
 pub mod ingest;

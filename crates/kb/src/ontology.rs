@@ -17,14 +17,20 @@ use std::collections::HashMap;
 use crate::error::KbError;
 
 /// A DAG of `subClassOf`-style edges over dense node indexes, with a
-/// precomputed ancestor closure.
+/// precomputed ancestor closure stored CSR-style: one flat arena of
+/// `(ancestor, dist)` pairs plus per-node offsets. Each node's slice is
+/// sorted by ancestor id, so membership and distance are binary searches
+/// and enumeration is deterministic (ascending by ancestor) — the old
+/// per-node `HashMap` enumerated in hash order, which varied per process.
 #[derive(Debug, Default, Clone)]
 pub struct Hierarchy {
     /// `parents[n]` = direct parents of node `n`.
     parents: Vec<Vec<u32>>,
-    /// `closure[n]` = map from strict ancestor to minimal edge distance.
-    /// Rebuilt by [`Hierarchy::rebuild_closure`].
-    closure: Vec<HashMap<u32, u32>>,
+    /// Node `n`'s strict ancestors are
+    /// `closure_data[closure_off[n]..closure_off[n + 1]]`, sorted by
+    /// ancestor id. Rebuilt by [`Hierarchy::rebuild_closure`].
+    closure_off: Vec<usize>,
+    closure_data: Vec<(u32, u32)>,
     closure_dirty: bool,
 }
 
@@ -39,7 +45,6 @@ impl Hierarchy {
         let need = n as usize + 1;
         if self.parents.len() < need {
             self.parents.resize_with(need, Vec::new);
-            self.closure.resize_with(need, HashMap::new);
             self.closure_dirty = true;
         }
     }
@@ -114,8 +119,12 @@ impl Hierarchy {
     /// `add_edge` and before any query; [`crate::builder::KbBuilder`] does
     /// this in `finalize`.
     pub fn rebuild_closure(&mut self) {
+        self.closure_off = Vec::with_capacity(self.parents.len() + 1);
+        self.closure_data.clear();
+        self.closure_off.push(0);
+        let mut dist: HashMap<u32, u32> = HashMap::new();
         for n in 0..self.parents.len() {
-            let mut dist: HashMap<u32, u32> = HashMap::new();
+            dist.clear();
             // BFS upward from n.
             let mut frontier: Vec<u32> = self.parents[n].clone();
             let mut d = 1u32;
@@ -131,7 +140,11 @@ impl Hierarchy {
                 std::mem::swap(&mut frontier, &mut next);
                 d += 1;
             }
-            self.closure[n] = dist;
+            let start = self.closure_data.len();
+            self.closure_data
+                .extend(dist.iter().map(|(&p, &dd)| (p, dd)));
+            self.closure_data[start..].sort_unstable_by_key(|&(p, _)| p);
+            self.closure_off.push(self.closure_data.len());
         }
         self.closure_dirty = false;
     }
@@ -143,14 +156,25 @@ impl Hierarchy {
         );
     }
 
+    /// Node `a`'s closure slice, empty for unknown nodes or when the
+    /// closure has not been rebuilt since the node was added.
+    fn closure_slice(&self, a: u32) -> &[(u32, u32)] {
+        let a = a as usize;
+        if a + 1 < self.closure_off.len() {
+            &self.closure_data[self.closure_off[a]..self.closure_off[a + 1]]
+        } else {
+            &[]
+        }
+    }
+
     /// True iff `a == b` or `b` is a transitive ancestor of `a`.
     pub fn is_a(&self, a: u32, b: u32) -> bool {
         self.assert_closed();
         a == b
             || self
-                .closure
-                .get(a as usize)
-                .is_some_and(|m| m.contains_key(&b))
+                .closure_slice(a)
+                .binary_search_by_key(&b, |&(p, _)| p)
+                .is_ok()
     }
 
     /// Minimal number of edges from `a` up to `b`; `Some(0)` if equal,
@@ -160,16 +184,24 @@ impl Hierarchy {
         if a == b {
             return Some(0);
         }
-        self.closure.get(a as usize)?.get(&b).copied()
+        let slice = self.closure_slice(a);
+        slice
+            .binary_search_by_key(&b, |&(p, _)| p)
+            .ok()
+            .map(|i| slice[i].1)
     }
 
-    /// All strict ancestors of `a` with their minimal distances, unordered.
+    /// All strict ancestors of `a` with their minimal distances, in
+    /// ascending ancestor-id order.
     pub fn ancestors(&self, a: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.ancestors_slice(a).iter().copied()
+    }
+
+    /// [`Self::ancestors`] as a borrowed slice (sorted by ancestor id) —
+    /// the zero-cost form the query layer merges from.
+    pub fn ancestors_slice(&self, a: u32) -> &[(u32, u32)] {
         self.assert_closed();
-        self.closure
-            .get(a as usize)
-            .into_iter()
-            .flat_map(|m| m.iter().map(|(&p, &d)| (p, d)))
+        self.closure_slice(a)
     }
 }
 
@@ -251,6 +283,16 @@ mod tests {
         let mut anc: Vec<(u32, u32)> = h.ancestors(0).collect();
         anc.sort_unstable();
         assert_eq!(anc, vec![(1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn ancestors_are_sorted_by_id() {
+        // 0 -> {5, 2}, 2 -> 9: insertion order is scrambled but the CSR
+        // closure enumerates ascending by ancestor id, deterministically.
+        let h = h(&[(0, 5), (0, 2), (2, 9)]);
+        let anc: Vec<(u32, u32)> = h.ancestors(0).collect();
+        assert_eq!(anc, vec![(2, 1), (5, 1), (9, 2)]);
+        assert_eq!(h.ancestors_slice(0), &[(2, 1), (5, 1), (9, 2)]);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! primitives used by pattern matching (§3.2), annotation (§6.1) and
 //! repair (§6.2).
 
+use crate::dedup::OrderedDedup;
 use crate::ids::{ClassId, LiteralId, PropertyId, ResourceId};
 use crate::sim;
 use crate::store::Kb;
@@ -20,12 +21,22 @@ impl Kb {
     /// exact normalized label match scores 1.0; otherwise fuzzy matches at
     /// the configured threshold, best first.
     pub fn candidate_resources(&self, cell: &str) -> Vec<(ResourceId, f64)> {
-        let exact = self.resources_by_label(cell);
+        self.candidate_resources_normalized(&sim::normalize(cell))
+    }
+
+    /// [`Kb::candidate_resources`] for an *already normalized* cell value
+    /// (`norm == sim::normalize(norm)`). Both the exact and the fuzzy
+    /// lookup normalize internally, so resolving through this entry point
+    /// once per distinct normalized value — as the snapshot layer does —
+    /// returns exactly what the raw form would for every spelling that
+    /// normalizes to `norm`.
+    pub fn candidate_resources_normalized(&self, norm: &str) -> Vec<(ResourceId, f64)> {
+        let exact = self.label_index.exact_normalized(norm);
         if !exact.is_empty() {
             return exact.iter().map(|&r| (r, 1.0)).collect();
         }
         self.label_index
-            .lookup(cell, self.sim_threshold)
+            .lookup_normalized(norm, self.sim_threshold)
             .into_iter()
             .map(|m| (m.resource, m.score))
             .collect()
@@ -34,13 +45,17 @@ impl Kb {
     /// `Q_types`: the types (and supertypes) of every resource whose label
     /// matches `cell`. Deduplicated, order deterministic.
     pub fn types_of_value(&self, cell: &str) -> Vec<ClassId> {
+        self.types_for_candidates(&self.candidate_resources(cell))
+    }
+
+    /// `Q_types` from a pre-resolved candidate list (as produced by
+    /// [`Kb::candidate_resources`]): first-occurrence deduplicated union of
+    /// the candidates' type closures.
+    pub fn types_for_candidates(&self, candidates: &[(ResourceId, f64)]) -> Vec<ClassId> {
         let mut out: Vec<ClassId> = Vec::new();
-        for (r, _) in self.candidate_resources(cell) {
-            for &c in self.types_closure(r) {
-                if !out.contains(&c) {
-                    out.push(c);
-                }
-            }
+        let mut seen = OrderedDedup::new();
+        for &(r, _) in candidates {
+            seen.extend(self.types_closure(r).iter().copied(), &mut out);
         }
         out
     }
@@ -57,31 +72,49 @@ impl Kb {
     /// path in `Q_rels^1` produces.
     pub fn relations_between(&self, a: ResourceId, b: ResourceId) -> Vec<PropertyId> {
         let mut out = Vec::new();
-        for &p in self.asserted_relations(a, b) {
-            if !out.contains(&p) {
-                out.push(p);
-            }
-            for (anc, _) in self.prop_hier.ancestors(p.0) {
-                let anc = PropertyId(anc);
-                if !out.contains(&anc) {
-                    out.push(anc);
-                }
-            }
-        }
+        let mut seen = OrderedDedup::new();
+        self.relations_between_into(a, b, &mut seen, &mut out);
         out
+    }
+
+    /// Shared body of `Q_rels^1`: asserted properties from `a` to `b`
+    /// followed by their superproperty closures, first occurrence wins.
+    fn relations_between_into(
+        &self,
+        a: ResourceId,
+        b: ResourceId,
+        seen: &mut OrderedDedup<PropertyId>,
+        out: &mut Vec<PropertyId>,
+    ) {
+        for &p in self.asserted_relations(a, b) {
+            seen.push(p, out);
+            seen.extend(
+                self.prop_hier
+                    .ancestors_slice(p.0)
+                    .iter()
+                    .map(|&(anc, _)| PropertyId(anc)),
+                out,
+            );
+        }
     }
 
     /// `Q_rels^1`: relationships between two *values*, where both resolve
     /// to resources. Considers every candidate resource pair.
     pub fn relations_between_values(&self, a: &str, b: &str) -> Vec<PropertyId> {
+        self.relations_for_candidates(&self.candidate_resources(a), &self.candidate_resources(b))
+    }
+
+    /// `Q_rels^1` from pre-resolved candidate lists for both values.
+    pub fn relations_for_candidates(
+        &self,
+        ca: &[(ResourceId, f64)],
+        cb: &[(ResourceId, f64)],
+    ) -> Vec<PropertyId> {
         let mut out = Vec::new();
-        for (ra, _) in self.candidate_resources(a) {
-            for (rb, _) in self.candidate_resources(b) {
-                for p in self.relations_between(ra, rb) {
-                    if !out.contains(&p) {
-                        out.push(p);
-                    }
-                }
+        let mut seen = OrderedDedup::new();
+        for &(ra, _) in ca {
+            for &(rb, _) in cb {
+                self.relations_between_into(ra, rb, &mut seen, &mut out);
             }
         }
         out
@@ -90,24 +123,33 @@ impl Kb {
     /// `Q_rels^2`: relationships from resources matching `a` to a *literal*
     /// whose normalized spelling equals `b`'s.
     pub fn relations_to_literal(&self, a: &str, b: &str) -> Vec<PropertyId> {
-        let norm = sim::normalize(b);
-        let Some(lids) = self.literal_norm.get(&norm) else {
+        self.literal_relations_for_candidates(&self.candidate_resources(a), &sim::normalize(b))
+    }
+
+    /// `Q_rels^2` from a pre-resolved candidate list for the subject and a
+    /// pre-normalized literal spelling.
+    pub fn literal_relations_for_candidates(
+        &self,
+        ca: &[(ResourceId, f64)],
+        norm_b: &str,
+    ) -> Vec<PropertyId> {
+        let Some(lids) = self.literal_norm.get(norm_b) else {
             return Vec::new();
         };
         let mut out = Vec::new();
-        for (ra, _) in self.candidate_resources(a) {
+        let mut seen = OrderedDedup::new();
+        for &(ra, _) in ca {
             for &lid in lids {
                 if let Some(props) = self.rl_index.get(&(ra, lid)) {
                     for &p in props {
-                        if !out.contains(&p) {
-                            out.push(p);
-                        }
-                        for (anc, _) in self.prop_hier.ancestors(p.0) {
-                            let anc = PropertyId(anc);
-                            if !out.contains(&anc) {
-                                out.push(anc);
-                            }
-                        }
+                        seen.push(p, &mut out);
+                        seen.extend(
+                            self.prop_hier
+                                .ancestors_slice(p.0)
+                                .iter()
+                                .map(|&(anc, _)| PropertyId(anc)),
+                            &mut out,
+                        );
                     }
                 }
             }
@@ -141,10 +183,11 @@ impl Kb {
     /// expansion in repair generation.
     pub fn objects_linked(&self, s: ResourceId, p: PropertyId) -> Vec<ResourceId> {
         let mut out = Vec::new();
+        let mut seen = OrderedDedup::new();
         for &(p2, obj) in self.facts_of(s) {
             if let Object::Resource(o) = obj {
-                if self.prop_hier.is_a(p2.0, p.0) && !out.contains(&o) {
-                    out.push(o);
+                if self.prop_hier.is_a(p2.0, p.0) {
+                    seen.push(o, &mut out);
                 }
             }
         }
@@ -155,10 +198,11 @@ impl Kb {
     /// closure).
     pub fn literals_linked(&self, s: ResourceId, p: PropertyId) -> Vec<LiteralId> {
         let mut out = Vec::new();
+        let mut seen = OrderedDedup::new();
         for &(p2, obj) in self.facts_of(s) {
             if let Object::Literal(l) = obj {
-                if self.prop_hier.is_a(p2.0, p.0) && !out.contains(&l) {
-                    out.push(l);
+                if self.prop_hier.is_a(p2.0, p.0) {
+                    seen.push(l, &mut out);
                 }
             }
         }
@@ -177,14 +221,13 @@ impl Kb {
         b: ResourceId,
     ) -> Vec<(PropertyId, ResourceId, PropertyId)> {
         let mut out = Vec::new();
+        let mut seen = OrderedDedup::new();
         for &(p1, obj) in self.facts_of(a) {
             let Object::Resource(mid) = obj else {
                 continue;
             };
             for &p2 in self.asserted_relations(mid, b) {
-                if !out.contains(&(p1, mid, p2)) {
-                    out.push((p1, mid, p2));
-                }
+                seen.push((p1, mid, p2), &mut out);
             }
         }
         out
@@ -200,6 +243,7 @@ impl Kb {
         via: Option<ClassId>,
     ) -> Vec<(PropertyId, PropertyId)> {
         let mut out = Vec::new();
+        let mut seen = OrderedDedup::new();
         for (ra, _) in self.candidate_resources(a) {
             for (rb, _) in self.candidate_resources(b) {
                 for (p1, mid, p2) in self.two_hop_relations(ra, rb) {
@@ -208,9 +252,7 @@ impl Kb {
                             continue;
                         }
                     }
-                    if !out.contains(&(p1, p2)) {
-                        out.push((p1, p2));
-                    }
+                    seen.push((p1, p2), &mut out);
                 }
             }
         }
@@ -384,6 +426,32 @@ mod tests {
         assert_eq!(pairs, vec![(born_in, located_in)]);
         let none = kb.two_hop_relations_between_values("Pirlo", "Italy", Some(country));
         assert!(none.is_empty(), "hop typed country must not match a city");
+    }
+
+    #[test]
+    fn normalized_and_candidate_forms_match_raw() {
+        let (kb, _, _) = fig1_kb();
+        for (a, b) in [("Italy", "Rome"), ("  ITALY ", "rome"), ("Madird", "x")] {
+            let na = sim::normalize(a);
+            assert_eq!(
+                kb.candidate_resources(a),
+                kb.candidate_resources_normalized(&na),
+                "candidates {a}"
+            );
+            let ca = kb.candidate_resources(a);
+            let cb = kb.candidate_resources(b);
+            assert_eq!(kb.types_of_value(a), kb.types_for_candidates(&ca));
+            assert_eq!(
+                kb.relations_between_values(a, b),
+                kb.relations_for_candidates(&ca, &cb),
+                "rels {a}/{b}"
+            );
+            assert_eq!(
+                kb.relations_to_literal(a, b),
+                kb.literal_relations_for_candidates(&ca, &sim::normalize(b)),
+                "lit rels {a}/{b}"
+            );
+        }
     }
 
     #[test]

@@ -87,21 +87,47 @@ pub fn trigrams(s: &str) -> Vec<[char; 3]> {
     padded.windows(3).map(|w| [w[0], w[1], w[2]]).collect()
 }
 
-/// Jaccard similarity of the trigram *sets* of two strings.
-pub fn trigram_jaccard(a: &str, b: &str) -> f64 {
-    use std::collections::HashSet;
-    let ta: HashSet<[char; 3]> = trigrams(a).into_iter().collect();
-    let tb: HashSet<[char; 3]> = trigrams(b).into_iter().collect();
-    if ta.is_empty() && tb.is_empty() {
+/// The *distinct* character trigrams of `s`, sorted. This is the set form
+/// of [`trigrams`], represented as a sorted vec so set operations are
+/// linear merges instead of hash probes.
+pub fn sorted_trigrams(s: &str) -> Vec<[char; 3]> {
+    let mut g = trigrams(s);
+    g.sort_unstable();
+    g.dedup();
+    g
+}
+
+/// Jaccard similarity of two *sorted, deduplicated* trigram vectors (as
+/// produced by [`sorted_trigrams`]) via a two-pointer intersection count.
+/// Two empty sets are fully similar.
+pub fn jaccard_sorted(a: &[[char; 3]], b: &[[char; 3]]) -> f64 {
+    if a.is_empty() && b.is_empty() {
         return 1.0;
     }
-    let inter = ta.intersection(&tb).count();
-    let union = ta.len() + tb.len() - inter;
+    let mut inter = 0usize;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = a.len() + b.len() - inter;
     if union == 0 {
         1.0
     } else {
         inter as f64 / union as f64
     }
+}
+
+/// Jaccard similarity of the trigram *sets* of two strings.
+pub fn trigram_jaccard(a: &str, b: &str) -> f64 {
+    jaccard_sorted(&sorted_trigrams(a), &sorted_trigrams(b))
 }
 
 /// Hybrid similarity in `[0, 1]` over *already normalized* strings: the max
@@ -176,15 +202,42 @@ mod tests {
     }
 
     #[test]
-    fn trigrams_of_short_strings_nonempty() {
-        assert!(!trigrams("a").is_empty());
-        assert!(!trigrams("").is_empty() || trigrams("").is_empty()); // never panics
+    fn trigrams_of_short_strings_pinned() {
+        // Two sentinel chars on each side: an n-char string yields n + 2
+        // windows of width 3. The empty string still produces the two
+        // all-sentinel grams, so the gram index never sees an empty key set.
+        assert_eq!(trigrams("").len(), 2);
+        assert_eq!(trigrams("a").len(), 3);
+        assert_eq!(trigrams("ab").len(), 4);
+        // "" and "a" share no window (every gram of "a" contains 'a'), so
+        // their Jaccard is exactly 0 — a well-defined number, never NaN,
+        // because the padded gram sets are non-empty.
+        assert_eq!(trigram_jaccard("", "a"), 0.0);
+    }
+
+    #[test]
+    fn sorted_trigrams_dedups() {
+        // "aaaa" has six padded windows but the gram [a,a,a] repeats.
+        assert_eq!(trigrams("aaaa").len(), 6);
+        assert_eq!(sorted_trigrams("aaaa").len(), 5);
+        let g = sorted_trigrams("aaaa");
+        assert!(g.windows(2).all(|w| w[0] < w[1]), "sorted + strict dedup");
     }
 
     #[test]
     fn jaccard_bounds() {
         assert!(trigram_jaccard("abc", "abc") > 0.99);
+        assert_eq!(trigram_jaccard("", ""), 1.0);
         let j = trigram_jaccard("abcdef", "uvwxyz");
         assert!((0.0..=1.0).contains(&j));
+    }
+
+    #[test]
+    fn jaccard_sorted_matches_string_form() {
+        for (a, b) in [("rome", "roma"), ("", "x"), ("ab", "ba"), ("aa", "aa")] {
+            let expect = trigram_jaccard(a, b);
+            let got = jaccard_sorted(&sorted_trigrams(a), &sorted_trigrams(b));
+            assert!((expect - got).abs() < 1e-15, "{a}/{b}");
+        }
     }
 }

@@ -58,6 +58,11 @@ pub struct Kb {
     pub(crate) sim_threshold: f64,
     /// Count of facts (triples with a property), for reporting.
     pub(crate) fact_count: usize,
+    /// Monotonic mutation counter, bumped by every enrichment write that
+    /// changes observable query results. Snapshot layers (see
+    /// `katara-core`'s `resolve` module) record the version they were
+    /// built against and fall back to live queries when it has moved.
+    pub(crate) version: u64,
 }
 
 impl Kb {
@@ -89,6 +94,15 @@ impl Kb {
     /// The similarity threshold used for approximate label matching.
     pub fn sim_threshold(&self) -> f64 {
         self.sim_threshold
+    }
+
+    /// The current mutation version. Starts at 0 on finalize and moves
+    /// whenever an enrichment write ([`Kb::add_fact`],
+    /// [`Kb::add_literal_fact`], [`Kb::add_entity`], [`Kb::add_type`])
+    /// actually changes the KB; idempotent re-adds leave it untouched, so
+    /// caches keyed on the version survive no-op writes.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// The canonical (unique) name of a resource.
@@ -200,9 +214,10 @@ impl Kb {
     /// [`Kb::objects_linked`], used by instance-graph expansion.
     pub fn subjects_linking(&self, o: ResourceId, p: PropertyId) -> Vec<ResourceId> {
         let mut out = Vec::new();
+        let mut seen = crate::dedup::OrderedDedup::new();
         for &(p2, s) in self.facts_into(o) {
-            if self.prop_hier.is_a(p2.0, p.0) && !out.contains(&s) {
-                out.push(s);
+            if self.prop_hier.is_a(p2.0, p.0) {
+                seen.push(s, &mut out);
             }
         }
         out
@@ -253,6 +268,7 @@ impl Kb {
             return false;
         }
         props.push(p);
+        self.version += 1;
         self.out_edges[s.index()].push((p, Object::Resource(o)));
         self.in_edges[o.index()].push((p, s));
         self.fact_count += 1;
@@ -279,6 +295,7 @@ impl Kb {
             return false;
         }
         props.push(p);
+        self.version += 1;
         self.out_edges[s.index()].push((p, Object::Literal(lid)));
         self.fact_count += 1;
         let mut ps = vec![p.0];
@@ -301,6 +318,7 @@ impl Kb {
         }
         let r = ResourceId::from_index(self.resources.intern(name));
         debug_assert_eq!(r.index(), self.labels.len());
+        self.version += 1;
         self.labels.push(label.to_string());
         self.label_index.insert(label, r);
         self.direct_types.push(Vec::new());
@@ -319,6 +337,7 @@ impl Kb {
         if self.direct_types[r.index()].contains(&t) {
             return;
         }
+        self.version += 1;
         self.direct_types[r.index()].push(t);
         let mut cs = vec![t.0];
         cs.extend(self.class_hier.ancestors(t.0).map(|(a, _)| a));
@@ -432,6 +451,31 @@ mod tests {
         assert_eq!(kb.class_size(capital), 2);
         // Re-adding returns the same id.
         assert_eq!(kb.add_entity("Juneau", "Juneau", &[capital]), juneau);
+    }
+
+    #[test]
+    fn version_moves_only_on_real_mutation() {
+        let mut b = KbBuilder::new();
+        let country = b.class("country");
+        let capital = b.class("capital");
+        let has_capital = b.property("hasCapital");
+        let sa = b.entity("S. Africa", &[country]);
+        let pretoria = b.entity("Pretoria", &[capital]);
+        let mut kb = b.finalize();
+
+        assert_eq!(kb.version(), 0, "finalize starts at version 0");
+        assert!(kb.add_fact(sa, has_capital, pretoria));
+        let v1 = kb.version();
+        assert!(v1 > 0);
+        // Idempotent re-add: results unchanged, version unchanged.
+        assert!(!kb.add_fact(sa, has_capital, pretoria));
+        assert_eq!(kb.version(), v1);
+        // Re-adding an existing entity with an existing type: no change.
+        kb.add_entity("Pretoria", "Pretoria", &[capital]);
+        assert_eq!(kb.version(), v1);
+        // A brand-new entity moves the version.
+        kb.add_entity("Juneau", "Juneau", &[capital]);
+        assert!(kb.version() > v1);
     }
 
     #[test]

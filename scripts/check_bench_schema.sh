@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
-# Validate the schema of a BENCH_*.json thread-scaling report
-# (crates/bench/src/perf.rs). Usage: check_bench_schema.sh FILE...
+# Validate the schema of a BENCH_*.json report (crates/bench/src/perf.rs).
+# Two shapes exist: thread-scaling reports (samples keyed by "threads")
+# and the resolve report (samples keyed by "config": cold vs snapshot,
+# plus a "distinct_ratio"). The file's "bench" field picks the shape.
+# Usage: check_bench_schema.sh FILE...
 set -euo pipefail
 
 if [ "$#" -eq 0 ]; then
@@ -32,15 +35,30 @@ for file in "$@"; do
     echo "$file: \"parallelism\" must be an integer" >&2
     ok=0
   fi
-  # At least one sample with all three numeric fields on one line.
-  if ! grep -Eq '\{ "threads": [0-9]+, "wall_ms": [0-9]+\.[0-9]+, "speedup": [0-9]+\.[0-9]+ \}' "$file"; then
-    echo "$file: no well-formed sample (threads/wall_ms/speedup)" >&2
-    ok=0
-  fi
-  # The sweep must include the 1-thread baseline.
-  if ! grep -Eq '\{ "threads": 1, ' "$file"; then
-    echo "$file: missing the threads=1 baseline sample" >&2
-    ok=0
+  if grep -Eq '"bench": "resolve"' "$file"; then
+    # Resolve report: cold-vs-snapshot end-to-end clean.
+    if ! grep -Eq '"distinct_ratio": [0-9]+\.[0-9]+,' "$file"; then
+      echo "$file: missing numeric \"distinct_ratio\"" >&2
+      ok=0
+    fi
+    for config in cold snapshot; do
+      if ! grep -Eq '\{ "config": "'"$config"'", "iters": [0-9]+, "wall_ms": [0-9]+\.[0-9]+, "speedup": [0-9]+\.[0-9]+ \}' "$file"; then
+        echo "$file: no well-formed \"$config\" sample (config/iters/wall_ms/speedup)" >&2
+        ok=0
+      fi
+    done
+  else
+    # Thread-scaling report: at least one sample with all four numeric
+    # fields on one line.
+    if ! grep -Eq '\{ "threads": [0-9]+, "iters": [0-9]+, "wall_ms": [0-9]+\.[0-9]+, "speedup": [0-9]+\.[0-9]+ \}' "$file"; then
+      echo "$file: no well-formed sample (threads/iters/wall_ms/speedup)" >&2
+      ok=0
+    fi
+    # The sweep must include the 1-thread baseline.
+    if ! grep -Eq '\{ "threads": 1, ' "$file"; then
+      echo "$file: missing the threads=1 baseline sample" >&2
+      ok=0
+    fi
   fi
   if [ "$ok" -eq 1 ]; then
     echo "$file: schema OK"
