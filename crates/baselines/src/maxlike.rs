@@ -82,6 +82,7 @@ pub fn maxlike_topk(table: &Table, kb: &Kb, cands: &CandidateSet, k: usize) -> V
             coherence_weight: 0.0,
         },
         max_states: 0,
+        ..DiscoveryConfig::default()
     };
     discover_topk(table, kb, &rescored, k, &config)
 }

@@ -241,6 +241,7 @@ pub fn pgm_topk(
             coherence_weight: 0.0,
         },
         max_states: 0,
+        ..DiscoveryConfig::default()
     };
     discover_topk(table, kb, &rescored, k, &dcfg)
 }

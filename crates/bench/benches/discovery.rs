@@ -125,6 +125,18 @@ fn bench_thread_scaling(c: &mut Criterion) {
         });
     }
     group.finish();
+    // One untimed instrumented run so the report records the workload's
+    // logical size (KB probes), not just its wall time.
+    let rec = std::sync::Arc::new(katara_obs::RunRecorder::new());
+    let instrumented = CandidateConfig {
+        threads: Threads::fixed(1),
+        recorder: rec.clone(),
+        ..CandidateConfig::default()
+    };
+    black_box(discover_candidates(table, &kb, &instrumented));
+    let mut metrics = rec.snapshot();
+    metrics.threads = 1;
+    report.metrics = Some(metrics);
     let path = report.write().expect("write BENCH_discovery.json");
     eprintln!("thread-scaling report: {}", path.display());
 }

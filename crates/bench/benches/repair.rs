@@ -120,6 +120,27 @@ fn bench_thread_scaling(c: &mut Criterion) {
         });
     }
     group.finish();
+    // One untimed instrumented run (index build + repair generation) so
+    // the report records graphs built and repairs proposed.
+    let rec = std::sync::Arc::new(katara_obs::RunRecorder::new());
+    let instrumented = RepairConfig {
+        recorder: rec.clone(),
+        ..RepairConfig::default()
+    };
+    let obs_index = RepairIndex::build(&kb, &pattern, &instrumented);
+    black_box(generate_repairs(
+        &obs_index,
+        &kb,
+        &pattern,
+        &dirty,
+        &rows,
+        3,
+        &instrumented,
+        Threads::fixed(1),
+    ));
+    let mut metrics = rec.snapshot();
+    metrics.threads = 1;
+    report.metrics = Some(metrics);
     let path = report.write().expect("write BENCH_repair.json");
     eprintln!("thread-scaling report: {}", path.display());
 }

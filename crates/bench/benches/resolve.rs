@@ -83,6 +83,25 @@ fn bench_resolve(c: &mut Criterion) {
     report.measure("snapshot", perf::sweep_iters(), || {
         clean_snapshot(&fixture, &res)
     });
+    // One untimed instrumented end-to-end run (cold, so the pipeline
+    // builds — and instruments — its own snapshot) for the report's
+    // logical-work metrics.
+    let rec = std::sync::Arc::new(katara_obs::RunRecorder::new());
+    let mut obs_config = bench_config();
+    obs_config.recorder = rec.clone();
+    obs_config.threads = katara_core::Threads::fixed(1);
+    obs_config.candidates.threads = katara_core::Threads::fixed(1);
+    let katara = Katara::new(obs_config);
+    let mut kb = fixture.kb.clone();
+    let mut crowd = resolve_crowd(&fixture);
+    black_box(
+        katara
+            .clean(&fixture.table.table, &mut kb, &mut crowd)
+            .expect("instrumented clean"),
+    );
+    let mut metrics = rec.snapshot();
+    metrics.threads = 1;
+    report.metrics = Some(metrics);
     let path = report.write().expect("write BENCH_resolve.json");
     eprintln!("resolve report: {}", path.display());
 }

@@ -35,9 +35,18 @@
 //! a pre-built one) plus the fixture's distinct-value ratio — the
 //! fraction of non-null cells that are distinct after normalization,
 //! which bounds how much work snapshot reuse can save.
+//!
+//! Each report also embeds a `"metrics"` object — the
+//! [`katara_obs::RunMetrics`] of one *untimed* instrumented run of the
+//! benched workload — so a `BENCH_*.json` records not just how fast the
+//! fixture ran but how much logical work it did (KB probes, heap pops,
+//! repairs generated). The instrumented run happens after all timing;
+//! the timed iterations keep the no-op recorder.
 
 use std::path::PathBuf;
 use std::time::Instant;
+
+use katara_obs::RunMetrics;
 
 /// Environment variable selecting the cut-down CI sweep.
 pub const QUICK_ENV: &str = "KATARA_BENCH_QUICK";
@@ -117,6 +126,9 @@ pub struct ScalingReport {
     pub fixture: String,
     /// Measured points, in sweep order.
     pub samples: Vec<ThreadSample>,
+    /// Run metrics from one untimed instrumented run of the workload,
+    /// embedded under the `"metrics"` key when present.
+    pub metrics: Option<RunMetrics>,
 }
 
 impl ScalingReport {
@@ -126,6 +138,7 @@ impl ScalingReport {
             bench: bench.to_string(),
             fixture: fixture.to_string(),
             samples: Vec::new(),
+            metrics: None,
         }
     }
 
@@ -166,6 +179,11 @@ impl ScalingReport {
         out.push_str(&format!("  \"fixture\": \"{}\",\n", escape(&self.fixture)));
         out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
         out.push_str(&format!("  \"parallelism\": {parallelism},\n"));
+        if let Some(m) = &self.metrics {
+            out.push_str("  \"metrics\": ");
+            out.push_str(&m.to_json_object(2));
+            out.push_str(",\n");
+        }
         out.push_str("  \"samples\": [\n");
         for (i, s) in self.samples.iter().enumerate() {
             let comma = if i + 1 < self.samples.len() { "," } else { "" };
@@ -218,6 +236,9 @@ pub struct ResolveReport {
     pub distinct_ratio: f64,
     /// Measured configurations, in measurement order.
     pub samples: Vec<ResolveSample>,
+    /// Run metrics from one untimed instrumented run of the workload,
+    /// embedded under the `"metrics"` key when present.
+    pub metrics: Option<RunMetrics>,
 }
 
 impl ResolveReport {
@@ -228,6 +249,7 @@ impl ResolveReport {
             fixture: fixture.to_string(),
             distinct_ratio,
             samples: Vec::new(),
+            metrics: None,
         }
     }
 
@@ -272,6 +294,11 @@ impl ResolveReport {
             "  \"distinct_ratio\": {:.4},\n",
             self.distinct_ratio
         ));
+        if let Some(m) = &self.metrics {
+            out.push_str("  \"metrics\": ");
+            out.push_str(&m.to_json_object(2));
+            out.push_str(",\n");
+        }
         out.push_str("  \"samples\": [\n");
         for (i, s) in self.samples.iter().enumerate() {
             let comma = if i + 1 < self.samples.len() { "," } else { "" };
@@ -383,5 +410,23 @@ mod tests {
     #[test]
     fn escape_keeps_json_valid() {
         assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+
+    #[test]
+    fn embedded_metrics_render_inside_the_envelope() {
+        use katara_obs::{Counter, Recorder, RunRecorder};
+        let rec = RunRecorder::new();
+        rec.incr(Counter::DiscoveryHeapPops);
+        let mut r = ScalingReport::new("unit", "toy");
+        r.measure(1, 1, || {});
+        r.metrics = Some(rec.snapshot());
+        let json = r.to_json();
+        assert!(json.contains("\"metrics\": {"), "{json}");
+        assert!(json.contains("\"schema\": \"katara-run-metrics/v1\""));
+        assert!(json.contains("\"discovery.heap_pops\": 1"));
+        // The embedded object closes at its own indent and the envelope
+        // still closes cleanly after it.
+        assert!(json.contains("  },\n  \"samples\": ["), "{json}");
+        assert!(json.ends_with("  ]\n}\n"), "{json}");
     }
 }

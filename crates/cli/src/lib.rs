@@ -4,7 +4,7 @@
 //! katara clean    --table data.csv --kb kb.nt [--crowd MODE] [--k N]
 //!                 [--out repaired.csv] [--enriched-kb out.nt]
 //!                 [--max-questions N] [--strict|--lenient] [--threads N]
-//!                 [--direct-resolve]
+//!                 [--direct-resolve] [--metrics OUT.json] [--trace]
 //! katara discover --table data.csv --kb kb.nt [--k N] [--strict|--lenient]
 //!                 [--threads N] [--direct-resolve]
 //! katara kb-stats --kb kb.nt [--strict|--lenient]
@@ -43,6 +43,15 @@
 //! `--threads`, this is purely a performance knob (kept for A/B
 //! measurement and as an escape hatch).
 //!
+//! `--metrics OUT.json` attaches a [`katara_obs::RunRecorder`] to the
+//! pipeline and writes the run's [`katara_obs::RunMetrics`] — KB probe
+//! counts, snapshot-tier hit rates, crowd spend, repair statistics — as
+//! stable JSON. The `"deterministic"` section is byte-identical across
+//! `--threads` values and across `--direct-resolve`; wall times and the
+//! span tree live in the separate `"nondeterministic"` section. `--trace`
+//! prints the per-phase span tree (human-readable, quantized wall times)
+//! to stderr; the two flags compose and neither perturbs the repairs.
+//!
 //! The library part exists so the command logic is unit-testable; the
 //! binary is a thin `main`.
 
@@ -50,6 +59,7 @@
 
 use std::collections::HashSet;
 use std::io::BufRead;
+use std::sync::Arc;
 
 use katara_core::prelude::*;
 use katara_crowd::{Answer, Budget, Crowd, CrowdConfig, Oracle, Question};
@@ -306,6 +316,11 @@ pub enum Command {
         threads: Option<usize>,
         /// `true` disables the shared query snapshot (`--direct-resolve`).
         direct_resolve: bool,
+        /// Where to write run metrics JSON (`--metrics`); `None` skips
+        /// instrumentation entirely (the no-op recorder).
+        metrics: Option<String>,
+        /// `true` prints the span tree to stderr (`--trace`).
+        trace: bool,
     },
     /// Discovery only.
     Discover {
@@ -339,7 +354,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "katara clean|discover|kb-stats --table T.csv --kb KB.nt \
              [--crowd interactive|trust|skeptic|facts:FILE] [--k N] \
              [--out OUT.csv] [--enriched-kb OUT.nt] [--max-questions N] \
-             [--strict|--lenient] [--threads N] [--direct-resolve]"
+             [--strict|--lenient] [--threads N] [--direct-resolve] \
+             [--metrics OUT.json] [--trace]"
                 .to_string(),
         )
     };
@@ -355,6 +371,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut ingest = IngestChoice::default();
     let mut threads = None;
     let mut direct_resolve = false;
+    let mut metrics = None;
+    let mut trace = false;
     while let Some(flag) = it.next() {
         let mut value = || {
             it.next()
@@ -391,6 +409,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 threads = Some(n);
             }
             "--direct-resolve" => direct_resolve = true,
+            "--metrics" => metrics = Some(value()?),
+            "--trace" => trace = true,
             other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
         }
     }
@@ -409,7 +429,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             ingest,
             threads,
             direct_resolve,
+            metrics,
+            trace,
         }),
+        "discover" | "kb-stats" if metrics.is_some() || trace => Err(CliError::Usage(
+            "--metrics/--trace only apply to `clean`".into(),
+        )),
         "discover" => Ok(Command::Discover {
             table: need(table, "table")?,
             kb: need(kb, "kb")?,
@@ -590,6 +615,8 @@ pub fn run(cmd: Command) -> Result<RunStatus, CliError> {
             ingest,
             threads,
             direct_resolve,
+            metrics,
+            trace,
         } => {
             let (mut kb, kb_report) = load_kb(&kb, ingest)?;
             let (mut table, table_report) = load_table(&table, ingest)?;
@@ -615,6 +642,17 @@ pub fn run(cmd: Command) -> Result<RunStatus, CliError> {
                 CliOracle::new(crowd),
             )?;
             let pool = resolve_threads(threads);
+            // Instrumentation is opt-in: without `--metrics`/`--trace`
+            // the pipeline keeps its default no-op recorder.
+            let run_recorder = if metrics.is_some() || trace {
+                Some(Arc::new(RunRecorder::new()))
+            } else {
+                None
+            };
+            let obs_recorder: Arc<dyn Recorder> = match &run_recorder {
+                Some(r) => Arc::clone(r) as Arc<dyn Recorder>,
+                None => Arc::new(NoopRecorder),
+            };
             let config = KataraConfig {
                 repairs_k: k,
                 // The CLI oracle is deterministic (or a human): one
@@ -634,10 +672,23 @@ pub fn run(cmd: Command) -> Result<RunStatus, CliError> {
                 } else {
                     ResolveMode::Snapshot
                 },
+                recorder: obs_recorder,
                 ..KataraConfig::default()
             };
             let mut report = Katara::new(config).clean(&table, &mut kb, &mut platform)?;
             ingest_summary.apply_to(&mut report.degradation);
+            if let Some(rec) = &run_recorder {
+                ingest_summary.record(rec.as_ref());
+                let mut m = rec.snapshot();
+                m.threads = pool.get();
+                if trace {
+                    eprint!("{}", m.render_trace());
+                }
+                if let Some(path) = &metrics {
+                    std::fs::write(path, m.to_json())?;
+                    println!("run metrics written to {path}");
+                }
+            }
 
             println!(
                 "validated pattern: {}",
@@ -837,6 +888,49 @@ mod tests {
             Command::Discover { direct_resolve, .. } => assert!(!direct_resolve),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_args_metrics_and_trace() {
+        let args: Vec<String> = [
+            "clean",
+            "--table",
+            "t.csv",
+            "--kb",
+            "k.nt",
+            "--metrics",
+            "m.json",
+            "--trace",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        match parse_args(&args).unwrap() {
+            Command::Clean { metrics, trace, .. } => {
+                assert_eq!(metrics.as_deref(), Some("m.json"));
+                assert!(trace);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Off by default.
+        let args: Vec<String> = ["clean", "--table", "t.csv", "--kb", "k.nt"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        match parse_args(&args).unwrap() {
+            Command::Clean { metrics, trace, .. } => {
+                assert_eq!(metrics, None);
+                assert!(!trace);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Only `clean` is instrumented; other subcommands reject the
+        // flags instead of silently ignoring them.
+        let args: Vec<String> = ["discover", "--table", "t.csv", "--kb", "k.nt", "--trace"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(matches!(parse_args(&args), Err(CliError::Usage(_))));
     }
 
     #[test]

@@ -132,6 +132,8 @@ fn trust_mode_enriches_everything() {
         ingest: IngestChoice::Strict,
         threads: None,
         direct_resolve: false,
+        metrics: None,
+        trace: false,
     })
     .unwrap();
     // Trust mode confirms even the wrong capital: the KB gains both the
@@ -161,6 +163,8 @@ fn exhausted_budget_degrades_instead_of_failing() {
         ingest: IngestChoice::Strict,
         threads: None,
         direct_resolve: false,
+        metrics: None,
+        trace: false,
     })
     .unwrap();
     assert_eq!(status, RunStatus::Degraded);
@@ -267,6 +271,8 @@ fn strict_ingestion_rejects_the_same_corrupted_inputs() {
         ingest: IngestChoice::Strict,
         threads: None,
         direct_resolve: false,
+        metrics: None,
+        trace: false,
     })
     .unwrap_err();
     match err {
@@ -301,6 +307,68 @@ fn lenient_flag_parses() {
         Command::KbStats { ingest, .. } => assert_eq!(ingest, IngestChoice::Strict),
         other => panic!("{other:?}"),
     }
+}
+
+/// Run `clean --metrics` on the Figure 1 fixture and return the metrics
+/// file body.
+fn clean_with_metrics(dir: &std::path::Path, tag: &str, threads: usize) -> String {
+    let kb = dir.join("kb.nt");
+    let table = dir.join("t.csv");
+    let facts = dir.join("facts.tsv");
+    let metrics = dir.join(format!("metrics-{tag}.json"));
+    std::fs::write(&kb, KB_NT).unwrap();
+    std::fs::write(&table, TABLE_CSV).unwrap();
+    std::fs::write(&facts, FACTS_TSV).unwrap();
+    let args: Vec<String> = [
+        "clean",
+        "--table",
+        table.to_str().unwrap(),
+        "--kb",
+        kb.to_str().unwrap(),
+        "--crowd",
+        &format!("facts:{}", facts.display()),
+        "--threads",
+        &threads.to_string(),
+        "--metrics",
+        metrics.to_str().unwrap(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    run(parse_args(&args).unwrap()).unwrap();
+    std::fs::read_to_string(&metrics).unwrap()
+}
+
+/// Everything before `"nondeterministic"` — the byte-diffable half.
+fn deterministic_half(doc: &str) -> &str {
+    let cut = doc
+        .find("\"nondeterministic\"")
+        .expect("metrics document has a nondeterministic section");
+    &doc[..cut]
+}
+
+#[test]
+fn metrics_flag_writes_deterministic_run_metrics() {
+    let dir = tmpdir("metrics");
+    let one = clean_with_metrics(&dir, "t1", 1);
+    let eight = clean_with_metrics(&dir, "t8", 8);
+
+    assert!(
+        one.contains("\"schema\": \"katara-run-metrics/v1\""),
+        "{one}"
+    );
+    // The run actually exercised the pipeline: probes, crowd spend, and
+    // at least one repair all show up as non-zero counters.
+    assert!(!one.contains("\"discovery.type_probes\": 0,"), "{one}");
+    assert!(!one.contains("\"crowd.questions_asked\": 0,"), "{one}");
+    assert!(!one.contains("\"repair.tuples_repaired\": 0,"), "{one}");
+    assert!(one.contains("\"threads\": 1"), "{one}");
+    assert!(eight.contains("\"threads\": 8"), "{eight}");
+
+    // The determinism contract CI enforces, in miniature: the whole
+    // deterministic section is byte-identical across thread counts.
+    assert_eq!(deterministic_half(&one), deterministic_half(&eight));
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

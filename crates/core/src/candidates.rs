@@ -24,9 +24,11 @@
 //! `subENT(P)` as the document.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use katara_exec::{par_map_indexed, par_map_indexed_with, Threads};
 use katara_kb::{ClassId, Kb, PropertyId};
+use katara_obs::{Counter, NoopRecorder, Recorder};
 use katara_table::Table;
 
 use crate::resolve::TableResolution;
@@ -84,6 +86,11 @@ pub struct CandidateConfig {
     /// with one thread the historical sequential loop runs, sharing one
     /// `Q_types`/`Q_rels` memo cache across all columns and pairs.
     pub threads: Threads,
+    /// Sink for `discovery.{type,rel}_probes` counters. Probes are counted
+    /// per non-null cell / cell pair — the *logical* KB query sites — so
+    /// totals are identical across thread counts and across the snapshot
+    /// vs direct paths, regardless of memoization.
+    pub recorder: Arc<dyn Recorder>,
 }
 
 impl Default for CandidateConfig {
@@ -94,6 +101,7 @@ impl Default for CandidateConfig {
             min_rel_support_fraction: 0.3,
             max_candidates: 12,
             threads: Threads::auto(),
+            recorder: Arc::new(NoopRecorder),
         }
     }
 }
@@ -134,7 +142,8 @@ impl CandidateSet {
 /// path ([`discover_candidates_direct`]) at every thread count, because
 /// both accumulate the same per-row query results in the same order.
 pub fn discover_candidates(table: &Table, kb: &Kb, config: &CandidateConfig) -> CandidateSet {
-    let resolution = TableResolution::build(table, kb, config.max_rows);
+    let resolution =
+        TableResolution::build(table, kb, config.max_rows).with_recorder(config.recorder.clone());
     discover_candidates_resolved(table, kb, &resolution, config)
 }
 
@@ -175,6 +184,9 @@ pub fn discover_candidates_resolved(
                 e.1 += 1;
             }
         }
+        config
+            .recorder
+            .incr_by(Counter::DiscoveryTypeProbes, non_null as u64);
         rank_types(kb, acc, non_null, config)
     });
 
@@ -212,6 +224,9 @@ pub fn discover_candidates_resolved(
                 e.2 |= is_lit;
             }
         }
+        config
+            .recorder
+            .incr_by(Counter::DiscoveryRelProbes, non_null as u64);
         rank_rels(kb, acc, non_null, config)
     });
     let mut pair_rels: HashMap<(usize, usize), Vec<RelCandidate>> = HashMap::new();
@@ -273,6 +288,9 @@ pub fn discover_candidates_direct(
                     e.1 += 1;
                 }
             }
+            config
+                .recorder
+                .incr_by(Counter::DiscoveryTypeProbes, non_null as u64);
             rank_types(kb, acc, non_null, config)
         },
     );
@@ -324,6 +342,9 @@ pub fn discover_candidates_direct(
                     e.2 |= is_lit;
                 }
             }
+            config
+                .recorder
+                .incr_by(Counter::DiscoveryRelProbes, non_null as u64);
             rank_rels(kb, acc, non_null, config)
         },
     );

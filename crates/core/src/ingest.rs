@@ -7,6 +7,8 @@
 //! CLI can answer "did everything the user pointed us at actually load?"
 //! with a single value.
 
+use katara_obs::{Counter, Recorder};
+
 use crate::pipeline::DegradationReport;
 
 /// What ingestion did across every input of one run.
@@ -42,6 +44,13 @@ impl IngestSummary {
     pub fn apply_to(&self, degradation: &mut DegradationReport) {
         degradation.ingest_quarantined += self.quarantined();
         degradation.ingest_repaired_edges += self.repaired_edges();
+    }
+
+    /// Export the ingest accounting as run metrics
+    /// (`ingest.{quarantined,repaired_edges}`).
+    pub fn record(&self, rec: &dyn Recorder) {
+        rec.incr_by(Counter::IngestQuarantined, self.quarantined() as u64);
+        rec.incr_by(Counter::IngestRepairedEdges, self.repaired_edges() as u64);
     }
 }
 

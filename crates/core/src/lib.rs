@@ -27,6 +27,13 @@
 //! * [`pipeline`] — the end-to-end facade gluing the modules together
 //!   (§2), including multi-KB selection.
 //!
+//! Every stage reports what it did through the zero-dependency
+//! `katara-obs` layer (re-exported via the [`prelude`]): attach a
+//! [`katara_obs::RunRecorder`] to [`pipeline::KataraConfig::recorder`]
+//! and a full `clean` run produces a per-phase span tree plus
+//! deterministic counters — KB probes, snapshot-tier hits, crowd spend —
+//! exportable as stable JSON ([`katara_obs::RunMetrics`]).
+//!
 //! ```
 //! use katara_core::prelude::*;
 //! use katara_crowd::{Answer, Crowd, CrowdConfig, FixedOracle};
@@ -92,6 +99,7 @@ pub mod prelude {
         validate_patterns, SchedulingStrategy, ValidationConfig, ValidationOutcome,
     };
     pub use katara_exec::Threads;
+    pub use katara_obs::{NoopRecorder, Recorder, RunMetrics, RunRecorder, Span};
 }
 
 pub use prelude::*;

@@ -2,9 +2,12 @@
 //! pattern validation → data annotation → possible repairs, plus multi-KB
 //! selection (a §9 future-work item implemented here).
 
-use katara_crowd::{Crowd, Oracle};
+use std::sync::Arc;
+
+use katara_crowd::{Crowd, CrowdStats, Oracle};
 use katara_exec::Threads;
 use katara_kb::Kb;
+use katara_obs::{Counter, Gauge, NoopRecorder, Recorder, Span};
 use katara_table::Table;
 
 use crate::annotation::{annotate_resolved, AnnotationConfig, AnnotationResult};
@@ -48,6 +51,12 @@ pub struct KataraConfig {
     /// reproduces the historical per-stage live queries. Output is
     /// byte-identical either way.
     pub resolve: ResolveMode,
+    /// Observability sink for the whole run: phase spans, KB-probe and
+    /// snapshot-tier counters, crowd-spend accounting. The pipeline
+    /// injects this recorder into every stage config it runs (the
+    /// per-stage `recorder` fields are overridden), so setting it here is
+    /// enough to instrument a full `clean`. Defaults to [`NoopRecorder`].
+    pub recorder: Arc<dyn Recorder>,
 }
 
 impl Default for KataraConfig {
@@ -63,6 +72,7 @@ impl Default for KataraConfig {
             repairs_k: 3,
             threads: Threads::auto(),
             resolve: ResolveMode::default(),
+            recorder: Arc::new(NoopRecorder),
         }
     }
 }
@@ -120,6 +130,14 @@ pub struct DegradationReport {
     pub ingest_quarantined: usize,
     /// Hierarchy edges the KB ingest audit dropped to break cycles.
     pub ingest_repaired_edges: usize,
+    /// Crowd questions asked during this run — the paper's §5 cost
+    /// metric. Informational: spending budget is not degradation, so
+    /// [`Self::is_degraded`] ignores it.
+    pub questions_asked: usize,
+    /// Questions the budget still allows after the run (`None` when the
+    /// question budget is unlimited). Informational, like
+    /// [`Self::questions_asked`].
+    pub budget_remaining: Option<usize>,
 }
 
 impl DegradationReport {
@@ -190,32 +208,53 @@ impl Katara {
         crowd: &mut Crowd<O>,
         shared: Option<&TableResolution>,
     ) -> Result<CleaningReport, KataraError> {
+        // One recorder for the whole run: KataraConfig's wins — it is
+        // injected into every stage config the pipeline actually runs.
+        let rec = self.config.recorder.clone();
+        let candidates_cfg = CandidateConfig {
+            recorder: rec.clone(),
+            ..self.config.candidates.clone()
+        };
+        let discovery_cfg = DiscoveryConfig {
+            recorder: rec.clone(),
+            ..self.config.discovery.clone()
+        };
+        let repair_cfg = RepairConfig {
+            recorder: rec.clone(),
+            ..self.config.repair.clone()
+        };
+        let root = Span::enter(rec.as_ref(), "clean");
+        rec.set_gauge(Gauge::TableRows, table.num_rows() as u64);
+        rec.set_gauge(Gauge::TableColumns, table.num_columns() as u64);
         // Snapshot crowd stats so the degradation report covers only
-        // this run.
+        // this run; `asked_mark` advances per phase to split the crowd
+        // spend between validation and annotation.
         let stats_before = crowd.stats().clone();
+        let mut asked_mark: CrowdStats = stats_before.clone();
         // (0) The shared query snapshot: adopt the injected one, or
         // build it once for the whole run.
         let built;
-        let resolution: Option<&TableResolution> = match (self.config.resolve, shared) {
-            (_, Some(r)) => Some(r),
-            (ResolveMode::Snapshot, None) => {
-                built = TableResolution::build(table, kb, self.config.candidates.max_rows);
-                Some(&built)
+        let resolution: Option<&TableResolution> = {
+            let _span = Span::enter(rec.as_ref(), "resolve");
+            match (self.config.resolve, shared) {
+                (_, Some(r)) => Some(r),
+                (ResolveMode::Snapshot, None) => {
+                    built = TableResolution::build(table, kb, self.config.candidates.max_rows)
+                        .with_recorder(rec.clone());
+                    Some(&built)
+                }
+                (ResolveMode::Direct, None) => None,
             }
-            (ResolveMode::Direct, None) => None,
         };
         // (1) Pattern discovery.
-        let cands = match resolution {
-            Some(res) => discover_candidates_resolved(table, kb, res, &self.config.candidates),
-            None => discover_candidates_direct(table, kb, &self.config.candidates),
+        let (patterns, discovery_stats) = {
+            let _span = Span::enter(rec.as_ref(), "discover");
+            let cands = match resolution {
+                Some(res) => discover_candidates_resolved(table, kb, res, &candidates_cfg),
+                None => discover_candidates_direct(table, kb, &candidates_cfg),
+            };
+            discover_topk_with_stats(table, kb, &cands, self.config.patterns_k, &discovery_cfg)
         };
-        let (patterns, discovery_stats) = discover_topk_with_stats(
-            table,
-            kb,
-            &cands,
-            self.config.patterns_k,
-            &self.config.discovery,
-        );
         if patterns.is_empty() {
             return Err(KataraError::NoPatternFound {
                 table: table.name().to_string(),
@@ -224,26 +263,56 @@ impl Katara {
         }
 
         // (2) Pattern validation via the crowd.
-        let outcome = validate_patterns(
-            table,
-            kb,
-            patterns,
-            crowd,
-            &self.config.validation,
-            self.config.strategy,
+        let outcome = {
+            let _span = Span::enter(rec.as_ref(), "validate");
+            validate_patterns(
+                table,
+                kb,
+                patterns,
+                crowd,
+                &self.config.validation,
+                self.config.strategy,
+            )
+        };
+        record_phase_questions(
+            rec.as_ref(),
+            crowd.stats(),
+            &mut asked_mark,
+            Counter::ValidationQuestions,
+        );
+        rec.incr_by(
+            Counter::ValidationNoQuorumVariables,
+            outcome.no_quorum_variables as u64,
         );
         let pattern = outcome.pattern;
 
         // (3) Data annotation (mutates the KB through enrichment — the
         // snapshot notices the version bump and serves live results
         // from then on).
-        let annotation = annotate_resolved(
-            table,
-            &pattern,
-            kb,
-            crowd,
-            &self.config.annotation,
-            resolution,
+        let annotation = {
+            let _span = Span::enter(rec.as_ref(), "annotate");
+            annotate_resolved(
+                table,
+                &pattern,
+                kb,
+                crowd,
+                &self.config.annotation,
+                resolution,
+            )
+        };
+        record_phase_questions(
+            rec.as_ref(),
+            crowd.stats(),
+            &mut asked_mark,
+            Counter::AnnotationCrowdQuestions,
+        );
+        rec.incr_by(
+            Counter::AnnotationEnrichedFacts,
+            annotation.enriched_facts as u64,
+        );
+        rec.incr_by(
+            Counter::AnnotationEnrichedEntities,
+            annotation.enriched_entities as u64,
         );
 
         // (4) Top-k possible repairs for the erroneous tuples. The index
@@ -251,22 +320,39 @@ impl Katara {
         // instance graphs; the *effective* pattern (after annotation-time
         // feedback) drives repair.
         let effective = annotation.pattern.clone();
-        let index = RepairIndex::build(kb, &effective, &self.config.repair);
-        // Repair only consumes the snapshot's string tier (normalized
-        // cells), which never goes stale — safe even after enrichment.
-        let repairs = generate_repairs_resolved(
-            &index,
-            kb,
-            &effective,
-            table,
-            &annotation.erroneous_rows(),
-            self.config.repairs_k,
-            &self.config.repair,
-            self.config.threads,
-            resolution,
-        );
+        let repairs = {
+            let _span = Span::enter(rec.as_ref(), "repair");
+            let index = RepairIndex::build(kb, &effective, &repair_cfg);
+            // Repair only consumes the snapshot's string tier (normalized
+            // cells), which never goes stale — safe even after enrichment.
+            generate_repairs_resolved(
+                &index,
+                kb,
+                &effective,
+                table,
+                &annotation.erroneous_rows(),
+                self.config.repairs_k,
+                &repair_cfg,
+                self.config.threads,
+                resolution,
+            )
+        };
 
         let run_stats = crowd.stats().since(&stats_before);
+        rec.incr_by(Counter::CrowdQuestionsAsked, run_stats.questions() as u64);
+        rec.incr_by(
+            Counter::CrowdQuestionsRetried,
+            run_stats.questions_retried as u64,
+        );
+        rec.incr_by(
+            Counter::CrowdNoQuorumQuestions,
+            run_stats.no_quorum_questions as u64,
+        );
+        rec.incr_by(Counter::CrowdBudgetDenied, run_stats.budget_denied as u64);
+        if let Some(remaining) = crowd.budget_remaining() {
+            rec.set_gauge(Gauge::CrowdBudgetRemaining, remaining as u64);
+        }
+        drop(root);
         let degradation = DegradationReport {
             questions_retried: run_stats.questions_retried,
             escalations: run_stats.escalations,
@@ -283,6 +369,8 @@ impl Katara {
             // ingested leniently fold their IngestSummary in afterwards.
             ingest_quarantined: 0,
             ingest_repaired_edges: 0,
+            questions_asked: run_stats.questions(),
+            budget_remaining: crowd.budget_remaining(),
         };
 
         Ok(CleaningReport {
@@ -294,6 +382,20 @@ impl Katara {
             degradation,
         })
     }
+}
+
+/// Export the crowd questions asked since `mark` under `counter`, then
+/// advance `mark` to the crowd's current totals — splits one crowd's
+/// spend between consecutive pipeline phases without touching the phase
+/// signatures.
+fn record_phase_questions(
+    rec: &dyn Recorder,
+    now: &CrowdStats,
+    mark: &mut CrowdStats,
+    counter: Counter,
+) {
+    rec.incr_by(counter, now.since(mark).questions() as u64);
+    *mark = now.clone();
 }
 
 /// Multi-KB selection (§2: "the pattern discovery module can be used to
@@ -446,7 +548,17 @@ mod tests {
             "{:?}",
             report.degradation
         );
-        assert_eq!(report.degradation, DegradationReport::default());
+        // Everything except the informational cost accounting is at its
+        // clean-run default; crowd cost itself is nonzero but benign.
+        assert!(report.degradation.questions_asked > 0);
+        assert_eq!(
+            report.degradation,
+            DegradationReport {
+                questions_asked: report.degradation.questions_asked,
+                budget_remaining: report.degradation.budget_remaining,
+                ..DegradationReport::default()
+            }
+        );
     }
 
     #[test]

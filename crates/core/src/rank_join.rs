@@ -27,8 +27,10 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use katara_kb::Kb;
+use katara_obs::{Counter, NoopRecorder, Recorder};
 use katara_table::Table;
 
 use crate::candidates::CandidateSet;
@@ -36,7 +38,7 @@ use crate::pattern::{PatternEdge, PatternNode, TablePattern};
 use crate::scoring::ScoringConfig;
 
 /// Discovery knobs.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct DiscoveryConfig {
     /// Scoring model parameters.
     pub scoring: ScoringConfig,
@@ -44,6 +46,19 @@ pub struct DiscoveryConfig {
     /// is exact whenever the limit is not hit; hitting it is reported via
     /// [`DiscoveryStats::truncated`].
     pub max_states: usize,
+    /// Sink for `discovery.{heap_pops,patterns_scored,truncated}` —
+    /// the same numbers as [`DiscoveryStats`], exported as run metrics.
+    pub recorder: Arc<dyn Recorder>,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> Self {
+        DiscoveryConfig {
+            scoring: ScoringConfig::default(),
+            max_states: 0,
+            recorder: Arc::new(NoopRecorder),
+        }
+    }
 }
 
 /// Search-effort accounting, for the rank-join ablation bench.
@@ -244,7 +259,21 @@ pub fn discover_topk_with_stats(
             });
         }
     }
+    record_stats(config, &stats);
     (out, stats)
+}
+
+/// Export a finished search's [`DiscoveryStats`] as run metrics.
+fn record_stats(config: &DiscoveryConfig, stats: &DiscoveryStats) {
+    let rec = &config.recorder;
+    rec.incr_by(Counter::DiscoveryHeapPops, stats.states_expanded as u64);
+    rec.incr_by(
+        Counter::DiscoveryPatternsScored,
+        stats.patterns_scored as u64,
+    );
+    if stats.truncated {
+        rec.incr(Counter::DiscoveryTruncated);
+    }
 }
 
 /// Exhaustive enumeration of the whole pattern space — the ablation
@@ -272,6 +301,7 @@ pub fn discover_exhaustive(
         .take(k)
         .map(|(c, g)| materialize(table, &space, &c, g))
         .collect();
+    record_stats(config, &stats);
     (out, stats)
 }
 

@@ -15,9 +15,11 @@
 
 use std::borrow::Cow;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use katara_exec::Threads;
 use katara_kb::{sim, Kb, ResourceId};
+use katara_obs::{Counter, Histogram, NoopRecorder, Recorder};
 use katara_table::{Table, Value};
 
 use crate::pattern::TablePattern;
@@ -40,6 +42,10 @@ pub struct RepairConfig {
     /// KATARA's precision high at the price of recall, the paper's
     /// Table 7 signature.
     pub max_alternatives_per_cell_set: usize,
+    /// Sink for `repair.*` counters and the per-tuple repair histograms.
+    /// Hit from inside `katara-exec` workers, so implementations must be
+    /// thread-safe (the live recorder uses sharded atomics).
+    pub recorder: Arc<dyn Recorder>,
 }
 
 impl Default for RepairConfig {
@@ -48,6 +54,7 @@ impl Default for RepairConfig {
             max_graphs_per_component: 100_000,
             column_costs: None,
             max_alternatives_per_cell_set: 5,
+            recorder: Arc::new(NoopRecorder),
         }
     }
 }
@@ -109,10 +116,17 @@ impl RepairIndex {
             .into_iter()
             .map(|nodes| build_component(kb, pattern, nodes, config))
             .collect();
-        RepairIndex {
+        let index = RepairIndex {
             components,
             node_columns,
+        };
+        config
+            .recorder
+            .incr_by(Counter::RepairGraphsBuilt, index.num_graphs() as u64);
+        if index.truncated() {
+            config.recorder.incr(Counter::RepairIndexTruncated);
         }
+        index
     }
 
     /// True if any component hit the enumeration cap.
@@ -391,6 +405,9 @@ pub fn topk_repairs_resolved(
         }
     };
 
+    // Top-k truncation accounting: set whenever a candidate list was cut
+    // to fit `k` (the tuple had more evidence than the caller asked for).
+    let mut truncated = false;
     // Top-k candidate repairs per component.
     let mut per_component: Vec<Vec<Repair>> = Vec::new();
     for comp in &index.components {
@@ -444,11 +461,13 @@ pub fn topk_repairs_resolved(
         });
         cands.dedup_by(|a, b| a.changes == b.changes);
         drop_unsupported_groups(&mut cands, config.max_alternatives_per_cell_set);
+        truncated |= cands.len() > k;
         per_component.push(diversify(cands, k));
     }
     per_component.retain(|c| !c.is_empty());
 
     if per_component.is_empty() {
+        record_tuple(config, &[], truncated);
         return Vec::new();
     }
 
@@ -475,10 +494,30 @@ pub fn topk_repairs_resolved(
                 .then_with(|| a.changes.cmp(&b.changes))
         });
         // Keep extra headroom so the final diversification has material.
+        truncated |= next.len() > k.saturating_mul(3);
         next.truncate(k.saturating_mul(3));
         combined = next;
     }
-    diversify(combined, k)
+    truncated |= combined.len() > k;
+    let out = diversify(combined, k);
+    record_tuple(config, &out, truncated);
+    out
+}
+
+/// Export one tuple's repair outcome as run metrics. Called per tuple —
+/// possibly from inside a worker — so totals are thread-count invariant.
+fn record_tuple(config: &RepairConfig, repairs: &[Repair], truncated: bool) {
+    let rec = &config.recorder;
+    rec.observe(Histogram::RepairRepairsPerTuple, repairs.len() as u64);
+    if !repairs.is_empty() {
+        rec.incr(Counter::RepairTuplesRepaired);
+        for r in repairs {
+            rec.observe(Histogram::RepairChangesPerRepair, r.changes.len() as u64);
+        }
+    }
+    if truncated {
+        rec.incr(Counter::RepairTopkTruncations);
+    }
 }
 
 /// Batch [`topk_repairs`] over many erroneous tuples, distributed across

@@ -30,9 +30,11 @@
 
 use std::borrow::Cow;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use katara_kb::sim;
 use katara_kb::{ClassId, Kb, PropertyId, ResourceId};
+use katara_obs::{Counter, Gauge, NoopRecorder, Recorder};
 use katara_table::Table;
 
 /// How the pipeline resolves cells against the KB.
@@ -82,6 +84,9 @@ pub struct TableResolution {
     /// How many leading rows the pair memo covers.
     pair_rows: usize,
     non_null_cells: usize,
+    /// Sink for per-tier lookup/hit/miss/fallback counters. Defaults to
+    /// [`NoopRecorder`]; attach a live one with [`Self::with_recorder`].
+    recorder: Arc<dyn Recorder>,
 }
 
 impl TableResolution {
@@ -162,7 +167,18 @@ impl TableResolution {
             pair_rels,
             pair_rows,
             non_null_cells,
+            recorder: Arc::new(NoopRecorder),
         }
+    }
+
+    /// Attach a recorder: subsequent tier accesses emit
+    /// `resolve.{candidates,types,pair}_{lookups,hit,miss,fallback}`
+    /// counters, and the snapshot's shape is published as gauges.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        recorder.set_gauge(Gauge::ResolveDistinctValues, self.values.len() as u64);
+        recorder.set_gauge(Gauge::ResolveNonNullCells, self.non_null_cells as u64);
+        self.recorder = recorder;
+        self
     }
 
     /// True while the KB tiers still reflect `kb` (no enrichment write has
@@ -223,10 +239,13 @@ impl TableResolution {
 
     /// [`Self::candidates`] by distinct-value id.
     pub fn candidates_of(&self, kb: &Kb, id: u32) -> CandList<'_> {
+        self.recorder.incr(Counter::ResolveCandidatesLookups);
         let v = &self.values[id as usize];
         if self.is_current(kb) {
+            self.recorder.incr(Counter::ResolveCandidatesHit);
             Cow::Borrowed(v.candidates.as_slice())
         } else {
+            self.recorder.incr(Counter::ResolveCandidatesFallback);
             Cow::Owned(kb.candidate_resources_normalized(&v.norm))
         }
     }
@@ -239,10 +258,13 @@ impl TableResolution {
 
     /// [`Self::types`] by distinct-value id.
     pub fn types_of(&self, kb: &Kb, id: u32) -> Cow<'_, [ClassId]> {
+        self.recorder.incr(Counter::ResolveTypesLookups);
         let v = &self.values[id as usize];
         if self.is_current(kb) {
+            self.recorder.incr(Counter::ResolveTypesHit);
             Cow::Borrowed(v.types.as_slice())
         } else {
+            self.recorder.incr(Counter::ResolveTypesFallback);
             Cow::Owned(kb.types_of_value(&v.norm))
         }
     }
@@ -251,12 +273,15 @@ impl TableResolution {
     /// Served from the prebuilt memo while current and covered; computed
     /// live (identically) for stale snapshots or uncovered combinations.
     pub fn pair_relations(&self, kb: &Kb, a: u32, b: u32) -> Cow<'_, PairRels> {
+        self.recorder.incr(Counter::ResolvePairLookups);
         if self.is_current(kb) {
             if let Some(cached) = self.pair_rels.get(&(a, b)) {
+                self.recorder.incr(Counter::ResolvePairHit);
                 return Cow::Borrowed(cached);
             }
             // Current but uncovered (row beyond `pair_rows`): the cached
             // candidate lists are valid, so derive from them.
+            self.recorder.incr(Counter::ResolvePairMiss);
             let va = &self.values[a as usize];
             let vb = &self.values[b as usize];
             return Cow::Owned(PairRels {
@@ -264,6 +289,7 @@ impl TableResolution {
                 lit: kb.literal_relations_for_candidates(&va.candidates, &vb.norm),
             });
         }
+        self.recorder.incr(Counter::ResolvePairFallback);
         let ca = kb.candidate_resources_normalized(self.norm_of(a));
         let cb = kb.candidate_resources_normalized(self.norm_of(b));
         Cow::Owned(PairRels {

@@ -327,6 +327,14 @@ impl<O: Oracle> Crowd<O> {
         &self.budget_state
     }
 
+    /// Questions still allowed by the budget, `None` when the question
+    /// budget is unlimited.
+    pub fn budget_remaining(&self) -> Option<usize> {
+        self.budget
+            .max_questions
+            .map(|m| m.saturating_sub(self.budget_state.questions_used))
+    }
+
     /// True once any request has been denied for lack of budget.
     pub fn is_budget_exhausted(&self) -> bool {
         self.budget_state.exhausted

@@ -51,6 +51,7 @@ pub fn run(corpus: &Corpus) -> AblationCoherence {
                             coherence_weight: w,
                         },
                         max_states: 0,
+                        ..DiscoveryConfig::default()
                     };
                     let top = discover_topk(&g.table, &kb, &cands, 1, &cfg);
                     let s = top

@@ -1,0 +1,224 @@
+//! Accounting invariants of the katara-obs observability layer over
+//! full cleaning runs.
+//!
+//! The metrics a run exports are only useful if they can be trusted, so
+//! this suite pins down the contracts the counters must satisfy:
+//!
+//! * every snapshot resolve tier balances — hits + misses + fallbacks
+//!   equals lookups, nothing double- or under-counted;
+//! * crowd spend never exceeds the budget, and the exported counter
+//!   agrees with the degradation report;
+//! * KB probe counters count *logical* probes, so the snapshot and
+//!   direct resolve paths report identical numbers;
+//! * the deterministic section of [`RunMetrics`] is byte-identical
+//!   across worker-pool sizes — the CI gate's contract, asserted here
+//!   at the library level.
+
+use std::sync::Arc;
+
+use katara_core::prelude::*;
+use katara_crowd::{Answer, Budget, Crowd, CrowdConfig, Oracle, Question};
+use katara_kb::{Kb, KbBuilder};
+use katara_table::Table;
+
+/// The paper's Figure 1 setting in miniature: soccer players with one
+/// wrong capital, a KB missing S. Africa's capital fact.
+fn setting() -> (Kb, Table) {
+    let mut b = KbBuilder::new().with_name("mini-yago");
+    let person = b.class("person");
+    let country = b.class("country");
+    let capital = b.class("capital");
+    let nationality = b.property("nationality");
+    let has_capital = b.property("hasCapital");
+    let pairs = [
+        ("Rossi", "Italy", "Rome"),
+        ("Klate", "S. Africa", "Pretoria"),
+        ("Pirlo", "Italy", "Rome"),
+        ("Ramos", "Spain", "Madrid"),
+    ];
+    for (p, c, cap) in pairs {
+        let rp = b.entity(p, &[person]);
+        let rc = b.entity(c, &[country]);
+        let rcap = b.entity(cap, &[capital]);
+        b.fact(rp, nationality, rc);
+        if c != "S. Africa" {
+            b.fact(rc, has_capital, rcap);
+        }
+    }
+    let kb = b.finalize();
+
+    let mut t = Table::with_opaque_columns("soccer", 3);
+    t.push_text_row(&["Rossi", "Italy", "Rome"]);
+    t.push_text_row(&["Klate", "S. Africa", "Pretoria"]);
+    t.push_text_row(&["Pirlo", "Italy", "Madrid"]); // the error
+    t.push_text_row(&["Ramos", "Spain", "Madrid"]);
+    (kb, t)
+}
+
+/// Ground-truth oracle for the setting.
+fn oracle() -> impl Oracle {
+    |q: &Question| match q {
+        Question::ColumnType {
+            column, candidates, ..
+        } => {
+            let want = ["person", "country", "capital"][*column];
+            match candidates.iter().position(|c| c == want) {
+                Some(i) => Answer::Choice(i),
+                None => Answer::NoneOfTheAbove,
+            }
+        }
+        Question::Relationship {
+            columns,
+            candidates,
+            ..
+        } => {
+            let want = match columns {
+                (0, 1) => "nationality",
+                (1, 2) => "hasCapital",
+                _ => "",
+            };
+            match candidates
+                .iter()
+                .position(|c| c.contains(want) && !want.is_empty())
+            {
+                Some(i) => Answer::Choice(i),
+                None => Answer::NoneOfTheAbove,
+            }
+        }
+        Question::Fact {
+            subject,
+            property,
+            object,
+        } => Answer::Bool(matches!(
+            (subject.as_str(), property.as_str(), object.as_str()),
+            ("S. Africa", "hasCapital", "Pretoria") | ("Klate", "nationality", "S. Africa")
+        )),
+    }
+}
+
+/// One instrumented end-to-end clean; returns the metrics snapshot and
+/// the cleaning report.
+fn instrumented_clean(
+    mode: ResolveMode,
+    threads: usize,
+    budget: Budget,
+) -> (RunMetrics, CleaningReport) {
+    let (mut kb, table) = setting();
+    let rec = Arc::new(RunRecorder::new());
+    let pool = Threads::fixed(threads);
+    let config = KataraConfig {
+        resolve: mode,
+        threads: pool,
+        candidates: CandidateConfig {
+            threads: pool,
+            ..CandidateConfig::default()
+        },
+        recorder: rec.clone(),
+        ..KataraConfig::default()
+    };
+    let mut crowd = Crowd::new(
+        CrowdConfig {
+            worker_accuracy: 1.0,
+            budget,
+            ..CrowdConfig::default()
+        },
+        oracle(),
+    )
+    .expect("crowd config is valid");
+    let report = Katara::new(config)
+        .clean(&table, &mut kb, &mut crowd)
+        .expect("clean succeeds");
+    let mut metrics = rec.snapshot();
+    metrics.threads = threads;
+    (metrics, report)
+}
+
+#[test]
+fn every_resolve_tier_balances() {
+    let (m, _) = instrumented_clean(ResolveMode::Snapshot, 1, Budget::unlimited());
+    for tier in ["candidates", "types", "pair"] {
+        let lookups = m.counter(&format!("resolve.{tier}_lookups"));
+        let hits = m.counter(&format!("resolve.{tier}_hit"));
+        let misses = m.counter(&format!("resolve.{tier}_miss"));
+        let fallbacks = m.counter(&format!("resolve.{tier}_fallback"));
+        assert!(lookups > 0, "{tier}: no lookups recorded at all");
+        assert_eq!(
+            hits + misses + fallbacks,
+            lookups,
+            "{tier}: hits {hits} + misses {misses} + fallbacks {fallbacks} != lookups {lookups}"
+        );
+    }
+}
+
+#[test]
+fn crowd_spend_respects_the_budget_and_matches_the_report() {
+    // Unlimited budget: the counter mirrors the degradation report and
+    // no budget gauge is exported (there is no budget to report).
+    let (m, report) = instrumented_clean(ResolveMode::Snapshot, 1, Budget::unlimited());
+    let asked = m.counter("crowd.questions_asked");
+    assert!(asked > 0, "the run asked no questions");
+    assert_eq!(asked as usize, report.degradation.questions_asked);
+    assert_eq!(m.gauge("crowd.budget_remaining"), None);
+    // Phase split sums to the total spend.
+    assert_eq!(
+        m.counter("validation.questions") + m.counter("annotation.crowd_questions"),
+        asked,
+        "validation + annotation spend must equal total crowd spend"
+    );
+
+    // Capped budget: spend never exceeds it and the remaining gauge
+    // balances against the asked + denied counters.
+    let cap = 3u64;
+    let (m, report) = instrumented_clean(ResolveMode::Snapshot, 1, Budget::questions(cap as usize));
+    let asked = m.counter("crowd.questions_asked");
+    assert!(
+        asked <= cap,
+        "asked {asked} questions with a budget of {cap}"
+    );
+    let remaining = m
+        .gauge("crowd.budget_remaining")
+        .expect("a capped run exports the remaining-budget gauge");
+    assert_eq!(remaining, cap - asked);
+    assert_eq!(
+        Some(remaining as usize),
+        report.degradation.budget_remaining
+    );
+    if report.degradation.budget_exhausted {
+        assert_eq!(remaining, 0);
+        assert!(m.counter("crowd.budget_denied") > 0);
+    }
+}
+
+#[test]
+fn snapshot_and_direct_modes_report_identical_probe_counts() {
+    let (snap, _) = instrumented_clean(ResolveMode::Snapshot, 1, Budget::unlimited());
+    let (direct, _) = instrumented_clean(ResolveMode::Direct, 1, Budget::unlimited());
+    // The probe counters count logical KB work, not cache traffic, so
+    // the resolve mode — a pure performance knob — must not move them.
+    for probe in ["discovery.type_probes", "discovery.rel_probes"] {
+        assert!(snap.counter(probe) > 0, "{probe}: no probes recorded");
+        assert_eq!(
+            snap.counter(probe),
+            direct.counter(probe),
+            "{probe}: snapshot and direct modes disagree"
+        );
+    }
+    // Same discovery work either way.
+    for c in ["discovery.heap_pops", "discovery.patterns_scored"] {
+        assert_eq!(snap.counter(c), direct.counter(c), "{c} differs");
+    }
+}
+
+#[test]
+fn deterministic_section_is_identical_across_thread_counts() {
+    let (base, _) = instrumented_clean(ResolveMode::Snapshot, 1, Budget::unlimited());
+    let baseline = base.deterministic_json(0);
+    for threads in [2usize, 8] {
+        let (m, _) = instrumented_clean(ResolveMode::Snapshot, threads, Budget::unlimited());
+        assert_eq!(
+            baseline,
+            m.deterministic_json(0),
+            "deterministic section changed between 1 and {threads} threads"
+        );
+    }
+}

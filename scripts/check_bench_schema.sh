@@ -35,6 +35,16 @@ for file in "$@"; do
     echo "$file: \"parallelism\" must be an integer" >&2
     ok=0
   fi
+  # Embedded run metrics: every bench that writes a report also embeds
+  # the katara-obs metrics of one instrumented run.
+  if ! grep -q '"metrics": {' "$file"; then
+    echo "$file: missing embedded \"metrics\" object" >&2
+    ok=0
+  fi
+  if ! grep -q '"schema": "katara-run-metrics/v1"' "$file"; then
+    echo "$file: embedded metrics missing the katara-run-metrics/v1 schema tag" >&2
+    ok=0
+  fi
   if grep -Eq '"bench": "resolve"' "$file"; then
     # Resolve report: cold-vs-snapshot end-to-end clean.
     if ! grep -Eq '"distinct_ratio": [0-9]+\.[0-9]+,' "$file"; then

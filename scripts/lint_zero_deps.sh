@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# The workspace is zero-dependency by design (ROADMAP.md): every crate
+# is local — either a `crates/*` member or a vendored `vendor/*` shim —
+# and builds must never reach for crates.io or git. Cargo records the
+# provenance of every resolved package in Cargo.lock: local path
+# packages have no `source` field, anything external carries a
+# `source = "registry+..."` or `source = "git+..."` line. So the lint
+# is exact, not heuristic: any `source =` line in Cargo.lock is an
+# external dependency that slipped in.
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+lock="$root/Cargo.lock"
+
+if [ ! -f "$lock" ]; then
+  echo "lint_zero_deps: $lock not found (run cargo metadata first)" >&2
+  exit 1
+fi
+
+bad=$(grep -n 'source = "' "$lock" || true)
+if [ -n "$bad" ]; then
+  echo "lint_zero_deps: external dependencies found in Cargo.lock:" >&2
+  echo "$bad" >&2
+  echo >&2
+  echo "This workspace is zero-dependency: vendor a shim under vendor/" >&2
+  echo "instead of depending on a registry or git package." >&2
+  exit 1
+fi
+
+count=$(grep -c '^name = ' "$lock")
+echo "lint_zero_deps: OK — all $count packages in Cargo.lock are local"
