@@ -326,6 +326,132 @@ impl ResolveReport {
     }
 }
 
+/// One measured configuration of the serve bench: a batch of HTTP
+/// `/clean` requests at one concurrency level, against either a cold or
+/// a warm snapshot cache.
+#[derive(Debug, Clone)]
+pub struct ServeSample {
+    /// Configuration label: `"cold"` (every request rebuilds the
+    /// `TableResolution`) or `"warm"` (the daemon's snapshot cache hits).
+    pub config: String,
+    /// Concurrent client threads issuing requests.
+    pub concurrency: usize,
+    /// Total requests measured in this batch.
+    pub requests: usize,
+    /// Completed requests per second over the batch wall time.
+    pub req_per_s: f64,
+    /// Median request latency, in milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency, in milliseconds.
+    pub p99_ms: f64,
+}
+
+/// The throughput/latency report for the `serve` bench target — the
+/// same envelope as [`ScalingReport`] but with per-batch request rates
+/// and latency percentiles instead of per-iteration wall times.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Bench name — becomes the `BENCH_<bench>.json` file name.
+    pub bench: String,
+    /// Human-readable fixture description.
+    pub fixture: String,
+    /// Measured batches, in measurement order.
+    pub samples: Vec<ServeSample>,
+    /// Run metrics from one untimed instrumented run of the benched
+    /// workload, embedded under the `"metrics"` key when present.
+    pub metrics: Option<RunMetrics>,
+}
+
+impl ServeReport {
+    /// Start an empty report.
+    pub fn new(bench: &str, fixture: &str) -> Self {
+        ServeReport {
+            bench: bench.to_string(),
+            fixture: fixture.to_string(),
+            samples: Vec::new(),
+            metrics: None,
+        }
+    }
+
+    /// Record one batch from its per-request latencies and total wall
+    /// time. Percentiles use the nearest-rank method over a total-order
+    /// float sort (NaN-safe by construction).
+    pub fn record(
+        &mut self,
+        config: &str,
+        concurrency: usize,
+        latencies_ms: &[f64],
+        total_wall_ms: f64,
+    ) {
+        let mut sorted = latencies_ms.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let pct = |p: f64| -> f64 {
+            if sorted.is_empty() {
+                return 0.0;
+            }
+            let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+            sorted[idx.min(sorted.len() - 1)]
+        };
+        let req_per_s = if total_wall_ms > 0.0 {
+            latencies_ms.len() as f64 * 1e3 / total_wall_ms
+        } else {
+            0.0
+        };
+        self.samples.push(ServeSample {
+            config: config.to_string(),
+            concurrency,
+            requests: latencies_ms.len(),
+            req_per_s,
+            p50_ms: pct(0.50),
+            p99_ms: pct(0.99),
+        });
+    }
+
+    /// Render the JSON document.
+    pub fn to_json(&self) -> String {
+        let parallelism = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let mode = if quick_mode() { "quick" } else { "full" };
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"bench\": \"{}\",\n", escape(&self.bench)));
+        out.push_str(&format!("  \"fixture\": \"{}\",\n", escape(&self.fixture)));
+        out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+        out.push_str(&format!("  \"parallelism\": {parallelism},\n"));
+        if let Some(m) = &self.metrics {
+            out.push_str("  \"metrics\": ");
+            out.push_str(&m.to_json_object(2));
+            out.push_str(",\n");
+        }
+        out.push_str("  \"samples\": [\n");
+        for (i, s) in self.samples.iter().enumerate() {
+            let comma = if i + 1 < self.samples.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{ \"config\": \"{}\", \"concurrency\": {}, \"requests\": {}, \
+                 \"req_per_s\": {:.3}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3} }}{comma}\n",
+                escape(&s.config),
+                s.concurrency,
+                s.requests,
+                s.req_per_s,
+                s.p50_ms,
+                s.p99_ms
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Write `BENCH_<bench>.json` at the workspace root; returns the path.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..");
+        let path = root.join(format!("BENCH_{}.json", self.bench));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
 /// Minimal JSON string escaping — fixture names are plain ASCII, but a
 /// stray quote must not corrupt the document.
 fn escape(s: &str) -> String {
@@ -402,6 +528,36 @@ mod tests {
             "\"iters\"",
             "\"wall_ms\"",
             "\"speedup\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn serve_report_shape_and_percentiles() {
+        let mut r = ServeReport::new("serve", "toy");
+        // 100 latencies 1..=100 ms over 1 s of wall: 100 req/s,
+        // p50 ≈ 50-51, p99 ≈ 99-100 by nearest rank.
+        let lat: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        r.record("cold", 4, &lat, 1_000.0);
+        r.record("warm", 4, &[], 0.0); // degenerate batch stays finite
+        let s = &r.samples[0];
+        assert_eq!(s.requests, 100);
+        assert!((s.req_per_s - 100.0).abs() < 1e-9);
+        assert!((49.0..=52.0).contains(&s.p50_ms), "{}", s.p50_ms);
+        assert!((98.0..=100.0).contains(&s.p99_ms), "{}", s.p99_ms);
+        let empty = &r.samples[1];
+        assert_eq!(empty.requests, 0);
+        assert_eq!(empty.req_per_s, 0.0);
+        let json = r.to_json();
+        for key in [
+            "\"bench\": \"serve\"",
+            "\"config\": \"cold\"",
+            "\"concurrency\": 4",
+            "\"requests\": 100",
+            "\"req_per_s\"",
+            "\"p50_ms\"",
+            "\"p99_ms\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

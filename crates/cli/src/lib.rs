@@ -8,6 +8,9 @@
 //! katara discover --table data.csv --kb kb.nt [--k N] [--strict|--lenient]
 //!                 [--threads N] [--direct-resolve]
 //! katara kb-stats --kb kb.nt [--strict|--lenient]
+//! katara serve    --kb kb.nt [--addr HOST:PORT] [--crowd MODE]
+//!                 [--max-in-flight N] [--threads N] [--k N]
+//!                 [--default-deadline-ms N] [--strict|--lenient]
 //! ```
 //!
 //! The KB is N-Triples (see `katara_kb::ntriples`); tables are CSV with a
@@ -52,6 +55,11 @@
 //! prints the per-phase span tree (human-readable, quantized wall times)
 //! to stderr; the two flags compose and neither perturbs the repairs.
 //!
+//! `serve` runs the long-lived cleaning daemon from `katara-serve`: the
+//! KB loads once and stays warm, tables arrive as CSV request bodies on
+//! `POST /clean`, and SIGTERM drains in-flight requests before exit.
+//! See DESIGN.md §5g for the endpoint and status-code contract.
+//!
 //! The library part exists so the command logic is unit-testable; the
 //! binary is a thin `main`.
 
@@ -64,6 +72,7 @@ use std::sync::Arc;
 use katara_core::prelude::*;
 use katara_crowd::{Answer, Budget, Crowd, CrowdConfig, Oracle, Question};
 use katara_kb::{ntriples, sim, Kb};
+use katara_serve::{ServePolicy, Server, ServerConfig};
 use katara_table::{csv, Table};
 
 /// Ingestion mode selected on the command line.
@@ -345,17 +354,39 @@ pub enum Command {
         /// Strict or lenient ingestion of the KB file.
         ingest: IngestChoice,
     },
+    /// Long-lived cleaning daemon (`katara serve`).
+    Serve {
+        /// N-Triples path, loaded once and kept warm.
+        kb: String,
+        /// Bind address (`HOST:PORT`; port 0 picks a free port).
+        addr: String,
+        /// Crowd mode for requests that don't override it. Interactive
+        /// is rejected — a daemon has no stdin to ask.
+        crowd: CrowdMode,
+        /// Maximum concurrently executing `/clean` requests.
+        max_in_flight: usize,
+        /// Worker threads for the cleaning hot paths.
+        threads: Option<usize>,
+        /// Strict or lenient ingestion of the KB file.
+        ingest: IngestChoice,
+        /// Default per-request pipeline deadline in milliseconds,
+        /// applied when a request carries no `deadline_ms`.
+        default_deadline_ms: Option<u64>,
+        /// Repairs per erroneous tuple.
+        k: usize,
+    },
 }
 
 /// Parse `argv[1..]`.
 pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let usage = || {
         CliError::Usage(
-            "katara clean|discover|kb-stats --table T.csv --kb KB.nt \
+            "katara clean|discover|kb-stats|serve --table T.csv --kb KB.nt \
              [--crowd interactive|trust|skeptic|facts:FILE] [--k N] \
              [--out OUT.csv] [--enriched-kb OUT.nt] [--max-questions N] \
              [--strict|--lenient] [--threads N] [--direct-resolve] \
-             [--metrics OUT.json] [--trace]"
+             [--metrics OUT.json] [--trace] \
+             [--addr HOST:PORT] [--max-in-flight N] [--default-deadline-ms N]"
                 .to_string(),
         )
     };
@@ -373,6 +404,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut direct_resolve = false;
     let mut metrics = None;
     let mut trace = false;
+    let mut addr = "127.0.0.1:8743".to_string();
+    let mut max_in_flight = 4usize;
+    let mut default_deadline_ms = None;
     while let Some(flag) = it.next() {
         let mut value = || {
             it.next()
@@ -411,6 +445,18 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "--direct-resolve" => direct_resolve = true,
             "--metrics" => metrics = Some(value()?),
             "--trace" => trace = true,
+            "--addr" => addr = value()?,
+            "--max-in-flight" => {
+                max_in_flight = value()?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--max-in-flight needs a number".into()))?
+            }
+            "--default-deadline-ms" => {
+                default_deadline_ms =
+                    Some(value()?.parse().map_err(|_| {
+                        CliError::Usage("--default-deadline-ms needs a number".into())
+                    })?)
+            }
             other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
         }
     }
@@ -447,6 +493,25 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             kb: need(kb, "kb")?,
             ingest,
         }),
+        "serve" => {
+            if crowd == CrowdMode::Interactive {
+                return Err(CliError::Usage(
+                    "serve cannot use --crowd interactive (a daemon has no stdin); \
+                     use trust, skeptic, or facts:FILE"
+                        .into(),
+                ));
+            }
+            Ok(Command::Serve {
+                kb: need(kb, "kb")?,
+                addr,
+                crowd,
+                max_in_flight,
+                threads,
+                ingest,
+                default_deadline_ms,
+                k,
+            })
+        }
         _ => Err(usage()),
     }
 }
@@ -773,6 +838,49 @@ pub fn run(cmd: Command) -> Result<RunStatus, CliError> {
                 Ok(RunStatus::Clean)
             }
         }
+        Command::Serve {
+            kb,
+            addr,
+            crowd,
+            max_in_flight,
+            threads,
+            ingest,
+            default_deadline_ms,
+            k,
+        } => {
+            let (kb, kb_report) = load_kb(&kb, ingest)?;
+            print_kb_ingest(&kb_report);
+            let policy = match crowd {
+                CrowdMode::Trust => ServePolicy::Trust,
+                CrowdMode::Skeptic => ServePolicy::Skeptic,
+                CrowdMode::Facts(facts) => ServePolicy::Facts(facts),
+                // parse_args rejects this; belt and braces for library
+                // callers constructing a Command by hand.
+                CrowdMode::Interactive => {
+                    return Err(CliError::Usage(
+                        "serve cannot use the interactive crowd".into(),
+                    ))
+                }
+            };
+            let config = ServerConfig {
+                addr,
+                max_in_flight,
+                threads: resolve_threads(threads),
+                default_deadline: default_deadline_ms.map(std::time::Duration::from_millis),
+                repairs_k: k,
+                ..ServerConfig::default()
+            };
+            let server = Server::bind(config, kb, policy)?;
+            katara_serve::trap_termination_signals();
+            println!("katara-serve listening on {}", server.local_addr()?);
+            {
+                use std::io::Write;
+                let _ = std::io::stdout().flush();
+            }
+            server.run()?;
+            println!("katara-serve drained and exited");
+            Ok(RunStatus::Clean)
+        }
     }
 }
 
@@ -930,6 +1038,52 @@ mod tests {
             .iter()
             .map(|s| s.to_string())
             .collect();
+        assert!(matches!(parse_args(&args), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn parse_args_serve() {
+        let args: Vec<String> = [
+            "serve",
+            "--kb",
+            "k.nt",
+            "--addr",
+            "127.0.0.1:9000",
+            "--max-in-flight",
+            "2",
+            "--default-deadline-ms",
+            "750",
+            "--crowd",
+            "trust",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        match parse_args(&args).unwrap() {
+            Command::Serve {
+                kb,
+                addr,
+                crowd,
+                max_in_flight,
+                default_deadline_ms,
+                ..
+            } => {
+                assert_eq!(kb, "k.nt");
+                assert_eq!(addr, "127.0.0.1:9000");
+                assert_eq!(crowd, CrowdMode::Trust);
+                assert_eq!(max_in_flight, 2);
+                assert_eq!(default_deadline_ms, Some(750));
+            }
+            other => panic!("{other:?}"),
+        }
+        // A daemon cannot ask questions on stdin.
+        let args: Vec<String> = ["serve", "--kb", "k.nt", "--crowd", "interactive"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(matches!(parse_args(&args), Err(CliError::Usage(_))));
+        // The KB is still mandatory.
+        let args: Vec<String> = ["serve"].iter().map(|s| s.to_string()).collect();
         assert!(matches!(parse_args(&args), Err(CliError::Usage(_))));
     }
 

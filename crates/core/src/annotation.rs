@@ -17,6 +17,7 @@
 use std::collections::HashMap;
 
 use katara_crowd::{Answer, Crowd, Oracle, Question};
+use katara_exec::Deadline;
 use katara_kb::{Kb, ResourceId};
 use katara_table::Table;
 
@@ -83,6 +84,12 @@ pub struct AnnotationConfig {
     /// Minimum tuples before feedback may trigger (tiny tables cannot
     /// outvote their own errors).
     pub feedback_min_tuples: usize,
+    /// Cooperative cancellation, checked at the top of the per-row loop:
+    /// rows reached after expiry are annotated
+    /// [`Unresolved`](TupleStatus::Unresolved) without touching the KB or
+    /// the crowd, and the feedback re-pass is skipped. Inert by default;
+    /// the pipeline injects its run deadline here.
+    pub deadline: Deadline,
 }
 
 impl Default for AnnotationConfig {
@@ -91,6 +98,7 @@ impl Default for AnnotationConfig {
             enrich_kb: true,
             feedback_threshold: 0.5,
             feedback_min_tuples: 8,
+            deadline: Deadline::none(),
         }
     }
 }
@@ -209,6 +217,11 @@ pub fn annotate_resolved<O: Oracle>(
     if table.num_rows() < config.feedback_min_tuples {
         return result;
     }
+    if config.deadline.triggered() {
+        // The first pass already degraded; a feedback re-pass would only
+        // mass-produce Unresolved rows from a dead crowd.
+        return result;
+    }
     // Error fraction per element.
     let n = table.num_rows() as f64;
     let mut bad_nodes: Vec<usize> = Vec::new();
@@ -304,6 +317,18 @@ fn annotate_once<O: Oracle>(
         feedback_stripped: Vec::new(),
     };
     for row_idx in 0..table.num_rows() {
+        if config.deadline.expired() {
+            // Past the deadline a row gets no KB matching and no crowd
+            // contact: neither trusted nor condemned, exactly like a
+            // crowd that never settled.
+            result.tuples.push(TupleAnnotation {
+                row: row_idx,
+                status: TupleStatus::Unresolved,
+                node_categories: vec![Category::Unresolved; pattern.nodes().len()],
+                edge_categories: vec![Category::Unresolved; pattern.edges().len()],
+            });
+            continue;
+        }
         let row = table.row(row_idx);
         let report = pattern.match_tuple_resolved(kb, row, resolution.map(|r| (r, row_idx)));
 

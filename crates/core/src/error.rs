@@ -40,6 +40,16 @@ pub enum KataraError {
     KbIngest(NtError),
     /// A table could not be ingested from CSV text.
     TableIngest(CsvError),
+    /// The run's [`Deadline`](katara_exec::Deadline) expired before the
+    /// named phase could even start producing a partial result. Later
+    /// expiry (once discovery has yielded a pattern) degrades the
+    /// [`CleaningReport`](crate::pipeline::CleaningReport) instead of
+    /// erroring — see
+    /// [`DegradationReport::deadline_expired`](crate::pipeline::DegradationReport::deadline_expired).
+    DeadlineExceeded {
+        /// The pipeline phase that could not start.
+        phase: &'static str,
+    },
 }
 
 impl fmt::Display for KataraError {
@@ -60,6 +70,9 @@ impl fmt::Display for KataraError {
             KataraError::Kb(_) => write!(f, "knowledge base error"),
             KataraError::KbIngest(_) => write!(f, "knowledge base ingestion failed"),
             KataraError::TableIngest(_) => write!(f, "table ingestion failed"),
+            KataraError::DeadlineExceeded { phase } => {
+                write!(f, "deadline exceeded before the {phase} phase")
+            }
         }
     }
 }

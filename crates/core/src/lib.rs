@@ -98,7 +98,7 @@ pub mod prelude {
     pub use crate::validation::{
         validate_patterns, SchedulingStrategy, ValidationConfig, ValidationOutcome,
     };
-    pub use katara_exec::Threads;
+    pub use katara_exec::{Deadline, Threads};
     pub use katara_obs::{NoopRecorder, Recorder, RunMetrics, RunRecorder, Span};
 }
 

@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use katara_crowd::{Crowd, CrowdStats, Oracle};
-use katara_exec::Threads;
+use katara_exec::{Deadline, Threads};
 use katara_kb::Kb;
 use katara_obs::{Counter, Gauge, NoopRecorder, Recorder, Span};
 use katara_table::Table;
@@ -57,6 +57,15 @@ pub struct KataraConfig {
     /// per-stage `recorder` fields are overridden), so setting it here is
     /// enough to instrument a full `clean`. Defaults to [`NoopRecorder`].
     pub recorder: Arc<dyn Recorder>,
+    /// Per-run wall-clock deadline, checked cooperatively at phase
+    /// boundaries, inside the validation scheduler and annotation row
+    /// loops, by every repair worker, and before every crowd ask (the
+    /// pipeline injects it into the stage configs and the crowd, like the
+    /// recorder). Expiry before discovery yields a pattern errors with
+    /// [`KataraError::DeadlineExceeded`]; later expiry completes with a
+    /// partial report whose finished-phase prefix is identical to the
+    /// undeadlined run. Inert by default.
+    pub deadline: Deadline,
 }
 
 impl Default for KataraConfig {
@@ -73,6 +82,7 @@ impl Default for KataraConfig {
             threads: Threads::auto(),
             resolve: ResolveMode::default(),
             recorder: Arc::new(NoopRecorder),
+            deadline: Deadline::none(),
         }
     }
 }
@@ -138,6 +148,15 @@ pub struct DegradationReport {
     /// question budget is unlimited). Informational, like
     /// [`Self::questions_asked`].
     pub budget_remaining: Option<usize>,
+    /// True when the run's [`Deadline`] expired at a cancellation point
+    /// and the report is a partial (but untorn) result.
+    pub deadline_expired: bool,
+    /// The first pipeline phase affected by deadline expiry
+    /// (`"validate"`, `"annotate"` or `"repair"`); every phase before it
+    /// completed normally and is identical to an undeadlined run.
+    pub deadline_phase: Option<&'static str>,
+    /// Crowd asks denied because the deadline had expired.
+    pub deadline_denied: usize,
 }
 
 impl DegradationReport {
@@ -155,6 +174,7 @@ impl DegradationReport {
             || self.unresolved_tuples > 0
             || self.ingest_quarantined > 0
             || self.ingest_repaired_edges > 0
+            || self.deadline_expired
     }
 }
 
@@ -210,7 +230,11 @@ impl Katara {
     ) -> Result<CleaningReport, KataraError> {
         // One recorder for the whole run: KataraConfig's wins — it is
         // injected into every stage config the pipeline actually runs.
+        // The deadline travels the same way, plus into the crowd, so all
+        // cancellation points consult one shared cutoff.
         let rec = self.config.recorder.clone();
+        let dl = self.config.deadline.clone();
+        crowd.set_deadline(dl.clone());
         let candidates_cfg = CandidateConfig {
             recorder: rec.clone(),
             ..self.config.candidates.clone()
@@ -219,10 +243,23 @@ impl Katara {
             recorder: rec.clone(),
             ..self.config.discovery.clone()
         };
+        let validation_cfg = ValidationConfig {
+            deadline: dl.clone(),
+            ..self.config.validation.clone()
+        };
+        let annotation_cfg = AnnotationConfig {
+            deadline: dl.clone(),
+            ..self.config.annotation.clone()
+        };
         let repair_cfg = RepairConfig {
             recorder: rec.clone(),
+            deadline: dl.clone(),
             ..self.config.repair.clone()
         };
+        // Expiry before any pattern exists leaves nothing to degrade to.
+        if dl.expired() {
+            return Err(KataraError::DeadlineExceeded { phase: "resolve" });
+        }
         let root = Span::enter(rec.as_ref(), "clean");
         rec.set_gauge(Gauge::TableRows, table.num_rows() as u64);
         rec.set_gauge(Gauge::TableColumns, table.num_columns() as u64);
@@ -246,6 +283,9 @@ impl Katara {
                 (ResolveMode::Direct, None) => None,
             }
         };
+        if dl.expired() {
+            return Err(KataraError::DeadlineExceeded { phase: "discover" });
+        }
         // (1) Pattern discovery.
         let (patterns, discovery_stats) = {
             let _span = Span::enter(rec.as_ref(), "discover");
@@ -262,18 +302,51 @@ impl Katara {
             });
         }
 
-        // (2) Pattern validation via the crowd.
+        // From here on the deadline degrades instead of erroring:
+        // discovery produced a pattern, so there is always a coherent
+        // partial report to return. `deadline_phase` records the first
+        // phase expiry touched; everything before it is byte-identical
+        // to an undeadlined run.
+        let mut deadline_phase: Option<&'static str> = None;
+        let mark_phase = |phase: &'static str, deadline_phase: &mut Option<&'static str>| {
+            if dl.triggered() && deadline_phase.is_none() {
+                *deadline_phase = Some(phase);
+            }
+        };
+
+        // (2) Pattern validation via the crowd. The scheduler loop and
+        // the crowd's ask loop both check the deadline; at the phase
+        // boundary an already-expired deadline skips the crowd entirely
+        // and falls back to discovery-score order, exactly like a
+        // zero-question budget.
         let outcome = {
             let _span = Span::enter(rec.as_ref(), "validate");
-            validate_patterns(
-                table,
-                kb,
-                patterns,
-                crowd,
-                &self.config.validation,
-                self.config.strategy,
-            )
+            if dl.expired() {
+                let mut patterns = patterns;
+                patterns.sort_by(|a, b| b.score().total_cmp(&a.score()));
+                let pattern = patterns
+                    .into_iter()
+                    .next()
+                    .expect("non-empty checked above");
+                crate::validation::ValidationOutcome {
+                    pattern,
+                    variables_validated: 0,
+                    questions_asked: 0,
+                    fully_validated: false,
+                    no_quorum_variables: 0,
+                }
+            } else {
+                validate_patterns(
+                    table,
+                    kb,
+                    patterns,
+                    crowd,
+                    &validation_cfg,
+                    self.config.strategy,
+                )
+            }
         };
+        mark_phase("validate", &mut deadline_phase);
         record_phase_questions(
             rec.as_ref(),
             crowd.stats(),
@@ -291,15 +364,9 @@ impl Katara {
         // from then on).
         let annotation = {
             let _span = Span::enter(rec.as_ref(), "annotate");
-            annotate_resolved(
-                table,
-                &pattern,
-                kb,
-                crowd,
-                &self.config.annotation,
-                resolution,
-            )
+            annotate_resolved(table, &pattern, kb, crowd, &annotation_cfg, resolution)
         };
+        mark_phase("annotate", &mut deadline_phase);
         record_phase_questions(
             rec.as_ref(),
             crowd.stats(),
@@ -322,21 +389,33 @@ impl Katara {
         let effective = annotation.pattern.clone();
         let repairs = {
             let _span = Span::enter(rec.as_ref(), "repair");
-            let index = RepairIndex::build(kb, &effective, &repair_cfg);
-            // Repair only consumes the snapshot's string tier (normalized
-            // cells), which never goes stale — safe even after enrichment.
-            generate_repairs_resolved(
-                &index,
-                kb,
-                &effective,
-                table,
-                &annotation.erroneous_rows(),
-                self.config.repairs_k,
-                &repair_cfg,
-                self.config.threads,
-                resolution,
-            )
+            // Repair itself never spends budget, but it operates on an
+            // annotation the exhausted budget truncated — record the
+            // early stop so metrics and the report agree.
+            if crowd.is_budget_exhausted() {
+                rec.incr(Counter::RepairBudgetStopped);
+            }
+            if dl.expired() {
+                deadline_phase.get_or_insert("repair");
+                Vec::new()
+            } else {
+                let index = RepairIndex::build(kb, &effective, &repair_cfg);
+                // Repair only consumes the snapshot's string tier (normalized
+                // cells), which never goes stale — safe even after enrichment.
+                generate_repairs_resolved(
+                    &index,
+                    kb,
+                    &effective,
+                    table,
+                    &annotation.erroneous_rows(),
+                    self.config.repairs_k,
+                    &repair_cfg,
+                    self.config.threads,
+                    resolution,
+                )
+            }
         };
+        mark_phase("repair", &mut deadline_phase);
 
         let run_stats = crowd.stats().since(&stats_before);
         rec.incr_by(Counter::CrowdQuestionsAsked, run_stats.questions() as u64);
@@ -371,6 +450,9 @@ impl Katara {
             ingest_repaired_edges: 0,
             questions_asked: run_stats.questions(),
             budget_remaining: crowd.budget_remaining(),
+            deadline_expired: deadline_phase.is_some(),
+            deadline_phase,
+            deadline_denied: run_stats.deadline_denied,
         };
 
         Ok(CleaningReport {
@@ -609,6 +691,102 @@ mod tests {
         let mut crowd = crowd();
         let err = katara.clean(&t, &mut kb, &mut crowd).unwrap_err();
         assert!(matches!(err, KataraError::NoPatternFound { .. }));
+    }
+
+    #[test]
+    fn pre_discovery_deadline_errors_out() {
+        let (mut kb, t) = setting();
+        let katara = Katara::new(KataraConfig {
+            deadline: Deadline::after_checks(0),
+            ..KataraConfig::default()
+        });
+        let mut crowd = crowd();
+        let err = katara.clean(&t, &mut kb, &mut crowd).unwrap_err();
+        assert!(matches!(
+            err,
+            KataraError::DeadlineExceeded { phase: "resolve" }
+        ));
+        // An externally cancelled run behaves the same way.
+        let dl = Deadline::after_checks(1_000_000);
+        dl.cancel();
+        let katara = Katara::new(KataraConfig {
+            deadline: dl,
+            ..KataraConfig::default()
+        });
+        let err = katara.clean(&t, &mut kb, &mut crowd).unwrap_err();
+        assert!(matches!(err, KataraError::DeadlineExceeded { .. }));
+    }
+
+    #[test]
+    fn mid_run_deadline_degrades_instead_of_erroring() {
+        // Checks consumed before validation: clean entry, post-resolve,
+        // and the validate-boundary check itself.
+        //
+        // n = 2 trips at the validate boundary: validation is skipped
+        // and the top-scored pattern is taken unvalidated.
+        let (mut kb, t) = setting();
+        let katara = Katara::new(KataraConfig {
+            deadline: Deadline::after_checks(2),
+            ..KataraConfig::default()
+        });
+        let mut crowd = crowd();
+        let report = katara
+            .clean(&t, &mut kb, &mut crowd)
+            .expect("post-discovery expiry must degrade, not error");
+        let d = &report.degradation;
+        assert!(d.deadline_expired);
+        assert_eq!(d.deadline_phase, Some("validate"));
+        assert!(d.is_degraded());
+        assert!(d.pattern_partially_validated);
+        assert_eq!(report.variables_validated, 0);
+
+        // n = 3 survives validation (this tiny world discovers a single
+        // pattern, so MUVF has nothing to ask) and trips on the first
+        // annotation row: every tuple degrades to Unresolved and repair
+        // is skipped.
+        let (mut kb3, t3) = setting();
+        let katara3 = Katara::new(KataraConfig {
+            deadline: Deadline::after_checks(3),
+            ..KataraConfig::default()
+        });
+        let mut crowd3 = self::crowd();
+        let report3 = katara3.clean(&t3, &mut kb3, &mut crowd3).unwrap();
+        let d3 = &report3.degradation;
+        assert_eq!(d3.deadline_phase, Some("annotate"));
+        assert_eq!(d3.unresolved_tuples, t3.num_rows());
+        assert!(report3.repairs.is_empty());
+
+        // The completed prefix matches an undeadlined run: discovery
+        // statistics (and for n = 3 the validated pattern) are identical.
+        let (mut kb2, t2) = setting();
+        let mut crowd2 = self::crowd();
+        let full = Katara::default().clean(&t2, &mut kb2, &mut crowd2).unwrap();
+        assert_eq!(
+            report.discovery_stats, full.discovery_stats,
+            "phases before the expiry must be byte-identical"
+        );
+        assert_eq!(
+            format!("{:?}", report3.pattern),
+            format!("{:?}", full.pattern)
+        );
+    }
+
+    #[test]
+    fn inert_deadline_matches_no_deadline_run() {
+        let (mut kb_a, t) = setting();
+        let (mut kb_b, _) = setting();
+        let mut crowd_a = crowd();
+        let mut crowd_b = crowd();
+        let a = Katara::default()
+            .clean(&t, &mut kb_a, &mut crowd_a)
+            .unwrap();
+        let b = Katara::new(KataraConfig {
+            deadline: Deadline::none(),
+            ..KataraConfig::default()
+        })
+        .clean(&t, &mut kb_b, &mut crowd_b)
+        .unwrap();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
     }
 
     #[test]

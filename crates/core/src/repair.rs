@@ -17,7 +17,7 @@ use std::borrow::Cow;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use katara_exec::Threads;
+use katara_exec::{Deadline, Threads};
 use katara_kb::{sim, Kb, ResourceId};
 use katara_obs::{Counter, Histogram, NoopRecorder, Recorder};
 use katara_table::{Table, Value};
@@ -46,6 +46,11 @@ pub struct RepairConfig {
     /// Hit from inside `katara-exec` workers, so implementations must be
     /// thread-safe (the live recorder uses sharded atomics).
     pub recorder: Arc<dyn Recorder>,
+    /// Cooperative cancellation, checked by every repair worker before it
+    /// starts a tuple: [`generate_repairs_resolved`] truncates its output
+    /// to the contiguous prefix of rows completed before expiry. Inert by
+    /// default; the pipeline injects its run deadline here.
+    pub deadline: Deadline,
 }
 
 impl Default for RepairConfig {
@@ -55,6 +60,7 @@ impl Default for RepairConfig {
             column_costs: None,
             max_alternatives_per_cell_set: 5,
             recorder: Arc::new(NoopRecorder),
+            deadline: Deadline::none(),
         }
     }
 }
@@ -557,8 +563,16 @@ pub fn generate_repairs_resolved(
     threads: Threads,
     resolution: Option<&TableResolution>,
 ) -> Vec<(usize, Vec<Repair>)> {
-    katara_exec::par_map(threads, rows, |&row| {
-        (
+    let out = katara_exec::par_map(threads, rows, |&row| {
+        // Cooperative cancellation per tuple. Workers that already
+        // claimed later rows may still finish them, but the result is
+        // truncated below to the contiguous completed prefix, so the
+        // returned repairs are always a prefix of the undeadlined run
+        // (no torn state, regardless of thread count).
+        if config.deadline.expired() {
+            return None;
+        }
+        Some((
             row,
             topk_repairs_resolved(
                 index,
@@ -569,8 +583,12 @@ pub fn generate_repairs_resolved(
                 config,
                 resolution.map(|res| (res, row)),
             ),
-        )
-    })
+        ))
+    });
+    out.into_iter()
+        .take_while(Option::is_some)
+        .flatten()
+        .collect()
 }
 
 /// Drop candidate groups with no evidential support: when more than

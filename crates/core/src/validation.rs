@@ -24,6 +24,7 @@
 use std::collections::HashMap;
 
 use katara_crowd::{Answer, AskOutcome, Crowd, Oracle, Question};
+use katara_exec::Deadline;
 use katara_kb::Kb;
 use katara_table::Table;
 use rand::rngs::StdRng;
@@ -49,6 +50,11 @@ pub struct ValidationConfig {
     pub tuples_per_question: usize,
     /// Seed for tuple sampling.
     pub seed: u64,
+    /// Cooperative cancellation: checked at the top of the scheduler
+    /// loop. On expiry validation stops like a budget death — the best
+    /// pattern so far is returned flagged as partially validated. Inert
+    /// by default; the pipeline injects its run deadline here.
+    pub deadline: Deadline,
 }
 
 impl Default for ValidationConfig {
@@ -57,6 +63,7 @@ impl Default for ValidationConfig {
             questions_per_variable: 5,
             tuples_per_question: 5,
             seed: 0,
+            deadline: Deadline::none(),
         }
     }
 }
@@ -191,7 +198,7 @@ pub fn validate_patterns<O: Oracle>(
         if done {
             break;
         }
-        if crowd.is_budget_exhausted() {
+        if crowd.is_budget_exhausted() || config.deadline.expired() {
             // Degrade gracefully: stop scheduling and return the best
             // pattern seen so far, flagged as partially validated.
             fully_validated = false;
@@ -222,9 +229,9 @@ pub fn validate_patterns<O: Oracle>(
 
         let (verdict, q_count) = ask_variable(table, kb, &patterns, next, crowd, config, &mut rng);
         questions_asked += q_count;
-        if verdict == VarVerdict::BudgetExhausted {
+        if verdict == VarVerdict::BudgetExhausted || verdict == VarVerdict::DeadlineExpired {
             // Not even one aggregated answer came back before the money
-            // ran out; the variable stays unvalidated.
+            // (or the clock) ran out; the variable stays unvalidated.
             fully_validated = false;
             break;
         }
@@ -261,7 +268,9 @@ pub fn validate_patterns<O: Oracle>(
                 no_quorum_variables += 1;
             }
             VarVerdict::Unasked => {}
-            VarVerdict::BudgetExhausted => unreachable!("handled above"),
+            VarVerdict::BudgetExhausted | VarVerdict::DeadlineExpired => {
+                unreachable!("handled above")
+            }
         }
     }
 
@@ -299,6 +308,8 @@ enum VarVerdict {
     NoQuorum,
     /// The budget ran out before a single aggregated answer came back.
     BudgetExhausted,
+    /// The deadline expired before a single aggregated answer came back.
+    DeadlineExpired,
 }
 
 /// Remove a variable from a pattern after a "none of the above" verdict:
@@ -380,6 +391,7 @@ fn ask_variable<O: Oracle>(
     let q = config.questions_per_variable.max(1);
     let mut issued = 0usize;
     let mut budget_hit = false;
+    let mut deadline_hit = false;
     for _ in 0..q {
         let sample_rows = sample_rows(table, config.tuples_per_question, rng);
         let question = match var {
@@ -411,6 +423,10 @@ fn ask_variable<O: Oracle>(
                 budget_hit = true;
                 break;
             }
+            AskOutcome::DeadlineExpired => {
+                deadline_hit = true;
+                break;
+            }
         }
     }
     let Some((&winner, _)) = votes.iter().max_by(|a, b| {
@@ -418,7 +434,9 @@ fn ask_variable<O: Oracle>(
             .then_with(|| b.0.slot(values.len()).cmp(&a.0.slot(values.len())))
     }) else {
         // Not one aggregated answer for this variable.
-        let verdict = if budget_hit {
+        let verdict = if deadline_hit {
+            VarVerdict::DeadlineExpired
+        } else if budget_hit {
             VarVerdict::BudgetExhausted
         } else {
             VarVerdict::NoQuorum

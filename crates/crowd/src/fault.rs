@@ -174,6 +174,12 @@ pub enum AskOutcome {
     /// The budget was exhausted before the question could be issued at
     /// all.
     BudgetExhausted,
+    /// The crowd's [`Deadline`] expired before the question could be
+    /// issued at all (an expiry mid-retry reports [`AskOutcome::NoQuorum`]
+    /// instead, like a mid-retry budget death).
+    ///
+    /// [`Deadline`]: katara_exec::Deadline
+    DeadlineExpired,
 }
 
 impl AskOutcome {
@@ -181,7 +187,9 @@ impl AskOutcome {
     pub fn answer(self) -> Option<Answer> {
         match self {
             AskOutcome::Answered(a) => Some(a),
-            AskOutcome::NoQuorum | AskOutcome::BudgetExhausted => None,
+            AskOutcome::NoQuorum | AskOutcome::BudgetExhausted | AskOutcome::DeadlineExpired => {
+                None
+            }
         }
     }
 }
@@ -323,6 +331,7 @@ mod tests {
         );
         assert_eq!(AskOutcome::NoQuorum.answer(), None);
         assert_eq!(AskOutcome::BudgetExhausted.answer(), None);
+        assert_eq!(AskOutcome::DeadlineExpired.answer(), None);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use std::collections::HashMap;
 
+use katara_exec::Deadline;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -69,6 +70,8 @@ pub struct CrowdStats {
     pub no_quorum_questions: usize,
     /// Ask attempts denied by the budget.
     pub budget_denied: usize,
+    /// Ask attempts denied because the [`Deadline`] had expired.
+    pub deadline_denied: usize,
     /// Total simulated answer latency, in milliseconds.
     pub simulated_latency_ms: u64,
 }
@@ -108,6 +111,7 @@ impl CrowdStats {
                 .no_quorum_questions
                 .saturating_sub(earlier.no_quorum_questions),
             budget_denied: self.budget_denied.saturating_sub(earlier.budget_denied),
+            deadline_denied: self.deadline_denied.saturating_sub(earlier.deadline_denied),
             simulated_latency_ms: self
                 .simulated_latency_ms
                 .saturating_sub(earlier.simulated_latency_ms),
@@ -136,6 +140,9 @@ pub struct Crowd<O> {
     budget: Budget,
     budget_state: BudgetState,
     retry: RetryPolicy,
+    /// Cooperative wall-clock cutoff, checked before every ask attempt.
+    /// Inert by default; set per run via [`Crowd::set_deadline`].
+    deadline: Deadline,
     stats: CrowdStats,
 }
 
@@ -173,6 +180,7 @@ impl<O: Oracle> Crowd<O> {
             budget: config.budget,
             budget_state: BudgetState::default(),
             retry: config.retry,
+            deadline: Deadline::none(),
             stats: CrowdStats::default(),
         })
     }
@@ -208,6 +216,16 @@ impl<O: Oracle> Crowd<O> {
     pub fn ask(&mut self, q: &Question) -> AskOutcome {
         let base = self.replication;
         for attempt in 0..self.retry.max_attempts.max(1) {
+            // The deadline outranks the budget: an expired run must stop
+            // spending money, not report the money as the problem.
+            if self.deadline.expired() {
+                self.stats.deadline_denied += 1;
+                if attempt == 0 {
+                    return AskOutcome::DeadlineExpired;
+                }
+                self.stats.no_quorum_questions += 1;
+                return AskOutcome::NoQuorum;
+            }
             let replicas = self.retry.replication_for(base, attempt);
             if !self.budget_allows(replicas) {
                 self.budget_state.exhausted = true;
@@ -343,6 +361,20 @@ impl<O: Oracle> Crowd<O> {
     /// The fault plan this crowd was built with.
     pub fn fault_plan(&self) -> &FaultPlan {
         &self.faults
+    }
+
+    /// Install a cooperative deadline: once it expires, every further
+    /// [`Crowd::ask`] is denied without contacting a single worker. The
+    /// pipeline sets this per run from its own deadline so the crowd and
+    /// the phases share one cutoff; pass [`Deadline::none`] to clear.
+    pub fn set_deadline(&mut self, deadline: Deadline) {
+        self.deadline = deadline;
+    }
+
+    /// The active deadline (inert unless [`Crowd::set_deadline`] was
+    /// called).
+    pub fn deadline(&self) -> &Deadline {
+        &self.deadline
     }
 
     /// Access the oracle (used by annotation to form enrichment facts).
@@ -766,5 +798,73 @@ mod tests {
         assert!(a != b || sa != sb, "fault seed had no effect");
         // The fault plan actually fired.
         assert!(sa.dropouts > 0 && sa.abstentions > 0 && sa.spammer_answers > 0);
+    }
+
+    #[test]
+    fn expired_deadline_denies_asks_without_spending() {
+        let mut crowd = Crowd::new(
+            CrowdConfig {
+                worker_accuracy: 1.0,
+                ..CrowdConfig::default()
+            },
+            FixedOracle(Answer::Bool(true)),
+        )
+        .unwrap();
+        crowd.set_deadline(Deadline::after_checks(0));
+        assert_eq!(crowd.ask(&fact_q("a")), AskOutcome::DeadlineExpired);
+        assert_eq!(crowd.ask(&fact_q("b")), AskOutcome::DeadlineExpired);
+        assert_eq!(crowd.stats().deadline_denied, 2);
+        assert_eq!(crowd.stats().questions(), 0, "no worker was contacted");
+        assert_eq!(crowd.budget_state().questions_used, 0);
+        assert!(
+            !crowd.is_budget_exhausted(),
+            "deadline expiry is not budget exhaustion"
+        );
+    }
+
+    #[test]
+    fn deadline_mid_run_stops_further_questions() {
+        let mut crowd = Crowd::new(
+            CrowdConfig {
+                worker_accuracy: 1.0,
+                ..CrowdConfig::default()
+            },
+            FixedOracle(Answer::Bool(true)),
+        )
+        .unwrap();
+        // Two asks (one deadline check each) succeed, then expiry.
+        crowd.set_deadline(Deadline::after_checks(2));
+        assert!(matches!(crowd.ask(&fact_q("a")), AskOutcome::Answered(_)));
+        assert!(matches!(crowd.ask(&fact_q("b")), AskOutcome::Answered(_)));
+        assert_eq!(crowd.ask(&fact_q("c")), AskOutcome::DeadlineExpired);
+        assert_eq!(crowd.stats().questions(), 2);
+        assert_eq!(crowd.stats().deadline_denied, 1);
+    }
+
+    #[test]
+    fn inert_deadline_is_byte_identical_to_no_deadline() {
+        let run = |with_inert: bool| {
+            let mut crowd = Crowd::new(
+                CrowdConfig {
+                    worker_accuracy: 0.8,
+                    faults: FaultPlan {
+                        dropout_rate: 0.3,
+                        seed: 11,
+                        ..FaultPlan::default()
+                    },
+                    ..CrowdConfig::default()
+                },
+                FixedOracle(Answer::Bool(true)),
+            )
+            .unwrap();
+            if with_inert {
+                crowd.set_deadline(Deadline::none());
+            }
+            let outcomes: Vec<AskOutcome> = (0..40)
+                .map(|i| crowd.ask(&fact_q(&format!("{i}"))))
+                .collect();
+            (outcomes, crowd.stats().clone())
+        };
+        assert_eq!(run(false), run(true));
     }
 }

@@ -1,0 +1,188 @@
+//! Deadline semantics over the full pipeline: expiry degrades, it never
+//! tears.
+//!
+//! For ANY deadline (modelled as a deterministic check budget so the
+//! property is reproducible) and any worker-pool size, a cleaning run
+//! must produce either
+//!
+//! * an error — only when the deadline expired before discovery yielded
+//!   a pattern, or
+//! * a complete report identical to the undeadlined run, or
+//! * a degraded report whose *completed-phase prefix* is byte-identical
+//!   to the undeadlined run: every phase before
+//!   [`DegradationReport::deadline_phase`] finished normally and its
+//!   output matches the baseline exactly.
+//!
+//! There is no fourth outcome: no torn state, no phase silently half-run
+//! without the report saying so.
+
+use katara_core::prelude::*;
+use katara_crowd::{Answer, Crowd, CrowdConfig, Oracle, Question};
+use katara_kb::{Kb, KbBuilder};
+use katara_table::Table;
+use proptest::prelude::*;
+
+/// The mini Figure-1 soccer world: one wrong capital, one missing KB
+/// fact, so every phase (validation asks, enrichment, repair) has work.
+fn setting() -> (Kb, Table) {
+    let mut b = KbBuilder::new().with_name("mini-yago");
+    let person = b.class("person");
+    let country = b.class("country");
+    let capital = b.class("capital");
+    let nationality = b.property("nationality");
+    let has_capital = b.property("hasCapital");
+    let pairs = [
+        ("Rossi", "Italy", "Rome"),
+        ("Klate", "S. Africa", "Pretoria"),
+        ("Pirlo", "Italy", "Rome"),
+        ("Ramos", "Spain", "Madrid"),
+        ("Benzema", "France", "Paris"),
+    ];
+    for (p, c, cap) in pairs {
+        let rp = b.entity(p, &[person]);
+        let rc = b.entity(c, &[country]);
+        let rcap = b.entity(cap, &[capital]);
+        b.fact(rp, nationality, rc);
+        if c != "S. Africa" {
+            b.fact(rc, has_capital, rcap);
+        }
+    }
+    let kb = b.finalize();
+
+    let mut t = Table::with_opaque_columns("soccer", 3);
+    t.push_text_row(&["Rossi", "Italy", "Rome"]);
+    t.push_text_row(&["Klate", "S. Africa", "Pretoria"]);
+    t.push_text_row(&["Pirlo", "Italy", "Madrid"]); // the error
+    t.push_text_row(&["Ramos", "Spain", "Madrid"]);
+    (kb, t)
+}
+
+fn oracle() -> impl Oracle {
+    |q: &Question| match q {
+        Question::ColumnType {
+            column, candidates, ..
+        } => {
+            let want = ["person", "country", "capital"][*column];
+            match candidates.iter().position(|c| c == want) {
+                Some(i) => Answer::Choice(i),
+                None => Answer::NoneOfTheAbove,
+            }
+        }
+        Question::Relationship {
+            columns,
+            candidates,
+            ..
+        } => {
+            let want = match columns {
+                (0, 1) => "nationality",
+                (1, 2) => "hasCapital",
+                _ => "",
+            };
+            match candidates
+                .iter()
+                .position(|c| c.contains(want) && !want.is_empty())
+            {
+                Some(i) => Answer::Choice(i),
+                None => Answer::NoneOfTheAbove,
+            }
+        }
+        Question::Fact {
+            subject,
+            property,
+            object,
+        } => Answer::Bool(matches!(
+            (subject.as_str(), property.as_str(), object.as_str()),
+            ("S. Africa", "hasCapital", "Pretoria") | ("Klate", "nationality", "S. Africa")
+        )),
+    }
+}
+
+fn run(threads: usize, deadline: Deadline) -> Result<CleaningReport, KataraError> {
+    let (mut kb, table) = setting();
+    let pool = Threads::fixed(threads);
+    let config = KataraConfig {
+        threads: pool,
+        candidates: CandidateConfig {
+            threads: pool,
+            ..CandidateConfig::default()
+        },
+        deadline,
+        ..KataraConfig::default()
+    };
+    let mut crowd = Crowd::new(
+        CrowdConfig {
+            worker_accuracy: 1.0,
+            ..CrowdConfig::default()
+        },
+        oracle(),
+    )
+    .expect("crowd config is valid");
+    Katara::new(config).clean(&table, &mut kb, &mut crowd)
+}
+
+/// The ISSUE's pool sizes: sequential, small, oversubscribed.
+const POOLS: [usize; 3] = [1, 2, 8];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn any_deadline_yields_complete_or_untorn_prefix(
+        checks in 0u64..80,
+        pool_idx in 0usize..POOLS.len(),
+    ) {
+        let threads = POOLS[pool_idx];
+        let baseline = run(threads, Deadline::none()).expect("undeadlined run succeeds");
+        prop_assert!(!baseline.degradation.deadline_expired);
+
+        match run(threads, Deadline::after_checks(checks)) {
+            Err(KataraError::DeadlineExceeded { phase }) => {
+                // Only the pre-discovery boundaries may error.
+                prop_assert!(phase == "resolve" || phase == "discover");
+            }
+            Err(e) => prop_assert!(false, "unexpected error: {e}"),
+            Ok(report) => {
+                let d = &report.degradation;
+                // The report never lies about expiry.
+                prop_assert_eq!(d.deadline_expired, d.deadline_phase.is_some());
+                match d.deadline_phase {
+                    None => {
+                        // Complete run: identical to the baseline.
+                        prop_assert_eq!(
+                            format!("{:?}", report), format!("{:?}", baseline),
+                            "an unexpired deadline changed the output"
+                        );
+                    }
+                    Some("repair") => {
+                        // Everything through annotation finished normally.
+                        prop_assert_eq!(&report.discovery_stats, &baseline.discovery_stats);
+                        prop_assert_eq!(report.variables_validated, baseline.variables_validated);
+                        prop_assert_eq!(
+                            format!("{:?}", report.annotation),
+                            format!("{:?}", baseline.annotation)
+                        );
+                        prop_assert_eq!(
+                            format!("{:?}", report.pattern),
+                            format!("{:?}", baseline.pattern)
+                        );
+                        // Repairs are a contiguous prefix of the
+                        // baseline's — never a reordered or torn subset.
+                        prop_assert!(report.repairs.len() <= baseline.repairs.len());
+                        for (got, want) in report.repairs.iter().zip(&baseline.repairs) {
+                            prop_assert_eq!(format!("{got:?}"), format!("{want:?}"));
+                        }
+                    }
+                    Some("annotate") => {
+                        // Discovery and validation finished normally.
+                        prop_assert_eq!(&report.discovery_stats, &baseline.discovery_stats);
+                        prop_assert_eq!(report.variables_validated, baseline.variables_validated);
+                    }
+                    Some("validate") => {
+                        prop_assert_eq!(&report.discovery_stats, &baseline.discovery_stats);
+                    }
+                    Some(other) => prop_assert!(false, "unknown deadline phase {other:?}"),
+                }
+            }
+        }
+    }
+}

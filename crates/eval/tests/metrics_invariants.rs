@@ -190,6 +190,32 @@ fn crowd_spend_respects_the_budget_and_matches_the_report() {
 }
 
 #[test]
+fn budget_stopped_counter_agrees_with_the_report() {
+    // Repair never spends budget itself, but it runs on an annotation a
+    // dead budget truncated — the early-stop counter must fire exactly
+    // when the report says the budget ran dry, so metrics and report
+    // never tell different stories.
+    let (m, report) = instrumented_clean(ResolveMode::Snapshot, 1, Budget::unlimited());
+    assert!(!report.degradation.budget_exhausted);
+    assert_eq!(m.counter("repair.budget_stopped"), 0);
+
+    // Cap the budget one question below the run's real appetite so it
+    // is guaranteed to die mid-run.
+    let appetite = report.degradation.questions_asked;
+    assert!(appetite >= 2, "setting must ask at least two questions");
+    let (m, report) = instrumented_clean(ResolveMode::Snapshot, 1, Budget::questions(appetite - 1));
+    assert!(
+        report.degradation.budget_exhausted,
+        "an under-provisioned budget must die mid-run"
+    );
+    assert_eq!(
+        m.counter("repair.budget_stopped"),
+        1,
+        "the early-stop counter must fire exactly once per degraded run"
+    );
+}
+
+#[test]
 fn snapshot_and_direct_modes_report_identical_probe_counts() {
     let (snap, _) = instrumented_clean(ResolveMode::Snapshot, 1, Budget::unlimited());
     let (direct, _) = instrumented_clean(ResolveMode::Direct, 1, Budget::unlimited());

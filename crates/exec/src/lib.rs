@@ -23,10 +23,134 @@
 #![warn(missing_docs)]
 #![deny(clippy::unwrap_used)]
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Environment variable overriding [`Threads::auto`]'s worker count.
 pub const THREADS_ENV: &str = "KATARA_THREADS";
+
+/// A shared, cooperative cancellation deadline.
+///
+/// A `Deadline` is checked — never enforced — at the pipeline's
+/// cancellation points (phase boundaries, the validation scheduler loop,
+/// the annotation row loop, repair workers, and the crowd's ask loop).
+/// [`Deadline::none`] (the `Default`) never expires and adds no
+/// per-check cost beyond a branch, so existing call sites are
+/// byte-identical when no deadline is set.
+///
+/// Clones share state through an [`Arc`]: the pipeline hands one deadline
+/// to every stage and the crowd, and the first check that observes expiry
+/// latches it for all holders ([`Deadline::triggered`]). Besides the
+/// wall-clock mode there is a deterministic *check-budget* mode
+/// ([`Deadline::after_checks`]) that expires after a fixed number of
+/// [`Deadline::expired`] calls — tests use it to drive expiry into every
+/// cancellation point reproducibly — and an external trip switch
+/// ([`Deadline::cancel`]) for client disconnects.
+#[derive(Debug, Clone, Default)]
+pub struct Deadline {
+    inner: Option<Arc<DeadlineInner>>,
+}
+
+#[derive(Debug)]
+struct DeadlineInner {
+    at: Option<Instant>,
+    /// Remaining `expired()` calls before tripping (check-budget mode).
+    checks: Option<AtomicI64>,
+    /// Latched once any check observes expiry (or `cancel` is called).
+    tripped: AtomicBool,
+}
+
+impl Deadline {
+    /// The inert deadline: never expires, consumes nothing.
+    pub fn none() -> Self {
+        Deadline { inner: None }
+    }
+
+    /// Expires once the wall clock reaches `at`.
+    pub fn at(at: Instant) -> Self {
+        Deadline {
+            inner: Some(Arc::new(DeadlineInner {
+                at: Some(at),
+                checks: None,
+                tripped: AtomicBool::new(false),
+            })),
+        }
+    }
+
+    /// Expires `timeout` from now.
+    pub fn after(timeout: Duration) -> Self {
+        Deadline::at(Instant::now() + timeout)
+    }
+
+    /// Deterministic mode: the first `n` [`Deadline::expired`] calls
+    /// return `false`, every later one `true`. The budget is shared by
+    /// all clones, whichever thread checks.
+    pub fn after_checks(n: u64) -> Self {
+        Deadline {
+            inner: Some(Arc::new(DeadlineInner {
+                at: None,
+                checks: Some(AtomicI64::new(n.min(i64::MAX as u64) as i64)),
+                tripped: AtomicBool::new(false),
+            })),
+        }
+    }
+
+    /// True when no expiry condition is configured at all.
+    pub fn is_unlimited(&self) -> bool {
+        self.inner.is_none()
+    }
+
+    /// Trip the deadline from outside (e.g. the client disconnected).
+    /// No-op on an inert deadline.
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.tripped.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Cancellation-point check: has the deadline expired? In
+    /// check-budget mode this consumes one check. Once it returns `true`
+    /// it returns `true` forever (expiry latches).
+    pub fn expired(&self) -> bool {
+        let Some(inner) = &self.inner else {
+            return false;
+        };
+        if inner.tripped.load(Ordering::Relaxed) {
+            return true;
+        }
+        if let Some(at) = inner.at {
+            if Instant::now() >= at {
+                inner.tripped.store(true, Ordering::Relaxed);
+                return true;
+            }
+        }
+        if let Some(checks) = &inner.checks {
+            if checks.fetch_sub(1, Ordering::Relaxed) <= 0 {
+                inner.tripped.store(true, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Did any check (on any clone) observe expiry? Unlike
+    /// [`Deadline::expired`] this never consumes a check — it reports
+    /// what cooperative cancellation actually saw, which is what a
+    /// degradation report should state.
+    pub fn triggered(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|i| i.tripped.load(Ordering::Relaxed))
+    }
+
+    /// Wall-clock time left, `None` when no wall deadline is set.
+    /// Saturates at zero.
+    pub fn remaining(&self) -> Option<Duration> {
+        let at = self.inner.as_ref()?.at?;
+        Some(at.saturating_duration_since(Instant::now()))
+    }
+}
 
 /// A validated worker-thread count (always ≥ 1).
 ///
@@ -264,6 +388,67 @@ mod tests {
     fn auto_is_at_least_one() {
         assert!(Threads::auto().get() >= 1);
         assert!(Threads::default().get() >= 1);
+    }
+
+    #[test]
+    fn inert_deadline_never_expires() {
+        let d = Deadline::none();
+        assert!(d.is_unlimited());
+        for _ in 0..1000 {
+            assert!(!d.expired());
+        }
+        assert!(!d.triggered());
+        assert_eq!(d.remaining(), None);
+        // Default is the inert deadline.
+        assert!(Deadline::default().is_unlimited());
+    }
+
+    #[test]
+    fn check_budget_expires_after_n_checks_and_latches() {
+        let d = Deadline::after_checks(3);
+        assert!(!d.is_unlimited());
+        assert!(!d.expired());
+        assert!(!d.expired());
+        assert!(!d.expired());
+        assert!(!d.triggered(), "triggered is not a consuming check");
+        assert!(d.expired());
+        assert!(d.triggered());
+        assert!(d.expired(), "expiry latches");
+        // Zero checks trips on the very first check.
+        let d0 = Deadline::after_checks(0);
+        assert!(d0.expired());
+    }
+
+    #[test]
+    fn clones_share_the_check_budget() {
+        let d = Deadline::after_checks(2);
+        let c = d.clone();
+        assert!(!d.expired());
+        assert!(!c.expired());
+        assert!(d.expired());
+        assert!(c.triggered(), "trip is visible through every clone");
+    }
+
+    #[test]
+    fn wall_deadline_expires_and_reports_remaining() {
+        let d = Deadline::after(Duration::from_secs(3600));
+        assert!(!d.expired());
+        assert!(d.remaining().is_some_and(|r| r > Duration::from_secs(1)));
+        let past = Deadline::at(Instant::now() - Duration::from_millis(1));
+        assert!(past.expired());
+        assert_eq!(past.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn cancel_trips_immediately() {
+        let d = Deadline::after(Duration::from_secs(3600));
+        d.cancel();
+        assert!(d.expired());
+        assert!(d.triggered());
+        // Cancelling the inert deadline stays a no-op.
+        let none = Deadline::none();
+        none.cancel();
+        assert!(!none.expired());
     }
 
     #[test]

@@ -89,6 +89,7 @@ metric_enum! {
         DiscoveryTypeProbes => "discovery.type_probes",
         IngestQuarantined => "ingest.quarantined",
         IngestRepairedEdges => "ingest.repaired_edges",
+        RepairBudgetStopped => "repair.budget_stopped",
         RepairGraphsBuilt => "repair.graphs_built",
         RepairIndexTruncated => "repair.index_truncated",
         RepairTopkTruncations => "repair.topk_truncations",
@@ -105,6 +106,13 @@ metric_enum! {
         ResolveTypesHit => "resolve.types_hit",
         ResolveTypesLookups => "resolve.types_lookups",
         ResolveTypesMiss => "resolve.types_miss",
+        ServeDegraded => "serve.degraded",
+        ServeQuarantined => "serve.quarantined",
+        ServeRequests => "serve.requests",
+        ServeShed => "serve.shed",
+        ServeSnapshotHit => "serve.snapshot_hit",
+        ServeSnapshotMiss => "serve.snapshot_miss",
+        ServeTimeouts => "serve.timeouts",
         ValidationNoQuorumVariables => "validation.no_quorum_variables",
         ValidationQuestions => "validation.questions",
     }
@@ -118,6 +126,7 @@ metric_enum! {
         CrowdBudgetRemaining => "crowd.budget_remaining",
         ResolveDistinctValues => "resolve.distinct_values",
         ResolveNonNullCells => "resolve.non_null_cells",
+        ServeQueueDepth => "serve.queue_depth",
         TableColumns => "table.columns",
         TableRows => "table.rows",
     }

@@ -1,0 +1,135 @@
+//! Typed errors for the serving layer.
+//!
+//! Every way a request can go wrong maps to exactly one variant, and
+//! every variant maps to exactly one HTTP status — the fuzz suite's
+//! contract is that arbitrary input produces one of these, never a
+//! panic.
+
+use std::fmt;
+use std::io;
+
+/// Errors surfaced by the request parser and connection handling.
+///
+/// `#[non_exhaustive]`: hardening may add rejection classes without a
+/// breaking change.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The request is syntactically malformed (bad request line, bad
+    /// header, unsupported framing). Quarantined with `400`.
+    BadRequest(String),
+    /// The request exceeds a hard size cap. Quarantined with `400` —
+    /// oversized input is treated as hostile, not negotiated.
+    RequestTooLarge {
+        /// Which cap was hit (`"request line"`, `"headers"`, `"body"`…).
+        what: &'static str,
+        /// The configured cap, in bytes or entries.
+        limit: usize,
+    },
+    /// The client fed bytes too slowly and hit the read timeout — the
+    /// slowloris cutoff. Answered with `408`.
+    Timeout,
+    /// The peer vanished mid-request (EOF or reset before the request
+    /// was complete). There is usually nobody left to answer.
+    Disconnected,
+    /// Any other I/O failure on the connection.
+    Io(io::Error),
+}
+
+impl ServeError {
+    /// Classify an I/O error from a socket read/write: timeouts become
+    /// [`ServeError::Timeout`], peer-gone conditions become
+    /// [`ServeError::Disconnected`], the rest stay I/O errors.
+    pub fn from_io(e: io::Error) -> Self {
+        match e.kind() {
+            io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => ServeError::Timeout,
+            io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe => ServeError::Disconnected,
+            _ => ServeError::Io(e),
+        }
+    }
+
+    /// The HTTP status this error answers with (the failure half of the
+    /// DESIGN.md §5g status table).
+    pub fn status(&self) -> u16 {
+        match self {
+            ServeError::BadRequest(_) | ServeError::RequestTooLarge { .. } => 400,
+            ServeError::Timeout => 408,
+            ServeError::Disconnected | ServeError::Io(_) => 400,
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServeError::RequestTooLarge { what, limit } => {
+                write!(f, "request too large: {what} exceeds {limit}")
+            }
+            ServeError::Timeout => write!(f, "request read timed out"),
+            ServeError::Disconnected => write!(f, "client disconnected mid-request"),
+            ServeError::Io(e) => write!(f, "connection i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_classification() {
+        assert!(matches!(
+            ServeError::from_io(io::Error::new(io::ErrorKind::TimedOut, "t")),
+            ServeError::Timeout
+        ));
+        assert!(matches!(
+            ServeError::from_io(io::Error::new(io::ErrorKind::WouldBlock, "t")),
+            ServeError::Timeout
+        ));
+        assert!(matches!(
+            ServeError::from_io(io::Error::new(io::ErrorKind::UnexpectedEof, "t")),
+            ServeError::Disconnected
+        ));
+        assert!(matches!(
+            ServeError::from_io(io::Error::other("t")),
+            ServeError::Io(_)
+        ));
+    }
+
+    #[test]
+    fn status_mapping() {
+        assert_eq!(ServeError::BadRequest("x".into()).status(), 400);
+        assert_eq!(
+            ServeError::RequestTooLarge {
+                what: "body",
+                limit: 1
+            }
+            .status(),
+            400
+        );
+        assert_eq!(ServeError::Timeout.status(), 408);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = ServeError::RequestTooLarge {
+            what: "headers",
+            limit: 64,
+        };
+        assert!(e.to_string().contains("headers"));
+        assert!(e.to_string().contains("64"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Seeded client-side fault injection for daemon tests — the serving
+//! counterpart of `katara_crowd::FaultPlan`.
+//!
+//! A [`ServerFaultPlan`] deterministically decides, per request index,
+//! whether a test client should misbehave and how: trickle bytes slowly
+//! (slowloris), truncate the body short of its declared length, or
+//! disconnect mid-request. The decision stream is a pure function of
+//! `(seed, request index)`, so a failing scenario replays exactly from
+//! its seed — no time, no global RNG.
+
+use crate::error::ServeError;
+
+/// How a faulty client misbehaves on one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientFault {
+    /// Feed the request a few bytes at a time with long pauses — the
+    /// server's read timeout must cut it off (`408`).
+    SlowClient,
+    /// Declare a `Content-Length` and send fewer bytes, then close.
+    TruncatedBody,
+    /// Open the connection, send a partial request line, vanish.
+    Disconnect,
+}
+
+/// A seeded plan of client faults. The default injects nothing; see
+/// [`ServerFaultPlan::is_inert`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerFaultPlan {
+    /// Probability a request comes from a slowloris client.
+    pub slow_client_rate: f64,
+    /// Probability a request's body is truncated mid-send.
+    pub truncate_body_rate: f64,
+    /// Probability the client disconnects mid-request-line.
+    pub disconnect_rate: f64,
+    /// Seed for the decision stream.
+    pub seed: u64,
+}
+
+impl Default for ServerFaultPlan {
+    fn default() -> Self {
+        ServerFaultPlan {
+            slow_client_rate: 0.0,
+            truncate_body_rate: 0.0,
+            disconnect_rate: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+impl ServerFaultPlan {
+    /// True when this plan injects no faults at all.
+    pub fn is_inert(&self) -> bool {
+        self.slow_client_rate == 0.0
+            && self.truncate_body_rate == 0.0
+            && self.disconnect_rate == 0.0
+    }
+
+    /// Validate rates: each in `[0, 1]` and their sum at most 1 (the
+    /// faults are mutually exclusive per request).
+    pub fn validate(&self) -> Result<(), ServeError> {
+        let rates = [
+            self.slow_client_rate,
+            self.truncate_body_rate,
+            self.disconnect_rate,
+        ];
+        for r in rates {
+            if !(0.0..=1.0).contains(&r) {
+                return Err(ServeError::BadRequest(format!(
+                    "fault rate {r} outside [0, 1]"
+                )));
+            }
+        }
+        let sum: f64 = rates.iter().sum();
+        if sum > 1.0 {
+            return Err(ServeError::BadRequest(format!(
+                "fault rates sum to {sum} > 1"
+            )));
+        }
+        Ok(())
+    }
+
+    /// The fault (if any) for request `index`. Pure: the same plan and
+    /// index always return the same decision.
+    pub fn fault_for(&self, index: u64) -> Option<ClientFault> {
+        if self.is_inert() {
+            return None;
+        }
+        // splitmix64 over (seed, index): high-quality 64-bit mixing with
+        // no state to carry between calls.
+        let mut z = self
+            .seed
+            .wrapping_add(0x9e3779b97f4a7c15u64.wrapping_mul(index.wrapping_add(1)));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^= z >> 31;
+        let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+        if u < self.slow_client_rate {
+            Some(ClientFault::SlowClient)
+        } else if u < self.slow_client_rate + self.truncate_body_rate {
+            Some(ClientFault::TruncatedBody)
+        } else if u < self.slow_client_rate + self.truncate_body_rate + self.disconnect_rate {
+            Some(ClientFault::Disconnect)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_plan_never_faults() {
+        let plan = ServerFaultPlan::default();
+        assert!(plan.is_inert());
+        assert!((0..1000).all(|i| plan.fault_for(i).is_none()));
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_seed_sensitive() {
+        let plan = ServerFaultPlan {
+            slow_client_rate: 0.2,
+            truncate_body_rate: 0.2,
+            disconnect_rate: 0.2,
+            seed: 7,
+        };
+        let a: Vec<_> = (0..200).map(|i| plan.fault_for(i)).collect();
+        let b: Vec<_> = (0..200).map(|i| plan.fault_for(i)).collect();
+        assert_eq!(a, b, "same seed, same stream");
+        let other = ServerFaultPlan { seed: 8, ..plan };
+        let c: Vec<_> = (0..200).map(|i| other.fault_for(i)).collect();
+        assert_ne!(a, c, "different seed, different stream");
+        // All three faults actually occur at these rates.
+        for want in [
+            ClientFault::SlowClient,
+            ClientFault::TruncatedBody,
+            ClientFault::Disconnect,
+        ] {
+            assert!(
+                a.contains(&Some(want)),
+                "{want:?} never drawn in 200 requests at rate 0.2"
+            );
+        }
+        assert!(a.iter().any(|f| f.is_none()), "healthy requests exist too");
+    }
+
+    #[test]
+    fn validate_rejects_bad_rates() {
+        assert!(ServerFaultPlan {
+            slow_client_rate: 1.5,
+            ..ServerFaultPlan::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ServerFaultPlan {
+            slow_client_rate: 0.6,
+            truncate_body_rate: 0.6,
+            ..ServerFaultPlan::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ServerFaultPlan::default().validate().is_ok());
+    }
+}

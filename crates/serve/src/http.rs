@@ -1,0 +1,423 @@
+//! A hardened, zero-dependency HTTP/1.1 request parser and response
+//! writer.
+//!
+//! The parser is deliberately small and hostile-input-first: every size
+//! is capped ([`ParseLimits`]), unsupported framing is rejected rather
+//! than guessed at, and every failure is a typed [`ServeError`] — the
+//! fuzz suite feeds it arbitrary bytes and truncated/oversized/pipelined
+//! requests and asserts it never panics. It reads from any
+//! [`std::io::Read`], so tests can drive it from in-memory buffers
+//! while the server drives it from sockets with read timeouts (which
+//! surface as [`ServeError::Timeout`] — the slowloris cutoff).
+//!
+//! Scope: exactly what the daemon needs. `GET`/`POST`, `Content-Length`
+//! framing, no chunked transfer encoding, no continuation lines, no
+//! percent-decoding beyond `+`/`%20` in query values.
+
+use std::io::Read;
+use std::time::{Duration, Instant};
+
+use crate::error::ServeError;
+
+/// Hard caps for request parsing. Defaults are generous for CSV-table
+/// payloads and stingy for everything else.
+#[derive(Debug, Clone)]
+pub struct ParseLimits {
+    /// Cap on the request line plus all headers, in bytes.
+    pub max_head_bytes: usize,
+    /// Cap on the number of header lines.
+    pub max_headers: usize,
+    /// Cap on the declared (and read) body size, in bytes.
+    pub max_body_bytes: usize,
+    /// Wall-clock cutoff for reading one complete request; `None`
+    /// disables it (in-memory parsing). On sockets this backstops the
+    /// per-read timeout against clients that trickle one byte per read.
+    pub max_wall: Option<Duration>,
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        ParseLimits {
+            max_head_bytes: 16 * 1024,
+            max_headers: 64,
+            max_body_bytes: 4 * 1024 * 1024,
+            max_wall: None,
+        }
+    }
+}
+
+/// A parsed request. Header names are lowercased; the target is split
+/// into path and query pairs.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, uppercased (`GET`, `POST`, …).
+    pub method: String,
+    /// Path component of the target, without the query string.
+    pub path: String,
+    /// Query parameters in request order, minimally decoded.
+    pub query: Vec<(String, String)>,
+    /// Headers in request order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value for `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First query parameter value for `name`, if present.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Read and parse one request from `r` under `limits`.
+///
+/// Never panics on any input: every failure is a typed [`ServeError`].
+pub fn read_request<R: Read>(r: &mut R, limits: &ParseLimits) -> Result<Request, ServeError> {
+    let cutoff = limits.max_wall.map(|d| Instant::now() + d);
+    let overdue = |cutoff: &Option<Instant>| -> Result<(), ServeError> {
+        match cutoff {
+            Some(c) if Instant::now() >= *c => Err(ServeError::Timeout),
+            _ => Ok(()),
+        }
+    };
+
+    // Accumulate until the blank line ending the head. A chunked read
+    // may run past it; the excess is the start of the body.
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(i) = find_head_end(&buf) {
+            break i;
+        }
+        if buf.len() > limits.max_head_bytes {
+            return Err(ServeError::RequestTooLarge {
+                what: "headers",
+                limit: limits.max_head_bytes,
+            });
+        }
+        overdue(&cutoff)?;
+        let n = r.read(&mut chunk).map_err(ServeError::from_io)?;
+        if n == 0 {
+            return Err(ServeError::Disconnected);
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    // A head can arrive complete in one chunk and still be oversized.
+    if head_end.0 > limits.max_head_bytes {
+        return Err(ServeError::RequestTooLarge {
+            what: "headers",
+            limit: limits.max_head_bytes,
+        });
+    }
+    let (head, rest) = buf.split_at(head_end.0);
+    let head = std::str::from_utf8(head)
+        .map_err(|_| ServeError::BadRequest("head is not valid UTF-8".into()))?;
+    let mut lines = head.split("\r\n").flat_map(|l| l.split('\n'));
+
+    // Request line: METHOD SP target SP HTTP/1.x
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(ServeError::BadRequest(format!(
+                "malformed request line {request_line:?}"
+            )))
+        }
+    };
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(ServeError::BadRequest(format!("bad method {method:?}")));
+    }
+    if !matches!(version, "HTTP/1.0" | "HTTP/1.1") {
+        return Err(ServeError::BadRequest(format!(
+            "unsupported version {version:?}"
+        )));
+    }
+
+    // Headers.
+    let mut headers: Vec<(String, String)> = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(ServeError::RequestTooLarge {
+                what: "header count",
+                limit: limits.max_headers,
+            });
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ServeError::BadRequest(format!("malformed header {line:?}")));
+        };
+        if name.is_empty() || name.contains(' ') || name.contains('\t') {
+            return Err(ServeError::BadRequest(format!("bad header name {name:?}")));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    // Body framing: Content-Length only. Reject chunked outright — a
+    // parser that guesses at framing is how request smuggling happens.
+    if headers.iter().any(|(n, _)| n == "transfer-encoding") {
+        return Err(ServeError::BadRequest(
+            "transfer-encoding is not supported".into(),
+        ));
+    }
+    let mut content_length = 0usize;
+    let mut seen_length: Option<usize> = None;
+    for (n, v) in &headers {
+        if n == "content-length" {
+            let len: usize = v
+                .parse()
+                .map_err(|_| ServeError::BadRequest(format!("bad content-length {v:?}")))?;
+            if let Some(prev) = seen_length {
+                if prev != len {
+                    return Err(ServeError::BadRequest(
+                        "conflicting content-length headers".into(),
+                    ));
+                }
+            }
+            seen_length = Some(len);
+            content_length = len;
+        }
+    }
+    if content_length > limits.max_body_bytes {
+        return Err(ServeError::RequestTooLarge {
+            what: "body",
+            limit: limits.max_body_bytes,
+        });
+    }
+
+    // Body: whatever the head read already pulled in, then the rest.
+    let mut body: Vec<u8> = rest[head_end.1.min(rest.len())..].to_vec();
+    body.truncate(content_length);
+    while body.len() < content_length {
+        overdue(&cutoff)?;
+        let want = (content_length - body.len()).min(chunk.len());
+        let n = r.read(&mut chunk[..want]).map_err(ServeError::from_io)?;
+        if n == 0 {
+            return Err(ServeError::Disconnected);
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+
+    // Target: path '?' query.
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (k.to_string(), decode_component(v)),
+            None => (kv.to_string(), String::new()),
+        })
+        .collect();
+
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        query,
+        headers,
+        body,
+    })
+}
+
+/// Locate the end of the head: returns (offset of the terminator, length
+/// of the terminator). Accepts `\r\n\r\n` and bare `\n\n`.
+fn find_head_end(buf: &[u8]) -> Option<(usize, usize)> {
+    let crlf = buf.windows(4).position(|w| w == b"\r\n\r\n");
+    let lf = buf.windows(2).position(|w| w == b"\n\n");
+    match (crlf, lf) {
+        (Some(c), Some(l)) if l + 1 < c => Some((l, 2)),
+        (Some(c), _) => Some((c, 4)),
+        (None, Some(l)) => Some((l, 2)),
+        (None, None) => None,
+    }
+}
+
+/// Minimal query-component decoding: `+` and `%20` become spaces. The
+/// daemon's parameters are plain tokens; anything fancier stays encoded.
+fn decode_component(s: &str) -> String {
+    s.replace('+', " ").replace("%20", " ")
+}
+
+/// Reason phrase for the statuses the daemon emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        206 => "Partial Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serialize one response: status line, standard headers (length,
+/// connection-close), `extra` header lines, blank line, body.
+pub fn response_bytes(
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    extra: &[(&str, &str)],
+) -> Vec<u8> {
+    let mut out = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        status,
+        reason(status),
+        content_type,
+        body.len()
+    )
+    .into_bytes();
+    for (name, value) in extra {
+        out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(body);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(bytes: &[u8]) -> Result<Request, ServeError> {
+        read_request(&mut Cursor::new(bytes.to_vec()), &ParseLimits::default())
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse(
+            b"POST /clean?crowd=trust&deadline_ms=50 HTTP/1.1\r\n\
+              Host: localhost\r\nContent-Length: 5\r\n\r\nhello",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/clean");
+        assert_eq!(req.query_param("crowd"), Some("trust"));
+        assert_eq!(req.query_param("deadline_ms"), Some("50"));
+        assert_eq!(req.header("host"), Some("localhost"));
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_request_lines() {
+        for bad in [
+            &b"GARBAGE\r\n\r\n"[..],
+            b"GET /x\r\n\r\n",
+            b"get /x HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/2.0\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse(bad), Err(ServeError::BadRequest(_))),
+                "{:?} must be rejected",
+                String::from_utf8_lossy(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_smuggling_prone_framing() {
+        let chunked = b"POST /clean HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+        assert!(matches!(parse(chunked), Err(ServeError::BadRequest(_))));
+        let conflict =
+            b"POST /clean HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 5\r\n\r\nabcde";
+        assert!(matches!(parse(conflict), Err(ServeError::BadRequest(_))));
+    }
+
+    #[test]
+    fn caps_are_enforced() {
+        let limits = ParseLimits {
+            max_head_bytes: 64,
+            max_headers: 2,
+            max_body_bytes: 4,
+            max_wall: None,
+        };
+        let mut big_head = b"GET / HTTP/1.1\r\n".to_vec();
+        big_head.extend_from_slice(format!("X-Pad: {}\r\n\r\n", "a".repeat(200)).as_bytes());
+        assert!(matches!(
+            read_request(&mut Cursor::new(big_head), &limits),
+            Err(ServeError::RequestTooLarge {
+                what: "headers",
+                ..
+            })
+        ));
+
+        let many = b"GET / HTTP/1.1\r\nA: 1\r\nB: 2\r\nC: 3\r\n\r\n".to_vec();
+        assert!(matches!(
+            read_request(&mut Cursor::new(many), &limits),
+            Err(ServeError::RequestTooLarge {
+                what: "header count",
+                ..
+            })
+        ));
+
+        let fat = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\n0123456789".to_vec();
+        assert!(matches!(
+            read_request(&mut Cursor::new(fat), &limits),
+            Err(ServeError::RequestTooLarge { what: "body", .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_requests_read_as_disconnects() {
+        // Head never completes.
+        assert!(matches!(
+            parse(b"POST /clean HTTP/1.1\r\nContent-"),
+            Err(ServeError::Disconnected)
+        ));
+        // Body shorter than its declared length.
+        assert!(matches!(
+            parse(b"POST /clean HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(ServeError::Disconnected)
+        ));
+        // Empty stream.
+        assert!(matches!(parse(b""), Err(ServeError::Disconnected)));
+    }
+
+    #[test]
+    fn pipelined_second_request_is_ignored_not_misparsed() {
+        let two = b"GET /healthz HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\n\r\n";
+        let req = parse(two).unwrap();
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty(), "no content-length means no body");
+    }
+
+    #[test]
+    fn response_bytes_are_well_formed() {
+        let bytes = response_bytes(429, "application/json", b"{}", &[("Retry-After", "1")]);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,867 @@
+//! The daemon: a long-lived HTTP service over the KATARA pipeline.
+//!
+//! One [`Server`] owns one loaded KB and serves:
+//!
+//! * `POST /clean` — body is a CSV table; returns cleaning results as
+//!   JSON. Query parameters: `crowd=trust|skeptic` (policy override),
+//!   `deadline_ms=N` (per-request pipeline deadline),
+//!   `max_questions=N` (crowd budget), `snapshot=cold` (bypass the warm
+//!   snapshot cache, for benchmarking).
+//! * `GET /healthz` — liveness and in-flight count.
+//! * `GET /metrics` — the server-wide [`RunMetrics`] as JSON.
+//!
+//! Status mapping (DESIGN.md §5g): `200` complete, `206` degraded with
+//! the degradation report in the body, `408` deadline expired before any
+//! partial result existed, `429` shed by admission control
+//! (`Retry-After`), `400` quarantined malformed input, `422` KB does not
+//! cover the table, `503` draining after shutdown.
+//!
+//! The pipeline's `TableResolution` snapshots are kept warm across
+//! requests, keyed by `(body hash, KB version)`; the base KB is cloned
+//! per request so enrichment never leaks between tenants. Admission is a
+//! bounded in-flight counter — excess requests shed immediately instead
+//! of queueing behind a dying pipeline. Shutdown (via
+//! [`ServerHandle::shutdown`] or SIGTERM after
+//! [`trap_termination_signals`]) stops admitting, answers `503` while
+//! draining, and returns from [`Server::run`] once the last in-flight
+//! request finishes.
+
+use std::collections::{HashMap, HashSet};
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use katara_core::prelude::*;
+use katara_crowd::{Answer, Budget, Crowd, CrowdConfig, Oracle, Question};
+use katara_kb::{ntriples, sim, Kb};
+use katara_obs::{Counter, Gauge, Recorder, RunRecorder};
+use katara_table::csv;
+
+use crate::error::ServeError;
+use crate::http::{self, ParseLimits, Request};
+
+/// How the daemon's crowd answers fact questions. Choice questions
+/// (pattern validation) always accept discovery's top-ranked candidate —
+/// there is no human at the other end of a daemon.
+#[derive(Debug, Clone)]
+pub enum ServePolicy {
+    /// Missing KB facts are presumed true (trust the table).
+    Trust,
+    /// Missing KB facts are presumed false (trust the KB).
+    Skeptic,
+    /// Answer from a set of known-true `(subject, property, object)`
+    /// statements (normalized); anything else is false.
+    Facts(HashSet<(String, String, String)>),
+}
+
+/// The daemon's oracle for one request.
+struct ServeOracle {
+    policy: ServePolicy,
+}
+
+impl Oracle for ServeOracle {
+    fn answer(&self, q: &Question) -> Answer {
+        match (&self.policy, q) {
+            (_, Question::ColumnType { .. } | Question::Relationship { .. }) => Answer::Choice(0),
+            (ServePolicy::Trust, Question::Fact { .. }) => Answer::Bool(true),
+            (ServePolicy::Skeptic, Question::Fact { .. }) => Answer::Bool(false),
+            (
+                ServePolicy::Facts(facts),
+                Question::Fact {
+                    subject,
+                    property,
+                    object,
+                },
+            ) => {
+                let key = (
+                    sim::normalize(subject),
+                    ntriples::local_name(property).to_string(),
+                    sim::normalize(ntriples::local_name(object)),
+                );
+                Answer::Bool(facts.contains(&key))
+            }
+        }
+    }
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Maximum concurrently executing `/clean` requests; everything
+    /// beyond sheds with `429`.
+    pub max_in_flight: usize,
+    /// Per-read socket timeout — one slow `read` never blocks a handler
+    /// longer than this.
+    pub read_timeout: Duration,
+    /// Wall-clock cutoff for receiving one complete request (the
+    /// slowloris backstop: a client trickling a byte per read stays
+    /// under the read timeout but not under this).
+    pub request_wall: Duration,
+    /// Pipeline deadline applied when the request carries no
+    /// `deadline_ms`; `None` means no deadline.
+    pub default_deadline: Option<Duration>,
+    /// Request parser caps.
+    pub limits: ParseLimits,
+    /// Worker pool for the cleaning hot paths, shared (as a size) by
+    /// all concurrent cleans.
+    pub threads: Threads,
+    /// Possible repairs per erroneous tuple.
+    pub repairs_k: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_in_flight: 4,
+            read_timeout: Duration::from_millis(2_000),
+            request_wall: Duration::from_secs(10),
+            default_deadline: None,
+            limits: ParseLimits::default(),
+            threads: Threads::auto(),
+            repairs_k: 3,
+        }
+    }
+}
+
+/// Cap on warm `TableResolution` snapshots kept alive. When full the
+/// cache is dropped wholesale — crude, but bounded and correct (the next
+/// request rebuilds).
+const SNAPSHOT_CACHE_CAP: usize = 64;
+
+/// Shared server state: everything a connection handler needs.
+struct ServerState {
+    config: ServerConfig,
+    kb: Kb,
+    policy: ServePolicy,
+    recorder: Arc<RunRecorder>,
+    /// `/clean` requests currently executing (admission control).
+    in_flight: AtomicUsize,
+    /// Live connection-handler threads (drain barrier).
+    conns: AtomicUsize,
+    shutdown: AtomicBool,
+    snapshots: Mutex<HashMap<u64, Arc<TableResolution>>>,
+}
+
+impl ServerState {
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || termination_signalled()
+    }
+}
+
+/// A handle for controlling and observing a running [`Server`] from
+/// another thread.
+#[derive(Clone)]
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+}
+
+impl ServerHandle {
+    /// Begin graceful shutdown: stop admitting, drain in-flight work,
+    /// make [`Server::run`] return.
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Currently executing `/clean` requests.
+    pub fn in_flight(&self) -> usize {
+        self.state.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// The server-wide metrics snapshot as JSON (same document as
+    /// `GET /metrics`).
+    pub fn metrics_json(&self) -> String {
+        self.state.recorder.snapshot().to_json()
+    }
+}
+
+/// The daemon. Construct with [`Server::bind`], drive with
+/// [`Server::run`].
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Bind the listener and assemble the shared state. The KB loads
+    /// once here and stays warm for the life of the daemon.
+    pub fn bind(config: ServerConfig, kb: Kb, policy: ServePolicy) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            listener,
+            state: Arc::new(ServerState {
+                config,
+                kb,
+                policy,
+                recorder: Arc::new(RunRecorder::new()),
+                in_flight: AtomicUsize::new(0),
+                conns: AtomicUsize::new(0),
+                shutdown: AtomicBool::new(false),
+                snapshots: Mutex::new(HashMap::new()),
+            }),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A control handle usable from other threads.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Accept loop. Returns cleanly after [`ServerHandle::shutdown`] (or
+    /// a trapped SIGTERM) once every in-flight connection has drained.
+    pub fn run(&self) -> std::io::Result<()> {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    // While draining, connections are still handled (the
+                    // handler answers 503 after reading the request —
+                    // closing with unread bytes would RST the client),
+                    // but they are short-lived and counted, so the drain
+                    // barrier below still converges.
+                    let state = Arc::clone(&self.state);
+                    state.conns.fetch_add(1, Ordering::SeqCst);
+                    std::thread::spawn(move || {
+                        handle_connection(&state, stream);
+                        state.conns.fetch_sub(1, Ordering::SeqCst);
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if self.state.draining() && self.state.conns.load(Ordering::SeqCst) == 0 {
+                        return Ok(());
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Decrements the in-flight counter (and republishes the queue-depth
+/// gauge) even if a handler panics — admission slots must never leak.
+struct InFlightSlot<'a> {
+    state: &'a ServerState,
+}
+
+impl<'a> InFlightSlot<'a> {
+    fn acquire(state: &'a ServerState) -> Result<Self, ()> {
+        let now = state.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+        state.recorder.set_gauge(Gauge::ServeQueueDepth, now as u64);
+        if now > state.config.max_in_flight {
+            drop(InFlightSlot { state });
+            return Err(());
+        }
+        Ok(InFlightSlot { state })
+    }
+}
+
+impl Drop for InFlightSlot<'_> {
+    fn drop(&mut self) {
+        let now = self.state.in_flight.fetch_sub(1, Ordering::SeqCst) - 1;
+        self.state
+            .recorder
+            .set_gauge(Gauge::ServeQueueDepth, now as u64);
+    }
+}
+
+fn write_out(
+    mut stream: &TcpStream,
+    status: u16,
+    body: &[u8],
+    extra: &[(&str, &str)],
+) -> std::io::Result<()> {
+    stream.write_all(&http::response_bytes(
+        status,
+        "application/json",
+        body,
+        extra,
+    ))
+}
+
+/// One connection, one request, one response, close.
+fn handle_connection(state: &ServerState, stream: TcpStream) {
+    let rec = state.recorder.as_ref();
+    rec.incr(Counter::ServeRequests);
+    let _ = stream.set_read_timeout(Some(state.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(state.config.read_timeout));
+    let mut limits = state.config.limits.clone();
+    limits.max_wall = Some(state.config.request_wall);
+    let req = {
+        let mut reader = &stream;
+        match http::read_request(&mut reader, &limits) {
+            Ok(req) => req,
+            Err(e) => {
+                match e {
+                    ServeError::Timeout => rec.incr(Counter::ServeTimeouts),
+                    _ => rec.incr(Counter::ServeQuarantined),
+                }
+                // Disconnected peers usually can't hear the answer, but
+                // writing is harmless — errors are ignored.
+                let body = error_body("request rejected", &e.to_string());
+                let _ = write_out(&stream, e.status(), body.as_bytes(), &[]);
+                return;
+            }
+        }
+    };
+    if state.draining() {
+        // Refuse new work while draining; the old work still finishes,
+        // new work goes elsewhere.
+        let body = error_body("shutting down", "the server is draining");
+        let _ = write_out(&stream, 503, body.as_bytes(), &[]);
+        return;
+    }
+    let (status, body, extra) = route(state, &req);
+    let extra_refs: Vec<(&str, &str)> = extra
+        .iter()
+        .map(|(n, v)| (n.as_str(), v.as_str()))
+        .collect();
+    let _ = write_out(&stream, status, body.as_bytes(), &extra_refs);
+}
+
+/// Dispatch one parsed request. Pure with respect to the socket, so the
+/// unit tests drive it directly.
+fn route(state: &ServerState, req: &Request) -> (u16, String, Vec<(String, String)>) {
+    let rec = state.recorder.as_ref();
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            let status = if state.draining() { "draining" } else { "ok" };
+            let body = format!(
+                "{{\"status\":\"{status}\",\"in_flight\":{}}}",
+                state.in_flight.load(Ordering::SeqCst)
+            );
+            (200, body, Vec::new())
+        }
+        ("GET", "/metrics") => (200, state.recorder.snapshot().to_json(), Vec::new()),
+        ("POST", "/clean") => {
+            let Ok(slot) = InFlightSlot::acquire(state) else {
+                rec.incr(Counter::ServeShed);
+                return (
+                    429,
+                    error_body("shed", "too many requests in flight"),
+                    vec![("Retry-After".to_string(), "1".to_string())],
+                );
+            };
+            let out = handle_clean(state, req);
+            drop(slot);
+            (out.0, out.1, Vec::new())
+        }
+        (_, "/healthz" | "/metrics" | "/clean") => (
+            405,
+            error_body(
+                "method not allowed",
+                &format!("{} {}", req.method, req.path),
+            ),
+            Vec::new(),
+        ),
+        _ => (404, error_body("not found", &req.path.clone()), Vec::new()),
+    }
+}
+
+/// The `/clean` endpoint: CSV body in, cleaning report out.
+fn handle_clean(state: &ServerState, req: &Request) -> (u16, String) {
+    let rec = state.recorder.as_ref();
+
+    // Quarantine gate: the body must be UTF-8 CSV with at least one
+    // usable record after lenient ingestion.
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        rec.incr(Counter::ServeQuarantined);
+        return (400, error_body("quarantined", "body is not UTF-8"));
+    };
+    let (table, table_report) =
+        match csv::parse_with_policy("request", text, &katara_table::IngestPolicy::lenient()) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                rec.incr(Counter::ServeQuarantined);
+                return (400, error_body("quarantined", &e.to_string()));
+            }
+        };
+    if table.num_rows() == 0 || table.num_columns() == 0 {
+        rec.incr(Counter::ServeQuarantined);
+        return (
+            400,
+            error_body("quarantined", "no usable CSV records in body"),
+        );
+    }
+
+    // Per-request knobs.
+    let policy = match req.query_param("crowd") {
+        None => state.policy.clone(),
+        Some("trust") => ServePolicy::Trust,
+        Some("skeptic") => ServePolicy::Skeptic,
+        Some(other) => {
+            rec.incr(Counter::ServeQuarantined);
+            return (
+                400,
+                error_body("quarantined", &format!("unknown crowd policy {other:?}")),
+            );
+        }
+    };
+    let deadline = match req.query_param("deadline_ms") {
+        Some(ms) => match ms.parse::<u64>() {
+            Ok(ms) => Deadline::after(Duration::from_millis(ms)),
+            Err(_) => {
+                rec.incr(Counter::ServeQuarantined);
+                return (
+                    400,
+                    error_body("quarantined", "deadline_ms must be an integer"),
+                );
+            }
+        },
+        None => match state.config.default_deadline {
+            Some(d) => Deadline::after(d),
+            None => Deadline::none(),
+        },
+    };
+    let budget = match req.query_param("max_questions") {
+        Some(n) => match n.parse::<usize>() {
+            Ok(n) => Budget::questions(n),
+            Err(_) => {
+                rec.incr(Counter::ServeQuarantined);
+                return (
+                    400,
+                    error_body("quarantined", "max_questions must be an integer"),
+                );
+            }
+        },
+        None => Budget::unlimited(),
+    };
+
+    // Warm snapshot cache, keyed by (body hash, KB version). `cold`
+    // bypasses it (the bench measures exactly this difference).
+    let candidates_cfg = CandidateConfig {
+        threads: state.config.threads,
+        ..CandidateConfig::default()
+    };
+    let key = fnv1a(req.body.as_slice()) ^ state.kb.version();
+    let resolution: Arc<TableResolution> = if req.query_param("snapshot") == Some("cold") {
+        rec.incr(Counter::ServeSnapshotMiss);
+        Arc::new(TableResolution::build(
+            &table,
+            &state.kb,
+            candidates_cfg.max_rows,
+        ))
+    } else {
+        let cached = {
+            let cache = state.snapshots.lock().unwrap_or_else(|e| e.into_inner());
+            cache.get(&key).cloned()
+        };
+        match cached {
+            Some(res) => {
+                rec.incr(Counter::ServeSnapshotHit);
+                res
+            }
+            None => {
+                rec.incr(Counter::ServeSnapshotMiss);
+                let res = Arc::new(TableResolution::build(
+                    &table,
+                    &state.kb,
+                    candidates_cfg.max_rows,
+                ));
+                let mut cache = state.snapshots.lock().unwrap_or_else(|e| e.into_inner());
+                if cache.len() >= SNAPSHOT_CACHE_CAP {
+                    cache.clear();
+                }
+                cache.insert(key, Arc::clone(&res));
+                res
+            }
+        }
+    };
+
+    // Per-request KB clone: enrichment must never leak across requests
+    // (and the warm snapshots stay valid against the pristine base).
+    let mut kb = state.kb.clone();
+    let mut crowd = match Crowd::new(
+        CrowdConfig {
+            replication: 1,
+            worker_accuracy: 1.0,
+            budget,
+            ..CrowdConfig::default()
+        },
+        ServeOracle { policy },
+    ) {
+        Ok(c) => c,
+        Err(e) => return (500, error_body("internal", &format!("crowd setup: {e}"))),
+    };
+    let config = KataraConfig {
+        repairs_k: state.config.repairs_k,
+        threads: state.config.threads,
+        candidates: candidates_cfg,
+        validation: ValidationConfig {
+            questions_per_variable: 1,
+            ..ValidationConfig::default()
+        },
+        recorder: state.recorder.clone() as Arc<dyn Recorder>,
+        deadline,
+        ..KataraConfig::default()
+    };
+    match Katara::new(config).clean_with_resolution(&table, &mut kb, &mut crowd, Some(&resolution))
+    {
+        Ok(mut report) => {
+            let ingest = IngestSummary {
+                kb: None,
+                table: Some(table_report),
+            };
+            ingest.apply_to(&mut report.degradation);
+            let degraded = report.degradation.is_degraded();
+            if degraded {
+                rec.incr(Counter::ServeDegraded);
+            }
+            if report.degradation.deadline_expired {
+                rec.incr(Counter::ServeTimeouts);
+            }
+            let status = if degraded { 206 } else { 200 };
+            (status, report_body(&report, &kb, &table))
+        }
+        Err(KataraError::DeadlineExceeded { phase }) => {
+            rec.incr(Counter::ServeTimeouts);
+            (
+                408,
+                format!(
+                    "{{\"error\":\"deadline\",\"detail\":\"expired before the {} phase\"}}",
+                    json_escape(phase)
+                ),
+            )
+        }
+        Err(KataraError::NoPatternFound { .. }) => (
+            422,
+            error_body("no pattern", "the KB does not cover this table"),
+        ),
+        Err(e) => (500, error_body("internal", &e.to_string())),
+    }
+}
+
+/// The success/degraded response body.
+fn report_body(report: &CleaningReport, kb: &Kb, table: &katara_table::Table) -> String {
+    use katara_core::annotation::TupleStatus;
+    let a = &report.annotation;
+    let d = &report.degradation;
+    let mut out = String::from("{");
+    out.push_str(&format!(
+        "\"status\":\"{}\",",
+        if d.is_degraded() { "degraded" } else { "ok" }
+    ));
+    out.push_str(&format!(
+        "\"pattern\":\"{}\",",
+        json_escape(&report.pattern.describe(kb, table.columns()))
+    ));
+    out.push_str(&format!(
+        "\"tuples\":{{\"validated_by_kb\":{},\"validated_with_crowd\":{},\"erroneous\":{},\"unresolved\":{}}},",
+        a.status_count(TupleStatus::ValidatedByKb),
+        a.status_count(TupleStatus::ValidatedWithCrowd),
+        a.status_count(TupleStatus::Erroneous),
+        a.status_count(TupleStatus::Unresolved),
+    ));
+    out.push_str("\"repairs\":[");
+    let mut first = true;
+    for (row, repairs) in &report.repairs {
+        let Some(best) = repairs.first() else {
+            continue;
+        };
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let changes: Vec<String> = best
+            .changes
+            .iter()
+            .map(|(col, val)| format!("[{},\"{}\"]", col, json_escape(val)))
+            .collect();
+        out.push_str(&format!(
+            "{{\"row\":{},\"cost\":{},\"changes\":[{}]}}",
+            row,
+            best.cost,
+            changes.join(",")
+        ));
+    }
+    out.push_str("],");
+    out.push_str(&format!(
+        "\"degradation\":{{\"deadline_expired\":{},\"deadline_phase\":{},\"deadline_denied\":{},\
+         \"budget_exhausted\":{},\"unresolved_tuples\":{},\"questions_asked\":{},\
+         \"ingest_quarantined\":{}}}",
+        d.deadline_expired,
+        match d.deadline_phase {
+            Some(p) => format!("\"{}\"", json_escape(p)),
+            None => "null".to_string(),
+        },
+        d.deadline_denied,
+        d.budget_exhausted,
+        d.unresolved_tuples,
+        d.questions_asked,
+        d.ingest_quarantined,
+    ));
+    out.push('}');
+    out
+}
+
+fn error_body(kind: &str, detail: &str) -> String {
+    format!(
+        "{{\"error\":\"{}\",\"detail\":\"{}\"}}",
+        json_escape(kind),
+        json_escape(detail)
+    )
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// FNV-1a over the raw request body — the warm-cache key half that
+/// identifies the table bytes.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+// ---- Termination signals ----------------------------------------------
+
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+static NOTE: AtomicU64 = AtomicU64::new(0);
+
+#[cfg(unix)]
+mod sig {
+    use super::{Ordering, NOTE, SIGNALLED};
+
+    /// `sighandler_t` without libc: a plain C function pointer.
+    type SigHandler = extern "C" fn(i32);
+
+    extern "C" {
+        fn signal(signum: i32, handler: SigHandler) -> isize;
+    }
+
+    extern "C" fn note_signal(signum: i32) {
+        // Async-signal-safe: two atomic stores, nothing else.
+        NOTE.store(signum as u64, Ordering::SeqCst);
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+
+    pub(super) fn install() {
+        // SIGTERM=15 (systemd stop), SIGINT=2 (^C): both mean drain.
+        unsafe {
+            signal(15, note_signal);
+            signal(2, note_signal);
+        }
+    }
+}
+
+/// Install SIGTERM/SIGINT handlers that flip a process-global flag every
+/// running [`Server`] polls: the signal starts a graceful drain instead
+/// of killing in-flight requests. No-op on non-Unix platforms.
+pub fn trap_termination_signals() {
+    #[cfg(unix)]
+    sig::install();
+}
+
+/// True once a trapped termination signal has arrived.
+pub fn termination_signalled() -> bool {
+    SIGNALLED.load(Ordering::SeqCst)
+}
+
+/// The signal number that triggered the drain (0 if none yet).
+pub fn termination_signal() -> u64 {
+    NOTE.load(Ordering::SeqCst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn soccer_kb() -> Kb {
+        let mut b = katara_kb::KbBuilder::new().with_name("mini-yago");
+        let person = b.class("person");
+        let country = b.class("country");
+        let capital = b.class("capital");
+        let nationality = b.property("nationality");
+        let has_capital = b.property("hasCapital");
+        for (p, c, cap) in [
+            ("Rossi", "Italy", "Rome"),
+            ("Klate", "S. Africa", "Pretoria"),
+            ("Pirlo", "Italy", "Rome"),
+            ("Ramos", "Spain", "Madrid"),
+        ] {
+            let rp = b.entity(p, &[person]);
+            let rc = b.entity(c, &[country]);
+            let rcap = b.entity(cap, &[capital]);
+            b.fact(rp, nationality, rc);
+            b.fact(rc, has_capital, rcap);
+        }
+        b.finalize()
+    }
+
+    const SOCCER_CSV: &str = "name,country,capital\n\
+                              Rossi,Italy,Rome\n\
+                              Pirlo,Italy,Madrid\n\
+                              Ramos,Spain,Madrid\n";
+
+    fn state() -> Arc<ServerState> {
+        Arc::new(ServerState {
+            config: ServerConfig {
+                threads: Threads::fixed(1),
+                ..ServerConfig::default()
+            },
+            kb: soccer_kb(),
+            policy: ServePolicy::Trust,
+            recorder: Arc::new(RunRecorder::new()),
+            in_flight: AtomicUsize::new(0),
+            conns: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            snapshots: Mutex::new(HashMap::new()),
+        })
+    }
+
+    fn post_clean(body: &str, query: &[(&str, &str)]) -> Request {
+        Request {
+            method: "POST".to_string(),
+            path: "/clean".to_string(),
+            query: query
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    #[test]
+    fn clean_round_trip_maps_statuses() {
+        let st = state();
+        // Healthy trust-mode clean: 200, everything validated.
+        let (status, body, _) = route(&st, &post_clean(SOCCER_CSV, &[]));
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"status\":\"ok\""));
+
+        // Skeptic mode flags the Pirlo row and proposes the KB's repair.
+        let (status, body, _) = route(&st, &post_clean(SOCCER_CSV, &[("crowd", "skeptic")]));
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"row\":1"), "{body}");
+        assert!(body.contains("Rome"), "{body}");
+
+        // Zero deadline: expired before resolve — 408.
+        let (status, body, _) = route(&st, &post_clean(SOCCER_CSV, &[("deadline_ms", "0")]));
+        assert_eq!(status, 408, "{body}");
+        assert!(body.contains("deadline"));
+
+        // Starved budget: completes degraded — 206 with the report.
+        let (status, body, _) = route(
+            &st,
+            &post_clean(SOCCER_CSV, &[("crowd", "skeptic"), ("max_questions", "0")]),
+        );
+        assert_eq!(status, 206, "{body}");
+        assert!(body.contains("\"status\":\"degraded\""));
+        assert!(body.contains("\"budget_exhausted\":true"), "{body}");
+
+        // Garbage body: quarantined — 400.
+        let (status, body, _) = route(&st, &post_clean("", &[]));
+        assert_eq!(status, 400, "{body}");
+
+        // A table the KB cannot cover: 422.
+        let (status, body, _) = route(&st, &post_clean("a,b\nxq1,zv9\n", &[]));
+        assert_eq!(status, 422, "{body}");
+    }
+
+    #[test]
+    fn warm_snapshot_cache_hits_on_repeat_bodies() {
+        let st = state();
+        let req = post_clean(SOCCER_CSV, &[]);
+        route(&st, &req);
+        route(&st, &req);
+        route(&st, &req);
+        let hits = st.recorder.counter_total(Counter::ServeSnapshotHit);
+        let misses = st.recorder.counter_total(Counter::ServeSnapshotMiss);
+        assert_eq!(misses, 1, "first request builds the snapshot");
+        assert_eq!(hits, 2, "repeat bodies reuse it");
+        // `snapshot=cold` bypasses the cache.
+        route(&st, &post_clean(SOCCER_CSV, &[("snapshot", "cold")]));
+        assert_eq!(st.recorder.counter_total(Counter::ServeSnapshotMiss), 2);
+    }
+
+    #[test]
+    fn admission_control_sheds_beyond_the_cap() {
+        let st = state();
+        // Fill every slot by hand, then route: the request sheds.
+        st.in_flight
+            .store(st.config.max_in_flight, Ordering::SeqCst);
+        let (status, body, extra) = route(&st, &post_clean(SOCCER_CSV, &[]));
+        assert_eq!(status, 429, "{body}");
+        assert!(extra.iter().any(|(n, v)| n == "Retry-After" && v == "1"));
+        assert_eq!(st.recorder.counter_total(Counter::ServeShed), 1);
+        // The shed request released its slot.
+        assert_eq!(st.in_flight.load(Ordering::SeqCst), st.config.max_in_flight);
+        st.in_flight.store(0, Ordering::SeqCst);
+        let (status, _, _) = route(&st, &post_clean(SOCCER_CSV, &[]));
+        assert_eq!(status, 200);
+        assert_eq!(st.in_flight.load(Ordering::SeqCst), 0, "slot released");
+    }
+
+    #[test]
+    fn unknown_routes_and_methods() {
+        let st = state();
+        let mut req = post_clean("", &[]);
+        req.path = "/nope".into();
+        assert_eq!(route(&st, &req).0, 404);
+        let mut req = post_clean("", &[]);
+        req.method = "GET".into();
+        assert_eq!(route(&st, &req).0, 405);
+        let req = Request {
+            method: "GET".into(),
+            path: "/healthz".into(),
+            query: vec![],
+            headers: vec![],
+            body: vec![],
+        };
+        let (status, body, _) = route(&st, &req);
+        assert_eq!(status, 200);
+        assert!(body.contains("\"status\":\"ok\""));
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_the_run_metrics_schema() {
+        let st = state();
+        route(&st, &post_clean(SOCCER_CSV, &[]));
+        let req = Request {
+            method: "GET".into(),
+            path: "/metrics".into(),
+            query: vec![],
+            headers: vec![],
+            body: vec![],
+        };
+        let (status, body, _) = route(&st, &req);
+        assert_eq!(status, 200);
+        assert!(body.contains("\"schema\": \"katara-run-metrics/v1\""));
+        assert!(body.contains("\"serve.queue_depth\": 0"), "gauge drained");
+    }
+
+    #[test]
+    fn json_escape_handles_controls_and_quotes() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

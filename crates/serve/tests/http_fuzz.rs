@@ -1,0 +1,242 @@
+//! Fuzz-style properties of the hardened request parser.
+//!
+//! The contract under test: [`katara_serve::http::read_request`] fed
+//! **any** byte stream — arbitrary garbage, truncated requests,
+//! oversized heads and bodies, pipelined request pairs, streams that
+//! arrive one byte at a time, streams that die with I/O errors — returns
+//! `Ok` or a typed [`ServeError`], and **never panics**. On `Ok`, the
+//! parsed request respects every configured cap.
+//!
+//! The case count is elevated in CI via `KATARA_FUZZ_CASES` (the same
+//! knob as the CSV and N-Triples fuzz suites).
+
+use std::io::Read;
+
+use katara_serve::http::{read_request, ParseLimits};
+use katara_serve::ServeError;
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+/// Per-test case count: `KATARA_FUZZ_CASES` (CI runs an elevated count)
+/// or the given local default.
+fn fuzz_cases(default: u32) -> u32 {
+    std::env::var("KATARA_FUZZ_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A reader that hands out its buffer in random-sized nibbles, so the
+/// parser's incremental accumulation paths get exercised.
+struct Trickle {
+    data: Vec<u8>,
+    pos: usize,
+    rng: StdRng,
+    max_step: usize,
+}
+
+impl Read for Trickle {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.data.len() {
+            return Ok(0);
+        }
+        let step = self.rng.random_range(1..=self.max_step);
+        let n = step.min(buf.len()).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// A reader that yields a prefix, then fails with the given error kind —
+/// the socket dying mid-request.
+struct Dying {
+    data: Vec<u8>,
+    pos: usize,
+    kind: std::io::ErrorKind,
+}
+
+impl Read for Dying {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.data.len() {
+            return Err(std::io::Error::new(self.kind, "injected"));
+        }
+        let n = buf.len().min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// Parse `bytes` under `limits` (whole-buffer reader) and check the
+/// caps hold on success. The absence of a panic is the main property.
+fn check(bytes: &[u8], limits: &ParseLimits) {
+    let mut cursor = std::io::Cursor::new(bytes.to_vec());
+    match read_request(&mut cursor, limits) {
+        Ok(req) => {
+            assert!(req.body.len() <= limits.max_body_bytes, "body cap violated");
+            assert!(
+                req.headers.len() <= limits.max_headers,
+                "header cap violated"
+            );
+            assert!(!req.method.is_empty() && !req.path.is_empty());
+        }
+        Err(
+            ServeError::BadRequest(_)
+            | ServeError::RequestTooLarge { .. }
+            | ServeError::Timeout
+            | ServeError::Disconnected
+            | ServeError::Io(_),
+        ) => {}
+        Err(other) => panic!("unexpected error variant: {other:?}"),
+    }
+}
+
+/// A plausible well-formed request to mutate from.
+fn well_formed(rng: &mut StdRng) -> Vec<u8> {
+    let body_len = rng.random_range(0usize..64);
+    let body: String = (0..body_len)
+        .map(|_| (b'a' + rng.random_range(0u8..26)) as char)
+        .collect();
+    format!(
+        "POST /clean?crowd=trust&deadline_ms={} HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{}",
+        rng.random_range(0u64..5000),
+        body.len(),
+        body
+    )
+    .into_bytes()
+}
+
+#[test]
+fn arbitrary_bytes_never_panic() {
+    let cases = fuzz_cases(256);
+    let mut rng = StdRng::seed_from_u64(0x5e7e);
+    let limits = ParseLimits::default();
+    for _ in 0..cases {
+        let len = rng.random_range(0usize..2048);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.random_range(0u8..=255)).collect();
+        check(&bytes, &limits);
+    }
+}
+
+#[test]
+fn mutated_real_requests_never_panic() {
+    let cases = fuzz_cases(256);
+    let mut rng = StdRng::seed_from_u64(0xca5e);
+    let limits = ParseLimits::default();
+    for _ in 0..cases {
+        let mut bytes = well_formed(&mut rng);
+        // A handful of random mutations: truncation, byte flips,
+        // insertions of CR/LF/NUL at arbitrary points.
+        for _ in 0..rng.random_range(1usize..6) {
+            if bytes.is_empty() {
+                break;
+            }
+            match rng.random_range(0u8..4) {
+                0 => bytes.truncate(rng.random_range(0..bytes.len().max(1))),
+                1 => {
+                    let i = rng.random_range(0..bytes.len());
+                    bytes[i] = rng.random_range(0u8..=255);
+                }
+                2 => {
+                    let i = rng.random_range(0..=bytes.len());
+                    let c = *[b'\r', b'\n', 0u8, b' ', b':']
+                        .get(rng.random_range(0usize..5))
+                        .unwrap();
+                    bytes.insert(i, c);
+                }
+                _ => {
+                    // Pipelined: a second request glued on.
+                    let mut second = well_formed(&mut rng);
+                    bytes.append(&mut second);
+                }
+            }
+        }
+        check(&bytes, &limits);
+    }
+}
+
+#[test]
+fn oversized_requests_are_rejected_not_read() {
+    let cases = fuzz_cases(128);
+    let mut rng = StdRng::seed_from_u64(0xb16);
+    let limits = ParseLimits {
+        max_head_bytes: 256,
+        max_headers: 4,
+        max_body_bytes: 128,
+        max_wall: None,
+    };
+    for _ in 0..cases {
+        // Oversized head.
+        let pad = "x".repeat(rng.random_range(200usize..4000));
+        let huge_head = format!("GET /{pad} HTTP/1.1\r\nHost: x\r\n\r\n");
+        check(huge_head.as_bytes(), &limits);
+        // Oversized declared body: must reject on the declaration, so a
+        // reader with no body bytes at all must still terminate.
+        let declared = rng.random_range(129usize..1_000_000);
+        let head = format!("POST /clean HTTP/1.1\r\nContent-Length: {declared}\r\n\r\n");
+        let mut cursor = std::io::Cursor::new(head.clone().into_bytes());
+        assert!(
+            matches!(
+                read_request(&mut cursor, &limits),
+                Err(ServeError::RequestTooLarge { what: "body", .. })
+            ),
+            "declared {declared} must be rejected before reading"
+        );
+        // Too many headers.
+        let many: String = (0..rng.random_range(5usize..40))
+            .map(|i| format!("H{i}: v\r\n"))
+            .collect();
+        check(format!("GET / HTTP/1.1\r\n{many}\r\n").as_bytes(), &limits);
+    }
+}
+
+#[test]
+fn trickled_and_dying_streams_never_panic() {
+    let cases = fuzz_cases(128);
+    let mut rng = StdRng::seed_from_u64(0xd1e);
+    let limits = ParseLimits::default();
+    let kinds = [
+        std::io::ErrorKind::TimedOut,
+        std::io::ErrorKind::WouldBlock,
+        std::io::ErrorKind::UnexpectedEof,
+        std::io::ErrorKind::ConnectionReset,
+        std::io::ErrorKind::BrokenPipe,
+        std::io::ErrorKind::Other,
+    ];
+    for i in 0..cases {
+        let data = well_formed(&mut rng);
+        // Byte-at-a-time arrival parses identically to one-shot arrival.
+        let mut trickle = Trickle {
+            data: data.clone(),
+            pos: 0,
+            rng: StdRng::seed_from_u64(u64::from(i)),
+            max_step: rng.random_range(1usize..8),
+        };
+        let slow = read_request(&mut trickle, &limits).expect("well-formed request");
+        let mut cursor = std::io::Cursor::new(data.clone());
+        let fast = read_request(&mut cursor, &limits).expect("well-formed request");
+        assert_eq!(slow.method, fast.method);
+        assert_eq!(slow.path, fast.path);
+        assert_eq!(slow.body, fast.body);
+
+        // The stream dies after a random prefix: typed error, no panic.
+        let cut = rng.random_range(0..=data.len());
+        let kind = kinds[rng.random_range(0usize..kinds.len())];
+        let mut dying = Dying {
+            data: data[..cut].to_vec(),
+            pos: 0,
+            kind,
+        };
+        match read_request(&mut dying, &limits) {
+            Ok(_) => {} // the cut can land after a complete request
+            Err(
+                ServeError::Timeout
+                | ServeError::Disconnected
+                | ServeError::Io(_)
+                | ServeError::BadRequest(_)
+                | ServeError::RequestTooLarge { .. },
+            ) => {}
+            Err(other) => panic!("unexpected error variant: {other:?}"),
+        }
+    }
+}

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Validate the schema of a BENCH_*.json report (crates/bench/src/perf.rs).
-# Two shapes exist: thread-scaling reports (samples keyed by "threads")
-# and the resolve report (samples keyed by "config": cold vs snapshot,
-# plus a "distinct_ratio"). The file's "bench" field picks the shape.
+# Three shapes exist: thread-scaling reports (samples keyed by
+# "threads"), the resolve report (samples keyed by "config": cold vs
+# snapshot, plus a "distinct_ratio"), and the serve report (samples
+# keyed by "config" and "concurrency", with req/s and latency
+# percentiles). The file's "bench" field picks the shape.
 # Usage: check_bench_schema.sh FILE...
 set -euo pipefail
 
@@ -57,6 +59,20 @@ for file in "$@"; do
         ok=0
       fi
     done
+  elif grep -Eq '"bench": "serve"' "$file"; then
+    # Serve report: daemon throughput/latency, cold vs warm snapshot
+    # cache, at two or more concurrency levels.
+    for config in cold warm; do
+      if ! grep -Eq '\{ "config": "'"$config"'", "concurrency": [0-9]+, "requests": [0-9]+, "req_per_s": [0-9]+\.[0-9]+, "p50_ms": [0-9]+\.[0-9]+, "p99_ms": [0-9]+\.[0-9]+ \}' "$file"; then
+        echo "$file: no well-formed \"$config\" sample (config/concurrency/requests/req_per_s/p50_ms/p99_ms)" >&2
+        ok=0
+      fi
+    done
+    levels=$(grep -Eo '"concurrency": [0-9]+' "$file" | sort -u | wc -l)
+    if [ "$levels" -lt 2 ]; then
+      echo "$file: serve report must cover at least 2 concurrency levels (found $levels)" >&2
+      ok=0
+    fi
   else
     # Thread-scaling report: at least one sample with all four numeric
     # fields on one line.
