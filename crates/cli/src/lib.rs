@@ -11,6 +11,8 @@
 //! katara serve    --kb kb.nt [--addr HOST:PORT] [--crowd MODE]
 //!                 [--max-in-flight N] [--threads N] [--k N]
 //!                 [--default-deadline-ms N] [--strict|--lenient]
+//!                 [--journal-dir DIR]
+//! katara recover  --journal-dir DIR [--verify] [--out KB.nt]
 //! ```
 //!
 //! The KB is N-Triples (see `katara_kb::ntriples`); tables are CSV with a
@@ -59,6 +61,16 @@
 //! KB loads once and stays warm, tables arrive as CSV request bodies on
 //! `POST /clean`, and SIGTERM drains in-flight requests before exit.
 //! See DESIGN.md §5g for the endpoint and status-code contract.
+//!
+//! `serve --journal-dir DIR` makes the daemon *durable*: crowd-confirmed
+//! enrichment is appended to a write-ahead journal and fsynced before
+//! each response acknowledges it, and a restarted daemon replays the
+//! journal back to the exact pre-crash store. `katara recover
+//! --journal-dir DIR` inspects such a directory offline (it never
+//! writes, so it is safe against a live daemon); `--verify` additionally
+//! round-trips the recovered store through the serializer and fails if
+//! recovery is not byte-stable; `--out KB.nt` exports the recovered KB.
+//! See DESIGN.md §5h for the journal format and the crash matrix.
 //!
 //! The library part exists so the command logic is unit-testable; the
 //! binary is a thin `main`.
@@ -116,6 +128,8 @@ pub enum CliError {
     Csv(csv::CsvError),
     /// Pipeline problem.
     Katara(KataraError),
+    /// Journal recovery/verification problem.
+    Journal(katara_kb::JournalError),
 }
 
 impl std::fmt::Display for CliError {
@@ -126,6 +140,7 @@ impl std::fmt::Display for CliError {
             CliError::Kb(e) => write!(f, "kb error: {e}"),
             CliError::Csv(e) => write!(f, "csv error: {e}"),
             CliError::Katara(e) => write!(f, "{e}"),
+            CliError::Journal(e) => write!(f, "journal error: {e}"),
         }
     }
 }
@@ -138,6 +153,7 @@ impl std::error::Error for CliError {
             CliError::Kb(e) => Some(e),
             CliError::Csv(e) => Some(e),
             CliError::Katara(e) => Some(e),
+            CliError::Journal(e) => Some(e),
         }
     }
 }
@@ -165,6 +181,11 @@ impl From<csv::CsvError> for CliError {
 impl From<KataraError> for CliError {
     fn from(e: KataraError) -> Self {
         CliError::Katara(e)
+    }
+}
+impl From<katara_kb::JournalError> for CliError {
+    fn from(e: katara_kb::JournalError) -> Self {
+        CliError::Journal(e)
     }
 }
 
@@ -374,6 +395,20 @@ pub enum Command {
         default_deadline_ms: Option<u64>,
         /// Repairs per erroneous tuple.
         k: usize,
+        /// Write-ahead journal directory (`--journal-dir`); `Some`
+        /// makes the daemon durable: enrichment persists across
+        /// restarts and crashes.
+        journal_dir: Option<String>,
+    },
+    /// Offline journal recovery/inspection (`katara recover`).
+    Recover {
+        /// The journal directory to recover from.
+        journal_dir: String,
+        /// Also round-trip the recovered store through the serializer
+        /// and fail unless recovery is byte-stable (`--verify`).
+        verify: bool,
+        /// Where to write the recovered KB as N-Triples.
+        out: Option<String>,
     },
 }
 
@@ -386,7 +421,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
              [--out OUT.csv] [--enriched-kb OUT.nt] [--max-questions N] \
              [--strict|--lenient] [--threads N] [--direct-resolve] \
              [--metrics OUT.json] [--trace] \
-             [--addr HOST:PORT] [--max-in-flight N] [--default-deadline-ms N]"
+             [--addr HOST:PORT] [--max-in-flight N] [--default-deadline-ms N] \
+             [--journal-dir DIR] [--verify]"
                 .to_string(),
         )
     };
@@ -407,6 +443,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut addr = "127.0.0.1:8743".to_string();
     let mut max_in_flight = 4usize;
     let mut default_deadline_ms = None;
+    let mut journal_dir = None;
+    let mut verify = false;
     while let Some(flag) = it.next() {
         let mut value = || {
             it.next()
@@ -457,6 +495,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         CliError::Usage("--default-deadline-ms needs a number".into())
                     })?)
             }
+            "--journal-dir" => journal_dir = Some(value()?),
+            "--verify" => verify = true,
             other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
         }
     }
@@ -501,6 +541,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         .into(),
                 ));
             }
+            if verify {
+                return Err(CliError::Usage("--verify only applies to `recover`".into()));
+            }
             Ok(Command::Serve {
                 kb: need(kb, "kb")?,
                 addr,
@@ -510,8 +553,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 ingest,
                 default_deadline_ms,
                 k,
+                journal_dir,
             })
         }
+        "recover" => Ok(Command::Recover {
+            journal_dir: journal_dir
+                .ok_or_else(|| CliError::Usage("recover needs --journal-dir DIR".into()))?,
+            verify,
+            out,
+        }),
         _ => Err(usage()),
     }
 }
@@ -838,6 +888,42 @@ pub fn run(cmd: Command) -> Result<RunStatus, CliError> {
                 Ok(RunStatus::Clean)
             }
         }
+        Command::Recover {
+            journal_dir,
+            verify,
+            out,
+        } => {
+            let dir = std::path::Path::new(&journal_dir);
+            let (kb, report) = if verify {
+                katara_kb::journal::verify_dir(dir)?
+            } else {
+                katara_kb::journal::recover_dir(dir)?
+            };
+            println!(
+                "recovered KB `{}`: {} entities, {} facts (version {})",
+                kb.name(),
+                kb.num_entities(),
+                kb.num_facts(),
+                kb.version(),
+            );
+            println!(
+                "journal: checkpoint seq {}, {} record(s) replayed ({} op(s)), \
+                 {} stale record(s) skipped, {} torn byte(s) ignored",
+                report.checkpoint_seq,
+                report.replayed_records,
+                report.replayed_ops,
+                report.skipped_stale,
+                report.truncated_bytes,
+            );
+            if verify {
+                println!("verify: recovered store round-trips byte-identically");
+            }
+            if let Some(path) = out {
+                std::fs::write(&path, ntriples::to_string(&kb))?;
+                println!("recovered KB written to {path}");
+            }
+            Ok(RunStatus::Clean)
+        }
         Command::Serve {
             kb,
             addr,
@@ -847,6 +933,7 @@ pub fn run(cmd: Command) -> Result<RunStatus, CliError> {
             ingest,
             default_deadline_ms,
             k,
+            journal_dir,
         } => {
             let (kb, kb_report) = load_kb(&kb, ingest)?;
             print_kb_ingest(&kb_report);
@@ -870,7 +957,18 @@ pub fn run(cmd: Command) -> Result<RunStatus, CliError> {
                 repairs_k: k,
                 ..ServerConfig::default()
             };
-            let server = Server::bind(config, kb, policy)?;
+            let server = match journal_dir {
+                Some(dir) => {
+                    let (server, replay) =
+                        Server::bind_durable(config, kb, policy, std::path::Path::new(&dir))?;
+                    println!(
+                        "journal `{dir}`: {} record(s) replayed, {} torn byte(s) ignored",
+                        replay.replayed_records, replay.truncated_bytes,
+                    );
+                    server
+                }
+                None => Server::bind(config, kb, policy)?,
+            };
             katara_serve::trap_termination_signals();
             println!("katara-serve listening on {}", server.local_addr()?);
             {
@@ -1084,6 +1182,65 @@ mod tests {
         assert!(matches!(parse_args(&args), Err(CliError::Usage(_))));
         // The KB is still mandatory.
         let args: Vec<String> = ["serve"].iter().map(|s| s.to_string()).collect();
+        assert!(matches!(parse_args(&args), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn parse_args_serve_journal_dir() {
+        let args: Vec<String> = ["serve", "--kb", "k.nt", "--journal-dir", "wal/"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        match parse_args(&args).unwrap() {
+            Command::Serve { journal_dir, .. } => {
+                assert_eq!(journal_dir.as_deref(), Some("wal/"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Non-durable by default.
+        let args: Vec<String> = ["serve", "--kb", "k.nt"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        match parse_args(&args).unwrap() {
+            Command::Serve { journal_dir, .. } => assert_eq!(journal_dir, None),
+            other => panic!("{other:?}"),
+        }
+        // `--verify` belongs to `recover` alone.
+        let args: Vec<String> = ["serve", "--kb", "k.nt", "--verify"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(matches!(parse_args(&args), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn parse_args_recover() {
+        let args: Vec<String> = [
+            "recover",
+            "--journal-dir",
+            "wal/",
+            "--verify",
+            "--out",
+            "recovered.nt",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        match parse_args(&args).unwrap() {
+            Command::Recover {
+                journal_dir,
+                verify,
+                out,
+            } => {
+                assert_eq!(journal_dir, "wal/");
+                assert!(verify);
+                assert_eq!(out.as_deref(), Some("recovered.nt"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // The journal dir is mandatory.
+        let args: Vec<String> = ["recover"].iter().map(|s| s.to_string()).collect();
         assert!(matches!(parse_args(&args), Err(CliError::Usage(_))));
     }
 

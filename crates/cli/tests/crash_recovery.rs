@@ -1,0 +1,299 @@
+//! Real-process crash-fault injection: SIGKILL the durable daemon at
+//! seeded kill points mid-burst, restart, and hold the recovery
+//! contract:
+//!
+//! * every enrichment the daemon **acked** (a 200 with the journal
+//!   writable) survives the crash;
+//! * enrichments never requested are cleanly absent — the journal
+//!   prescribes exactly the acked state, nothing torn, nothing extra;
+//! * `katara recover --verify` passes on the crashed directory, and its
+//!   output equals the library's own `recover_dir` replay;
+//! * the restarted daemon reports zero journal lag and a full re-clean
+//!   of the fixture is byte-identical to the pre-crash report.
+//!
+//! The in-flight requests killed mid-burst deliberately repeat an
+//! already-acked body: idempotent re-cleans cannot change KB state, so
+//! the pre/post byte-identity check stays exact whether or not the
+//! kill landed before the journal write.
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_katara");
+
+const KB_NT: &str = r#"
+<y:capital> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <y:city> .
+<y:Rossi> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <y:person> .
+<y:Klate> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <y:person> .
+<y:Pirlo> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <y:person> .
+<y:Italy> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <y:country> .
+<y:SouthAfrica> <http://www.w3.org/2000/01/rdf-schema#label> "S. Africa" .
+<y:SouthAfrica> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <y:country> .
+<y:Spain> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <y:country> .
+<y:Rome> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <y:capital> .
+<y:Pretoria> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <y:capital> .
+<y:Madrid> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <y:capital> .
+<y:Rossi> <y:nationality> <y:Italy> .
+<y:Klate> <y:nationality> <y:SouthAfrica> .
+<y:Pirlo> <y:nationality> <y:Italy> .
+<y:Italy> <y:hasCapital> <y:Rome> .
+<y:Spain> <y:hasCapital> <y:Madrid> .
+"#;
+
+/// The fixture re-cleaned for the byte-identity check.
+const REF_CSV: &str = "name,country,capital\n\
+                       Rossi,Italy,Rome\n\
+                       Klate,S. Africa,Pretoria\n\
+                       Pirlo,Italy,Madrid\n";
+
+/// Novel player names, pairwise dissimilar (and dissimilar to every
+/// fixture entity) so entity resolution cannot fuzzy-match request i's
+/// name onto the entity request i-1 enriched — each burst request must
+/// genuinely create a fresh entity.
+const NOVEL: [&str; 4] = ["Quixote", "Bamako", "Zanzibar", "Ferrara"];
+
+/// A burst body whose novel row enriches the KB with a fresh entity.
+fn novel_csv(i: u64) -> String {
+    format!(
+        "name,country,capital\n\
+         Rossi,Italy,Rome\n\
+         Klate,S. Africa,Pretoria\n\
+         {},Italy,Rome\n",
+        NOVEL[i as usize % NOVEL.len()]
+    )
+}
+
+/// SplitMix64 — the seeded schedule for kill points and delays.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    /// Boot `katara serve --journal-dir` on an ephemeral port and parse
+    /// the bound address from its stdout.
+    fn boot(kb: &Path, journal_dir: &Path) -> Daemon {
+        let mut child = Command::new(BIN)
+            .args([
+                "serve",
+                "--kb",
+                kb.to_str().unwrap(),
+                "--addr",
+                "127.0.0.1:0",
+                "--crowd",
+                "trust",
+                "--journal-dir",
+                journal_dir.to_str().unwrap(),
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn daemon");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let addr = loop {
+            let line = lines
+                .next()
+                .expect("daemon exited before listening")
+                .expect("read stdout");
+            if let Some(addr) = line.strip_prefix("katara-serve listening on ") {
+                break addr.to_string();
+            }
+        };
+        Daemon { child, addr }
+    }
+
+    /// SIGKILL — no drain, no flush; the crash under test.
+    fn kill(mut self) {
+        self.child.kill().expect("kill daemon");
+        let status = self.child.wait().expect("reap daemon");
+        use std::os::unix::process::ExitStatusExt;
+        assert_eq!(status.signal(), Some(9), "daemon must die by SIGKILL");
+    }
+}
+
+/// Send raw bytes, read the whole response, return (status, body).
+fn send_raw(addr: &str, bytes: &[u8]) -> (u16, String) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut stream = loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => break s,
+            Err(e) => {
+                assert!(Instant::now() < deadline, "connect {addr}: {e}");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    };
+    stream.write_all(bytes).expect("write request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn post_clean(body: &str) -> Vec<u8> {
+    format!(
+        "POST /clean HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "katara-crash-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// One seeded crash round: burst, kill mid-burst, recover, restart.
+fn crash_round(seed: u64) {
+    let dir = scratch(&format!("s{seed}"));
+    let kb_path = dir.join("kb.nt");
+    let journal_dir = dir.join("wal");
+    std::fs::write(&kb_path, KB_NT).unwrap();
+    let mut rng = seed;
+
+    let daemon = Daemon::boot(&kb_path, &journal_dir);
+
+    // Acked burst: each request enriches a distinct novel entity, and a
+    // 200 means the journal write happened before the ack.
+    let acked = 2 + (mix(&mut rng) % 3); // 2..=4 seeded kill point
+    for i in 0..acked {
+        let (status, body) = send_raw(&daemon.addr, &post_clean(&novel_csv(i)));
+        assert_eq!(status, 200, "acked burst request {i}: {body}");
+    }
+
+    // Pre-crash reference report of the fixture. The first clean still
+    // enriches (trust confirms the erroneous Italy->Madrid claim); the
+    // second is the enrichment fixpoint — the report a re-clean of the
+    // same state must reproduce exactly.
+    let (status, first) = send_raw(&daemon.addr, &post_clean(REF_CSV));
+    assert_eq!(status, 200, "{first}");
+    let (status, pre) = send_raw(&daemon.addr, &post_clean(REF_CSV));
+    assert_eq!(status, 200, "{pre}");
+
+    // Mid-burst crash: in-flight idempotent re-cleans, never read back
+    // (unacked from the client's view), SIGKILL after a seeded delay.
+    let last = novel_csv(acked - 1);
+    let mut in_flight = Vec::new();
+    for _ in 0..3 {
+        let mut stream = TcpStream::connect(&daemon.addr).expect("connect");
+        stream.write_all(&post_clean(&last)).expect("write");
+        in_flight.push(stream); // keep open so the handler is live
+    }
+    std::thread::sleep(Duration::from_millis(mix(&mut rng) % 40));
+    daemon.kill();
+    drop(in_flight);
+
+    // Offline recovery passes --verify and prescribes exactly the acked
+    // enrichments.
+    let recovered_nt = dir.join("recovered.nt");
+    let out = Command::new(BIN)
+        .args([
+            "recover",
+            "--journal-dir",
+            journal_dir.to_str().unwrap(),
+            "--verify",
+            "--out",
+            recovered_nt.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run recover");
+    assert!(
+        out.status.success(),
+        "recover --verify failed: {}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let nt = std::fs::read_to_string(&recovered_nt).unwrap();
+    for i in 0..acked {
+        let needle = NOVEL[i as usize];
+        assert!(nt.contains(needle), "acked enrichment {needle} lost:\n{nt}");
+    }
+    for unsent in &NOVEL[acked as usize..] {
+        assert!(
+            !nt.contains(unsent),
+            "recovery must not invent never-requested enrichment {unsent}"
+        );
+    }
+    // The CLI's recovery equals the library's replay, byte for byte.
+    let (lib_kb, _) = katara_kb::journal::recover_dir(&journal_dir).expect("recover_dir");
+    assert_eq!(katara_kb::ntriples::to_string(&lib_kb), nt);
+
+    // Restart on the crashed directory: boot replay leaves zero lag and
+    // a re-clean of the fixture is byte-identical to the pre-crash one.
+    let daemon = Daemon::boot(&kb_path, &journal_dir);
+    let (status, health) = send_raw(&daemon.addr, b"GET /healthz HTTP/1.1\r\n\r\n");
+    assert_eq!(status, 200);
+    assert!(health.contains("\"lag\":0"), "post-replay lag: {health}");
+    let (status, post) = send_raw(&daemon.addr, &post_clean(REF_CSV));
+    assert_eq!(status, 200, "{post}");
+    assert_eq!(
+        pre, post,
+        "re-clean after crash recovery must be byte-identical"
+    );
+    daemon.kill();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn seeded_sigkill_mid_burst_never_loses_acked_enrichment() {
+    for seed in [7, 23, 41] {
+        crash_round(seed);
+    }
+}
+
+/// Crash between two lives repeatedly: every restart must replay to
+/// exactly the state the previous life acked, monotonically growing.
+#[test]
+fn repeated_crashes_accumulate_acked_state() {
+    let dir = scratch("repeat");
+    let kb_path = dir.join("kb.nt");
+    let journal_dir = dir.join("wal");
+    std::fs::write(&kb_path, KB_NT).unwrap();
+
+    let mut acked_names: Vec<&str> = Vec::new();
+    for life in 0..3u64 {
+        let daemon = Daemon::boot(&kb_path, &journal_dir);
+        let (status, body) = send_raw(&daemon.addr, &post_clean(&novel_csv(life)));
+        assert_eq!(status, 200, "life {life}: {body}");
+        acked_names.push(NOVEL[life as usize]);
+        daemon.kill();
+
+        let (kb, report) = katara_kb::journal::recover_dir(&journal_dir).expect("recover_dir");
+        let nt = katara_kb::ntriples::to_string(&kb);
+        for name in &acked_names {
+            assert!(nt.contains(name), "life {life}: {name} lost after crash");
+        }
+        // Each life starts from a fresh boot checkpoint, so only the
+        // current life's records sit in the journal.
+        assert!(report.replayed_records >= 1, "life {life}: {report:?}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -18,7 +18,7 @@ use std::collections::HashMap;
 
 use katara_crowd::{Answer, Crowd, Oracle, Question};
 use katara_exec::Deadline;
-use katara_kb::{Kb, ResourceId};
+use katara_kb::{EnrichmentDelta, Kb, ResourceId};
 use katara_table::Table;
 
 use crate::pattern::{TablePattern, TupleMatch};
@@ -118,6 +118,10 @@ pub struct AnnotationResult {
     pub pattern: TablePattern,
     /// Elements removed by feedback, as human-readable descriptions.
     pub feedback_stripped: Vec<String>,
+    /// Every KB write enrichment performed, recorded by name — the
+    /// durable-serving path journals this and applies it to the shared
+    /// store; batch callers may ignore it.
+    pub delta: EnrichmentDelta,
 }
 
 impl AnnotationResult {
@@ -202,6 +206,22 @@ pub fn annotate<O: Oracle>(
 /// change and transparently falls back to live queries from that point
 /// on, so results are identical to the direct path.
 pub fn annotate_resolved<O: Oracle>(
+    table: &Table,
+    pattern: &TablePattern,
+    kb: &mut Kb,
+    crowd: &mut Crowd<O>,
+    config: &AnnotationConfig,
+    resolution: Option<&TableResolution>,
+) -> AnnotationResult {
+    // Capture spans both annotation passes: the returned delta is the
+    // complete, replayable record of what this run wrote to `kb`.
+    kb.begin_delta_capture();
+    let mut result = annotate_resolved_inner(table, pattern, kb, crowd, config, resolution);
+    result.delta = kb.take_delta();
+    result
+}
+
+fn annotate_resolved_inner<O: Oracle>(
     table: &Table,
     pattern: &TablePattern,
     kb: &mut Kb,
@@ -315,6 +335,7 @@ fn annotate_once<O: Oracle>(
         enriched_entities: 0,
         pattern: pattern.clone(),
         feedback_stripped: Vec::new(),
+        delta: EnrichmentDelta::default(),
     };
     for row_idx in 0..table.num_rows() {
         if config.deadline.expired() {

@@ -99,6 +99,7 @@ pub mod prelude {
         validate_patterns, SchedulingStrategy, ValidationConfig, ValidationOutcome,
     };
     pub use katara_exec::{Deadline, Threads};
+    pub use katara_kb::{DeltaOp, EnrichmentDelta};
     pub use katara_obs::{NoopRecorder, Recorder, RunMetrics, RunRecorder, Span};
 }
 

@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use katara_crowd::{Crowd, CrowdStats, Oracle};
 use katara_exec::{Deadline, Threads};
-use katara_kb::Kb;
+use katara_kb::{EnrichmentDelta, Kb};
 use katara_obs::{Counter, Gauge, NoopRecorder, Recorder, Span};
 use katara_table::Table;
 
@@ -105,6 +105,16 @@ pub struct CleaningReport {
     pub degradation: DegradationReport,
 }
 
+impl CleaningReport {
+    /// The KB mutations this run performed through enrichment (§6.1),
+    /// captured as a replayable [`EnrichmentDelta`]. Durable callers
+    /// journal this before acknowledging the run; applying it to a copy
+    /// of the pre-run KB reproduces the post-run store byte for byte.
+    pub fn enrichment(&self) -> &EnrichmentDelta {
+        &self.annotation.delta
+    }
+}
+
 /// Degradation accounting for one cleaning run: what the retry, fault,
 /// and budget machinery did. All counters cover only this run, even when
 /// the crowd was used before.
@@ -157,6 +167,12 @@ pub struct DegradationReport {
     pub deadline_phase: Option<&'static str>,
     /// Crowd asks denied because the deadline had expired.
     pub deadline_denied: usize,
+    /// Enrichment ops the caller could not persist durably (journal
+    /// append failed after retries). The cleaning *report* is still
+    /// complete — only the KB side-effects were dropped — but a restart
+    /// would forget them, so this counts as degradation. Always zero for
+    /// non-durable (journal-less) runs.
+    pub enrichment_dropped: usize,
 }
 
 impl DegradationReport {
@@ -175,6 +191,7 @@ impl DegradationReport {
             || self.ingest_quarantined > 0
             || self.ingest_repaired_edges > 0
             || self.deadline_expired
+            || self.enrichment_dropped > 0
     }
 }
 
@@ -453,6 +470,9 @@ impl Katara {
             deadline_expired: deadline_phase.is_some(),
             deadline_phase,
             deadline_denied: run_stats.deadline_denied,
+            // Durability is the caller's concern: `clean` applies
+            // enrichment in-memory only, so nothing can be dropped here.
+            enrichment_dropped: 0,
         };
 
         Ok(CleaningReport {

@@ -333,6 +333,7 @@ impl KbBuilder {
             sim_threshold: self.sim_threshold,
             fact_count,
             version: 0,
+            capture: None,
         }
     }
 }

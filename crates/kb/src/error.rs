@@ -43,6 +43,15 @@ pub enum KbError {
         /// Parent node index of the rejected edge.
         parent: u32,
     },
+    /// A name was used that this KB never interned — surfaced by journal
+    /// replay ([`crate::store::Kb::apply_delta`]) when a recorded op
+    /// references schema the target store does not have.
+    UnknownName {
+        /// Which namespace the lookup missed in.
+        kind: &'static str,
+        /// The unresolvable name.
+        name: String,
+    },
     /// Two declarations conflict (e.g. redefining an entity's name).
     Conflict(String),
 }
@@ -65,6 +74,9 @@ impl fmt::Display for KbError {
                     f,
                     "cycle in {kind} hierarchy: edge {child} -> {parent} closes a cycle"
                 )
+            }
+            KbError::UnknownName { kind, name } => {
+                write!(f, "unknown {kind} name {name:?}")
             }
             KbError::Conflict(msg) => write!(f, "conflicting declaration: {msg}"),
         }
@@ -104,6 +116,12 @@ mod tests {
         assert!(e.to_string().contains("self-loop"));
         let e = KbError::Conflict("x".into());
         assert!(e.to_string().contains('x'));
+        let e = KbError::UnknownName {
+            kind: "property",
+            name: "nationality".into(),
+        };
+        assert!(e.to_string().contains("property"));
+        assert!(e.to_string().contains("nationality"));
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub mod error;
 pub mod ids;
 pub mod ingest;
 pub mod interner;
+pub mod journal;
 pub mod label_index;
 pub mod ntriples;
 pub mod ontology;
@@ -66,6 +67,10 @@ pub use ingest::{
     Quarantined,
 };
 pub use interner::Interner;
+pub use journal::{
+    DeltaOp, EnrichmentDelta, FaultCounters, FaultWriter, Journal, JournalConfig, JournalError,
+    JournalFile, JournalStats, ReplayReport, WriteFaultPlan,
+};
 pub use label_index::{LabelIndex, LabelMatch};
 pub use ontology::Hierarchy;
 pub use query::Object;

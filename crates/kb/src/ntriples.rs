@@ -499,7 +499,20 @@ pub fn parse_with_policy(
         };
         subjects.insert(s_key);
         match (pi.as_str(), o) {
-            (RDF_TYPE, Term::Iri(oi)) if oi == RDFS_CLASS || oi == RDF_PROPERTY => {}
+            // Declarations introduce the class/property id right here,
+            // not at first use: [`to_string`] writes declarations first
+            // (in id order), so a reload assigns identical ids and
+            // serialization round-trips byte-stably.
+            (RDF_TYPE, Term::Iri(oi)) if oi == RDFS_CLASS => {
+                if let Term::Iri(si) = s {
+                    b.class(si);
+                }
+            }
+            (RDF_TYPE, Term::Iri(oi)) if oi == RDF_PROPERTY => {
+                if let Term::Iri(si) = s {
+                    b.property(si);
+                }
+            }
             (RDF_TYPE, Term::Iri(oi)) => {
                 if classes.contains(s_key) || properties.contains(s_key) {
                     continue; // schema resources are not entities
@@ -530,7 +543,15 @@ pub fn parse_with_policy(
                     }
                 }
             }
-            (RDFS_LABEL, Term::Literal(_)) => {} // handled in pass 3
+            (RDFS_LABEL, Term::Literal(_)) => {
+                // The label text itself was collected in pass 3, but a
+                // labelled non-schema subject is an entity even when it
+                // has no type and no facts (enrichment can create
+                // exactly that, and checkpoints must round-trip it).
+                if !classes.contains(s_key) && !properties.contains(s_key) {
+                    entity_of(&mut b, s_key);
+                }
+            }
             (_, Term::Iri(oi)) => {
                 if classes.contains(s_key) || properties.contains(s_key) {
                     continue;
@@ -581,6 +602,17 @@ fn b_label<'a>(labels: &HashMap<&'a str, &'a str>, iri: &'a str) -> String {
 
 /// Serialize a KB to N-Triples. Class/property/entity names are written
 /// as IRIs when they already look like IRIs, and under `kb:` otherwise.
+///
+/// The layout is **declaration-first**: every class, property, and
+/// entity is introduced by its own line (type declaration or label), in
+/// id order, before any line that merely references it. Since the
+/// parser assigns ids in first-mention order, this makes serialization
+/// a fixpoint — `parse(to_string(kb))` preserves every id, and
+/// `to_string(parse(text))` returns `text` for text this function
+/// produced. The journal's checkpoint/recovery cycle
+/// ([`crate::journal`]) leans on that: reloading a checkpoint must not
+/// permute resource ids, or replay and re-cleaning after a crash would
+/// see a differently-ordered store.
 pub fn to_string(kb: &Kb) -> String {
     let iri = |name: &str| -> String {
         // Already IRI-like (has a scheme/prefix and no whitespace): keep
@@ -609,32 +641,48 @@ pub fn to_string(kb: &Kb) -> String {
     };
 
     let mut out = String::new();
-    // Schema.
+    // Schema: declarations first (id order), hierarchy edges after, so
+    // a parent is never first mentioned inside a child's edge line.
+    for c in kb.class_ids() {
+        let _ = writeln!(
+            out,
+            "{} <{RDF_TYPE}> <{RDFS_CLASS}> .",
+            iri(kb.class_name(c))
+        );
+    }
     for c in kb.class_ids() {
         let name = kb.class_name(c);
-        let _ = writeln!(out, "{} <{RDF_TYPE}> <{RDFS_CLASS}> .", iri(name));
         for &p in kb.class_hierarchy().direct_parents(c.0) {
             let parent = kb.class_name(crate::ids::ClassId(p));
             let _ = writeln!(out, "{} <{RDFS_SUBCLASS}> {} .", iri(name), iri(parent));
         }
     }
     for p in kb.property_ids() {
+        let _ = writeln!(
+            out,
+            "{} <{RDF_TYPE}> <{RDF_PROPERTY}> .",
+            iri(kb.property_name(p))
+        );
+    }
+    for p in kb.property_ids() {
         let name = kb.property_name(p);
-        let _ = writeln!(out, "{} <{RDF_TYPE}> <{RDF_PROPERTY}> .", iri(name));
         for &q in kb.property_hierarchy().direct_parents(p.0) {
             let parent = kb.property_name(crate::ids::PropertyId(q));
             let _ = writeln!(out, "{} <{RDFS_SUBPROP}> {} .", iri(name), iri(parent));
         }
     }
-    // Entities.
+    // Entities: every label line (introducing the resource, id order)
+    // before any type or fact line that references one.
     for r in kb.resource_ids() {
-        let name = kb.resource_name(r);
         let _ = writeln!(
             out,
             "{} <{RDFS_LABEL}> {} .",
-            iri(name),
+            iri(kb.resource_name(r)),
             lit(kb.label_of(r))
         );
+    }
+    for r in kb.resource_ids() {
+        let name = kb.resource_name(r);
         for &t in kb.direct_types(r) {
             let _ = writeln!(
                 out,

@@ -9,8 +9,10 @@
 use std::collections::HashMap;
 
 use crate::coherence::CoherenceTable;
+use crate::error::KbError;
 use crate::ids::{ClassId, LiteralId, PropertyId, ResourceId};
 use crate::interner::Interner;
+use crate::journal::{DeltaOp, EnrichmentDelta};
 use crate::label_index::LabelIndex;
 use crate::ontology::Hierarchy;
 use crate::query::Object;
@@ -63,6 +65,10 @@ pub struct Kb {
     /// `katara-core`'s `resolve` module) record the version they were
     /// built against and fall back to live queries when it has moved.
     pub(crate) version: u64,
+    /// When `Some`, every state-changing enrichment write is also
+    /// recorded here as a [`DeltaOp`] (see
+    /// [`Kb::begin_delta_capture`]). `None` outside a capture window.
+    pub(crate) capture: Option<Vec<DeltaOp>>,
 }
 
 impl Kb {
@@ -259,6 +265,128 @@ impl Kb {
     // statistics stay frozen, mirroring the paper's offline computation.
     // ---------------------------------------------------------------
 
+    /// Start recording enrichment writes. Until [`Kb::take_delta`],
+    /// every state-changing [`Kb::add_fact`] / [`Kb::add_literal_fact`]
+    /// / [`Kb::add_entity`] / [`Kb::add_type`] also appends a
+    /// [`DeltaOp`] (by name, so it replays onto any store with the same
+    /// schema). Idempotent no-op writes are not recorded — a captured
+    /// delta replays to exactly the same state *and version*.
+    pub fn begin_delta_capture(&mut self) {
+        self.capture = Some(Vec::new());
+    }
+
+    /// Stop recording and return everything captured since
+    /// [`Kb::begin_delta_capture`] (empty if capture was never started).
+    pub fn take_delta(&mut self) -> EnrichmentDelta {
+        EnrichmentDelta {
+            ops: self.capture.take().unwrap_or_default(),
+        }
+    }
+
+    fn record(&mut self, op: impl FnOnce(&Kb) -> DeltaOp) {
+        if self.capture.is_some() {
+            let op = op(self);
+            if let Some(ops) = self.capture.as_mut() {
+                ops.push(op);
+            }
+        }
+    }
+
+    /// Replay a captured delta onto this store, resolving every op by
+    /// name. Returns the number of ops that actually changed state
+    /// (all of them, when replaying onto the exact capture base).
+    /// Errors with [`KbError::UnknownName`] when an op references a
+    /// class or property this store does not know — replay never
+    /// invents schema.
+    pub fn apply_delta(&mut self, delta: &EnrichmentDelta) -> Result<usize, KbError> {
+        let mut changed = 0usize;
+        for op in &delta.ops {
+            match op {
+                DeltaOp::Entity { name, label } => {
+                    let before = self.version;
+                    self.add_entity(name, label, &[]);
+                    if self.version != before {
+                        changed += 1;
+                    }
+                }
+                DeltaOp::Type { resource, class } => {
+                    let r = self.require_resource(resource)?;
+                    let c = self
+                        .class_by_name(class)
+                        .ok_or_else(|| KbError::UnknownName {
+                            kind: "class",
+                            name: class.clone(),
+                        })?;
+                    if self.add_type(r, c) {
+                        changed += 1;
+                    }
+                }
+                DeltaOp::Fact {
+                    subject,
+                    property,
+                    object,
+                } => {
+                    let s = self.require_resource(subject)?;
+                    let p = self.require_property(property)?;
+                    let o = self.require_resource(object)?;
+                    if self.add_fact(s, p, o) {
+                        changed += 1;
+                    }
+                }
+                DeltaOp::LiteralFact {
+                    subject,
+                    property,
+                    literal,
+                } => {
+                    let s = self.require_resource(subject)?;
+                    let p = self.require_property(property)?;
+                    if self.add_literal_fact(s, p, literal) {
+                        changed += 1;
+                    }
+                }
+            }
+        }
+        Ok(changed)
+    }
+
+    fn require_resource(&self, name: &str) -> Result<ResourceId, KbError> {
+        if let Some(r) = self.resource_by_name(name) {
+            return Ok(r);
+        }
+        // Canonical-name fallback: checkpoint reload renames plain
+        // entities to their serialized IRI form (`Rome` → `kb:Rome`,
+        // spaces percent-encoded). A delta captured against a
+        // pre-compaction clone may still carry the plain name; the two
+        // spellings denote the same entity, so resolve through the
+        // canonical one before giving up. Never fires when the plain
+        // name exists (checked first), so no ambiguity is introduced.
+        if !name.contains(':') {
+            let canonical = format!("kb:{}", name.replace(' ', "%20"));
+            if let Some(r) = self.resource_by_name(&canonical) {
+                return Ok(r);
+            }
+        }
+        Err(KbError::UnknownName {
+            kind: "resource",
+            name: name.to_string(),
+        })
+    }
+
+    fn require_property(&self, name: &str) -> Result<PropertyId, KbError> {
+        self.property_by_name(name)
+            .ok_or_else(|| KbError::UnknownName {
+                kind: "property",
+                name: name.to_string(),
+            })
+    }
+
+    /// Ratchet the version forward to at least `v` (never backward).
+    /// Recovery uses this to restore the checkpoint's version before
+    /// replaying journal records on top.
+    pub fn advance_version_to(&mut self, v: u64) {
+        self.version = self.version.max(v);
+    }
+
     /// Insert a new fact `p(s, o)`. Idempotent. Updates the fact indexes
     /// and subENT/objENT (with subproperty fold-up) but not the coherence
     /// table.
@@ -269,6 +397,11 @@ impl Kb {
         }
         props.push(p);
         self.version += 1;
+        self.record(|kb| DeltaOp::Fact {
+            subject: kb.resource_name(s).to_string(),
+            property: kb.property_name(p).to_string(),
+            object: kb.resource_name(o).to_string(),
+        });
         self.out_edges[s.index()].push((p, Object::Resource(o)));
         self.in_edges[o.index()].push((p, s));
         self.fact_count += 1;
@@ -296,6 +429,11 @@ impl Kb {
         }
         props.push(p);
         self.version += 1;
+        self.record(|kb| DeltaOp::LiteralFact {
+            subject: kb.resource_name(s).to_string(),
+            property: kb.property_name(p).to_string(),
+            literal: lit.to_string(),
+        });
         self.out_edges[s.index()].push((p, Object::Literal(lid)));
         self.fact_count += 1;
         let mut ps = vec![p.0];
@@ -319,6 +457,10 @@ impl Kb {
         let r = ResourceId::from_index(self.resources.intern(name));
         debug_assert_eq!(r.index(), self.labels.len());
         self.version += 1;
+        self.record(|_| DeltaOp::Entity {
+            name: name.to_string(),
+            label: label.to_string(),
+        });
         self.labels.push(label.to_string());
         self.label_index.insert(label, r);
         self.direct_types.push(Vec::new());
@@ -332,12 +474,17 @@ impl Kb {
     }
 
     /// Assert that `r` has (possibly additional) direct type `t`,
-    /// maintaining the type closure and ENT sets.
-    pub fn add_type(&mut self, r: ResourceId, t: ClassId) {
+    /// maintaining the type closure and ENT sets. Returns whether the
+    /// assertion was new (mirrors [`Kb::add_fact`]).
+    pub fn add_type(&mut self, r: ResourceId, t: ClassId) -> bool {
         if self.direct_types[r.index()].contains(&t) {
-            return;
+            return false;
         }
         self.version += 1;
+        self.record(|kb| DeltaOp::Type {
+            resource: kb.resource_name(r).to_string(),
+            class: kb.class_name(t).to_string(),
+        });
         self.direct_types[r.index()].push(t);
         let mut cs = vec![t.0];
         cs.extend(self.class_hier.ancestors(t.0).map(|(a, _)| a));
@@ -351,6 +498,7 @@ impl Kb {
                 push_unique(&mut self.class_entities[c.index()], r);
             }
         }
+        true
     }
 }
 
@@ -476,6 +624,89 @@ mod tests {
         // A brand-new entity moves the version.
         kb.add_entity("Juneau", "Juneau", &[capital]);
         assert!(kb.version() > v1);
+    }
+
+    #[test]
+    fn delta_capture_replays_to_identical_state_and_version() {
+        let build = || {
+            let mut b = KbBuilder::new();
+            let person = b.class("person");
+            let country = b.class("country");
+            let nat = b.property("nationality");
+            let rossi = b.entity("Rossi", &[person]);
+            let italy = b.entity("Italy", &[country]);
+            b.fact(rossi, nat, italy);
+            b.finalize()
+        };
+        let mut live = build();
+        live.begin_delta_capture();
+        let pirlo = live.add_entity("Pirlo", "Pirlo", &[]);
+        let person = live.class_by_name("person").unwrap();
+        let nat = live.property_by_name("nationality").unwrap();
+        let italy = live.resource_by_name("Italy").unwrap();
+        live.add_type(pirlo, person);
+        live.add_fact(pirlo, nat, italy);
+        live.add_literal_fact(pirlo, nat, "italian");
+        // No-op re-adds must not be recorded.
+        live.add_fact(pirlo, nat, italy);
+        live.add_entity("Pirlo", "Pirlo", &[person]);
+        let delta = live.take_delta();
+        assert_eq!(delta.len(), 4);
+
+        let mut replayed = build();
+        let changed = replayed.apply_delta(&delta).unwrap();
+        assert_eq!(changed, 4);
+        assert_eq!(replayed.version(), live.version());
+        assert_eq!(
+            crate::ntriples::to_string(&replayed),
+            crate::ntriples::to_string(&live)
+        );
+        // Applying again is idempotent on state but not an error.
+        assert_eq!(replayed.apply_delta(&delta).unwrap(), 0);
+    }
+
+    #[test]
+    fn apply_delta_rejects_unknown_schema_names() {
+        use crate::journal::{DeltaOp, EnrichmentDelta};
+        let mut b = KbBuilder::new();
+        b.class("person");
+        let mut kb = b.finalize();
+        let delta = EnrichmentDelta {
+            ops: vec![DeltaOp::Type {
+                resource: "ghost".into(),
+                class: "person".into(),
+            }],
+        };
+        let err = kb.apply_delta(&delta).unwrap_err();
+        assert!(err.to_string().contains("ghost"), "{err}");
+    }
+
+    #[test]
+    fn apply_delta_resolves_plain_names_through_canonical_iris() {
+        use crate::journal::{DeltaOp, EnrichmentDelta};
+        // A checkpoint reload renames enriched entities to their IRI
+        // form; deltas captured before the reload still replay.
+        let mut b = KbBuilder::new();
+        let person = b.class("person");
+        let country = b.class("country");
+        let nat = b.property("nationality");
+        let rossi = b.entity("Rossi", &[person]);
+        let italy = b.entity("Italy", &[country]);
+        b.fact(rossi, nat, italy);
+        let mut live = b.finalize();
+        live.add_entity("New Town", "New Town", &[]);
+        let mut target =
+            crate::ntriples::parse("reloaded", &crate::ntriples::to_string(&live)).unwrap();
+        assert!(target.resource_by_name("New Town").is_none());
+        assert!(target.resource_by_name("kb:New%20Town").is_some());
+        let delta = EnrichmentDelta {
+            ops: vec![DeltaOp::Fact {
+                subject: "New Town".into(),
+                property: "kb:nationality".into(),
+                object: "Italy".into(),
+            }],
+        };
+        assert_eq!(target.apply_delta(&delta).unwrap(), 1);
     }
 
     #[test]

@@ -1,0 +1,240 @@
+//! Fuzz-style properties of the journal replay boundary.
+//!
+//! The recovery contract, checked on generated input:
+//!
+//! 1. **No panics.** [`katara_kb::journal::scan`] of arbitrary bytes —
+//!    uniform noise, a valid header followed by garbage, framed records
+//!    with flipped bits — returns `Ok` or a typed error, never panics.
+//! 2. **Torn tails truncate cleanly.** Cutting a valid journal at any
+//!    byte recovers exactly the records whose frames fully fit; the cut
+//!    never corrupts an earlier record and never invents a later one.
+//! 3. **Truncation repairs.** Re-scanning the intact prefix reported by
+//!    a scan yields the same records with zero truncated bytes — the
+//!    repair a recovering writer performs converges in one step.
+//!
+//! The case count is elevated in CI via `KATARA_FUZZ_CASES`.
+
+use katara_kb::journal::{crc32, scan, JOURNAL_HEADER_LEN, JOURNAL_MAGIC};
+use katara_kb::{DeltaOp, EnrichmentDelta};
+use proptest::prelude::*;
+
+/// Per-test case count: `KATARA_FUZZ_CASES` (CI runs an elevated count)
+/// or the given local default.
+fn fuzz_cases(default: u32) -> u32 {
+    std::env::var("KATARA_FUZZ_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+// ---- A test-side encoder mirroring the documented on-disk format ------
+// (header: magic + checkpoint_seq + base_version, LE; records framed as
+// [len u32][crc32 u32][payload]; payload `d\t{seq}\n` + tab-separated op
+// lines with backslash escapes). Re-implemented here so the tests catch
+// silent format drift in the crate, not just internal self-consistency.
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('\t', "\\t")
+        .replace('\n', "\\n")
+        .replace('\r', "\\r")
+}
+
+fn payload(seq: u64, delta: &EnrichmentDelta) -> Vec<u8> {
+    let mut out = format!("d\t{seq}\n");
+    for op in &delta.ops {
+        match op {
+            DeltaOp::Entity { name, label } => {
+                out.push_str(&format!("E\t{}\t{}\n", escape(name), escape(label)));
+            }
+            DeltaOp::Type { resource, class } => {
+                out.push_str(&format!("T\t{}\t{}\n", escape(resource), escape(class)));
+            }
+            DeltaOp::Fact {
+                subject,
+                property,
+                object,
+            } => {
+                out.push_str(&format!(
+                    "F\t{}\t{}\t{}\n",
+                    escape(subject),
+                    escape(property),
+                    escape(object)
+                ));
+            }
+            DeltaOp::LiteralFact {
+                subject,
+                property,
+                literal,
+            } => {
+                out.push_str(&format!(
+                    "L\t{}\t{}\t{}\n",
+                    escape(subject),
+                    escape(property),
+                    escape(literal)
+                ));
+            }
+            _ => unreachable!("strategy only builds the four known ops"),
+        }
+    }
+    out.into_bytes()
+}
+
+fn journal_bytes(checkpoint_seq: u64, base_version: u64, deltas: &[EnrichmentDelta]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(JOURNAL_MAGIC);
+    out.extend_from_slice(&checkpoint_seq.to_le_bytes());
+    out.extend_from_slice(&base_version.to_le_bytes());
+    for (i, delta) in deltas.iter().enumerate() {
+        let p = payload(checkpoint_seq + 1 + i as u64, delta);
+        out.extend_from_slice(&(p.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(&p).to_le_bytes());
+        out.extend_from_slice(&p);
+    }
+    out
+}
+
+/// Strings that exercise the escaping: tabs, newlines, backslashes,
+/// carriage returns, plain text, unicode.
+fn field() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9 \\t\\n\\r\\\\éß]{0,12}"
+}
+
+fn delta_strategy() -> impl Strategy<Value = EnrichmentDelta> {
+    // The vendored proptest shim has no `prop_oneof!`; pick the variant
+    // by a generated discriminant instead.
+    let op = (0usize..4, field(), field(), field()).prop_map(|(which, a, b, c)| match which {
+        0 => DeltaOp::Entity { name: a, label: b },
+        1 => DeltaOp::Type {
+            resource: a,
+            class: b,
+        },
+        2 => DeltaOp::Fact {
+            subject: a,
+            property: b,
+            object: c,
+        },
+        _ => DeltaOp::LiteralFact {
+            subject: a,
+            property: b,
+            literal: c,
+        },
+    });
+    prop::collection::vec(op, 0..5).prop_map(|ops| EnrichmentDelta { ops })
+}
+
+/// Whatever scan returns, its books must balance.
+fn assert_scan_consistent(bytes: &[u8]) {
+    if let Ok(s) = scan(bytes) {
+        assert!(s.intact_len >= JOURNAL_HEADER_LEN);
+        assert_eq!(
+            s.intact_len + s.truncated_bytes,
+            bytes.len() as u64,
+            "every byte is intact or truncated: {s:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(fuzz_cases(64)))]
+
+    /// Scanning uniform byte noise never panics.
+    #[test]
+    fn scan_of_arbitrary_bytes_never_panics(bytes in prop::collection::vec(0u8..=255, 0..256)) {
+        assert_scan_consistent(&bytes);
+    }
+
+    /// A valid header followed by garbage parses the header and reports
+    /// the garbage as a torn tail (scan must not error past the header).
+    #[test]
+    fn valid_header_with_garbage_tail_is_a_torn_tail(
+        tail in prop::collection::vec(0u8..=255, 0..192),
+        checkpoint_seq in 0u64..1000,
+        base_version in 0u64..1000,
+    ) {
+        let mut bytes = journal_bytes(checkpoint_seq, base_version, &[]);
+        bytes.extend_from_slice(&tail);
+        let s = scan(&bytes).expect("a valid header always scans");
+        prop_assert_eq!(s.checkpoint_seq, checkpoint_seq);
+        prop_assert_eq!(s.base_version, base_version);
+        prop_assert!(s.intact_len + s.truncated_bytes == bytes.len() as u64);
+    }
+
+    /// Cutting a valid journal at any byte recovers exactly the records
+    /// whose frames fully fit — and re-scanning the intact prefix (the
+    /// repair a recovering writer performs) converges with nothing torn.
+    #[test]
+    fn truncated_tail_recovers_the_intact_record_prefix(
+        deltas in prop::collection::vec(delta_strategy(), 1..6),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let full = journal_bytes(3, 17, &deltas);
+        let whole = scan(&full).expect("valid journal scans");
+        prop_assert_eq!(whole.records.len(), deltas.len());
+        prop_assert_eq!(whole.truncated_bytes, 0);
+
+        let cut = (JOURNAL_HEADER_LEN as usize)
+            + ((full.len() - JOURNAL_HEADER_LEN as usize) as f64 * cut_frac) as usize;
+        let s = scan(&full[..cut]).expect("truncated journal still scans");
+        // Exactly the records that fully fit, in order.
+        prop_assert_eq!(&s.records[..], &whole.records[..s.records.len()]);
+        prop_assert!(s.intact_len as usize <= cut);
+        if (s.intact_len as usize) < cut {
+            // The torn frame must indeed not fit in the cut.
+            prop_assert!(s.records.len() < deltas.len());
+        }
+        // Truncation repairs: the intact prefix re-scans clean.
+        let repaired = scan(&full[..s.intact_len as usize]).expect("repaired journal scans");
+        prop_assert_eq!(repaired.records, s.records);
+        prop_assert_eq!(repaired.truncated_bytes, 0);
+    }
+
+    /// Flipping any single bit after the header never panics and never
+    /// corrupts the scan into non-prefix records: the CRC stops replay
+    /// at the last record untouched by the flip.
+    #[test]
+    fn bit_flipped_tails_recover_a_prefix(
+        deltas in prop::collection::vec(delta_strategy(), 1..5),
+        pos_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let full = journal_bytes(0, 0, &deltas);
+        let whole = scan(&full).expect("valid journal scans");
+        // deltas is non-empty, so the body holds at least one frame.
+        let body = full.len() - JOURNAL_HEADER_LEN as usize;
+        let pos = JOURNAL_HEADER_LEN as usize + ((body - 1) as f64 * pos_frac) as usize;
+        let mut flipped = full.clone();
+        flipped[pos] ^= 1 << bit;
+        let s = scan(&flipped).expect("bit-flipped journal still scans");
+        prop_assert!(
+            s.records.len() <= whole.records.len()
+                && s.records[..] == whole.records[..s.records.len()],
+            "scan after a bit flip must yield a prefix of the original records"
+        );
+    }
+}
+
+/// The degenerate inputs that historically trip framed-log readers.
+#[test]
+fn degenerate_inputs_never_panic() {
+    let header = journal_bytes(0, 0, &[]);
+    let mut max_len = header.clone();
+    max_len.extend_from_slice(&u32::MAX.to_le_bytes());
+    max_len.extend_from_slice(&0u32.to_le_bytes());
+    let mut zero_rec = header.clone();
+    zero_rec.extend_from_slice(&0u32.to_le_bytes());
+    zero_rec.extend_from_slice(&crc32(b"").to_le_bytes());
+    let cases: Vec<Vec<u8>> = vec![
+        Vec::new(),
+        b"KATARAJ1".to_vec(),
+        b"NOTMAGIC".to_vec(),
+        vec![0; JOURNAL_HEADER_LEN as usize],
+        header.clone(),
+        header[..header.len() - 1].to_vec(),
+        max_len,
+        zero_rec,
+    ];
+    for bytes in cases {
+        assert_scan_consistent(&bytes);
+    }
+}

@@ -89,6 +89,11 @@ metric_enum! {
         DiscoveryTypeProbes => "discovery.type_probes",
         IngestQuarantined => "ingest.quarantined",
         IngestRepairedEdges => "ingest.repaired_edges",
+        JournalAppends => "journal.appends",
+        JournalCheckpoints => "journal.checkpoints",
+        JournalFsyncs => "journal.fsyncs",
+        JournalReplayedRecords => "journal.replayed_records",
+        JournalRetries => "journal.retries",
         RepairBudgetStopped => "repair.budget_stopped",
         RepairGraphsBuilt => "repair.graphs_built",
         RepairIndexTruncated => "repair.index_truncated",
@@ -107,6 +112,7 @@ metric_enum! {
         ResolveTypesLookups => "resolve.types_lookups",
         ResolveTypesMiss => "resolve.types_miss",
         ServeDegraded => "serve.degraded",
+        ServeEnrichmentDropped => "serve.enrichment_dropped",
         ServeQuarantined => "serve.quarantined",
         ServeRequests => "serve.requests",
         ServeShed => "serve.shed",
@@ -124,6 +130,7 @@ metric_enum! {
     /// depends only on the run's configuration, never on thread count.
     pub enum Gauge {
         CrowdBudgetRemaining => "crowd.budget_remaining",
+        JournalLag => "journal.lag",
         ResolveDistinctValues => "resolve.distinct_values",
         ResolveNonNullCells => "resolve.non_null_cells",
         ServeQueueDepth => "serve.queue_depth",

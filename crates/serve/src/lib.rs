@@ -21,6 +21,13 @@
 //!   SIGTERM drains in-flight work before exit.
 //! * **Warm state** — the KB loads once; `TableResolution` snapshots
 //!   are cached across requests keyed by `(body hash, KB version)`.
+//! * **Durable enrichment** ([`Server::bind_durable`]) — with a journal
+//!   directory, crowd-confirmed enrichment is appended to a
+//!   write-ahead journal (`katara_kb::Journal`) and fsynced *before*
+//!   the response acknowledges it, then folded into the shared KB. A
+//!   restarted daemon replays the journal and resumes byte-identically;
+//!   an unwritable journal degrades responses to `206`
+//!   (`enrichment_dropped`) instead of lying or crashing.
 //! * **Fault injection** ([`fault`]) — a seeded [`ServerFaultPlan`]
 //!   drives misbehaving test clients (slowloris, truncated bodies,
 //!   mid-request disconnects), mirroring `katara_crowd::FaultPlan`.

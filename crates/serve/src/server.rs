@@ -29,13 +29,14 @@
 use std::collections::{HashMap, HashSet};
 use std::io::Write;
 use std::net::{TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
 
 use katara_core::prelude::*;
 use katara_crowd::{Answer, Budget, Crowd, CrowdConfig, Oracle, Question};
-use katara_kb::{ntriples, sim, Kb};
+use katara_kb::{ntriples, sim, Journal, JournalConfig, JournalStats, Kb, ReplayReport};
 use katara_obs::{Counter, Gauge, Recorder, RunRecorder};
 use katara_table::csv;
 
@@ -134,10 +135,21 @@ impl Default for ServerConfig {
 /// request rebuilds).
 const SNAPSHOT_CACHE_CAP: usize = 64;
 
+/// Durable-mode state: the journal plus the cumulative [`JournalStats`]
+/// already published to the recorder (the journal reports running
+/// totals; the daemon publishes the diffs).
+struct JournalState {
+    journal: Journal,
+    published: JournalStats,
+}
+
 /// Shared server state: everything a connection handler needs.
 struct ServerState {
     config: ServerConfig,
-    kb: Kb,
+    /// The base KB. Read-locked to clone per request; write-locked only
+    /// to fold journaled enrichment back in (durable mode), which bumps
+    /// [`Kb::version`] and thereby invalidates warm snapshots.
+    kb: RwLock<Kb>,
     policy: ServePolicy,
     recorder: Arc<RunRecorder>,
     /// `/clean` requests currently executing (admission control).
@@ -146,11 +158,28 @@ struct ServerState {
     conns: AtomicUsize,
     shutdown: AtomicBool,
     snapshots: Mutex<HashMap<u64, Arc<TableResolution>>>,
+    /// `Some` when serving durably (`--journal-dir`): enrichment is
+    /// journaled before the response acknowledges it. The mutex also
+    /// serializes append-then-apply, so the journal's record order is
+    /// the order deltas hit the shared KB.
+    journal: Option<Mutex<JournalState>>,
 }
 
 impl ServerState {
     fn draining(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst) || termination_signalled()
+    }
+
+    /// True when the durable journal can no longer accept appends.
+    fn journal_broken(&self) -> bool {
+        match &self.journal {
+            Some(j) => j
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .journal
+                .is_broken(),
+            None => false,
+        }
     }
 }
 
@@ -189,21 +218,59 @@ pub struct Server {
 
 impl Server {
     /// Bind the listener and assemble the shared state. The KB loads
-    /// once here and stays warm for the life of the daemon.
+    /// once here and stays warm for the life of the daemon. Enrichment
+    /// stays per-request (in-memory clones); use [`Server::bind_durable`]
+    /// to persist it instead.
     pub fn bind(config: ServerConfig, kb: Kb, policy: ServePolicy) -> std::io::Result<Server> {
+        Server::bind_inner(config, kb, policy, None)
+    }
+
+    /// Bind a *durable* daemon: open (or create) the write-ahead journal
+    /// in `journal_dir`, replay whatever a previous process left there
+    /// into `kb`, compact, and serve with enrichment journaled before
+    /// each response acknowledges it. Returns the boot [`ReplayReport`]
+    /// so callers can log what recovery did.
+    pub fn bind_durable(
+        config: ServerConfig,
+        mut kb: Kb,
+        policy: ServePolicy,
+        journal_dir: &Path,
+    ) -> std::io::Result<(Server, ReplayReport)> {
+        let (journal, replay) = Journal::open(journal_dir, &mut kb, JournalConfig::default())
+            .map_err(|e| std::io::Error::other(format!("journal: {e}")))?;
+        let server = Server::bind_inner(config, kb, policy, Some(journal))?;
+        if let Some(j) = &server.state.journal {
+            let mut js = j.lock().unwrap_or_else(|e| e.into_inner());
+            publish_journal_stats(server.state.recorder.as_ref(), &mut js);
+        }
+        Ok((server, replay))
+    }
+
+    fn bind_inner(
+        config: ServerConfig,
+        kb: Kb,
+        policy: ServePolicy,
+        journal: Option<Journal>,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         Ok(Server {
             listener,
             state: Arc::new(ServerState {
                 config,
-                kb,
+                kb: RwLock::new(kb),
                 policy,
                 recorder: Arc::new(RunRecorder::new()),
                 in_flight: AtomicUsize::new(0),
                 conns: AtomicUsize::new(0),
                 shutdown: AtomicBool::new(false),
                 snapshots: Mutex::new(HashMap::new()),
+                journal: journal.map(|journal| {
+                    Mutex::new(JournalState {
+                        journal,
+                        published: JournalStats::default(),
+                    })
+                }),
             }),
         })
     }
@@ -337,10 +404,30 @@ fn route(state: &ServerState, req: &Request) -> (u16, String, Vec<(String, Strin
     let rec = state.recorder.as_ref();
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
-            let status = if state.draining() { "draining" } else { "ok" };
+            // Durability state rides along in durable mode: a broken
+            // journal demotes the daemon to "degraded" so orchestration
+            // notices durability loss without a failing request.
+            let journal_json = state.journal.as_ref().map(|j| {
+                let js = j.lock().unwrap_or_else(|e| e.into_inner());
+                format!(
+                    ",\"journal\":{{\"last_seq\":{},\"checkpoint_seq\":{},\"lag\":{},\"broken\":{}}}",
+                    js.journal.last_seq(),
+                    js.journal.checkpoint_seq(),
+                    js.journal.lag(),
+                    js.journal.is_broken(),
+                )
+            });
+            let status = if state.draining() {
+                "draining"
+            } else if state.journal_broken() {
+                "degraded"
+            } else {
+                "ok"
+            };
             let body = format!(
-                "{{\"status\":\"{status}\",\"in_flight\":{}}}",
-                state.in_flight.load(Ordering::SeqCst)
+                "{{\"status\":\"{status}\",\"in_flight\":{}{}}}",
+                state.in_flight.load(Ordering::SeqCst),
+                journal_json.unwrap_or_default(),
             );
             (200, body, Vec::new())
         }
@@ -439,20 +526,26 @@ fn handle_clean(state: &ServerState, req: &Request) -> (u16, String) {
         None => Budget::unlimited(),
     };
 
+    // Per-request KB clone: enrichment must never leak across requests
+    // (and the warm snapshots stay valid against the base they were
+    // built from). In durable mode the base advances when journaled
+    // enrichment folds back in — the version in the cache key below is
+    // what keeps snapshots honest across that.
+    let (mut kb, base_version) = {
+        let base = state.kb.read().unwrap_or_else(|e| e.into_inner());
+        (base.clone(), base.version())
+    };
+
     // Warm snapshot cache, keyed by (body hash, KB version). `cold`
     // bypasses it (the bench measures exactly this difference).
     let candidates_cfg = CandidateConfig {
         threads: state.config.threads,
         ..CandidateConfig::default()
     };
-    let key = fnv1a(req.body.as_slice()) ^ state.kb.version();
+    let key = snapshot_key(req.body.as_slice(), base_version);
     let resolution: Arc<TableResolution> = if req.query_param("snapshot") == Some("cold") {
         rec.incr(Counter::ServeSnapshotMiss);
-        Arc::new(TableResolution::build(
-            &table,
-            &state.kb,
-            candidates_cfg.max_rows,
-        ))
+        Arc::new(TableResolution::build(&table, &kb, candidates_cfg.max_rows))
     } else {
         let cached = {
             let cache = state.snapshots.lock().unwrap_or_else(|e| e.into_inner());
@@ -465,11 +558,7 @@ fn handle_clean(state: &ServerState, req: &Request) -> (u16, String) {
             }
             None => {
                 rec.incr(Counter::ServeSnapshotMiss);
-                let res = Arc::new(TableResolution::build(
-                    &table,
-                    &state.kb,
-                    candidates_cfg.max_rows,
-                ));
+                let res = Arc::new(TableResolution::build(&table, &kb, candidates_cfg.max_rows));
                 let mut cache = state.snapshots.lock().unwrap_or_else(|e| e.into_inner());
                 if cache.len() >= SNAPSHOT_CACHE_CAP {
                     cache.clear();
@@ -480,9 +569,6 @@ fn handle_clean(state: &ServerState, req: &Request) -> (u16, String) {
         }
     };
 
-    // Per-request KB clone: enrichment must never leak across requests
-    // (and the warm snapshots stay valid against the pristine base).
-    let mut kb = state.kb.clone();
     let mut crowd = match Crowd::new(
         CrowdConfig {
             replication: 1,
@@ -515,6 +601,7 @@ fn handle_clean(state: &ServerState, req: &Request) -> (u16, String) {
                 table: Some(table_report),
             };
             ingest.apply_to(&mut report.degradation);
+            persist_enrichment(state, &mut report);
             let degraded = report.degradation.is_degraded();
             if degraded {
                 rec.incr(Counter::ServeDegraded);
@@ -541,6 +628,89 @@ fn handle_clean(state: &ServerState, req: &Request) -> (u16, String) {
         ),
         Err(e) => (500, error_body("internal", &e.to_string())),
     }
+}
+
+/// Durable mode: journal this run's enrichment, then fold it into the
+/// shared KB so later requests see it (persist-before-ack — the record
+/// is fsynced before the response leaves).
+///
+/// The journal mutex is held across append *and* apply, so deltas hit
+/// the shared store in sequence order: recovery replays the same op
+/// sequence onto the same base and lands on a byte-identical store.
+///
+/// Failure is degradation, never a crash: if the journal cannot take
+/// the record, the enrichment is dropped (this run's report is still
+/// complete), `enrichment_dropped` marks the response 206, and the
+/// `serve.enrichment_dropped` counter fires.
+fn persist_enrichment(state: &ServerState, report: &mut CleaningReport) {
+    let Some(journal) = &state.journal else {
+        return;
+    };
+    let delta = report.enrichment().clone();
+    if delta.is_empty() {
+        return;
+    }
+    let rec = state.recorder.as_ref();
+    let mut js = journal.lock().unwrap_or_else(|e| e.into_inner());
+    match js.journal.append(&delta) {
+        Ok(_seq) => {
+            let mut shared = state.kb.write().unwrap_or_else(|e| e.into_inner());
+            // Apply to a scratch clone and swap: an op that fails to
+            // resolve must not leave the shared store half-mutated.
+            let mut next = shared.clone();
+            match next.apply_delta(&delta) {
+                Ok(_changed) => {
+                    *shared = next;
+                    // Past the compaction threshold? Checkpoint under
+                    // both locks. A failed compaction is not data loss
+                    // (the journal still holds every record); it
+                    // surfaces through healthz as lag / broken.
+                    let _ = js.journal.maybe_compact(&mut shared);
+                }
+                Err(_) => {
+                    // Journaled but inapplicable (schema drift between
+                    // clone and apply — not reachable through the
+                    // pipeline's own deltas). Count it dropped.
+                    report.degradation.enrichment_dropped += delta.len();
+                    rec.incr_by(Counter::ServeEnrichmentDropped, delta.len() as u64);
+                }
+            }
+        }
+        Err(_) => {
+            report.degradation.enrichment_dropped += delta.len();
+            rec.incr_by(Counter::ServeEnrichmentDropped, delta.len() as u64);
+        }
+    }
+    publish_journal_stats(rec, &mut js);
+}
+
+/// Publish the diff between the journal's cumulative stats and what the
+/// recorder has already seen, then advance the baseline.
+fn publish_journal_stats(rec: &dyn Recorder, js: &mut JournalState) {
+    let now = js.journal.stats();
+    let prev = js.published;
+    rec.incr_by(
+        Counter::JournalAppends,
+        now.appends.saturating_sub(prev.appends),
+    );
+    rec.incr_by(
+        Counter::JournalFsyncs,
+        now.fsyncs.saturating_sub(prev.fsyncs),
+    );
+    rec.incr_by(
+        Counter::JournalRetries,
+        now.retries.saturating_sub(prev.retries),
+    );
+    rec.incr_by(
+        Counter::JournalCheckpoints,
+        now.checkpoints.saturating_sub(prev.checkpoints),
+    );
+    rec.incr_by(
+        Counter::JournalReplayedRecords,
+        now.replayed_records.saturating_sub(prev.replayed_records),
+    );
+    rec.set_gauge(Gauge::JournalLag, js.journal.lag());
+    js.published = now;
 }
 
 /// The success/degraded response body.
@@ -590,7 +760,7 @@ fn report_body(report: &CleaningReport, kb: &Kb, table: &katara_table::Table) ->
     out.push_str(&format!(
         "\"degradation\":{{\"deadline_expired\":{},\"deadline_phase\":{},\"deadline_denied\":{},\
          \"budget_exhausted\":{},\"unresolved_tuples\":{},\"questions_asked\":{},\
-         \"ingest_quarantined\":{}}}",
+         \"ingest_quarantined\":{},\"enrichment_dropped\":{}}}",
         d.deadline_expired,
         match d.deadline_phase {
             Some(p) => format!("\"{}\"", json_escape(p)),
@@ -601,6 +771,7 @@ fn report_body(report: &CleaningReport, kb: &Kb, table: &katara_table::Table) ->
         d.unresolved_tuples,
         d.questions_asked,
         d.ingest_quarantined,
+        d.enrichment_dropped,
     ));
     out.push('}');
     out
@@ -630,15 +801,26 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// FNV-1a over the raw request body — the warm-cache key half that
-/// identifies the table bytes.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf29ce484222325u64;
+/// Fold bytes into a running FNV-1a hash.
+fn fnv1a_fold(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= b as u64;
         h = h.wrapping_mul(0x100000001b3);
     }
     h
+}
+
+/// The warm-snapshot cache key: FNV-1a over the request body with the
+/// KB version's bytes folded into the *same* hash stream.
+///
+/// The earlier scheme XORed the version onto the finished body hash;
+/// XOR is invertible, so any two `(body, version)` pairs with
+/// `hash(b1) ^ v1 == hash(b2) ^ v2` collided and one tenant could be
+/// served another's (or a pre-enrichment) snapshot. Folding the version
+/// through the multiply-mix makes the pair a real composite key.
+fn snapshot_key(body: &[u8], kb_version: u64) -> u64 {
+    let h = fnv1a_fold(0xcbf29ce484222325, body);
+    fnv1a_fold(h, &kb_version.to_le_bytes())
 }
 
 // ---- Termination signals ----------------------------------------------
@@ -722,19 +904,53 @@ mod tests {
                               Ramos,Spain,Madrid\n";
 
     fn state() -> Arc<ServerState> {
+        state_with_journal(None)
+    }
+
+    fn state_with_journal(journal: Option<Journal>) -> Arc<ServerState> {
         Arc::new(ServerState {
             config: ServerConfig {
                 threads: Threads::fixed(1),
                 ..ServerConfig::default()
             },
-            kb: soccer_kb(),
+            kb: RwLock::new(soccer_kb()),
             policy: ServePolicy::Trust,
             recorder: Arc::new(RunRecorder::new()),
             in_flight: AtomicUsize::new(0),
             conns: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             snapshots: Mutex::new(HashMap::new()),
+            journal: journal.map(|journal| {
+                Mutex::new(JournalState {
+                    journal,
+                    published: JournalStats::default(),
+                })
+            }),
         })
+    }
+
+    /// A unique scratch dir for one test's journal.
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "katara-serve-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id(),
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// A durable state over a fresh journal dir; the KB inside has been
+    /// canonicalized by the boot checkpoint, exactly like
+    /// [`Server::bind_durable`] would leave it.
+    fn durable_state(tag: &str) -> (Arc<ServerState>, std::path::PathBuf) {
+        let dir = scratch_dir(tag);
+        let mut kb = soccer_kb();
+        let (journal, _replay) =
+            Journal::open(&dir, &mut kb, katara_kb::JournalConfig::default()).unwrap();
+        let st = state_with_journal(Some(journal));
+        *st.kb.write().unwrap() = kb;
+        (st, dir)
     }
 
     fn post_clean(body: &str, query: &[(&str, &str)]) -> Request {
@@ -863,5 +1079,129 @@ mod tests {
     fn json_escape_handles_controls_and_quotes() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn snapshot_key_folds_version_into_the_hash_stream() {
+        // The regression the XOR scheme allowed: pick (b1, v1) and
+        // (b2, v2) with fnv(b1) ^ v1 == fnv(b2) ^ v2 — under XOR those
+        // two distinct requests shared a cache slot, so one tenant
+        // could read the other's snapshot.
+        let (b1, b2) = (b"name\nRossi\n".as_slice(), b"name\nKlate\n".as_slice());
+        let (h1, h2) = (
+            fnv1a_fold(0xcbf29ce484222325, b1),
+            fnv1a_fold(0xcbf29ce484222325, b2),
+        );
+        let (v1, v2) = (0u64, h1 ^ h2);
+        assert_eq!(h1 ^ v1, h2 ^ v2, "the old scheme collides here");
+        assert_ne!(snapshot_key(b1, v1), snapshot_key(b2, v2));
+        // And the straightforward property: a version bump (what
+        // enrichment does) always moves the key for the same body.
+        assert_ne!(snapshot_key(b1, 7), snapshot_key(b1, 8));
+    }
+
+    #[test]
+    fn durable_mode_journals_enrichment_and_recovery_matches_live() {
+        let (st, dir) = durable_state("happy");
+        let base_version = st.kb.read().unwrap().version();
+
+        // Trust mode confirms the bad Pirlo row's facts with the crowd
+        // and enriches the KB with them — durably.
+        let (status, body, _) = route(&st, &post_clean(SOCCER_CSV, &[]));
+        assert_eq!(status, 200, "{body}");
+        {
+            let js = st.journal.as_ref().unwrap().lock().unwrap();
+            assert!(js.journal.last_seq() >= 1, "enrichment was journaled");
+        }
+        let live_version = st.kb.read().unwrap().version();
+        assert!(
+            live_version > base_version,
+            "journaled enrichment folds into the shared KB"
+        );
+        assert!(st.recorder.counter_total(Counter::JournalAppends) >= 1);
+        assert!(st.recorder.counter_total(Counter::JournalFsyncs) >= 1);
+
+        // The version bump invalidates the warm snapshot for the same
+        // body: the second request must rebuild, not reuse.
+        let misses_before = st.recorder.counter_total(Counter::ServeSnapshotMiss);
+        let (status, _, _) = route(&st, &post_clean(SOCCER_CSV, &[]));
+        assert_eq!(status, 200);
+        assert_eq!(
+            st.recorder.counter_total(Counter::ServeSnapshotMiss),
+            misses_before + 1,
+            "enrichment-bumped version must never serve the stale snapshot"
+        );
+
+        // What a crashed-and-restarted process would recover is exactly
+        // the live store.
+        let (recovered, _report) = katara_kb::journal::recover_dir(&dir).unwrap();
+        let live = st.kb.read().unwrap();
+        assert_eq!(
+            katara_kb::ntriples::to_string(&recovered),
+            katara_kb::ntriples::to_string(&live),
+            "recovery is byte-identical to the served store"
+        );
+        drop(live);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_journal_degrades_to_206_not_loss() {
+        let (st, dir) = durable_state("faulted");
+        {
+            let mut js = st.journal.as_ref().unwrap().lock().unwrap();
+            js.journal
+                .set_fault_plan(katara_kb::WriteFaultPlan {
+                    write_error_rate: 1.0,
+                    seed: 42,
+                    ..katara_kb::WriteFaultPlan::default()
+                })
+                .unwrap();
+        }
+        let base_version = st.kb.read().unwrap().version();
+        let (status, body, _) = route(&st, &post_clean(SOCCER_CSV, &[]));
+        assert_eq!(status, 206, "{body}");
+        assert!(body.contains("\"status\":\"degraded\""), "{body}");
+        assert!(
+            !body.contains("\"enrichment_dropped\":0"),
+            "dropped count must be visible: {body}"
+        );
+        assert!(st.recorder.counter_total(Counter::ServeEnrichmentDropped) >= 1);
+        assert!(st.recorder.counter_total(Counter::JournalRetries) >= 1);
+        assert_eq!(
+            st.kb.read().unwrap().version(),
+            base_version,
+            "unjournaled enrichment must not reach the shared KB"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn healthz_reports_durability_state() {
+        let (st, dir) = durable_state("healthz");
+        let req = Request {
+            method: "GET".into(),
+            path: "/healthz".into(),
+            query: vec![],
+            headers: vec![],
+            body: vec![],
+        };
+        let (status, body, _) = route(&st, &req);
+        assert_eq!(status, 200);
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        assert!(
+            body.contains(
+                "\"journal\":{\"last_seq\":0,\"checkpoint_seq\":0,\"lag\":0,\"broken\":false}"
+            ),
+            "{body}"
+        );
+        // After an enriching request the lag is visible until compaction.
+        route(&st, &post_clean(SOCCER_CSV, &[]));
+        let (_, body, _) = route(&st, &req);
+        assert!(body.contains("\"lag\":1"), "{body}");
+        // Non-durable daemons report no journal object at all.
+        let (_, body, _) = route(&state(), &req);
+        assert!(!body.contains("journal"), "{body}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -283,6 +283,74 @@ fn fault_plan_mix_leaves_no_leaked_slots() {
 }
 
 #[test]
+fn durable_daemon_persists_enrichment_across_restarts() {
+    let dir = std::env::temp_dir().join(format!(
+        "katara-daemon-journal-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // First life: serve one enriching request persist-before-ack.
+    let (server, replay) = Server::bind_durable(
+        ServerConfig::default(),
+        soccer_kb(),
+        ServePolicy::Trust,
+        &dir,
+    )
+    .expect("bind durable");
+    assert_eq!(
+        replay.replayed_records, 0,
+        "fresh dir has nothing to replay"
+    );
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("run"));
+
+    let (status, body) = send_raw(addr, &post_clean("", SOCCER_CSV));
+    assert_eq!(status, 200, "{body}");
+    let (status, body) = send_raw(addr, b"GET /healthz HTTP/1.1\r\n\r\n");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"journal\""), "durable healthz: {body}");
+    handle.shutdown();
+    join.join().expect("clean exit");
+
+    // The journal now prescribes the enrichment the ack promised.
+    let (recovered, report) = katara_kb::journal::recover_dir(&dir).expect("recover");
+    assert!(
+        report.replayed_records >= 1,
+        "acked enrichment must be journaled: {report:?}"
+    );
+    assert!(recovered.num_facts() > soccer_kb().num_facts());
+
+    // Second life: same dir, pristine base KB — boot replays it all.
+    let (server, replay) = Server::bind_durable(
+        ServerConfig::default(),
+        soccer_kb(),
+        ServePolicy::Trust,
+        &dir,
+    )
+    .expect("rebind durable");
+    assert!(
+        replay.replayed_records >= 1,
+        "restart must replay: {replay:?}"
+    );
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("run"));
+
+    // Boot ends with a checkpoint: zero lag, and the daemon is serving.
+    let (status, body) = send_raw(addr, b"GET /healthz HTTP/1.1\r\n\r\n");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"lag\":0"), "post-replay lag: {body}");
+    let (status, body) = send_raw(addr, &post_clean("", SOCCER_CSV));
+    assert_eq!(status, 200, "{body}");
+    handle.shutdown();
+    join.join().expect("clean exit");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn shutdown_drains_in_flight_work_then_exits() {
     let config = ServerConfig {
         read_timeout: Duration::from_millis(400),

@@ -1,0 +1,245 @@
+//! Replay equivalence for the enrichment journal (proptest).
+//!
+//! The durability contract under test: for arbitrary enrichment
+//! sequences committed through a shared journal by writer pools of
+//! size 1, 2 and 8, the journal is a faithful serialization —
+//!
+//! * `recover_dir` reproduces the live store **byte-identically**;
+//! * applying the scanned records directly to the base KB, in committed
+//!   order and with no journal involved, also reproduces it;
+//! * `version()` observed at every commit is monotone non-decreasing.
+//!
+//! The multi-writer cases exercise the serving invariant that record
+//! order equals apply order (serve holds the journal lock across
+//! append + apply); whatever interleaving the pool produces, the
+//! journal must prescribe exactly the state the live KB reached.
+
+use std::sync::Mutex;
+
+use katara::kb::journal::{recover_dir, scan};
+use katara::kb::{DeltaOp, EnrichmentDelta, Journal, JournalConfig, Kb, KbBuilder};
+use proptest::prelude::*;
+
+/// Per-test case count: `KATARA_FUZZ_CASES` (CI runs an elevated count)
+/// or the given local default. Kept modest — every case opens a journal
+/// and fsyncs per append.
+fn fuzz_cases(default: u32) -> u32 {
+    std::env::var("KATARA_FUZZ_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn base_kb() -> Kb {
+    let mut b = KbBuilder::new().with_name("equivalence-base");
+    let person = b.class("person");
+    let country = b.class("country");
+    let nationality = b.property("nationality");
+    let motto = b.property("motto");
+    for (p, c) in [
+        ("Rossi", "Italy"),
+        ("Klate", "S. Africa"),
+        ("Ramos", "Spain"),
+    ] {
+        let rp = b.entity(p, &[person]);
+        let rc = b.entity(c, &[country]);
+        b.fact(rp, nationality, rc);
+        b.fact(rc, motto, rc); // keep `motto` serialized (non-empty use)
+    }
+    b.finalize()
+}
+
+/// Canonical name tables of a post-open (checkpoint-reloaded) KB, so
+/// generated ops reference names the store actually knows. `Entity` ops
+/// mint fresh names from the generated indices instead.
+struct Names {
+    resources: Vec<String>,
+    classes: Vec<String>,
+    properties: Vec<String>,
+}
+
+impl Names {
+    fn of(kb: &Kb) -> Names {
+        Names {
+            resources: kb
+                .resource_ids()
+                .map(|r| kb.resource_name(r).to_string())
+                .collect(),
+            classes: kb
+                .class_ids()
+                .map(|c| kb.class_name(c).to_string())
+                .collect(),
+            properties: kb
+                .property_ids()
+                .map(|p| kb.property_name(p).to_string())
+                .collect(),
+        }
+    }
+
+    /// Decode one generated `(kind, a, b)` triple into an op that is
+    /// guaranteed to apply cleanly against the canonical base (or any
+    /// enrichment of it).
+    fn op(&self, kind: usize, a: usize, b: usize) -> DeltaOp {
+        let resource = |i: usize| self.resources[i % self.resources.len()].clone();
+        match kind {
+            0 => DeltaOp::Entity {
+                name: format!("minted {a}-{b}"),
+                label: format!("Minted {a}"),
+            },
+            1 => DeltaOp::Type {
+                resource: resource(a),
+                class: self.classes[b % self.classes.len()].clone(),
+            },
+            2 => DeltaOp::Fact {
+                subject: resource(a),
+                property: self.properties[b % self.properties.len()].clone(),
+                object: resource(a.wrapping_add(b)),
+            },
+            _ => DeltaOp::LiteralFact {
+                subject: resource(a),
+                property: self.properties[b % self.properties.len()].clone(),
+                literal: format!("lit {b}"),
+            },
+        }
+    }
+}
+
+fn scratch_dir(tag: &str, case: u64) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "katara-journal-eq-{tag}-{case}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Commit `deltas` through one shared journal with `pool` writer
+/// threads (append + apply under one lock, the serving discipline),
+/// then check the three equivalence properties.
+fn check_pool(pool: usize, raw: &[Vec<(usize, usize, usize)>], case: u64) {
+    let dir = scratch_dir(&format!("p{pool}"), case);
+    let mut kb = base_kb();
+    let (journal, _) =
+        Journal::open(&dir, &mut kb, JournalConfig::default()).expect("journal opens");
+    // `open` ends with a checkpoint, so `kb` is now the canonical
+    // (reload-of-serialization) base — name tables taken from here match
+    // what replay will resolve against.
+    let names = Names::of(&kb);
+    let deltas: Vec<EnrichmentDelta> = raw
+        .iter()
+        .map(|ops| EnrichmentDelta {
+            ops: ops.iter().map(|&(k, a, b)| names.op(k, a, b)).collect(),
+        })
+        .collect();
+
+    let base = kb.clone();
+    let base_version = kb.version();
+    let shared = Mutex::new((journal, kb));
+    let versions = Mutex::new(vec![base_version]);
+    std::thread::scope(|scope| {
+        for t in 0..pool {
+            let shared = &shared;
+            let versions = &versions;
+            let deltas = &deltas;
+            scope.spawn(move || {
+                for delta in deltas.iter().skip(t).step_by(pool) {
+                    let mut guard = shared.lock().unwrap();
+                    let (journal, live) = &mut *guard;
+                    journal.append(delta).expect("append succeeds");
+                    live.apply_delta(delta).expect("generated ops always apply");
+                    versions.lock().unwrap().push(live.version());
+                }
+            });
+        }
+    });
+    let (journal, live) = shared.into_inner().unwrap();
+    let versions = versions.into_inner().unwrap();
+
+    // version() is monotone non-decreasing at every commit point.
+    assert!(
+        versions.windows(2).all(|w| w[0] <= w[1]),
+        "pool {pool}: version regressed: {versions:?}"
+    );
+    assert_eq!(journal.last_seq() - journal.checkpoint_seq(), journal.lag());
+
+    // Journal + replay is byte-identical to the live store.
+    let live_nt = katara::kb::ntriples::to_string(&live);
+    let (recovered, report) = recover_dir(&dir).expect("recover_dir succeeds");
+    assert_eq!(report.replayed_records, deltas.len() as u64);
+    assert_eq!(report.final_version, live.version());
+    assert_eq!(
+        katara::kb::ntriples::to_string(&recovered),
+        live_nt,
+        "pool {pool}: replay diverged from the live store"
+    );
+
+    // Direct application — the scanned records, applied to the base in
+    // committed order with no journal at all — is also byte-identical.
+    let bytes = std::fs::read(dir.join("journal.log")).expect("journal file exists");
+    let s = scan(&bytes).expect("own journal scans clean");
+    assert_eq!(s.truncated_bytes, 0);
+    let mut direct = base;
+    for (_seq, delta) in &s.records {
+        direct
+            .apply_delta(delta)
+            .expect("scanned ops apply to base");
+    }
+    assert_eq!(
+        katara::kb::ntriples::to_string(&direct),
+        live_nt,
+        "pool {pool}: direct application diverged from the live store"
+    );
+    assert!(direct.version() >= base_version);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(fuzz_cases(12)))]
+
+    /// One journal, writer pools of 1, 2 and 8: replay and direct
+    /// application both reproduce the live store byte-for-byte.
+    #[test]
+    fn journal_replay_is_equivalent_to_direct_application(
+        raw in prop::collection::vec(
+            prop::collection::vec((0usize..4, 0usize..16, 0usize..16), 1..4),
+            1..10,
+        ),
+        case in 0u64..1_000_000,
+    ) {
+        for pool in [1usize, 2, 8] {
+            check_pool(pool, &raw, case);
+        }
+    }
+}
+
+/// The pool=1 path, pinned deterministically: a fixed enrichment
+/// sequence through the journal equals the same sequence applied with
+/// no journal at all.
+#[test]
+fn sequential_journal_matches_journal_free_application() {
+    let dir = scratch_dir("seq", 0);
+    let mut kb = base_kb();
+    let (mut journal, _) = Journal::open(&dir, &mut kb, JournalConfig::default()).unwrap();
+    let names = Names::of(&kb);
+    let mut plain = kb.clone();
+    for (kind, a, b) in [(0, 1, 2), (1, 0, 1), (2, 0, 0), (3, 2, 1), (0, 1, 2)] {
+        let delta = EnrichmentDelta {
+            ops: vec![names.op(kind, a, b)],
+        };
+        journal.append(&delta).unwrap();
+        kb.apply_delta(&delta).unwrap();
+        plain.apply_delta(&delta).unwrap();
+    }
+    assert_eq!(
+        katara::kb::ntriples::to_string(&kb),
+        katara::kb::ntriples::to_string(&plain)
+    );
+    let (recovered, _) = recover_dir(&dir).unwrap();
+    assert_eq!(
+        katara::kb::ntriples::to_string(&recovered),
+        katara::kb::ntriples::to_string(&plain)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
