@@ -1,9 +1,13 @@
-//! Bench for the **shared KB query snapshot** (DESIGN.md §5e): a full
-//! end-to-end cleaning run with the [`TableResolution`] built inside the
-//! run ("cold") vs injected pre-built ("snapshot"). Emits
-//! `BENCH_resolve.json` at the workspace root with the cold/snapshot
-//! wall times, the speedup, and the fixture's distinct-value ratio
-//! (quick mode via `KATARA_BENCH_QUICK=1`).
+//! Bench for the **shared KB query snapshot** (DESIGN.md §5e) and the
+//! **columnar triple store** (DESIGN.md §5i): a full end-to-end cleaning
+//! run with the [`TableResolution`] built inside the run ("cold", on the
+//! default columnar backend), the same cold run on the legacy hash-map
+//! backend ("cold_legacy"), and the run with the resolution injected
+//! pre-built ("snapshot"). Emits `BENCH_resolve.json` at the workspace
+//! root with the wall times, the speedups, the fixture's distinct-value
+//! ratio, the KB triple count, the columnar index-build cost, and the
+//! probe-planner counters (`kb.plan_type_first` / `kb.plan_rel_first`)
+//! inside the embedded metrics (quick mode via `KATARA_BENCH_QUICK=1`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -43,6 +47,19 @@ fn clean_cold(f: &ResolveFixture) {
     );
 }
 
+/// The same cold run against a pre-converted legacy-backend KB — the
+/// baseline the columnar engine must beat end to end.
+fn clean_cold_legacy(f: &ResolveFixture, legacy_kb: &katara_kb::Kb) {
+    let katara = Katara::new(bench_config());
+    let mut kb = legacy_kb.clone();
+    let mut crowd = resolve_crowd(f);
+    black_box(
+        katara
+            .clean(&f.table.table, &mut kb, &mut crowd)
+            .expect("cold legacy clean"),
+    );
+}
+
 fn clean_snapshot(f: &ResolveFixture, res: &TableResolution) {
     let katara = Katara::new(bench_config());
     let mut kb = f.kb.clone();
@@ -65,12 +82,21 @@ fn bench_resolve(c: &mut Criterion) {
         &fixture.kb,
         config.candidates.max_rows,
     );
+    let triples =
+        fixture.kb.num_facts() + fixture.kb.num_type_assertions() + fixture.kb.num_entities();
     eprintln!(
-        "resolve fixture: {} ({} injected errors, distinct ratio {:.4})",
+        "resolve fixture: {} ({} injected errors, distinct ratio {:.4}, {triples} triples)",
         fixture.name,
         fixture.errors,
         res.distinct_ratio()
     );
+    let legacy_kb = fixture.kb.with_legacy_backend();
+    // Time the columnar index build (legacy → sorted arenas + stats)
+    // once: the one-off cost the gallop probes amortize.
+    let build_start = std::time::Instant::now();
+    let rebuilt = legacy_kb.with_columnar_backend();
+    let index_build_ms = build_start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(rebuilt.backend_name(), "columnar");
 
     let mut group = c.benchmark_group("resolve_snapshot");
     group.sample_size(10);
@@ -79,7 +105,12 @@ fn bench_resolve(c: &mut Criterion) {
     group.finish();
 
     let mut report = perf::ResolveReport::new("resolve", &fixture.name, res.distinct_ratio());
+    report.triples = triples as u64;
+    report.index_build_ms = index_build_ms;
     report.measure("cold", perf::sweep_iters(), || clean_cold(&fixture));
+    report.measure("cold_legacy", perf::sweep_iters(), || {
+        clean_cold_legacy(&fixture, &legacy_kb)
+    });
     report.measure("snapshot", perf::sweep_iters(), || {
         clean_snapshot(&fixture, &res)
     });

@@ -55,10 +55,12 @@ pub fn discovery_fixture(corpus: &Corpus, flavor: KbFlavor) -> DiscoveryFixture 
 }
 
 /// The large end-to-end fixture for the `resolve` bench: a
-/// [`WorldConfig::bench_large`] world (~50–60× the tiny test world) and
-/// a Person table of [`resolve_rows`] rows with typo-heavy paper-style
-/// corruption, so fuzzy cell→KB resolution genuinely dominates a cold
-/// cleaning run. Quick mode shrinks both for CI smoke.
+/// [`WorldConfig::yago_scale`] world compiled with
+/// [`KbGenConfig::yago_scale`] into a KB of over a million triples and
+/// 100K+ classes, and a Person table of [`resolve_rows`] rows with
+/// typo-heavy paper-style corruption, so fuzzy cell→KB resolution
+/// genuinely dominates a cold cleaning run. Quick mode shrinks both for
+/// CI smoke.
 pub struct ResolveFixture {
     /// The (immutable during the bench — enrichment is off) KB.
     pub kb: Kb,
@@ -74,27 +76,30 @@ pub struct ResolveFixture {
     pub name: String,
 }
 
-/// Person rows in the resolve fixture: 15 000 full (≥50× the 300-row
-/// corpus Person table), 400 in quick mode.
+/// Person rows in the resolve fixture: 4 000 full (against the
+/// million-triple Yago-scale KB each fuzzy probe costs ~15× what it did
+/// on the old ~20K-entity fixture, so this keeps one cold iteration in
+/// single-digit seconds while resolution still dominates), 400 in quick
+/// mode.
 pub fn resolve_rows() -> usize {
     if perf::quick_mode() {
         400
     } else {
-        15_000
+        4_000
     }
 }
 
 /// Build the resolve fixture.
 pub fn resolve_fixture() -> ResolveFixture {
-    let world_config = if perf::quick_mode() {
-        WorldConfig::tiny()
+    let flavor = KbFlavor::YagoLike;
+    let (world_config, kbgen_config) = if perf::quick_mode() {
+        (WorldConfig::tiny(), KbGenConfig::for_flavor(flavor))
     } else {
-        WorldConfig::bench_large()
+        (WorldConfig::yago_scale(), KbGenConfig::yago_scale())
     };
     let rows = resolve_rows();
     let world = World::generate(world_config);
-    let flavor = KbFlavor::YagoLike;
-    let kb = build_kb(&world, &KbGenConfig::for_flavor(flavor));
+    let kb = build_kb(&world, &kbgen_config);
     let mut table = person_table(&world, rows, 0xBE7C);
     // Typo-dominated corruption: typos miss the exact label index and
     // force the expensive fuzzy lookup, which is exactly the per-distinct
@@ -148,6 +153,21 @@ mod tests {
         let f = discovery_fixture(&corpus, KbFlavor::DbpediaLike);
         assert!(f.table.table.num_rows() > 0);
         assert!(!f.cands.col_types.is_empty());
+    }
+
+    #[test]
+    #[ignore = "builds the full Yago-scale KB (minutes); run on demand"]
+    fn yago_scale_fixture_reaches_a_million_triples() {
+        let world = World::generate(WorldConfig::yago_scale());
+        let kb = build_kb(&world, &KbGenConfig::yago_scale());
+        let triples = kb.num_facts() + kb.num_type_assertions() + kb.num_entities();
+        assert!(triples >= 1_000_000, "only {triples} triples");
+        assert!(
+            kb.num_classes() > 100_000,
+            "only {} classes",
+            kb.num_classes()
+        );
+        assert_eq!(kb.backend_name(), "columnar");
     }
 
     #[test]

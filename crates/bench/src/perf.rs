@@ -234,6 +234,13 @@ pub struct ResolveReport {
     /// (1.0 for an empty table). The lower it is, the more the columnar
     /// snapshot saves.
     pub distinct_ratio: f64,
+    /// Total triples in the fixture KB (type assertions + resource facts
+    /// + literal facts) — records the scale the probe timings ran at.
+    pub triples: u64,
+    /// Wall time of one columnar index build (sort + arena assembly) from
+    /// the legacy representation, in milliseconds — the one-off cost the
+    /// gallop probes amortize.
+    pub index_build_ms: f64,
     /// Measured configurations, in measurement order.
     pub samples: Vec<ResolveSample>,
     /// Run metrics from one untimed instrumented run of the workload,
@@ -248,6 +255,8 @@ impl ResolveReport {
             bench: bench.to_string(),
             fixture: fixture.to_string(),
             distinct_ratio,
+            triples: 0,
+            index_build_ms: 0.0,
             samples: Vec::new(),
             metrics: None,
         }
@@ -293,6 +302,11 @@ impl ResolveReport {
         out.push_str(&format!(
             "  \"distinct_ratio\": {:.4},\n",
             self.distinct_ratio
+        ));
+        out.push_str(&format!("  \"triples\": {},\n", self.triples));
+        out.push_str(&format!(
+            "  \"index_build_ms\": {:.3},\n",
+            self.index_build_ms
         ));
         if let Some(m) = &self.metrics {
             out.push_str("  \"metrics\": ");
@@ -505,6 +519,8 @@ mod tests {
     #[test]
     fn resolve_report_shape_and_speedups() {
         let mut r = ResolveReport::new("resolve", "toy", 0.25);
+        r.triples = 1_234;
+        r.index_build_ms = 5.5;
         r.measure("cold", 2, || {
             std::thread::sleep(std::time::Duration::from_millis(2))
         });
@@ -521,6 +537,8 @@ mod tests {
             "\"mode\"",
             "\"parallelism\"",
             "\"distinct_ratio\"",
+            "\"triples\": 1234",
+            "\"index_build_ms\": 5.500",
             "\"samples\"",
             "\"config\"",
             "\"cold\"",

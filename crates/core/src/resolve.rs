@@ -33,7 +33,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use katara_kb::sim;
-use katara_kb::{ClassId, Kb, PropertyId, ResourceId};
+use katara_kb::{ClassId, Kb, ProbePlan, PropertyId, ResourceId};
 use katara_obs::{Counter, Gauge, NoopRecorder, Recorder};
 use katara_table::Table;
 
@@ -84,6 +84,10 @@ pub struct TableResolution {
     /// How many leading rows the pair memo covers.
     pair_rows: usize,
     non_null_cells: usize,
+    /// Probe-plan tallies from the build-time pair memo, emitted as
+    /// `kb.plan_*` counters when a recorder is attached.
+    plan_type_first: u64,
+    plan_rel_first: u64,
     /// Sink for per-tier lookup/hit/miss/fallback counters. Defaults to
     /// [`NoopRecorder`]; attach a live one with [`Self::with_recorder`].
     recorder: Arc<dyn Recorder>,
@@ -139,6 +143,7 @@ impl TableResolution {
 
         let pair_rows = nrows.min(pair_rows);
         let mut pair_rels: HashMap<(u32, u32), PairRels> = HashMap::new();
+        let (mut plan_type_first, mut plan_rel_first) = (0u64, 0u64);
         for i in 0..ncols {
             for j in 0..ncols {
                 if i == j {
@@ -151,8 +156,14 @@ impl TableResolution {
                     pair_rels.entry((a, b)).or_insert_with(|| {
                         let va = &values[a as usize];
                         let vb = &values[b as usize];
+                        let (res, plan) =
+                            kb.relations_for_candidates_planned(&va.candidates, &vb.candidates);
+                        match plan {
+                            ProbePlan::TypeFirst => plan_type_first += 1,
+                            ProbePlan::RelFirst => plan_rel_first += 1,
+                        }
                         PairRels {
-                            res: kb.relations_for_candidates(&va.candidates, &vb.candidates),
+                            res,
                             lit: kb.literal_relations_for_candidates(&va.candidates, &vb.norm),
                         }
                     });
@@ -167,6 +178,8 @@ impl TableResolution {
             pair_rels,
             pair_rows,
             non_null_cells,
+            plan_type_first,
+            plan_rel_first,
             recorder: Arc::new(NoopRecorder),
         }
     }
@@ -177,8 +190,18 @@ impl TableResolution {
     pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
         recorder.set_gauge(Gauge::ResolveDistinctValues, self.values.len() as u64);
         recorder.set_gauge(Gauge::ResolveNonNullCells, self.non_null_cells as u64);
+        recorder.incr_by(Counter::KbPlanTypeFirst, self.plan_type_first);
+        recorder.incr_by(Counter::KbPlanRelFirst, self.plan_rel_first);
         self.recorder = recorder;
         self
+    }
+
+    /// Tally a live (non-memoized) probe-plan decision.
+    fn record_plan(&self, plan: ProbePlan) {
+        self.recorder.incr(match plan {
+            ProbePlan::TypeFirst => Counter::KbPlanTypeFirst,
+            ProbePlan::RelFirst => Counter::KbPlanRelFirst,
+        });
     }
 
     /// True while the KB tiers still reflect `kb` (no enrichment write has
@@ -284,16 +307,20 @@ impl TableResolution {
             self.recorder.incr(Counter::ResolvePairMiss);
             let va = &self.values[a as usize];
             let vb = &self.values[b as usize];
+            let (res, plan) = kb.relations_for_candidates_planned(&va.candidates, &vb.candidates);
+            self.record_plan(plan);
             return Cow::Owned(PairRels {
-                res: kb.relations_for_candidates(&va.candidates, &vb.candidates),
+                res,
                 lit: kb.literal_relations_for_candidates(&va.candidates, &vb.norm),
             });
         }
         self.recorder.incr(Counter::ResolvePairFallback);
         let ca = kb.candidate_resources_normalized(self.norm_of(a));
         let cb = kb.candidate_resources_normalized(self.norm_of(b));
+        let (res, plan) = kb.relations_for_candidates_planned(&ca, &cb);
+        self.record_plan(plan);
         Cow::Owned(PairRels {
-            res: kb.relations_for_candidates(&ca, &cb),
+            res,
             lit: kb.literal_relations_for_candidates(&ca, self.norm_of(b)),
         })
     }

@@ -126,6 +126,20 @@ impl KbGenConfig {
         }
     }
 
+    /// The Yago-scale variant of the yago-like defaults: 120K noise
+    /// classes (the shrunken stand-in for Yago's 374K types) and a noise
+    /// type on *every* entity, so a
+    /// [`WorldConfig::yago_scale`](crate::WorldConfig::yago_scale) world
+    /// compiles to over a million triples. Used by the full-mode
+    /// `resolve` bench fixture.
+    pub fn yago_scale() -> Self {
+        KbGenConfig {
+            noise_types: 120_000,
+            noise_type_rate: 1.0,
+            ..Self::for_flavor(KbFlavor::YagoLike)
+        }
+    }
+
     fn cov(&self, rel: SemanticRel) -> f64 {
         self.relation_coverage.get(&rel).copied().unwrap_or(0.0)
     }

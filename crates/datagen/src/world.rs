@@ -98,6 +98,34 @@ impl WorldConfig {
         }
     }
 
+    /// The Yago-scale configuration for the full-mode `resolve` bench:
+    /// a few hundred thousand entities which, combined with
+    /// [`KbGenConfig::yago_scale`](crate::KbGenConfig::yago_scale)'s
+    /// 120K noise classes and per-entity noise typing, yields a KB of
+    /// over a million triples — the scale regime the paper's Yago
+    /// numbers (2.9M entities, 374K types) live in, shrunk only as far
+    /// as a bench iteration budget demands.
+    pub fn yago_scale() -> Self {
+        WorldConfig {
+            countries: 200,
+            cities_per_country: 10,
+            players: 160_000,
+            clubs: 400,
+            leagues: 20,
+            states: 60,
+            cities_per_state: 8,
+            universities: 40_000,
+            languages: 80,
+            continents: 6,
+            club_city_homonym_rate: 0.3,
+            star_fraction: 0.25,
+            extra_persons: 40_000,
+            extra_places: 50_000,
+            extra_orgs: 10_000,
+            seed: 0x5EED,
+        }
+    }
+
     /// A large configuration for benchmarking: ~50–60× the entity count
     /// of [`tiny`](Self::tiny), big enough that cell→KB resolution (the
     /// label-index probes) dominates a cleaning run's wall time.

@@ -16,7 +16,7 @@ use crate::label_index::LabelIndex;
 use crate::ontology::Hierarchy;
 use crate::query::Object;
 use crate::sim;
-use crate::store::Kb;
+use crate::store::{ColumnarFacts, FactStore, Kb, LegacyFacts};
 use crate::DEFAULT_SIM_THRESHOLD;
 
 /// Builder for [`Kb`].
@@ -178,6 +178,25 @@ impl KbBuilder {
         self.labels.len()
     }
 
+    /// Err when any dense id space is within `margin` new ids of the
+    /// `u32` cap. Ingestion loops call this per statement (one triple
+    /// introduces at most two ids per space), so an adversarially large
+    /// dump surfaces a typed [`KbError::IdSpaceExhausted`] at the
+    /// boundary instead of panicking inside the id constructors.
+    pub fn check_id_headroom(&self, margin: usize) -> Result<(), KbError> {
+        for (len, kind) in [
+            (self.resources.len(), ResourceId::KIND),
+            (self.classes.len(), ClassId::KIND),
+            (self.props.len(), PropertyId::KIND),
+            (self.literals.len(), LiteralId::KIND),
+        ] {
+            if id_headroom_exceeded(len, margin) {
+                return Err(KbError::IdSpaceExhausted { kind, index: len });
+            }
+        }
+        Ok(())
+    }
+
     /// Freeze into a queryable [`Kb`] and report what the audit pass saw:
     /// every hierarchy edge the `*_audited` methods dropped, plus labels
     /// shared by more than one resource (collisions are legal — KATARA
@@ -309,6 +328,22 @@ impl KbBuilder {
             &class_sizes,
         );
 
+        // Convert the build-time layout into the columnar backend: sorted
+        // dictionary-encoded arenas plus the frozen cardinality stats the
+        // probe planner reads.
+        let legacy = LegacyFacts {
+            types_closure,
+            class_entities,
+            out_edges,
+            in_edges,
+            rr_index,
+            rl_index,
+            prop_subjects,
+            prop_objects,
+            literal_norm,
+        };
+        let facts = FactStore::Columnar(ColumnarFacts::from_legacy(legacy, n));
+
         Kb {
             name: self.name,
             resources: self.resources,
@@ -320,15 +355,7 @@ impl KbBuilder {
             class_hier: self.class_hier,
             prop_hier: self.prop_hier,
             direct_types: self.direct_types,
-            types_closure,
-            class_entities,
-            out_edges,
-            in_edges,
-            rr_index,
-            rl_index,
-            prop_subjects,
-            prop_objects,
-            literal_norm,
+            facts,
             coherence,
             sim_threshold: self.sim_threshold,
             fact_count,
@@ -338,9 +365,29 @@ impl KbBuilder {
     }
 }
 
+/// Does a dense id space with `len` assigned ids lack room for `margin`
+/// more below the `u32` cap?
+fn id_headroom_exceeded(len: usize, margin: usize) -> bool {
+    (u32::MAX as usize).saturating_sub(len) < margin
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn id_headroom_boundary() {
+        let cap = u32::MAX as usize;
+        assert!(!id_headroom_exceeded(0, 2));
+        assert!(!id_headroom_exceeded(cap - 2, 2));
+        assert!(id_headroom_exceeded(cap - 1, 2));
+        assert!(id_headroom_exceeded(cap, 1));
+        assert!(id_headroom_exceeded(cap + 7, 1));
+        // A real builder is nowhere near the cap.
+        let mut b = KbBuilder::new();
+        b.class("c");
+        assert!(b.check_id_headroom(2).is_ok());
+    }
 
     #[test]
     fn duplicate_facts_are_deduped() {

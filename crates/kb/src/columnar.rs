@@ -1,0 +1,569 @@
+//! Dictionary-encoded columnar storage for the fact indexes.
+//!
+//! The legacy store keeps one heap allocation per entity row
+//! (`Vec<Vec<…>>`) and one per fact key (`HashMap<(s,o), Vec<PropertyId>>`).
+//! At Yago scale that is millions of small allocations, ~100 bytes of
+//! overhead per triple, and a pointer chase per probe. This module packs
+//! the same data into sorted columnar arenas:
+//!
+//! * [`CsrRows`] — dense-id rows in CSR form (one `off` array + one flat
+//!   `data` arena). Backs the type closure, ENT(T)/subENT(P)/objENT(P)
+//!   sets, and the out/in adjacency lists.
+//! * [`PairCsr`] — the SPO permutation of the fact triples: subject-major
+//!   offsets, per-subject object runs sorted by object id, and a flat
+//!   property arena sliced per `(subject, object)` key. A probe is two
+//!   array hops plus a binary/gallop search over the subject's (small)
+//!   adjacency run — no hashing, no per-key allocation.
+//! * [`NormIndex`] — the normalized-literal dictionary as a sorted key
+//!   arena with CSR payload.
+//!
+//! Every structure carries a copy-on-write *overlay* so §6.1 enrichment
+//! writes stay possible after finalize: a mutated row/key is shadowed by a
+//! full private copy, base arenas are never touched. Read paths check the
+//! (tiny, usually empty) overlay first, so query results — including
+//! first-occurrence orderings — stay bit-identical to the legacy store.
+
+use crate::ids::{LiteralId, PropertyId, ResourceId};
+
+/// Gallop (exponential-then-binary) search for `target` in a sorted slice:
+/// `Ok(i)` at a matching index, `Err(i)` at the insertion point. Probes
+/// doubling strides from the front, then binary-searches the bracketed
+/// window — O(log d) where d is the match distance, which beats a plain
+/// binary search when the target sits near the cursor (the common case in
+/// merge joins over skewed adjacency runs).
+pub(crate) fn gallop_search<T: Ord>(slice: &[T], target: &T) -> Result<usize, usize> {
+    let mut hi = 1usize;
+    while hi < slice.len() && slice[hi - 1] < *target {
+        hi *= 2;
+    }
+    let lo = hi / 2;
+    let hi = hi.min(slice.len());
+    match slice[lo..hi].binary_search(target) {
+        Ok(i) => Ok(lo + i),
+        Err(i) => Err(lo + i),
+    }
+}
+
+/// [`gallop_search`] under a key projection: search a slice sorted by
+/// `key(elem)` for `target`. Lets the hierarchy closures (sorted
+/// `(ancestor, distance)` runs) share the probe primitive without
+/// materializing a key column.
+pub(crate) fn gallop_search_by_key<T, K: Ord>(
+    slice: &[T],
+    target: &K,
+    key: impl Fn(&T) -> K,
+) -> Result<usize, usize> {
+    let mut hi = 1usize;
+    while hi < slice.len() && key(&slice[hi - 1]) < *target {
+        hi *= 2;
+    }
+    let lo = hi / 2;
+    let hi = hi.min(slice.len());
+    match slice[lo..hi].binary_search_by(|e| key(e).cmp(target)) {
+        Ok(i) => Ok(lo + i),
+        Err(i) => Err(lo + i),
+    }
+}
+
+/// Dense rows in compressed-sparse-row form with a copy-on-write overlay.
+///
+/// Rows at indexes past the base arena (entities added by enrichment) are
+/// implicitly empty until written, at which point they live entirely in
+/// the overlay.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CsrRows<T> {
+    off: Vec<u32>,
+    data: Vec<T>,
+    /// Shadow rows, sorted by row index. A present entry REPLACES the base
+    /// row (it starts as a copy of it).
+    overlay: Vec<(u32, Vec<T>)>,
+}
+
+impl<T: Copy> CsrRows<T> {
+    /// Pack `rows` into CSR form.
+    pub(crate) fn from_rows(rows: &[Vec<T>]) -> Self {
+        let mut off = Vec::with_capacity(rows.len() + 1);
+        let mut data = Vec::with_capacity(rows.iter().map(Vec::len).sum());
+        off.push(0u32);
+        for row in rows {
+            data.extend_from_slice(row);
+            off.push(u32::try_from(data.len()).expect("CSR arena exceeds u32 offsets"));
+        }
+        CsrRows {
+            off,
+            data,
+            overlay: Vec::new(),
+        }
+    }
+
+    /// Number of rows in the base arena (overlay-only rows excluded).
+    pub(crate) fn base_rows(&self) -> usize {
+        self.off.len() - 1
+    }
+
+    /// The highest row index with any content, plus one.
+    pub(crate) fn row_span(&self) -> usize {
+        let over = self.overlay.last().map_or(0, |&(i, _)| i as usize + 1);
+        self.base_rows().max(over)
+    }
+
+    /// The row at `i` (empty when never written and outside the base).
+    pub(crate) fn row(&self, i: usize) -> &[T] {
+        let key = i as u32;
+        if let Ok(k) = self.overlay.binary_search_by_key(&key, |&(r, _)| r) {
+            return &self.overlay[k].1;
+        }
+        if i + 1 < self.off.len() {
+            &self.data[self.off[i] as usize..self.off[i + 1] as usize]
+        } else {
+            &[]
+        }
+    }
+
+    /// Append `x` to row `i`, shadowing the base row on first write.
+    pub(crate) fn push(&mut self, i: usize, x: T) {
+        self.shadow_row(i).push(x);
+    }
+
+    /// Append `x` to row `i` unless already present (linear scan —
+    /// enrichment-path semantics, identical to the legacy `push_unique`).
+    pub(crate) fn push_unique(&mut self, i: usize, x: T)
+    where
+        T: PartialEq,
+    {
+        let row = self.shadow_row(i);
+        // Overlay rows are tiny enrichment tails: a linear scan here is
+        // the legacy semantics, not the §5e query-path dedup the
+        // quadratic-dedup lint polices.
+        let dup = row.contains(&x);
+        if !dup {
+            row.push(x);
+        }
+    }
+
+    /// Membership test against a row whose BASE content is sorted (type
+    /// closures, ENT sets). Overlay rows may carry an unsorted enrichment
+    /// tail and are scanned linearly, matching legacy `contains` results.
+    pub(crate) fn contains_sorted(&self, i: usize, x: T) -> bool
+    where
+        T: Ord,
+    {
+        let key = i as u32;
+        if let Ok(k) = self.overlay.binary_search_by_key(&key, |&(r, _)| r) {
+            return self.overlay[k].1.contains(&x);
+        }
+        if i + 1 < self.off.len() {
+            let row = &self.data[self.off[i] as usize..self.off[i + 1] as usize];
+            gallop_search(row, &x).is_ok()
+        } else {
+            false
+        }
+    }
+
+    fn shadow_row(&mut self, i: usize) -> &mut Vec<T> {
+        let key = i as u32;
+        let k = match self.overlay.binary_search_by_key(&key, |&(r, _)| r) {
+            Ok(k) => k,
+            Err(k) => {
+                let base: Vec<T> = if i + 1 < self.off.len() {
+                    self.data[self.off[i] as usize..self.off[i + 1] as usize].to_vec()
+                } else {
+                    Vec::new()
+                };
+                self.overlay.insert(k, (key, base));
+                k
+            }
+        };
+        &mut self.overlay[k].1
+    }
+
+    /// Materialize every row back into `Vec<Vec<T>>` form (legacy layout),
+    /// padded/truncated to exactly `rows` rows.
+    pub(crate) fn to_rows(&self, rows: usize) -> Vec<Vec<T>> {
+        (0..rows).map(|i| self.row(i).to_vec()).collect()
+    }
+}
+
+/// The SPO permutation of the fact triples, generic over the object column
+/// (`ResourceId` for resource facts, `LiteralId` for literal facts), with
+/// a copy-on-write overlay keyed by `(subject, object)`.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PairCsr<B> {
+    /// Subject-major offsets into `objs`: subject `s`'s adjacency run is
+    /// `objs[off[s] .. off[s+1]]`, sorted by object id.
+    off: Vec<u32>,
+    objs: Vec<B>,
+    /// Per-key property offsets into `props` (parallel to `objs`, len+1).
+    prop_off: Vec<u32>,
+    /// Properties per key in first-assertion order.
+    props: Vec<PropertyId>,
+    /// Shadow keys, sorted. A present entry replaces the base key's props.
+    overlay: Vec<((ResourceId, B), Vec<PropertyId>)>,
+}
+
+impl<B: Copy + Ord> PairCsr<B> {
+    /// Pack sorted `(key, props)` pairs. `pairs` must be sorted by key and
+    /// unique; props keep their given (first-assertion) order.
+    pub(crate) fn from_sorted_pairs(
+        n_subjects: usize,
+        pairs: &[((ResourceId, B), Vec<PropertyId>)],
+    ) -> Self {
+        debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0));
+        let mut off = vec![0u32; n_subjects + 1];
+        let mut objs = Vec::with_capacity(pairs.len());
+        let mut prop_off = Vec::with_capacity(pairs.len() + 1);
+        let mut props = Vec::new();
+        prop_off.push(0u32);
+        for ((s, b), ps) in pairs {
+            off[s.index() + 1] += 1;
+            objs.push(*b);
+            props.extend_from_slice(ps);
+            prop_off.push(u32::try_from(props.len()).expect("property arena exceeds u32"));
+        }
+        for i in 1..off.len() {
+            off[i] += off[i - 1];
+        }
+        PairCsr {
+            off,
+            objs,
+            prop_off,
+            props,
+            overlay: Vec::new(),
+        }
+    }
+
+    /// Number of distinct `(subject, object)` keys in the base arena.
+    pub(crate) fn num_pairs(&self) -> usize {
+        self.objs.len()
+    }
+
+    /// Number of subjects with at least one base key.
+    pub(crate) fn num_subjects_with_pairs(&self) -> usize {
+        self.off.windows(2).filter(|w| w[0] != w[1]).count()
+    }
+
+    /// Whether any enrichment write has shadowed a key. While true, merge
+    /// joins over base adjacency runs would miss overlay-only keys, so the
+    /// probe planner must fall back to per-key probes.
+    pub(crate) fn has_overlay(&self) -> bool {
+        !self.overlay.is_empty()
+    }
+
+    /// The properties asserted for `(s, b)` (empty when the key is absent).
+    pub(crate) fn get(&self, s: ResourceId, b: B) -> &[PropertyId] {
+        if let Ok(k) = self.overlay.binary_search_by_key(&(s, b), |&(key, _)| key) {
+            return &self.overlay[k].1;
+        }
+        let (objs, base) = self.adjacency(s);
+        match objs.binary_search(&b) {
+            Ok(i) => self.props_at(base + i),
+            Err(_) => &[],
+        }
+    }
+
+    /// Subject `s`'s base adjacency run (objects sorted ascending) and the
+    /// arena index of its first entry.
+    pub(crate) fn adjacency(&self, s: ResourceId) -> (&[B], usize) {
+        let i = s.index();
+        if i + 1 < self.off.len() {
+            let lo = self.off[i] as usize;
+            let hi = self.off[i + 1] as usize;
+            (&self.objs[lo..hi], lo)
+        } else {
+            (&[], 0)
+        }
+    }
+
+    /// The property slice of arena entry `k`.
+    pub(crate) fn props_at(&self, k: usize) -> &[PropertyId] {
+        &self.props[self.prop_off[k] as usize..self.prop_off[k + 1] as usize]
+    }
+
+    /// Idempotently assert `p` for key `(s, b)`, shadowing the base entry
+    /// on first write. Returns whether the assertion was new.
+    pub(crate) fn insert(&mut self, s: ResourceId, b: B, p: PropertyId) -> bool {
+        let k = match self.overlay.binary_search_by_key(&(s, b), |&(key, _)| key) {
+            Ok(k) => k,
+            Err(k) => {
+                let base = self.base_props(s, b).to_vec();
+                self.overlay.insert(k, ((s, b), base));
+                k
+            }
+        };
+        let props = &mut self.overlay[k].1;
+        let dup = props.contains(&p);
+        if !dup {
+            props.push(p);
+        }
+        !dup
+    }
+
+    fn base_props(&self, s: ResourceId, b: B) -> &[PropertyId] {
+        let (objs, base) = self.adjacency(s);
+        match objs.binary_search(&b) {
+            Ok(i) => self.props_at(base + i),
+            Err(_) => &[],
+        }
+    }
+
+    /// Iterate every `(key, props)` pair — base entries with their overlay
+    /// shadows applied, plus overlay-only keys. Order is unspecified.
+    pub(crate) fn iter_pairs(&self) -> impl Iterator<Item = ((ResourceId, B), &[PropertyId])> {
+        let base = (0..self.off.len().saturating_sub(1)).flat_map(move |s| {
+            let lo = self.off[s] as usize;
+            let hi = self.off[s + 1] as usize;
+            (lo..hi).filter_map(move |k| {
+                let key = (ResourceId::from_index(s), self.objs[k]);
+                if self
+                    .overlay
+                    .binary_search_by_key(&key, |&(kk, _)| kk)
+                    .is_ok()
+                {
+                    None // shadowed: reported from the overlay instead
+                } else {
+                    Some((key, self.props_at(k)))
+                }
+            })
+        });
+        let over = self.overlay.iter().map(|(key, ps)| (*key, ps.as_slice()));
+        base.chain(over)
+    }
+}
+
+/// The normalized-literal dictionary: sorted normalized spellings with a
+/// CSR run of the literal ids spelling each of them, plus an overlay for
+/// normalizations first seen during enrichment.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct NormIndex {
+    keys: Vec<Box<str>>,
+    off: Vec<u32>,
+    lids: Vec<LiteralId>,
+    overlay: Vec<(Box<str>, Vec<LiteralId>)>,
+}
+
+impl NormIndex {
+    /// Pack sorted `(norm, lids)` pairs; lids keep their intern order.
+    pub(crate) fn from_sorted(pairs: Vec<(String, Vec<LiteralId>)>) -> Self {
+        debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0));
+        let mut keys = Vec::with_capacity(pairs.len());
+        let mut off = Vec::with_capacity(pairs.len() + 1);
+        let mut lids = Vec::new();
+        off.push(0u32);
+        for (norm, ids) in pairs {
+            keys.push(norm.into_boxed_str());
+            lids.extend_from_slice(&ids);
+            off.push(u32::try_from(lids.len()).expect("literal arena exceeds u32"));
+        }
+        NormIndex {
+            keys,
+            off,
+            lids,
+            overlay: Vec::new(),
+        }
+    }
+
+    /// The literal ids whose normalized spelling is `norm`.
+    pub(crate) fn get(&self, norm: &str) -> &[LiteralId] {
+        if let Ok(k) = self.overlay.binary_search_by(|(key, _)| (**key).cmp(norm)) {
+            return &self.overlay[k].1;
+        }
+        match self.keys.binary_search_by(|key| (**key).cmp(norm)) {
+            Ok(i) => &self.lids[self.off[i] as usize..self.off[i + 1] as usize],
+            Err(_) => &[],
+        }
+    }
+
+    /// Record that `lid` spells `norm` (idempotent, legacy append order).
+    pub(crate) fn insert(&mut self, norm: &str, lid: LiteralId) {
+        let k = match self.overlay.binary_search_by(|(key, _)| (**key).cmp(norm)) {
+            Ok(k) => k,
+            Err(k) => {
+                let base: Vec<LiteralId> = match self.keys.binary_search_by(|key| (**key).cmp(norm))
+                {
+                    Ok(i) => self.lids[self.off[i] as usize..self.off[i + 1] as usize].to_vec(),
+                    Err(_) => Vec::new(),
+                };
+                self.overlay.insert(k, (Box::from(norm), base));
+                k
+            }
+        };
+        let ids = &mut self.overlay[k].1;
+        let dup = ids.contains(&lid);
+        if !dup {
+            ids.push(lid);
+        }
+    }
+
+    /// Iterate every `(norm, lids)` entry with overlay shadows applied.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (&str, &[LiteralId])> {
+        let base = self.keys.iter().enumerate().filter_map(move |(i, key)| {
+            if self
+                .overlay
+                .binary_search_by(|(k, _)| (**k).cmp(key))
+                .is_ok()
+            {
+                None
+            } else {
+                Some((
+                    &**key,
+                    &self.lids[self.off[i] as usize..self.off[i + 1] as usize],
+                ))
+            }
+        });
+        let over = self.overlay.iter().map(|(k, v)| (&**k, v.as_slice()));
+        base.chain(over)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rid(i: u32) -> ResourceId {
+        ResourceId(i)
+    }
+    fn pid(i: u32) -> PropertyId {
+        PropertyId(i)
+    }
+
+    #[test]
+    fn gallop_matches_binary_search() {
+        let xs: Vec<u32> = vec![1, 3, 3, 7, 9, 20, 21, 22, 40];
+        for t in 0..45u32 {
+            let g = gallop_search(&xs, &t);
+            match (g, xs.binary_search(&t)) {
+                (Ok(i), Ok(_)) => assert_eq!(xs[i], t),
+                (Err(i), Err(j)) => assert_eq!(i, j, "insertion point for {t}"),
+                other => panic!("gallop/binary disagree for {t}: {other:?}"),
+            }
+        }
+        assert_eq!(gallop_search::<u32>(&[], &5), Err(0));
+    }
+
+    #[test]
+    fn gallop_by_key_matches_plain_gallop() {
+        let pairs: Vec<(u32, u32)> = vec![(2, 1), (5, 1), (9, 2), (12, 3), (30, 1)];
+        let keys: Vec<u32> = pairs.iter().map(|&(k, _)| k).collect();
+        for t in 0..35u32 {
+            assert_eq!(
+                gallop_search_by_key(&pairs, &t, |&(k, _)| k),
+                gallop_search(&keys, &t),
+                "projected search for {t}"
+            );
+        }
+        assert_eq!(
+            gallop_search_by_key::<(u32, u32), u32>(&[], &5, |&(k, _)| k),
+            Err(0)
+        );
+    }
+
+    #[test]
+    fn csr_rows_round_trip_and_overlay() {
+        let rows = vec![vec![1u32, 2, 3], vec![], vec![9]];
+        let mut csr = CsrRows::from_rows(&rows);
+        assert_eq!(csr.base_rows(), 3);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(csr.row(i), row.as_slice());
+        }
+        assert_eq!(csr.row(7), &[] as &[u32]);
+        // Shadow a base row, then an implicit row past the base.
+        csr.push(1, 42);
+        csr.push_unique(0, 2); // dup: no change
+        csr.push_unique(0, 4);
+        csr.push(5, 8);
+        assert_eq!(csr.row(0), &[1, 2, 3, 4]);
+        assert_eq!(csr.row(1), &[42]);
+        assert_eq!(csr.row(2), &[9]); // untouched base row
+        assert_eq!(csr.row(5), &[8]);
+        assert_eq!(csr.row_span(), 6);
+        assert_eq!(
+            csr.to_rows(6),
+            vec![vec![1, 2, 3, 4], vec![42], vec![9], vec![], vec![], vec![8]]
+        );
+    }
+
+    #[test]
+    fn csr_contains_sorted_handles_base_and_overlay() {
+        let mut csr = CsrRows::from_rows(&[vec![2u32, 5, 9]]);
+        assert!(csr.contains_sorted(0, 5));
+        assert!(!csr.contains_sorted(0, 4));
+        assert!(!csr.contains_sorted(3, 2));
+        csr.push(0, 1); // unsorted tail, like an enrichment write
+        assert!(csr.contains_sorted(0, 1));
+        assert!(csr.contains_sorted(0, 9));
+    }
+
+    #[test]
+    fn pair_csr_probes_and_overlay_inserts() {
+        // Subject 0 -> objects {2, 5}; subject 2 -> object {1}.
+        let pairs = vec![
+            ((rid(0), rid(2)), vec![pid(7), pid(3)]),
+            ((rid(0), rid(5)), vec![pid(1)]),
+            ((rid(2), rid(1)), vec![pid(0)]),
+        ];
+        let mut idx = PairCsr::from_sorted_pairs(3, &pairs);
+        assert_eq!(idx.num_pairs(), 3);
+        assert_eq!(idx.num_subjects_with_pairs(), 2);
+        assert_eq!(idx.get(rid(0), rid(2)), &[pid(7), pid(3)]);
+        assert_eq!(idx.get(rid(0), rid(5)), &[pid(1)]);
+        assert_eq!(idx.get(rid(1), rid(2)), &[] as &[PropertyId]);
+        assert_eq!(idx.get(rid(9), rid(2)), &[] as &[PropertyId]);
+        let (adj, base) = idx.adjacency(rid(0));
+        assert_eq!(adj, &[rid(2), rid(5)]);
+        assert_eq!(idx.props_at(base), &[pid(7), pid(3)]);
+
+        // Enrichment: extend an existing key, then create a new one.
+        assert!(!idx.has_overlay());
+        assert!(idx.insert(rid(0), rid(2), pid(9)));
+        assert!(!idx.insert(rid(0), rid(2), pid(3))); // dup
+        assert!(idx.insert(rid(7), rid(7), pid(2))); // past base subjects
+        assert!(idx.has_overlay());
+        assert_eq!(idx.get(rid(0), rid(2)), &[pid(7), pid(3), pid(9)]);
+        assert_eq!(idx.get(rid(7), rid(7)), &[pid(2)]);
+        // Untouched keys still resolve from the base.
+        assert_eq!(idx.get(rid(2), rid(1)), &[pid(0)]);
+
+        // iter_pairs: every key exactly once, shadows applied.
+        let mut all: Vec<_> = idx.iter_pairs().map(|(k, ps)| (k, ps.to_vec())).collect();
+        all.sort_by_key(|&(k, _)| k);
+        assert_eq!(
+            all,
+            vec![
+                ((rid(0), rid(2)), vec![pid(7), pid(3), pid(9)]),
+                ((rid(0), rid(5)), vec![pid(1)]),
+                ((rid(2), rid(1)), vec![pid(0)]),
+                ((rid(7), rid(7)), vec![pid(2)]),
+            ]
+        );
+    }
+
+    #[test]
+    fn norm_index_get_insert_iter() {
+        let lid = LiteralId;
+        let mut idx = NormIndex::from_sorted(vec![
+            ("1.78".to_string(), vec![lid(0), lid(2)]),
+            ("rome".to_string(), vec![lid(1)]),
+        ]);
+        assert_eq!(idx.get("1.78"), &[lid(0), lid(2)]);
+        assert_eq!(idx.get("rome"), &[lid(1)]);
+        assert_eq!(idx.get("paris"), &[] as &[LiteralId]);
+        idx.insert("rome", lid(5));
+        idx.insert("rome", lid(5)); // dup
+        idx.insert("paris", lid(3));
+        assert_eq!(idx.get("rome"), &[lid(1), lid(5)]);
+        assert_eq!(idx.get("paris"), &[lid(3)]);
+        let mut all: Vec<_> = idx
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_vec()))
+            .collect();
+        all.sort();
+        assert_eq!(
+            all,
+            vec![
+                ("1.78".to_string(), vec![lid(0), lid(2)]),
+                ("paris".to_string(), vec![lid(3)]),
+                ("rome".to_string(), vec![lid(1), lid(5)]),
+            ]
+        );
+    }
+}

@@ -3,89 +3,44 @@
 //! The query surface (`Q_types`, `Q_rels`, instance-graph expansion)
 //! historically deduplicated with `if !out.contains(&x) { out.push(x) }`
 //! — an O(n²) scan over the output that dominates on hub entities with
-//! hundreds of relations. [`OrderedDedup`] keeps a *sorted* membership
-//! vector on the side so a single membership test is a binary search,
-//! and an already-sorted run (an ancestor-closure slice) folds in with
-//! one linear merge — while the *output* still receives values in
-//! exactly their first-occurrence order, bit-identical to the old scan.
+//! hundreds of relations. [`OrderedDedup`] keeps a hashed membership set
+//! on the side so every membership test is O(1) amortized — the earlier
+//! sorted-vector variant still paid an O(n) memmove per novel value in
+//! its `insert`, which turned unsorted-run fallbacks quadratic again —
+//! while the *output* still receives values in exactly their
+//! first-occurrence order, bit-identical to the old scan.
 
-/// A first-occurrence dedup filter over `Ord + Copy` values.
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// A first-occurrence dedup filter over hashable `Copy` values.
 pub(crate) struct OrderedDedup<T> {
-    sorted: Vec<T>,
+    seen: HashSet<T>,
 }
 
-impl<T: Ord + Copy> OrderedDedup<T> {
+impl<T: Eq + Hash + Copy> OrderedDedup<T> {
     /// An empty filter.
     pub(crate) fn new() -> Self {
-        OrderedDedup { sorted: Vec::new() }
+        OrderedDedup {
+            seen: HashSet::new(),
+        }
     }
 
     /// Append `x` to `out` iff it has not been seen yet.
     pub(crate) fn push(&mut self, x: T, out: &mut Vec<T>) {
-        if let Err(i) = self.sorted.binary_search(&x) {
-            self.sorted.insert(i, x);
+        if self.seen.insert(x) {
             out.push(x);
         }
     }
 
     /// Fold a run of values in: novel values are appended to `out` in run
-    /// order (their first-occurrence order). When the run is non-decreasing
-    /// — the common case, since ancestor closures and finalized type
-    /// closures are stored sorted — the whole run costs one linear merge
-    /// against the membership vector. A run that turns out unsorted (e.g.
-    /// a type closure extended by KB enrichment after finalize) falls back
-    /// to per-item [`Self::push`] for the remainder.
+    /// order (their first-occurrence order). Every value costs one hash
+    /// probe, sorted or not — enrichment-extended closures no longer hit a
+    /// slower fallback path.
     pub(crate) fn extend(&mut self, run: impl IntoIterator<Item = T>, out: &mut Vec<T>) {
-        let start = out.len();
-        let mut cursor = 0usize;
-        let mut last: Option<T> = None;
-        let mut iter = run.into_iter();
-        while let Some(x) = iter.next() {
-            if last.is_some_and(|l| l > x) {
-                // Unsorted run: commit the ascending prefix, then fall
-                // back to binary-search pushes for the rest.
-                self.commit_run(&out[start..]);
-                self.push(x, out);
-                for y in iter {
-                    self.push(y, out);
-                }
-                return;
-            }
-            if last == Some(x) {
-                continue;
-            }
-            last = Some(x);
-            while cursor < self.sorted.len() && self.sorted[cursor] < x {
-                cursor += 1;
-            }
-            if cursor < self.sorted.len() && self.sorted[cursor] == x {
-                continue;
-            }
-            out.push(x);
+        for x in run {
+            self.push(x, out);
         }
-        self.commit_run(&out[start..]);
-    }
-
-    /// Merge a strictly ascending run of novel values into the sorted
-    /// membership vector in one pass.
-    fn commit_run(&mut self, novel: &[T]) {
-        if novel.is_empty() {
-            return;
-        }
-        let mut merged = Vec::with_capacity(self.sorted.len() + novel.len());
-        let (mut a, mut b) = (0usize, 0usize);
-        while a < self.sorted.len() && b < novel.len() {
-            if self.sorted[a] <= novel[b] {
-                merged.push(self.sorted[a]);
-                a += 1;
-            } else {
-                merged.push(novel[b]);
-                b += 1;
-            }
-        }
-        merged.extend_from_slice(&self.sorted[a..]);
-        merged.extend_from_slice(&novel[b..]);
-        self.sorted = merged;
     }
 }
 
@@ -123,15 +78,15 @@ mod tests {
     }
 
     #[test]
-    fn unsorted_runs_fall_back_and_still_match() {
+    fn unsorted_runs_still_match() {
         let runs: &[&[u32]] = &[&[5, 1, 3], &[3, 2, 2, 8], &[9, 0]];
         assert_eq!(merged(runs), naive(runs));
     }
 
     #[test]
     fn partially_sorted_run_with_midway_descent() {
-        // Ascending prefix, then a descent mid-run: the fallback must not
-        // lose the prefix or double-emit values straddling the switch.
+        // Ascending prefix, then a descent mid-run: first-occurrence order
+        // must hold across the whole run, with no loss or double emission.
         let runs: &[&[u32]] = &[&[1, 4, 7, 3, 7, 2], &[4, 5, 1]];
         assert_eq!(merged(runs), naive(runs));
     }
@@ -151,5 +106,15 @@ mod tests {
         seen.push(1, &mut out);
         seen.extend([0, 9, 10], &mut out);
         assert_eq!(out, vec![7, 1, 9, 0, 10]);
+    }
+
+    #[test]
+    fn adversarial_descending_runs_match_naive() {
+        // The old sorted-vector fallback went quadratic exactly here:
+        // strictly descending input forces an insert at position 0 every
+        // time. Correctness (not speed) is what the test pins.
+        let run: Vec<u32> = (0..200).rev().collect();
+        let runs: &[&[u32]] = &[&run, &run];
+        assert_eq!(merged(runs), naive(runs));
     }
 }

@@ -54,6 +54,17 @@ pub enum KbError {
     },
     /// Two declarations conflict (e.g. redefining an entity's name).
     Conflict(String),
+    /// An id space ran out of dense `u32` indexes. Surfaced at the
+    /// ingestion boundary (n-triples parsing, journal replay) so
+    /// adversarially large input is rejected with a typed error instead of
+    /// aborting mid-ingest.
+    IdSpaceExhausted {
+        /// Which id space overflowed ("resource", "class", "property",
+        /// "literal").
+        kind: &'static str,
+        /// The index that would have been allocated.
+        index: usize,
+    },
 }
 
 impl fmt::Display for KbError {
@@ -79,6 +90,9 @@ impl fmt::Display for KbError {
                 write!(f, "unknown {kind} name {name:?}")
             }
             KbError::Conflict(msg) => write!(f, "conflicting declaration: {msg}"),
+            KbError::IdSpaceExhausted { kind, index } => {
+                write!(f, "{kind} id space exhausted at index {index}")
+            }
         }
     }
 }
@@ -122,6 +136,11 @@ mod tests {
         };
         assert!(e.to_string().contains("property"));
         assert!(e.to_string().contains("nationality"));
+        let e = KbError::IdSpaceExhausted {
+            kind: "resource",
+            index: usize::MAX,
+        };
+        assert!(e.to_string().contains("resource id space exhausted"));
     }
 
     #[test]

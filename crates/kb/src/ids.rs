@@ -7,6 +7,8 @@
 //! id spaces because KATARA never mixes them, and separate spaces turn a
 //! whole family of mix-up bugs into type errors.
 
+use crate::error::KbError;
+
 /// Identifier of an entity (an RDF *resource* such as `Italy`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ResourceId(pub u32);
@@ -24,8 +26,11 @@ pub struct PropertyId(pub u32);
 pub struct LiteralId(pub u32);
 
 macro_rules! impl_id {
-    ($t:ty) => {
+    ($t:ty, $kind:literal) => {
         impl $t {
+            /// The id-space name used in [`KbError::IdSpaceExhausted`].
+            pub const KIND: &'static str = $kind;
+
             /// The dense index backing this id, usable for direct `Vec`
             /// indexing.
             #[inline]
@@ -33,11 +38,31 @@ macro_rules! impl_id {
                 self.0 as usize
             }
 
-            /// Construct from a dense index. Panics if the index does not
-            /// fit in `u32` (the store never allocates that many ids).
+            /// Construct from a dense index.
+            ///
+            /// # Panics
+            /// Panics if the index does not fit in `u32`. Ingestion
+            /// boundaries guard with [`Self::try_from_index`] (or a length
+            /// check) before interning, so internal callers only see
+            /// indexes the store actually allocated.
             #[inline]
             pub fn from_index(i: usize) -> Self {
-                Self(u32::try_from(i).expect("id space exhausted"))
+                Self::try_from_index(i).expect("id space exhausted")
+            }
+
+            /// Fallible variant of [`Self::from_index`]: a typed
+            /// [`KbError::IdSpaceExhausted`] instead of a panic when the
+            /// index exceeds the dense `u32` id space. This is the form
+            /// ingestion boundaries use on adversarial input.
+            #[inline]
+            pub fn try_from_index(i: usize) -> Result<Self, KbError> {
+                match u32::try_from(i) {
+                    Ok(raw) => Ok(Self(raw)),
+                    Err(_) => Err(KbError::IdSpaceExhausted {
+                        kind: Self::KIND,
+                        index: i,
+                    }),
+                }
             }
         }
 
@@ -49,10 +74,10 @@ macro_rules! impl_id {
     };
 }
 
-impl_id!(ResourceId);
-impl_id!(ClassId);
-impl_id!(PropertyId);
-impl_id!(LiteralId);
+impl_id!(ResourceId, "resource");
+impl_id!(ClassId, "class");
+impl_id!(PropertyId, "property");
+impl_id!(LiteralId, "literal");
 
 #[cfg(test)]
 mod tests {
@@ -77,5 +102,23 @@ mod tests {
     #[test]
     fn display_prints_raw_index() {
         assert_eq!(PropertyId(42).to_string(), "42");
+    }
+
+    #[test]
+    fn try_from_index_surfaces_typed_exhaustion() {
+        assert_eq!(
+            ResourceId::try_from_index(u32::MAX as usize).unwrap(),
+            ResourceId(u32::MAX)
+        );
+        let oversized = u32::MAX as usize + 1;
+        match LiteralId::try_from_index(oversized) {
+            Err(KbError::IdSpaceExhausted { kind, index }) => {
+                assert_eq!(kind, "literal");
+                assert_eq!(index, oversized);
+            }
+            other => panic!("expected IdSpaceExhausted, got {other:?}"),
+        }
+        assert!(ClassId::try_from_index(1usize << 40).is_err());
+        assert!(PropertyId::try_from_index(0).is_ok());
     }
 }

@@ -6,15 +6,22 @@
 //! responsibility of [`crate::label_index`].
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A string interner handing out dense indexes.
 ///
 /// Generic over the id type only through `usize` indexes; the typed wrappers
 /// in [`crate::ids`] convert at the call sites.
+///
+/// Each distinct term owns exactly one heap allocation: the arena `Vec` and
+/// the reverse-lookup map share it through an `Arc<str>`. At Yago scale
+/// (hundreds of thousands of labels) storing every term twice — which a
+/// naive `Box<str>` arena plus `Box<str>`-keyed map does — doubles resident
+/// label memory for no benefit.
 #[derive(Debug, Default, Clone)]
 pub struct Interner {
-    strings: Vec<Box<str>>,
-    lookup: HashMap<Box<str>, usize>,
+    strings: Vec<Arc<str>>,
+    lookup: HashMap<Arc<str>, usize>,
 }
 
 impl Interner {
@@ -30,9 +37,9 @@ impl Interner {
             return i;
         }
         let i = self.strings.len();
-        let boxed: Box<str> = s.into();
-        self.strings.push(boxed.clone());
-        self.lookup.insert(boxed, i);
+        let shared: Arc<str> = Arc::from(s);
+        self.strings.push(Arc::clone(&shared));
+        self.lookup.insert(shared, i);
         i
     }
 
@@ -62,6 +69,12 @@ impl Interner {
     /// Iterate over `(index, string)` pairs in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &str)> {
         self.strings.iter().enumerate().map(|(i, s)| (i, &**s))
+    }
+
+    /// Total bytes of string payload held, counting each term's allocation
+    /// once regardless of how many internal views share it.
+    pub fn string_heap_bytes(&self) -> usize {
+        self.strings.iter().map(|s| s.len()).sum()
     }
 }
 
@@ -111,5 +124,38 @@ mod tests {
         let it = Interner::new();
         assert!(it.is_empty());
         assert_eq!(it.len(), 0);
+    }
+
+    #[test]
+    fn each_term_is_stored_once() {
+        // Memory accounting: the arena slot and the map key must share one
+        // allocation (strong count exactly 2), and the payload accounting
+        // must equal the sum of distinct term lengths — not double it.
+        let mut it = Interner::new();
+        let terms = ["Italy", "Rome", "a much longer borrowed label"];
+        for t in terms {
+            it.intern(t);
+            it.intern(t); // re-intern must not clone a second copy
+        }
+        for (i, _) in it.strings.iter().enumerate() {
+            assert_eq!(
+                Arc::strong_count(&it.strings[i]),
+                2,
+                "term {i} must be shared by exactly the arena and the map"
+            );
+        }
+        let distinct: usize = terms.iter().map(|t| t.len()).sum();
+        assert_eq!(it.string_heap_bytes(), distinct);
+    }
+
+    #[test]
+    fn clone_shares_no_extra_payload_copies() {
+        // Cloning the interner bumps refcounts instead of copying bytes;
+        // the per-term payload accounting stays flat.
+        let mut it = Interner::new();
+        it.intern("Italy");
+        let cloned = it.clone();
+        assert_eq!(cloned.string_heap_bytes(), it.string_heap_bytes());
+        assert_eq!(Arc::strong_count(&it.strings[0]), 4);
     }
 }

@@ -23,6 +23,13 @@
 //! * runtime **enrichment** (§6.1): crowd-confirmed facts are inserted and
 //!   immediately visible to subsequent queries.
 //!
+//! The fact indexes live in a **dictionary-encoded columnar triple
+//! store** (sorted CSR arenas over interned `u32` ids, gallop-searched;
+//! copy-on-write overlays absorb enrichment) with a cost-based
+//! type-first/rel-first probe planner; a legacy hash-map backend is kept
+//! behind the same `FactStore` contract as the equivalence baseline. See
+//! DESIGN.md §5i.
+//!
 //! # Quick example
 //!
 //! ```
@@ -45,6 +52,7 @@
 
 pub mod builder;
 pub mod coherence;
+mod columnar;
 mod dedup;
 pub mod error;
 pub mod ids;
@@ -54,6 +62,7 @@ pub mod journal;
 pub mod label_index;
 pub mod ntriples;
 pub mod ontology;
+mod plan;
 pub mod query;
 pub mod sim;
 pub mod store;
@@ -73,6 +82,7 @@ pub use journal::{
 };
 pub use label_index::{LabelIndex, LabelMatch};
 pub use ontology::Hierarchy;
+pub use plan::ProbePlan;
 pub use query::Object;
 pub use store::Kb;
 

@@ -489,6 +489,10 @@ pub fn parse_with_policy(
         b.entity_labeled(iri, &label, &[])
     };
     for (s, p, o) in &triples {
+        // Ingestion boundary: refuse (typed error, not an id-constructor
+        // panic) before any id space could overflow. One triple adds at
+        // most two ids to any one space.
+        b.check_id_headroom(2)?;
         let Term::Iri(pi) = p else { continue };
         let s_key: &str = match s {
             Term::Iri(si) => si,

@@ -14,6 +14,7 @@
 
 use std::collections::HashMap;
 
+use crate::columnar::gallop_search_by_key;
 use crate::error::KbError;
 
 /// A DAG of `subClassOf`-style edges over dense node indexes, with a
@@ -170,11 +171,7 @@ impl Hierarchy {
     /// True iff `a == b` or `b` is a transitive ancestor of `a`.
     pub fn is_a(&self, a: u32, b: u32) -> bool {
         self.assert_closed();
-        a == b
-            || self
-                .closure_slice(a)
-                .binary_search_by_key(&b, |&(p, _)| p)
-                .is_ok()
+        a == b || gallop_search_by_key(self.closure_slice(a), &b, |&(p, _)| p).is_ok()
     }
 
     /// Minimal number of edges from `a` up to `b`; `Some(0)` if equal,
@@ -185,8 +182,7 @@ impl Hierarchy {
             return Some(0);
         }
         let slice = self.closure_slice(a);
-        slice
-            .binary_search_by_key(&b, |&(p, _)| p)
+        gallop_search_by_key(slice, &b, |&(p, _)| p)
             .ok()
             .map(|i| slice[i].1)
     }

@@ -1,0 +1,134 @@
+//! Cost-based probe planning for the candidate-pair relation join.
+//!
+//! `Q_rels^1` over two table values is a join between two candidate lists
+//! (|ca| × |cb| resource pairs) and the SPO arena. Two physical plans
+//! produce identical output:
+//!
+//! * **Type-first** — probe each `(ra, rb)` pair individually: binary
+//!   search `ra`'s adjacency run per pair. Cost ≈ `|ca|·|cb|·log(deg)`.
+//!   Wins when the candidate lists are short (the common single-candidate
+//!   cell after exact label match).
+//! * **Relation-first** — per subject `ra`, walk its adjacency run once
+//!   and gallop-merge it against the object candidates sorted by id.
+//!   Cost ≈ `|ca|·(deg + |cb|)` plus one `|cb|·log|cb|` sort per call.
+//!   Wins when candidate lists are long relative to the typical degree
+//!   (fuzzy/homonym-heavy cells).
+//!
+//! The planner picks per candidate pattern from precomputed cardinality
+//! stats ([`CardStats`], built once at index-construction time). All cost
+//! arithmetic is integer — the workspace bans float comparisons in
+//! decision paths — and the choice is a pure function of the list lengths
+//! and frozen stats, so it is deterministic and, because both plans emit
+//! in identical order, can never change query results.
+
+/// Physical execution order for a candidate-pair relation probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbePlan {
+    /// Per-pair probes: binary search the subject's adjacency per pair.
+    TypeFirst,
+    /// Per-subject gallop merge join against sorted object candidates.
+    RelFirst,
+}
+
+/// Cardinality statistics of the SPO arena, frozen at index build time
+/// (like the paper's offline coherence computation, they are not updated
+/// by enrichment writes).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct CardStats {
+    /// Average adjacency-run length over subjects with at least one
+    /// resource fact (`rr_pairs / rr_subjects`, floor, ≥1 when any pair
+    /// exists, 0 on an empty arena).
+    pub(crate) avg_degree: u32,
+}
+
+impl CardStats {
+    /// Derive stats from distinct `(subject, object)` key count and the
+    /// number of subjects carrying at least one resource fact.
+    pub(crate) fn new(rr_pairs: usize, rr_subjects: usize) -> Self {
+        let avg = rr_pairs.checked_div(rr_subjects).map_or(0, |q| q.max(1));
+        CardStats {
+            avg_degree: avg.min(u32::MAX as usize) as u32,
+        }
+    }
+}
+
+/// Bit length of `x` (⌊log2 x⌋ + 1 for x ≥ 1): the integer stand-in for a
+/// binary-search comparison count.
+fn bit_length(x: u64) -> u64 {
+    u64::from(u64::BITS - x.max(1).leading_zeros())
+}
+
+/// Choose the probe plan for a `|ca| × |cb|` candidate pattern.
+///
+/// Ties go to [`ProbePlan::TypeFirst`] (the historical order). Degenerate
+/// patterns (either list empty) cost nothing either way and also stay
+/// type-first.
+pub(crate) fn choose(ca: usize, cb: usize, stats: &CardStats) -> ProbePlan {
+    if ca == 0 || cb == 0 {
+        return ProbePlan::TypeFirst;
+    }
+    let (ca, cb) = (ca as u64, cb as u64);
+    let deg = u64::from(stats.avg_degree);
+    // Per-pair binary probe over an adjacency run of ~deg entries.
+    let type_first = ca * cb * bit_length(deg + 2);
+    // Per-subject merge walk + one sort of the object candidates.
+    let rel_first = ca * (deg + cb) + cb * bit_length(cb + 2);
+    if rel_first < type_first {
+        ProbePlan::RelFirst
+    } else {
+        ProbePlan::TypeFirst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_length_small_values() {
+        assert_eq!(bit_length(1), 1);
+        assert_eq!(bit_length(2), 2);
+        assert_eq!(bit_length(4), 3);
+        assert_eq!(bit_length(1024), 11);
+    }
+
+    #[test]
+    fn stats_average_degree() {
+        assert_eq!(CardStats::new(0, 0).avg_degree, 0);
+        assert_eq!(CardStats::new(10, 3).avg_degree, 3);
+        // Floor never drops below 1 when pairs exist.
+        assert_eq!(CardStats::new(2, 5).avg_degree, 1);
+    }
+
+    #[test]
+    fn single_candidate_patterns_stay_type_first() {
+        let stats = CardStats::new(1_000_000, 300_000);
+        assert_eq!(choose(1, 1, &stats), ProbePlan::TypeFirst);
+        assert_eq!(choose(3, 1, &stats), ProbePlan::TypeFirst);
+        assert_eq!(choose(0, 10, &stats), ProbePlan::TypeFirst);
+        assert_eq!(choose(10, 0, &stats), ProbePlan::TypeFirst);
+    }
+
+    #[test]
+    fn wide_object_lists_switch_to_rel_first() {
+        // Typical Yago shape: ~3 facts per subject, fuzzy cells with
+        // dozens of homonym candidates.
+        let stats = CardStats::new(1_500_000, 500_000);
+        assert_eq!(choose(4, 32, &stats), ProbePlan::RelFirst);
+        assert_eq!(choose(8, 64, &stats), ProbePlan::RelFirst);
+        // A single subject cannot amortize the candidate sort.
+        assert_eq!(choose(1, 64, &stats), ProbePlan::TypeFirst);
+    }
+
+    #[test]
+    fn stats_are_load_bearing() {
+        // Identical pattern, different frozen stats, different plan.
+        let dense = CardStats::new(4_000_000, 10_000); // deg 400
+        let sparse = CardStats::new(4_000_000, 4_000_000); // deg 1
+        assert_eq!(choose(2, 200, &dense), ProbePlan::RelFirst);
+        assert_eq!(choose(2, 200, &sparse), ProbePlan::TypeFirst);
+        // Walking a 400-entry run per subject is a loss when only two
+        // object candidates exist: stay with per-pair probes.
+        assert_eq!(choose(200, 2, &dense), ProbePlan::TypeFirst);
+    }
+}

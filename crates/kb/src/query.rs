@@ -2,10 +2,12 @@
 //! primitives used by pattern matching (§3.2), annotation (§6.1) and
 //! repair (§6.2).
 
+use crate::columnar::gallop_search;
 use crate::dedup::OrderedDedup;
 use crate::ids::{ClassId, LiteralId, PropertyId, ResourceId};
+use crate::plan::ProbePlan;
 use crate::sim;
-use crate::store::Kb;
+use crate::store::{FactStore, Kb};
 
 /// The object position of a triple: a resource or a literal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -63,8 +65,7 @@ impl Kb {
     /// Asserted properties from `a` to `b`, *without* superproperty
     /// expansion.
     pub fn asserted_relations(&self, a: ResourceId, b: ResourceId) -> &[PropertyId] {
-        static EMPTY: Vec<PropertyId> = Vec::new();
-        self.rr_index.get(&(a, b)).unwrap_or(&EMPTY)
+        self.facts.rr_get(a, b)
     }
 
     /// Properties (including superproperties of asserted ones) from
@@ -110,14 +111,95 @@ impl Kb {
         ca: &[(ResourceId, f64)],
         cb: &[(ResourceId, f64)],
     ) -> Vec<PropertyId> {
+        self.relations_for_candidates_planned(ca, cb).0
+    }
+
+    /// [`Kb::relations_for_candidates`] plus the [`ProbePlan`] the
+    /// cost-based planner picked for this pattern. Both plans emit
+    /// byte-identical output; the plan is returned so callers can tally
+    /// planner decisions into observability counters.
+    pub fn relations_for_candidates_planned(
+        &self,
+        ca: &[(ResourceId, f64)],
+        cb: &[(ResourceId, f64)],
+    ) -> (Vec<PropertyId>, ProbePlan) {
+        let plan = self.facts.choose_plan(ca.len(), cb.len());
         let mut out = Vec::new();
         let mut seen = OrderedDedup::new();
+        match plan {
+            ProbePlan::TypeFirst => {
+                for &(ra, _) in ca {
+                    for &(rb, _) in cb {
+                        self.relations_between_into(ra, rb, &mut seen, &mut out);
+                    }
+                }
+            }
+            ProbePlan::RelFirst => self.relations_rel_first(ca, cb, &mut seen, &mut out),
+        }
+        (out, plan)
+    }
+
+    /// Relation-first executor: per subject candidate, gallop-merge the
+    /// (sorted, overlay-free) base adjacency run against the object
+    /// candidates sorted by id, then emit matches in `cb` position order
+    /// so the output is byte-identical to the per-pair nested loop.
+    /// Only reachable on the columnar backend with an empty overlay —
+    /// the planner guarantees both.
+    fn relations_rel_first(
+        &self,
+        ca: &[(ResourceId, f64)],
+        cb: &[(ResourceId, f64)],
+        seen: &mut OrderedDedup<PropertyId>,
+        out: &mut Vec<PropertyId>,
+    ) {
+        let FactStore::Columnar(cf) = &self.facts else {
+            unreachable!("rel-first plan requires the columnar backend");
+        };
+        let mut sorted_cb: Vec<(ResourceId, u32)> = cb
+            .iter()
+            .enumerate()
+            .map(|(pos, &(rb, _))| (rb, pos as u32))
+            .collect();
+        sorted_cb.sort_unstable();
+        // (cb position, arena key) matches for one subject.
+        let mut matches: Vec<(u32, usize)> = Vec::new();
         for &(ra, _) in ca {
-            for &(rb, _) in cb {
-                self.relations_between_into(ra, rb, &mut seen, &mut out);
+            matches.clear();
+            let (adj, base) = cf.rr.adjacency(ra);
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < adj.len() && j < sorted_cb.len() {
+                let a = adj[i];
+                let b = sorted_cb[j].0;
+                if a < b {
+                    // Gallop the adjacency run forward to the candidate.
+                    i += match gallop_search(&adj[i..], &b) {
+                        Ok(d) | Err(d) => d,
+                    };
+                } else if b < a {
+                    j += sorted_cb[j..].partition_point(|&(rb, _)| rb < a);
+                } else {
+                    // Duplicate candidate entries all match this run slot.
+                    while j < sorted_cb.len() && sorted_cb[j].0 == a {
+                        matches.push((sorted_cb[j].1, base + i));
+                        j += 1;
+                    }
+                    i += 1;
+                }
+            }
+            matches.sort_unstable();
+            for &(_, key) in &matches {
+                for &p in cf.rr.props_at(key) {
+                    seen.push(p, out);
+                    seen.extend(
+                        self.prop_hier
+                            .ancestors_slice(p.0)
+                            .iter()
+                            .map(|&(anc, _)| PropertyId(anc)),
+                        out,
+                    );
+                }
             }
         }
-        out
     }
 
     /// `Q_rels^2`: relationships from resources matching `a` to a *literal*
@@ -133,24 +215,23 @@ impl Kb {
         ca: &[(ResourceId, f64)],
         norm_b: &str,
     ) -> Vec<PropertyId> {
-        let Some(lids) = self.literal_norm.get(norm_b) else {
+        let lids = self.facts.literal_norm_get(norm_b);
+        if lids.is_empty() {
             return Vec::new();
-        };
+        }
         let mut out = Vec::new();
         let mut seen = OrderedDedup::new();
         for &(ra, _) in ca {
             for &lid in lids {
-                if let Some(props) = self.rl_index.get(&(ra, lid)) {
-                    for &p in props {
-                        seen.push(p, &mut out);
-                        seen.extend(
-                            self.prop_hier
-                                .ancestors_slice(p.0)
-                                .iter()
-                                .map(|&(anc, _)| PropertyId(anc)),
-                            &mut out,
-                        );
-                    }
+                for &p in self.facts.rl_get(ra, lid) {
+                    seen.push(p, &mut out);
+                    seen.extend(
+                        self.prop_hier
+                            .ancestors_slice(p.0)
+                            .iter()
+                            .map(|&(anc, _)| PropertyId(anc)),
+                        &mut out,
+                    );
                 }
             }
         }
@@ -169,13 +250,11 @@ impl Kb {
     /// normalization and subproperty closure.
     pub fn holds_literal(&self, a: ResourceId, p: PropertyId, lit: &str) -> bool {
         let norm = sim::normalize(lit);
-        let Some(lids) = self.literal_norm.get(&norm) else {
-            return false;
-        };
-        lids.iter().any(|&lid| {
-            self.rl_index
-                .get(&(a, lid))
-                .is_some_and(|props| props.iter().any(|&p2| self.prop_hier.is_a(p2.0, p.0)))
+        self.facts.literal_norm_get(&norm).iter().any(|&lid| {
+            self.facts
+                .rl_get(a, lid)
+                .iter()
+                .any(|&p2| self.prop_hier.is_a(p2.0, p.0))
         })
     }
 
@@ -452,6 +531,49 @@ mod tests {
                 "lit rels {a}/{b}"
             );
         }
+    }
+
+    #[test]
+    fn both_probe_plans_emit_identical_relations() {
+        // Dense KB: one hub subject with many facts, candidate lists wide
+        // enough to push the planner to rel-first.
+        let mut b = KbBuilder::new();
+        let c = b.class("thing");
+        let rel = b.property("rel");
+        let sup = b.property("linked");
+        b.subproperty(rel, sup).unwrap();
+        let subjects: Vec<_> = (0..6).map(|i| b.entity(&format!("S{i}"), &[c])).collect();
+        let objects: Vec<_> = (0..40).map(|i| b.entity(&format!("O{i}"), &[c])).collect();
+        for &s in &subjects {
+            for (i, &o) in objects.iter().enumerate() {
+                if i % 3 == 0 {
+                    b.fact(s, rel, o);
+                }
+            }
+        }
+        let kb = b.finalize();
+
+        let ca: Vec<_> = subjects.iter().map(|&s| (s, 1.0)).collect();
+        // Reversed + duplicated object candidates: order and dedup of the
+        // output must still match the per-pair nested loop exactly.
+        let mut cb: Vec<_> = objects.iter().rev().map(|&o| (o, 0.9)).collect();
+        cb.push(cb[0]);
+        let (fast, plan) = kb.relations_for_candidates_planned(&ca, &cb);
+        assert_eq!(plan, ProbePlan::RelFirst, "pattern should pick rel-first");
+        let (slow, legacy_plan) = kb
+            .with_legacy_backend()
+            .relations_for_candidates_planned(&ca, &cb);
+        assert_eq!(legacy_plan, ProbePlan::TypeFirst);
+        assert_eq!(fast, slow);
+        assert_eq!(fast, vec![rel, sup]);
+
+        // Enrichment writes push the columnar store into overlay mode:
+        // the planner must fall back to per-pair probes.
+        let mut enriched = kb.clone();
+        assert!(enriched.add_fact(subjects[0], rel, objects[1]));
+        let (after, plan_after) = enriched.relations_for_candidates_planned(&ca, &cb);
+        assert_eq!(plan_after, ProbePlan::TypeFirst);
+        assert_eq!(after, vec![rel, sup]);
     }
 
     #[test]

@@ -94,6 +94,8 @@ metric_enum! {
         JournalFsyncs => "journal.fsyncs",
         JournalReplayedRecords => "journal.replayed_records",
         JournalRetries => "journal.retries",
+        KbPlanRelFirst => "kb.plan_rel_first",
+        KbPlanTypeFirst => "kb.plan_type_first",
         RepairBudgetStopped => "repair.budget_stopped",
         RepairGraphsBuilt => "repair.graphs_built",
         RepairIndexTruncated => "repair.index_truncated",

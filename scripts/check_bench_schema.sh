@@ -2,9 +2,10 @@
 # Validate the schema of a BENCH_*.json report (crates/bench/src/perf.rs).
 # Three shapes exist: thread-scaling reports (samples keyed by
 # "threads"), the resolve report (samples keyed by "config": cold vs
-# snapshot, plus a "distinct_ratio"), and the serve report (samples
-# keyed by "config" and "concurrency", with req/s and latency
-# percentiles). The file's "bench" field picks the shape.
+# cold_legacy vs snapshot, plus "distinct_ratio", "triples",
+# "index_build_ms", and the kb.plan_* probe-planner counters), and the
+# serve report (samples keyed by "config" and "concurrency", with req/s
+# and latency percentiles). The file's "bench" field picks the shape.
 # Usage: check_bench_schema.sh FILE...
 set -euo pipefail
 
@@ -48,12 +49,28 @@ for file in "$@"; do
     ok=0
   fi
   if grep -Eq '"bench": "resolve"' "$file"; then
-    # Resolve report: cold-vs-snapshot end-to-end clean.
+    # Resolve report: cold-vs-snapshot end-to-end clean, plus the
+    # columnar-store fields (fixture scale, index-build cost, a
+    # legacy-backend cold baseline, and the probe-planner counters).
     if ! grep -Eq '"distinct_ratio": [0-9]+\.[0-9]+,' "$file"; then
       echo "$file: missing numeric \"distinct_ratio\"" >&2
       ok=0
     fi
-    for config in cold snapshot; do
+    if ! grep -Eq '"triples": [0-9]+,' "$file"; then
+      echo "$file: missing integer \"triples\" (KB size the probes ran at)" >&2
+      ok=0
+    fi
+    if ! grep -Eq '"index_build_ms": [0-9]+\.[0-9]+,' "$file"; then
+      echo "$file: missing numeric \"index_build_ms\" (columnar arena build cost)" >&2
+      ok=0
+    fi
+    for counter in kb.plan_type_first kb.plan_rel_first; do
+      if ! grep -Eq '"'"$counter"'": [0-9]+' "$file"; then
+        echo "$file: embedded metrics missing the \"$counter\" probe-plan counter" >&2
+        ok=0
+      fi
+    done
+    for config in cold cold_legacy snapshot; do
       if ! grep -Eq '\{ "config": "'"$config"'", "iters": [0-9]+, "wall_ms": [0-9]+\.[0-9]+, "speedup": [0-9]+\.[0-9]+ \}' "$file"; then
         echo "$file: no well-formed \"$config\" sample (config/iters/wall_ms/speedup)" >&2
         ok=0

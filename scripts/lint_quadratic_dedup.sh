@@ -1,26 +1,26 @@
 #!/usr/bin/env bash
 # Workspace convention (DESIGN.md §5e): order-preserving dedup on KB
-# query results goes through katara_kb::dedup (sorted-merge over flat
-# closures), never through the quadratic
+# query results goes through katara_kb::dedup (hashed first-occurrence
+# set), never through the quadratic
 # `if !out.contains(&x) { out.push(x) }` idiom. On hub entities with
 # hundreds of types/candidates that loop is O(n²) per cell and it was
 # the discovery hot path's dominant cost. This lint fails on any
 # `if !…contains(` dedup guard in the files that historically carried
 # the pattern.
-#
-# katara_kb::dedup itself keeps one small-n contains() fallback behind a
-# length threshold; it is allowlisted with that justification.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-# Files the lint covers (the historical offenders).
-FILES="crates/kb/src/query.rs crates/core/src/candidates.rs"
+# Files the lint covers (the historical offenders, plus the new
+# columnar engine and probe planner, which must stay contains()-free
+# from day one). dedup.rs is deliberately not scanned: its tests keep
+# the naive contains() scan as the reference implementation.
+FILES="crates/kb/src/query.rs crates/kb/src/columnar.rs crates/kb/src/plan.rs crates/core/src/candidates.rs"
 
 # Allowlisted files (exact repo-relative paths), one per line, with a
-# justification. dedup.rs: the small-n fallback inside the dedup module
-# is the one sanctioned contains() — everything else must call into it.
-ALLOW="crates/kb/src/dedup.rs"
+# justification. Currently empty: the dedup module is hashed now and no
+# production file carries a sanctioned contains() fallback any more.
+ALLOW=""
 
 fail=0
 while IFS= read -r hit; do
