@@ -466,6 +466,154 @@ impl ServeReport {
     }
 }
 
+/// One measured configuration of the incremental bench: a full re-clean
+/// or a delta re-clean at one edit rate.
+#[derive(Debug, Clone)]
+pub struct IncrementalSample {
+    /// Configuration label: `"full"` (re-clean the edited table from
+    /// scratch) or `"delta"` (replay the edits through a warm
+    /// `DeltaSession`).
+    pub config: String,
+    /// Fraction of rows edited per applied delta.
+    pub edit_rate: f64,
+    /// Iterations actually timed (min-total-time control).
+    pub iters: usize,
+    /// Mean wall time per applied delta, in milliseconds.
+    pub wall_ms: f64,
+    /// Wall-time ratio vs the `"full"` sample at the same edit rate.
+    pub speedup: f64,
+    /// Logical work of one instrumented application: the sum of every
+    /// `discovery.*` and `repair.*` counter it incremented.
+    pub work_counters: u64,
+}
+
+/// The full-vs-delta report for the `incremental` bench target — the
+/// [`ScalingReport`] envelope keyed by (config, edit rate), with each
+/// sample carrying the logical-work counter sum that makes "fraction of
+/// full work" checkable without rerunning the bench.
+#[derive(Debug, Clone)]
+pub struct IncrementalReport {
+    /// Bench name — becomes the `BENCH_<bench>.json` file name.
+    pub bench: String,
+    /// Human-readable fixture description.
+    pub fixture: String,
+    /// Measured configurations, in measurement order.
+    pub samples: Vec<IncrementalSample>,
+    /// Run metrics from one untimed instrumented run of the workload,
+    /// embedded under the `"metrics"` key when present.
+    pub metrics: Option<RunMetrics>,
+}
+
+impl IncrementalReport {
+    /// Start an empty report.
+    pub fn new(bench: &str, fixture: &str) -> Self {
+        IncrementalReport {
+            bench: bench.to_string(),
+            fixture: fixture.to_string(),
+            samples: Vec::new(),
+            metrics: None,
+        }
+    }
+
+    /// Time at least `min_iters` runs of `f` (and at least
+    /// [`min_sample_ms`] of wall time) and record the mean as the sample
+    /// for `(config, edit_rate)`. Speedups are (re)derived per edit rate
+    /// from that rate's `"full"` sample.
+    pub fn measure<F: FnMut()>(
+        &mut self,
+        config: &str,
+        edit_rate: f64,
+        min_iters: usize,
+        work_counters: u64,
+        f: F,
+    ) {
+        let (iters, wall_ms) = run_timed(min_iters, f);
+        self.samples.push(IncrementalSample {
+            config: config.to_string(),
+            edit_rate,
+            iters,
+            wall_ms,
+            speedup: 1.0,
+            work_counters,
+        });
+        let bases: Vec<(f64, f64)> = self
+            .samples
+            .iter()
+            .filter(|s| s.config == "full")
+            .map(|s| (s.edit_rate, s.wall_ms))
+            .collect();
+        for s in &mut self.samples {
+            let base = bases
+                .iter()
+                .find(|(r, _)| *r == s.edit_rate)
+                .map(|&(_, w)| w)
+                .unwrap_or(s.wall_ms);
+            s.speedup = if s.wall_ms > 0.0 {
+                base / s.wall_ms
+            } else {
+                1.0
+            };
+        }
+    }
+
+    /// Render the JSON document.
+    pub fn to_json(&self) -> String {
+        let parallelism = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let mode = if quick_mode() { "quick" } else { "full" };
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"bench\": \"{}\",\n", escape(&self.bench)));
+        out.push_str(&format!("  \"fixture\": \"{}\",\n", escape(&self.fixture)));
+        out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+        out.push_str(&format!("  \"parallelism\": {parallelism},\n"));
+        if let Some(m) = &self.metrics {
+            out.push_str("  \"metrics\": ");
+            out.push_str(&m.to_json_object(2));
+            out.push_str(",\n");
+        }
+        out.push_str("  \"samples\": [\n");
+        for (i, s) in self.samples.iter().enumerate() {
+            let comma = if i + 1 < self.samples.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{ \"config\": \"{}\", \"edit_rate\": {:.4}, \"iters\": {}, \
+                 \"wall_ms\": {:.3}, \"speedup\": {:.3}, \"work_counters\": {} }}{comma}\n",
+                escape(&s.config),
+                s.edit_rate,
+                s.iters,
+                s.wall_ms,
+                s.speedup,
+                s.work_counters
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Write `BENCH_<bench>.json` at the workspace root; returns the path.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..");
+        let path = root.join(format!("BENCH_{}.json", self.bench));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// Sum of every `discovery.*` and `repair.*` counter in a metrics
+/// snapshot — the logical-work figure the incremental report records per
+/// sample (resolution and crowd spend are tracked by their own counters;
+/// discovery + repair is what a delta re-clean is supposed to avoid).
+pub fn work_counters(metrics: &RunMetrics) -> u64 {
+    metrics
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("discovery.") || name.starts_with("repair."))
+        .map(|&(_, v)| v)
+        .sum()
+}
+
 /// Minimal JSON string escaping — fixture names are plain ASCII, but a
 /// stray quote must not corrupt the document.
 fn escape(s: &str) -> String {
@@ -579,6 +727,52 @@ mod tests {
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+    }
+
+    #[test]
+    fn incremental_report_speedups_are_per_edit_rate() {
+        let mut r = IncrementalReport::new("incremental", "toy");
+        r.measure("full", 0.01, 2, 100, || {
+            std::thread::sleep(std::time::Duration::from_millis(2))
+        });
+        r.measure("delta", 0.01, 2, 5, || {
+            std::thread::sleep(std::time::Duration::from_millis(1))
+        });
+        r.measure("full", 0.1, 2, 100, || {
+            std::thread::sleep(std::time::Duration::from_millis(1))
+        });
+        assert!((r.samples[0].speedup - 1.0).abs() < 1e-9);
+        assert!(r.samples[1].speedup > 1.0, "{:?}", r.samples);
+        assert!(
+            (r.samples[2].speedup - 1.0).abs() < 1e-9,
+            "each edit rate gets its own full baseline: {:?}",
+            r.samples
+        );
+        let json = r.to_json();
+        for key in [
+            "\"bench\": \"incremental\"",
+            "\"config\": \"full\"",
+            "\"config\": \"delta\"",
+            "\"edit_rate\": 0.0100",
+            "\"work_counters\": 100",
+            "\"work_counters\": 5",
+            "\"iters\"",
+            "\"wall_ms\"",
+            "\"speedup\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn work_counters_sums_discovery_and_repair_only() {
+        use katara_obs::{Counter, Recorder, RunRecorder};
+        let rec = RunRecorder::new();
+        rec.incr(Counter::DiscoveryHeapPops);
+        rec.incr_by(Counter::DiscoveryTypeProbes, 4);
+        rec.incr_by(Counter::RepairTuplesRepaired, 2);
+        rec.incr_by(Counter::CrowdQuestionsAsked, 99);
+        assert_eq!(work_counters(&rec.snapshot()), 7);
     }
 
     #[test]

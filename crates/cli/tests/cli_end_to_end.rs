@@ -89,6 +89,66 @@ fn clean_repairs_figure1_from_files() {
 }
 
 #[test]
+fn clean_with_delta_recleans_the_edited_table() {
+    let dir = tmpdir("delta");
+    let kb = dir.join("kb.nt");
+    let table = dir.join("t.csv");
+    let edits = dir.join("edits.csv");
+    let facts = dir.join("facts.tsv");
+    let out = dir.join("repaired.csv");
+    std::fs::write(&kb, KB_NT).unwrap();
+    std::fs::write(&table, TABLE_CSV).unwrap();
+    std::fs::write(&facts, FACTS_TSV).unwrap();
+    // Fix the erroneous row by hand, append a valid row, drop Klate.
+    std::fs::write(
+        &edits,
+        "op,row,A,B,C\n\
+         upsert,2,Pirlo,Italy,Rome\n\
+         upsert,3,Rossi,Italy,Rome\n\
+         delete,1,,,\n",
+    )
+    .unwrap();
+
+    let args: Vec<String> = [
+        "clean",
+        "--table",
+        table.to_str().unwrap(),
+        "--kb",
+        kb.to_str().unwrap(),
+        "--crowd",
+        &format!("facts:{}", facts.display()),
+        "--delta",
+        edits.to_str().unwrap(),
+        "--out",
+        out.to_str().unwrap(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let status = run(parse_args(&args).unwrap()).unwrap();
+    // Every surviving row is KB-valid, so the incremental re-clean is
+    // degradation-free even though the bootstrap run asked questions.
+    assert_eq!(status, RunStatus::Clean);
+
+    // The output reflects the edited table, not the base one.
+    let repaired = std::fs::read_to_string(&out).unwrap();
+    assert!(repaired.contains("Pirlo,Italy,Rome"), "{repaired}");
+    assert!(repaired.contains("Rossi,Italy,Rome"), "{repaired}");
+    assert!(!repaired.contains("Klate"), "{repaired}");
+    assert!(!repaired.contains("Madrid"), "{repaired}");
+
+    // A malformed edits file is a usage error, not a crash.
+    std::fs::write(&edits, "op,row,A\nupsert,0,x\n").unwrap();
+    let err = run(parse_args(&args).unwrap()).unwrap_err();
+    assert!(
+        matches!(err, katara_cli::CliError::Usage(_)),
+        "expected a usage error, got {err:?}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn discover_and_stats_run() {
     let dir = tmpdir("discover");
     let kb = dir.join("kb.nt");
@@ -134,6 +194,7 @@ fn trust_mode_enriches_everything() {
         direct_resolve: false,
         metrics: None,
         trace: false,
+        delta: None,
     })
     .unwrap();
     // Trust mode confirms even the wrong capital: the KB gains both the
@@ -165,6 +226,7 @@ fn exhausted_budget_degrades_instead_of_failing() {
         direct_resolve: false,
         metrics: None,
         trace: false,
+        delta: None,
     })
     .unwrap();
     assert_eq!(status, RunStatus::Degraded);
@@ -273,6 +335,7 @@ fn strict_ingestion_rejects_the_same_corrupted_inputs() {
         direct_resolve: false,
         metrics: None,
         trace: false,
+        delta: None,
     })
     .unwrap_err();
     match err {

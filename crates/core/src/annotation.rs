@@ -213,14 +213,39 @@ pub fn annotate_resolved<O: Oracle>(
     config: &AnnotationConfig,
     resolution: Option<&TableResolution>,
 ) -> AnnotationResult {
+    annotate_resolved_cached(table, pattern, kb, crowd, config, resolution, None)
+}
+
+/// [`annotate_resolved`] with a carry-over cache: `full_rows[r]` asserts
+/// that row `r` matched the pattern [`TupleMatch::Full`] on a previous
+/// run *under this same pattern* and that nothing affecting the match
+/// (the row's cells, the KB) has changed since. Such rows synthesize
+/// their all-KB annotation without re-matching. A `Full` row asks no
+/// crowd questions and triggers no enrichment, so skipping the match is
+/// output-invisible — the incremental engine's correctness argument
+/// (DESIGN.md §5j) rests on callers only passing rows whose `Full`
+/// outcome is still guaranteed. The feedback re-pass never uses the
+/// cache (the stripped pattern differs from the cached one).
+#[allow(clippy::too_many_arguments)]
+pub fn annotate_resolved_cached<O: Oracle>(
+    table: &Table,
+    pattern: &TablePattern,
+    kb: &mut Kb,
+    crowd: &mut Crowd<O>,
+    config: &AnnotationConfig,
+    resolution: Option<&TableResolution>,
+    full_rows: Option<&[bool]>,
+) -> AnnotationResult {
     // Capture spans both annotation passes: the returned delta is the
     // complete, replayable record of what this run wrote to `kb`.
     kb.begin_delta_capture();
-    let mut result = annotate_resolved_inner(table, pattern, kb, crowd, config, resolution);
+    let mut result =
+        annotate_resolved_inner(table, pattern, kb, crowd, config, resolution, full_rows);
     result.delta = kb.take_delta();
     result
 }
 
+#[allow(clippy::too_many_arguments)]
 fn annotate_resolved_inner<O: Oracle>(
     table: &Table,
     pattern: &TablePattern,
@@ -228,12 +253,15 @@ fn annotate_resolved_inner<O: Oracle>(
     crowd: &mut Crowd<O>,
     config: &AnnotationConfig,
     resolution: Option<&TableResolution>,
+    full_rows: Option<&[bool]>,
 ) -> AnnotationResult {
     // Boolean fact answers are memoized: duplicate tuples (and the
     // feedback re-pass) must not re-ask the crowd the same question —
     // a no-answer is as reusable as a yes-answer.
     let mut memo: HashMap<(String, String, String), bool> = HashMap::new();
-    let result = annotate_once(table, pattern, kb, crowd, config, &mut memo, resolution);
+    let result = annotate_once(
+        table, pattern, kb, crowd, config, &mut memo, resolution, full_rows,
+    );
     if table.num_rows() < config.feedback_min_tuples {
         return result;
     }
@@ -311,7 +339,9 @@ fn annotate_resolved_inner<O: Oracle>(
     let Ok(reduced) = TablePattern::new(nodes, edges, pattern.score()) else {
         return result; // cannot strip into a valid pattern; keep pass 1
     };
-    let mut second = annotate_once(table, &reduced, kb, crowd, config, &mut memo, resolution);
+    let mut second = annotate_once(
+        table, &reduced, kb, crowd, config, &mut memo, resolution, None,
+    );
     second.enriched_facts += result.enriched_facts;
     second.enriched_entities += result.enriched_entities;
     second.feedback_stripped = stripped;
@@ -320,6 +350,7 @@ fn annotate_resolved_inner<O: Oracle>(
 
 /// One annotation pass (no feedback). `memo` caches crowd answers to
 /// boolean fact questions across tuples and passes.
+#[allow(clippy::too_many_arguments)]
 fn annotate_once<O: Oracle>(
     table: &Table,
     pattern: &TablePattern,
@@ -328,6 +359,7 @@ fn annotate_once<O: Oracle>(
     config: &AnnotationConfig,
     memo: &mut HashMap<(String, String, String), bool>,
     resolution: Option<&TableResolution>,
+    full_rows: Option<&[bool]>,
 ) -> AnnotationResult {
     let mut result = AnnotationResult {
         tuples: Vec::new(),
@@ -347,6 +379,17 @@ fn annotate_once<O: Oracle>(
                 status: TupleStatus::Unresolved,
                 node_categories: vec![Category::Unresolved; pattern.nodes().len()],
                 edge_categories: vec![Category::Unresolved; pattern.edges().len()],
+            });
+            continue;
+        }
+        if full_rows.is_some_and(|f| f.get(row_idx).copied().unwrap_or(false)) {
+            // Carried-over Full row: matches fully, asks nothing, enriches
+            // nothing — identical output without re-matching.
+            result.tuples.push(TupleAnnotation {
+                row: row_idx,
+                status: TupleStatus::ValidatedByKb,
+                node_categories: vec![Category::Kb; pattern.nodes().len()],
+                edge_categories: vec![Category::Kb; pattern.edges().len()],
             });
             continue;
         }

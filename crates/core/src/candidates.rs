@@ -22,12 +22,21 @@
 //! preserving the paper's ranking intent (rarer types score higher).
 //! Relationship scores are defined "similarly" (paper's wording) with
 //! `subENT(P)` as the document.
+//!
+//! ### Canonical fold order
+//!
+//! Scores accumulate per *distinct normalized value* (weighted by its
+//! occurrence count), folded in normalized-string order — not per row.
+//! Floating-point addition is order-sensitive, so pinning the fold order
+//! to a property of the value multiset (rather than row order) is what
+//! lets the incremental engine ([`crate::delta`]) re-fold a column from
+//! maintained counts and land on bit-identical scores.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use katara_exec::{par_map_indexed, par_map_indexed_with, Threads};
-use katara_kb::{ClassId, Kb, PropertyId};
+use katara_kb::{sim, ClassId, Kb, PropertyId};
 use katara_obs::{Counter, NoopRecorder, Recorder};
 use katara_table::Table;
 
@@ -163,27 +172,17 @@ pub fn discover_candidates_resolved(
     let ncols = table.num_columns();
 
     // ---- Types per column ------------------------------------------------
-    let num_classes = kb.num_classes().max(1) as f64;
     let col_types: Vec<Vec<TypeCandidate>> = par_map_indexed(config.threads, ncols, |c| {
-        let mut acc: HashMap<ClassId, (f64, usize)> = HashMap::new();
+        let mut counts: HashMap<u32, usize> = HashMap::new();
         let mut non_null = 0usize;
         for r in 0..rows {
             let Some(id) = resolution.value_id(c, r) else {
                 continue;
             };
             non_null += 1;
-            let types = resolution.types_of(kb, id);
-            if types.is_empty() {
-                continue;
-            }
-            let idf = (num_classes / types.len() as f64).ln().max(0.0);
-            for &t in types.iter() {
-                let tf = 1.0 / (1.0 + (kb.class_size(t) as f64).ln());
-                let e = acc.entry(t).or_insert((0.0, 0));
-                e.0 += tf * idf;
-                e.1 += 1;
-            }
+            *counts.entry(id).or_insert(0) += 1;
         }
+        let acc = fold_types_from_counts(kb, resolution, &counts);
         config
             .recorder
             .incr_by(Counter::DiscoveryTypeProbes, non_null as u64);
@@ -191,39 +190,21 @@ pub fn discover_candidates_resolved(
     });
 
     // ---- Relationships per ordered pair -----------------------------------
-    let num_props = kb.num_properties().max(1) as f64;
     let pairs: Vec<(usize, usize)> = (0..ncols)
         .flat_map(|i| (0..ncols).filter(move |&j| j != i).map(move |j| (i, j)))
         .collect();
     let ranked_pairs: Vec<Vec<RelCandidate>> = par_map_indexed(config.threads, pairs.len(), |pi| {
         let (i, j) = pairs[pi];
-        let mut acc: HashMap<PropertyId, (f64, usize, bool)> = HashMap::new();
+        let mut counts: HashMap<(u32, u32), usize> = HashMap::new();
         let mut non_null = 0usize;
         for r in 0..rows {
             let (Some(a), Some(b)) = (resolution.value_id(i, r), resolution.value_id(j, r)) else {
                 continue;
             };
             non_null += 1;
-            let rels = resolution.pair_relations(kb, a, b);
-            let total = rels.res.len() + rels.lit.len();
-            if total == 0 {
-                continue;
-            }
-            let idf = (num_props / total as f64).ln().max(0.0);
-            for (&p, is_lit) in rels
-                .res
-                .iter()
-                .map(|p| (p, false))
-                .chain(rels.lit.iter().map(|p| (p, true)))
-            {
-                let doc = kb.subjects_of_property(p).len();
-                let tf = 1.0 / (1.0 + (doc.max(1) as f64).ln());
-                let e = acc.entry(p).or_insert((0.0, 0, false));
-                e.0 += tf * idf;
-                e.1 += 1;
-                e.2 |= is_lit;
-            }
+            *counts.entry((a, b)).or_insert(0) += 1;
         }
+        let acc = fold_rels_from_counts(kb, resolution, &counts);
         config
             .recorder
             .incr_by(Counter::DiscoveryRelProbes, non_null as u64);
@@ -259,34 +240,32 @@ pub fn discover_candidates_direct(
 
     // ---- Types per column ------------------------------------------------
     // Parallel across columns; per-worker cache of Q_types per distinct
-    // cell string.
+    // normalized value (the KB normalizes its query argument, and
+    // `sim::normalize` is idempotent, so querying by the norm is
+    // result-identical to querying by any raw spelling of it).
     let num_classes = kb.num_classes().max(1) as f64;
     let col_types: Vec<Vec<TypeCandidate>> = par_map_indexed_with(
         config.threads,
         ncols,
-        HashMap::<&str, Vec<ClassId>>::new,
+        HashMap::<String, Vec<ClassId>>::new,
         |type_cache, c| {
-            // tf-idf accumulator and support count per candidate type.
-            let mut acc: HashMap<ClassId, (f64, usize)> = HashMap::new();
+            let mut counts: HashMap<String, usize> = HashMap::new();
             let mut non_null = 0usize;
             for r in 0..rows {
                 let Some(cell) = table.cell(r, c).as_str() else {
                     continue;
                 };
                 non_null += 1;
-                let types = type_cache
-                    .entry(cell)
-                    .or_insert_with(|| kb.types_of_value(cell));
-                if types.is_empty() {
-                    continue;
+                *counts.entry(sim::normalize(cell)).or_insert(0) += 1;
+            }
+            let mut groups: Vec<(String, usize)> = counts.into_iter().collect();
+            groups.sort_unstable();
+            let mut acc: HashMap<ClassId, (f64, usize)> = HashMap::new();
+            for (norm, count) in &groups {
+                if !type_cache.contains_key(norm) {
+                    type_cache.insert(norm.clone(), kb.types_of_value(norm));
                 }
-                let idf = (num_classes / types.len() as f64).ln().max(0.0);
-                for &t in types.iter() {
-                    let tf = 1.0 / (1.0 + (kb.class_size(t) as f64).ln());
-                    let e = acc.entry(t).or_insert((0.0, 0));
-                    e.0 += tf * idf;
-                    e.1 += 1;
-                }
+                fold_type_group(kb, num_classes, &type_cache[norm], *count, &mut acc);
             }
             config
                 .recorder
@@ -298,7 +277,7 @@ pub fn discover_candidates_direct(
     // ---- Relationships per ordered pair -----------------------------------
     // Parallel across ordered pairs (same i-outer/j-inner order as the
     // historical double loop); per-worker cache of Q_rels per distinct
-    // (string, string) pair: (resource-object, literal-object) relations.
+    // normalized value pair: (resource-object, literal-object) relations.
     type RelCacheEntry = (Vec<PropertyId>, Vec<PropertyId>);
     let num_props = kb.num_properties().max(1) as f64;
     let pairs: Vec<(usize, usize)> = (0..ncols)
@@ -307,10 +286,10 @@ pub fn discover_candidates_direct(
     let ranked_pairs: Vec<Vec<RelCandidate>> = par_map_indexed_with(
         config.threads,
         pairs.len(),
-        HashMap::<(&str, &str), RelCacheEntry>::new,
+        HashMap::<(String, String), RelCacheEntry>::new,
         |rel_cache, pi| {
             let (i, j) = pairs[pi];
-            let mut acc: HashMap<PropertyId, (f64, usize, bool)> = HashMap::new();
+            let mut counts: HashMap<(String, String), usize> = HashMap::new();
             let mut non_null = 0usize;
             for r in 0..rows {
                 let (Some(a), Some(b)) = (table.cell(r, i).as_str(), table.cell(r, j).as_str())
@@ -318,29 +297,25 @@ pub fn discover_candidates_direct(
                     continue;
                 };
                 non_null += 1;
-                let (res_rels, lit_rels) = rel_cache.entry((a, b)).or_insert_with(|| {
-                    (
-                        kb.relations_between_values(a, b),
-                        kb.relations_to_literal(a, b),
-                    )
-                });
-                let total = res_rels.len() + lit_rels.len();
-                if total == 0 {
-                    continue;
+                *counts
+                    .entry((sim::normalize(a), sim::normalize(b)))
+                    .or_insert(0) += 1;
+            }
+            let mut groups: Vec<((String, String), usize)> = counts.into_iter().collect();
+            groups.sort_unstable();
+            let mut acc: HashMap<PropertyId, (f64, usize, bool)> = HashMap::new();
+            for (key, count) in &groups {
+                if !rel_cache.contains_key(key) {
+                    rel_cache.insert(
+                        key.clone(),
+                        (
+                            kb.relations_between_values(&key.0, &key.1),
+                            kb.relations_to_literal(&key.0, &key.1),
+                        ),
+                    );
                 }
-                let idf = (num_props / total as f64).ln().max(0.0);
-                for (&p, is_lit) in res_rels
-                    .iter()
-                    .map(|p| (p, false))
-                    .chain(lit_rels.iter().map(|p| (p, true)))
-                {
-                    let doc = kb.subjects_of_property(p).len();
-                    let tf = 1.0 / (1.0 + (doc.max(1) as f64).ln());
-                    let e = acc.entry(p).or_insert((0.0, 0, false));
-                    e.0 += tf * idf;
-                    e.1 += 1;
-                    e.2 |= is_lit;
-                }
+                let (res_rels, lit_rels) = &rel_cache[key];
+                fold_rel_group(kb, num_props, res_rels, lit_rels, *count, &mut acc);
             }
             config
                 .recorder
@@ -364,7 +339,106 @@ pub fn discover_candidates_direct(
     }
 }
 
-fn rank_types(
+/// Fold one distinct value's `Q_types` result (weighted by its occurrence
+/// count) into a column's tf-idf accumulator. The caller iterates distinct
+/// values in normalized-string order — the canonical fold order shared by
+/// the full paths and the delta engine's re-fold.
+pub(crate) fn fold_type_group(
+    kb: &Kb,
+    num_classes: f64,
+    types: &[ClassId],
+    count: usize,
+    acc: &mut HashMap<ClassId, (f64, usize)>,
+) {
+    if types.is_empty() {
+        return;
+    }
+    let idf = (num_classes / types.len() as f64).ln().max(0.0);
+    let w = count as f64;
+    for &t in types {
+        let tf = 1.0 / (1.0 + (kb.class_size(t) as f64).ln());
+        let e = acc.entry(t).or_insert((0.0, 0));
+        e.0 += w * (tf * idf);
+        e.1 += count;
+    }
+}
+
+/// [`fold_type_group`]'s relationship counterpart.
+pub(crate) fn fold_rel_group(
+    kb: &Kb,
+    num_props: f64,
+    res: &[PropertyId],
+    lit: &[PropertyId],
+    count: usize,
+    acc: &mut HashMap<PropertyId, (f64, usize, bool)>,
+) {
+    let total = res.len() + lit.len();
+    if total == 0 {
+        return;
+    }
+    let idf = (num_props / total as f64).ln().max(0.0);
+    let w = count as f64;
+    for (&p, is_lit) in res
+        .iter()
+        .map(|p| (p, false))
+        .chain(lit.iter().map(|p| (p, true)))
+    {
+        let doc = kb.subjects_of_property(p).len();
+        let tf = 1.0 / (1.0 + (doc.max(1) as f64).ln());
+        let e = acc.entry(p).or_insert((0.0, 0, false));
+        e.0 += w * (tf * idf);
+        e.1 += count;
+        e.2 |= is_lit;
+    }
+}
+
+/// Canonical fold of a column's per-distinct-value occurrence counts into
+/// the type tf-idf accumulator: distinct values sorted by normalized
+/// string, each folded once via [`fold_type_group`].
+pub(crate) fn fold_types_from_counts(
+    kb: &Kb,
+    resolution: &TableResolution,
+    counts: &HashMap<u32, usize>,
+) -> HashMap<ClassId, (f64, usize)> {
+    let num_classes = kb.num_classes().max(1) as f64;
+    let mut ids: Vec<(&str, u32, usize)> = counts
+        .iter()
+        .map(|(&id, &n)| (resolution.norm_of(id), id, n))
+        .collect();
+    ids.sort_unstable_by(|a, b| a.0.cmp(b.0));
+    let mut acc = HashMap::new();
+    for (_, id, count) in ids {
+        let types = resolution.types_of(kb, id);
+        fold_type_group(kb, num_classes, &types, count, &mut acc);
+    }
+    acc
+}
+
+/// [`fold_types_from_counts`] for an ordered column pair's per-distinct
+/// value-id-pair counts, sorted by `(norm_a, norm_b)`.
+pub(crate) fn fold_rels_from_counts(
+    kb: &Kb,
+    resolution: &TableResolution,
+    counts: &HashMap<(u32, u32), usize>,
+) -> HashMap<PropertyId, (f64, usize, bool)> {
+    /// Sort key for one distinct id pair: normalized spellings first
+    /// (the canonical fold order), then the ids and the pair count.
+    type PairKey<'a> = ((&'a str, &'a str), (u32, u32), usize);
+    let num_props = kb.num_properties().max(1) as f64;
+    let mut keys: Vec<PairKey> = counts
+        .iter()
+        .map(|(&(a, b), &n)| ((resolution.norm_of(a), resolution.norm_of(b)), (a, b), n))
+        .collect();
+    keys.sort_unstable_by(|x, y| x.0.cmp(&y.0));
+    let mut acc = HashMap::new();
+    for (_, (a, b), count) in keys {
+        let rels = resolution.pair_relations(kb, a, b);
+        fold_rel_group(kb, num_props, &rels.res, &rels.lit, count, &mut acc);
+    }
+    acc
+}
+
+pub(crate) fn rank_types(
     kb: &Kb,
     acc: HashMap<ClassId, (f64, usize)>,
     non_null: usize,
@@ -398,7 +472,7 @@ fn rank_types(
     list
 }
 
-fn rank_rels(
+pub(crate) fn rank_rels(
     kb: &Kb,
     acc: HashMap<PropertyId, (f64, usize, bool)>,
     non_null: usize,

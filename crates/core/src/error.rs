@@ -40,6 +40,15 @@ pub enum KataraError {
     KbIngest(NtError),
     /// A table could not be ingested from CSV text.
     TableIngest(CsvError),
+    /// A [`TableDelta`](katara_table::TableDelta) edit could not be
+    /// applied by the incremental engine. Edits before the offending one
+    /// stay applied; the session remains consistent.
+    BadDelta {
+        /// Zero-based index of the offending edit within the delta.
+        edit: usize,
+        /// What was wrong with it.
+        detail: String,
+    },
     /// The run's [`Deadline`](katara_exec::Deadline) expired before the
     /// named phase could even start producing a partial result. Later
     /// expiry (once discovery has yielded a pattern) degrades the
@@ -70,6 +79,9 @@ impl fmt::Display for KataraError {
             KataraError::Kb(_) => write!(f, "knowledge base error"),
             KataraError::KbIngest(_) => write!(f, "knowledge base ingestion failed"),
             KataraError::TableIngest(_) => write!(f, "table ingestion failed"),
+            KataraError::BadDelta { edit, detail } => {
+                write!(f, "bad table delta at edit {edit}: {detail}")
+            }
             KataraError::DeadlineExceeded { phase } => {
                 write!(f, "deadline exceeded before the {phase} phase")
             }

@@ -64,6 +64,7 @@
 
 pub mod annotation;
 pub mod candidates;
+pub mod delta;
 pub mod derived;
 pub mod error;
 pub mod ingest;
@@ -84,6 +85,7 @@ pub mod prelude {
         discover_candidates, discover_candidates_direct, discover_candidates_resolved,
         CandidateConfig, CandidateSet, RelCandidate, TypeCandidate,
     };
+    pub use crate::delta::DeltaSession;
     pub use crate::error::KataraError;
     pub use crate::ingest::IngestSummary;
     pub use crate::pattern::{MatchReport, PatternEdge, PatternNode, TablePattern, TupleMatch};
@@ -101,6 +103,7 @@ pub mod prelude {
     pub use katara_exec::{Deadline, Threads};
     pub use katara_kb::{DeltaOp, EnrichmentDelta};
     pub use katara_obs::{NoopRecorder, Recorder, RunMetrics, RunRecorder, Span};
+    pub use katara_table::{TableDelta, TableEdit};
 }
 
 pub use prelude::*;

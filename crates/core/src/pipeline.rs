@@ -490,7 +490,7 @@ impl Katara {
 /// advance `mark` to the crowd's current totals — splits one crowd's
 /// spend between consecutive pipeline phases without touching the phase
 /// signatures.
-fn record_phase_questions(
+pub(crate) fn record_phase_questions(
     rec: &dyn Recorder,
     now: &CrowdStats,
     mark: &mut CrowdStats,

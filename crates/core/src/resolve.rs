@@ -29,11 +29,11 @@
 //! not the cell count — see `DESIGN.md` §5e.
 
 use std::borrow::Cow;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use katara_kb::sim;
-use katara_kb::{ClassId, Kb, ProbePlan, PropertyId, ResourceId};
+use katara_kb::{ClassId, DeltaOp, EnrichmentDelta, Kb, ProbePlan, PropertyId, ResourceId};
 use katara_obs::{Counter, Gauge, NoopRecorder, Recorder};
 use katara_table::Table;
 
@@ -78,6 +78,14 @@ pub struct TableResolution {
     /// `cells[col][row]` → distinct-value id (None for null cells).
     cells: Vec<Vec<Option<u32>>>,
     values: Vec<ResolvedValue>,
+    /// Normalized spelling → distinct-value id, persisted so streaming
+    /// edits resolve only genuinely new values.
+    by_norm: HashMap<String, u32>,
+    /// Per-value occurrence count across all non-null cells. A value whose
+    /// refcount drops to zero is evicted (tombstoned — ids are never
+    /// reused, so stale pair-memo keys stay unreachable rather than
+    /// aliasing).
+    refcounts: Vec<usize>,
     /// `(value_a, value_b)` → prebuilt `Q_rels` results, covering every
     /// ordered column pair over the first `pair_rows` rows.
     pair_rels: HashMap<(u32, u32), PairRels>,
@@ -105,6 +113,7 @@ impl TableResolution {
         let mut by_raw: HashMap<&str, u32> = HashMap::new();
         let mut by_norm: HashMap<String, u32> = HashMap::new();
         let mut values: Vec<ResolvedValue> = Vec::new();
+        let mut refcounts: Vec<usize> = Vec::new();
         let mut cells = vec![vec![None; nrows]; ncols];
         let mut non_null_cells = 0usize;
         for (c, col) in cells.iter_mut().enumerate() {
@@ -129,6 +138,7 @@ impl TableResolution {
                                     candidates,
                                     types,
                                 });
+                                refcounts.push(0);
                                 by_norm.insert(norm, id);
                                 id
                             }
@@ -137,6 +147,7 @@ impl TableResolution {
                         id
                     }
                 };
+                refcounts[id as usize] += 1;
                 *slot = Some(id);
             }
         }
@@ -175,6 +186,8 @@ impl TableResolution {
             kb_version: kb.version(),
             cells,
             values,
+            by_norm,
+            refcounts,
             pair_rels,
             pair_rows,
             non_null_cells,
@@ -324,6 +337,333 @@ impl TableResolution {
             lit: kb.literal_relations_for_candidates(&ca, self.norm_of(b)),
         })
     }
+
+    // ---- Delta maintenance -------------------------------------------------
+    //
+    // The incremental engine ([`crate::delta`]) keeps one resolution alive
+    // across runs instead of rebuilding per clean. Every mutator below
+    // requires the snapshot to be *current* (`is_current(kb)`): the delta
+    // session patches journaled KB deltas via [`Self::apply_enrichment`]
+    // before touching cells, so the cached tiers it extends are never
+    // stale.
+
+    /// Swap in a recorder without republishing build-time gauges — delta
+    /// runs re-attach their session recorder to a long-lived snapshot.
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.recorder = recorder;
+    }
+
+    /// Occurrence count of a distinct-value id (0 for evicted ids).
+    pub fn refcount(&self, id: u32) -> usize {
+        self.refcounts[id as usize]
+    }
+
+    /// Resolve `cell` to a distinct-value id, reusing the persisted
+    /// norm→id map and resolving (one `candidate_resources` + `Q_types`
+    /// probe) only when the normalized value is genuinely new. Returns the
+    /// id and whether a new value was resolved. Does not touch refcounts.
+    fn intern(&mut self, kb: &Kb, cell: &str) -> (u32, bool) {
+        debug_assert!(self.is_current(kb), "intern on a stale snapshot");
+        let norm = sim::normalize(cell);
+        if let Some(&id) = self.by_norm.get(&norm) {
+            return (id, false);
+        }
+        let candidates = kb.candidate_resources_normalized(&norm);
+        let types = kb.types_for_candidates(&candidates);
+        let id = u32::try_from(self.values.len()).expect("distinct-value space exhausted");
+        self.values.push(ResolvedValue {
+            norm: norm.clone(),
+            candidates,
+            types,
+        });
+        self.refcounts.push(0);
+        self.by_norm.insert(norm, id);
+        (id, true)
+    }
+
+    /// Drop one reference to `id`, evicting the value when the count hits
+    /// zero: its norm leaves the lookup map, its cached tiers are cleared,
+    /// and every pair-memo entry naming it is reclaimed. Ids are never
+    /// reused.
+    fn release(&mut self, id: u32) {
+        let rc = &mut self.refcounts[id as usize];
+        debug_assert!(*rc > 0, "double release of value {id}");
+        *rc -= 1;
+        if *rc == 0 {
+            let v = &mut self.values[id as usize];
+            self.by_norm.remove(&v.norm);
+            v.norm = String::new();
+            v.candidates = Vec::new();
+            v.types = Vec::new();
+            self.pair_rels.retain(|&(a, b), _| a != id && b != id);
+            self.recorder.incr(Counter::ResolveValuesEvicted);
+        }
+    }
+
+    /// Overwrite cell `(col, row)`, returning `(old_id, new_id)`. New
+    /// values are resolved, dead ones evicted; `values_resolved` is bumped
+    /// in the returned flag position via [`CellPatch`].
+    pub fn set_cell(&mut self, kb: &Kb, col: usize, row: usize, cell: Option<&str>) -> CellPatch {
+        let old = self.cells[col][row];
+        let (new, resolved) = match cell {
+            Some(s) => {
+                let (id, fresh) = self.intern(kb, s);
+                (Some(id), fresh)
+            }
+            None => (None, false),
+        };
+        self.cells[col][row] = new;
+        if let Some(n) = new {
+            self.refcounts[n as usize] += 1;
+        }
+        if let Some(o) = old {
+            self.release(o);
+        }
+        match (old.is_some(), new.is_some()) {
+            (false, true) => self.non_null_cells += 1,
+            (true, false) => self.non_null_cells -= 1,
+            _ => {}
+        }
+        CellPatch { old, new, resolved }
+    }
+
+    /// Remove row `row` from every column, releasing its values. Mirrors
+    /// [`katara_table::Table::remove_row`]; rows after it shift up by one.
+    pub fn remove_row(&mut self, row: usize) {
+        let mut released: Vec<u32> = Vec::new();
+        for col in &mut self.cells {
+            if let Some(id) = col.remove(row) {
+                self.non_null_cells -= 1;
+                released.push(id);
+            }
+        }
+        for id in released {
+            self.release(id);
+        }
+    }
+
+    /// Append a row of cells (one per column), resolving new values.
+    /// Returns how many genuinely new distinct values were resolved.
+    pub fn push_row(&mut self, kb: &Kb, cells: &[Option<&str>]) -> usize {
+        assert_eq!(cells.len(), self.cells.len(), "row arity mismatch");
+        let mut resolved = 0usize;
+        for (c, cell) in cells.iter().enumerate() {
+            let slot = match cell {
+                Some(s) => {
+                    let (id, fresh) = self.intern(kb, s);
+                    resolved += usize::from(fresh);
+                    self.refcounts[id as usize] += 1;
+                    self.non_null_cells += 1;
+                    Some(id)
+                }
+                None => None,
+            };
+            self.cells[c].push(slot);
+        }
+        resolved
+    }
+
+    /// Memoize the `Q_rels` results for `(a, b)` if absent, so later
+    /// re-folds hit the pair memo instead of recomputing per fold.
+    pub fn ensure_pair(&mut self, kb: &Kb, a: u32, b: u32) {
+        debug_assert!(self.is_current(kb), "ensure_pair on a stale snapshot");
+        if self.pair_rels.contains_key(&(a, b)) {
+            return;
+        }
+        let (res, lit) = {
+            let va = &self.values[a as usize];
+            let vb = &self.values[b as usize];
+            let (res, plan) = kb.relations_for_candidates_planned(&va.candidates, &vb.candidates);
+            self.record_plan(plan);
+            (
+                res,
+                kb.literal_relations_for_candidates(&va.candidates, &vb.norm),
+            )
+        };
+        self.pair_rels.insert((a, b), PairRels { res, lit });
+    }
+
+    /// Recompute one value's KB tiers from the live KB.
+    fn re_resolve(&mut self, kb: &Kb, id: u32) {
+        let norm = std::mem::take(&mut self.values[id as usize].norm);
+        let candidates = kb.candidate_resources_normalized(&norm);
+        let types = kb.types_for_candidates(&candidates);
+        let v = &mut self.values[id as usize];
+        v.norm = norm;
+        v.candidates = candidates;
+        v.types = types;
+    }
+
+    /// Patch the cached KB tiers for one applied [`EnrichmentDelta`],
+    /// re-resolving only the values the delta can have affected instead of
+    /// falling back to live queries on every access.
+    ///
+    /// `kb` must already contain the delta. When the snapshot missed
+    /// several journaled deltas, apply each in journal order; the last
+    /// call leaves the snapshot current (`kb_version` is ratcheted to
+    /// `kb.version()` on every call, so skipping one is unsound —
+    /// that is the caller's contract, enforced by the serve/CLI layers
+    /// which replay the journal tail).
+    ///
+    /// The invalidation predicate is a *sound over-approximation*:
+    ///
+    /// * `Entity { label, .. }` re-resolves values whose norm equals the
+    ///   new label's norm (exact-match short-circuit may flip) and values
+    ///   with no exact match whose similarity to the label clears the
+    ///   KB's threshold (the fuzzy candidate set grows). `sim::similarity`
+    ///   is bit-identical to the label index's scoring, and the index's
+    ///   trigram prefilter only ever *drops* candidates, so no affected
+    ///   value escapes.
+    /// * `Type { resource, .. }` re-resolves values whose candidate lists
+    ///   contain the resource (their `Q_types` closure may grow).
+    /// * `Fact`/`LiteralFact` recompute the memoized pair entries whose
+    ///   subject/object candidate sets contain the fact's endpoints.
+    ///
+    /// Values re-resolved by the label/type phases also invalidate every
+    /// memoized pair naming them (those entries derive from the old
+    /// candidate lists).
+    pub fn apply_enrichment(&mut self, kb: &Kb, delta: &EnrichmentDelta) -> EnrichmentPatch {
+        let threshold = kb.sim_threshold();
+        let live: Vec<u32> = (0..self.values.len() as u32)
+            .filter(|&id| self.refcounts[id as usize] > 0)
+            .collect();
+
+        // Phase 1: new labels re-aim value→resource matching.
+        let mut dirty: HashSet<u32> = HashSet::new();
+        for op in &delta.ops {
+            let DeltaOp::Entity { label, .. } = op else {
+                continue;
+            };
+            let nl = sim::normalize(label);
+            for &id in &live {
+                if dirty.contains(&id) {
+                    continue;
+                }
+                let norm = &self.values[id as usize].norm;
+                if *norm == nl
+                    || (kb.resources_by_label(norm).is_empty()
+                        && sim::similarity(norm, &nl) >= threshold)
+                {
+                    dirty.insert(id);
+                }
+            }
+        }
+        for &id in &dirty {
+            self.re_resolve(kb, id);
+        }
+
+        // Phase 2: with label-phase candidates fresh, index resource →
+        // values and walk the structural ops.
+        let mut rev: HashMap<ResourceId, Vec<u32>> = HashMap::new();
+        for &id in &live {
+            for &(r, _) in &self.values[id as usize].candidates {
+                rev.entry(r).or_default().push(id);
+            }
+        }
+        let mut type_dirty: HashSet<u32> = HashSet::new();
+        let mut dirty_pairs: HashSet<(u32, u32)> = HashSet::new();
+        for op in &delta.ops {
+            match op {
+                DeltaOp::Entity { .. } => {}
+                DeltaOp::Type { resource, .. } => {
+                    if let Some(rid) = kb.resolve_resource_name(resource) {
+                        if let Some(ids) = rev.get(&rid) {
+                            type_dirty.extend(ids.iter().copied());
+                        }
+                    }
+                }
+                DeltaOp::Fact {
+                    subject, object, ..
+                } => {
+                    if let (Some(s), Some(o)) = (
+                        kb.resolve_resource_name(subject),
+                        kb.resolve_resource_name(object),
+                    ) {
+                        if let (Some(sa), Some(ob)) = (rev.get(&s), rev.get(&o)) {
+                            for &a in sa {
+                                for &b in ob {
+                                    dirty_pairs.insert((a, b));
+                                }
+                            }
+                        }
+                    }
+                }
+                DeltaOp::LiteralFact {
+                    subject, literal, ..
+                } => {
+                    if let Some(s) = kb.resolve_resource_name(subject) {
+                        let nl = sim::normalize(literal);
+                        if let (Some(sa), Some(&b)) = (rev.get(&s), self.by_norm.get(&nl)) {
+                            for &a in sa {
+                                dirty_pairs.insert((a, b));
+                            }
+                        }
+                    }
+                }
+                // `DeltaOp` is non_exhaustive; an op kind this build does
+                // not know cannot have been journaled by it either.
+                _ => {}
+            }
+        }
+        for &id in &type_dirty {
+            if dirty.insert(id) {
+                self.re_resolve(kb, id);
+            }
+        }
+
+        // Phase 3: pair entries derived from stale candidates.
+        for &(a, b) in self.pair_rels.keys() {
+            if dirty.contains(&a) || dirty.contains(&b) {
+                dirty_pairs.insert((a, b));
+            }
+        }
+        let mut pairs_repatched = 0usize;
+        for (a, b) in dirty_pairs {
+            if !self.pair_rels.contains_key(&(a, b)) {
+                continue; // uncovered pairs are computed on demand
+            }
+            let (res, lit) = {
+                let va = &self.values[a as usize];
+                let vb = &self.values[b as usize];
+                let (res, plan) =
+                    kb.relations_for_candidates_planned(&va.candidates, &vb.candidates);
+                self.record_plan(plan);
+                (
+                    res,
+                    kb.literal_relations_for_candidates(&va.candidates, &vb.norm),
+                )
+            };
+            self.pair_rels.insert((a, b), PairRels { res, lit });
+            pairs_repatched += 1;
+        }
+
+        self.kb_version = kb.version();
+        EnrichmentPatch {
+            values_repatched: dirty.len(),
+            pairs_repatched,
+        }
+    }
+}
+
+/// What one cell overwrite changed in the resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellPatch {
+    /// The cell's previous distinct-value id (`None` if it was null).
+    pub old: Option<u32>,
+    /// The cell's new distinct-value id (`None` if now null).
+    pub new: Option<u32>,
+    /// True when the new value was genuinely new to the table and had to
+    /// be resolved against the KB.
+    pub resolved: bool,
+}
+
+/// Work accounting from [`TableResolution::apply_enrichment`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnrichmentPatch {
+    /// Values whose candidate/type tiers were re-resolved.
+    pub values_repatched: usize,
+    /// Memoized pair entries recomputed.
+    pub pairs_repatched: usize,
 }
 
 /// A candidate list that is either borrowed from the snapshot or computed
@@ -460,5 +800,141 @@ mod tests {
         assert_eq!(res.num_values(), 0);
         assert_eq!(res.distinct_ratio(), 1.0);
         assert_eq!(res.value_id(0, 0), None);
+    }
+
+    /// Assert every KB tier of an edited resolution matches a fresh build
+    /// over the edited table.
+    fn assert_tiers_match(edited: &TableResolution, table: &Table, kb: &Kb) {
+        let fresh = TableResolution::build(table, kb, usize::MAX);
+        assert_eq!(edited.non_null_cells(), fresh.non_null_cells());
+        for c in 0..table.num_columns() {
+            for r in 0..table.num_rows() {
+                assert_eq!(edited.cell_norm(c, r), fresh.cell_norm(c, r), "({c},{r})");
+                let (Some(a), Some(b)) = (edited.value_id(c, r), fresh.value_id(c, r)) else {
+                    assert_eq!(
+                        edited.value_id(c, r).is_some(),
+                        fresh.value_id(c, r).is_some()
+                    );
+                    continue;
+                };
+                assert_eq!(
+                    edited.candidates_of(kb, a).as_ref(),
+                    fresh.candidates_of(kb, b).as_ref()
+                );
+                assert_eq!(
+                    edited.types_of(kb, a).as_ref(),
+                    fresh.types_of(kb, b).as_ref()
+                );
+            }
+        }
+        // Pair tiers over every co-occurring combination.
+        for r in 0..table.num_rows() {
+            for i in 0..table.num_columns() {
+                for j in 0..table.num_columns() {
+                    if i == j {
+                        continue;
+                    }
+                    let (Some(ea), Some(eb)) = (edited.value_id(i, r), edited.value_id(j, r))
+                    else {
+                        continue;
+                    };
+                    let (fa, fb) = (fresh.value_id(i, r).unwrap(), fresh.value_id(j, r).unwrap());
+                    let ep = edited.pair_relations(kb, ea, eb);
+                    let fp = fresh.pair_relations(kb, fa, fb);
+                    assert_eq!(ep.res, fp.res, "pair ({i},{j}) row {r}");
+                    assert_eq!(ep.lit, fp.lit, "pair ({i},{j}) row {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edits_match_fresh_build() {
+        let (kb, mut t) = kb_and_table();
+        let mut res = TableResolution::build(&t, &kb, usize::MAX);
+
+        // Upsert: typo fix introduces no new value, cell remap only.
+        t.set_cell(1, 0, katara_table::Value::from("Rossi".to_string()));
+        let patch = res.set_cell(&kb, 0, 1, Some("Rossi"));
+        assert!(!patch.resolved, "rossi already resolved");
+        assert_tiers_match(&res, &t, &kb);
+
+        // Upsert a brand-new value; the old one ("1.78" in col 2 row 1)
+        // survives via row 2.
+        t.set_cell(1, 2, katara_table::Value::from("2.01".to_string()));
+        let patch = res.set_cell(&kb, 2, 1, Some("2.01"));
+        assert!(patch.resolved);
+        assert_tiers_match(&res, &t, &kb);
+
+        // Null out a cell.
+        t.set_cell(1, 1, katara_table::Value::Null);
+        res.set_cell(&kb, 1, 1, None);
+        assert_tiers_match(&res, &t, &kb);
+
+        // Append a row.
+        t.push_text_row(&["Italy", "Rome", ""]);
+        let resolved = res.push_row(&kb, &[Some("Italy"), Some("Rome"), None]);
+        assert_eq!(resolved, 0, "both values already known");
+        assert_tiers_match(&res, &t, &kb);
+
+        // Delete row 0; "2.01" (row 1 col 2) stays, row indexes shift.
+        t.remove_row(0);
+        res.remove_row(0);
+        assert_tiers_match(&res, &t, &kb);
+    }
+
+    #[test]
+    fn dead_values_are_evicted_and_norms_reusable() {
+        let (kb, t) = kb_and_table();
+        let mut res = TableResolution::build(&t, &kb, usize::MAX);
+        let rossi = res.value_id(0, 2).unwrap();
+        assert_eq!(res.refcount(rossi), 1);
+        // Overwrite the only "Rossi" cell: the value dies.
+        res.set_cell(&kb, 0, 2, Some("Italy"));
+        assert_eq!(res.refcount(rossi), 0);
+        assert_eq!(res.norm_of(rossi), "");
+        // Re-introducing the spelling resolves a NEW id (never reused).
+        let patch = res.set_cell(&kb, 1, 2, Some("rossi"));
+        assert!(patch.resolved);
+        assert_ne!(patch.new, Some(rossi));
+        assert_eq!(
+            res.candidates_of(&kb, patch.new.unwrap()).as_ref(),
+            kb.candidate_resources("Rossi")
+        );
+    }
+
+    #[test]
+    fn enrichment_patch_matches_fresh_build() {
+        use katara_kb::{DeltaOp, EnrichmentDelta};
+        let (mut kb, mut t) = kb_and_table();
+        t.push_text_row(&["Pretoria", "Italy", ""]);
+        let mut res = TableResolution::build(&t, &kb, usize::MAX);
+
+        // A delta that exercises every op kind: a new capital entity whose
+        // label is an existing cell value (exact-match flip for the
+        // "pretoria" cell), a type for it, a fact landing on a cached
+        // pair, and a literal fact.
+        kb.begin_delta_capture();
+        let capital = kb.class_by_name("capital").unwrap();
+        let has_capital = kb.property_by_name("hasCapital").unwrap();
+        let height = kb.property_by_name("hasHeight").unwrap();
+        let pretoria = kb.add_entity("Pretoria", "Pretoria", &[capital]);
+        let italy = kb.resource_by_name("Italy").unwrap();
+        kb.add_fact(italy, has_capital, pretoria);
+        let rossi = kb.resource_by_name("Rossi").unwrap();
+        kb.add_literal_fact(rossi, height, "1.78");
+        let delta = kb.take_delta();
+        assert!(!delta.is_empty());
+        assert!(matches!(delta.ops[0], DeltaOp::Entity { .. }));
+
+        assert!(!res.is_current(&kb));
+        let patch = res.apply_enrichment(&kb, &delta);
+        assert!(res.is_current(&kb));
+        assert!(patch.values_repatched >= 1, "pretoria must be repatched");
+        assert_tiers_match(&res, &t, &kb);
+
+        // And an empty delta is a no-op that still ratchets the version.
+        let patch = res.apply_enrichment(&kb, &EnrichmentDelta::default());
+        assert_eq!(patch, EnrichmentPatch::default());
     }
 }

@@ -1,0 +1,190 @@
+//! Edit-stream generation: deterministic [`TableDelta`]s for the
+//! incremental-cleaning benchmarks (DESIGN.md §5j).
+//!
+//! A stream models what a live table actually receives — corrupt-style
+//! in-place upserts (a donor row with an occasional fresh typo), appends
+//! of new rows, and deletes — sized as a fraction of the table. Every
+//! edit is in range by construction against the row count the table has
+//! when the delta is applied in order, and the whole stream is a pure
+//! function of the seed.
+
+use katara_table::{Table, TableDelta, TableEdit, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration for one generated edit stream.
+#[derive(Debug, Clone)]
+pub struct EditStreamConfig {
+    /// Fraction of the current table's rows receiving one edit each
+    /// (at least one edit is always generated).
+    pub edit_rate: f64,
+    /// Weight of in-place upserts (donor row over an existing row).
+    pub w_upsert: f64,
+    /// Weight of appends (donor row past the end).
+    pub w_append: f64,
+    /// Weight of deletes.
+    pub w_delete: f64,
+    /// Probability that an upsert/append carries a fresh typo in one
+    /// cell, the way corrupt-style streams do.
+    pub typo_rate: f64,
+}
+
+impl Default for EditStreamConfig {
+    fn default() -> Self {
+        EditStreamConfig {
+            edit_rate: 0.01,
+            w_upsert: 0.7,
+            w_append: 0.15,
+            w_delete: 0.15,
+            typo_rate: 0.2,
+        }
+    }
+}
+
+/// Generate a deterministic edit stream for `current`, drawing upsert
+/// and append content from `source` rows (typically the clean table, or
+/// `current` itself for churn-style streams).
+pub fn edit_stream(
+    current: &Table,
+    source: &Table,
+    config: &EditStreamConfig,
+    seed: u64,
+) -> TableDelta {
+    assert_eq!(
+        current.num_columns(),
+        source.num_columns(),
+        "donor table must share the schema"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut delta = TableDelta::default();
+    let mut nrows = current.num_rows();
+    let edits = ((current.num_rows() as f64 * config.edit_rate).round() as usize).max(1);
+    let total = config.w_upsert + config.w_append + config.w_delete;
+    for _ in 0..edits {
+        let roll = rng.random_range(0.0..total.max(f64::MIN_POSITIVE));
+        if roll < config.w_delete && nrows > 0 {
+            delta.edits.push(TableEdit::Delete {
+                row: rng.random_range(0..nrows),
+            });
+            nrows -= 1;
+        } else {
+            let append = roll < config.w_delete + config.w_append || nrows == 0;
+            let row = if append {
+                nrows
+            } else {
+                rng.random_range(0..nrows)
+            };
+            delta.edits.push(TableEdit::Upsert {
+                row,
+                cells: donor_cells(source, config, &mut rng),
+            });
+            if append {
+                nrows += 1;
+            }
+        }
+    }
+    delta
+}
+
+/// One donor row's cells, with an occasional single-cell typo.
+fn donor_cells(source: &Table, config: &EditStreamConfig, rng: &mut StdRng) -> Vec<Value> {
+    let row = rng.random_range(0..source.num_rows().max(1));
+    let mut cells: Vec<Value> = (0..source.num_columns())
+        .map(|c| source.cell(row, c).clone())
+        .collect();
+    if rng.random_bool(config.typo_rate) {
+        let col = rng.random_range(0..cells.len());
+        if let Some(text) = cells[col].as_str() {
+            cells[col] = Value::from_cell(&typo(text, rng));
+        }
+    }
+    cells
+}
+
+/// Swap two adjacent characters (the dominant corruption of the paper's
+/// typo model); short strings are returned unchanged.
+fn typo(text: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = text.chars().collect();
+    if chars.len() < 2 {
+        return text.to_string();
+    }
+    let i = rng.random_range(0..chars.len() - 1);
+    let mut out = chars;
+    out.swap(i, i + 1);
+    out.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(rows: usize) -> Table {
+        let mut t = Table::with_opaque_columns("t", 2);
+        for i in 0..rows {
+            t.push_text_row(&[&format!("left{i}"), &format!("right{i}")]);
+        }
+        t
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_sized_by_rate() {
+        let t = table(200);
+        let cfg = EditStreamConfig {
+            edit_rate: 0.05,
+            ..EditStreamConfig::default()
+        };
+        let a = edit_stream(&t, &t, &cfg, 9);
+        let b = edit_stream(&t, &t, &cfg, 9);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "same seed, same stream");
+        assert_eq!(a.len(), 10, "5% of 200 rows");
+        let c = edit_stream(&t, &t, &cfg, 10);
+        assert_ne!(format!("{a:?}"), format!("{c:?}"), "seed moves the stream");
+    }
+
+    #[test]
+    fn every_generated_stream_applies_cleanly() {
+        for seed in 0..20 {
+            let mut t = table(30);
+            let delta = edit_stream(
+                &t.clone(),
+                &t.clone(),
+                &EditStreamConfig {
+                    edit_rate: 0.4,
+                    ..EditStreamConfig::default()
+                },
+                seed,
+            );
+            delta
+                .apply(&mut t)
+                .unwrap_or_else(|e| panic!("seed {seed}: generated edit out of range: {e}"));
+        }
+    }
+
+    #[test]
+    fn tiny_tables_still_get_one_edit() {
+        let t = table(3);
+        let delta = edit_stream(
+            &t,
+            &t,
+            &EditStreamConfig {
+                edit_rate: 0.001,
+                ..EditStreamConfig::default()
+            },
+            1,
+        );
+        assert_eq!(delta.len(), 1);
+    }
+
+    #[test]
+    fn typo_swaps_adjacent_characters() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = typo("Rome", &mut rng);
+        assert_ne!(t, "Rome");
+        let mut sorted_a: Vec<char> = t.chars().collect();
+        let mut sorted_b: Vec<char> = "Rome".chars().collect();
+        sorted_a.sort();
+        sorted_b.sort();
+        assert_eq!(sorted_a, sorted_b, "a typo permutes, never loses, chars");
+        assert_eq!(typo("x", &mut rng), "x");
+    }
+}

@@ -18,7 +18,9 @@
 //!   `RelationalTables` (Person / Soccer / University), each with its
 //!   ground-truth pattern;
 //! * [`oracle`] — crowd oracles answering from the *world* (not the
-//!   incomplete KB), as the paper's expert crowd does.
+//!   incomplete KB), as the paper's expert crowd does;
+//! * [`editgen`] — deterministic edit streams (corrupt-style upserts,
+//!   appends, deletes) for the incremental-cleaning bench.
 //!
 //! Both KB flavors and all tables come from the *same* world, so the
 //! qualitative relationships the paper's evaluation rests on — KB
@@ -27,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+pub mod editgen;
 pub mod kbgen;
 pub mod names;
 pub mod oracle;
@@ -34,6 +37,7 @@ pub mod semantics;
 pub mod tablegen;
 pub mod world;
 
+pub use editgen::{edit_stream, EditStreamConfig};
 pub use kbgen::{build_kb, KbFlavor, KbGenConfig};
 pub use oracle::{TableOracle, WorldFacts};
 pub use semantics::{SemanticRel, SemanticType};

@@ -19,7 +19,7 @@ use std::sync::Arc;
 use katara_core::prelude::*;
 use katara_crowd::{Answer, Budget, Crowd, CrowdConfig, Oracle, Question};
 use katara_kb::{Kb, KbBuilder};
-use katara_table::Table;
+use katara_table::{Table, Value};
 
 /// The paper's Figure 1 setting in miniature: soccer players with one
 /// wrong capital, a KB missing S. Africa's capital fact.
@@ -233,6 +233,80 @@ fn snapshot_and_direct_modes_report_identical_probe_counts() {
     for c in ["discovery.heap_pops", "discovery.patterns_scored"] {
         assert_eq!(snap.counter(c), direct.counter(c), "{c} differs");
     }
+}
+
+#[test]
+fn delta_edit_accounting_balances() {
+    // Every edit a delta run applies lands in exactly one bucket:
+    // `delta.tuples_touched` (the output could have changed) or
+    // `delta.noop_edits` (raw cell text unchanged, output provably
+    // identical). touched + noop == edits applied, nothing double- or
+    // under-counted.
+    let (mut kb, table) = setting();
+    let rec = Arc::new(RunRecorder::new());
+    let config = KataraConfig {
+        recorder: rec.clone(),
+        ..KataraConfig::default()
+    };
+    let mut crowd = Crowd::new(
+        CrowdConfig {
+            worker_accuracy: 1.0,
+            ..CrowdConfig::default()
+        },
+        oracle(),
+    )
+    .expect("crowd config is valid");
+    let (mut session, _) = Katara::new(config)
+        .delta_session(&table, &mut kb, &mut crowd)
+        .expect("bootstrap clean succeeds");
+
+    let before = rec.snapshot();
+    assert_eq!(
+        before.counter("delta.tuples_touched") + before.counter("delta.noop_edits"),
+        0,
+        "bootstrap must not count any delta edits"
+    );
+
+    // A known mix: one real fix, one byte-identical no-op rewrite, one
+    // append, one delete — four edits, three touching and one noop.
+    let cells = |row: &[&str]| row.iter().map(|c| Value::from_cell(c)).collect::<Vec<_>>();
+    let delta = TableDelta {
+        edits: vec![
+            TableEdit::Upsert {
+                row: 2,
+                cells: cells(&["Pirlo", "Italy", "Rome"]),
+            },
+            TableEdit::Upsert {
+                row: 0,
+                cells: cells(&["Rossi", "Italy", "Rome"]),
+            },
+            TableEdit::Upsert {
+                row: 4,
+                cells: cells(&["Benzema", "France", "Paris"]),
+            },
+            TableEdit::Delete { row: 1 },
+        ],
+    };
+    session
+        .clean_delta(&mut kb, &mut crowd, &delta)
+        .expect("delta clean succeeds");
+
+    let m = rec.snapshot();
+    let touched = m.counter("delta.tuples_touched");
+    let noop = m.counter("delta.noop_edits");
+    assert_eq!(
+        touched + noop,
+        delta.len() as u64,
+        "touched {touched} + noop {noop} != {} edits applied",
+        delta.len()
+    );
+    assert_eq!(noop, 1, "exactly one edit rewrote identical bytes");
+    // The incremental run re-scores dirty candidate lists instead of
+    // re-probing the KB: delta work must be visible under delta.*.
+    assert!(
+        m.counter("delta.patterns_rescored") > 0,
+        "edits that change window cells must re-score candidate lists"
+    );
 }
 
 #[test]

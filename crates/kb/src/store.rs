@@ -739,6 +739,16 @@ impl Kb {
         Ok(())
     }
 
+    /// Resolve a delta op's resource name, including the canonical-name
+    /// fallback [`Self::apply_delta`] uses (`Rome` ↔ `kb:Rome` after a
+    /// checkpoint rename). `None` when the name is unknown under either
+    /// spelling — the snapshot-patching path in `katara-core` uses this to
+    /// map journaled [`crate::journal::DeltaOp`]s back onto cached
+    /// candidate lists.
+    pub fn resolve_resource_name(&self, name: &str) -> Option<ResourceId> {
+        self.require_resource(name).ok()
+    }
+
     fn require_resource(&self, name: &str) -> Result<ResourceId, KbError> {
         if let Some(r) = self.resource_by_name(name) {
             return Ok(r);

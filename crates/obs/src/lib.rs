@@ -82,6 +82,11 @@ metric_enum! {
         CrowdNoQuorumQuestions => "crowd.no_quorum_questions",
         CrowdQuestionsAsked => "crowd.questions_asked",
         CrowdQuestionsRetried => "crowd.questions_retried",
+        DeltaNoopEdits => "delta.noop_edits",
+        DeltaPatternsRescored => "delta.patterns_rescored",
+        DeltaTuplesRepaired => "delta.tuples_repaired",
+        DeltaTuplesTouched => "delta.tuples_touched",
+        DeltaValuesResolved => "delta.values_resolved",
         DiscoveryHeapPops => "discovery.heap_pops",
         DiscoveryPatternsScored => "discovery.patterns_scored",
         DiscoveryRelProbes => "discovery.rel_probes",
@@ -113,6 +118,7 @@ metric_enum! {
         ResolveTypesHit => "resolve.types_hit",
         ResolveTypesLookups => "resolve.types_lookups",
         ResolveTypesMiss => "resolve.types_miss",
+        ResolveValuesEvicted => "resolve.values_evicted",
         ServeDegraded => "serve.degraded",
         ServeEnrichmentDropped => "serve.enrichment_dropped",
         ServeQuarantined => "serve.quarantined",

@@ -7,6 +7,16 @@
 //!   `deadline_ms=N` (per-request pipeline deadline),
 //!   `max_questions=N` (crowd budget), `snapshot=cold` (bypass the warm
 //!   snapshot cache, for benchmarking).
+//! * `POST /delta` — the incremental engine (DESIGN.md §5j). Without a
+//!   `base` parameter the CSV body bootstraps a warm
+//!   [`DeltaSession`]; the response carries a `"session"` key. With
+//!   `base=<key>` the body is an edits CSV (`op,row,<columns…>`)
+//!   replayed incrementally against that session — byte-identical to a
+//!   full re-clean of the edited table at a fraction of the work.
+//!   Sessions run with KB enrichment disabled, so they track the shared
+//!   base store exactly; journaled enrichment from `/clean` requests
+//!   reaches them through a ring of recent deltas. `404` unknown
+//!   session, `409` session fell behind the ring (re-bootstrap).
 //! * `GET /healthz` — liveness and in-flight count.
 //! * `GET /metrics` — the server-wide [`RunMetrics`] as JSON.
 //!
@@ -26,7 +36,7 @@
 //! draining, and returns from [`Server::run`] once the last in-flight
 //! request finishes.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::Write;
 use std::net::{TcpListener, TcpStream};
 use std::path::Path;
@@ -135,6 +145,24 @@ impl Default for ServerConfig {
 /// request rebuilds).
 const SNAPSHOT_CACHE_CAP: usize = 64;
 
+/// Cap on warm [`DeltaSession`]s. Eviction is the same wholesale drop as
+/// the snapshot cache: evicted clients get `404` and re-bootstrap.
+const SESSION_CACHE_CAP: usize = 16;
+
+/// Cap on the ring of recently journaled enrichment deltas kept for
+/// `/delta` session catch-up. A session that falls further behind than
+/// this answers `409` and must re-bootstrap.
+const RECENT_DELTAS_CAP: usize = 64;
+
+/// One warm incremental session (`POST /delta`): the engine state, the
+/// session's own KB clone (enrichment-free, so it tracks the shared base
+/// exactly), and the crowd policy fixed at bootstrap.
+struct DeltaEntry {
+    session: DeltaSession,
+    kb: Kb,
+    policy: ServePolicy,
+}
+
 /// Durable-mode state: the journal plus the cumulative [`JournalStats`]
 /// already published to the recorder (the journal reports running
 /// totals; the daemon publishes the diffs).
@@ -158,6 +186,13 @@ struct ServerState {
     conns: AtomicUsize,
     shutdown: AtomicBool,
     snapshots: Mutex<HashMap<u64, Arc<TableResolution>>>,
+    /// Warm incremental sessions (`POST /delta`), keyed by the
+    /// bootstrap's snapshot key.
+    sessions: Mutex<HashMap<u64, Arc<Mutex<DeltaEntry>>>>,
+    /// Recently journaled enrichment deltas as (pre-apply KB version,
+    /// delta), in application order. `/delta` sessions replay the suffix
+    /// past their own version to catch up to the advancing base.
+    recent_deltas: Mutex<VecDeque<(u64, EnrichmentDelta)>>,
     /// `Some` when serving durably (`--journal-dir`): enrichment is
     /// journaled before the response acknowledges it. The mutex also
     /// serializes append-then-apply, so the journal's record order is
@@ -265,6 +300,8 @@ impl Server {
                 conns: AtomicUsize::new(0),
                 shutdown: AtomicBool::new(false),
                 snapshots: Mutex::new(HashMap::new()),
+                sessions: Mutex::new(HashMap::new()),
+                recent_deltas: Mutex::new(VecDeque::new()),
                 journal: journal.map(|journal| {
                     Mutex::new(JournalState {
                         journal,
@@ -445,7 +482,20 @@ fn route(state: &ServerState, req: &Request) -> (u16, String, Vec<(String, Strin
             drop(slot);
             (out.0, out.1, Vec::new())
         }
-        (_, "/healthz" | "/metrics" | "/clean") => (
+        ("POST", "/delta") => {
+            let Ok(slot) = InFlightSlot::acquire(state) else {
+                rec.incr(Counter::ServeShed);
+                return (
+                    429,
+                    error_body("shed", "too many requests in flight"),
+                    vec![("Retry-After".to_string(), "1".to_string())],
+                );
+            };
+            let out = handle_delta(state, req);
+            drop(slot);
+            (out.0, out.1, Vec::new())
+        }
+        (_, "/healthz" | "/metrics" | "/clean" | "/delta") => (
             405,
             error_body(
                 "method not allowed",
@@ -531,10 +581,7 @@ fn handle_clean(state: &ServerState, req: &Request) -> (u16, String) {
     // built from). In durable mode the base advances when journaled
     // enrichment folds back in — the version in the cache key below is
     // what keeps snapshots honest across that.
-    let (mut kb, base_version) = {
-        let base = state.kb.read().unwrap_or_else(|e| e.into_inner());
-        (base.clone(), base.version())
-    };
+    let (mut kb, base_version) = clone_base_kb(state);
 
     // Warm snapshot cache, keyed by (body hash, KB version). `cold`
     // bypasses it (the bench measures exactly this difference).
@@ -630,6 +677,266 @@ fn handle_clean(state: &ServerState, req: &Request) -> (u16, String) {
     }
 }
 
+/// The `/delta` endpoint (DESIGN.md §5j). Without `base` the CSV body
+/// bootstraps a warm [`DeltaSession`]; with `base=<key>` the body is an
+/// edits CSV replayed incrementally against that session.
+fn handle_delta(state: &ServerState, req: &Request) -> (u16, String) {
+    let rec = state.recorder.as_ref();
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        rec.incr(Counter::ServeQuarantined);
+        return (400, error_body("quarantined", "body is not UTF-8"));
+    };
+    match req.query_param("base") {
+        None => bootstrap_delta_session(state, req, text),
+        Some(key) => match u64::from_str_radix(key, 16) {
+            Ok(key) => replay_delta(state, key, text),
+            Err(_) => {
+                rec.incr(Counter::ServeQuarantined);
+                (
+                    400,
+                    error_body("quarantined", "base must be a hex session key"),
+                )
+            }
+        },
+    }
+}
+
+/// Bootstrap path: full clean of the CSV body, keeping the session warm
+/// for incremental replays. The response is the `/clean` report with a
+/// `"session"` key prepended.
+///
+/// Sessions run with KB enrichment disabled, so the session's KB clone
+/// only ever advances through the catch-up ring — which is what makes
+/// version-chained catch-up sound. The crowd policy is fixed here;
+/// `base=` requests reuse it and ignore per-request overrides.
+fn bootstrap_delta_session(state: &ServerState, req: &Request, text: &str) -> (u16, String) {
+    let rec = state.recorder.as_ref();
+    let (table, table_report) =
+        match csv::parse_with_policy("request", text, &katara_table::IngestPolicy::lenient()) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                rec.incr(Counter::ServeQuarantined);
+                return (400, error_body("quarantined", &e.to_string()));
+            }
+        };
+    if table.num_rows() == 0 || table.num_columns() == 0 {
+        rec.incr(Counter::ServeQuarantined);
+        return (
+            400,
+            error_body("quarantined", "no usable CSV records in body"),
+        );
+    }
+    let policy = match req.query_param("crowd") {
+        None => state.policy.clone(),
+        Some("trust") => ServePolicy::Trust,
+        Some("skeptic") => ServePolicy::Skeptic,
+        Some(other) => {
+            rec.incr(Counter::ServeQuarantined);
+            return (
+                400,
+                error_body("quarantined", &format!("unknown crowd policy {other:?}")),
+            );
+        }
+    };
+
+    let (mut kb, base_version) = clone_base_kb(state);
+    let key = snapshot_key(req.body.as_slice(), base_version);
+    let mut crowd = match Crowd::new(
+        CrowdConfig {
+            replication: 1,
+            worker_accuracy: 1.0,
+            ..CrowdConfig::default()
+        },
+        ServeOracle {
+            policy: policy.clone(),
+        },
+    ) {
+        Ok(c) => c,
+        Err(e) => return (500, error_body("internal", &format!("crowd setup: {e}"))),
+    };
+    let config = KataraConfig {
+        repairs_k: state.config.repairs_k,
+        threads: state.config.threads,
+        candidates: CandidateConfig {
+            threads: state.config.threads,
+            ..CandidateConfig::default()
+        },
+        validation: ValidationConfig {
+            questions_per_variable: 1,
+            ..ValidationConfig::default()
+        },
+        annotation: AnnotationConfig {
+            enrich_kb: false,
+            ..AnnotationConfig::default()
+        },
+        recorder: state.recorder.clone() as Arc<dyn Recorder>,
+        ..KataraConfig::default()
+    };
+    match Katara::new(config).delta_session(&table, &mut kb, &mut crowd) {
+        Ok((session, mut report)) => {
+            let ingest = IngestSummary {
+                kb: None,
+                table: Some(table_report),
+            };
+            ingest.apply_to(&mut report.degradation);
+            let degraded = report.degradation.is_degraded();
+            if degraded {
+                rec.incr(Counter::ServeDegraded);
+            }
+            let body = report_body(&report, &kb, &table);
+            let entry = Arc::new(Mutex::new(DeltaEntry {
+                session,
+                kb,
+                policy,
+            }));
+            let mut sessions = state.sessions.lock().unwrap_or_else(|e| e.into_inner());
+            if sessions.len() >= SESSION_CACHE_CAP {
+                sessions.clear();
+            }
+            sessions.insert(key, entry);
+            let status = if degraded { 206 } else { 200 };
+            (status, with_session_key(key, &body))
+        }
+        Err(KataraError::NoPatternFound { .. }) => (
+            422,
+            error_body("no pattern", "the KB does not cover this table"),
+        ),
+        Err(e) => (500, error_body("internal", &e.to_string())),
+    }
+}
+
+/// Replay path: parse the edits CSV, catch the session up to the shared
+/// base through the enrichment ring, run the incremental clean.
+fn replay_delta(state: &ServerState, key: u64, text: &str) -> (u16, String) {
+    let rec = state.recorder.as_ref();
+    let entry = {
+        let sessions = state.sessions.lock().unwrap_or_else(|e| e.into_inner());
+        sessions.get(&key).cloned()
+    };
+    let Some(entry) = entry else {
+        return (
+            404,
+            error_body("unknown session", "bootstrap again without `base`"),
+        );
+    };
+    let mut guard = entry.lock().unwrap_or_else(|e| e.into_inner());
+    let edits = match TableDelta::parse_csv(text, guard.session.table().num_columns()) {
+        Ok(edits) => edits,
+        Err(e) => {
+            rec.incr(Counter::ServeQuarantined);
+            return (400, error_body("quarantined", &e.to_string()));
+        }
+    };
+    if catch_up(state, &mut guard).is_err() {
+        drop(guard);
+        let mut sessions = state.sessions.lock().unwrap_or_else(|e| e.into_inner());
+        sessions.remove(&key);
+        return (
+            409,
+            error_body(
+                "session too old",
+                "the enrichment ring no longer reaches this session; re-bootstrap",
+            ),
+        );
+    }
+    let DeltaEntry {
+        session,
+        kb,
+        policy,
+    } = &mut *guard;
+    let mut crowd = match Crowd::new(
+        CrowdConfig {
+            replication: 1,
+            worker_accuracy: 1.0,
+            ..CrowdConfig::default()
+        },
+        ServeOracle {
+            policy: policy.clone(),
+        },
+    ) {
+        Ok(c) => c,
+        Err(e) => return (500, error_body("internal", &format!("crowd setup: {e}"))),
+    };
+    match session.clean_delta(kb, &mut crowd, &edits) {
+        Ok(report) => {
+            let degraded = report.degradation.is_degraded();
+            if degraded {
+                rec.incr(Counter::ServeDegraded);
+            }
+            let status = if degraded { 206 } else { 200 };
+            let body = report_body(&report, kb, session.table());
+            (status, with_session_key(key, &body))
+        }
+        Err(e @ KataraError::BadDelta { .. }) => {
+            rec.incr(Counter::ServeQuarantined);
+            (400, error_body("quarantined", &e.to_string()))
+        }
+        Err(KataraError::NoPatternFound { .. }) => (
+            422,
+            error_body("no pattern", "the KB no longer covers this table"),
+        ),
+        Err(e) => (500, error_body("internal", &e.to_string())),
+    }
+}
+
+/// Splice the session key into a `report_body` JSON object.
+fn with_session_key(key: u64, body: &str) -> String {
+    format!("{{\"session\":\"{key:016x}\",{}", &body[1..])
+}
+
+/// Advance a `/delta` session's KB to the shared base by replaying the
+/// enrichment ring. Each ring entry is keyed by the KB version it was
+/// applied *at*; because sessions never self-enrich, the session version
+/// chains through exactly the same sequence the base did. A gap (the
+/// ring evicted an entry the session still needs) is an error — the
+/// caller answers `409` and drops the session.
+fn catch_up(state: &ServerState, entry: &mut DeltaEntry) -> Result<(), ()> {
+    loop {
+        let base_version = {
+            let base = state.kb.read().unwrap_or_else(|e| e.into_inner());
+            base.version()
+        };
+        if entry.kb.version() >= base_version {
+            return Ok(());
+        }
+        let step = {
+            let ring = state
+                .recent_deltas
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            ring.iter()
+                .find(|(pre, _)| *pre == entry.kb.version())
+                .map(|(_, d)| d.clone())
+        };
+        let Some(delta) = step else {
+            return Err(());
+        };
+        if entry.kb.apply_delta(&delta).is_err() {
+            return Err(());
+        }
+        entry.session.apply_enrichment(&entry.kb, &delta);
+    }
+}
+
+/// Clone the base KB together with the version the clone is at.
+///
+/// In durable mode the *journal* mutex is taken first: `persist_enrichment`
+/// holds it across append-then-apply, so without it a handler could
+/// observe the window where a record is journaled but not yet folded
+/// into the shared store — a clone at version N that the journal already
+/// superseded. Holding the journal mutex for the read makes the
+/// `(clone, version)` pair journal-prefix-consistent: the clone reflects
+/// exactly the appends numbered up to its version, which is also what
+/// keeps the warm-snapshot cache and the `/delta` catch-up ring honest.
+fn clone_base_kb(state: &ServerState) -> (Kb, u64) {
+    let _journal_guard = state
+        .journal
+        .as_ref()
+        .map(|j| j.lock().unwrap_or_else(|e| e.into_inner()));
+    let base = state.kb.read().unwrap_or_else(|e| e.into_inner());
+    (base.clone(), base.version())
+}
+
 /// Durable mode: journal this run's enrichment, then fold it into the
 /// shared KB so later requests see it (persist-before-ack — the record
 /// is fsynced before the response leaves).
@@ -660,7 +967,20 @@ fn persist_enrichment(state: &ServerState, report: &mut CleaningReport) {
             let mut next = shared.clone();
             match next.apply_delta(&delta) {
                 Ok(_changed) => {
+                    let pre = shared.version();
                     *shared = next;
+                    // Record (pre-apply version, delta) so warm `/delta`
+                    // sessions can chain forward to the new base.
+                    {
+                        let mut ring = state
+                            .recent_deltas
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner());
+                        ring.push_back((pre, delta.clone()));
+                        while ring.len() > RECENT_DELTAS_CAP {
+                            ring.pop_front();
+                        }
+                    }
                     // Past the compaction threshold? Checkpoint under
                     // both locks. A failed compaction is not data loss
                     // (the journal still holds every record); it
@@ -920,6 +1240,8 @@ mod tests {
             conns: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             snapshots: Mutex::new(HashMap::new()),
+            sessions: Mutex::new(HashMap::new()),
+            recent_deltas: Mutex::new(VecDeque::new()),
             journal: journal.map(|journal| {
                 Mutex::new(JournalState {
                     journal,
@@ -1173,6 +1495,131 @@ mod tests {
             base_version,
             "unjournaled enrichment must not reach the shared KB"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn post_delta(body: &str, query: &[(&str, &str)]) -> Request {
+        let mut req = post_clean(body, query);
+        req.path = "/delta".to_string();
+        req
+    }
+
+    /// Pull the `"session":"<hex>"` key out of a `/delta` response body.
+    fn session_key_of(body: &str) -> String {
+        let tail = body
+            .split("\"session\":\"")
+            .nth(1)
+            .unwrap_or_else(|| panic!("no session key in {body}"));
+        tail[..tail.find('"').unwrap()].to_string()
+    }
+
+    #[test]
+    fn delta_bootstrap_and_incremental_replay_round_trip() {
+        let st = state();
+        // Skeptic bootstrap: flags the Pirlo row like /clean would, and
+        // hands back a session key.
+        let (status, body, _) = route(&st, &post_delta(SOCCER_CSV, &[("crowd", "skeptic")]));
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"row\":1"), "{body}");
+        let key = session_key_of(&body);
+
+        // Replay an edits CSV: fix the bad row, append a new one. The
+        // report covers the edited table incrementally.
+        let edits = "op,row,name,country,capital\n\
+                     upsert,1,Pirlo,Italy,Rome\n\
+                     upsert,3,Klate,S. Africa,Rome\n";
+        let (status, body, _) = route(&st, &post_delta(edits, &[("base", &key)]));
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains(&format!("\"session\":\"{key}\"")), "{body}");
+        // The appended Klate row is the (only) erroneous one now, and the
+        // KB knows its capital.
+        assert!(body.contains("\"row\":3"), "{body}");
+        assert!(body.contains("Pretoria"), "{body}");
+        // The incremental path did delta work, not a fresh discovery.
+        let m = st.recorder.snapshot();
+        assert!(m.counter("delta.tuples_touched") >= 2, "{body}");
+
+        // Malformed edits: wrong arity is quarantined, session intact.
+        let (status, body, _) = route(
+            &st,
+            &post_delta("op,row,name\nupsert,0,x\n", &[("base", &key)]),
+        );
+        assert_eq!(status, 400, "{body}");
+        let (status, _, _) = route(
+            &st,
+            &post_delta("op,row,name,country,capital\n", &[("base", &key)]),
+        );
+        assert_eq!(status, 200, "an empty delta still round-trips");
+    }
+
+    #[test]
+    fn delta_rejects_unknown_sessions_and_bad_keys() {
+        let st = state();
+        let (status, body, _) = route(
+            &st,
+            &post_delta("op,row,a\n", &[("base", "00000000deadbeef")]),
+        );
+        assert_eq!(status, 404, "{body}");
+        assert!(body.contains("unknown session"), "{body}");
+        let (status, body, _) = route(&st, &post_delta("op,row,a\n", &[("base", "not-hex")]));
+        assert_eq!(status, 400, "{body}");
+        // Wrong method on the route.
+        let mut req = post_delta("", &[]);
+        req.method = "GET".into();
+        assert_eq!(route(&st, &req).0, 405);
+    }
+
+    #[test]
+    fn delta_sessions_catch_up_through_the_enrichment_ring() {
+        let (st, dir) = durable_state("ring");
+        // Bootstrap a session at the boot version.
+        let (status, body, _) = route(&st, &post_delta(SOCCER_CSV, &[("crowd", "skeptic")]));
+        assert_eq!(status, 200, "{body}");
+        let key = session_key_of(&body);
+        let v0 = st.kb.read().unwrap().version();
+
+        // A trust-mode /clean enriches the shared KB durably; the ring
+        // records the delta and the base version advances.
+        let (status, _, _) = route(&st, &post_clean(SOCCER_CSV, &[]));
+        assert_eq!(status, 200);
+        assert!(st.kb.read().unwrap().version() > v0, "base advanced");
+        assert!(!st.recent_deltas.lock().unwrap().is_empty());
+
+        // The warm session replays the ring delta and still serves.
+        let edits = "op,row,name,country,capital\nupsert,1,Pirlo,Italy,Rome\n";
+        let (status, body, _) = route(&st, &post_delta(edits, &[("base", &key)]));
+        assert_eq!(status, 200, "{body}");
+        {
+            let sessions = st.sessions.lock().unwrap();
+            let entry = sessions[&u64::from_str_radix(&key, 16).unwrap()]
+                .lock()
+                .unwrap();
+            assert_eq!(
+                entry.kb.version(),
+                st.kb.read().unwrap().version(),
+                "catch-up chained the session KB to the base version"
+            );
+        }
+
+        // Evict the ring entries: the session can no longer catch up to
+        // a further-advanced base — 409, and the session is dropped, so
+        // the retry is a 404 telling the client to re-bootstrap.
+        route(&st, &post_clean(SOCCER_CSV, &[("crowd", "skeptic")]));
+        st.recent_deltas.lock().unwrap().clear();
+        {
+            // Force the base past the session without a ring record.
+            let mut js = st.journal.as_ref().unwrap().lock().unwrap();
+            let mut kb = st.kb.write().unwrap();
+            kb.begin_delta_capture();
+            kb.add_entity("Atlantis", "Atlantis", &[]);
+            let d = kb.take_delta();
+            js.journal.append(&d).unwrap();
+        }
+        let (status, body, _) = route(&st, &post_delta(edits, &[("base", &key)]));
+        assert_eq!(status, 409, "{body}");
+        assert!(body.contains("re-bootstrap"), "{body}");
+        let (status, _, _) = route(&st, &post_delta(edits, &[("base", &key)]));
+        assert_eq!(status, 404, "a 409'd session is dropped");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

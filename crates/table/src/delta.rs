@@ -1,0 +1,356 @@
+//! Table deltas: ordered batches of tuple upserts and deletes.
+//!
+//! A [`TableDelta`] is the table-side analogue of the KB's
+//! `EnrichmentDelta` — the unit of change the incremental cleaning
+//! engine consumes. Edits apply *sequentially*: each edit's row index
+//! refers to the table state produced by the edits before it, so a
+//! delta replays to exactly one post-state regardless of who applies it
+//! (the full re-clean comparator or the delta engine).
+//!
+//! The on-disk form is CSV with a two-column prefix:
+//!
+//! ```csv
+//! op,row,A,B,C
+//! upsert,2,Pirlo,Italy,Rome
+//! delete,0,,,
+//! ```
+//!
+//! `upsert` with `row == num_rows` appends a new tuple; `delete` drops
+//! the row and shifts later rows up. Cell columns after the prefix must
+//! match the target table's arity; empty cells are nulls.
+
+use std::fmt;
+
+use crate::csv::{self, CsvError};
+use crate::table::Table;
+use crate::value::Value;
+
+/// One tuple-level edit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableEdit {
+    /// Overwrite row `row` with `cells` (or append when `row` equals the
+    /// current row count).
+    Upsert {
+        /// Target row index in the pre-edit table state.
+        row: usize,
+        /// The full replacement tuple (one value per column).
+        cells: Vec<Value>,
+    },
+    /// Remove row `row`; later rows shift up by one.
+    Delete {
+        /// Target row index in the pre-edit table state.
+        row: usize,
+    },
+}
+
+/// An ordered batch of tuple edits.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TableDelta {
+    /// The edits, in application order.
+    pub edits: Vec<TableEdit>,
+}
+
+/// Errors from parsing or applying a [`TableDelta`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DeltaError {
+    /// The edits CSV itself failed to parse.
+    Csv(CsvError),
+    /// A record's `op` field was neither `upsert` nor `delete`.
+    BadOp {
+        /// 0-based edit index.
+        edit: usize,
+        /// The offending op string.
+        op: String,
+    },
+    /// A record's `row` field was not a non-negative integer.
+    BadRow {
+        /// 0-based edit index.
+        edit: usize,
+        /// The offending row string.
+        row: String,
+    },
+    /// An upsert carried the wrong number of cells for the table.
+    Arity {
+        /// 0-based edit index.
+        edit: usize,
+        /// Cells found.
+        found: usize,
+        /// Table column count.
+        expected: usize,
+    },
+    /// An edit addressed a row outside the (current) table.
+    RowOutOfRange {
+        /// 0-based edit index.
+        edit: usize,
+        /// The requested row.
+        row: usize,
+        /// Rows present when the edit applied.
+        num_rows: usize,
+    },
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::Csv(e) => write!(f, "edits csv: {e}"),
+            DeltaError::BadOp { edit, op } => {
+                write!(f, "edit {edit}: unknown op {op:?} (want upsert|delete)")
+            }
+            DeltaError::BadRow { edit, row } => {
+                write!(f, "edit {edit}: row {row:?} is not a non-negative integer")
+            }
+            DeltaError::Arity {
+                edit,
+                found,
+                expected,
+            } => write!(
+                f,
+                "edit {edit}: upsert has {found} cells, table has {expected} columns"
+            ),
+            DeltaError::RowOutOfRange {
+                edit,
+                row,
+                num_rows,
+            } => write!(
+                f,
+                "edit {edit}: row {row} out of range (table has {num_rows} rows)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DeltaError::Csv(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CsvError> for DeltaError {
+    fn from(e: CsvError) -> Self {
+        DeltaError::Csv(e)
+    }
+}
+
+impl TableDelta {
+    /// True when the delta carries no edits.
+    pub fn is_empty(&self) -> bool {
+        self.edits.is_empty()
+    }
+
+    /// Number of edits.
+    pub fn len(&self) -> usize {
+        self.edits.len()
+    }
+
+    /// Parse the edits CSV (header `op,row,<columns…>`) for a table with
+    /// `num_columns` columns.
+    pub fn parse_csv(input: &str, num_columns: usize) -> Result<TableDelta, DeltaError> {
+        let t = csv::parse("edits", input)?;
+        if t.num_columns() != num_columns + 2 {
+            return Err(DeltaError::Csv(CsvError::RaggedRow {
+                line: 1,
+                found: t.num_columns(),
+                expected: num_columns + 2,
+            }));
+        }
+        let mut edits = Vec::with_capacity(t.num_rows());
+        for (i, rec) in t.rows().iter().enumerate() {
+            let op = rec[0].as_str().unwrap_or("");
+            let row_str = rec[1].as_str().unwrap_or("");
+            let row: usize = row_str.trim().parse().map_err(|_| DeltaError::BadRow {
+                edit: i,
+                row: row_str.to_string(),
+            })?;
+            match op.trim() {
+                "upsert" => edits.push(TableEdit::Upsert {
+                    row,
+                    cells: rec[2..].to_vec(),
+                }),
+                "delete" => edits.push(TableEdit::Delete { row }),
+                other => {
+                    return Err(DeltaError::BadOp {
+                        edit: i,
+                        op: other.to_string(),
+                    })
+                }
+            }
+        }
+        Ok(TableDelta { edits })
+    }
+
+    /// Serialize to the edits CSV form for a table with the given column
+    /// names.
+    pub fn to_csv(&self, columns: &[String]) -> String {
+        let mut header = vec!["op".to_string(), "row".to_string()];
+        header.extend(columns.iter().cloned());
+        let mut t = Table::new("edits", header);
+        for e in &self.edits {
+            match e {
+                TableEdit::Upsert { row, cells } => {
+                    let mut rec = vec![
+                        Value::from_cell("upsert"),
+                        Value::from_cell(&row.to_string()),
+                    ];
+                    rec.extend(cells.iter().cloned());
+                    t.push_row(rec);
+                }
+                TableEdit::Delete { row } => {
+                    let mut rec = vec![
+                        Value::from_cell("delete"),
+                        Value::from_cell(&row.to_string()),
+                    ];
+                    rec.extend(std::iter::repeat_n(Value::Null, columns.len()));
+                    t.push_row(rec);
+                }
+            }
+        }
+        csv::to_string(&t)
+    }
+
+    /// Replay every edit onto `table`, sequentially. On error the table
+    /// keeps the edits applied so far (the error names the failing edit).
+    pub fn apply(&self, table: &mut Table) -> Result<(), DeltaError> {
+        for (i, e) in self.edits.iter().enumerate() {
+            match e {
+                TableEdit::Upsert { row, cells } => {
+                    if cells.len() != table.num_columns() {
+                        return Err(DeltaError::Arity {
+                            edit: i,
+                            found: cells.len(),
+                            expected: table.num_columns(),
+                        });
+                    }
+                    if *row < table.num_rows() {
+                        for (c, v) in cells.iter().enumerate() {
+                            table.set_cell(*row, c, v.clone());
+                        }
+                    } else if *row == table.num_rows() {
+                        table.push_row(cells.clone());
+                    } else {
+                        return Err(DeltaError::RowOutOfRange {
+                            edit: i,
+                            row: *row,
+                            num_rows: table.num_rows(),
+                        });
+                    }
+                }
+                TableEdit::Delete { row } => {
+                    if *row >= table.num_rows() {
+                        return Err(DeltaError::RowOutOfRange {
+                            edit: i,
+                            row: *row,
+                            num_rows: table.num_rows(),
+                        });
+                    }
+                    table.remove_row(*row);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1() -> Table {
+        let mut t = Table::with_opaque_columns("soccer", 3);
+        t.push_text_row(&["Rossi", "Italy", "Rome"]);
+        t.push_text_row(&["Klate", "S. Africa", "Pretoria"]);
+        t.push_text_row(&["Pirlo", "Italy", "Madrid"]);
+        t
+    }
+
+    #[test]
+    fn apply_upsert_delete_append() {
+        let mut t = fig1();
+        let d = TableDelta {
+            edits: vec![
+                TableEdit::Upsert {
+                    row: 2,
+                    cells: vec![
+                        Value::from_cell("Pirlo"),
+                        Value::from_cell("Italy"),
+                        Value::from_cell("Rome"),
+                    ],
+                },
+                TableEdit::Delete { row: 0 },
+                TableEdit::Upsert {
+                    row: 2,
+                    cells: vec![
+                        Value::from_cell("Ramos"),
+                        Value::from_cell("Spain"),
+                        Value::from_cell("Madrid"),
+                    ],
+                },
+            ],
+        };
+        d.apply(&mut t).unwrap();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.cell(0, 0).as_str(), Some("Klate"));
+        assert_eq!(t.cell(1, 2).as_str(), Some("Rome"));
+        assert_eq!(t.cell(2, 0).as_str(), Some("Ramos"));
+    }
+
+    #[test]
+    fn out_of_range_edits_error() {
+        let mut t = fig1();
+        let d = TableDelta {
+            edits: vec![TableEdit::Delete { row: 9 }],
+        };
+        let err = d.apply(&mut t).unwrap_err();
+        assert!(matches!(err, DeltaError::RowOutOfRange { row: 9, .. }));
+        let d = TableDelta {
+            edits: vec![TableEdit::Upsert {
+                row: 0,
+                cells: vec![Value::Null],
+            }],
+        };
+        assert!(matches!(
+            d.apply(&mut t).unwrap_err(),
+            DeltaError::Arity { .. }
+        ));
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let t = fig1();
+        let d = TableDelta {
+            edits: vec![
+                TableEdit::Upsert {
+                    row: 1,
+                    cells: vec![
+                        Value::from_cell("Klate"),
+                        Value::from_cell("S. Africa"),
+                        Value::Null,
+                    ],
+                },
+                TableEdit::Delete { row: 0 },
+            ],
+        };
+        let text = d.to_csv(t.columns());
+        let back = TableDelta::parse_csv(&text, t.num_columns()).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_records() {
+        assert!(matches!(
+            TableDelta::parse_csv("op,row,A\nfrobnicate,0,x\n", 1).unwrap_err(),
+            DeltaError::BadOp { .. }
+        ));
+        assert!(matches!(
+            TableDelta::parse_csv("op,row,A\nupsert,minus two,x\n", 1).unwrap_err(),
+            DeltaError::BadRow { .. }
+        ));
+        assert!(matches!(
+            TableDelta::parse_csv("op,row\n", 3).unwrap_err(),
+            DeltaError::Csv(_)
+        ));
+    }
+}

@@ -19,6 +19,7 @@
 
 pub mod corrupt;
 pub mod csv;
+pub mod delta;
 pub mod fd;
 pub mod ingest;
 pub mod table;
@@ -28,6 +29,7 @@ pub use corrupt::{
     CellChange, CorruptionConfig, CorruptionKind, CorruptionLog, StructuralChange,
     StructuralCorruptionConfig, StructuralKind, StructuralLog,
 };
+pub use delta::{DeltaError, TableDelta, TableEdit};
 pub use fd::Fd;
 pub use ingest::{IngestMode, IngestPolicy, IngestReport, QuarantineKind, Quarantined};
 pub use table::{CellRef, Table};

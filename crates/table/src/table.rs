@@ -112,6 +112,14 @@ impl Table {
         std::mem::replace(&mut self.rows[r][c], v)
     }
 
+    /// Remove row `r`, returning it. Rows after `r` shift up by one.
+    ///
+    /// # Panics
+    /// Panics if `r` is out of range.
+    pub fn remove_row(&mut self, r: usize) -> Vec<Value> {
+        self.rows.remove(r)
+    }
+
     /// Iterate the non-null text values of column `c`.
     pub fn column_values(&self, c: usize) -> impl Iterator<Item = &str> {
         self.rows.iter().filter_map(move |row| row[c].as_str())

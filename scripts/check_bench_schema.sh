@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Validate the schema of a BENCH_*.json report (crates/bench/src/perf.rs).
-# Three shapes exist: thread-scaling reports (samples keyed by
+# Four shapes exist: thread-scaling reports (samples keyed by
 # "threads"), the resolve report (samples keyed by "config": cold vs
 # cold_legacy vs snapshot, plus "distinct_ratio", "triples",
-# "index_build_ms", and the kb.plan_* probe-planner counters), and the
+# "index_build_ms", and the kb.plan_* probe-planner counters), the
 # serve report (samples keyed by "config" and "concurrency", with req/s
-# and latency percentiles). The file's "bench" field picks the shape.
+# and latency percentiles), and the incremental report (samples keyed by
+# "config": full vs delta, at several "edit_rate"s, each carrying its
+# discovery+repair "work_counters" sum). The file's "bench" field picks
+# the shape.
 # Usage: check_bench_schema.sh FILE...
 set -euo pipefail
 
@@ -90,6 +93,28 @@ for file in "$@"; do
       echo "$file: serve report must cover at least 2 concurrency levels (found $levels)" >&2
       ok=0
     fi
+  elif grep -Eq '"bench": "incremental"' "$file"; then
+    # Incremental report: full re-clean vs delta replay at several edit
+    # rates, with the logical-work sum alongside each wall time.
+    for config in full delta; do
+      if ! grep -Eq '\{ "config": "'"$config"'", "edit_rate": [0-9]+\.[0-9]+, "iters": [0-9]+, "wall_ms": [0-9]+\.[0-9]+, "speedup": [0-9]+\.[0-9]+, "work_counters": [0-9]+ \}' "$file"; then
+        echo "$file: no well-formed \"$config\" sample (config/edit_rate/iters/wall_ms/speedup/work_counters)" >&2
+        ok=0
+      fi
+    done
+    rates=$(grep -Eo '"edit_rate": [0-9]+\.[0-9]+' "$file" | sort -u | wc -l)
+    if [ "$rates" -lt 2 ]; then
+      echo "$file: incremental report must cover at least 2 edit rates (found $rates)" >&2
+      ok=0
+    fi
+    # The delta path must record its delta.* counters in the embedded
+    # metrics — that is what makes "fraction of full work" auditable.
+    for counter in delta.tuples_touched delta.patterns_rescored; do
+      if ! grep -Eq '"'"$counter"'": [0-9]+' "$file"; then
+        echo "$file: embedded metrics missing the \"$counter\" counter" >&2
+        ok=0
+      fi
+    done
   else
     # Thread-scaling report: at least one sample with all four numeric
     # fields on one line.

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Pin the number of fallback-to-live-query sites in the snapshot resolve
+# layer (crates/core/src/resolve.rs).
+#
+# The incremental engine (DESIGN.md §5j) is sound because a stale
+# snapshot entry is *patched* by the applied EnrichmentDelta, never
+# silently recomputed against the live KB: every fallback site is a
+# measured miss (Resolve*Fallback counter) that the delta-equivalence
+# gate can account for. A new fallback path added without its counter —
+# or a new call site reusing an existing counter — would let incremental
+# and full runs quietly diverge on work while still agreeing on bytes,
+# invalidating BENCH_incremental.json's work-counter story. This gate
+# forces that conversation: if you add or remove a fallback site, update
+# EXPECTED here and the invalidation matrix in DESIGN.md §5j.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+EXPECTED=3
+found=$(grep -Ec 'ResolveCandidatesFallback|ResolveTypesFallback|ResolvePairFallback' \
+  crates/core/src/resolve.rs)
+
+if [ "$found" -ne "$EXPECTED" ]; then
+  echo "lint_delta_invalidation: crates/core/src/resolve.rs has $found" >&2
+  echo "fallback-to-live-query sites, expected $EXPECTED." >&2
+  echo "If this change is intentional, update EXPECTED in $0 and the" >&2
+  echo "invalidation matrix in DESIGN.md section 5j." >&2
+  exit 1
+fi
+echo "lint_delta_invalidation: $found fallback sites (expected $EXPECTED) — OK"
