@@ -601,6 +601,130 @@ impl IncrementalReport {
     }
 }
 
+/// One measured configuration of the crowd bench: one aggregation mode
+/// on one seeded fault plan, at the shared worker-answer budget.
+#[derive(Debug, Clone)]
+pub struct CrowdSample {
+    /// Fault-plan label, e.g. `"spam40/0.75"`.
+    pub plan: String,
+    /// Aggregation mode label: `"plurality"` or `"dawid-skene"`.
+    pub agg: String,
+    /// Questions the mode answered within the budget.
+    pub questions: usize,
+    /// Worker answers spent (the budgeted resource).
+    pub answers: usize,
+    /// Fraction of answered questions matching the ground truth.
+    pub accuracy: f64,
+    /// Extra replicas issued on disagreement escalation.
+    pub escalations: usize,
+    /// Replica slots adaptive replication never had to issue.
+    pub questions_saved: usize,
+    /// Mean wall time of one full sweep run, in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// The quality report for the `crowd` bench target — the
+/// [`ScalingReport`] envelope keyed by (fault plan, aggregation mode),
+/// with accuracy-at-budget figures instead of speedups. The CI
+/// `crowd-quality-smoke` job regenerates the same numbers through the
+/// `crowd_quality_gate` test; this artifact records them.
+#[derive(Debug, Clone)]
+pub struct CrowdReport {
+    /// Bench name — becomes the `BENCH_<bench>.json` file name.
+    pub bench: String,
+    /// Human-readable fixture description.
+    pub fixture: String,
+    /// Measured configurations, in measurement order.
+    pub samples: Vec<CrowdSample>,
+    /// Run metrics from one untimed instrumented run of the workload,
+    /// embedded under the `"metrics"` key when present.
+    pub metrics: Option<RunMetrics>,
+}
+
+impl CrowdReport {
+    /// Start an empty report.
+    pub fn new(bench: &str, fixture: &str) -> Self {
+        CrowdReport {
+            bench: bench.to_string(),
+            fixture: fixture.to_string(),
+            samples: Vec::new(),
+            metrics: None,
+        }
+    }
+
+    /// Record one (plan, mode) configuration.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &mut self,
+        plan: &str,
+        agg: &str,
+        questions: usize,
+        answers: usize,
+        accuracy: f64,
+        escalations: usize,
+        questions_saved: usize,
+        wall_ms: f64,
+    ) {
+        self.samples.push(CrowdSample {
+            plan: plan.to_string(),
+            agg: agg.to_string(),
+            questions,
+            answers,
+            accuracy,
+            escalations,
+            questions_saved,
+            wall_ms,
+        });
+    }
+
+    /// Render the JSON document.
+    pub fn to_json(&self) -> String {
+        let parallelism = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let mode = if quick_mode() { "quick" } else { "full" };
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"bench\": \"{}\",\n", escape(&self.bench)));
+        out.push_str(&format!("  \"fixture\": \"{}\",\n", escape(&self.fixture)));
+        out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+        out.push_str(&format!("  \"parallelism\": {parallelism},\n"));
+        if let Some(m) = &self.metrics {
+            out.push_str("  \"metrics\": ");
+            out.push_str(&m.to_json_object(2));
+            out.push_str(",\n");
+        }
+        out.push_str("  \"samples\": [\n");
+        for (i, s) in self.samples.iter().enumerate() {
+            let comma = if i + 1 < self.samples.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{ \"plan\": \"{}\", \"agg\": \"{}\", \"questions\": {}, \
+                 \"answers\": {}, \"accuracy\": {:.4}, \"escalations\": {}, \
+                 \"questions_saved\": {}, \"wall_ms\": {:.3} }}{comma}\n",
+                escape(&s.plan),
+                escape(&s.agg),
+                s.questions,
+                s.answers,
+                s.accuracy,
+                s.escalations,
+                s.questions_saved,
+                s.wall_ms
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Write `BENCH_<bench>.json` at the workspace root; returns the path.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..");
+        let path = root.join(format!("BENCH_{}.json", self.bench));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
 /// Sum of every `discovery.*` and `repair.*` counter in a metrics
 /// snapshot — the logical-work figure the incremental report records per
 /// sample (resolution and crowd spend are tracked by their own counters;
@@ -762,6 +886,29 @@ mod tests {
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+    }
+
+    #[test]
+    fn crowd_report_shape() {
+        let mut r = CrowdReport::new("crowd", "toy");
+        r.record("honest/0.95", "plurality", 120, 360, 0.9833, 0, 0, 4.2);
+        r.record("honest/0.95", "dawid-skene", 120, 253, 1.0, 0, 111, 3.1);
+        let json = r.to_json();
+        for key in [
+            "\"bench\": \"crowd\"",
+            "\"plan\": \"honest/0.95\"",
+            "\"agg\": \"plurality\"",
+            "\"agg\": \"dawid-skene\"",
+            "\"questions\": 120",
+            "\"answers\": 253",
+            "\"accuracy\": 0.9833",
+            "\"escalations\": 0",
+            "\"questions_saved\": 111",
+            "\"wall_ms\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.ends_with("  ]\n}\n"), "{json}");
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //!                 [--out repaired.csv] [--enriched-kb out.nt]
 //!                 [--max-questions N] [--strict|--lenient] [--threads N]
 //!                 [--direct-resolve] [--metrics OUT.json] [--trace]
-//!                 [--delta EDITS.csv]
+//!                 [--delta EDITS.csv] [--crowd-agg plurality|dawid-skene]
 //! katara discover --table data.csv --kb kb.nt [--k N] [--strict|--lenient]
 //!                 [--threads N] [--direct-resolve]
 //! katara kb-stats --kb kb.nt [--strict|--lenient]
@@ -58,6 +58,13 @@
 //! prints the per-phase span tree (human-readable, quantized wall times)
 //! to stderr; the two flags compose and neither perturbs the repairs.
 //!
+//! `--crowd-agg` picks how replicated crowd answers are aggregated:
+//! `plurality` (the default — the paper's majority vote) or
+//! `dawid-skene`, which infers a per-worker quality score by EM, stops
+//! replicating early once the answer posterior is confident, and
+//! escalates disagreements to fresh workers (see DESIGN.md §5k). Both
+//! modes charge the same `--max-questions` budget.
+//!
 //! `clean --delta EDITS.csv` exercises the incremental engine: the base
 //! table is cleaned once to warm a [`DeltaSession`], the edits are
 //! applied (CSV with header `op,row,<columns…>`; `op` is `upsert` or
@@ -93,7 +100,7 @@ use std::io::BufRead;
 use std::sync::Arc;
 
 use katara_core::prelude::*;
-use katara_crowd::{Answer, Budget, Crowd, CrowdConfig, Oracle, Question};
+use katara_crowd::{AggregationMode, Answer, Budget, Crowd, CrowdConfig, Oracle, Question};
 use katara_kb::{ntriples, sim, Kb};
 use katara_serve::{ServePolicy, Server, ServerConfig};
 use katara_table::{csv, Table};
@@ -365,6 +372,10 @@ pub enum Command {
         /// Edits CSV for an incremental re-clean (`--delta`); `None`
         /// runs the ordinary one-shot clean.
         delta: Option<String>,
+        /// How replicated crowd answers are aggregated (`--crowd-agg`);
+        /// plurality is the paper's majority vote, Dawid–Skene learns
+        /// per-worker quality and adapts replication.
+        crowd_agg: AggregationMode,
     },
     /// Discovery only.
     Discover {
@@ -435,6 +446,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
              [--out OUT.csv] [--enriched-kb OUT.nt] [--max-questions N] \
              [--strict|--lenient] [--threads N] [--direct-resolve] \
              [--metrics OUT.json] [--trace] [--delta EDITS.csv] \
+             [--crowd-agg plurality|dawid-skene] \
              [--addr HOST:PORT] [--max-in-flight N] [--default-deadline-ms N] \
              [--journal-dir DIR] [--verify]"
                 .to_string(),
@@ -460,6 +472,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut journal_dir = None;
     let mut verify = false;
     let mut delta = None;
+    let mut crowd_agg = None;
     while let Some(flag) = it.next() {
         let mut value = || {
             it.next()
@@ -513,6 +526,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "--journal-dir" => journal_dir = Some(value()?),
             "--verify" => verify = true,
             "--delta" => delta = Some(value()?),
+            "--crowd-agg" => {
+                crowd_agg = Some(
+                    value()?
+                        .parse::<AggregationMode>()
+                        .map_err(CliError::Usage)?,
+                )
+            }
             other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
         }
     }
@@ -521,6 +541,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     };
     if delta.is_some() && cmd != "clean" {
         return Err(CliError::Usage("--delta only applies to `clean`".into()));
+    }
+    if crowd_agg.is_some() && cmd != "clean" {
+        return Err(CliError::Usage(
+            "--crowd-agg only applies to `clean`".into(),
+        ));
     }
     match cmd.as_str() {
         "clean" => Ok(Command::Clean {
@@ -537,6 +562,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             metrics,
             trace,
             delta,
+            crowd_agg: crowd_agg.unwrap_or_default(),
         }),
         "discover" | "kb-stats" if metrics.is_some() || trace => Err(CliError::Usage(
             "--metrics/--trace only apply to `clean`".into(),
@@ -753,6 +779,7 @@ pub fn run(cmd: Command) -> Result<RunStatus, CliError> {
             metrics,
             trace,
             delta,
+            crowd_agg,
         } => {
             let (mut kb, kb_report) = load_kb(&kb, ingest)?;
             let (mut table, table_report) = load_table(&table, ingest)?;
@@ -773,6 +800,7 @@ pub fn run(cmd: Command) -> Result<RunStatus, CliError> {
                     replication: 1,
                     worker_accuracy: 1.0,
                     budget,
+                    aggregation: crowd_agg,
                     ..CrowdConfig::default()
                 },
                 CliOracle::new(crowd),
@@ -1218,6 +1246,67 @@ mod tests {
             "k.nt",
             "--delta",
             "edits.csv",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        assert!(matches!(parse_args(&args), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn parse_args_crowd_agg() {
+        let args: Vec<String> = [
+            "clean",
+            "--table",
+            "t.csv",
+            "--kb",
+            "k.nt",
+            "--crowd-agg",
+            "dawid-skene",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        match parse_args(&args).unwrap() {
+            Command::Clean { crowd_agg, .. } => {
+                assert_eq!(crowd_agg, AggregationMode::DawidSkene)
+            }
+            other => panic!("{other:?}"),
+        }
+        // Plurality by default.
+        let args: Vec<String> = ["clean", "--table", "t.csv", "--kb", "k.nt"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        match parse_args(&args).unwrap() {
+            Command::Clean { crowd_agg, .. } => {
+                assert_eq!(crowd_agg, AggregationMode::Plurality)
+            }
+            other => panic!("{other:?}"),
+        }
+        // Unknown modes are usage errors.
+        let args: Vec<String> = [
+            "clean",
+            "--table",
+            "t.csv",
+            "--kb",
+            "k.nt",
+            "--crowd-agg",
+            "median",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        assert!(matches!(parse_args(&args), Err(CliError::Usage(_))));
+        // Only `clean` aggregates crowd answers.
+        let args: Vec<String> = [
+            "discover",
+            "--table",
+            "t.csv",
+            "--kb",
+            "k.nt",
+            "--crowd-agg",
+            "plurality",
         ]
         .iter()
         .map(|s| s.to_string())

@@ -195,6 +195,7 @@ fn trust_mode_enriches_everything() {
         metrics: None,
         trace: false,
         delta: None,
+        crowd_agg: Default::default(),
     })
     .unwrap();
     // Trust mode confirms even the wrong capital: the KB gains both the
@@ -227,6 +228,7 @@ fn exhausted_budget_degrades_instead_of_failing() {
         metrics: None,
         trace: false,
         delta: None,
+        crowd_agg: Default::default(),
     })
     .unwrap();
     assert_eq!(status, RunStatus::Degraded);
@@ -336,6 +338,7 @@ fn strict_ingestion_rejects_the_same_corrupted_inputs() {
         metrics: None,
         trace: false,
         delta: None,
+        crowd_agg: Default::default(),
     })
     .unwrap_err();
     match err {

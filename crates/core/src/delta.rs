@@ -481,6 +481,7 @@ impl DeltaSession {
             run_stats.no_quorum_questions as u64,
         );
         rec.incr_by(Counter::CrowdBudgetDenied, run_stats.budget_denied as u64);
+        crate::pipeline::record_quality_counters(rec.as_ref(), &run_stats);
         if let Some(remaining) = crowd.budget_remaining() {
             rec.set_gauge(Gauge::CrowdBudgetRemaining, remaining as u64);
         }
@@ -505,6 +506,8 @@ impl DeltaSession {
             deadline_phase,
             deadline_denied: run_stats.deadline_denied,
             enrichment_dropped: 0,
+            posterior_confident: run_stats.posterior_confident,
+            questions_saved: run_stats.questions_saved,
         };
 
         // Post-run bookkeeping: fold this run's own enrichment into the

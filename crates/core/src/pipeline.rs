@@ -173,6 +173,14 @@ pub struct DegradationReport {
     /// would forget them, so this counts as degradation. Always zero for
     /// non-durable (journal-less) runs.
     pub enrichment_dropped: usize,
+    /// Asks the Dawid–Skene aggregator settled by posterior confidence
+    /// (always zero under plurality). Informational, like
+    /// [`Self::questions_asked`]: trusting good workers is not
+    /// degradation.
+    pub posterior_confident: usize,
+    /// Replica slots adaptive replication never had to issue (Dawid–
+    /// Skene only). Informational — saved money, not lost answers.
+    pub questions_saved: usize,
 }
 
 impl DegradationReport {
@@ -445,6 +453,7 @@ impl Katara {
             run_stats.no_quorum_questions as u64,
         );
         rec.incr_by(Counter::CrowdBudgetDenied, run_stats.budget_denied as u64);
+        record_quality_counters(rec.as_ref(), &run_stats);
         if let Some(remaining) = crowd.budget_remaining() {
             rec.set_gauge(Gauge::CrowdBudgetRemaining, remaining as u64);
         }
@@ -473,6 +482,8 @@ impl Katara {
             // Durability is the caller's concern: `clean` applies
             // enrichment in-memory only, so nothing can be dropped here.
             enrichment_dropped: 0,
+            posterior_confident: run_stats.posterior_confident,
+            questions_saved: run_stats.questions_saved,
         };
 
         Ok(CleaningReport {
@@ -498,6 +509,21 @@ pub(crate) fn record_phase_questions(
 ) {
     rec.incr_by(counter, now.since(mark).questions() as u64);
     *mark = now.clone();
+}
+
+/// Export the worker-quality-inference counters from one run's crowd
+/// stats delta — shared by the full and the delta pipelines.
+pub(crate) fn record_quality_counters(rec: &dyn Recorder, run_stats: &CrowdStats) {
+    rec.incr_by(Counter::CrowdEscalations, run_stats.escalations as u64);
+    rec.incr_by(Counter::CrowdEmIterations, run_stats.em_iterations as u64);
+    rec.incr_by(
+        Counter::CrowdPosteriorConfident,
+        run_stats.posterior_confident as u64,
+    );
+    rec.incr_by(
+        Counter::CrowdQuestionsSaved,
+        run_stats.questions_saved as u64,
+    );
 }
 
 /// Multi-KB selection (§2: "the pattern discovery module can be used to

@@ -1,0 +1,417 @@
+//! Worker-quality inference: a deterministic Dawid–Skene EM aggregator.
+//!
+//! The paper's platform (§5.2) replicates every question and takes the
+//! plurality answer, weighing every worker equally. The PR-1 fault layer
+//! already simulates the crowds where that loses: spammers answer
+//! uniformly at random, and low-accuracy workers cost replicas that a
+//! known-good worker would not need. This module implements the classic
+//! fix — Dawid–Skene-style expectation-maximisation over per-worker
+//! confusion estimates — in the one-coin form T-Crowd argues for:
+//! a single *unified quality score* per worker, shared across the
+//! platform's question kinds (column-type, relationship, fact), instead
+//! of one confusion matrix per label space. Questions here have varying
+//! option counts (a 4-candidate type question and a yes/no fact check),
+//! so the full per-label matrix would fragment the evidence; the unified
+//! score pools it.
+//!
+//! ## The model
+//!
+//! Worker `w` answers correctly with probability `q_w` and otherwise
+//! picks uniformly among the `K-1` wrong options — the collapsed
+//! (symmetric) confusion matrix with `q_w` on the diagonal and
+//! `(1-q_w)/(K-1)` off it. For one question with votes
+//! `{(w_i, slot_i)}`:
+//!
+//! * **E-step** — posterior over the true slot `s` under a uniform
+//!   prior: `P(s) ∝ Π_i  q_i` if `slot_i = s` else `(1-q_i)/(K-1)`,
+//!   computed in log space.
+//! * **M-step** — each voter's quality is re-estimated from its running
+//!   correctness mass plus this question's expected correctness
+//!   `P(slot_i)`, smoothed by a fixed prior (`prior_quality` worth
+//!   `prior_strength` pseudo-answers).
+//!
+//! The two steps alternate for exactly [`DawidSkeneConfig::em_iterations`]
+//! rounds — a *fixed* iteration count, not a convergence test, so the
+//! float trajectory is a pure function of the votes and the committed
+//! history. Combined with `f64::total_cmp` for every ordering (DESIGN.md
+//! §5d) this makes the aggregator bit-deterministic: no RNG, no
+//! wall-clock, no HashMap iteration order.
+//!
+//! After a question settles, [`DawidSkene::commit`] folds the final
+//! posterior into each voter's running `(correct_mass, total_mass)`
+//! counts — the cross-question learning that lets the platform trust
+//! good workers with fewer replicas and discount spammers. The platform
+//! ([`Crowd`](crate::Crowd)) consults [`DawidSkene::posterior`] after
+//! each collected answer to *stop early* once confidence clears
+//! [`DawidSkeneConfig::posterior_confident`], and escalates to fresh
+//! workers when a full attempt stays unconfident.
+
+use crate::question::QuestionKind;
+
+/// How the platform aggregates replicated answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AggregationMode {
+    /// Plurality voting — the paper's scheme and the byte-equivalence
+    /// baseline: every worker counts once, ties break toward the lowest
+    /// option slot.
+    #[default]
+    Plurality,
+    /// Dawid–Skene EM with a unified per-worker quality score, adaptive
+    /// replication and disagreement escalation.
+    DawidSkene,
+}
+
+impl AggregationMode {
+    /// Stable lowercase name (used in reports and CLI output).
+    pub fn name(self) -> &'static str {
+        match self {
+            AggregationMode::Plurality => "plurality",
+            AggregationMode::DawidSkene => "dawid-skene",
+        }
+    }
+}
+
+impl std::str::FromStr for AggregationMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "plurality" => Ok(AggregationMode::Plurality),
+            "dawid-skene" | "dawid_skene" | "ds" => Ok(AggregationMode::DawidSkene),
+            other => Err(format!(
+                "unknown aggregation mode {other:?} (expected `plurality` or `dawid-skene`)"
+            )),
+        }
+    }
+}
+
+/// Knobs for the Dawid–Skene aggregator. Read only when
+/// [`AggregationMode::DawidSkene`] is selected; an inert field otherwise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DawidSkeneConfig {
+    /// EM rounds per posterior evaluation. Fixed-count (never
+    /// convergence-tested) so the aggregation is bit-deterministic.
+    pub em_iterations: usize,
+    /// Posterior mass the MAP answer must reach for the platform to
+    /// settle a question *early* — before all requested replicas have
+    /// been issued.
+    pub posterior_confident: f64,
+    /// Posterior mass below which a fully-replicated answer counts as
+    /// *disagreement* and is escalated to fresh workers. Between the two
+    /// thresholds the weighted MAP answer is accepted as-is: more
+    /// replicas would cost budget without changing the verdict much.
+    /// Must not exceed `posterior_confident`.
+    pub escalate_below: f64,
+    /// Prior mean worker quality, blended into every estimate as
+    /// `prior_strength` pseudo-answers (Beta-style smoothing). Must lie
+    /// strictly inside (0, 1).
+    pub prior_quality: f64,
+    /// Weight of the quality prior, in pseudo-answers.
+    pub prior_strength: f64,
+}
+
+impl Default for DawidSkeneConfig {
+    fn default() -> Self {
+        DawidSkeneConfig {
+            em_iterations: 3,
+            posterior_confident: 0.95,
+            escalate_below: 0.7,
+            prior_quality: 0.8,
+            prior_strength: 4.0,
+        }
+    }
+}
+
+/// Quality estimates stay inside `[FLOOR, CEIL]` when they enter a
+/// likelihood: a worker believed perfect would otherwise contribute
+/// `ln(0)` for any dissent and freeze the posterior.
+const QUALITY_FLOOR: f64 = 0.02;
+const QUALITY_CEIL: f64 = 0.98;
+
+/// Per-worker running confusion estimate: posterior-weighted correct
+/// answers over total answers, pooled across question kinds (the unified
+/// score) and also tracked per kind for reporting.
+#[derive(Debug, Clone, Copy, Default)]
+struct WorkerEstimate {
+    correct_mass: f64,
+    total_mass: f64,
+    by_kind: [(f64, f64); 3],
+}
+
+fn kind_index(kind: QuestionKind) -> usize {
+    match kind {
+        QuestionKind::ColumnType => 0,
+        QuestionKind::Relationship => 1,
+        QuestionKind::Fact => 2,
+    }
+}
+
+/// The outcome of one fixed-iteration EM pass over a single question.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Posterior {
+    /// Per-slot posterior probability (sums to 1 when any vote exists;
+    /// uniform otherwise).
+    pub probs: Vec<f64>,
+    /// The MAP slot; ties break toward the lowest slot, matching the
+    /// plurality tie-break.
+    pub slot: usize,
+    /// Posterior mass of the MAP slot.
+    pub confidence: f64,
+    /// EM iterations executed (always the configured count).
+    pub iterations: usize,
+}
+
+/// The Dawid–Skene aggregator: per-worker quality state plus the EM pass.
+///
+/// Create one per [`Crowd`](crate::Crowd) run; it learns across every
+/// question the crowd settles. All methods are deterministic.
+#[derive(Debug, Clone)]
+pub struct DawidSkene {
+    config: DawidSkeneConfig,
+    workers: Vec<WorkerEstimate>,
+}
+
+impl DawidSkene {
+    /// A fresh aggregator for a pool of `num_workers`, all starting at
+    /// the prior quality.
+    pub fn new(config: DawidSkeneConfig, num_workers: usize) -> Self {
+        DawidSkene {
+            config,
+            workers: vec![WorkerEstimate::default(); num_workers],
+        }
+    }
+
+    /// The configuration this aggregator runs with.
+    pub fn config(&self) -> &DawidSkeneConfig {
+        &self.config
+    }
+
+    /// The unified quality score of `worker`: smoothed posterior mean of
+    /// its correctness across all committed questions of every kind.
+    pub fn quality(&self, worker: usize) -> f64 {
+        let est = self.workers[worker];
+        (est.correct_mass + self.config.prior_quality * self.config.prior_strength)
+            / (est.total_mass + self.config.prior_strength)
+    }
+
+    /// Per-kind quality of `worker` — one diagonal of the collapsed
+    /// confusion matrix restricted to `kind`'s questions. Smoothed by the
+    /// same prior as [`Self::quality`]; equals the prior until the worker
+    /// has answered a question of that kind.
+    pub fn kind_quality(&self, worker: usize, kind: QuestionKind) -> f64 {
+        let (correct, total) = self.workers[worker].by_kind[kind_index(kind)];
+        (correct + self.config.prior_quality * self.config.prior_strength)
+            / (total + self.config.prior_strength)
+    }
+
+    /// Committed answers observed from `worker` (across all kinds).
+    pub fn observations(&self, worker: usize) -> f64 {
+        self.workers[worker].total_mass
+    }
+
+    /// Run the fixed-iteration EM pass over one question's votes.
+    ///
+    /// `votes` holds `(worker index, option slot)` pairs with slots in
+    /// `0..num_slots` (the platform's dense slot space — see
+    /// [`Answer::slot`](crate::Answer::slot)). Does **not** mutate the
+    /// running worker state; call [`Self::commit`] once the question
+    /// settles.
+    pub fn posterior(&self, num_slots: usize, votes: &[(usize, usize)]) -> Posterior {
+        let num_slots = num_slots.max(1);
+        let iterations = self.config.em_iterations.max(1);
+        let wrong_options = num_slots.saturating_sub(1).max(1) as f64;
+        // Quality estimates per voter, seeded from the committed history
+        // and refined by the in-question M-steps below.
+        let mut quality: Vec<f64> = votes.iter().map(|&(w, _)| self.quality(w)).collect();
+        let mut probs = vec![1.0 / num_slots as f64; num_slots];
+        let mut log_post = vec![0.0f64; num_slots];
+        for _ in 0..iterations {
+            // E-step (log space, uniform class prior).
+            for (s, lp) in log_post.iter_mut().enumerate() {
+                *lp = 0.0;
+                for (i, &(_, slot)) in votes.iter().enumerate() {
+                    let q = quality[i].clamp(QUALITY_FLOOR, QUALITY_CEIL);
+                    *lp += if slot == s {
+                        q.ln()
+                    } else {
+                        ((1.0 - q) / wrong_options).ln()
+                    };
+                }
+            }
+            // Normalise via log-sum-exp; the max is taken with total_cmp
+            // (DESIGN.md §5d).
+            let peak = log_post.iter().copied().fold(f64::NEG_INFINITY, |a, b| {
+                if b.total_cmp(&a).is_gt() {
+                    b
+                } else {
+                    a
+                }
+            });
+            let mut z = 0.0;
+            for (p, lp) in probs.iter_mut().zip(&log_post) {
+                *p = (lp - peak).exp();
+                z += *p;
+            }
+            for p in probs.iter_mut() {
+                *p /= z;
+            }
+            // M-step: blend this question's expected correctness into
+            // each voter's smoothed quality.
+            for (i, &(w, slot)) in votes.iter().enumerate() {
+                let est = self.workers[w];
+                quality[i] = (est.correct_mass
+                    + self.config.prior_quality * self.config.prior_strength
+                    + probs[slot])
+                    / (est.total_mass + self.config.prior_strength + 1.0);
+            }
+        }
+        let (slot, confidence) = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(s, &p)| (s, p))
+            .unwrap_or((0, 1.0));
+        Posterior {
+            probs,
+            slot,
+            confidence,
+            iterations,
+        }
+    }
+
+    /// Fold a settled question's posterior into the running per-worker
+    /// confusion estimates: each voter gains `P(its vote was correct)`
+    /// correctness mass and one answer of total mass, both pooled and
+    /// under `kind`.
+    pub fn commit(&mut self, kind: QuestionKind, votes: &[(usize, usize)], posterior: &Posterior) {
+        let k = kind_index(kind);
+        for &(w, slot) in votes {
+            let p = posterior.probs.get(slot).copied().unwrap_or(0.0);
+            let est = &mut self.workers[w];
+            est.correct_mass += p;
+            est.total_mass += 1.0;
+            est.by_kind[k].0 += p;
+            est.by_kind[k].1 += 1.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds(workers: usize) -> DawidSkene {
+        DawidSkene::new(DawidSkeneConfig::default(), workers)
+    }
+
+    #[test]
+    fn mode_parses_and_names_round_trip() {
+        for mode in [AggregationMode::Plurality, AggregationMode::DawidSkene] {
+            assert_eq!(mode.name().parse::<AggregationMode>().unwrap(), mode);
+        }
+        assert_eq!(
+            "ds".parse::<AggregationMode>().unwrap(),
+            AggregationMode::DawidSkene
+        );
+        assert!("majority".parse::<AggregationMode>().is_err());
+        assert_eq!(AggregationMode::default(), AggregationMode::Plurality);
+    }
+
+    #[test]
+    fn empty_votes_yield_a_uniform_posterior() {
+        let post = ds(3).posterior(4, &[]);
+        assert_eq!(post.slot, 0);
+        assert!((post.confidence - 0.25).abs() < 1e-12);
+        assert!((post.probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unanimous_votes_are_confident() {
+        let post = ds(5).posterior(2, &[(0, 1), (1, 1), (2, 1)]);
+        assert_eq!(post.slot, 1);
+        assert!(post.confidence > 0.9, "{}", post.confidence);
+        assert_eq!(post.iterations, DawidSkeneConfig::default().em_iterations);
+    }
+
+    #[test]
+    fn ties_break_toward_the_lowest_slot() {
+        // Two equal-prior workers voting for different slots: exactly
+        // symmetric evidence, so the MAP must fall to the lower slot —
+        // the same convention plurality uses.
+        let post = ds(2).posterior(2, &[(0, 1), (1, 0)]);
+        assert_eq!(post.slot, 0);
+        assert!((post.probs[0] - post.probs[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn commit_learns_worker_quality() {
+        let mut ds = ds(3);
+        let before = ds.quality(2);
+        // Worker 2 dissents from a confident majority, repeatedly.
+        for _ in 0..20 {
+            let votes = [(0, 1), (1, 1), (2, 0)];
+            let post = ds.posterior(2, &votes);
+            assert_eq!(post.slot, 1);
+            ds.commit(QuestionKind::Fact, &votes, &post);
+        }
+        assert!(ds.quality(0) > before, "agreeing worker must gain trust");
+        assert!(ds.quality(2) < before, "dissenting worker must lose trust");
+        assert!(ds.quality(2) < ds.quality(0));
+        assert_eq!(ds.observations(2), 20.0);
+        // The kind-restricted diagonal follows the same evidence; the
+        // other kinds stay at the prior.
+        assert!(ds.kind_quality(2, QuestionKind::Fact) < before);
+        assert!((ds.kind_quality(2, QuestionKind::ColumnType) - before).abs() < 1e-12);
+    }
+
+    #[test]
+    fn learned_quality_outvotes_a_spammer_majority_of_one_question() {
+        let mut ds = ds(4);
+        // Warm up: workers 0–2 consistently agree, worker 3 consistently
+        // dissents from them.
+        for _ in 0..30 {
+            let votes = [(0, 1), (1, 1), (2, 1), (3, 0)];
+            let post = ds.posterior(2, &votes);
+            ds.commit(QuestionKind::Fact, &votes, &post);
+        }
+        // A trusted worker now outweighs a distrusted one head-to-head.
+        let post = ds.posterior(2, &[(0, 1), (3, 0)]);
+        assert_eq!(post.slot, 1);
+        assert!(post.confidence > 0.5);
+    }
+
+    #[test]
+    fn posterior_is_bit_deterministic() {
+        let mut a = ds(5);
+        let mut b = ds(5);
+        for round in 0..10 {
+            let votes = [(0, round % 3), (1, (round + 1) % 3), (4, round % 3)];
+            let pa = a.posterior(3, &votes);
+            let pb = b.posterior(3, &votes);
+            assert_eq!(pa, pb);
+            for (x, y) in pa.probs.iter().zip(&pb.probs) {
+                assert_eq!(x.to_bits(), y.to_bits(), "posterior must be bit-identical");
+            }
+            a.commit(QuestionKind::ColumnType, &votes, &pa);
+            b.commit(QuestionKind::ColumnType, &votes, &pb);
+        }
+        for w in 0..5 {
+            assert_eq!(a.quality(w).to_bits(), b.quality(w).to_bits());
+        }
+    }
+
+    #[test]
+    fn saturated_quality_never_freezes_the_posterior() {
+        let mut ds = ds(2);
+        for _ in 0..500 {
+            let votes = [(0, 1), (1, 1)];
+            let post = ds.posterior(2, &votes);
+            ds.commit(QuestionKind::Fact, &votes, &post);
+        }
+        // Worker 0 is now near-perfect in the history; a dissent must
+        // still produce a finite, normalised posterior.
+        let post = ds.posterior(2, &[(0, 1), (1, 0)]);
+        assert!(post.probs.iter().all(|p| p.is_finite()));
+        assert!((post.probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}

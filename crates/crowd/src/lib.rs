@@ -22,15 +22,25 @@
 //! [`RetryPolicy`] before the crowd gives up. With the default (inert)
 //! plan and an unlimited budget the platform behaves exactly like a
 //! reliable crowd.
+//!
+//! Aggregation is pluggable (the [`aggregate`] module): the default
+//! [`AggregationMode::Plurality`] reproduces the paper's majority vote
+//! byte for byte, while [`AggregationMode::DawidSkene`] infers a unified
+//! per-worker quality score by fixed-iteration EM, stops collecting
+//! replicas early once the answer posterior is confident, and escalates
+//! disagreements to fresh workers — all charged against the same
+//! [`Budget`].
 
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod fault;
 pub mod oracle;
 pub mod platform;
 pub mod question;
 pub mod worker;
 
+pub use aggregate::{AggregationMode, DawidSkene, DawidSkeneConfig, Posterior};
 pub use fault::{AskOutcome, Budget, BudgetState, CrowdError, FaultPlan, RetryPolicy};
 pub use oracle::{FixedOracle, Oracle};
 pub use platform::{Crowd, CrowdConfig, CrowdStats};

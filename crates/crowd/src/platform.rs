@@ -1,5 +1,6 @@
-//! The crowd platform: replication, plurality voting, cost accounting,
-//! fault injection, budgets, and retries.
+//! The crowd platform: replication, answer aggregation (plurality or
+//! Dawid–Skene EM), cost accounting, fault injection, budgets, and
+//! retries.
 
 use std::collections::HashMap;
 
@@ -7,6 +8,7 @@ use katara_exec::Deadline;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+use crate::aggregate::{AggregationMode, DawidSkene, DawidSkeneConfig};
 use crate::fault::{AskOutcome, Budget, BudgetState, CrowdError, FaultPlan, RetryPolicy};
 use crate::oracle::Oracle;
 use crate::question::{Answer, Question, QuestionKind};
@@ -31,6 +33,15 @@ pub struct CrowdConfig {
     /// Retry policy for no-quorum questions (default: 3 attempts,
     /// replication escalating 3 → 5 → 7).
     pub retry: RetryPolicy,
+    /// How replicated answers are aggregated. The default,
+    /// [`AggregationMode::Plurality`], is the paper's scheme and is
+    /// byte-identical to the pre-aggregation platform — the Dawid–Skene
+    /// machinery is never consulted and no extra randomness is drawn.
+    pub aggregation: AggregationMode,
+    /// Dawid–Skene knobs (EM rounds, confidence threshold, quality
+    /// prior). Inert unless `aggregation` selects
+    /// [`AggregationMode::DawidSkene`].
+    pub quality: DawidSkeneConfig,
 }
 
 impl Default for CrowdConfig {
@@ -43,6 +54,8 @@ impl Default for CrowdConfig {
             faults: FaultPlan::default(),
             budget: Budget::default(),
             retry: RetryPolicy::default(),
+            aggregation: AggregationMode::default(),
+            quality: DawidSkeneConfig::default(),
         }
     }
 }
@@ -74,6 +87,15 @@ pub struct CrowdStats {
     pub deadline_denied: usize,
     /// Total simulated answer latency, in milliseconds.
     pub simulated_latency_ms: u64,
+    /// EM iterations executed by the Dawid–Skene aggregator (compute
+    /// accounting; always zero under plurality).
+    pub em_iterations: usize,
+    /// Asks settled because posterior confidence cleared the threshold
+    /// (Dawid–Skene only).
+    pub posterior_confident: usize,
+    /// Replica slots adaptive replication never issued because the
+    /// posterior was already confident (Dawid–Skene only).
+    pub questions_saved: usize,
 }
 
 impl CrowdStats {
@@ -115,6 +137,11 @@ impl CrowdStats {
             simulated_latency_ms: self
                 .simulated_latency_ms
                 .saturating_sub(earlier.simulated_latency_ms),
+            em_iterations: self.em_iterations.saturating_sub(earlier.em_iterations),
+            posterior_confident: self
+                .posterior_confident
+                .saturating_sub(earlier.posterior_confident),
+            questions_saved: self.questions_saved.saturating_sub(earlier.questions_saved),
         }
     }
 }
@@ -122,11 +149,13 @@ impl CrowdStats {
 /// A simulated crowdsourcing platform bound to a ground-truth oracle.
 ///
 /// Questions are replicated over randomly-assigned workers and aggregated
-/// by plurality vote. Under a non-default [`FaultPlan`] workers may drop
-/// out, abstain, or spam; an attempt only counts if a majority of its
-/// requested replicas actually respond (quorum), and failed attempts are
-/// re-issued at escalated replication per the [`RetryPolicy`]. A
-/// [`Budget`] caps total questions and collected answers.
+/// per the configured [`AggregationMode`]: plurality voting (the default)
+/// or Dawid–Skene EM with adaptive replication. Under a non-default
+/// [`FaultPlan`] workers may drop out, abstain, or spam; an attempt only
+/// counts if a majority of its requested replicas actually respond
+/// (quorum), and failed attempts are re-issued at escalated replication
+/// per the [`RetryPolicy`]. A [`Budget`] caps total questions and
+/// collected answers.
 #[derive(Debug)]
 pub struct Crowd<O> {
     oracle: O,
@@ -143,6 +172,11 @@ pub struct Crowd<O> {
     /// Cooperative wall-clock cutoff, checked before every ask attempt.
     /// Inert by default; set per run via [`Crowd::set_deadline`].
     deadline: Deadline,
+    aggregation: AggregationMode,
+    /// Worker-quality state; `Some` exactly in Dawid–Skene mode.
+    quality: Option<DawidSkene>,
+    /// Distinct Dawid–Skene asks so far — the escalation pacer's clock.
+    ds_asks: usize,
     stats: CrowdStats,
 }
 
@@ -165,6 +199,33 @@ impl<O: Oracle> Crowd<O> {
             });
         }
         config.faults.validate()?;
+        if config.aggregation == AggregationMode::DawidSkene {
+            if !(0.0..=1.0).contains(&config.quality.posterior_confident) {
+                return Err(CrowdError::InvalidRate {
+                    what: "posterior_confident",
+                    value: config.quality.posterior_confident,
+                });
+            }
+            if !(0.0..=config.quality.posterior_confident).contains(&config.quality.escalate_below)
+            {
+                return Err(CrowdError::InvalidRate {
+                    what: "escalate_below",
+                    value: config.quality.escalate_below,
+                });
+            }
+            if !(config.quality.prior_quality > 0.0 && config.quality.prior_quality < 1.0) {
+                return Err(CrowdError::InvalidRate {
+                    what: "prior_quality",
+                    value: config.quality.prior_quality,
+                });
+            }
+        }
+        let quality = match config.aggregation {
+            AggregationMode::Plurality => None,
+            AggregationMode::DawidSkene => {
+                Some(DawidSkene::new(config.quality.clone(), config.num_workers))
+            }
+        };
         let workers: Vec<Worker> = (0..config.num_workers)
             .map(|i| Worker::new(i, config.worker_accuracy, config.seed))
             .collect();
@@ -181,6 +242,9 @@ impl<O: Oracle> Crowd<O> {
             budget_state: BudgetState::default(),
             retry: config.retry,
             deadline: Deadline::none(),
+            aggregation: config.aggregation,
+            quality,
+            ds_asks: 0,
             stats: CrowdStats::default(),
         })
     }
@@ -208,12 +272,30 @@ impl<O: Oracle> Crowd<O> {
     /// Issue one question.
     ///
     /// Each attempt assigns `replication` (escalated on retries) random
-    /// workers; answers surviving dropout/abstention are aggregated by
-    /// plurality (ties break toward the lowest option slot,
-    /// deterministically). An attempt whose responses fall below a
-    /// majority of its requested replicas has no quorum and is retried
-    /// per the [`RetryPolicy`]. Budget is checked before every attempt.
+    /// workers; answers surviving dropout/abstention are aggregated per
+    /// the configured [`AggregationMode`]. An attempt whose responses
+    /// fall below a majority of its requested replicas has no quorum and
+    /// is retried per the [`RetryPolicy`]. Budget is checked before
+    /// every attempt.
+    ///
+    /// Under plurality, ties break toward the lowest option slot,
+    /// deterministically — this path is byte-identical to the
+    /// pre-aggregation platform. Under Dawid–Skene the attempt stops
+    /// collecting answers early once the posterior is confident
+    /// (adaptive replication), and a quorum whose posterior stays below
+    /// the confidence bar counts as disagreement: the question is
+    /// re-asked with fresh workers at escalated replication, falling
+    /// back to the best unconfident answer when attempts, budget, or
+    /// deadline run out.
     pub fn ask(&mut self, q: &Question) -> AskOutcome {
+        match self.aggregation {
+            AggregationMode::Plurality => self.ask_plurality(q),
+            AggregationMode::DawidSkene => self.ask_dawid_skene(q),
+        }
+    }
+
+    /// The plurality ask loop — the byte-equivalence baseline.
+    fn ask_plurality(&mut self, q: &Question) -> AskOutcome {
         let base = self.replication;
         for attempt in 0..self.retry.max_attempts.max(1) {
             // The deadline outranks the budget: an expired run must stop
@@ -246,6 +328,160 @@ impl<O: Oracle> Crowd<O> {
         }
         self.stats.no_quorum_questions += 1;
         AskOutcome::NoQuorum
+    }
+
+    /// The Dawid–Skene ask loop: same deadline/budget/retry skeleton as
+    /// plurality, but a quorumed-yet-unconfident attempt escalates too,
+    /// and its answer is kept as a fallback so running out of attempts,
+    /// budget, or deadline degrades to the best disagreement answer
+    /// instead of a hard no-quorum.
+    fn ask_dawid_skene(&mut self, q: &Question) -> AskOutcome {
+        self.ds_asks += 1;
+        let base = self.replication;
+        let quorum = base / 2 + 1;
+        let (threshold, escalate_below) = {
+            let c = self.quality.as_ref().expect("dawid-skene mode").config();
+            (c.posterior_confident, c.escalate_below)
+        };
+        let correct = self.oracle.answer(q);
+        let num_candidates = q.num_options() - usize::from(!matches!(q, Question::Fact { .. }));
+        let is_bool = matches!(q, Question::Fact { .. });
+        let num_slots = q.num_options();
+        let faults_active = !self.faults.is_inert();
+        // Votes accumulate across escalation attempts: fresh workers are
+        // *added* to the pool of evidence; answers already paid for are
+        // never discarded (unlike the plurality retry, which re-asks from
+        // scratch — EM can weigh a mixed-vintage vote set, a show of
+        // hands cannot).
+        let mut votes: Vec<(usize, usize)> = Vec::new();
+        let mut last: Option<crate::aggregate::Posterior> = None;
+        let mut confident = false;
+        for attempt in 0..self.retry.max_attempts.max(1) {
+            let add = if attempt == 0 {
+                base
+            } else {
+                self.retry.escalation_step.max(1)
+            };
+            if self.deadline.expired() {
+                self.stats.deadline_denied += 1;
+                if attempt == 0 {
+                    return AskOutcome::DeadlineExpired;
+                }
+                break; // settle on the evidence already collected
+            }
+            if !self.budget_allows(add) {
+                self.budget_state.exhausted = true;
+                self.stats.budget_denied += 1;
+                if attempt == 0 {
+                    return AskOutcome::BudgetExhausted;
+                }
+                break;
+            }
+            if attempt > 0 {
+                self.stats.questions_retried += 1;
+                self.stats.escalations += add;
+            }
+            let mut issued = 0usize;
+            for _ in 0..add {
+                issued += 1;
+                let wi = self.assign_rng.random_range(0..self.workers.len());
+                if faults_active {
+                    if self.faults.dropout_rate > 0.0
+                        && self.fault_rng.random_bool(self.faults.dropout_rate)
+                    {
+                        self.stats.dropouts += 1;
+                        continue;
+                    }
+                    if self.faults.abstain_rate > 0.0
+                        && self.fault_rng.random_bool(self.faults.abstain_rate)
+                    {
+                        self.stats.abstentions += 1;
+                        continue;
+                    }
+                    let (lo, hi) = self.faults.latency_ms;
+                    if hi > 0 {
+                        self.stats.simulated_latency_ms += if hi > lo {
+                            self.fault_rng.random_range(lo..=hi)
+                        } else {
+                            hi
+                        };
+                    }
+                }
+                let a = if faults_active && self.spammers[wi] {
+                    self.stats.spammer_answers += 1;
+                    let slot = self.fault_rng.random_range(0..q.num_options());
+                    Answer::from_slot(slot, num_candidates, is_bool)
+                } else {
+                    self.workers[wi].respond(q, correct)
+                };
+                votes.push((wi, a.slot(num_candidates)));
+                self.stats.worker_answers += 1;
+                self.budget_state.answers_used += 1;
+                // Adaptive replication: once a quorum has answered, peek
+                // at the posterior and stop paying for replicas a
+                // confident answer does not need.
+                if votes.len() >= quorum {
+                    let post = self
+                        .quality
+                        .as_ref()
+                        .expect("dawid-skene mode")
+                        .posterior(num_slots, &votes);
+                    self.stats.em_iterations += post.iterations;
+                    let is_confident = post.confidence >= threshold;
+                    last = Some(post);
+                    if is_confident {
+                        confident = true;
+                        break;
+                    }
+                }
+            }
+            // Each attempt is a new HIT, exactly like the plurality path.
+            *self.stats.questions_by_kind.entry(q.kind()).or_insert(0) += 1;
+            self.budget_state.questions_used += 1;
+            if confident {
+                self.stats.questions_saved += add - issued;
+                break;
+            }
+            if votes.len() >= quorum {
+                let conf = last
+                    .as_ref()
+                    .expect("quorum implies a posterior evaluation")
+                    .confidence;
+                if conf >= escalate_below {
+                    // Not torn enough to pay for more replicas: the
+                    // weighted MAP answer stands.
+                    break;
+                }
+                // Genuine disagreement — escalate to fresh workers,
+                // subject to pacing under a capped budget: escalations
+                // may spend only replicas that adaptive replication has
+                // already saved, so the run never outpaces plurality's
+                // base-replication spend and late questions are never
+                // starved by early disagreements.
+                let add_next = self.retry.escalation_step.max(1);
+                let paced = match self.budget.max_worker_answers {
+                    None => true,
+                    Some(_) => self.budget_state.answers_used + add_next <= base * self.ds_asks,
+                };
+                if !paced {
+                    break;
+                }
+            }
+            // Below quorum (dropout/abstention): retry, like plurality.
+        }
+        if votes.len() < quorum {
+            self.stats.no_quorum_questions += 1;
+            return AskOutcome::NoQuorum;
+        }
+        let post = last.expect("quorum implies a posterior evaluation");
+        self.quality
+            .as_mut()
+            .expect("dawid-skene mode")
+            .commit(q.kind(), &votes, &post);
+        if confident {
+            self.stats.posterior_confident += 1;
+        }
+        AskOutcome::Answered(Answer::from_slot(post.slot, num_candidates, is_bool))
     }
 
     /// True when the budget can fund one more question with `replicas`
@@ -361,6 +597,22 @@ impl<O: Oracle> Crowd<O> {
     /// The fault plan this crowd was built with.
     pub fn fault_plan(&self) -> &FaultPlan {
         &self.faults
+    }
+
+    /// The configured aggregation mode.
+    pub fn aggregation(&self) -> AggregationMode {
+        self.aggregation
+    }
+
+    /// The learned unified quality score of `worker` — `None` under
+    /// plurality, where no quality state exists.
+    pub fn worker_quality(&self, worker: usize) -> Option<f64> {
+        self.quality.as_ref().map(|ds| ds.quality(worker))
+    }
+
+    /// The Dawid–Skene aggregator state (`None` under plurality).
+    pub fn quality_model(&self) -> Option<&DawidSkene> {
+        self.quality.as_ref()
     }
 
     /// Install a cooperative deadline: once it expires, every further
@@ -839,6 +1091,298 @@ mod tests {
         assert_eq!(crowd.ask(&fact_q("c")), AskOutcome::DeadlineExpired);
         assert_eq!(crowd.stats().questions(), 2);
         assert_eq!(crowd.stats().deadline_denied, 1);
+    }
+
+    fn ds_config(overrides: CrowdConfig) -> CrowdConfig {
+        CrowdConfig {
+            aggregation: AggregationMode::DawidSkene,
+            ..overrides
+        }
+    }
+
+    /// The aggregation analogue of the inert-fault-plan gate: selecting
+    /// plurality explicitly — even with wild Dawid–Skene knobs riding
+    /// along in the config — must be byte-identical to the default
+    /// config. The quality machinery is provably never consulted.
+    #[test]
+    fn explicit_plurality_is_byte_identical_to_default() {
+        let run = |config: CrowdConfig| {
+            let mut crowd = Crowd::new(config, FixedOracle(Answer::Bool(true))).unwrap();
+            let outcomes = (0..100)
+                .map(|i| crowd.ask(&fact_q(&format!("o{i}"))))
+                .collect::<Vec<_>>();
+            (outcomes, crowd.stats().clone())
+        };
+        let base = CrowdConfig {
+            worker_accuracy: 0.6,
+            seed: 23,
+            faults: FaultPlan {
+                dropout_rate: 0.2,
+                spammer_fraction: 0.2,
+                seed: 5,
+                ..FaultPlan::default()
+            },
+            ..CrowdConfig::default()
+        };
+        let explicit = CrowdConfig {
+            aggregation: AggregationMode::Plurality,
+            quality: DawidSkeneConfig {
+                em_iterations: 50,
+                posterior_confident: 0.5,
+                escalate_below: 0.1,
+                prior_quality: 0.31,
+                prior_strength: 100.0,
+            },
+            ..base.clone()
+        };
+        assert_eq!(run(base), run(explicit));
+    }
+
+    #[test]
+    fn dawid_skene_reliable_crowd_answers_correctly_and_saves_replicas() {
+        let mut crowd = Crowd::new(
+            ds_config(CrowdConfig {
+                worker_accuracy: 1.0,
+                ..CrowdConfig::default()
+            }),
+            FixedOracle(Answer::Bool(true)),
+        )
+        .unwrap();
+        for i in 0..100 {
+            assert_eq!(
+                crowd.ask(&fact_q(&format!("{i}"))),
+                AskOutcome::Answered(Answer::Bool(true))
+            );
+        }
+        let s = crowd.stats();
+        assert_eq!(s.questions(), 100);
+        // Adaptive replication: perfect agreeing workers settle at the
+        // 2-vote quorum instead of the full 3 replicas.
+        assert!(
+            s.worker_answers < 300,
+            "expected early stops, spent {} answers",
+            s.worker_answers
+        );
+        assert!(s.questions_saved > 0);
+        assert!(s.posterior_confident > 0);
+        assert!(s.em_iterations > 0);
+        assert_eq!(s.worker_answers + s.questions_saved, 300);
+    }
+
+    #[test]
+    fn dawid_skene_escalates_on_disagreement_but_still_answers() {
+        // Coin-flip workers disagree constantly: attempts reach quorum
+        // but rarely clear the confidence bar, so the platform escalates
+        // to fresh workers and ultimately degrades to the best
+        // unconfident answer instead of NoQuorum.
+        let mut crowd = Crowd::new(
+            ds_config(CrowdConfig {
+                worker_accuracy: 0.5,
+                ..CrowdConfig::default()
+            }),
+            FixedOracle(Answer::Bool(true)),
+        )
+        .unwrap();
+        let mut answered = 0;
+        for i in 0..50 {
+            if matches!(crowd.ask(&fact_q(&format!("{i}"))), AskOutcome::Answered(_)) {
+                answered += 1;
+            }
+        }
+        assert_eq!(answered, 50, "disagreement must degrade, not fail");
+        let s = crowd.stats();
+        assert!(s.escalations > 0, "{s:?}");
+        assert!(s.questions_retried > 0);
+        assert_eq!(s.no_quorum_questions, 0);
+    }
+
+    #[test]
+    fn dawid_skene_learns_spammers_and_beats_plurality_under_spam() {
+        let config = |aggregation| CrowdConfig {
+            worker_accuracy: 0.95,
+            faults: FaultPlan {
+                spammer_fraction: 0.4,
+                seed: 9,
+                ..FaultPlan::default()
+            },
+            aggregation,
+            ..CrowdConfig::default()
+        };
+        let run = |aggregation| {
+            let mut crowd =
+                Crowd::new(config(aggregation), FixedOracle(Answer::Bool(true))).unwrap();
+            let mut right = 0;
+            for i in 0..300 {
+                if crowd.ask(&fact_q(&format!("{i}"))) == AskOutcome::Answered(Answer::Bool(true)) {
+                    right += 1;
+                }
+            }
+            (right, crowd)
+        };
+        let (plurality_right, _) = run(AggregationMode::Plurality);
+        let (ds_right, ds_crowd) = run(AggregationMode::DawidSkene);
+        assert!(
+            ds_right >= plurality_right,
+            "dawid-skene ({ds_right}/300) must not lose to plurality ({plurality_right}/300)"
+        );
+        // The learned quality separates spammers from honest workers.
+        let spammers: Vec<usize> = ds_crowd
+            .spammers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.then_some(i))
+            .collect();
+        assert_eq!(spammers.len(), 4);
+        let honest_min = (0..10)
+            .filter(|i| !spammers.contains(i))
+            .map(|i| ds_crowd.worker_quality(i).unwrap())
+            .fold(
+                f64::INFINITY,
+                |a, b| if b.total_cmp(&a).is_lt() { b } else { a },
+            );
+        let spam_max = spammers
+            .iter()
+            .map(|&i| ds_crowd.worker_quality(i).unwrap())
+            .fold(f64::NEG_INFINITY, |a, b| {
+                if b.total_cmp(&a).is_gt() {
+                    b
+                } else {
+                    a
+                }
+            });
+        assert!(
+            spam_max < honest_min,
+            "every spammer ({spam_max:.3}) must rank below every honest worker ({honest_min:.3})"
+        );
+    }
+
+    #[test]
+    fn dawid_skene_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut crowd = Crowd::new(
+                ds_config(CrowdConfig {
+                    worker_accuracy: 0.7,
+                    seed,
+                    faults: FaultPlan {
+                        spammer_fraction: 0.2,
+                        dropout_rate: 0.1,
+                        seed,
+                        ..FaultPlan::default()
+                    },
+                    ..CrowdConfig::default()
+                }),
+                FixedOracle(Answer::Bool(true)),
+            )
+            .unwrap();
+            let outcomes: Vec<AskOutcome> = (0..80)
+                .map(|i| crowd.ask(&fact_q(&format!("{i}"))))
+                .collect();
+            let qualities: Vec<u64> = (0..10)
+                .map(|w| crowd.worker_quality(w).unwrap().to_bits())
+                .collect();
+            (outcomes, qualities, crowd.stats().clone())
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn dawid_skene_charges_the_budget_and_falls_back_when_it_runs_dry() {
+        let mut crowd = Crowd::new(
+            ds_config(CrowdConfig {
+                worker_accuracy: 1.0,
+                budget: Budget {
+                    max_worker_answers: Some(7),
+                    ..Budget::default()
+                },
+                ..CrowdConfig::default()
+            }),
+            FixedOracle(Answer::Bool(true)),
+        )
+        .unwrap();
+        let mut answered = 0;
+        let mut denied = 0;
+        for i in 0..10 {
+            match crowd.ask(&fact_q(&format!("{i}"))) {
+                AskOutcome::Answered(_) => answered += 1,
+                AskOutcome::BudgetExhausted => denied += 1,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(answered >= 2, "{answered}");
+        assert!(denied > 0);
+        assert!(crowd.is_budget_exhausted());
+        assert!(crowd.budget_state().answers_used <= 7);
+    }
+
+    #[test]
+    fn dawid_skene_invalid_knobs_are_errors() {
+        for quality in [
+            DawidSkeneConfig {
+                posterior_confident: 1.5,
+                ..DawidSkeneConfig::default()
+            },
+            DawidSkeneConfig {
+                prior_quality: 0.0,
+                ..DawidSkeneConfig::default()
+            },
+            DawidSkeneConfig {
+                prior_quality: 1.0,
+                ..DawidSkeneConfig::default()
+            },
+        ] {
+            let err = Crowd::new(
+                ds_config(CrowdConfig {
+                    quality: quality.clone(),
+                    ..CrowdConfig::default()
+                }),
+                FixedOracle(Answer::Bool(true)),
+            )
+            .unwrap_err();
+            assert!(matches!(err, CrowdError::InvalidRate { .. }), "{quality:?}");
+            // The same knobs are inert — and legal — under plurality.
+            assert!(Crowd::new(
+                CrowdConfig {
+                    quality,
+                    ..CrowdConfig::default()
+                },
+                FixedOracle(Answer::Bool(true)),
+            )
+            .is_ok());
+        }
+    }
+
+    #[test]
+    fn stats_since_diffs_quality_counters() {
+        let mut crowd = Crowd::new(
+            ds_config(CrowdConfig {
+                worker_accuracy: 1.0,
+                ..CrowdConfig::default()
+            }),
+            FixedOracle(Answer::Bool(true)),
+        )
+        .unwrap();
+        for i in 0..20 {
+            crowd.ask(&fact_q(&format!("a{i}")));
+        }
+        let snap = crowd.stats().clone();
+        for i in 0..20 {
+            crowd.ask(&fact_q(&format!("b{i}")));
+        }
+        let delta = crowd.stats().since(&snap);
+        assert_eq!(
+            delta.em_iterations,
+            crowd.stats().em_iterations - snap.em_iterations
+        );
+        assert_eq!(
+            delta.posterior_confident,
+            crowd.stats().posterior_confident - snap.posterior_confident
+        );
+        assert_eq!(
+            delta.questions_saved,
+            crowd.stats().questions_saved - snap.questions_saved
+        );
+        assert!(delta.posterior_confident > 0);
     }
 
     #[test]

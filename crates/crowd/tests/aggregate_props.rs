@@ -1,0 +1,234 @@
+//! Property-based tests for the Dawid–Skene aggregator and its
+//! integration with the platform.
+//!
+//! * the EM posterior is bit-deterministic for any vote multiset;
+//! * learned quality converges: workers that keep agreeing with the
+//!   committed answer end above workers that never do;
+//! * coordinated spammers holding a minority of the vote mass can never
+//!   flip a confident answer away from a perfect honest majority;
+//! * explicit `AggregationMode::Plurality` is byte-identical to the
+//!   default-config platform (the pre-Dawid-Skene pipeline) for
+//!   arbitrary crowd configurations, fault plans, and question scripts.
+
+use katara_crowd::{
+    AggregationMode, Answer, AskOutcome, Budget, Crowd, CrowdConfig, DawidSkene, DawidSkeneConfig,
+    FaultPlan, FixedOracle, Question,
+};
+use proptest::prelude::*;
+
+fn fact_q(tag: &str) -> Question {
+    Question::Fact {
+        subject: format!("s-{tag}"),
+        property: "hasCapital".into(),
+        object: format!("o-{tag}"),
+    }
+}
+
+fn choice_q(tag: &str, candidates: usize) -> Question {
+    Question::ColumnType {
+        table: format!("t-{tag}"),
+        column: 0,
+        header: vec!["col".into()],
+        sample_rows: Vec::new(),
+        candidates: (0..candidates).map(|i| format!("type-{i}")).collect(),
+    }
+}
+
+proptest! {
+    /// Two independent aggregators fed the same votes produce the same
+    /// posterior, bit for bit — no wall-clock, no iteration-order, no
+    /// hidden-state dependence.
+    #[test]
+    fn posterior_is_bit_deterministic(
+        votes in prop::collection::vec((0usize..8, 0usize..4), 1..12),
+        num_workers in 8usize..16,
+        em_iterations in 1usize..6,
+    ) {
+        let config = DawidSkeneConfig {
+            em_iterations,
+            ..DawidSkeneConfig::default()
+        };
+        let a = DawidSkene::new(config.clone(), num_workers);
+        let b = DawidSkene::new(config, num_workers);
+        let pa = a.posterior(4, &votes);
+        let pb = b.posterior(4, &votes);
+        prop_assert_eq!(pa.slot, pb.slot);
+        prop_assert_eq!(pa.iterations, pb.iterations);
+        // Bitwise, not approximate: determinism is the contract.
+        prop_assert_eq!(pa.confidence.to_bits(), pb.confidence.to_bits());
+        for (x, y) in pa.probs.iter().zip(&pb.probs) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// Quality learning converges in the right direction: a worker that
+    /// always votes with the (unanimous) majority ends with strictly
+    /// higher learned quality than one that always dissents, for any
+    /// question kind mix and any warm-up length.
+    #[test]
+    fn committed_agreement_raises_quality_and_dissent_lowers_it(
+        rounds in 3usize..20,
+        num_slots in 2usize..5,
+        kinds in prop::collection::vec(0u8..3, 3..20),
+    ) {
+        let mut ds = DawidSkene::new(DawidSkeneConfig::default(), 4);
+        for (r, k) in (0..rounds).zip(kinds.iter().cycle()) {
+            let truth = r % num_slots;
+            let wrong = (truth + 1) % num_slots;
+            // Workers 0-2 agree on the truth, worker 3 always dissents.
+            let votes = vec![(0, truth), (1, truth), (2, truth), (3, wrong)];
+            let kind = match k {
+                0 => katara_crowd::QuestionKind::ColumnType,
+                1 => katara_crowd::QuestionKind::Relationship,
+                _ => katara_crowd::QuestionKind::Fact,
+            };
+            let post = ds.posterior(num_slots, &votes);
+            prop_assert_eq!(post.slot, truth);
+            ds.commit(kind, &votes, &post);
+        }
+        let majority = ds.quality(0);
+        let dissenter = ds.quality(3);
+        prop_assert!(majority > dissenter,
+            "majority voter {majority:.3} <= dissenter {dissenter:.3}");
+        prop_assert!(majority > DawidSkeneConfig::default().prior_quality);
+        prop_assert!(dissenter < DawidSkeneConfig::default().prior_quality);
+    }
+
+    /// Coordinated spammers below half the vote mass never flip a
+    /// confident answer: with perfect honest workers holding the
+    /// majority, the MAP slot is the honest slot whatever the spammers
+    /// coordinate on, at every learning state from cold to warm.
+    #[test]
+    fn coordinated_minority_spammers_never_flip_a_confident_answer(
+        honest in 2usize..6,
+        spam_deficit in 1usize..3,
+        num_slots in 2usize..5,
+        honest_slot in 0usize..5,
+        slot_offset in 1usize..5,
+        warmup in 0usize..12,
+    ) {
+        // Derive a strictly-smaller spammer block and a distinct spam
+        // slot arithmetically — the shim has no `prop_assume!`.
+        let spammers = spam_deficit.clamp(1, honest - 1);
+        let honest_slot = honest_slot % num_slots;
+        let spam_slot = (honest_slot + 1 + slot_offset % (num_slots - 1)) % num_slots;
+        let mut ds = DawidSkene::new(DawidSkeneConfig::default(), honest + spammers);
+        // Warm up: honest workers (ids 0..honest) vote the truth each
+        // round; spammers coordinate on a wrong slot. The model may
+        // learn from every commit.
+        for r in 0..warmup {
+            let t = r % num_slots;
+            let w = (t + 1) % num_slots;
+            let votes: Vec<(usize, usize)> = (0..honest)
+                .map(|i| (i, t))
+                .chain((0..spammers).map(|i| (honest + i, w)))
+                .collect();
+            let post = ds.posterior(num_slots, &votes);
+            ds.commit(katara_crowd::QuestionKind::Fact, &votes, &post);
+        }
+        // The attack: every honest worker votes `honest_slot`, every
+        // spammer coordinates on `spam_slot`.
+        let votes: Vec<(usize, usize)> = (0..honest)
+            .map(|i| (i, honest_slot))
+            .chain((0..spammers).map(|i| (honest + i, spam_slot)))
+            .collect();
+        let post = ds.posterior(num_slots, &votes);
+        prop_assert_eq!(post.slot, honest_slot,
+            "{honest} honest vs {spammers} spammers flipped to the spam slot \
+             (confidence {:.3})", post.confidence);
+    }
+
+    /// Explicit plurality mode — whatever the (inert) Dawid–Skene knobs
+    /// say — asks, answers, charges, and accounts byte-identically to
+    /// the default-config platform, i.e. to the pre-aggregation-mode
+    /// pipeline, under arbitrary fault plans and budgets.
+    #[test]
+    fn plurality_mode_is_byte_identical_to_the_default_pipeline(
+        seed in 0u64..1000,
+        fault_seed in 0u64..1000,
+        accuracy in 0.0f64..=1.0,
+        dropout in 0.0f64..0.5,
+        abstain in 0.0f64..0.3,
+        spam in 0.0f64..0.6,
+        replication in 1usize..6,
+        budget_q in 0usize..45,
+        asks in 5usize..30,
+        ds_em in 1usize..20,
+        ds_conf in 0.0f64..=1.0,
+    ) {
+        let base = CrowdConfig {
+            worker_accuracy: accuracy,
+            seed,
+            replication,
+            faults: FaultPlan {
+                seed: fault_seed,
+                dropout_rate: dropout,
+                abstain_rate: abstain,
+                spammer_fraction: spam,
+                ..FaultPlan::default()
+            },
+            // Low draws mean an unlimited budget, the rest cap questions.
+            budget: if budget_q < 5 {
+                Budget::unlimited()
+            } else {
+                Budget::questions(budget_q)
+            },
+            ..CrowdConfig::default()
+        };
+        let explicit = CrowdConfig {
+            aggregation: AggregationMode::Plurality,
+            // Wild, even invalid-for-DS knobs: all inert under plurality.
+            quality: DawidSkeneConfig {
+                em_iterations: ds_em,
+                posterior_confident: ds_conf,
+                escalate_below: ds_conf,
+                prior_quality: 0.999,
+                prior_strength: 0.0,
+            },
+            ..base.clone()
+        };
+        let script = |config: CrowdConfig| -> (Vec<AskOutcome>, katara_crowd::CrowdStats) {
+            let mut crowd = Crowd::new(config, FixedOracle(Answer::Bool(true))).unwrap();
+            let outcomes = (0..asks)
+                .map(|i| {
+                    if i % 3 == 0 {
+                        crowd.ask(&choice_q(&format!("{i}"), 3))
+                    } else {
+                        crowd.ask(&fact_q(&format!("{i}")))
+                    }
+                })
+                .collect();
+            (outcomes, crowd.stats().clone())
+        };
+        prop_assert_eq!(script(base), script(explicit));
+    }
+
+    /// The full Dawid–Skene ask loop is deterministic per seed: two
+    /// platforms with the same config replay the same outcomes and the
+    /// same statistics, answer for answer.
+    #[test]
+    fn dawid_skene_ask_loop_is_deterministic(
+        seed in 0u64..1000,
+        accuracy in 0.5f64..=1.0,
+        spam in 0.0f64..0.5,
+        asks in 5usize..25,
+    ) {
+        let config = CrowdConfig {
+            worker_accuracy: accuracy,
+            seed,
+            faults: FaultPlan {
+                seed,
+                spammer_fraction: spam,
+                ..FaultPlan::default()
+            },
+            aggregation: AggregationMode::DawidSkene,
+            ..CrowdConfig::default()
+        };
+        let script = |config: CrowdConfig| -> (Vec<AskOutcome>, katara_crowd::CrowdStats) {
+            let mut crowd = Crowd::new(config, FixedOracle(Answer::Bool(true))).unwrap();
+            let outcomes = (0..asks).map(|i| crowd.ask(&fact_q(&format!("{i}")))).collect();
+            (outcomes, crowd.stats().clone())
+        };
+        prop_assert_eq!(script(config.clone()), script(config));
+    }
+}

@@ -87,6 +87,7 @@ fn main() {
     section!("ablation", ex::ablation_coherence::run(&corpus).render());
     section!("scaling", ex::scaling::run(&corpus, repeats).render());
     section!("robustness", ex::robustness::run(&corpus).render());
+    section!("crowd-quality", ex::crowd_quality::run().render());
 
     eprintln!("all experiments finished in {:?}", t0.elapsed());
 }

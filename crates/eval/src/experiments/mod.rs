@@ -1,6 +1,7 @@
 //! Experiment runners — one module per table/figure of the paper.
 
 pub mod ablation_coherence;
+pub mod crowd_quality;
 pub mod fig11;
 pub mod fig12;
 pub mod fig6;

@@ -1,0 +1,44 @@
+//! The CI `crowd-quality-smoke` gate: Dawid–Skene aggregation must not
+//! regress against the plurality baseline. Runs the two sentinel fault
+//! plans — an honest majority and a 40%-spammer pool — at equal
+//! worker-answer budget, and fails if Dawid–Skene is less accurate than
+//! plurality on either, or fails to spend strictly less on the spammer
+//! plan. Everything is seeded, so a failure is a code regression, never
+//! flake.
+
+use katara_crowd::AggregationMode;
+use katara_eval::experiments::crowd_quality::{plans, run_mode, ANSWER_BUDGET};
+
+#[test]
+fn dawid_skene_holds_the_line_on_the_sentinel_plans() {
+    for name in ["honest/0.95", "spam40/0.75"] {
+        let plan = plans()
+            .into_iter()
+            .find(|p| p.name == name)
+            .expect("sentinel plan exists");
+        let plurality = run_mode(&plan, AggregationMode::Plurality);
+        let ds = run_mode(&plan, AggregationMode::DawidSkene);
+        assert!(plurality.answers <= ANSWER_BUDGET);
+        assert!(ds.answers <= ANSWER_BUDGET);
+        assert!(
+            ds.accuracy >= plurality.accuracy,
+            "{name}: Dawid–Skene accuracy {:.3} fell below the plurality \
+             baseline {:.3} at equal budget",
+            ds.accuracy,
+            plurality.accuracy
+        );
+        assert!(
+            ds.questions_saved > 0,
+            "{name}: adaptive replication saved nothing"
+        );
+        if plan.spammer_fraction > 0.0 {
+            assert!(
+                ds.answers < plurality.answers,
+                "{name}: Dawid–Skene spent {} worker answers, plurality {} — \
+                 the spammer plan must cost strictly less",
+                ds.answers,
+                plurality.answers
+            );
+        }
+    }
+}

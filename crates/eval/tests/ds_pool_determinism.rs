@@ -1,0 +1,73 @@
+//! Thread-count invariance of the full pipeline under Dawid–Skene
+//! aggregation.
+//!
+//! The EM aggregator keeps per-worker quality state across the whole
+//! run, so any thread-order leak into the ask sequence would change
+//! which workers answer which question — and with it every posterior.
+//! This test cleans real corpus tables with a faulty Dawid–Skene crowd
+//! at pool sizes 1, 2, and 8 and requires byte-identical reports and
+//! crowd statistics: `--threads` must stay a performance knob, never a
+//! semantics knob, in Dawid–Skene mode too.
+
+use katara_core::pipeline::{Katara, KataraConfig};
+use katara_core::prelude::*;
+use katara_crowd::{AggregationMode, Crowd, CrowdConfig, FaultPlan};
+use katara_datagen::{KbFlavor, TableOracle};
+use katara_eval::corpus::{Corpus, CorpusConfig};
+
+/// The pool sizes the repo pins down: sequential, small, oversubscribed.
+const POOLS: [usize; 3] = [1, 2, 8];
+
+fn config_with(threads: usize) -> KataraConfig {
+    KataraConfig {
+        threads: Threads::fixed(threads),
+        candidates: CandidateConfig {
+            threads: Threads::fixed(threads),
+            ..CandidateConfig::default()
+        },
+        ..KataraConfig::default()
+    }
+}
+
+#[test]
+fn dawid_skene_clean_is_thread_count_invariant() {
+    let corpus = Corpus::build(&CorpusConfig::small());
+    let flavor = KbFlavor::YagoLike;
+    for (ti, g) in corpus.wiki.iter().enumerate() {
+        let run = |threads: usize| {
+            let mut kb = corpus.kb(flavor);
+            let oracle = TableOracle::new(corpus.facts.clone(), g.ground_truth.clone(), flavor);
+            let mut crowd = Crowd::new(
+                CrowdConfig {
+                    worker_accuracy: 0.85,
+                    seed: ti as u64,
+                    aggregation: AggregationMode::DawidSkene,
+                    faults: FaultPlan {
+                        seed: ti as u64,
+                        spammer_fraction: 0.25,
+                        ..FaultPlan::default()
+                    },
+                    ..CrowdConfig::default()
+                },
+                oracle,
+            )
+            .expect("crowd config is valid");
+            let report = Katara::new(config_with(threads))
+                .clean(&g.table, &mut kb, &mut crowd)
+                .expect("corpus tables yield a pattern");
+            (format!("{report:?}"), crowd.stats().clone())
+        };
+        let (base_report, base_stats) = run(POOLS[0]);
+        for &threads in &POOLS[1..] {
+            let (report, stats) = run(threads);
+            assert_eq!(
+                base_stats, stats,
+                "wiki[{ti}]: crowd statistics differ at {threads} threads"
+            );
+            assert_eq!(
+                base_report, report,
+                "wiki[{ti}]: cleaning report differs at {threads} threads"
+            );
+        }
+    }
+}

@@ -79,9 +79,13 @@ metric_enum! {
         AnnotationEnrichedEntities => "annotation.enriched_entities",
         AnnotationEnrichedFacts => "annotation.enriched_facts",
         CrowdBudgetDenied => "crowd.budget_denied",
+        CrowdEmIterations => "crowd.em_iterations",
+        CrowdEscalations => "crowd.escalations",
         CrowdNoQuorumQuestions => "crowd.no_quorum_questions",
+        CrowdPosteriorConfident => "crowd.posterior_confident",
         CrowdQuestionsAsked => "crowd.questions_asked",
         CrowdQuestionsRetried => "crowd.questions_retried",
+        CrowdQuestionsSaved => "crowd.questions_saved",
         DeltaNoopEdits => "delta.noop_edits",
         DeltaPatternsRescored => "delta.patterns_rescored",
         DeltaTuplesRepaired => "delta.tuples_repaired",
@@ -123,6 +127,7 @@ metric_enum! {
         ServeEnrichmentDropped => "serve.enrichment_dropped",
         ServeQuarantined => "serve.quarantined",
         ServeRequests => "serve.requests",
+        ServeSessionsEvicted => "serve.sessions_evicted",
         ServeShed => "serve.shed",
         ServeSnapshotHit => "serve.snapshot_hit",
         ServeSnapshotMiss => "serve.snapshot_miss",

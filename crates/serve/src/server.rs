@@ -145,8 +145,11 @@ impl Default for ServerConfig {
 /// request rebuilds).
 const SNAPSHOT_CACHE_CAP: usize = 64;
 
-/// Cap on warm [`DeltaSession`]s. Eviction is the same wholesale drop as
-/// the snapshot cache: evicted clients get `404` and re-bootstrap.
+/// Cap on warm [`DeltaSession`]s. Unlike the snapshot cache, sessions
+/// are expensive to re-bootstrap (a full clean), so eviction is LRU —
+/// only the coldest session is dropped when the cache is full. The
+/// evicted client gets `404` on its next replay and re-bootstraps;
+/// evictions are counted under `serve.sessions_evicted`.
 const SESSION_CACHE_CAP: usize = 16;
 
 /// Cap on the ring of recently journaled enrichment deltas kept for
@@ -161,6 +164,70 @@ struct DeltaEntry {
     session: DeltaSession,
     kb: Kb,
     policy: ServePolicy,
+}
+
+/// LRU cache of warm delta sessions: entries carry a last-use tick from
+/// a monotonic counter; `get` refreshes it, and `insert` at capacity
+/// evicts the entry with the oldest tick (an O(cap) scan — the cap is
+/// small and the lock is already held). Ticks are unique, so the victim
+/// is deterministic regardless of `HashMap` iteration order.
+struct SessionCache<V = Arc<Mutex<DeltaEntry>>> {
+    map: HashMap<u64, (u64, V)>,
+    tick: u64,
+}
+
+impl<V: Clone> SessionCache<V> {
+    fn new() -> Self {
+        SessionCache {
+            map: HashMap::new(),
+            tick: 0,
+        }
+    }
+
+    /// Fetch a session and mark it most recently used.
+    fn get(&mut self, key: u64) -> Option<V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(&key).map(|slot| {
+            slot.0 = tick;
+            slot.1.clone()
+        })
+    }
+
+    /// Insert (or replace) a session; at capacity the least-recently-used
+    /// entry is evicted first. Returns the evicted key, if any.
+    fn insert(&mut self, key: u64, entry: V) -> Option<u64> {
+        self.tick += 1;
+        let mut evicted = None;
+        if !self.map.contains_key(&key) && self.map.len() >= SESSION_CACHE_CAP {
+            if let Some(lru) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (tick, _))| *tick)
+                .map(|(k, _)| *k)
+            {
+                self.map.remove(&lru);
+                evicted = Some(lru);
+            }
+        }
+        self.map.insert(key, (self.tick, entry));
+        evicted
+    }
+
+    /// Drop a session outright (catch-up failure); not an eviction.
+    fn remove(&mut self, key: u64) {
+        self.map.remove(&key);
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    #[cfg(test)]
+    fn contains(&self, key: u64) -> bool {
+        self.map.contains_key(&key)
+    }
 }
 
 /// Durable-mode state: the journal plus the cumulative [`JournalStats`]
@@ -187,8 +254,8 @@ struct ServerState {
     shutdown: AtomicBool,
     snapshots: Mutex<HashMap<u64, Arc<TableResolution>>>,
     /// Warm incremental sessions (`POST /delta`), keyed by the
-    /// bootstrap's snapshot key.
-    sessions: Mutex<HashMap<u64, Arc<Mutex<DeltaEntry>>>>,
+    /// bootstrap's snapshot key; LRU-evicted at capacity.
+    sessions: Mutex<SessionCache>,
     /// Recently journaled enrichment deltas as (pre-apply KB version,
     /// delta), in application order. `/delta` sessions replay the suffix
     /// past their own version to catch up to the advancing base.
@@ -300,7 +367,7 @@ impl Server {
                 conns: AtomicUsize::new(0),
                 shutdown: AtomicBool::new(false),
                 snapshots: Mutex::new(HashMap::new()),
-                sessions: Mutex::new(HashMap::new()),
+                sessions: Mutex::new(SessionCache::new()),
                 recent_deltas: Mutex::new(VecDeque::new()),
                 journal: journal.map(|journal| {
                     Mutex::new(JournalState {
@@ -790,10 +857,10 @@ fn bootstrap_delta_session(state: &ServerState, req: &Request, text: &str) -> (u
                 policy,
             }));
             let mut sessions = state.sessions.lock().unwrap_or_else(|e| e.into_inner());
-            if sessions.len() >= SESSION_CACHE_CAP {
-                sessions.clear();
+            if sessions.insert(key, entry).is_some() {
+                rec.incr(Counter::ServeSessionsEvicted);
             }
-            sessions.insert(key, entry);
+            drop(sessions);
             let status = if degraded { 206 } else { 200 };
             (status, with_session_key(key, &body))
         }
@@ -810,8 +877,8 @@ fn bootstrap_delta_session(state: &ServerState, req: &Request, text: &str) -> (u
 fn replay_delta(state: &ServerState, key: u64, text: &str) -> (u16, String) {
     let rec = state.recorder.as_ref();
     let entry = {
-        let sessions = state.sessions.lock().unwrap_or_else(|e| e.into_inner());
-        sessions.get(&key).cloned()
+        let mut sessions = state.sessions.lock().unwrap_or_else(|e| e.into_inner());
+        sessions.get(key)
     };
     let Some(entry) = entry else {
         return (
@@ -830,7 +897,7 @@ fn replay_delta(state: &ServerState, key: u64, text: &str) -> (u16, String) {
     if catch_up(state, &mut guard).is_err() {
         drop(guard);
         let mut sessions = state.sessions.lock().unwrap_or_else(|e| e.into_inner());
-        sessions.remove(&key);
+        sessions.remove(key);
         return (
             409,
             error_body(
@@ -1240,7 +1307,7 @@ mod tests {
             conns: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             snapshots: Mutex::new(HashMap::new()),
-            sessions: Mutex::new(HashMap::new()),
+            sessions: Mutex::new(SessionCache::new()),
             recent_deltas: Mutex::new(VecDeque::new()),
             journal: journal.map(|journal| {
                 Mutex::new(JournalState {
@@ -1570,6 +1637,65 @@ mod tests {
     }
 
     #[test]
+    fn session_cache_evicts_least_recently_used() {
+        let mut cache = SessionCache::<u32>::new();
+        for key in 0..SESSION_CACHE_CAP as u64 {
+            assert_eq!(cache.insert(key, key as u32), None, "cache not yet full");
+        }
+        assert_eq!(cache.len(), SESSION_CACHE_CAP);
+        // Touching key 0 makes it the most recently used, so the next
+        // insert evicts key 1 — the coldest — not key 0.
+        assert_eq!(cache.get(0), Some(0));
+        assert_eq!(cache.insert(100, 100), Some(1));
+        assert!(cache.contains(0));
+        assert!(!cache.contains(1));
+        assert_eq!(cache.len(), SESSION_CACHE_CAP);
+        // Further inserts keep walking the recency order.
+        assert_eq!(cache.insert(101, 101), Some(2));
+        assert_eq!(cache.insert(102, 102), Some(3));
+        // Replacing a resident key refreshes it without evicting.
+        assert_eq!(cache.insert(100, 200), None);
+        assert_eq!(cache.get(100), Some(200));
+        // A miss advances nothing visible and evicts nothing.
+        assert_eq!(cache.get(999), None);
+        assert_eq!(cache.len(), SESSION_CACHE_CAP);
+        // Explicit removal frees a slot, so the next insert is eviction-free.
+        cache.remove(0);
+        assert_eq!(cache.insert(103, 103), None);
+    }
+
+    #[test]
+    fn delta_session_eviction_is_lru_and_counted() {
+        let st = state();
+        // Fill the cache, remembering the first session's key.
+        let (status, body, _) = route(&st, &post_delta(SOCCER_CSV, &[("crowd", "skeptic")]));
+        assert_eq!(status, 200, "{body}");
+        let first = session_key_of(&body);
+        for i in 1..SESSION_CACHE_CAP {
+            let csv = format!("{SOCCER_CSV}Extra{i},Italy,Rome\n");
+            let (status, body, _) = route(&st, &post_delta(&csv, &[("crowd", "skeptic")]));
+            assert_eq!(status, 200, "{body}");
+        }
+        assert_eq!(st.recorder.snapshot().counter("serve.sessions_evicted"), 0);
+        // Keep the first session warm, then overflow the cache: the
+        // eviction hits some colder session, not the freshly-used first.
+        let edits = "op,row,name,country,capital\nupsert,1,Pirlo,Italy,Rome\n";
+        let (status, body, _) = route(&st, &post_delta(edits, &[("base", &first)]));
+        assert_eq!(status, 200, "{body}");
+        let csv = format!("{SOCCER_CSV}Overflow,Spain,Madrid\n");
+        let (status, body, _) = route(&st, &post_delta(&csv, &[("crowd", "skeptic")]));
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(st.recorder.snapshot().counter("serve.sessions_evicted"), 1);
+        assert!(
+            st.sessions
+                .lock()
+                .unwrap()
+                .contains(u64::from_str_radix(&first, 16).unwrap()),
+            "the recently-replayed session survived the eviction"
+        );
+    }
+
+    #[test]
     fn delta_sessions_catch_up_through_the_enrichment_ring() {
         let (st, dir) = durable_state("ring");
         // Bootstrap a session at the boot version.
@@ -1590,10 +1716,11 @@ mod tests {
         let (status, body, _) = route(&st, &post_delta(edits, &[("base", &key)]));
         assert_eq!(status, 200, "{body}");
         {
-            let sessions = st.sessions.lock().unwrap();
-            let entry = sessions[&u64::from_str_radix(&key, 16).unwrap()]
-                .lock()
-                .unwrap();
+            let mut sessions = st.sessions.lock().unwrap();
+            let entry = sessions
+                .get(u64::from_str_radix(&key, 16).unwrap())
+                .expect("warm session");
+            let entry = entry.lock().unwrap();
             assert_eq!(
                 entry.kb.version(),
                 st.kb.read().unwrap().version(),

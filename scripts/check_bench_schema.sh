@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
 # Validate the schema of a BENCH_*.json report (crates/bench/src/perf.rs).
-# Four shapes exist: thread-scaling reports (samples keyed by
+# Five shapes exist: thread-scaling reports (samples keyed by
 # "threads"), the resolve report (samples keyed by "config": cold vs
 # cold_legacy vs snapshot, plus "distinct_ratio", "triples",
 # "index_build_ms", and the kb.plan_* probe-planner counters), the
 # serve report (samples keyed by "config" and "concurrency", with req/s
-# and latency percentiles), and the incremental report (samples keyed by
+# and latency percentiles), the incremental report (samples keyed by
 # "config": full vs delta, at several "edit_rate"s, each carrying its
-# discovery+repair "work_counters" sum). The file's "bench" field picks
-# the shape.
+# discovery+repair "work_counters" sum), and the crowd report (samples
+# keyed by fault "plan" and aggregation mode "agg", with
+# accuracy-at-budget figures and the crowd.* quality counters). The
+# file's "bench" field picks the shape.
 # Usage: check_bench_schema.sh FILE...
 set -euo pipefail
 
@@ -110,6 +112,29 @@ for file in "$@"; do
     # The delta path must record its delta.* counters in the embedded
     # metrics — that is what makes "fraction of full work" auditable.
     for counter in delta.tuples_touched delta.patterns_rescored; do
+      if ! grep -Eq '"'"$counter"'": [0-9]+' "$file"; then
+        echo "$file: embedded metrics missing the \"$counter\" counter" >&2
+        ok=0
+      fi
+    done
+  elif grep -Eq '"bench": "crowd"' "$file"; then
+    # Crowd report: plurality vs Dawid–Skene on seeded fault plans at
+    # equal worker-answer budget. Every sample carries the spend and
+    # quality fields; both aggregation modes must be present.
+    for agg in plurality dawid-skene; do
+      if ! grep -Eq '\{ "plan": "[^"]+", "agg": "'"$agg"'", "questions": [0-9]+, "answers": [0-9]+, "accuracy": [0-9]+\.[0-9]+, "escalations": [0-9]+, "questions_saved": [0-9]+, "wall_ms": [0-9]+\.[0-9]+ \}' "$file"; then
+        echo "$file: no well-formed \"$agg\" sample (plan/agg/questions/answers/accuracy/escalations/questions_saved/wall_ms)" >&2
+        ok=0
+      fi
+    done
+    plans=$(grep -Eo '"plan": "[^"]+"' "$file" | sort -u | wc -l)
+    if [ "$plans" -lt 2 ]; then
+      echo "$file: crowd report must cover at least 2 fault plans (found $plans)" >&2
+      ok=0
+    fi
+    # The embedded metrics must carry the Dawid–Skene quality counters
+    # of the instrumented run.
+    for counter in crowd.em_iterations crowd.posterior_confident crowd.escalations crowd.questions_saved; do
       if ! grep -Eq '"'"$counter"'": [0-9]+' "$file"; then
         echo "$file: embedded metrics missing the \"$counter\" counter" >&2
         ok=0
